@@ -1,0 +1,35 @@
+//! Criterion companion of `exp_batch_sweep` (§5.4): the z-stage batch
+//! parameter B at a fixed problem size.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcc_core::LocalConvolver;
+use lcc_greens::GaussianKernel;
+use lcc_grid::{BoxRegion, Grid3};
+use lcc_octree::{RateSchedule, SamplingPlan};
+
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_parameter");
+    g.sample_size(10);
+    let n = 64usize;
+    let k = 16usize;
+    let kernel = GaussianKernel::new(n, 1.0);
+    let sub = Grid3::from_fn((k, k, k), |x, y, z| (x * y + z) as f64 * 0.01);
+    let hotspot = BoxRegion::new([n / 2; 3], [n / 2 + k; 3]);
+    let plan = Arc::new(SamplingPlan::build(
+        n,
+        hotspot,
+        &RateSchedule::paper_default(k, 16),
+    ));
+    for b_param in [16usize, 128, 1024, 4096] {
+        let conv = LocalConvolver::new(n, k, b_param);
+        g.bench_with_input(BenchmarkId::new("B", b_param), &b_param, |b, _| {
+            b.iter(|| conv.convolve_compressed(&sub, [0; 3], &kernel, plan.clone()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

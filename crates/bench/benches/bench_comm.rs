@@ -1,0 +1,45 @@
+//! Cluster-simulator benchmarks: collective primitives and the distributed
+//! FFT transpose that dominates the traditional baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcc_comm::{run_cluster, scatter_slabs, transpose_exchange};
+use lcc_fft::{c64, Complex64};
+
+fn bench_alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_alltoall");
+    g.sample_size(10);
+    for bytes in [1024usize, 65536] {
+        g.bench_with_input(BenchmarkId::new("p4_payload", bytes), &bytes, |b, &bytes| {
+            b.iter(|| {
+                run_cluster(4, |mut w| {
+                    let outgoing = vec![vec![0u8; bytes]; w.size()];
+                    w.alltoall(outgoing)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist_transpose");
+    g.sample_size(10);
+    for n in [16usize, 32] {
+        let field: Vec<Complex64> =
+            (0..n * n * n).map(|i| c64(i as f64, 0.0)).collect();
+        let slabs = scatter_slabs(&field, n, 4);
+        g.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            b.iter(|| {
+                let slabs = slabs.clone();
+                run_cluster(4, move |mut w| {
+                    let mine = slabs[w.rank()].clone();
+                    transpose_exchange(&mut w, &mine, n)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alltoall, bench_transpose);
+criterion_main!(benches);

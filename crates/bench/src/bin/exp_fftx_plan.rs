@@ -1,0 +1,65 @@
+//! §6 / Fig. 5: the MASSIF pruned convolution expressed as composed
+//! FFTX-style subplans — observe-mode plan dump, cost estimate, and an
+//! executed correctness check against the dense oracle.
+
+use std::sync::Arc;
+
+use lcc_core::TraditionalConvolver;
+use lcc_fft::Complex64;
+use lcc_fftx::{massif_convolution_plan, FftxMode};
+use lcc_greens::{GaussianKernel, KernelSpectrum};
+use lcc_grid::{relative_l2, BoxRegion, Grid3};
+use lcc_octree::RateSchedule;
+
+fn main() {
+    let n = 32usize;
+    let k = 8usize;
+    let corner = [0usize; 3];
+    let sigma = 1.0;
+    let kernel = Arc::new(GaussianKernel::new(n, sigma));
+    let hotspot = BoxRegion::new([n / 2; 3], [n / 2 + k; 3]);
+    let schedule = RateSchedule::for_kernel_spread(k, sigma, 16);
+
+    let kc = kernel.clone();
+    let plan = massif_convolution_plan(
+        n,
+        k,
+        corner,
+        Arc::new(move |f| kc.eval(f)),
+        &schedule,
+        hotspot,
+        FftxMode::Observe,
+    )
+    .expect("plan composes");
+
+    println!("== observe mode: massif_convolution_plan(N={n}, k={k}) ==");
+    println!("{}", plan.describe());
+    let est = plan.estimate();
+    println!(
+        "\n== estimate mode ==\n  flops ≈ {:.3e}\n  intermediate elements moved = {}",
+        est.flops, est.elements_moved
+    );
+
+    // Execute and compare the sampled output against the dense oracle at
+    // the sampled positions.
+    let sub = Grid3::from_fn((k, k, k), |x, y, z| 1.0 + (x + 2 * y + 3 * z) as f64 * 0.05);
+    let input: Vec<Complex64> = sub
+        .as_slice()
+        .iter()
+        .map(|&v| Complex64::from_real(v))
+        .collect();
+    let out = plan.execute(&input);
+    let dense = TraditionalConvolver::new(n).convolve_subdomain(&sub, corner, kernel.as_ref());
+
+    // Error over the hotspot (densely sampled ⇒ must be exact).
+    let mut hot_exact = Vec::new();
+    let mut hot_got = Vec::new();
+    for p in hotspot.points() {
+        hot_exact.push(dense[(p[0], p[1], p[2])]);
+        hot_got.push(out[(p[0] * n + p[1]) * n + p[2]].re);
+    }
+    let err = relative_l2(&hot_exact, &hot_got);
+    println!("\n== execute ==\n  hotspot relative L2 vs dense oracle: {err:.3e}");
+    assert!(err < 1e-9, "hotspot must be exact");
+    println!("  OK — the Fig. 5 pipeline runs correctly from the composed plan");
+}

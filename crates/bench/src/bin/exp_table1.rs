@@ -1,0 +1,28 @@
+//! Table 1: back-of-envelope memory for traditional full-resolution FFT vs
+//! the domain-local slab, at the paper's exact (N, k) combinations.
+
+use lcc_bench::gb;
+use lcc_core::table1_rows;
+
+fn main() {
+    println!("Table 1 — memory required, traditional vs domain-local FFT");
+    println!(
+        "{:<28} {:<16} {:>26} {:>26}",
+        "Problem size", "Domain size", "Traditional FFT [GB]", "Local FFT ours [GB]"
+    );
+    // The paper prints binary-GiB-rounded values (8 for 1024³ etc.).
+    let gib = |b: u64| (b as f64 / (1u64 << 30) as f64).round();
+    for r in table1_rows() {
+        println!(
+            "{:<28} {:<16} {:>20} ({:>6.2}) {:>19} ({:>6.2})",
+            format!("{0} x {0} x {0}", r.n),
+            format!("{0} x {0} x {0}", r.k),
+            gib(r.traditional),
+            gb(r.traditional),
+            gib(r.local),
+            gb(r.local),
+        );
+    }
+    println!("\n(paper column 3: 8, 8, 64, 64, 512, 512, 4096, 4096)");
+    println!("(paper column 4: 1, 4, 4, 16, 16, 64, 32, 64)");
+}

@@ -1,0 +1,53 @@
+//! Table 4: estimated vs actual device memory for the streaming pipeline at
+//! the paper's exact (N, k, r) rows, on the simulated device.
+//!
+//! "The difference between the values is due to the use of CUFFT, which
+//! creates temporaries in the midst of calculations" — our tracking
+//! allocator charges those plan workspaces explicitly, reproducing the
+//! estimated < actual gap. (These rows are allocator accounting only; no
+//! real 2048³ buffers exist, exactly as Table 2/4 are capacity statements.)
+
+use lcc_bench::gb;
+use lcc_core::PipelineFootprint;
+
+fn main() {
+    println!("Table 4 — estimated vs actual GPU memory for sub-domain convolution");
+    println!(
+        "{:<6} {:<5} {:<5} {:>16} {:>14} {:>8}",
+        "N", "k", "r", "Estimated (GB)", "Actual (GB)", "ratio"
+    );
+    // The paper's rows: (N, k, r, paper_estimated, paper_actual).
+    let rows: [(usize, usize, u32, f64, f64); 7] = [
+        (512, 32, 16, 0.62, 1.29),
+        (1024, 32, 32, 2.49, 4.33),
+        (2048, 8, 128, 3.52, 5.67),
+        (2048, 16, 128, 5.02, 8.16),
+        (2048, 32, 128, 8.00, 13.16),
+        (2048, 32, 64, 9.97, 16.20),
+        (2048, 64, 64, 15.92, 26.20),
+    ];
+    for (n, k, r, p_est, p_act) in rows {
+        // Retained planes: dense response (~2k) + exterior strided at r.
+        let retained = (2 * k + n / r as usize).min(n);
+        let compressed =
+            8 * ((k as u64).pow(3) + (n as u64).pow(3) / (r as u64).pow(3));
+        let batch = (4 * n).min(32768);
+        let fp = PipelineFootprint::model(n, k, retained, batch, compressed);
+        let est = fp.estimated_bytes();
+        let act = fp.actual_bytes();
+        println!(
+            "{:<6} {:<5} {:<5} {:>10.2} [{:>5.2}] {:>8.2} [{:>6.2}] {:>8.2}",
+            n,
+            k,
+            r,
+            gb(est),
+            p_est,
+            gb(act),
+            p_act,
+            act as f64 / est as f64
+        );
+    }
+    println!("\n[bracketed values: paper's numbers]");
+    println!("Shape to match: actual exceeds estimated by a ~1.6x-2.1x library-workspace");
+    println!("factor, and footprints stay far below the 16·N³ dense requirement.");
+}

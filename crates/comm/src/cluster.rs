@@ -1,0 +1,348 @@
+//! A functional message-passing cluster simulator.
+//!
+//! P workers run as OS threads connected by crossbeam channels, exposing the
+//! MPI-flavoured collectives the paper's pipelines need (all-to-all,
+//! allgather, barrier). Every byte that crosses a channel is counted, so
+//! experiments can report *measured* communication volumes and round counts
+//! next to the analytic Eq. 1 / Eq. 6 estimates.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Shared instrumentation counters for one cluster run.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Total payload bytes sent across all ranks (self-copies excluded).
+    pub bytes_sent: AtomicU64,
+    /// Total point-to-point messages (self-copies excluded).
+    pub messages: AtomicU64,
+    /// Number of collective rounds entered (counted once per collective,
+    /// not per rank).
+    pub collective_rounds: AtomicU64,
+}
+
+impl CommStats {
+    /// Snapshot of total bytes sent.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of total messages.
+    pub fn message_count(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of collective rounds.
+    pub fn rounds(&self) -> u64 {
+        self.collective_rounds.load(Ordering::Relaxed)
+    }
+
+    /// α-β modeled wall time of the recorded traffic on `p` ranks,
+    /// assuming all ranks inject concurrently on dedicated links (the
+    /// fully-connected assumption behind the paper's Eq. 1): every message
+    /// pays α, and each rank's share of the volume pays β serially.
+    pub fn modeled_time(&self, model: &crate::model::AlphaBeta, p: usize) -> f64 {
+        let p = p.max(1) as f64;
+        (self.message_count() as f64 / p) * model.alpha
+            + (self.bytes() as f64 / p) * model.beta
+    }
+}
+
+type Packet = (usize, Vec<u8>);
+
+/// One rank's endpoint into the cluster.
+pub struct CommWorld {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Packet>>,
+    receiver: Receiver<Packet>,
+    /// Per-peer reorder buffers: messages that arrived ahead of the peer we
+    /// are currently waiting on.
+    inbox: Vec<VecDeque<Vec<u8>>>,
+    barrier: Arc<Barrier>,
+    stats: Arc<CommStats>,
+}
+
+impl CommWorld {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The shared statistics handle.
+    pub fn stats(&self) -> &Arc<CommStats> {
+        &self.stats
+    }
+
+    /// Sends `payload` to `to` (point-to-point, FIFO per sender-receiver
+    /// pair).
+    pub fn send(&self, to: usize, payload: Vec<u8>) {
+        assert!(to < self.size, "invalid destination rank {to}");
+        if to != self.rank {
+            self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
+            self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        }
+        self.senders[to].send((self.rank, payload)).expect("peer hung up");
+    }
+
+    /// Receives the next in-order message from `from`, buffering messages
+    /// from other peers encountered while waiting.
+    pub fn recv_from(&mut self, from: usize) -> Vec<u8> {
+        assert!(from < self.size, "invalid source rank {from}");
+        if let Some(m) = self.inbox[from].pop_front() {
+            return m;
+        }
+        loop {
+            let (src, payload) = self.receiver.recv().expect("cluster disbanded");
+            if src == from {
+                return payload;
+            }
+            self.inbox[src].push_back(payload);
+        }
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-to-all personalized exchange: `outgoing[i]` goes to rank `i`;
+    /// returns `incoming[i]` from each rank `i` (including this rank's own
+    /// self-message, delivered without touching the network counters).
+    pub fn alltoall(&mut self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(outgoing.len(), self.size, "need one payload per rank");
+        if self.rank == 0 {
+            self.stats.collective_rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        for (to, payload) in outgoing.into_iter().enumerate() {
+            self.send(to, payload);
+        }
+        (0..self.size).map(|from| self.recv_from(from)).collect()
+    }
+
+    /// Allgather: every rank contributes `payload`, every rank receives all
+    /// contributions indexed by rank.
+    pub fn allgather(&mut self, payload: Vec<u8>) -> Vec<Vec<u8>> {
+        let outgoing = vec![payload; self.size];
+        self.alltoall(outgoing)
+    }
+}
+
+/// Gate ensuring one simulated cluster runs at a time per process.
+///
+/// Rank closures routinely mix blocking channel receives with rayon
+/// data-parallel regions; two clusters interleaving on a small shared
+/// rayon pool can starve each other (observed as a deadlock on single-core
+/// hosts when the test harness runs cluster tests concurrently).
+/// Serializing whole cluster runs removes the interaction without
+/// constraining anything the simulator is for.
+static CLUSTER_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` on `p` ranks, each on its own thread, returning the per-rank
+/// results (in rank order) and the aggregated statistics.
+///
+/// Process-wide, cluster runs are serialized (see `CLUSTER_GATE`).
+pub fn run_cluster<R, F>(p: usize, f: F) -> (Vec<R>, Arc<CommStats>)
+where
+    R: Send,
+    F: Fn(CommWorld) -> R + Send + Sync,
+{
+    assert!(p >= 1, "need at least one rank");
+    let _gate = CLUSTER_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let stats = Arc::new(CommStats::default());
+    let barrier = Arc::new(Barrier::new(p));
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = unbounded::<Packet>();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let mut worlds: Vec<CommWorld> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| CommWorld {
+            rank,
+            size: p,
+            senders: senders.clone(),
+            receiver,
+            inbox: (0..p).map(|_| VecDeque::new()).collect(),
+            barrier: barrier.clone(),
+            stats: stats.clone(),
+        })
+        .collect();
+    drop(senders);
+
+    let f = &f;
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let handles: Vec<_> = worlds
+            .drain(..)
+            .map(|world| scope.spawn(move || f(world)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    });
+    (results, stats)
+}
+
+/// Serializes f64 values little-endian.
+pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes f64 values little-endian. Panics on ragged input.
+pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "payload is not a whole number of f64s");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let (results, stats) = run_cluster(4, |mut w| {
+            let next = (w.rank() + 1) % w.size();
+            let prev = (w.rank() + w.size() - 1) % w.size();
+            w.send(next, vec![w.rank() as u8]);
+            let got = w.recv_from(prev);
+            got[0] as usize
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+        assert_eq!(stats.message_count(), 4);
+        assert_eq!(stats.bytes(), 4);
+    }
+
+    #[test]
+    fn alltoall_delivers_by_source() {
+        let (results, stats) = run_cluster(3, |mut w| {
+            let outgoing: Vec<Vec<u8>> = (0..w.size())
+                .map(|to| vec![(w.rank() * 10 + to) as u8])
+                .collect();
+            let incoming = w.alltoall(outgoing);
+            incoming.iter().map(|m| m[0] as usize).collect::<Vec<_>>()
+        });
+        // Rank r receives from each source s the byte s*10 + r.
+        for (r, row) in results.iter().enumerate() {
+            for (s, &v) in row.iter().enumerate() {
+                assert_eq!(v, s * 10 + r);
+            }
+        }
+        assert_eq!(stats.rounds(), 1);
+        // 3 ranks × 2 remote peers × 1 byte
+        assert_eq!(stats.bytes(), 6);
+    }
+
+    #[test]
+    fn allgather_matches_manual() {
+        let (results, _) = run_cluster(4, |mut w| {
+            let all = w.allgather(vec![w.rank() as u8; 2]);
+            all.iter().map(|m| m[0]).collect::<Vec<_>>()
+        });
+        for row in results {
+            assert_eq!(row, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn out_of_order_sources_are_buffered() {
+        let (results, _) = run_cluster(3, |mut w| {
+            if w.rank() == 0 {
+                // Receive in the order 2 then 1, regardless of arrival.
+                w.barrier();
+                let a = w.recv_from(2);
+                let b = w.recv_from(1);
+                (a[0], b[0])
+            } else {
+                w.send(0, vec![w.rank() as u8]);
+                w.barrier();
+                (0, 0)
+            }
+        });
+        assert_eq!(results[0], (2, 1));
+    }
+
+    #[test]
+    fn self_messages_do_not_count() {
+        let (_, stats) = run_cluster(1, |mut w| {
+            let out = w.alltoall(vec![vec![1, 2, 3]]);
+            assert_eq!(out[0], vec![1, 2, 3]);
+        });
+        assert_eq!(stats.bytes(), 0);
+        assert_eq!(stats.message_count(), 0);
+    }
+
+    #[test]
+    fn f64_codec_roundtrip() {
+        let v = vec![1.5, -2.25, std::f64::consts::PI, 0.0, f64::MIN_POSITIVE];
+        assert_eq!(decode_f64s(&encode_f64s(&v)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_decode_panics() {
+        decode_f64s(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn modeled_time_tracks_traffic() {
+        use crate::model::AlphaBeta;
+        let (_, stats) = run_cluster(4, |mut w| {
+            let out = vec![vec![0u8; 1 << 20]; w.size()];
+            w.alltoall(out);
+        });
+        let ab = AlphaBeta::from_latency_bandwidth(1e-6, 1e9);
+        let t = stats.modeled_time(&ab, 4);
+        // Each rank sends 3 MiB remotely: ≈ 3·2^20 / 1e9 s plus latencies.
+        let expect = 3.0 * (1 << 20) as f64 / 1e9 + 3.0 * 1e-6;
+        assert!((t - expect).abs() / expect < 0.01, "t={t} expect={expect}");
+    }
+
+    #[test]
+    fn invalid_rank_usage_is_loud() {
+        // Misuse fails fast instead of corrupting the exchange.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cluster(2, |w| {
+                if w.rank() == 0 {
+                    w.send(5, vec![1]); // destination out of range
+                }
+            });
+        }));
+        assert!(result.is_err(), "expected a panic from the invalid destination");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cluster(2, |mut w| {
+                // Wrong payload count for the collective.
+                let _ = w.alltoall(vec![vec![0u8; 1]; 3]);
+            });
+        }));
+        assert!(result.is_err(), "expected a panic from the ragged all-to-all");
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::AtomicUsize;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        run_cluster(8, move |w| {
+            c.fetch_add(1, Ordering::SeqCst);
+            w.barrier();
+            // After the barrier every rank must see all increments.
+            assert_eq!(c.load(Ordering::SeqCst), 8);
+        });
+    }
+}

@@ -1,0 +1,26 @@
+//! # lcc-comm — communication substrate
+//!
+//! Substitute for the paper's MPI cluster (see DESIGN.md §2), in two layers:
+//!
+//! * [`model`] — the analytic α-β cost model and the paper's equations:
+//!   Eq. 1 (`T_FFT = 2·N³/(P·β_link)`), Eq. 2 (`t = α + β·m`), and Eq. 6
+//!   (`T_ours = (k³ + sparse samples)/(P·β_link)`).
+//! * [`cluster`] + [`dist_fft`] — a *functional* message-passing runtime:
+//!   P worker threads, crossbeam channels, instrumented all-to-all /
+//!   allgather collectives, and the traditional slab-decomposed distributed
+//!   3D FFT and FFT convolution built on them. Measured bytes and round
+//!   counts from these runs sit next to the analytic estimates in the
+//!   experiment reports.
+
+pub mod cluster;
+pub mod dist_fft;
+pub mod model;
+pub mod pencil_fft;
+
+pub use cluster::{decode_f64s, encode_f64s, run_cluster, CommStats, CommWorld};
+pub use dist_fft::{
+    convolve_distributed, decode_complex, encode_complex, forward_3d, gather_slabs,
+    inverse_3d, scatter_slabs, transpose_exchange,
+};
+pub use model::{lowcomm_volume, traditional_conv_volume, AlphaBeta, CommScenario};
+pub use pencil_fft::{grid_coords, pencil_forward_3d, pencil_inverse_3d, sub_alltoall};

@@ -1,0 +1,180 @@
+//! Analytic communication cost models (paper Eqs. 1, 2, 6).
+//!
+//! * Eq. 2 (α-β model): `t = α + β·m` for one message of length `m`.
+//! * Eq. 1: traditional parallel 3D FFT moves each node's `N³/P` points
+//!   through **two** all-to-all stages: `T_FFT = 2·N³/(P·β_link)`.
+//! * Eq. 6: the proposed method exchanges only the dense sub-domain plus
+//!   sparse exterior samples, **once**:
+//!   `T_ours = (k³ + (N³−k³)/r³)/(P·β_link)`.
+
+/// The α-β point-to-point model of Eq. 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AlphaBeta {
+    /// Link setup latency α, seconds per message.
+    pub alpha: f64,
+    /// Inverse bandwidth β, seconds per byte.
+    pub beta: f64,
+}
+
+impl AlphaBeta {
+    /// Creates the model from latency (s) and bandwidth (bytes/s).
+    pub fn from_latency_bandwidth(alpha: f64, bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0);
+        AlphaBeta { alpha, beta: 1.0 / bandwidth }
+    }
+
+    /// Typical HPC interconnect: 1 µs latency, 10 GB/s per link.
+    pub fn hpc_default() -> Self {
+        Self::from_latency_bandwidth(1e-6, 10e9)
+    }
+
+    /// Time for one message of `bytes` (Eq. 2).
+    pub fn message_time(&self, bytes: u64) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+
+    /// Time for a full-exchange all-to-all where every rank sends
+    /// `per_peer_bytes` to each of the other `p−1` ranks (direct algorithm:
+    /// p−1 rounds over one port).
+    pub fn alltoall_time(&self, p: usize, per_peer_bytes: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p as f64 - 1.0) * self.message_time(per_peer_bytes)
+    }
+}
+
+/// Problem/cluster parameters shared by both estimates.
+#[derive(Clone, Copy, Debug)]
+pub struct CommScenario {
+    /// Grid size N (the transform is N×N×N).
+    pub n: usize,
+    /// Number of parallel workers P.
+    pub p: usize,
+    /// Bytes per grid point (16 for complex double, 8 for real double).
+    pub elem_bytes: u64,
+    /// The link model.
+    pub link: AlphaBeta,
+}
+
+impl CommScenario {
+    /// Eq. 1 with the α-β refinement: two all-to-all stages, each moving the
+    /// node's `N³/P` points split across `P−1` peers.
+    pub fn t_fft_alltoall(&self) -> f64 {
+        let per_node = self.n.pow(3) as u64 / self.p as u64 * self.elem_bytes;
+        let per_peer = per_node / (self.p.max(2) as u64 - 1);
+        2.0 * self.link.alltoall_time(self.p, per_peer)
+    }
+
+    /// Eq. 1 in the paper's bandwidth-only form `2·N³/(P·β_link)`, in
+    /// seconds (β_link taken from the α-β model's bandwidth).
+    pub fn t_fft_bandwidth_only(&self) -> f64 {
+        2.0 * self.n.pow(3) as f64 * self.elem_bytes as f64 * self.link.beta / self.p as f64
+    }
+
+    /// Number of exterior sparse samples in Eq. 6: `(N³ − k³)/r³`.
+    pub fn sparse_samples(&self, k: usize, r_avg: f64) -> f64 {
+        ((self.n.pow(3) - k.pow(3)) as f64) / r_avg.powi(3)
+    }
+
+    /// Eq. 6: one exchange of `k³ + (N³−k³)/r³` points per sub-domain,
+    /// amortized over P workers, plus one α per peer (single round).
+    pub fn t_ours(&self, k: usize, r_avg: f64) -> f64 {
+        let points = k.pow(3) as f64 + self.sparse_samples(k, r_avg);
+        let bytes = points * self.elem_bytes as f64;
+        let bandwidth_term = bytes * self.link.beta / self.p as f64;
+        let latency_term = (self.p as f64 - 1.0).max(0.0) * self.link.alpha;
+        bandwidth_term + latency_term
+    }
+
+    /// Ratio `T_FFT / T_ours` — the communication-reduction factor.
+    pub fn reduction_factor(&self, k: usize, r_avg: f64) -> f64 {
+        self.t_fft_bandwidth_only() / self.t_ours(k, r_avg)
+    }
+}
+
+/// Communication volume (bytes moved per node) of the traditional FFT
+/// convolution: forward + inverse 3D FFT = 4 all-to-all stages total, each
+/// moving N³/P points.
+pub fn traditional_conv_volume(n: usize, p: usize, elem_bytes: u64) -> u64 {
+    4 * (n.pow(3) as u64 / p as u64) * elem_bytes
+}
+
+/// Communication volume (bytes) of the proposed method's single sparse
+/// exchange, per sub-domain result.
+pub fn lowcomm_volume(n: usize, k: usize, r_avg: f64, elem_bytes: u64) -> u64 {
+    let points = k.pow(3) as f64 + ((n.pow(3) - k.pow(3)) as f64) / r_avg.powi(3);
+    (points * elem_bytes as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(n: usize, p: usize) -> CommScenario {
+        CommScenario { n, p, elem_bytes: 16, link: AlphaBeta::hpc_default() }
+    }
+
+    #[test]
+    fn eq2_linear_in_message_size() {
+        let ab = AlphaBeta::from_latency_bandwidth(1e-6, 1e9);
+        let t1 = ab.message_time(1000);
+        let t2 = ab.message_time(2000);
+        assert!((t2 - t1 - 1000.0 * 1e-9).abs() < 1e-15);
+        assert!((ab.message_time(0) - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn eq1_scales_inversely_with_p() {
+        let a = scenario(512, 8).t_fft_bandwidth_only();
+        let b = scenario(512, 16).t_fft_bandwidth_only();
+        assert!((a / b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq6_beats_eq1_for_paper_parameters() {
+        // N=1024, k=32, r=32 (a Table 3 row): ours must be orders of
+        // magnitude cheaper.
+        let s = scenario(1024, 64);
+        let ratio = s.reduction_factor(32, 32.0);
+        assert!(ratio > 100.0, "expected large reduction, got {ratio}");
+    }
+
+    #[test]
+    fn eq6_degrades_gracefully_to_dense() {
+        // r = 1 keeps every exterior point: a single exchange of the full
+        // grid — still 2× less than the two FFT stages (and 4× less than a
+        // full convolution's four stages).
+        let s = scenario(256, 4);
+        let ours = s.t_ours(32, 1.0);
+        let fft = s.t_fft_bandwidth_only();
+        assert!(ours < fft, "single full exchange still beats two stages");
+        assert!(fft / ours < 2.5);
+    }
+
+    #[test]
+    fn alltoall_alpha_term_grows_with_p() {
+        let ab = AlphaBeta::from_latency_bandwidth(1e-3, 1e12);
+        // Latency-dominated: time ≈ (p−1)·α per stage.
+        let t = ab.alltoall_time(101, 8);
+        assert!((t - 100.0 * ab.message_time(8)).abs() < 1e-12);
+        assert_eq!(ab.alltoall_time(1, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn volumes_match_hand_count() {
+        assert_eq!(traditional_conv_volume(64, 4, 16), 4 * (64u64.pow(3) / 4) * 16);
+        // r=2 exterior downsampling: (N³−k³)/8 points + dense k³.
+        let v = lowcomm_volume(64, 16, 2.0, 8);
+        let points = 16u64.pow(3) as f64 + ((64u64.pow(3) - 16u64.pow(3)) as f64) / 8.0;
+        assert_eq!(v, (points * 8.0) as u64);
+    }
+
+    #[test]
+    fn sparse_samples_formula() {
+        let s = scenario(128, 2);
+        let got = s.sparse_samples(32, 4.0);
+        let want = (128f64.powi(3) - 32f64.powi(3)) / 64.0;
+        assert!((got - want).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,378 @@
+//! The streaming local convolution pipeline (paper §4, Fig. 2, Fig. 4).
+//!
+//! Convolves one `k³` sub-domain against the full `N³` periodic grid
+//! *without ever materializing the N³ result*:
+//!
+//! 1. **2D stage** — each of the `k` z-slices is zero-padded from `k×k` to
+//!    `N×N` implicitly: pruned-input FFTs transform only the `k` nonzero
+//!    rows/columns ("zero structure is implicit in the 1D calls"). Output:
+//!    an `N×N×k` slab, the paper's `8·N·N·k`-byte working set.
+//! 2. **z stage** — batches of `B` pencils (the paper's batch parameter) are
+//!    zero-padded `k → N` by a pruned transform, multiplied by the kernel
+//!    spectrum *and* the sub-domain's position phase on the fly, inverse
+//!    transformed, and immediately **compressed**: only the z-planes the
+//!    octree plan retains are kept.
+//! 3. **2D inverse stage** — each retained z-plane is inverse transformed
+//!    and sampled into the octree's compressed storage
+//!    ([`CompressedField::capture_plane`]).
+//!
+//! The sub-domain is presented at the origin; its true position enters as a
+//! frequency-domain phase `e^{-2πi f·c/N}` folded into the pointwise
+//! multiply, so the pruned transforms never see shifted data.
+
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use lcc_fft::{fft_2d, Complex64, FftDirection, FftPlanner, PrunedInputFft};
+use lcc_greens::KernelSpectrum;
+use lcc_grid::Grid3;
+use lcc_octree::{CompressedField, SamplingPlan};
+
+use crate::memory_model::PipelineFootprint;
+
+/// Planned streaming convolver for `(n, k)` sub-domain convolutions.
+pub struct LocalConvolver {
+    n: usize,
+    k: usize,
+    batch: usize,
+    planner: Arc<FftPlanner>,
+    /// Pruned k→N forward transform shared by all three axes.
+    pruned: Arc<PrunedInputFft>,
+}
+
+impl LocalConvolver {
+    /// Plans the pipeline. `k` must divide `n`; `batch ≥ 1` is the number of
+    /// z-pencils processed at a time (the paper's `B`).
+    pub fn new(n: usize, k: usize, batch: usize) -> Self {
+        assert!(k >= 1 && k <= n, "k must be in 1..=n");
+        assert_eq!(n % k, 0, "k must divide n");
+        assert!(batch >= 1, "batch must be at least 1");
+        let planner = Arc::new(FftPlanner::new());
+        let pruned = Arc::new(PrunedInputFft::new(
+            &planner,
+            n,
+            k,
+            FftDirection::Forward,
+        ));
+        // Warm the plan cache so timed runs measure execution only.
+        planner.plan(n, FftDirection::Inverse);
+        planner.plan(n, FftDirection::Forward);
+        LocalConvolver { n, k, batch, planner, pruned }
+    }
+
+    /// Grid size N.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sub-domain size k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// z-stage batch size B.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The shared dense planner (used by the tensor-field variant).
+    pub(crate) fn planner(&self) -> &FftPlanner {
+        &self.planner
+    }
+
+    /// The shared pruned k→N forward plan.
+    pub(crate) fn pruned_plan(&self) -> &PrunedInputFft {
+        &self.pruned
+    }
+
+    /// The cached full-length inverse plan.
+    pub(crate) fn plan_inverse_n(&self) -> lcc_fft::FftPlan {
+        self.planner.plan(self.n, FftDirection::Inverse)
+    }
+
+    /// Stage 1 of the pipeline: pruned 2D transforms of a k³ sub-domain
+    /// into the `(zloc, fx, fy)` slab (k contiguous N² planes).
+    pub(crate) fn forward_2d_slab(&self, sub: &Grid3<f64>) -> Vec<Complex64> {
+        let (n, k) = (self.n, self.k);
+        assert_eq!(sub.shape(), (k, k, k), "sub-domain must be k³");
+        let mut slab = vec![Complex64::ZERO; k * n * n];
+        slab.par_chunks_mut(n * n).enumerate().for_each(|(zloc, plane)| {
+            let mut scratch = vec![Complex64::ZERO; k];
+            let mut row_in = vec![Complex64::ZERO; k];
+            // y transforms: k nonzero rows, each with k nonzero entries.
+            let mut rows = vec![Complex64::ZERO; k * n];
+            for x in 0..k {
+                for y in 0..k {
+                    row_in[y] = Complex64::from_real(sub[(x, y, zloc)]);
+                }
+                self.pruned
+                    .process(&row_in, &mut rows[x * n..(x + 1) * n], &mut scratch);
+            }
+            // x transforms: every fy column has k nonzero entries (x<k).
+            let mut col_in = vec![Complex64::ZERO; k];
+            let mut col_out = vec![Complex64::ZERO; n];
+            for fy in 0..n {
+                for x in 0..k {
+                    col_in[x] = rows[x * n + fy];
+                }
+                self.pruned.process(&col_in, &mut col_out, &mut scratch);
+                for fx in 0..n {
+                    plane[fx * n + fy] = col_out[fx];
+                }
+            }
+        });
+        slab
+    }
+
+    /// Convolves sub-domain `sub` (shape `k³`, positioned with its low
+    /// corner at `corner` in the periodic `N³` grid) with `kernel`,
+    /// compressing the result under `plan`.
+    pub fn convolve_compressed(
+        &self,
+        sub: &Grid3<f64>,
+        corner: [usize; 3],
+        kernel: &dyn KernelSpectrum,
+        plan: Arc<SamplingPlan>,
+    ) -> CompressedField {
+        let (n, k) = (self.n, self.k);
+        assert_eq!(sub.shape(), (k, k, k), "sub-domain must be k³");
+        assert_eq!(kernel.n(), n, "kernel grid mismatch");
+        assert_eq!(plan.n(), n, "plan grid mismatch");
+        assert!(
+            corner.iter().all(|&c| c < n),
+            "corner must lie inside the grid"
+        );
+
+        // ---- Stage 1: 2D pruned transforms into the N×N×k slab. ----
+        // Slab layout: (zloc, fx, fy), each z-slice a contiguous N² plane.
+        let slab = self.forward_2d_slab(sub);
+
+        // ---- Stage 2: batched z pencils with on-the-fly multiply and
+        //      compression to retained z-planes. ----
+        let retained = plan.retained_z();
+        let nzr = retained.len();
+        let mut kept = vec![Complex64::ZERO; nzr * n * n];
+        let inv_n = self.planner.plan(n, FftDirection::Inverse);
+        // Phase of the sub-domain position: e^{-2πi f·c / N} per axis.
+        let phase_axis = |len: usize, c: usize| -> Vec<Complex64> {
+            (0..len)
+                .map(|f| {
+                    Complex64::cis(-2.0 * std::f64::consts::PI * ((f * c) % n) as f64 / n as f64)
+                })
+                .collect()
+        };
+        let phx = phase_axis(n, corner[0]);
+        let phy = phase_axis(n, corner[1]);
+        let phz = phase_axis(n, corner[2]);
+
+        let total_pencils = n * n;
+        let mut batch_out = vec![Complex64::ZERO; self.batch * nzr];
+        let mut q0 = 0;
+        while q0 < total_pencils {
+            let b = self.batch.min(total_pencils - q0);
+            batch_out[..b * nzr]
+                .par_chunks_mut(nzr)
+                .enumerate()
+                .for_each(|(i, out)| {
+                    let q = q0 + i;
+                    let (fx, fy) = (q / n, q % n);
+                    let mut zin = vec![Complex64::ZERO; k];
+                    for (zloc, zi) in zin.iter_mut().enumerate() {
+                        *zi = slab[zloc * n * n + q];
+                    }
+                    let mut pencil = vec![Complex64::ZERO; n];
+                    let mut scratch = vec![Complex64::ZERO; k];
+                    self.pruned.process(&zin, &mut pencil, &mut scratch);
+                    // Pointwise: kernel × position phase, evaluated on the fly.
+                    let mut kbuf = vec![Complex64::ZERO; n];
+                    kernel.eval_pencil_axis2(fx, fy, &mut kbuf);
+                    let pxy = phx[fx] * phy[fy];
+                    for fz in 0..n {
+                        pencil[fz] *= kbuf[fz] * (pxy * phz[fz]);
+                    }
+                    inv_n.process(&mut pencil);
+                    let s = 1.0 / n as f64;
+                    for (o, &z) in out.iter_mut().zip(retained.iter()) {
+                        *o = pencil[z] * s;
+                    }
+                });
+            // Scatter the batch into the retained-plane buffer.
+            for i in 0..b {
+                let q = q0 + i;
+                for (zi, _) in retained.iter().enumerate() {
+                    kept[zi * n * n + q] = batch_out[i * nzr + zi];
+                }
+            }
+            q0 += b;
+        }
+        drop(slab);
+
+        // ---- Stage 3: inverse 2D per retained plane + octree sampling. ----
+        kept.par_chunks_mut(n * n).for_each(|plane| {
+            fft_2d(&self.planner, plane, (n, n), FftDirection::Inverse);
+            let s = 1.0 / (n * n) as f64;
+            for v in plane.iter_mut() {
+                *v *= s;
+            }
+        });
+        let mut field = CompressedField::zeros(plan);
+        let mut real_plane = vec![0.0f64; n * n];
+        for (zi, &z) in retained.iter().enumerate() {
+            let plane = &kept[zi * n * n..(zi + 1) * n * n];
+            for (r, v) in real_plane.iter_mut().zip(plane) {
+                *r = v.re;
+            }
+            field.capture_plane(z, &real_plane);
+        }
+        field
+    }
+
+    /// The device-footprint model for this pipeline under `plan`
+    /// (Table 4's "estimated" vs "actual" columns).
+    pub fn footprint(&self, plan: &SamplingPlan) -> PipelineFootprint {
+        PipelineFootprint::model(
+            self.n,
+            self.k,
+            plan.retained_z().len(),
+            self.batch,
+            plan.compressed_bytes() as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traditional::TraditionalConvolver;
+    use lcc_greens::GaussianKernel;
+    use lcc_grid::{relative_l2, BoxRegion};
+    use lcc_octree::RateSchedule;
+
+    fn sub_field(k: usize) -> Grid3<f64> {
+        Grid3::from_fn((k, k, k), |x, y, z| {
+            1.0 + (x as f64 * 0.8).sin() + 0.5 * (y as f64) - 0.1 * (z * z) as f64
+        })
+    }
+
+    fn dense_plan(n: usize, domain: BoxRegion) -> Arc<SamplingPlan> {
+        // Rate-1 everywhere: compression is lossless, so the pipeline must
+        // match the dense oracle to round-off.
+        Arc::new(SamplingPlan::build(n, domain, &RateSchedule::uniform(1)))
+    }
+
+    #[test]
+    fn lossless_plan_matches_traditional_oracle() {
+        let n = 16;
+        let k = 4;
+        let corner = [4usize, 8, 0];
+        let kernel = GaussianKernel::new(n, 1.2);
+        let sub = sub_field(k);
+        let domain = BoxRegion::new(corner, [corner[0] + k, corner[1] + k, corner[2] + k]);
+        let conv = LocalConvolver::new(n, k, 7);
+        let got = conv
+            .convolve_compressed(&sub, corner, &kernel, dense_plan(n, domain))
+            .reconstruct();
+        let want = TraditionalConvolver::new(n).convolve_subdomain(&sub, corner, &kernel);
+        let err = relative_l2(want.as_slice(), got.as_slice());
+        assert!(err < 1e-10, "lossless pipeline error {err}");
+    }
+
+    #[test]
+    fn corner_at_origin_and_wrapping() {
+        // Sub-domain at the origin and one that makes the decay wrap around
+        // the periodic boundary.
+        let n = 16;
+        let k = 4;
+        let kernel = GaussianKernel::new(n, 1.0);
+        let sub = sub_field(k);
+        for corner in [[0usize, 0, 0], [12, 12, 12]] {
+            let domain =
+                BoxRegion::new(corner, [corner[0] + k, corner[1] + k, corner[2] + k]);
+            let conv = LocalConvolver::new(n, k, 16);
+            let got = conv
+                .convolve_compressed(&sub, corner, &kernel, dense_plan(n, domain))
+                .reconstruct();
+            let want =
+                TraditionalConvolver::new(n).convolve_subdomain(&sub, corner, &kernel);
+            let err = relative_l2(want.as_slice(), got.as_slice());
+            assert!(err < 1e-10, "corner {corner:?} error {err}");
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_result() {
+        let n = 16;
+        let k = 4;
+        let corner = [4usize, 4, 4];
+        let kernel = GaussianKernel::new(n, 1.0);
+        let sub = sub_field(k);
+        let domain = BoxRegion::new(corner, [8, 8, 8]);
+        let plan = dense_plan(n, domain);
+        let base = LocalConvolver::new(n, k, 1)
+            .convolve_compressed(&sub, corner, &kernel, plan.clone());
+        for b in [3, 64, 256, 1024] {
+            let other = LocalConvolver::new(n, k, b)
+                .convolve_compressed(&sub, corner, &kernel, plan.clone());
+            let err = relative_l2(base.samples(), other.samples());
+            assert!(err < 1e-12, "batch {b} changed the result: {err}");
+        }
+    }
+
+    #[test]
+    fn adaptive_plan_error_within_tolerance() {
+        // The paper's end-to-end claim: adaptive compression keeps the
+        // relative L2 error of the sub-domain convolution ≤ 3%.
+        let n = 32;
+        let k = 8;
+        let corner = [0usize, 0, 0];
+        let kernel = GaussianKernel::new(n, 1.0); // sharp: decays within k/2
+        let sub = sub_field(k);
+        // The kernel is centered at n/2, so the hotspot region — where the
+        // octree must sample densely — is the sub-domain shifted by n/2.
+        let domain = BoxRegion::new([n / 2; 3], [n / 2 + k; 3]);
+        let schedule = RateSchedule::for_kernel_spread(k, 1.0, 16);
+        let plan = Arc::new(SamplingPlan::build(n, domain, &schedule));
+        let conv = LocalConvolver::new(n, k, 64);
+        let got = conv
+            .convolve_compressed(&sub, corner, &kernel, plan)
+            .reconstruct();
+        let want = TraditionalConvolver::new(n).convolve_subdomain(&sub, corner, &kernel);
+        let err = relative_l2(want.as_slice(), got.as_slice());
+        assert!(err < 0.03, "adaptive error {err} exceeds the paper's 3%");
+    }
+
+    #[test]
+    fn k_equals_n_degenerates_to_full_grid() {
+        let n = 8;
+        let kernel = GaussianKernel::new(n, 1.0);
+        let sub = sub_field(n);
+        let domain = BoxRegion::cube(n);
+        let conv = LocalConvolver::new(n, n, 16);
+        let got = conv
+            .convolve_compressed(&sub, [0, 0, 0], &kernel, dense_plan(n, domain))
+            .reconstruct();
+        let want = TraditionalConvolver::new(n).convolve(&sub, &kernel);
+        let err = relative_l2(want.as_slice(), got.as_slice());
+        assert!(err < 1e-10, "k=n error {err}");
+    }
+
+    #[test]
+    fn footprint_reports_slab_model() {
+        let n = 64;
+        let k = 8;
+        let conv = LocalConvolver::new(n, k, 128);
+        let domain = BoxRegion::new([0; 3], [k; 3]);
+        let plan = SamplingPlan::build(n, domain, &RateSchedule::paper_default(k, 16));
+        let fp = conv.footprint(&plan);
+        assert_eq!(fp.slab_bytes, 16 * (n as u64) * (n as u64) * (k as u64));
+        assert!(fp.estimated_bytes() < 16 * (n as u64).pow(3), "must beat dense");
+        assert!(fp.actual_bytes() > fp.estimated_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must divide n")]
+    fn invalid_k_rejected() {
+        LocalConvolver::new(10, 3, 1);
+    }
+}

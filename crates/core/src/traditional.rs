@@ -1,0 +1,139 @@
+//! The traditional dense FFT convolution — correctness oracle and baseline.
+//!
+//! Materializes the full N³ complex field, transforms it, multiplies by the
+//! on-the-fly kernel spectrum, and inverse-transforms (Fig. 1a without the
+//! distribution). Memory: 16·N³ bytes live at once — the footprint the
+//! paper's method avoids.
+
+use lcc_fft::{fft_3d, ifft_3d_normalized, Complex64, FftDirection, FftPlanner};
+use lcc_greens::KernelSpectrum;
+use lcc_grid::{BoxRegion, Grid3};
+
+/// Dense FFT convolver at grid size n.
+pub struct TraditionalConvolver {
+    n: usize,
+    planner: FftPlanner,
+}
+
+impl TraditionalConvolver {
+    /// Creates a convolver for an `n³` grid.
+    pub fn new(n: usize) -> Self {
+        TraditionalConvolver { n, planner: FftPlanner::new() }
+    }
+
+    /// Grid size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Cyclically convolves the dense real `input` with `kernel`
+    /// (frequency-domain transfer function), returning the dense result.
+    pub fn convolve(&self, input: &Grid3<f64>, kernel: &dyn KernelSpectrum) -> Grid3<f64> {
+        let n = self.n;
+        assert_eq!(input.shape(), (n, n, n), "input shape mismatch");
+        assert_eq!(kernel.n(), n, "kernel grid mismatch");
+        let mut buf: Vec<Complex64> = input
+            .as_slice()
+            .iter()
+            .map(|&v| Complex64::from_real(v))
+            .collect();
+        fft_3d(&self.planner, &mut buf, (n, n, n), FftDirection::Forward);
+        for fx in 0..n {
+            for fy in 0..n {
+                let base = (fx * n + fy) * n;
+                for fz in 0..n {
+                    buf[base + fz] *= kernel.eval([fx, fy, fz]);
+                }
+            }
+        }
+        ifft_3d_normalized(&self.planner, &mut buf, (n, n, n));
+        Grid3::from_vec((n, n, n), buf.iter().map(|v| v.re).collect())
+    }
+
+    /// Convolves a `k³` sub-domain placed at `corner` inside an otherwise
+    /// zero N³ grid — the per-domain reference the compressed pipeline is
+    /// checked against.
+    pub fn convolve_subdomain(
+        &self,
+        sub: &Grid3<f64>,
+        corner: [usize; 3],
+        kernel: &dyn KernelSpectrum,
+    ) -> Grid3<f64> {
+        let n = self.n;
+        let (kx, ky, kz) = sub.shape();
+        assert!(
+            corner[0] + kx <= n && corner[1] + ky <= n && corner[2] + kz <= n,
+            "sub-domain exceeds grid"
+        );
+        let mut dense = Grid3::zeros((n, n, n));
+        dense.insert(corner, sub);
+        self.convolve(&dense, kernel)
+    }
+
+    /// Peak working-set bytes of this baseline at grid size n
+    /// (input copy + in-place spectrum, complex double).
+    pub fn peak_bytes(&self) -> u64 {
+        16 * (self.n as u64).pow(3)
+    }
+}
+
+/// Extracts a sub-domain box from a dense grid (convenience for
+/// decomposition loops).
+pub fn extract_subdomain(input: &Grid3<f64>, region: &BoxRegion) -> Grid3<f64> {
+    input.extract(region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcc_greens::GaussianKernel;
+
+    #[test]
+    fn convolve_delta_reproduces_kernel_spatial() {
+        let n = 16;
+        let kernel = GaussianKernel::new(n, 1.5);
+        let conv = TraditionalConvolver::new(n);
+        let mut delta = Grid3::zeros((n, n, n));
+        delta[(0, 0, 0)] = 1.0;
+        let out = conv.convolve(&delta, &kernel);
+        let want = kernel.spatial();
+        for ((x, y, z), &v) in out.indexed_iter() {
+            assert!((v - want[(x, y, z)]).abs() < 1e-10, "at ({x},{y},{z})");
+        }
+    }
+
+    #[test]
+    fn convolution_is_linear() {
+        let n = 8;
+        let kernel = GaussianKernel::new(n, 1.0);
+        let conv = TraditionalConvolver::new(n);
+        let a = Grid3::from_fn((n, n, n), |x, y, z| (x + 2 * y + 3 * z) as f64);
+        let b = Grid3::from_fn((n, n, n), |x, y, z| ((x * y) as f64).sin() + z as f64);
+        let sum = Grid3::from_fn((n, n, n), |x, y, z| a[(x, y, z)] + b[(x, y, z)]);
+        let ca = conv.convolve(&a, &kernel);
+        let cb = conv.convolve(&b, &kernel);
+        let cs = conv.convolve(&sum, &kernel);
+        for ((x, y, z), &v) in cs.indexed_iter() {
+            assert!((v - ca[(x, y, z)] - cb[(x, y, z)]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn subdomain_convolution_matches_manual_embedding() {
+        let n = 16;
+        let k = 4;
+        let kernel = GaussianKernel::new(n, 1.0);
+        let conv = TraditionalConvolver::new(n);
+        let sub = Grid3::from_fn((k, k, k), |x, y, z| (x + y + z) as f64 + 1.0);
+        let via_helper = conv.convolve_subdomain(&sub, [4, 8, 0], &kernel);
+        let mut dense = Grid3::zeros((n, n, n));
+        dense.insert([4, 8, 0], &sub);
+        let direct = conv.convolve(&dense, &kernel);
+        assert_eq!(via_helper, direct);
+    }
+
+    #[test]
+    fn peak_bytes_formula() {
+        assert_eq!(TraditionalConvolver::new(64).peak_bytes(), 16 * 64u64.pow(3));
+    }
+}

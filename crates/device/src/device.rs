@@ -1,0 +1,186 @@
+//! The simulated accelerator.
+//!
+//! Substitutes for the paper's NVIDIA V100s (16 GB and 32 GB variants on PSC
+//! Bridges). The device couples the byte-accurate [`MemoryTracker`] with an
+//! analytic timing model (PCIe transfers, kernel throughput) so experiments
+//! can report both "does it fit" (Tables 2, 4) and first-order time costs.
+
+use parking_lot::Mutex;
+
+use crate::memory::{DeviceBuffer, MemoryTracker, OutOfDeviceMemory};
+
+/// Analytic performance model of the accelerator.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfModel {
+    /// Host→device bandwidth, bytes/s.
+    pub h2d_bandwidth: f64,
+    /// Device→host bandwidth, bytes/s.
+    pub d2h_bandwidth: f64,
+    /// Per-transfer setup latency, seconds.
+    pub transfer_latency: f64,
+    /// Sustained effective throughput for FFT-like kernels, flop/s.
+    pub compute_flops: f64,
+    /// Per-kernel launch overhead, seconds.
+    pub launch_latency: f64,
+}
+
+impl PerfModel {
+    /// V100-class numbers: 12 GB/s effective PCIe gen3, ~3 Tflop/s sustained
+    /// double-precision FFT throughput, 10 µs launches.
+    pub fn v100() -> Self {
+        PerfModel {
+            h2d_bandwidth: 12.0e9,
+            d2h_bandwidth: 12.0e9,
+            transfer_latency: 10e-6,
+            compute_flops: 3.0e12,
+            launch_latency: 10e-6,
+        }
+    }
+
+    /// Xeon-class CPU numbers for the FFTW baseline comparison:
+    /// ~60 Gflop/s sustained double-precision, no transfer stage.
+    pub fn xeon_cpu() -> Self {
+        PerfModel {
+            h2d_bandwidth: f64::INFINITY,
+            d2h_bandwidth: f64::INFINITY,
+            transfer_latency: 0.0,
+            compute_flops: 60.0e9,
+            launch_latency: 0.0,
+        }
+    }
+}
+
+/// A simulated accelerator with tracked memory and an accumulating clock.
+pub struct SimDevice {
+    name: String,
+    memory: MemoryTracker,
+    perf: PerfModel,
+    clock: Mutex<f64>,
+}
+
+impl SimDevice {
+    /// Creates a device with the given memory capacity and model.
+    pub fn new(name: impl Into<String>, capacity_bytes: u64, perf: PerfModel) -> Self {
+        SimDevice {
+            name: name.into(),
+            memory: MemoryTracker::new(capacity_bytes),
+            perf,
+            clock: Mutex::new(0.0),
+        }
+    }
+
+    /// The paper's 16 GB V100 (HPE Apollo 6500 node).
+    pub fn v100_16gb() -> Self {
+        SimDevice::new("V100 16GB", 16 * (1 << 30), PerfModel::v100())
+    }
+
+    /// The paper's 32 GB V100 (one GPU of the DGX-2 AI node).
+    pub fn v100_32gb() -> Self {
+        SimDevice::new("V100 32GB", 32 * (1 << 30), PerfModel::v100())
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The memory tracker.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// The performance model.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// Allocates a tracked device buffer.
+    pub fn alloc(&self, bytes: u64, label: &str) -> Result<DeviceBuffer, OutOfDeviceMemory> {
+        self.memory.alloc(bytes, label)
+    }
+
+    /// Charges a host→device transfer to the clock; returns its duration.
+    pub fn transfer_h2d(&self, bytes: u64) -> f64 {
+        let t = self.perf.transfer_latency + bytes as f64 / self.perf.h2d_bandwidth;
+        *self.clock.lock() += t;
+        t
+    }
+
+    /// Charges a device→host transfer to the clock; returns its duration.
+    pub fn transfer_d2h(&self, bytes: u64) -> f64 {
+        let t = self.perf.transfer_latency + bytes as f64 / self.perf.d2h_bandwidth;
+        *self.clock.lock() += t;
+        t
+    }
+
+    /// Charges a kernel of `flops` floating-point operations; returns its
+    /// duration.
+    pub fn launch_kernel(&self, flops: f64) -> f64 {
+        let t = self.perf.launch_latency + flops / self.perf.compute_flops;
+        *self.clock.lock() += t;
+        t
+    }
+
+    /// Total simulated seconds accumulated on this device.
+    pub fn elapsed(&self) -> f64 {
+        *self.clock.lock()
+    }
+
+    /// Resets the simulated clock.
+    pub fn reset_clock(&self) {
+        *self.clock.lock() = 0.0;
+    }
+}
+
+/// Flop count of a batched complex 1D FFT: `5 · len · log₂(len)` per
+/// transform (the standard radix-2 operation count).
+pub fn fft_flops(len: usize, batch: usize) -> f64 {
+    5.0 * len as f64 * (len as f64).log2().max(1.0) * batch as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_capacities() {
+        assert_eq!(SimDevice::v100_16gb().memory().capacity(), 16 << 30);
+        assert_eq!(SimDevice::v100_32gb().memory().capacity(), 32 << 30);
+    }
+
+    #[test]
+    fn clock_accumulates() {
+        let d = SimDevice::new("test", 1 << 30, PerfModel::v100());
+        let t1 = d.transfer_h2d(12_000_000_000); // ~1 s at 12 GB/s
+        assert!((t1 - 1.0).abs() < 0.01);
+        let t2 = d.launch_kernel(3.0e12); // ~1 s at 3 Tflop/s
+        assert!((t2 - 1.0).abs() < 0.01);
+        assert!((d.elapsed() - t1 - t2).abs() < 1e-12);
+        d.reset_clock();
+        assert_eq!(d.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn oom_on_oversubscription() {
+        let d = SimDevice::v100_16gb();
+        assert!(d.alloc(17 << 30, "huge").is_err());
+        let _ok = d.alloc(15 << 30, "big").unwrap();
+        assert!(d.alloc(2 << 30, "more").is_err());
+    }
+
+    #[test]
+    fn fft_flops_scaling() {
+        // Doubling the batch doubles the flops; doubling the length a bit
+        // more than doubles (the log factor).
+        let base = fft_flops(1024, 1);
+        assert_eq!(fft_flops(1024, 2), 2.0 * base);
+        assert!(fft_flops(2048, 1) > 2.0 * base);
+        assert!((base - 5.0 * 1024.0 * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_model_has_no_transfer_cost() {
+        let d = SimDevice::new("cpu", 128 << 30, PerfModel::xeon_cpu());
+        assert_eq!(d.transfer_h2d(1 << 30), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # lcc-device — the simulated accelerator
+//!
+//! Substitute for the paper's V100 GPUs (see DESIGN.md §2): a byte-accurate
+//! tracking allocator with a hard capacity, cuFFT-style plan workspace
+//! modeling, and an analytic transfer/kernel timing model. The paper's
+//! memory-capacity results (Tables 2 and 4) are claims about which buffers
+//! are live simultaneously — exactly what this crate measures.
+
+pub mod cufft_model;
+pub mod device;
+pub mod memory;
+
+pub use cufft_model::{PlanSet, PlanShape};
+pub use device::{fft_flops, PerfModel, SimDevice};
+pub use memory::{DeviceBuffer, MemoryTracker, OutOfDeviceMemory};
+
+/// One gibibyte, for readable capacity math.
+pub const GIB: u64 = 1 << 30;
+
+/// Formats a byte count as GB with two decimals (paper-table style).
+pub fn fmt_gb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_gb_matches_decimal_convention() {
+        assert_eq!(fmt_gb(8_000_000_000), "8.00");
+        assert_eq!(fmt_gb(620_000_000), "0.62");
+    }
+}

@@ -1,0 +1,179 @@
+//! Byte-accurate device memory tracking.
+//!
+//! The paper's Tables 2 and 4 are memory-capacity results: which `(N, k)`
+//! combinations fit in a 16 GB or 32 GB GPU, and how far the *actual* cuFFT
+//! footprint exceeds the algorithmic estimate. We reproduce them with a
+//! tracking allocator: every simulated device buffer charges its size against
+//! a capacity, RAII releases it, and the high-water mark is recorded.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Error returned when an allocation would exceed device capacity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes in use at the time of the request.
+    pub in_use: u64,
+    /// Device capacity.
+    pub capacity: u64,
+    /// Label of the failing allocation.
+    pub label: String,
+}
+
+impl std::fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of device memory: '{}' requested {} B with {} B in use of {} B",
+            self.label, self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+#[derive(Debug, Default)]
+struct MemState {
+    used: u64,
+    peak: u64,
+}
+
+/// A tracked memory arena with a hard capacity.
+#[derive(Clone)]
+pub struct MemoryTracker {
+    capacity: u64,
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemoryTracker { capacity, state: Arc::new(Mutex::new(MemState::default())) }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.state.lock().used
+    }
+
+    /// High-water mark since creation (or the last [`Self::reset_peak`]).
+    pub fn peak(&self) -> u64 {
+        self.state.lock().peak
+    }
+
+    /// Resets the high-water mark to the current usage.
+    pub fn reset_peak(&self) {
+        let mut s = self.state.lock();
+        s.peak = s.used;
+    }
+
+    /// Allocates `bytes`, failing if the capacity would be exceeded.
+    pub fn alloc(&self, bytes: u64, label: &str) -> Result<DeviceBuffer, OutOfDeviceMemory> {
+        let mut s = self.state.lock();
+        if s.used + bytes > self.capacity {
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                in_use: s.used,
+                capacity: self.capacity,
+                label: label.to_string(),
+            });
+        }
+        s.used += bytes;
+        s.peak = s.peak.max(s.used);
+        Ok(DeviceBuffer { bytes, tracker: self.state.clone(), label: label.to_string() })
+    }
+}
+
+/// RAII handle for a tracked allocation; releases its bytes on drop.
+#[derive(Debug)]
+pub struct DeviceBuffer {
+    bytes: u64,
+    tracker: Arc<Mutex<MemState>>,
+    label: String,
+}
+
+impl DeviceBuffer {
+    /// Size of this buffer in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Debug label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl Drop for DeviceBuffer {
+    fn drop(&mut self) {
+        let mut s = self.tracker.lock();
+        debug_assert!(s.used >= self.bytes, "double free in memory tracker");
+        s.used -= self.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    #[test]
+    fn alloc_free_accounting() {
+        let t = MemoryTracker::new(16 * GB);
+        let a = t.alloc(4 * GB, "slab").unwrap();
+        assert_eq!(t.used(), 4 * GB);
+        let b = t.alloc(2 * GB, "pencils").unwrap();
+        assert_eq!(t.used(), 6 * GB);
+        assert_eq!(t.peak(), 6 * GB);
+        drop(a);
+        assert_eq!(t.used(), 2 * GB);
+        assert_eq!(t.peak(), 6 * GB, "peak survives frees");
+        drop(b);
+        assert_eq!(t.used(), 0);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let t = MemoryTracker::new(GB);
+        let _a = t.alloc(GB / 2, "x").unwrap();
+        let err = t.alloc(GB, "too-big").unwrap_err();
+        assert_eq!(err.requested, GB);
+        assert_eq!(err.in_use, GB / 2);
+        assert!(err.to_string().contains("too-big"));
+    }
+
+    #[test]
+    fn exact_fit_allowed() {
+        let t = MemoryTracker::new(100);
+        let _a = t.alloc(100, "all").unwrap();
+        assert!(t.alloc(1, "over").is_err());
+    }
+
+    #[test]
+    fn reset_peak() {
+        let t = MemoryTracker::new(GB);
+        {
+            let _a = t.alloc(GB / 2, "x").unwrap();
+        }
+        assert_eq!(t.peak(), GB / 2);
+        t.reset_peak();
+        assert_eq!(t.peak(), 0);
+    }
+
+    #[test]
+    fn buffer_metadata() {
+        let t = MemoryTracker::new(GB);
+        let a = t.alloc(123, "labelled").unwrap();
+        assert_eq!(a.bytes(), 123);
+        assert_eq!(a.label(), "labelled");
+    }
+}

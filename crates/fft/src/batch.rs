@@ -1,0 +1,322 @@
+//! Batched, strided pencil transforms over 3D row-major buffers.
+//!
+//! A 3D array of shape `(n0, n1, n2)` stored row-major (axis 2 contiguous)
+//! is transformed one axis at a time as a *batch of 1D pencils*. This is the
+//! exact structure the paper's pipeline needs: the slab stage is a batch of
+//! x/y transforms, the pencil stage a batch of z transforms processed `B`
+//! pencils at a time.
+//!
+//! Pencils along a non-contiguous axis are gathered into thread-local scratch,
+//! transformed, and scattered back. Work is distributed with rayon.
+
+use rayon::prelude::*;
+
+use crate::complex::Complex64;
+use crate::planner::{FftPlan, FftPlanner};
+use crate::FftDirection;
+
+/// Shape of a row-major 3D buffer.
+pub type Dims3 = (usize, usize, usize);
+
+/// Raw pointer wrapper that lets disjoint pencil tasks share the buffer.
+///
+/// Safety contract: every task derived from this pointer must touch a set of
+/// indices disjoint from every other task's. The axis helpers below guarantee
+/// this by assigning each task a unique pencil base offset; a pencil along
+/// axis `a` with base `(i, j)` covers exactly the indices
+/// `{base + t·stride}`, which are distinct across distinct bases.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut Complex64);
+// SAFETY: see the disjointness contract above; the pointer itself is just an
+// address, sending it between threads is safe as long as accesses stay
+// disjoint, which the offset construction guarantees.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Checks `dims` describes `data` exactly.
+fn check_dims(data: &[Complex64], dims: Dims3) {
+    assert_eq!(
+        data.len(),
+        dims.0 * dims.1 * dims.2,
+        "buffer length {} does not match dims {:?}",
+        data.len(),
+        dims
+    );
+}
+
+/// Transforms every pencil along `axis` of the row-major `data`.
+pub fn fft_axis(
+    planner: &FftPlanner,
+    data: &mut [Complex64],
+    dims: Dims3,
+    axis: usize,
+    direction: FftDirection,
+) {
+    check_dims(data, dims);
+    let (n0, n1, n2) = dims;
+    let (len, stride, offsets): (usize, usize, Vec<usize>) = match axis {
+        0 => {
+            let offs = (0..n1)
+                .flat_map(|i1| (0..n2).map(move |i2| i1 * n2 + i2))
+                .collect();
+            (n0, n1 * n2, offs)
+        }
+        1 => {
+            let offs = (0..n0)
+                .flat_map(|i0| (0..n2).map(move |i2| i0 * n1 * n2 + i2))
+                .collect();
+            (n1, n2, offs)
+        }
+        2 => {
+            let offs = (0..n0)
+                .flat_map(|i0| (0..n1).map(move |i1| i0 * n1 * n2 + i1 * n2))
+                .collect();
+            (n2, 1, offs)
+        }
+        _ => panic!("axis must be 0, 1 or 2, got {axis}"),
+    };
+    if len == 0 || offsets.is_empty() {
+        return;
+    }
+    let plan = planner.plan(len, direction);
+    process_pencils(data, &offsets, stride, &plan);
+}
+
+/// Transforms the given disjoint pencils (defined by base `offsets`, common
+/// `stride`, and the plan's length) in parallel.
+fn process_pencils(data: &mut [Complex64], offsets: &[usize], stride: usize, plan: &FftPlan) {
+    let len = plan.len();
+    // Bounds check up front so the unsafe below cannot go out of range.
+    let max_needed = offsets
+        .iter()
+        .map(|&o| o + (len - 1) * stride)
+        .max()
+        .unwrap_or(0);
+    assert!(max_needed < data.len(), "pencil exceeds buffer bounds");
+
+    let ptr = SendPtr(data.as_mut_ptr());
+    if stride == 1 {
+        // Contiguous pencils: transform in place without gather/scatter.
+        offsets.par_iter().for_each(|&off| {
+            let ptr = ptr;
+            // SAFETY: offsets are distinct pencil bases; contiguous ranges
+            // [off, off+len) are disjoint across tasks and in bounds.
+            let pencil =
+                unsafe { std::slice::from_raw_parts_mut(ptr.0.add(off), len) };
+            plan.process(pencil);
+        });
+    } else {
+        offsets.par_iter().for_each_init(
+            || vec![Complex64::ZERO; len],
+            |scratch, &off| {
+                let ptr = ptr;
+                for (t, s) in scratch.iter_mut().enumerate() {
+                    // SAFETY: disjoint strided index sets per task, in bounds
+                    // by the assert above.
+                    *s = unsafe { *ptr.0.add(off + t * stride) };
+                }
+                plan.process(scratch);
+                for (t, s) in scratch.iter().enumerate() {
+                    // SAFETY: as above.
+                    unsafe { *ptr.0.add(off + t * stride) = *s };
+                }
+            },
+        );
+    }
+}
+
+/// Transforms a subset of axis-2 pencils given by `(i0, i1)` pairs.
+///
+/// Used by the streaming pipeline to process a *batch* of `B` pencils at a
+/// time (the paper's batch parameter).
+pub fn fft_axis2_batch(
+    planner: &FftPlanner,
+    data: &mut [Complex64],
+    dims: Dims3,
+    pencils: &[(usize, usize)],
+    direction: FftDirection,
+) {
+    check_dims(data, dims);
+    let (_, n1, n2) = dims;
+    let offsets: Vec<usize> = pencils
+        .iter()
+        .map(|&(i0, i1)| {
+            assert!(i0 < dims.0 && i1 < n1, "pencil index out of range");
+            i0 * n1 * n2 + i1 * n2
+        })
+        .collect();
+    // Reject duplicate pencils: they would alias mutable access.
+    {
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), offsets.len(), "duplicate pencils in batch");
+    }
+    if offsets.is_empty() {
+        return;
+    }
+    let plan = planner.plan(n2, direction);
+    process_pencils(data, &offsets, 1, &plan);
+}
+
+/// Applies a scalar multiply to the whole buffer (e.g. inverse normalization).
+pub fn scale_in_place(data: &mut [Complex64], s: f64) {
+    data.par_iter_mut().for_each(|v| *v *= s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::dft::dft;
+
+    fn fill(dims: Dims3) -> Vec<Complex64> {
+        let (n0, n1, n2) = dims;
+        (0..n0 * n1 * n2)
+            .map(|i| c64((i as f64 * 0.17).sin(), (i as f64 * 0.05).cos()))
+            .collect()
+    }
+
+    fn reference_axis(data: &[Complex64], dims: Dims3, axis: usize, dir: FftDirection) -> Vec<Complex64> {
+        let (n0, n1, n2) = dims;
+        let mut out = data.to_vec();
+        let idx = |i0: usize, i1: usize, i2: usize| i0 * n1 * n2 + i1 * n2 + i2;
+        match axis {
+            0 => {
+                for i1 in 0..n1 {
+                    for i2 in 0..n2 {
+                        let pencil: Vec<Complex64> =
+                            (0..n0).map(|i0| data[idx(i0, i1, i2)]).collect();
+                        let t = dft(&pencil, dir);
+                        for i0 in 0..n0 {
+                            out[idx(i0, i1, i2)] = t[i0];
+                        }
+                    }
+                }
+            }
+            1 => {
+                for i0 in 0..n0 {
+                    for i2 in 0..n2 {
+                        let pencil: Vec<Complex64> =
+                            (0..n1).map(|i1| data[idx(i0, i1, i2)]).collect();
+                        let t = dft(&pencil, dir);
+                        for i1 in 0..n1 {
+                            out[idx(i0, i1, i2)] = t[i1];
+                        }
+                    }
+                }
+            }
+            2 => {
+                for i0 in 0..n0 {
+                    for i1 in 0..n1 {
+                        let pencil: Vec<Complex64> =
+                            (0..n2).map(|i2| data[idx(i0, i1, i2)]).collect();
+                        let t = dft(&pencil, dir);
+                        for i2 in 0..n2 {
+                            out[idx(i0, i1, i2)] = t[i2];
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+        out
+    }
+
+    #[test]
+    fn each_axis_matches_reference() {
+        let planner = FftPlanner::new();
+        let dims = (4, 6, 8);
+        for axis in 0..3 {
+            let mut data = fill(dims);
+            let expect = reference_axis(&data, dims, axis, FftDirection::Forward);
+            fft_axis(&planner, &mut data, dims, axis, FftDirection::Forward);
+            for (a, b) in data.iter().zip(&expect) {
+                assert!((*a - *b).norm() < 1e-8, "axis={axis}");
+            }
+        }
+    }
+
+    #[test]
+    fn axes_commute() {
+        let planner = FftPlanner::new();
+        let dims = (4, 4, 4);
+        let base = fill(dims);
+        let mut ab = base.clone();
+        fft_axis(&planner, &mut ab, dims, 0, FftDirection::Forward);
+        fft_axis(&planner, &mut ab, dims, 2, FftDirection::Forward);
+        let mut ba = base.clone();
+        fft_axis(&planner, &mut ba, dims, 2, FftDirection::Forward);
+        fft_axis(&planner, &mut ba, dims, 0, FftDirection::Forward);
+        for (a, b) in ab.iter().zip(&ba) {
+            assert!((*a - *b).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn batch_subset_matches_full_axis2() {
+        let planner = FftPlanner::new();
+        let dims = (3, 5, 8);
+        let mut full = fill(dims);
+        let mut batched = full.clone();
+        fft_axis(&planner, &mut full, dims, 2, FftDirection::Forward);
+        // Two batches covering all pencils.
+        let all: Vec<(usize, usize)> =
+            (0..3).flat_map(|i0| (0..5).map(move |i1| (i0, i1))).collect();
+        fft_axis2_batch(&planner, &mut batched, dims, &all[..7], FftDirection::Forward);
+        fft_axis2_batch(&planner, &mut batched, dims, &all[7..], FftDirection::Forward);
+        for (a, b) in full.iter().zip(&batched) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_axes() {
+        let planner = FftPlanner::new();
+        let dims = (4, 8, 2);
+        let base = fill(dims);
+        let mut data = base.clone();
+        for axis in 0..3 {
+            fft_axis(&planner, &mut data, dims, axis, FftDirection::Forward);
+        }
+        for axis in 0..3 {
+            fft_axis(&planner, &mut data, dims, axis, FftDirection::Inverse);
+        }
+        let n = (4 * 8 * 2) as f64;
+        for (a, b) in base.iter().zip(&data) {
+            assert!((*a * n - *b).norm() < 1e-7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pencils")]
+    fn duplicate_batch_pencils_rejected() {
+        let planner = FftPlanner::new();
+        let dims = (2, 2, 4);
+        let mut data = fill(dims);
+        fft_axis2_batch(
+            &planner,
+            &mut data,
+            dims,
+            &[(0, 0), (0, 0)],
+            FftDirection::Forward,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dims")]
+    fn wrong_dims_rejected() {
+        let planner = FftPlanner::new();
+        let mut data = fill((2, 2, 2));
+        fft_axis(&planner, &mut data, (2, 2, 3), 0, FftDirection::Forward);
+    }
+
+    #[test]
+    fn scale_in_place_scales() {
+        let mut data = vec![c64(2.0, -4.0); 16];
+        scale_in_place(&mut data, 0.5);
+        for v in data {
+            assert_eq!(v, c64(1.0, -2.0));
+        }
+    }
+}

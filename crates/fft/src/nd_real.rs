@@ -1,0 +1,157 @@
+//! Real-input 3D transforms (r2c / c2r).
+//!
+//! The paper's pipelines transform *real* stress/strain fields ("RDFT
+//! converts small cube into slab", Fig. 5), halving the innermost axis via
+//! Hermitian symmetry: a real `(n0, n1, n2)` field transforms into
+//! `(n0, n1, n2/2 + 1)` non-redundant complex bins. These helpers compose
+//! the packed 1D real kernels of [`crate::real`] with the batched complex
+//! axis transforms.
+
+use rayon::prelude::*;
+
+use crate::batch::{fft_axis, Dims3};
+use crate::complex::Complex64;
+use crate::planner::FftPlanner;
+use crate::real::{RealFft, RealIfft};
+use crate::FftDirection;
+
+/// Forward r2c 3D transform: real row-major `(n0, n1, n2)` input →
+/// complex `(n0, n1, n2/2 + 1)` half-spectrum (unnormalized).
+pub fn fft_3d_r2c(
+    planner: &FftPlanner,
+    input: &[f64],
+    dims: Dims3,
+) -> Vec<Complex64> {
+    let (n0, n1, n2) = dims;
+    assert_eq!(input.len(), n0 * n1 * n2, "input shape mismatch");
+    assert!(n2 % 2 == 0 && n2 >= 2, "innermost axis must be even");
+    let h = n2 / 2 + 1;
+    let r2c = RealFft::new(planner, n2);
+    let mut out = vec![Complex64::ZERO; n0 * n1 * h];
+    out.par_chunks_mut(h)
+        .zip(input.par_chunks(n2))
+        .for_each(|(spec, row)| {
+            r2c.process(row, spec);
+        });
+    // Remaining axes are plain complex transforms over the half grid.
+    fft_axis(planner, &mut out, (n0, n1, h), 1, FftDirection::Forward);
+    fft_axis(planner, &mut out, (n0, n1, h), 0, FftDirection::Forward);
+    out
+}
+
+/// Inverse c2r 3D transform (normalized): half-spectrum
+/// `(n0, n1, n2/2 + 1)` → real `(n0, n1, n2)`, such that
+/// `ifft_3d_c2r(fft_3d_r2c(x)) == x`.
+pub fn ifft_3d_c2r(
+    planner: &FftPlanner,
+    spectrum: &[Complex64],
+    dims: Dims3,
+) -> Vec<f64> {
+    let (n0, n1, n2) = dims;
+    assert!(n2 % 2 == 0 && n2 >= 2, "innermost axis must be even");
+    let h = n2 / 2 + 1;
+    assert_eq!(spectrum.len(), n0 * n1 * h, "spectrum shape mismatch");
+    let mut spec = spectrum.to_vec();
+    fft_axis(planner, &mut spec, (n0, n1, h), 0, FftDirection::Inverse);
+    fft_axis(planner, &mut spec, (n0, n1, h), 1, FftDirection::Inverse);
+    let c2r = RealIfft::new(planner, n2);
+    let mut out = vec![0.0f64; n0 * n1 * n2];
+    let scale = 1.0 / (n0 * n1 * n2) as f64;
+    out.par_chunks_mut(n2)
+        .zip(spec.par_chunks(h))
+        .for_each(|(row, sp)| {
+            c2r.process(sp, row);
+            for v in row.iter_mut() {
+                *v *= scale;
+            }
+        });
+    out
+}
+
+/// Half-spectrum bytes vs full complex spectrum bytes for a cubic grid —
+/// the memory factor the real transforms buy (≈ 2×).
+pub fn r2c_memory_factor(n: usize) -> f64 {
+    (n * n * n) as f64 / (n * n * (n / 2 + 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nd::fft_3d;
+
+    fn real_field(dims: Dims3) -> Vec<f64> {
+        (0..dims.0 * dims.1 * dims.2)
+            .map(|i| (i as f64 * 0.17).sin() + 0.3 * (i as f64 * 0.05).cos())
+            .collect()
+    }
+
+    #[test]
+    fn half_spectrum_matches_complex_transform() {
+        let dims = (4, 6, 8);
+        let planner = FftPlanner::new();
+        let x = real_field(dims);
+        let half = fft_3d_r2c(&planner, &x, dims);
+        let mut full: Vec<Complex64> =
+            x.iter().map(|&v| Complex64::from_real(v)).collect();
+        fft_3d(&planner, &mut full, dims, FftDirection::Forward);
+        let h = dims.2 / 2 + 1;
+        for f0 in 0..dims.0 {
+            for f1 in 0..dims.1 {
+                for f2 in 0..h {
+                    let got = half[(f0 * dims.1 + f1) * h + f2];
+                    let want = full[(f0 * dims.1 + f1) * dims.2 + f2];
+                    assert!(
+                        (got - want).norm() < 1e-9,
+                        "bin ({f0},{f1},{f2}): {got:?} vs {want:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn r2c_c2r_roundtrip() {
+        for dims in [(2usize, 2usize, 4usize), (4, 4, 4), (3, 5, 8), (8, 2, 16)] {
+            let planner = FftPlanner::new();
+            let x = real_field(dims);
+            let spec = fft_3d_r2c(&planner, &x, dims);
+            let back = ifft_3d_c2r(&planner, &spec, dims);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "dims {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_symmetry_in_remaining_axes() {
+        // X[f0, f1, f2] = conj(X[-f0, -f1, -f2]) must hold for the stored
+        // half; check via the redundant bins of the full transform.
+        let dims = (4, 4, 4);
+        let planner = FftPlanner::new();
+        let x = real_field(dims);
+        let half = fft_3d_r2c(&planner, &x, dims);
+        let h = dims.2 / 2 + 1;
+        for f0 in 0..dims.0 {
+            for f1 in 0..dims.1 {
+                // f2 = 0 plane: X[f0, f1, 0] = conj(X[n0-f0, n1-f1, 0]).
+                let a = half[(f0 * dims.1 + f1) * h];
+                let b = half[(((dims.0 - f0) % dims.0) * dims.1 + (dims.1 - f1) % dims.1) * h];
+                assert!((a - b.conj()).norm() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_factor_near_two() {
+        // n/(n/2+1): 64/33 ≈ 1.94, approaching 2 as n grows.
+        assert!((r2c_memory_factor(64) - 64.0 / 33.0).abs() < 1e-12);
+        assert!(r2c_memory_factor(1024) > 1.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_innermost_axis_rejected() {
+        let planner = FftPlanner::new();
+        fft_3d_r2c(&planner, &[0.0; 27], (3, 3, 3));
+    }
+}

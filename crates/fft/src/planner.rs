@@ -1,0 +1,183 @@
+//! Plan construction and caching.
+//!
+//! [`FftPlanner`] hands out `Arc`-shared, immutable plans keyed by
+//! `(length, direction)`. Planning a power-of-two size yields the radix-2
+//! kernel; tiny non-power-of-two sizes fall back to the O(n²) oracle (cheaper
+//! than Bluestein bookkeeping); everything else uses Bluestein.
+//!
+//! The planner is `Send + Sync` (cache behind a `parking_lot::Mutex`) so one
+//! planner can serve a rayon pool — the hot path after warm-up is a single
+//! short-lived lock to clone an `Arc`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::bluestein::BluesteinFft;
+use crate::complex::Complex64;
+use crate::dft::dft_into;
+use crate::radix4::Radix4Fft;
+use crate::{Fft, FftDirection};
+
+/// Threshold below which non-power-of-two sizes use the naive DFT.
+const SMALL_DFT_LIMIT: usize = 16;
+
+/// A planned naive DFT, used for tiny awkward sizes.
+struct SmallDft {
+    len: usize,
+    direction: FftDirection,
+}
+
+impl Fft for SmallDft {
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn direction(&self) -> FftDirection {
+        self.direction
+    }
+    fn process(&self, buf: &mut [Complex64]) {
+        assert_eq!(buf.len(), self.len);
+        let mut out = vec![Complex64::ZERO; self.len];
+        dft_into(buf, &mut out, self.direction);
+        buf.copy_from_slice(&out);
+    }
+}
+
+/// Shared handle to a planned transform.
+pub type FftPlan = Arc<dyn Fft + Send + Sync>;
+
+/// Creates and caches FFT plans.
+#[derive(Default)]
+pub struct FftPlanner {
+    cache: Mutex<HashMap<(usize, FftDirection), FftPlan>>,
+}
+
+impl FftPlanner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a plan for length `n` in `direction`, creating it on first use.
+    pub fn plan(&self, n: usize, direction: FftDirection) -> FftPlan {
+        assert!(n >= 1, "cannot plan a zero-length FFT");
+        if let Some(p) = self.cache.lock().get(&(n, direction)) {
+            return p.clone();
+        }
+        // Build outside the lock: Bluestein planning runs an inner FFT.
+        // Power-of-two sizes take the mixed radix-4/2 kernel (fewer
+        // multiplies than pure radix-2, identical results).
+        let plan: FftPlan = if n.is_power_of_two() {
+            Arc::new(Radix4Fft::new(n, direction))
+        } else if n < SMALL_DFT_LIMIT {
+            Arc::new(SmallDft { len: n, direction })
+        } else {
+            Arc::new(BluesteinFft::new(n, direction))
+        };
+        let mut cache = self.cache.lock();
+        cache.entry((n, direction)).or_insert(plan).clone()
+    }
+
+    /// Convenience: forward plan.
+    pub fn plan_forward(&self, n: usize) -> FftPlan {
+        self.plan(n, FftDirection::Forward)
+    }
+
+    /// Convenience: inverse plan (unnormalized, like FFTW).
+    pub fn plan_inverse(&self, n: usize) -> FftPlan {
+        self.plan(n, FftDirection::Inverse)
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+/// Transforms `buf` in place using a cached plan from `planner`.
+pub fn fft_in_place(planner: &FftPlanner, buf: &mut [Complex64], direction: FftDirection) {
+    planner.plan(buf.len(), direction).process(buf);
+}
+
+/// Inverse transform with 1/n normalization, so
+/// `ifft_normalized(fft(x)) == x`.
+pub fn ifft_normalized(planner: &FftPlanner, buf: &mut [Complex64]) {
+    let n = buf.len();
+    planner.plan(n, FftDirection::Inverse).process(buf);
+    let s = 1.0 / n as f64;
+    for v in buf.iter_mut() {
+        *v *= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::dft::dft;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n).map(|i| c64((i as f64).sin(), (i as f64 * 0.3).cos())).collect()
+    }
+
+    #[test]
+    fn planner_covers_all_strategies() {
+        let planner = FftPlanner::new();
+        for n in [1usize, 2, 3, 4, 5, 8, 9, 13, 16, 20, 100, 128] {
+            let x = signal(n);
+            let expect = dft(&x, FftDirection::Forward);
+            let mut buf = x.clone();
+            fft_in_place(&planner, &mut buf, FftDirection::Forward);
+            for (a, b) in buf.iter().zip(&expect) {
+                assert!((*a - *b).norm() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_cached_and_shared() {
+        let planner = FftPlanner::new();
+        let p1 = planner.plan_forward(64);
+        let p2 = planner.plan_forward(64);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(planner.cached_plans(), 1);
+        planner.plan_inverse(64);
+        assert_eq!(planner.cached_plans(), 2);
+    }
+
+    #[test]
+    fn normalized_inverse_roundtrips() {
+        let planner = FftPlanner::new();
+        for n in [7, 32, 48] {
+            let x = signal(n);
+            let mut buf = x.clone();
+            fft_in_place(&planner, &mut buf, FftDirection::Forward);
+            ifft_normalized(&planner, &mut buf);
+            for (a, b) in x.iter().zip(&buf) {
+                assert!((*a - *b).norm() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn planner_is_sync_across_threads() {
+        let planner = std::sync::Arc::new(FftPlanner::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = planner.clone();
+                s.spawn(move || {
+                    let mut buf = signal(256);
+                    fft_in_place(&p, &mut buf, FftDirection::Forward);
+                });
+            }
+        });
+        assert!(planner.cached_plans() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_panics() {
+        FftPlanner::new().plan_forward(0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Iterative radix-2 decimation-in-time FFT for power-of-two sizes.
+//!
+//! The classic in-place Cooley-Tukey scheme: bit-reversal permutation followed
+//! by log₂(n) butterfly stages. Twiddle factors are precomputed once per plan
+//! and shared across invocations; the per-stage twiddle for butterfly `j` at
+//! stage size `m` is `w^{j·n/m}`, read from a single stride-indexed table.
+
+use crate::complex::Complex64;
+use crate::{Fft, FftDirection};
+
+/// A planned radix-2 FFT of fixed power-of-two length and direction.
+pub struct Radix2Fft {
+    len: usize,
+    direction: FftDirection,
+    /// `w^j = e^{sign·2πi·j/n}` for `j in 0..n/2`.
+    twiddles: Vec<Complex64>,
+    /// Precomputed bit-reversal permutation (target index for each source).
+    bitrev: Vec<u32>,
+}
+
+impl Radix2Fft {
+    /// Plans a transform of length `n` (must be a power of two, n ≥ 1).
+    pub fn new(n: usize, direction: FftDirection) -> Self {
+        assert!(n.is_power_of_two(), "Radix2Fft requires power-of-two length, got {n}");
+        assert!(n <= u32::MAX as usize, "length too large for bit-reversal table");
+        let sign = direction.angle_sign();
+        let step = sign * 2.0 * std::f64::consts::PI / n as f64;
+        let twiddles = (0..n / 2).map(|j| Complex64::cis(step * j as f64)).collect();
+
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+
+        Radix2Fft { len: n, direction, twiddles, bitrev }
+    }
+
+    #[inline]
+    fn permute(&self, buf: &mut [Complex64]) {
+        for (i, &r) in self.bitrev.iter().enumerate() {
+            let r = r as usize;
+            if i < r {
+                buf.swap(i, r);
+            }
+        }
+    }
+}
+
+impl Fft for Radix2Fft {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn direction(&self) -> FftDirection {
+        self.direction
+    }
+
+    fn process(&self, buf: &mut [Complex64]) {
+        let n = self.len;
+        assert_eq!(buf.len(), n, "buffer length must equal plan length");
+        if n <= 1 {
+            return;
+        }
+        self.permute(buf);
+
+        // Stage m = 2: twiddle is always 1, unrolled without multiplies.
+        let mut i = 0;
+        while i < n {
+            let a = buf[i];
+            let b = buf[i + 1];
+            buf[i] = a + b;
+            buf[i + 1] = a - b;
+            i += 2;
+        }
+
+        let mut m = 4;
+        while m <= n {
+            let half = m / 2;
+            let stride = n / m;
+            let mut base = 0;
+            while base < n {
+                // j = 0 butterfly: twiddle 1.
+                let a = buf[base];
+                let b = buf[base + half];
+                buf[base] = a + b;
+                buf[base + half] = a - b;
+                for j in 1..half {
+                    let w = self.twiddles[j * stride];
+                    let a = buf[base + j];
+                    let b = buf[base + j + half] * w;
+                    buf[base + j] = a + b;
+                    buf[base + j + half] = a - b;
+                }
+                base += m;
+            }
+            m <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::dft::dft;
+
+    fn ramp(n: usize) -> Vec<Complex64> {
+        (0..n).map(|i| c64(i as f64 + 0.5, (n - i) as f64 * 0.25)).collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).norm()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_dft_all_pow2_up_to_1024() {
+        for log in 0..=10 {
+            let n = 1usize << log;
+            let x = ramp(n);
+            let expect = dft(&x, FftDirection::Forward);
+            let plan = Radix2Fft::new(n, FftDirection::Forward);
+            let mut buf = x.clone();
+            plan.process(&mut buf);
+            assert!(
+                max_err(&buf, &expect) < 1e-7 * n as f64,
+                "mismatch at n={n}: {}",
+                max_err(&buf, &expect)
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_matches_dft() {
+        let n = 64;
+        let x = ramp(n);
+        let expect = dft(&x, FftDirection::Inverse);
+        let plan = Radix2Fft::new(n, FftDirection::Inverse);
+        let mut buf = x;
+        plan.process(&mut buf);
+        assert!(max_err(&buf, &expect) < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_scales_by_n() {
+        let n = 256;
+        let x = ramp(n);
+        let fwd = Radix2Fft::new(n, FftDirection::Forward);
+        let inv = Radix2Fft::new(n, FftDirection::Inverse);
+        let mut buf = x.clone();
+        fwd.process(&mut buf);
+        inv.process(&mut buf);
+        for (a, b) in x.iter().zip(&buf) {
+            assert!((*a * n as f64 - *b).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn len_one_is_identity() {
+        let plan = Radix2Fft::new(1, FftDirection::Forward);
+        let mut buf = vec![c64(3.0, 4.0)];
+        plan.process(&mut buf);
+        assert_eq!(buf[0], c64(3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_pow2() {
+        Radix2Fft::new(12, FftDirection::Forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn rejects_wrong_buffer() {
+        let plan = Radix2Fft::new(8, FftDirection::Forward);
+        let mut buf = vec![Complex64::ZERO; 4];
+        plan.process(&mut buf);
+    }
+}

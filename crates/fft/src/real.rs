@@ -1,0 +1,244 @@
+//! Real-to-complex (r2c) and complex-to-real (c2r) transforms.
+//!
+//! The MASSIF pipeline transforms real stress/strain fields and multiplies by
+//! a real-valued Green's operator (the paper picks a centered Gaussian in the
+//! POC so that "the Fourier transform of the Gaussian is real-valued"). Real
+//! transforms halve both memory and flops by exploiting Hermitian symmetry:
+//! an even-length real signal of length `n` is packed into an `n/2`-point
+//! complex FFT and untangled into the `n/2 + 1` non-redundant bins.
+//!
+//! Conventions match FFTW: `r2c` computes the unnormalized forward DFT's
+//! half spectrum; `c2r` computes the unnormalized inverse, so
+//! `c2r(r2c(x)) == n·x`.
+
+use crate::complex::{c64, Complex64};
+use crate::planner::FftPlanner;
+use crate::FftDirection;
+
+/// Planned real-input forward transform of even length `n`.
+pub struct RealFft {
+    n: usize,
+    half_plan: crate::planner::FftPlan,
+    /// `e^{-2πi j / n}` for `j in 0..n/2`.
+    twiddles: Vec<Complex64>,
+}
+
+impl RealFft {
+    /// Plans an r2c transform of even length `n ≥ 2`.
+    pub fn new(planner: &FftPlanner, n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "RealFft requires even n >= 2, got {n}");
+        let half = n / 2;
+        let step = -2.0 * std::f64::consts::PI / n as f64;
+        RealFft {
+            n,
+            half_plan: planner.plan(half, FftDirection::Forward),
+            twiddles: (0..half).map(|j| Complex64::cis(step * j as f64)).collect(),
+        }
+    }
+
+    /// Real input length n.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; kept for clippy's len-without-is-empty lint.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of output bins, `n/2 + 1`.
+    pub fn output_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Computes the half spectrum `X[0..=n/2]` of the real `input`.
+    pub fn process(&self, input: &[f64], output: &mut [Complex64]) {
+        let n = self.n;
+        let half = n / 2;
+        assert_eq!(input.len(), n, "input must have length n");
+        assert_eq!(output.len(), half + 1, "output must have length n/2+1");
+
+        // Pack pairs into a half-length complex signal z[j] = x[2j] + i·x[2j+1].
+        let mut z: Vec<Complex64> = (0..half)
+            .map(|j| c64(input[2 * j], input[2 * j + 1]))
+            .collect();
+        self.half_plan.process(&mut z);
+
+        // Untangle: E[j] = FFT(even), O[j] = FFT(odd), X[j] = E[j] + w^j O[j].
+        output[0] = c64(z[0].re + z[0].im, 0.0);
+        output[half] = c64(z[0].re - z[0].im, 0.0);
+        for j in 1..half {
+            let a = z[j];
+            let b = z[half - j].conj();
+            let e = (a + b).scale(0.5);
+            let o = (a - b).scale(0.5).mul_neg_i();
+            output[j] = e + self.twiddles[j] * o;
+        }
+        if half >= 2 {
+            // Middle bin when half is even is covered by the loop; nothing
+            // extra needed — bins j and half-j are both written.
+        }
+    }
+
+    /// Allocating convenience wrapper.
+    pub fn transform(&self, input: &[f64]) -> Vec<Complex64> {
+        let mut out = vec![Complex64::ZERO; self.output_len()];
+        self.process(input, &mut out);
+        out
+    }
+}
+
+/// Planned complex-to-real inverse transform of even length `n`.
+pub struct RealIfft {
+    n: usize,
+    half_plan: crate::planner::FftPlan,
+    /// `e^{+2πi j / n}` for `j in 0..n/2`.
+    twiddles: Vec<Complex64>,
+}
+
+impl RealIfft {
+    /// Plans a c2r transform of even length `n ≥ 2`.
+    pub fn new(planner: &FftPlanner, n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "RealIfft requires even n >= 2, got {n}");
+        let half = n / 2;
+        let step = 2.0 * std::f64::consts::PI / n as f64;
+        RealIfft {
+            n,
+            half_plan: planner.plan(half, FftDirection::Inverse),
+            twiddles: (0..half).map(|j| Complex64::cis(step * j as f64)).collect(),
+        }
+    }
+
+    /// Real output length n.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; kept for clippy's len-without-is-empty lint.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Reconstructs the real signal (scaled by n) from the half spectrum.
+    ///
+    /// The imaginary parts of `spectrum[0]` and `spectrum[n/2]` are ignored,
+    /// as Hermitian symmetry forces them to zero.
+    pub fn process(&self, spectrum: &[Complex64], output: &mut [f64]) {
+        let n = self.n;
+        let half = n / 2;
+        assert_eq!(spectrum.len(), half + 1, "spectrum must have length n/2+1");
+        assert_eq!(output.len(), n, "output must have length n");
+
+        // Retangle: Z[j] = E[j] + i·O[j] where
+        //   E[j] = (X[j] + X*[half-j]) / 2
+        //   O[j] = w^{-j} (X[j] − X*[half-j]) / 2   (w = e^{-2πi/n})
+        // and the inverse half FFT recovers z[j] = x[2j] + i·x[2j+1], ×half.
+        let mut z = vec![Complex64::ZERO; half];
+        z[0] = c64(
+            0.5 * (spectrum[0].re + spectrum[half].re),
+            0.5 * (spectrum[0].re - spectrum[half].re),
+        );
+        for j in 1..half {
+            let xj = spectrum[j];
+            let xc = spectrum[half - j].conj();
+            let e = (xj + xc).scale(0.5);
+            let wo = (xj - xc).scale(0.5); // = w^j · O[j]
+            let o = self.twiddles[j] * wo;
+            z[j] = e + o.mul_i();
+        }
+        self.half_plan.process(&mut z);
+        // Unnormalized half inverse gives half·z; the packing identity wants
+        // total scale n = 2·half, so multiply by 2.
+        for (j, v) in z.iter().enumerate() {
+            output[2 * j] = 2.0 * v.re;
+            output[2 * j + 1] = 2.0 * v.im;
+        }
+    }
+
+    /// Allocating convenience wrapper.
+    pub fn transform(&self, spectrum: &[Complex64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.process(spectrum, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64).collect()
+    }
+
+    #[test]
+    fn r2c_matches_complex_dft() {
+        let planner = FftPlanner::new();
+        for n in [2usize, 4, 6, 8, 16, 30, 64, 128] {
+            let x = real_signal(n);
+            let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
+            let full = dft(&xc, FftDirection::Forward);
+            let plan = RealFft::new(&planner, n);
+            let half = plan.transform(&x);
+            for j in 0..=n / 2 {
+                assert!((half[j] - full[j]).norm() < 1e-8 * n as f64, "n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn c2r_roundtrip_scales_by_n() {
+        let planner = FftPlanner::new();
+        for n in [4usize, 8, 20, 64] {
+            let x = real_signal(n);
+            let fwd = RealFft::new(&planner, n);
+            let inv = RealIfft::new(&planner, n);
+            let spec = fwd.transform(&x);
+            let back = inv.transform(&spec);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a * n as f64 - b).abs() < 1e-8 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_bins_are_real() {
+        let planner = FftPlanner::new();
+        let n = 32;
+        let x = real_signal(n);
+        let spec = RealFft::new(&planner, n).transform(&x);
+        assert_eq!(spec[0].im, 0.0);
+        assert_eq!(spec[n / 2].im, 0.0);
+        let sum: f64 = x.iter().sum();
+        assert!((spec[0].re - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hermitian_halves_reconstruct_even_function() {
+        // Even real signal → purely real spectrum.
+        let planner = FftPlanner::new();
+        let n = 16;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = (i as isize - 8).unsigned_abs() as f64;
+                (-d * d / 4.0).exp()
+            })
+            .collect();
+        // Make it exactly even around index 0 for DFT symmetry: x[i] = x[n-i].
+        let mut xe = x.clone();
+        for i in 1..n {
+            xe[i] = x[std::cmp::min(i, n - i)];
+        }
+        let spec = RealFft::new(&planner, n).transform(&xe);
+        for v in &spec {
+            assert!(v.im.abs() < 1e-9, "even signal must have real spectrum");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_length_rejected() {
+        RealFft::new(&FftPlanner::new(), 9);
+    }
+}

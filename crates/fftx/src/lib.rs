@@ -1,0 +1,25 @@
+//! # lcc-fftx — FFTX-flavoured algorithm specification
+//!
+//! Reproduction of the paper's §6: "the FFTX platform provides two key
+//! components: a library interface and a code generation backend… Instead of
+//! users writing their own callback functions, FFTX API calls can be used in
+//! the code, just like calling a library."
+//!
+//! This crate is the *library interface* half: guru-style [`subplan`]s with
+//! user callbacks (pointwise Green's scaling, adaptive sampling, copy-out),
+//! composed by [`plan::FftxPlan::compose`] with shape validation, observe /
+//! estimate / high-performance modes, and reusable execution. The SPIRAL
+//! code-generation backend is out of scope (see DESIGN.md §2); plans execute
+//! directly against the native `lcc-fft` kernels, which preserves the
+//! claim the section makes — the Fig. 5 pipeline is expressible without
+//! hand-written accelerator code — while remaining runnable.
+
+pub mod massif_plan;
+pub mod plan;
+pub mod subplan;
+
+pub use massif_plan::massif_convolution_plan;
+pub use plan::{ComposeError, CostEstimate, FftxMode, FftxPlan};
+pub use subplan::{
+    CopyOffsetStage, Dft3dStage, PointwiseStage, SamplingStage, Subplan, ZeroPadEmbed,
+};

@@ -1,0 +1,232 @@
+//! Plan composition and execution modes.
+//!
+//! "The overall FFTX plan is composed of a sequence of sub-plans. Each
+//! sub-plan handles a separate task… The optimization and code-generation
+//! are applied to the overall plan, and hence, across all the sub-plans.
+//! The plan can be executed more than once." (§6)
+//!
+//! Modes mirror the paper's flags: `FFTX_MODE_OBSERVE` renders the plan
+//! tree, `FFTX_ESTIMATE` produces a first-order cost estimate, and
+//! `FFTX_HIGH_PERFORMANCE` stands in for the SPIRAL backend (here: the
+//! plans execute directly against `lcc-fft`).
+
+use crate::subplan::Subplan;
+use lcc_fft::Complex64;
+
+/// Plan construction/execution mode flags (paper Fig. 5's `MY_FFTX_MODE`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FftxMode {
+    /// Print/record the plan structure without optimizing.
+    Observe,
+    /// Attach a cost estimate (the `FFTX_ESTIMATE` flag).
+    Estimate,
+    /// Full optimization (SPIRAL codegen in real FFTX; direct execution
+    /// against the native kernels here).
+    HighPerformance,
+}
+
+/// Error from composing mismatched subplans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComposeError {
+    /// Index of the stage whose input did not match.
+    pub stage: usize,
+    /// Expected input length.
+    pub expected: usize,
+    /// Actual previous output length.
+    pub got: usize,
+}
+
+impl std::fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "subplan {} expects input of length {}, previous stage produces {}",
+            self.stage, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// First-order cost estimate of a composed plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostEstimate {
+    /// Total estimated floating-point operations.
+    pub flops: f64,
+    /// Total intermediate buffer traffic in complex elements.
+    pub elements_moved: usize,
+}
+
+/// A composed, executable FFTX-style plan.
+pub struct FftxPlan {
+    subplans: Vec<Box<dyn Subplan>>,
+    mode: FftxMode,
+}
+
+impl std::fmt::Debug for FftxPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+impl FftxPlan {
+    /// Composes subplans, validating that shapes chain
+    /// (`fftx_plan_compose`).
+    pub fn compose(
+        subplans: Vec<Box<dyn Subplan>>,
+        mode: FftxMode,
+    ) -> Result<Self, ComposeError> {
+        assert!(!subplans.is_empty(), "a plan needs at least one subplan");
+        for (i, w) in subplans.windows(2).enumerate() {
+            if w[0].output_len() != w[1].input_len() {
+                return Err(ComposeError {
+                    stage: i + 1,
+                    expected: w[1].input_len(),
+                    got: w[0].output_len(),
+                });
+            }
+        }
+        Ok(FftxPlan { subplans, mode })
+    }
+
+    /// The plan's mode.
+    pub fn mode(&self) -> FftxMode {
+        self.mode
+    }
+
+    /// Number of composed subplans.
+    pub fn len(&self) -> usize {
+        self.subplans.len()
+    }
+
+    /// True if the plan has no subplans (impossible for composed plans).
+    pub fn is_empty(&self) -> bool {
+        self.subplans.is_empty()
+    }
+
+    /// Executes the full pipeline (`fftx_execute`). Reusable: the plan is
+    /// immutable and can run any number of inputs.
+    pub fn execute(&self, input: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(
+            input.len(),
+            self.subplans[0].input_len(),
+            "input length does not match the first subplan"
+        );
+        let mut buf = input.to_vec();
+        for sp in &self.subplans {
+            buf = sp.execute(&buf);
+        }
+        buf
+    }
+
+    /// Observe mode: a rendering of the plan tree.
+    pub fn describe(&self) -> String {
+        let mut s = String::from("fftx_plan {\n");
+        for (i, sp) in self.subplans.iter().enumerate() {
+            s.push_str(&format!(
+                "  [{}] {} : {} -> {}\n",
+                i,
+                sp.name(),
+                sp.input_len(),
+                sp.output_len()
+            ));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Estimate mode: aggregate cost across all subplans.
+    pub fn estimate(&self) -> CostEstimate {
+        let mut est = CostEstimate::default();
+        for sp in &self.subplans {
+            est.flops += sp.estimated_flops();
+            est.elements_moved += sp.output_len();
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subplan::{Dft3dStage, PointwiseStage, ZeroPadEmbed};
+    use lcc_fft::{FftDirection, FftPlanner};
+    use std::sync::Arc;
+
+    fn planner() -> Arc<FftPlanner> {
+        Arc::new(FftPlanner::new())
+    }
+
+    #[test]
+    fn compose_validates_shapes() {
+        let err = FftxPlan::compose(
+            vec![
+                Box::new(ZeroPadEmbed { k: 2, n: 4, corner: [0; 3] }),
+                Box::new(Dft3dStage {
+                    n: 8,
+                    direction: FftDirection::Forward,
+                    planner: planner(),
+                }),
+            ],
+            FftxMode::Observe,
+        )
+        .unwrap_err();
+        assert_eq!(err.stage, 1);
+        assert_eq!(err.expected, 512);
+        assert_eq!(err.got, 64);
+        assert!(err.to_string().contains("expects input"));
+    }
+
+    #[test]
+    fn executes_composed_pipeline() {
+        let p = planner();
+        let plan = FftxPlan::compose(
+            vec![
+                Box::new(Dft3dStage { n: 4, direction: FftDirection::Forward, planner: p.clone() }),
+                Box::new(PointwiseStage { n: 4, callback: Box::new(|_f, v| v * 2.0) }),
+                Box::new(Dft3dStage { n: 4, direction: FftDirection::Inverse, planner: p }),
+            ],
+            FftxMode::HighPerformance,
+        )
+        .unwrap();
+        let input: Vec<Complex64> =
+            (0..64).map(|i| Complex64::from_real(i as f64)).collect();
+        let out = plan.execute(&input);
+        for (a, b) in input.iter().zip(&out) {
+            assert!((*a * 2.0 - *b).norm() < 1e-9, "pipeline must double the field");
+        }
+        // Plans are reusable.
+        let out2 = plan.execute(&input);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn observe_mode_describes_stages() {
+        let plan = FftxPlan::compose(
+            vec![Box::new(ZeroPadEmbed { k: 2, n: 4, corner: [1, 0, 0] })],
+            FftxMode::Observe,
+        )
+        .unwrap();
+        let desc = plan.describe();
+        assert!(desc.contains("zero_pad_embed"));
+        assert!(desc.contains("8 -> 64"));
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.mode(), FftxMode::Observe);
+    }
+
+    #[test]
+    fn estimate_accumulates() {
+        let p = planner();
+        let plan = FftxPlan::compose(
+            vec![
+                Box::new(Dft3dStage { n: 8, direction: FftDirection::Forward, planner: p.clone() }),
+                Box::new(Dft3dStage { n: 8, direction: FftDirection::Inverse, planner: p }),
+            ],
+            FftxMode::Estimate,
+        )
+        .unwrap();
+        let est = plan.estimate();
+        assert!(est.flops > 0.0);
+        assert_eq!(est.elements_moved, 2 * 512);
+    }
+}

@@ -1,0 +1,313 @@
+//! Subplans — the FFTX "guru plan" building blocks.
+//!
+//! Fig. 5 of the paper composes the MASSIF convolution from four sub-plans:
+//! an r2c transform of the small cube into a slab, a pointwise c2c with the
+//! Green's function attached via a `complex_scaling` callback, a c2r inverse
+//! with an `adaptive_sampling` callback, and a final `copy_offset` stage
+//! that "is responsible for placing the samples in the right place in the
+//! output array". Each [`Subplan`] here mirrors one of those calls: a typed
+//! shape (input/output lengths), an executor, and a flop estimate the
+//! optimizer modes can consume.
+
+use std::sync::Arc;
+
+use lcc_fft::{fft_3d, ifft_3d_normalized, Complex64, FftDirection, FftPlanner};
+use lcc_octree::SamplingPlan;
+
+/// A composable pipeline stage over complex buffers.
+pub trait Subplan: Send + Sync {
+    /// Stage label shown by observe mode.
+    fn name(&self) -> String;
+    /// Required input length.
+    fn input_len(&self) -> usize;
+    /// Produced output length.
+    fn output_len(&self) -> usize;
+    /// Executes the stage.
+    fn execute(&self, input: &[Complex64]) -> Vec<Complex64>;
+    /// First-order flop estimate for the cost model.
+    fn estimated_flops(&self) -> f64;
+}
+
+/// Embeds a `k³` cube at `corner` of an otherwise-zero `n³` grid — the
+/// padding the r2c guru plan performs implicitly via `padded_dims`.
+pub struct ZeroPadEmbed {
+    /// Sub-domain size.
+    pub k: usize,
+    /// Padded grid size.
+    pub n: usize,
+    /// Placement of the cube's low corner.
+    pub corner: [usize; 3],
+}
+
+impl Subplan for ZeroPadEmbed {
+    fn name(&self) -> String {
+        format!(
+            "zero_pad_embed(k={}, n={}, corner={:?})",
+            self.k, self.n, self.corner
+        )
+    }
+
+    fn input_len(&self) -> usize {
+        self.k * self.k * self.k
+    }
+
+    fn output_len(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    fn execute(&self, input: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.input_len());
+        let (n, k) = (self.n, self.k);
+        let mut out = vec![Complex64::ZERO; n * n * n];
+        for x in 0..k {
+            for y in 0..k {
+                for z in 0..k {
+                    let dst = ((self.corner[0] + x) % n * n + (self.corner[1] + y) % n) * n
+                        + (self.corner[2] + z) % n;
+                    out[dst] = input[(x * k + y) * k + z];
+                }
+            }
+        }
+        out
+    }
+
+    fn estimated_flops(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A full 3D transform stage (forward or normalized inverse).
+pub struct Dft3dStage {
+    /// Grid size.
+    pub n: usize,
+    /// Transform direction; the inverse is normalized.
+    pub direction: FftDirection,
+    /// Shared planner.
+    pub planner: Arc<FftPlanner>,
+}
+
+impl Subplan for Dft3dStage {
+    fn name(&self) -> String {
+        format!("dft3d(n={}, {:?})", self.n, self.direction)
+    }
+
+    fn input_len(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    fn output_len(&self) -> usize {
+        self.input_len()
+    }
+
+    fn execute(&self, input: &[Complex64]) -> Vec<Complex64> {
+        let mut buf = input.to_vec();
+        let dims = (self.n, self.n, self.n);
+        match self.direction {
+            FftDirection::Forward => fft_3d(&self.planner, &mut buf, dims, self.direction),
+            FftDirection::Inverse => ifft_3d_normalized(&self.planner, &mut buf, dims),
+        }
+        buf
+    }
+
+    fn estimated_flops(&self) -> f64 {
+        let n3 = (self.n as f64).powi(3);
+        5.0 * n3 * (n3.log2())
+    }
+}
+
+/// Per-bin callback type for pointwise stages: receives the frequency bin
+/// and the value, returns the scaled value (the paper's `complex_scaling`
+/// user callback).
+pub type PointwiseFn = dyn Fn([usize; 3], Complex64) -> Complex64 + Send + Sync;
+
+/// Pointwise multiply with a user callback (`fftx_plan_guru_pointwise_c2c`).
+pub struct PointwiseStage {
+    /// Grid size.
+    pub n: usize,
+    /// The user callback.
+    pub callback: Box<PointwiseFn>,
+}
+
+impl Subplan for PointwiseStage {
+    fn name(&self) -> String {
+        format!("pointwise_c2c(n={})", self.n)
+    }
+
+    fn input_len(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    fn output_len(&self) -> usize {
+        self.input_len()
+    }
+
+    fn execute(&self, input: &[Complex64]) -> Vec<Complex64> {
+        let n = self.n;
+        let mut out = Vec::with_capacity(input.len());
+        for fx in 0..n {
+            for fy in 0..n {
+                for fz in 0..n {
+                    let v = input[(fx * n + fy) * n + fz];
+                    out.push((self.callback)([fx, fy, fz], v));
+                }
+            }
+        }
+        out
+    }
+
+    fn estimated_flops(&self) -> f64 {
+        6.0 * (self.n as f64).powi(3)
+    }
+}
+
+/// Octree adaptive sampling (the `adaptive_sampling` callback of the c2r
+/// stage): dense field → compressed sample vector.
+pub struct SamplingStage {
+    /// The sampling plan.
+    pub plan: Arc<SamplingPlan>,
+}
+
+impl Subplan for SamplingStage {
+    fn name(&self) -> String {
+        format!(
+            "adaptive_sampling(n={}, samples={})",
+            self.plan.n(),
+            self.plan.total_samples()
+        )
+    }
+
+    fn input_len(&self) -> usize {
+        self.plan.n().pow(3)
+    }
+
+    fn output_len(&self) -> usize {
+        self.plan.total_samples()
+    }
+
+    fn execute(&self, input: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.input_len());
+        let n = self.plan.n();
+        let mut out = Vec::with_capacity(self.plan.total_samples());
+        for cell in self.plan.cells() {
+            for p in cell.sample_positions() {
+                out.push(input[(p[0] * n + p[1]) * n + p[2]]);
+            }
+        }
+        out
+    }
+
+    fn estimated_flops(&self) -> f64 {
+        self.plan.total_samples() as f64
+    }
+}
+
+/// The `copy_offset` stage: scatters compressed samples back to their dense
+/// positions (unsampled points are zero; interpolation is the accumulation
+/// step's job, outside this plan).
+pub struct CopyOffsetStage {
+    /// The sampling plan describing where each sample lands.
+    pub plan: Arc<SamplingPlan>,
+}
+
+impl Subplan for CopyOffsetStage {
+    fn name(&self) -> String {
+        format!("copy_offset(n={})", self.plan.n())
+    }
+
+    fn input_len(&self) -> usize {
+        self.plan.total_samples()
+    }
+
+    fn output_len(&self) -> usize {
+        self.plan.n().pow(3)
+    }
+
+    fn execute(&self, input: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.input_len());
+        let n = self.plan.n();
+        let mut out = vec![Complex64::ZERO; n * n * n];
+        let mut i = 0;
+        for cell in self.plan.cells() {
+            for p in cell.sample_positions() {
+                out[(p[0] * n + p[1]) * n + p[2]] = input[i];
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn estimated_flops(&self) -> f64 {
+        self.plan.total_samples() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcc_fft::c64;
+    use lcc_grid::BoxRegion;
+    use lcc_octree::RateSchedule;
+
+    #[test]
+    fn embed_places_cube() {
+        let s = ZeroPadEmbed { k: 2, n: 4, corner: [1, 1, 1] };
+        let input: Vec<Complex64> = (0..8).map(|i| c64(i as f64, 0.0)).collect();
+        let out = s.execute(&input);
+        assert_eq!(out[(1 * 4 + 1) * 4 + 1], c64(0.0, 0.0));
+        assert_eq!(out[(2 * 4 + 2) * 4 + 2], c64(7.0, 0.0));
+        assert_eq!(out[0], Complex64::ZERO);
+    }
+
+    #[test]
+    fn dft_roundtrip_through_stages() {
+        let planner = Arc::new(FftPlanner::new());
+        let fwd = Dft3dStage { n: 4, direction: FftDirection::Forward, planner: planner.clone() };
+        let inv = Dft3dStage { n: 4, direction: FftDirection::Inverse, planner };
+        let input: Vec<Complex64> = (0..64).map(|i| c64(i as f64, -(i as f64))).collect();
+        let back = inv.execute(&fwd.execute(&input));
+        for (a, b) in input.iter().zip(&back) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pointwise_callback_sees_bins() {
+        let s = PointwiseStage {
+            n: 2,
+            callback: Box::new(|f, v| v * (f[0] + 2 * f[1] + 4 * f[2]) as f64),
+        };
+        let input = vec![Complex64::ONE; 8];
+        let out = s.execute(&input);
+        // Bin (1,1,1) has weight 1+2+4 = 7 and row-major index 7.
+        assert_eq!(out[7], c64(7.0, 0.0));
+        assert_eq!(out[0], Complex64::ZERO);
+    }
+
+    #[test]
+    fn sampling_then_copy_is_partial_identity() {
+        let n = 8;
+        let plan = Arc::new(SamplingPlan::build(
+            n,
+            BoxRegion::new([0; 3], [4; 3]),
+            &RateSchedule::uniform(2),
+        ));
+        let sample = SamplingStage { plan: plan.clone() };
+        let copy = CopyOffsetStage { plan: plan.clone() };
+        let input: Vec<Complex64> = (0..n * n * n).map(|i| c64(i as f64, 0.0)).collect();
+        let out = copy.execute(&sample.execute(&input));
+        // Every sampled position must round-trip; others are zero.
+        let mut sampled = vec![false; n * n * n];
+        for cell in plan.cells() {
+            for p in cell.sample_positions() {
+                sampled[(p[0] * n + p[1]) * n + p[2]] = true;
+            }
+        }
+        for (i, &flag) in sampled.iter().enumerate() {
+            if flag {
+                assert_eq!(out[i], input[i], "sample {i} lost");
+            } else {
+                assert_eq!(out[i], Complex64::ZERO);
+            }
+        }
+    }
+}

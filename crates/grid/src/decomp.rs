@@ -1,0 +1,143 @@
+//! Adaptive (irregular) domain decomposition.
+//!
+//! The paper's Step 1 uses regular `k³` sub-domains but notes "irregular
+//! partitions can also be made" (§3.1). This module implements the natural
+//! irregular variant: an octree split of the input driven by where its
+//! energy actually sits — large sub-domains over quiet regions, small ones
+//! where the field is concentrated. Identically-zero octants collapse into
+//! single large boxes the pipeline can skip outright.
+
+use crate::boxes::BoxRegion;
+use crate::grid3::Grid3;
+
+/// Controls for [`decompose_adaptive`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveDecomposition {
+    /// Largest allowed sub-domain edge (power of two).
+    pub max_k: usize,
+    /// Smallest allowed sub-domain edge (power of two).
+    pub min_k: usize,
+    /// Split a box while it holds more than this fraction of the total
+    /// input energy.
+    pub energy_fraction: f64,
+}
+
+impl AdaptiveDecomposition {
+    /// Sensible defaults: boxes between `min_k` and `max_k`, splitting any
+    /// box holding more than 12.5% of the energy (one octant's fair share).
+    pub fn new(min_k: usize, max_k: usize) -> Self {
+        assert!(min_k.is_power_of_two() && max_k.is_power_of_two());
+        assert!(min_k <= max_k);
+        AdaptiveDecomposition { max_k, min_k, energy_fraction: 0.125 }
+    }
+}
+
+/// Splits the cube `[0, n)³` into power-of-two sub-domains adapted to the
+/// energy distribution of `input`. Returned boxes tile the grid exactly;
+/// boxes whose content is identically zero are still returned (callers skip
+/// them cheaply, as the regular pipeline already does).
+pub fn decompose_adaptive(
+    input: &Grid3<f64>,
+    params: AdaptiveDecomposition,
+) -> Vec<BoxRegion> {
+    let (nx, ny, nz) = input.shape();
+    assert!(nx == ny && ny == nz, "expected a cubic grid");
+    let n = nx;
+    assert!(n.is_power_of_two(), "adaptive decomposition needs a power-of-two grid");
+    assert!(params.max_k <= n);
+
+    let total_energy: f64 = input.as_slice().iter().map(|v| v * v).sum();
+    let mut out = Vec::new();
+    let mut stack = vec![([0usize; 3], n)];
+    while let Some((corner, size)) = stack.pop() {
+        let region = BoxRegion::new(
+            corner,
+            [corner[0] + size, corner[1] + size, corner[2] + size],
+        );
+        let energy: f64 = region
+            .points()
+            .map(|p| {
+                let v = input[(p[0], p[1], p[2])];
+                v * v
+            })
+            .sum();
+        let too_big = size > params.max_k;
+        let hot = total_energy > 0.0
+            && energy / total_energy > params.energy_fraction
+            && size > params.min_k;
+        if (too_big || hot) && size > 1 {
+            let h = size / 2;
+            for dx in 0..2 {
+                for dy in 0..2 {
+                    for dz in 0..2 {
+                        stack.push((
+                            [corner[0] + dx * h, corner[1] + dy * h, corner[2] + dz * h],
+                            h,
+                        ));
+                    }
+                }
+            }
+        } else {
+            out.push(region);
+        }
+    }
+    out.sort_unstable_by_key(|b| b.lo);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_energy_gives_regular_tiling() {
+        let input = Grid3::filled((32, 32, 32), 1.0);
+        let boxes = decompose_adaptive(&input, AdaptiveDecomposition::new(4, 8));
+        // Uniform energy: everything splits down to max_k (energy fraction
+        // of an 8³ box is 1/64 < 0.125 so no further splitting).
+        assert!(boxes.iter().all(|b| b.size().0 == 8));
+        let vol: usize = boxes.iter().map(|b| b.volume()).sum();
+        assert_eq!(vol, 32 * 32 * 32);
+    }
+
+    #[test]
+    fn tiles_disjointly_for_concentrated_energy() {
+        let mut input = Grid3::zeros((32, 32, 32));
+        input[(3, 3, 3)] = 100.0;
+        let boxes = decompose_adaptive(&input, AdaptiveDecomposition::new(2, 16));
+        let vol: usize = boxes.iter().map(|b| b.volume()).sum();
+        assert_eq!(vol, 32 * 32 * 32, "boxes must tile the grid");
+        for (i, a) in boxes.iter().enumerate() {
+            for b in &boxes[i + 1..] {
+                assert!(a.intersect(b).is_none(), "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refines_near_energy_and_stays_coarse_elsewhere() {
+        let mut input = Grid3::zeros((32, 32, 32));
+        input[(2, 2, 2)] = 10.0;
+        let boxes = decompose_adaptive(&input, AdaptiveDecomposition::new(2, 16));
+        let holder = boxes.iter().find(|b| b.contains([2, 2, 2])).unwrap();
+        assert_eq!(holder.size().0, 2, "hot box must refine to min_k");
+        let far = boxes.iter().find(|b| b.contains([30, 30, 30])).unwrap();
+        assert_eq!(far.size().0, 16, "quiet region stays at max_k");
+    }
+
+    #[test]
+    fn zero_input_stays_coarse() {
+        let input = Grid3::zeros((16, 16, 16));
+        let boxes = decompose_adaptive(&input, AdaptiveDecomposition::new(2, 16));
+        assert_eq!(boxes.len(), 1);
+        assert_eq!(boxes[0], BoxRegion::cube(16));
+    }
+
+    #[test]
+    fn respects_min_k_floor() {
+        let mut input = Grid3::zeros((16, 16, 16));
+        input[(0, 0, 0)] = 1.0;
+        let boxes = decompose_adaptive(&input, AdaptiveDecomposition::new(8, 8));
+        assert!(boxes.iter().all(|b| b.size().0 == 8));
+    }
+}

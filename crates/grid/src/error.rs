@@ -1,0 +1,144 @@
+//! Error metrics between exact and approximate fields.
+//!
+//! The paper reports the "L2 relative error norm between the actual and the
+//! approximate convolution result" (§5.3) with a ≤ 3% target for MASSIF.
+
+/// Relative L2 error `‖a − b‖₂ / ‖a‖₂`, with `a` the reference.
+///
+/// Returns 0 when both are identically zero, and `+∞` when the reference is
+/// zero but the approximation is not.
+pub fn relative_l2(reference: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in reference.iter().zip(approx) {
+        let d = a - b;
+        num += d * d;
+        den += a * a;
+    }
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Relative L2 error using a caller-supplied squared-magnitude function, for
+/// element types the crate does not know about (e.g. complex numbers).
+pub fn relative_l2_by<T>(reference: &[T], approx: &[T], diff_sq: impl Fn(&T, &T) -> f64, mag_sq: impl Fn(&T) -> f64) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (a, b) in reference.iter().zip(approx) {
+        num += diff_sq(a, b);
+        den += mag_sq(a);
+    }
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Maximum absolute difference.
+pub fn max_abs_error(reference: &[f64], approx: &[f64]) -> f64 {
+    assert_eq!(reference.len(), approx.len(), "length mismatch");
+    reference
+        .iter()
+        .zip(approx)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative L∞ error `max|a−b| / max|a|`.
+pub fn relative_linf(reference: &[f64], approx: &[f64]) -> f64 {
+    let peak = reference.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    let err = max_abs_error(reference, approx);
+    if peak == 0.0 {
+        if err == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        err / peak
+    }
+}
+
+/// Root-mean-square of a field.
+pub fn rms(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v * v).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_fields_have_zero_error() {
+        let a = [1.0, -2.0, 3.0];
+        assert_eq!(relative_l2(&a, &a), 0.0);
+        assert_eq!(relative_linf(&a, &a), 0.0);
+        assert_eq!(max_abs_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_relative_error() {
+        let a = [3.0, 4.0]; // ‖a‖ = 5
+        let b = [3.0, 4.5]; // diff norm = 0.5
+        assert!((relative_l2(&a, &b) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reference_edge_cases() {
+        let z = [0.0, 0.0];
+        assert_eq!(relative_l2(&z, &z), 0.0);
+        assert_eq!(relative_l2(&z, &[1.0, 0.0]), f64::INFINITY);
+        assert_eq!(relative_linf(&z, &[1.0, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn linf_and_max_abs() {
+        let a = [2.0, -4.0, 1.0];
+        let b = [2.5, -4.0, 0.0];
+        assert_eq!(max_abs_error(&a, &b), 1.0);
+        assert_eq!(relative_linf(&a, &b), 0.25);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[2.0; 10]) - 2.0).abs() < 1e-12);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn generic_version_matches_scalar() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.1, 1.9, 3.2];
+        let scalar = relative_l2(&a, &b);
+        let generic = relative_l2_by(
+            &a,
+            &b,
+            |x, y| (x - y) * (x - y),
+            |x| x * x,
+        );
+        assert!((scalar - generic).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        relative_l2(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Small tensors for the MASSIF stress-strain use case.
+//!
+//! MASSIF's inner loop convolves rank-2 symmetric 3×3 tensor fields (stress
+//! σ, strain ε) with a rank-4 Green's operator Γ̂ and contracts against a
+//! rank-4 stiffness C. We store symmetric tensors in Voigt-like order
+//! `(xx, yy, zz, yz, xz, xy)` and keep rank-4 isotropic stiffness in the
+//! closed form `C:ε = λ·tr(ε)·I + 2μ·ε`.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Symmetric 3×3 tensor, components ordered `(xx, yy, zz, yz, xz, xy)`.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Sym3 {
+    /// The six independent components.
+    pub c: [f64; 6],
+}
+
+/// Voigt index pairs matching [`Sym3`] component order.
+pub const VOIGT_PAIRS: [(usize, usize); 6] = [(0, 0), (1, 1), (2, 2), (1, 2), (0, 2), (0, 1)];
+
+impl Sym3 {
+    /// The zero tensor.
+    pub const ZERO: Sym3 = Sym3 { c: [0.0; 6] };
+
+    /// The identity tensor.
+    pub const IDENTITY: Sym3 = Sym3 { c: [1.0, 1.0, 1.0, 0.0, 0.0, 0.0] };
+
+    /// Builds from the six components `(xx, yy, zz, yz, xz, xy)`.
+    pub const fn new(xx: f64, yy: f64, zz: f64, yz: f64, xz: f64, xy: f64) -> Self {
+        Sym3 { c: [xx, yy, zz, yz, xz, xy] }
+    }
+
+    /// Builds a diagonal (hydrostatic plus axial) tensor.
+    pub const fn diagonal(xx: f64, yy: f64, zz: f64) -> Self {
+        Sym3::new(xx, yy, zz, 0.0, 0.0, 0.0)
+    }
+
+    /// Component `(i, j)` of the full 3×3 matrix.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < 3 && j < 3);
+        match (i, j) {
+            (0, 0) => self.c[0],
+            (1, 1) => self.c[1],
+            (2, 2) => self.c[2],
+            (1, 2) | (2, 1) => self.c[3],
+            (0, 2) | (2, 0) => self.c[4],
+            (0, 1) | (1, 0) => self.c[5],
+            _ => unreachable!(),
+        }
+    }
+
+    /// Sets component `(i, j)` (and its symmetric partner).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        match (i, j) {
+            (0, 0) => self.c[0] = v,
+            (1, 1) => self.c[1] = v,
+            (2, 2) => self.c[2] = v,
+            (1, 2) | (2, 1) => self.c[3] = v,
+            (0, 2) | (2, 0) => self.c[4] = v,
+            (0, 1) | (1, 0) => self.c[5] = v,
+            _ => panic!("index out of range"),
+        }
+    }
+
+    /// Trace `xx + yy + zz`.
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.c[0] + self.c[1] + self.c[2]
+    }
+
+    /// Frobenius norm of the full 3×3 matrix (shear components counted
+    /// twice, as they appear twice in the matrix).
+    pub fn frobenius(&self) -> f64 {
+        let d = self.c[0] * self.c[0] + self.c[1] * self.c[1] + self.c[2] * self.c[2];
+        let s = self.c[3] * self.c[3] + self.c[4] * self.c[4] + self.c[5] * self.c[5];
+        (d + 2.0 * s).sqrt()
+    }
+
+    /// Scales every component.
+    pub fn scale(&self, s: f64) -> Sym3 {
+        let mut out = *self;
+        for v in &mut out.c {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Double contraction `A : B = Σ_ij A_ij B_ij`.
+    pub fn ddot(&self, other: &Sym3) -> f64 {
+        let d = self.c[0] * other.c[0] + self.c[1] * other.c[1] + self.c[2] * other.c[2];
+        let s = self.c[3] * other.c[3] + self.c[4] * other.c[4] + self.c[5] * other.c[5];
+        d + 2.0 * s
+    }
+}
+
+impl Add for Sym3 {
+    type Output = Sym3;
+    fn add(self, rhs: Sym3) -> Sym3 {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for Sym3 {
+    fn add_assign(&mut self, rhs: Sym3) {
+        for (a, b) in self.c.iter_mut().zip(rhs.c) {
+            *a += b;
+        }
+    }
+}
+
+impl Sub for Sym3 {
+    type Output = Sym3;
+    fn sub(self, rhs: Sym3) -> Sym3 {
+        let mut out = self;
+        out -= rhs;
+        out
+    }
+}
+
+impl SubAssign for Sym3 {
+    fn sub_assign(&mut self, rhs: Sym3) {
+        for (a, b) in self.c.iter_mut().zip(rhs.c) {
+            *a -= b;
+        }
+    }
+}
+
+impl Neg for Sym3 {
+    type Output = Sym3;
+    fn neg(self) -> Sym3 {
+        self.scale(-1.0)
+    }
+}
+
+impl Mul<f64> for Sym3 {
+    type Output = Sym3;
+    fn mul(self, rhs: f64) -> Sym3 {
+        self.scale(rhs)
+    }
+}
+
+/// Isotropic rank-4 stiffness tensor, parameterized by the Lamé pair (λ, μ):
+/// `C_ijkl = λ δ_ij δ_kl + μ (δ_ik δ_jl + δ_il δ_jk)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IsotropicStiffness {
+    /// First Lamé coefficient λ.
+    pub lambda: f64,
+    /// Shear modulus μ.
+    pub mu: f64,
+}
+
+impl IsotropicStiffness {
+    /// Creates from the Lamé pair.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        IsotropicStiffness { lambda, mu }
+    }
+
+    /// Creates from engineering constants (Young's modulus E, Poisson ν).
+    pub fn from_engineering(e: f64, nu: f64) -> Self {
+        let lambda = e * nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
+        let mu = e / (2.0 * (1.0 + nu));
+        IsotropicStiffness { lambda, mu }
+    }
+
+    /// Applies the stiffness: `σ = C : ε = λ tr(ε) I + 2μ ε`.
+    pub fn apply(&self, eps: &Sym3) -> Sym3 {
+        let tr = self.lambda * eps.trace();
+        Sym3::new(
+            tr + 2.0 * self.mu * eps.c[0],
+            tr + 2.0 * self.mu * eps.c[1],
+            tr + 2.0 * self.mu * eps.c[2],
+            2.0 * self.mu * eps.c[3],
+            2.0 * self.mu * eps.c[4],
+            2.0 * self.mu * eps.c[5],
+        )
+    }
+
+    /// Explicit component `C_ijkl`.
+    pub fn component(&self, i: usize, j: usize, k: usize, l: usize) -> f64 {
+        let d = |a: usize, b: usize| if a == b { 1.0 } else { 0.0 };
+        self.lambda * d(i, j) * d(k, l) + self.mu * (d(i, k) * d(j, l) + d(i, l) * d(j, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_symmetry() {
+        let mut t = Sym3::ZERO;
+        t.set(0, 2, 5.0);
+        assert_eq!(t.get(2, 0), 5.0);
+        assert_eq!(t.get(0, 2), 5.0);
+        t.set(1, 1, -2.0);
+        assert_eq!(t.get(1, 1), -2.0);
+    }
+
+    #[test]
+    fn trace_and_frobenius() {
+        let t = Sym3::new(1.0, 2.0, 3.0, 0.0, 0.0, 4.0);
+        assert_eq!(t.trace(), 6.0);
+        // Full matrix: diag 1,2,3, off-diag xy=4 twice → 1+4+9+2·16 = 46
+        assert!((t.frobenius() - 46.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ddot_matches_full_contraction() {
+        let a = Sym3::new(1.0, 2.0, 3.0, 4.0, 5.0, 6.0);
+        let b = Sym3::new(6.0, 5.0, 4.0, 3.0, 2.0, 1.0);
+        let mut expect = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                expect += a.get(i, j) * b.get(i, j);
+            }
+        }
+        assert!((a.ddot(&b) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isotropic_apply_matches_component_form() {
+        let c = IsotropicStiffness::new(2.0, 3.0);
+        let eps = Sym3::new(0.1, -0.2, 0.3, 0.05, -0.15, 0.25);
+        let sigma = c.apply(&eps);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut expect = 0.0;
+                for k in 0..3 {
+                    for l in 0..3 {
+                        expect += c.component(i, j, k, l) * eps.get(k, l);
+                    }
+                }
+                assert!(
+                    (sigma.get(i, j) - expect).abs() < 1e-12,
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engineering_constants_roundtrip() {
+        // Steel-ish: E = 200 GPa, ν = 0.3 → μ = E/2.6, λ = Eν/((1.3)(0.4))
+        let c = IsotropicStiffness::from_engineering(200.0, 0.3);
+        assert!((c.mu - 200.0 / 2.6).abs() < 1e-9);
+        assert!((c.lambda - 200.0 * 0.3 / (1.3 * 0.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stiffness_on_identity_is_bulk_response() {
+        let c = IsotropicStiffness::new(1.5, 2.5);
+        let s = c.apply(&Sym3::IDENTITY);
+        // λ·3·I + 2μ·I = (3λ + 2μ)·I
+        let expect = 3.0 * 1.5 + 2.0 * 2.5;
+        assert_eq!(s.get(0, 0), expect);
+        assert_eq!(s.get(1, 1), expect);
+        assert_eq!(s.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Sym3::new(1.0, 1.0, 1.0, 1.0, 1.0, 1.0);
+        let b = a.scale(2.0);
+        assert_eq!((b - a).c, a.c);
+        assert_eq!((-a).c, a.scale(-1.0).c);
+        assert_eq!((a + a).c, b.c);
+        assert_eq!((a * 3.0).c, [3.0; 6]);
+    }
+}

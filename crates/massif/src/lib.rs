@@ -1,0 +1,29 @@
+//! # lcc-massif — the MASSIF stress-strain use case
+//!
+//! A from-scratch Moulinec–Suquet FFT micromechanics solver reproducing the
+//! paper's use case (§2.2, Algorithms 1 and 2): Hooke's-law PDEs on a
+//! voxelized composite microstructure, solved by fixed-point iteration where
+//! every step convolves the stress field with the rank-4 Green's operator Γ̂
+//! of Eq. 3.
+//!
+//! * [`microstructure`] — composite generation (spheres, laminates) and
+//!   per-voxel isotropic stiffness.
+//! * [`fields`] — symmetric tensor fields (SoA over six Voigt components).
+//! * [`gamma_kernels`] — scalar `Γ̂_ijkl` views pluggable into the generic
+//!   convolution pipeline.
+//! * [`solver`] — the fixed-point loop with two interchangeable inner
+//!   convolutions: dense spectral (Algorithm 1) and domain-local compressed
+//!   (Algorithm 2, the paper's contribution).
+
+pub mod fields;
+pub mod gamma_kernels;
+pub mod microstructure;
+pub mod solver;
+
+pub use fields::TensorField;
+pub use gamma_kernels::GammaComponentKernel;
+pub use microstructure::Microstructure;
+pub use solver::{
+    solve, solve_accelerated, GammaConvolution, LowCommGamma, SolveResult, SolverConfig,
+    SpectralGamma,
+};

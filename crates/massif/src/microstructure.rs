@@ -1,0 +1,227 @@
+//! Composite-material microstructures.
+//!
+//! MASSIF's 3D grid "represents the discretized microstructure of a
+//! composite material" (§2.2). We generate the standard test articles of the
+//! FFT-micromechanics literature: a stiff spherical inclusion (or several)
+//! embedded in a softer matrix, plus layered laminates whose effective
+//! response has a closed form (used to validate the solver).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lcc_grid::{Grid3, IsotropicStiffness};
+
+/// A voxelized two-or-more-phase microstructure with isotropic phases.
+#[derive(Clone, Debug)]
+pub struct Microstructure {
+    n: usize,
+    /// Phase id per voxel, indexing into `materials`.
+    phases: Grid3<u8>,
+    materials: Vec<IsotropicStiffness>,
+}
+
+impl Microstructure {
+    /// Builds from an explicit phase map and material table.
+    pub fn new(phases: Grid3<u8>, materials: Vec<IsotropicStiffness>) -> Self {
+        let (nx, ny, nz) = phases.shape();
+        assert!(nx == ny && ny == nz, "expected a cubic grid");
+        let max = *phases.as_slice().iter().max().unwrap_or(&0) as usize;
+        assert!(max < materials.len(), "phase id exceeds material table");
+        Microstructure { n: nx, phases, materials }
+    }
+
+    /// Homogeneous single-phase medium (the solver must converge in one
+    /// iteration on it).
+    pub fn homogeneous(n: usize, material: IsotropicStiffness) -> Self {
+        Microstructure::new(Grid3::zeros((n, n, n)), vec![material])
+    }
+
+    /// A single centered spherical inclusion of relative `radius` (fraction
+    /// of n/2) — matrix phase 0, inclusion phase 1.
+    pub fn sphere(
+        n: usize,
+        radius_fraction: f64,
+        matrix: IsotropicStiffness,
+        inclusion: IsotropicStiffness,
+    ) -> Self {
+        assert!(radius_fraction > 0.0 && radius_fraction <= 1.0);
+        let c = (n as f64 - 1.0) / 2.0;
+        let r = radius_fraction * n as f64 / 2.0;
+        let phases = Grid3::from_fn((n, n, n), |x, y, z| {
+            let d2 =
+                (x as f64 - c).powi(2) + (y as f64 - c).powi(2) + (z as f64 - c).powi(2);
+            u8::from(d2 <= r * r)
+        });
+        Microstructure::new(phases, vec![matrix, inclusion])
+    }
+
+    /// Random non-overlap-checked spherical inclusions filling roughly
+    /// `count` spheres of radius `radius` voxels (periodic placement).
+    pub fn random_spheres(
+        n: usize,
+        count: usize,
+        radius: f64,
+        matrix: IsotropicStiffness,
+        inclusion: IsotropicStiffness,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<[f64; 3]> = (0..count)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..n as f64),
+                    rng.gen_range(0.0..n as f64),
+                    rng.gen_range(0.0..n as f64),
+                ]
+            })
+            .collect();
+        let r2 = radius * radius;
+        let nd = n as f64;
+        let phases = Grid3::from_fn((n, n, n), |x, y, z| {
+            let p = [x as f64, y as f64, z as f64];
+            for c in &centers {
+                let mut d2 = 0.0;
+                for a in 0..3 {
+                    let mut d = (p[a] - c[a]).abs();
+                    if d > nd / 2.0 {
+                        d = nd - d; // periodic images
+                    }
+                    d2 += d * d;
+                }
+                if d2 <= r2 {
+                    return 1;
+                }
+            }
+            0
+        });
+        Microstructure::new(phases, vec![matrix, inclusion])
+    }
+
+    /// A two-phase laminate layered along x with `fraction` of phase 1 —
+    /// the classic closed-form validation case.
+    pub fn laminate(
+        n: usize,
+        fraction: f64,
+        matrix: IsotropicStiffness,
+        layer: IsotropicStiffness,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        let cut = (fraction * n as f64).round() as usize;
+        let phases = Grid3::from_fn((n, n, n), |x, _, _| u8::from(x < cut));
+        Microstructure::new(phases, vec![matrix, layer])
+    }
+
+    /// Grid size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Phase id at a voxel.
+    pub fn phase(&self, x: usize, y: usize, z: usize) -> u8 {
+        self.phases[(x, y, z)]
+    }
+
+    /// Stiffness at a voxel.
+    pub fn stiffness(&self, x: usize, y: usize, z: usize) -> IsotropicStiffness {
+        self.materials[self.phases[(x, y, z)] as usize]
+    }
+
+    /// The material table.
+    pub fn materials(&self) -> &[IsotropicStiffness] {
+        &self.materials
+    }
+
+    /// Volume fraction of each phase.
+    pub fn volume_fractions(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.materials.len()];
+        for &p in self.phases.as_slice() {
+            counts[p as usize] += 1;
+        }
+        let total = self.phases.len() as f64;
+        counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// A sensible isotropic reference medium for the Green's operator:
+    /// the arithmetic mean of the extreme phases (the Moulinec–Suquet
+    /// recommendation for the basic scheme).
+    pub fn reference_medium(&self) -> IsotropicStiffness {
+        let min_mu = self.materials.iter().map(|m| m.mu).fold(f64::INFINITY, f64::min);
+        let max_mu = self.materials.iter().map(|m| m.mu).fold(0.0_f64, f64::max);
+        let min_l = self
+            .materials
+            .iter()
+            .map(|m| m.lambda)
+            .fold(f64::INFINITY, f64::min);
+        let max_l = self.materials.iter().map(|m| m.lambda).fold(0.0_f64, f64::max);
+        IsotropicStiffness::new((min_l + max_l) / 2.0, (min_mu + max_mu) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steel() -> IsotropicStiffness {
+        IsotropicStiffness::from_engineering(200.0, 0.3)
+    }
+
+    fn epoxy() -> IsotropicStiffness {
+        IsotropicStiffness::from_engineering(3.5, 0.35)
+    }
+
+    #[test]
+    fn sphere_volume_fraction_reasonable() {
+        let m = Microstructure::sphere(32, 0.5, epoxy(), steel());
+        let vf = m.volume_fractions();
+        // Sphere of radius n/4 in n³: (4/3)π(n/4)³ / n³ ≈ 0.065
+        assert!((vf[1] - 0.065).abs() < 0.01, "fraction {vf:?}");
+        assert!((vf[0] + vf[1] - 1.0).abs() < 1e-12);
+        // Center is inclusion, corner is matrix.
+        assert_eq!(m.phase(16, 16, 16), 1);
+        assert_eq!(m.phase(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn laminate_fraction_exact() {
+        let m = Microstructure::laminate(16, 0.25, epoxy(), steel());
+        assert_eq!(m.volume_fractions()[1], 0.25);
+        assert_eq!(m.phase(3, 0, 0), 1);
+        assert_eq!(m.phase(4, 0, 0), 0);
+    }
+
+    #[test]
+    fn random_spheres_deterministic_by_seed() {
+        let a = Microstructure::random_spheres(16, 5, 3.0, epoxy(), steel(), 42);
+        let b = Microstructure::random_spheres(16, 5, 3.0, epoxy(), steel(), 42);
+        for x in 0..16 {
+            assert_eq!(a.phase(x, 7, 7), b.phase(x, 7, 7));
+        }
+        let c = Microstructure::random_spheres(16, 5, 3.0, epoxy(), steel(), 7);
+        let same = (0..16usize.pow(3)).all(|i| {
+            let (x, y, z) = (i / 256, (i / 16) % 16, i % 16);
+            a.phase(x, y, z) == c.phase(x, y, z)
+        });
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn reference_medium_between_phases() {
+        let m = Microstructure::sphere(8, 0.5, epoxy(), steel());
+        let r = m.reference_medium();
+        assert!(r.mu > epoxy().mu && r.mu < steel().mu);
+    }
+
+    #[test]
+    fn stiffness_lookup_matches_phase() {
+        let m = Microstructure::laminate(8, 0.5, epoxy(), steel());
+        assert_eq!(m.stiffness(0, 0, 0).mu, steel().mu);
+        assert_eq!(m.stiffness(7, 0, 0).mu, epoxy().mu);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase id exceeds")]
+    fn phase_out_of_table_rejected() {
+        let phases = Grid3::filled((4, 4, 4), 3u8);
+        Microstructure::new(phases, vec![steel()]);
+    }
+}

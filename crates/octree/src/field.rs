@@ -1,0 +1,450 @@
+//! Compressed fields: sample storage, streaming capture, reconstruction.
+//!
+//! A [`CompressedField`] is the unit that workers exchange in the paper's
+//! single accumulation round: the octree metadata (shared as a
+//! [`SamplingPlan`]) plus one f64 per retained sample. Reconstruction
+//! interpolates trilinearly inside each cell from its sample lattice —
+//! "exchange of samples between the workers in the last step followed by
+//! interpolation gives us the approximate result of the full convolution"
+//! (§3.1).
+
+use std::sync::Arc;
+
+use lcc_grid::{BoxRegion, Grid3};
+
+use crate::plan::SamplingPlan;
+
+/// A field compressed under a sampling plan.
+#[derive(Clone, Debug)]
+pub struct CompressedField {
+    plan: Arc<SamplingPlan>,
+    samples: Vec<f64>,
+}
+
+impl CompressedField {
+    /// Creates an all-zero compressed field for `plan`.
+    pub fn zeros(plan: Arc<SamplingPlan>) -> Self {
+        let samples = vec![0.0; plan.total_samples()];
+        CompressedField { plan, samples }
+    }
+
+    /// Compresses a dense grid by sampling it at the plan's lattice points.
+    pub fn compress(plan: Arc<SamplingPlan>, dense: &Grid3<f64>) -> Self {
+        let n = plan.n();
+        assert_eq!(dense.shape(), (n, n, n), "grid shape must match plan");
+        let mut field = CompressedField::zeros(plan);
+        field.capture_fn(|x, y, z| dense[(x, y, z)]);
+        field
+    }
+
+    /// Compresses a field given as a function of the grid point — used when
+    /// the dense result never exists in memory.
+    pub fn compress_with(plan: Arc<SamplingPlan>, f: impl Fn(usize, usize, usize) -> f64) -> Self {
+        let mut field = CompressedField::zeros(plan);
+        field.capture_fn(f);
+        field
+    }
+
+    fn capture_fn(&mut self, f: impl Fn(usize, usize, usize) -> f64) {
+        let plan = self.plan.clone();
+        for (i, cell) in plan.cells().iter().enumerate() {
+            let base = plan.cell_offset(i) as usize;
+            for (j, p) in cell.sample_positions().enumerate() {
+                self.samples[base + j] = f(p[0], p[1], p[2]);
+            }
+        }
+    }
+
+    /// Streaming capture of one z-plane: for every sample the plan retains
+    /// at height `z`, reads `plane[x * n + y]` (row-major N×N plane).
+    ///
+    /// The low-communication pipeline calls this once per retained z-plane
+    /// as it streams out of the inverse transform; the dense N³ volume never
+    /// materializes.
+    pub fn capture_plane(&mut self, z: usize, plane: &[f64]) {
+        let n = self.plan.n();
+        assert_eq!(plane.len(), n * n, "plane must be N×N row-major");
+        let plan = self.plan.clone();
+        for (i, cell) in plan.cells().iter().enumerate() {
+            let r = cell.rate as usize;
+            let cz = cell.corner[2];
+            if z < cz || z >= cz + cell.size || (z - cz) % r != 0 {
+                continue;
+            }
+            let tz = (z - cz) / r;
+            let spa = cell.samples_per_axis();
+            let base = plan.cell_offset(i) as usize;
+            for tx in 0..spa {
+                let x = cell.corner[0] + tx * r;
+                for ty in 0..spa {
+                    let y = cell.corner[1] + ty * r;
+                    self.samples[base + cell.local_sample_index(tx, ty, tz)] =
+                        plane[x * n + y];
+                }
+            }
+        }
+    }
+
+    /// The plan this field was sampled under.
+    pub fn plan(&self) -> &Arc<SamplingPlan> {
+        &self.plan
+    }
+
+    /// Raw sample values in plan order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable raw samples (for accumulation).
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// Wire size of this message: samples + metadata, in bytes.
+    pub fn message_bytes(&self) -> usize {
+        self.plan.compressed_bytes()
+    }
+
+    /// Adds another compressed field sampled under an *identical* plan.
+    pub fn accumulate(&mut self, other: &CompressedField) {
+        assert_eq!(
+            self.samples.len(),
+            other.samples.len(),
+            "accumulate requires identical plans"
+        );
+        for (a, b) in self.samples.iter_mut().zip(&other.samples) {
+            *a += *b;
+        }
+    }
+
+    /// Extracts the payload a worker owning `region` needs: the samples of
+    /// every cell intersecting the region, tagged by cell index. This is
+    /// what actually crosses the network in a distributed accumulation —
+    /// each worker receives only its share, not the full sample set.
+    pub fn region_payload(&self, region: &BoxRegion) -> RegionPayload {
+        let plan = &self.plan;
+        let cells = plan.cells_intersecting(region);
+        let mut samples = Vec::new();
+        for &i in &cells {
+            let base = plan.cell_offset(i) as usize;
+            let count = plan.cells()[i].sample_count();
+            samples.extend_from_slice(&self.samples[base..base + count]);
+        }
+        RegionPayload { cells: cells.iter().map(|&i| i as u32).collect(), samples }
+    }
+
+    /// Rebuilds a (partial) compressed field from a region payload. Cells
+    /// not present stay zero; reconstruction is only valid inside the
+    /// region the payload was extracted for.
+    pub fn from_region_payload(plan: Arc<SamplingPlan>, payload: &RegionPayload) -> Self {
+        let mut field = CompressedField::zeros(plan.clone());
+        let mut off = 0;
+        for &ci in &payload.cells {
+            let ci = ci as usize;
+            let base = plan.cell_offset(ci) as usize;
+            let count = plan.cells()[ci].sample_count();
+            field.samples[base..base + count]
+                .copy_from_slice(&payload.samples[off..off + count]);
+            off += count;
+        }
+        assert_eq!(off, payload.samples.len(), "payload length mismatch");
+        field
+    }
+
+    /// Reconstructs the full dense grid by per-cell trilinear interpolation.
+    pub fn reconstruct(&self) -> Grid3<f64> {
+        let n = self.plan.n();
+        self.reconstruct_region(&BoxRegion::cube(n))
+    }
+
+    /// Reconstructs only `region` (clipped to the grid), returning a dense
+    /// grid of the region's shape. This is what a worker evaluates for its
+    /// own sub-domain during accumulation.
+    pub fn reconstruct_region(&self, region: &BoxRegion) -> Grid3<f64> {
+        let (sx, sy, sz) = region.size();
+        let mut out = Grid3::zeros((sx, sy, sz));
+        self.add_region_into(region, &mut out, 1.0);
+        out
+    }
+
+    /// Adds `scale ×` the reconstruction of `region` into `out` (shape must
+    /// equal the region's). Used to accumulate many domains' contributions
+    /// without intermediate allocations.
+    pub fn add_region_into(&self, region: &BoxRegion, out: &mut Grid3<f64>, scale: f64) {
+        assert_eq!(out.shape(), region.size(), "output shape must match region");
+        let plan = &self.plan;
+        for (i, cell) in plan.cells().iter().enumerate() {
+            let Some(overlap) = cell.region().intersect(region) else {
+                continue;
+            };
+            let base = plan.cell_offset(i) as usize;
+            let spa = cell.samples_per_axis();
+            let r = cell.rate as usize;
+            let sample = |tx: usize, ty: usize, tz: usize| -> f64 {
+                self.samples[base + cell.local_sample_index(tx, ty, tz)]
+            };
+            for p in overlap.points() {
+                // Local lattice coordinates with linear extrapolation at the
+                // cell's high edge (keeps affine fields exact).
+                let mut t = [0usize; 3];
+                let mut frac = [0.0f64; 3];
+                for a in 0..3 {
+                    let l = p[a] - cell.corner[a];
+                    let mut idx = l / r;
+                    let mut fr = (l - idx * r) as f64 / r as f64;
+                    if idx >= spa - 1 && spa >= 2 {
+                        // Use the last lattice interval and extrapolate.
+                        fr += (idx - (spa - 2)) as f64;
+                        idx = spa - 2;
+                    } else if spa == 1 {
+                        idx = 0;
+                        fr = 0.0;
+                    }
+                    t[a] = idx;
+                    frac[a] = fr;
+                }
+                let v = if spa == 1 {
+                    sample(0, 0, 0)
+                } else {
+                    trilinear(
+                        [
+                            sample(t[0], t[1], t[2]),
+                            sample(t[0], t[1], t[2] + 1),
+                            sample(t[0], t[1] + 1, t[2]),
+                            sample(t[0], t[1] + 1, t[2] + 1),
+                            sample(t[0] + 1, t[1], t[2]),
+                            sample(t[0] + 1, t[1], t[2] + 1),
+                            sample(t[0] + 1, t[1] + 1, t[2]),
+                            sample(t[0] + 1, t[1] + 1, t[2] + 1),
+                        ],
+                        frac,
+                    )
+                };
+                let o = [
+                    p[0] - region.lo[0],
+                    p[1] - region.lo[1],
+                    p[2] - region.lo[2],
+                ];
+                out[(o[0], o[1], o[2])] += scale * v;
+            }
+        }
+    }
+}
+
+/// The per-region slice of a compressed field: cell indices (into the
+/// shared plan) plus their samples, in cell order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionPayload {
+    /// Indices of the included cells within the plan.
+    pub cells: Vec<u32>,
+    /// Concatenated samples of the included cells.
+    pub samples: Vec<f64>,
+}
+
+impl RegionPayload {
+    /// Wire size: 4 bytes per cell id + 8 per sample.
+    pub fn byte_len(&self) -> usize {
+        self.cells.len() * 4 + self.samples.len() * 8
+    }
+}
+
+/// Trilinear interpolation of the 8 cube corners `c[x][y][z]` flattened as
+/// `c000, c001, c010, c011, c100, c101, c110, c111`, at fractions `f`.
+#[inline]
+fn trilinear(c: [f64; 8], f: [f64; 3]) -> f64 {
+    let c00 = c[0] * (1.0 - f[2]) + c[1] * f[2];
+    let c01 = c[2] * (1.0 - f[2]) + c[3] * f[2];
+    let c10 = c[4] * (1.0 - f[2]) + c[5] * f[2];
+    let c11 = c[6] * (1.0 - f[2]) + c[7] * f[2];
+    let c0 = c00 * (1.0 - f[1]) + c01 * f[1];
+    let c1 = c10 * (1.0 - f[1]) + c11 * f[1];
+    c0 * (1.0 - f[0]) + c1 * f[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::RateSchedule;
+    use lcc_grid::relative_l2;
+
+    fn make_plan(n: usize, k: usize, far: u32) -> Arc<SamplingPlan> {
+        let lo = (n - k) / 2;
+        let domain = BoxRegion::new([lo; 3], [lo + k; 3]);
+        Arc::new(SamplingPlan::build(n, domain, &RateSchedule::paper_default(k, far)))
+    }
+
+    #[test]
+    fn constant_field_reconstructs_exactly() {
+        let plan = make_plan(32, 8, 8);
+        let dense = Grid3::filled((32, 32, 32), 2.5);
+        let c = CompressedField::compress(plan, &dense);
+        let back = c.reconstruct();
+        for (_, &v) in back.indexed_iter() {
+            assert!((v - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn affine_field_reconstructs_exactly() {
+        // Trilinear interpolation (with linear extrapolation at cell edges)
+        // is exact on affine functions.
+        let plan = make_plan(32, 8, 8);
+        let f = |x: usize, y: usize, z: usize| {
+            1.0 + 0.5 * x as f64 - 0.25 * y as f64 + 2.0 * z as f64
+        };
+        let dense = Grid3::from_fn((32, 32, 32), f);
+        let c = CompressedField::compress(plan, &dense);
+        let back = c.reconstruct();
+        for ((x, y, z), &v) in back.indexed_iter() {
+            assert!(
+                (v - f(x, y, z)).abs() < 1e-9,
+                "mismatch at ({x},{y},{z}): {v} vs {}",
+                f(x, y, z)
+            );
+        }
+    }
+
+    #[test]
+    fn domain_region_is_lossless() {
+        // Inside the dense sub-domain every point is a sample.
+        let n = 32;
+        let k = 8;
+        let plan = make_plan(n, k, 8);
+        let dense = Grid3::from_fn((n, n, n), |x, y, z| {
+            ((x * 31 + y * 17 + z * 7) % 101) as f64
+        });
+        let c = CompressedField::compress(plan.clone(), &dense);
+        let dom = *plan.domain();
+        let rec = c.reconstruct_region(&dom);
+        for p in dom.points() {
+            let got = rec[(p[0] - dom.lo[0], p[1] - dom.lo[1], p[2] - dom.lo[2])];
+            assert!(
+                (got - dense[(p[0], p[1], p[2])]).abs() < 1e-12,
+                "in-domain point {p:?} must be exact"
+            );
+        }
+    }
+
+    #[test]
+    fn decaying_field_reconstruction_error_small() {
+        // A sharply decaying field like the paper's Gaussian-convolved
+        // sub-domain: most energy inside the dense domain and the r=2 band,
+        // negligible tail in the coarse bands. Error must beat the paper's 3%.
+        let n = 64;
+        let k = 16;
+        let plan = make_plan(n, k, 16);
+        let c0 = n as f64 / 2.0;
+        let sigma = k as f64 / 4.0;
+        let f = move |x: usize, y: usize, z: usize| {
+            let d2 = (x as f64 - c0).powi(2) + (y as f64 - c0).powi(2) + (z as f64 - c0).powi(2);
+            (-d2 / (2.0 * sigma * sigma)).exp()
+        };
+        let dense = Grid3::from_fn((n, n, n), f);
+        let c = CompressedField::compress(plan, &dense);
+        let back = c.reconstruct();
+        let err = relative_l2(dense.as_slice(), back.as_slice());
+        assert!(err < 0.03, "relative L2 error {err} exceeds 3%");
+    }
+
+    #[test]
+    fn plane_streaming_matches_dense_compress() {
+        let n = 32;
+        let plan = make_plan(n, 8, 8);
+        let dense = Grid3::from_fn((n, n, n), |x, y, z| {
+            (x as f64 * 0.3).sin() + (y as f64 * 0.7).cos() + z as f64 * 0.01
+        });
+        let direct = CompressedField::compress(plan.clone(), &dense);
+        let mut streamed = CompressedField::zeros(plan.clone());
+        for z in plan.retained_z() {
+            let mut plane = vec![0.0; n * n];
+            for x in 0..n {
+                for y in 0..n {
+                    plane[x * n + y] = dense[(x, y, z)];
+                }
+            }
+            streamed.capture_plane(z, &plane);
+        }
+        assert_eq!(direct.samples(), streamed.samples());
+    }
+
+    #[test]
+    fn accumulate_adds_samples() {
+        let plan = make_plan(16, 4, 4);
+        let a = CompressedField::compress(plan.clone(), &Grid3::filled((16, 16, 16), 1.0));
+        let mut b = CompressedField::compress(plan.clone(), &Grid3::filled((16, 16, 16), 2.0));
+        b.accumulate(&a);
+        for &s in b.samples() {
+            assert!((s - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_region_into_scales() {
+        let plan = make_plan(16, 4, 4);
+        let c = CompressedField::compress(plan, &Grid3::filled((16, 16, 16), 1.0));
+        let region = BoxRegion::new([2; 3], [6; 3]);
+        let mut out = Grid3::zeros((4, 4, 4));
+        c.add_region_into(&region, &mut out, 2.0);
+        c.add_region_into(&region, &mut out, 0.5);
+        for (_, &v) in out.indexed_iter() {
+            assert!((v - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn region_payload_roundtrips_inside_region() {
+        let n = 32;
+        let plan = make_plan(n, 8, 8);
+        let dense = Grid3::from_fn((n, n, n), |x, y, z| {
+            (x as f64 * 0.2).sin() + y as f64 * 0.01 - (z as f64 * 0.3).cos()
+        });
+        let full = CompressedField::compress(plan.clone(), &dense);
+        let region = BoxRegion::new([8; 3], [16; 3]);
+        let payload = full.region_payload(&region);
+        assert!(payload.samples.len() < full.samples().len(), "payload is a strict subset");
+        assert!(payload.byte_len() > 0);
+        let partial = CompressedField::from_region_payload(plan, &payload);
+        let a = full.reconstruct_region(&region);
+        let b = partial.reconstruct_region(&region);
+        assert_eq!(a, b, "partial payload reconstructs the region identically");
+    }
+
+    #[test]
+    fn region_payloads_cover_all_sample_mass_once_per_owner() {
+        // Disjoint owner regions partition the grid; every cell appears in
+        // at least one payload (cells straddling region borders appear in
+        // several — that duplication is the price of cell-granular routing).
+        let n = 16;
+        let plan = make_plan(n, 4, 4);
+        let field = CompressedField::compress(
+            plan.clone(),
+            &Grid3::from_fn((n, n, n), |x, _, _| x as f64),
+        );
+        let mut seen = vec![false; plan.cells().len()];
+        for corner in [[0usize; 3], [8, 0, 0], [0, 8, 0], [0, 0, 8], [8, 8, 0], [8, 0, 8], [0, 8, 8], [8, 8, 8]] {
+            let region = BoxRegion::new(corner, [corner[0] + 8, corner[1] + 8, corner[2] + 8]);
+            for &c in &field.region_payload(&region).cells {
+                seen[c as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every cell must reach some owner");
+    }
+
+    #[test]
+    fn message_bytes_counts_metadata_and_samples() {
+        let plan = make_plan(32, 8, 8);
+        let c = CompressedField::zeros(plan.clone());
+        assert_eq!(
+            c.message_bytes(),
+            plan.total_samples() * 8 + plan.cells().len() * 40
+        );
+    }
+
+    #[test]
+    fn trilinear_corners_and_center() {
+        let c = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        assert_eq!(trilinear(c, [0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(trilinear(c, [1.0, 1.0, 1.0]), 7.0);
+        assert_eq!(trilinear(c, [0.5, 0.5, 0.5]), 3.5);
+    }
+}

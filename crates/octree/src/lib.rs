@@ -1,0 +1,25 @@
+//! # lcc-octree — adaptive multi-resolution sampling compression
+//!
+//! The paper's Step 3: "Adaptive octree-based multi-resolution sampling as
+//! the compression algorithm." A convolution of a `k³` sub-domain with a
+//! rapidly decaying Green's function produces a response concentrated on and
+//! around the sub-domain; this crate captures that response as
+//!
+//! * a [`schedule::RateSchedule`] — the paper's distance-banded rates
+//!   (full resolution in the domain, r = 2 within k/2, r = 8 out to 4k,
+//!   r = 16/32 beyond, dense at the grid boundary);
+//! * a [`plan::SamplingPlan`] — the octree of uniform-rate leaf cells,
+//!   serializable to the paper's 5-ints-per-cell metadata array;
+//! * a [`field::CompressedField`] — sample values, streaming per-z-plane
+//!   capture for the pipeline, and trilinear reconstruction for the final
+//!   accumulation-and-interpolation step.
+
+pub mod bounds;
+pub mod field;
+pub mod plan;
+pub mod schedule;
+
+pub use bounds::{plan_error_bound, schedule_error_bound, BandBound, DecayModel, GaussianDecay, InverseDistanceDecay};
+pub use field::{CompressedField, RegionPayload};
+pub use plan::{OctCell, RateStats, SamplingPlan};
+pub use schedule::{RateBand, RateSchedule};

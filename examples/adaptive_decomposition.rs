@@ -1,0 +1,77 @@
+//! Irregular (adaptive) domain decomposition — the paper's §3.1 extension
+//! ("for now, we assume regular volumetric sub-domains but irregular
+//! partitions can also be made") in action on a sparse, concentrated input.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_decomposition
+//! ```
+
+use lcc_core::{AdaptiveConvolver, LowCommConfig, LowCommConvolver, TraditionalConvolver};
+use lcc_greens::GaussianKernel;
+use lcc_grid::{decompose_adaptive, relative_l2, AdaptiveDecomposition, Grid3};
+use lcc_octree::RateSchedule;
+
+fn main() {
+    let n = 64;
+    let sigma = 1.5;
+    let kernel = GaussianKernel::new(n, sigma);
+
+    // A concentrated source: two small hot clusters in a big quiet grid —
+    // the Hockney-style zero-structure case the paper calls out.
+    let mut input = Grid3::zeros((n, n, n));
+    for d in 0..3 {
+        input[(5 + d, 6, 7)] = 3.0;
+        input[(44, 45 + d, 46)] = -2.0;
+    }
+
+    let exact = TraditionalConvolver::new(n).convolve(&input, &kernel);
+
+    // Regular decomposition baseline (fixed k = 8).
+    let regular = LowCommConvolver::new(LowCommConfig {
+        n,
+        k: 8,
+        batch: 1024,
+        schedule: RateSchedule::for_kernel_spread(8, sigma, 16),
+    });
+    let t0 = std::time::Instant::now();
+    let (reg_out, reg_report) = regular.convolve(&input, &kernel);
+    let t_reg = t0.elapsed();
+    let reg_err = relative_l2(exact.as_slice(), reg_out.as_slice());
+
+    // Irregular: refine only where the energy is.
+    let domains = decompose_adaptive(&input, AdaptiveDecomposition::new(8, 32));
+    let adaptive = AdaptiveConvolver::new(n, 1024, sigma, 16);
+    let t0 = std::time::Instant::now();
+    let (ada_out, ada_report) = adaptive.convolve(&input, &kernel, &domains);
+    let t_ada = t0.elapsed();
+    let ada_err = relative_l2(exact.as_slice(), ada_out.as_slice());
+
+    println!("sparse input on {n}³ (two hot clusters)");
+    println!("\nregular k=8 decomposition:");
+    println!(
+        "  domains: {} processed / {} skipped, samples {}, err {:.2e}, {:?}",
+        reg_report.domains_processed,
+        reg_report.domains_skipped,
+        reg_report.total_samples,
+        reg_err,
+        t_reg
+    );
+    println!("\nadaptive (irregular) decomposition, k in [8, 32]:");
+    println!(
+        "  domains: {} processed / {} skipped (of {} boxes), samples {}, err {:.2e}, {:?}",
+        ada_report.domains_processed,
+        ada_report.domains_skipped,
+        domains.len(),
+        ada_report.total_samples,
+        ada_err,
+        t_ada
+    );
+    let sizes: std::collections::BTreeMap<usize, usize> =
+        domains.iter().fold(Default::default(), |mut m, d| {
+            *m.entry(d.size().0).or_insert(0) += 1;
+            m
+        });
+    println!("  box census (size -> count): {sizes:?}");
+    assert!(ada_err < 0.03 && reg_err < 0.03);
+    println!("\nOK — the irregular tiling spends its boxes where the field lives.");
+}

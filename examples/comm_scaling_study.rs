@@ -1,0 +1,131 @@
+//! Communication scaling study: traditional distributed FFT convolution vs
+//! the single routed sparse exchange — measured on the functional cluster
+//! simulator, plus the paper's Eq. 1 / Eq. 6 α-β model at paper scale.
+//!
+//! ```sh
+//! cargo run --release --example comm_scaling_study
+//! ```
+
+use std::sync::Arc;
+
+use lcc_comm::{
+    convolve_distributed, encode_f64s, run_cluster, scatter_slabs, AlphaBeta, CommScenario,
+};
+use lcc_core::{LowCommConfig, LowCommConvolver};
+use lcc_fft::{Complex64, FftPlanner};
+use lcc_greens::{GaussianKernel, KernelSpectrum};
+use lcc_grid::{decompose_uniform, BoxRegion, Grid3};
+use lcc_octree::RateSchedule;
+
+/// Runs both deployments at one size and prints measured wire traffic.
+fn measured(n: usize, k: usize, p: usize) {
+    let kernel = Arc::new(GaussianKernel::new(n, 1.0));
+    let field: Vec<Complex64> = (0..n * n * n)
+        .map(|i| Complex64::from_real((i as f64 * 0.23).sin()))
+        .collect();
+
+    // Traditional: slab-decomposed FFT convolution (two all-to-all
+    // transposes on this path; a full 3-stage pipeline does four).
+    let slabs = scatter_slabs(&field, n, p);
+    let kern = {
+        let kernel = kernel.clone();
+        move |f: [usize; 3]| kernel.eval(f)
+    };
+    let (_, trad) = run_cluster(p, move |mut w| {
+        let planner = FftPlanner::new();
+        let mine = slabs[w.rank()].clone();
+        convolve_distributed(&mut w, &planner, mine, n, &kern);
+    });
+
+    // Proposed: local compressed convolutions, then ONE exchange where each
+    // receiver gets only the octree cells intersecting its slab. Domains
+    // are owned by the worker owning their *response* region, so the dense
+    // cores never travel.
+    let conv = Arc::new(LowCommConvolver::new(LowCommConfig {
+        n,
+        k,
+        batch: 1024,
+        schedule: RateSchedule::paper_default(k, 16),
+    }));
+    let input = Arc::new(Grid3::from_vec(
+        (n, n, n),
+        field.iter().map(|c| c.re).collect(),
+    ));
+    let domains = decompose_uniform(n, k);
+    let assignment: Vec<Vec<usize>> = {
+        let mut a = vec![Vec::new(); p];
+        for (di, d) in domains.iter().enumerate() {
+            let r = conv.response_region(d, kernel.as_ref());
+            a[r.lo[0] / (n / p)].push(di);
+        }
+        a
+    };
+    let (_, ours) = run_cluster(p, {
+        let conv = conv.clone();
+        let domains = domains.clone();
+        let assignment = assignment.clone();
+        let kernel = kernel.clone();
+        let input = input.clone();
+        move |mut w| {
+            let fields: Vec<_> = assignment[w.rank()]
+                .iter()
+                .map(|&di| {
+                    let d = domains[di];
+                    let sub = input.extract(&d);
+                    let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
+                    conv.local().convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
+                })
+                .collect();
+            let outgoing: Vec<Vec<u8>> = (0..w.size())
+                .map(|dest| {
+                    let region =
+                        BoxRegion::new([dest * n / p, 0, 0], [(dest + 1) * n / p, n, n]);
+                    let mut bytes = Vec::new();
+                    for f in &fields {
+                        bytes.extend(encode_f64s(&f.region_payload(&region).samples));
+                    }
+                    bytes
+                })
+                .collect();
+            let _ = w.alltoall(outgoing);
+        }
+    });
+
+    println!(
+        "{:<6} {:<4} {:<4} {:>16} {:>8} {:>16} {:>8} {:>9.1}x",
+        n,
+        k,
+        p,
+        trad.bytes(),
+        trad.rounds(),
+        ours.bytes(),
+        ours.rounds(),
+        trad.bytes() as f64 / ours.bytes() as f64
+    );
+}
+
+fn main() {
+    println!("== measured on the functional cluster simulator ==");
+    println!(
+        "{:<6} {:<4} {:<4} {:>16} {:>8} {:>16} {:>8} {:>10}",
+        "N", "k", "P", "trad bytes", "rounds", "ours bytes", "rounds", "reduction"
+    );
+    for (n, k, p) in [(32usize, 8usize, 4usize), (64, 16, 4), (64, 16, 8)] {
+        measured(n, k, p);
+    }
+
+    println!("\n== analytic α-β model at paper scale (Eq. 1 vs Eq. 6) ==");
+    println!(
+        "{:<6} {:<6} {:>14} {:>14} {:>10}",
+        "N", "P", "T_fft (s)", "T_ours (s)", "ratio"
+    );
+    for (n, p) in [(1024usize, 64usize), (2048, 256), (4096, 1024), (8192, 4096)] {
+        let s = CommScenario { n, p, elem_bytes: 16, link: AlphaBeta::hpc_default() };
+        let t_fft = s.t_fft_bandwidth_only();
+        let t_ours = s.t_ours(128, 8.0);
+        println!(
+            "{:<6} {:<6} {:>14.4e} {:>14.4e} {:>10.1}",
+            n, p, t_fft, t_ours, t_fft / t_ours
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: approximate a large 3D convolution with the low-communication
+//! pipeline and compare it against the dense FFT baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lcc_core::{LowCommConfig, LowCommConvolver, TraditionalConvolver};
+use lcc_greens::GaussianKernel;
+use lcc_grid::{relative_l2, Grid3};
+use lcc_octree::RateSchedule;
+
+fn main() {
+    // Problem: a 64³ grid convolved with the paper's sharp Gaussian kernel,
+    // decomposed into 16³ sub-domains.
+    let n = 64;
+    let k = 16;
+    let sigma = 2.0;
+    let kernel = GaussianKernel::new(n, sigma);
+
+    let input = Grid3::from_fn((n, n, n), |x, y, z| {
+        ((x as f64 * 0.3).sin() + (y as f64 * 0.17).cos()) * (1.0 + 0.02 * z as f64)
+    });
+
+    // The adaptive schedule: dense through a 3σ halo around each
+    // sub-domain's response, r = 2 through the transition, r = 8 / 16 beyond.
+    let schedule = RateSchedule::for_kernel_spread(k, sigma, 16);
+    let conv = LowCommConvolver::new(LowCommConfig { n, k, batch: 1024, schedule });
+
+    println!("low-communication convolution: N = {n}, k = {k}, sigma = {sigma}");
+    let t0 = std::time::Instant::now();
+    let (approx, report) = conv.convolve(&input, &kernel);
+    let t_ours = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let exact = TraditionalConvolver::new(n).convolve(&input, &kernel);
+    let t_dense = t0.elapsed();
+
+    let err = relative_l2(exact.as_slice(), approx.as_slice());
+    let per_domain = report.total_samples / report.domains_processed;
+    println!("  sub-domains processed    : {}", report.domains_processed);
+    println!(
+        "  per-worker memory        : {} samples/domain vs {} dense points ({:.1}x less)",
+        per_domain,
+        n * n * n,
+        (n * n * n) as f64 / per_domain as f64
+    );
+    println!("  all-to-all rounds        : 1 (traditional FFT convolution: 4)");
+    println!("  relative L2 error        : {:.3e}  (paper budget: 3e-2)", err);
+    println!("  wall time ours/dense     : {t_ours:.2?} / {t_dense:.2?}");
+    println!();
+    println!("Note: serially, processing {} domains repeats work the dense path does", report.domains_processed);
+    println!("once — the method trades redundant *local* compute for per-worker memory");
+    println!("and communication, which is what scales on a cluster (see DESIGN.md).");
+    assert!(err < 0.03, "error above the paper's tolerance");
+    println!("OK");
+}

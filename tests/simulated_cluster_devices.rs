@@ -1,0 +1,168 @@
+//! Full-stack integration: a cluster of workers, each with a *memory-
+//! limited simulated accelerator*, running the low-communication pipeline
+//! where the dense approach cannot even allocate.
+//!
+//! This is the paper's deployment story in miniature: per-worker device
+//! memory is the binding constraint (Table 2), the compressed pipeline
+//! fits where the dense transform does not (§5.1), and the only network
+//! traffic is the routed sample exchange (Fig. 1b).
+
+use std::sync::Arc;
+
+use lcc_comm::{encode_f64s, run_cluster};
+use lcc_core::{LowCommConfig, LowCommConvolver, PipelineFootprint};
+use lcc_device::{PerfModel, SimDevice};
+use lcc_greens::{GaussianKernel, KernelSpectrum};
+use lcc_grid::{decompose_uniform, relative_l2, BoxRegion, Grid3};
+use lcc_octree::RateSchedule;
+
+/// A toy accelerator scaled so the N=64 dense transform (real field +
+/// spectrum + workspace ≈ 3·8·N³ ≈ 6.3 MB) does not fit but the k=8
+/// streaming pipeline (~4.5 MB with workspaces) does — Table 2's logic at
+/// laptop scale.
+fn toy_device() -> SimDevice {
+    SimDevice::new("toy-6MB", 6_000_000, PerfModel::v100())
+}
+
+#[test]
+fn pipeline_fits_where_dense_does_not() {
+    let n = 64usize;
+    let k = 8usize;
+    let dev = toy_device();
+
+    // Dense r2c transform: real field, half spectrum, cuFFT workspace.
+    let dense_part = 8 * (n as u64).pow(3);
+    let a = dev.alloc(dense_part, "dense-field");
+    let b = dev.alloc(dense_part, "dense-spectrum");
+    let c = dev.alloc(dense_part, "dense-workspace");
+    assert!(
+        c.is_err(),
+        "dense transform must not fit on the toy device"
+    );
+    drop((a, b));
+    assert_eq!(dev.memory().used(), 0);
+
+    // Pipeline: slab + retained + batch + compressed + plan workspaces.
+    let schedule = RateSchedule::paper_default(k, 16);
+    let domain = BoxRegion::new([0; 3], [k; 3]);
+    let plan = lcc_octree::SamplingPlan::build(n, domain, &schedule);
+    let fp = PipelineFootprint::model(
+        n,
+        k,
+        plan.retained_z().len(),
+        256,
+        plan.compressed_bytes() as u64,
+    );
+    let mut held = Vec::new();
+    for (bytes, label) in [
+        (fp.slab_bytes, "slab"),
+        (fp.retained_bytes, "retained"),
+        (fp.batch_bytes, "batch"),
+        (fp.compressed_bytes, "compressed"),
+        (fp.plan_workspace_bytes, "workspace"),
+    ] {
+        held.push(
+            dev.alloc(bytes, label)
+                .unwrap_or_else(|e| panic!("pipeline buffer failed: {e}")),
+        );
+    }
+    assert!(dev.memory().peak() <= dev.memory().capacity());
+}
+
+#[test]
+fn cluster_of_constrained_devices_computes_correct_result() {
+    let n = 32usize;
+    let k = 8usize;
+    let p = 4usize;
+    let sigma = 1.0;
+    let kernel = Arc::new(GaussianKernel::new(n, sigma));
+    let input = Arc::new(Grid3::from_fn((n, n, n), |x, y, z| {
+        ((x as f64 * 0.33).sin() + (y as f64 * 0.21).cos()) * (1.0 + 0.02 * z as f64)
+    }));
+    let conv = Arc::new(LowCommConvolver::new(LowCommConfig {
+        n,
+        k,
+        batch: 256,
+        schedule: RateSchedule::for_kernel_spread(k, sigma, 16),
+    }));
+    let domains = decompose_uniform(n, k);
+    let assignment: Vec<Vec<usize>> = {
+        let mut a = vec![Vec::new(); p];
+        for (di, d) in domains.iter().enumerate() {
+            let r = conv.response_region(d, kernel.as_ref());
+            a[r.lo[0] / (n / p)].push(di);
+        }
+        a
+    };
+
+    let oracle = lcc_core::TraditionalConvolver::new(n).convolve(&input, kernel.as_ref());
+
+    let (fields, stats) = run_cluster(p, {
+        let conv = conv.clone();
+        let domains = domains.clone();
+        let assignment = assignment.clone();
+        let kernel = kernel.clone();
+        let input = input.clone();
+        move |mut w| {
+            // Each rank owns a memory-limited device; every domain's
+            // buffers are charged before computing (and released after —
+            // sequential domain processing is what keeps it fitting,
+            // exactly the paper's single-GPU mode of operation).
+            let dev = toy_device();
+            let my_fields: Vec<_> = assignment[w.rank()]
+                .iter()
+                .map(|&di| {
+                    let d = domains[di];
+                    let plan =
+                        conv.plan_for(conv.response_region(&d, kernel.as_ref()));
+                    let fp = PipelineFootprint::model(
+                        n,
+                        k,
+                        plan.retained_z().len(),
+                        256,
+                        plan.compressed_bytes() as u64,
+                    );
+                    let _slab = dev.alloc(fp.slab_bytes, "slab").expect("slab fits");
+                    let _rest = dev
+                        .alloc(fp.retained_bytes + fp.batch_bytes, "working")
+                        .expect("working set fits");
+                    let sub = input.extract(&d);
+                    conv.local().convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
+                })
+                .collect();
+            assert!(dev.memory().peak() <= dev.memory().capacity());
+
+            // One routed exchange, then each rank reconstructs its slab.
+            let outgoing: Vec<Vec<u8>> = (0..w.size())
+                .map(|dest| {
+                    let region =
+                        BoxRegion::new([dest * n / p, 0, 0], [(dest + 1) * n / p, n, n]);
+                    let mut bytes = Vec::new();
+                    for f in &my_fields {
+                        bytes.extend(encode_f64s(&f.region_payload(&region).samples));
+                    }
+                    bytes
+                })
+                .collect();
+            let _incoming = w.alltoall(outgoing);
+
+            // For verification, each rank also returns its dense share
+            // computed from its own fields plus everyone's (rebuilt
+            // locally — the wire format is exercised above; correctness of
+            // payload reconstruction is covered by distributed_lowcomm).
+            my_fields
+        }
+    });
+
+    assert_eq!(stats.rounds(), 1);
+    // Accumulate all ranks' compressed fields and compare to the oracle.
+    let mut result = Grid3::zeros((n, n, n));
+    let cube = BoxRegion::cube(n);
+    for rank_fields in &fields {
+        for f in rank_fields {
+            f.add_region_into(&cube, &mut result, 1.0);
+        }
+    }
+    let err = relative_l2(oracle.as_slice(), result.as_slice());
+    assert!(err < 0.03, "cluster-of-devices error {err}");
+}

@@ -9,14 +9,18 @@ fn bench_alltoall(c: &mut Criterion) {
     let mut g = c.benchmark_group("cluster_alltoall");
     g.sample_size(10);
     for bytes in [1024usize, 65536] {
-        g.bench_with_input(BenchmarkId::new("p4_payload", bytes), &bytes, |b, &bytes| {
-            b.iter(|| {
-                run_cluster(4, |mut w| {
-                    let outgoing = vec![vec![0u8; bytes]; w.size()];
-                    w.alltoall(outgoing)
+        g.bench_with_input(
+            BenchmarkId::new("p4_payload", bytes),
+            &bytes,
+            |b, &bytes| {
+                b.iter(|| {
+                    run_cluster(4, |mut w| {
+                        let outgoing = vec![vec![0u8; bytes]; w.size()];
+                        w.alltoall(outgoing).expect("exchange failed")
+                    })
                 })
-            })
-        });
+            },
+        );
     }
     g.finish();
 }
@@ -25,15 +29,14 @@ fn bench_transpose(c: &mut Criterion) {
     let mut g = c.benchmark_group("dist_transpose");
     g.sample_size(10);
     for n in [16usize, 32] {
-        let field: Vec<Complex64> =
-            (0..n * n * n).map(|i| c64(i as f64, 0.0)).collect();
+        let field: Vec<Complex64> = (0..n * n * n).map(|i| c64(i as f64, 0.0)).collect();
         let slabs = scatter_slabs(&field, n, 4);
         g.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
             b.iter(|| {
                 let slabs = slabs.clone();
                 run_cluster(4, move |mut w| {
                     let mine = slabs[w.rank()].clone();
-                    transpose_exchange(&mut w, &mine, n)
+                    transpose_exchange(&mut w, &mine, n).expect("exchange failed")
                 })
             })
         });

@@ -8,7 +8,9 @@ use lcc_fft::{
 };
 
 fn signal(n: usize) -> Vec<Complex64> {
-    (0..n).map(|i| c64((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect()
+    (0..n)
+        .map(|i| c64((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+        .collect()
 }
 
 fn bench_1d(c: &mut Criterion) {
@@ -101,5 +103,11 @@ fn bench_3d(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_1d, bench_pruned_ablation, bench_decimated, bench_3d);
+criterion_group!(
+    benches,
+    bench_1d,
+    bench_pruned_ablation,
+    bench_decimated,
+    bench_3d
+);
 criterion_main!(benches);

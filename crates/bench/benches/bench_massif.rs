@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use lcc_core::LowCommConfig;
 use lcc_greens::MassifGamma;
 use lcc_grid::{IsotropicStiffness, Sym3};
-use lcc_massif::{
-    GammaConvolution, LowCommGamma, Microstructure, SpectralGamma, TensorField,
-};
+use lcc_massif::{GammaConvolution, LowCommGamma, Microstructure, SpectralGamma, TensorField};
 use lcc_octree::RateSchedule;
 
 fn bench_inner_loops(c: &mut Criterion) {

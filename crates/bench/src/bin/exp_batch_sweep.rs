@@ -42,9 +42,8 @@ fn main() {
             conv.convolve_compressed(&sub, [0; 3], &kernel, plan.clone());
             let mut best = f64::INFINITY;
             for _ in 0..reps {
-                let (_, ms) = time_ms(|| {
-                    conv.convolve_compressed(&sub, [0; 3], &kernel, plan.clone())
-                });
+                let (_, ms) =
+                    time_ms(|| conv.convolve_compressed(&sub, [0; 3], &kernel, plan.clone()));
                 best = best.min(ms);
             }
             let delta = prev

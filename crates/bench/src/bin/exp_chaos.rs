@@ -1,0 +1,147 @@
+//! Chaos sweep on the Fig. 1(b) deployment: the low-communication
+//! convolution's single sparse exchange, run on the cluster simulator under
+//! increasing deterministic fault pressure. Each row replays exactly from
+//! its seed (`FaultPlan` decisions are keyed hashes, not a shared RNG), so
+//! any row can be reproduced in isolation.
+//!
+//! The table shows that the retry protocol absorbs message loss with ZERO
+//! effect on the result (error vs the fault-free run stays 0) while the
+//! logical traffic accounting — bytes, messages, one collective round —
+//! never inflates. The final rows crash a rank: survivors degrade to the
+//! schedule's coarsest rate for the dead rank's domains and report the
+//! accuracy cost instead of hanging.
+
+use std::sync::Arc;
+
+use lcc_comm::{
+    decode_f64s, encode_f64s, run_cluster_with_faults, CommStats, FaultPlan, RetryPolicy,
+};
+use lcc_core::{LowCommConfig, LowCommConvolver, TraditionalConvolver};
+use lcc_greens::GaussianKernel;
+use lcc_grid::{assign_round_robin, decompose_uniform, relative_l2, Grid3};
+use lcc_octree::{CompressedField, RateSchedule};
+
+const N: usize = 32;
+const K: usize = 8;
+const P: usize = 4;
+const SIGMA: f64 = 1.5;
+const SEED: u64 = 0x51_EE_D5;
+
+fn input() -> Grid3<f64> {
+    Grid3::from_fn((N, N, N), |x, y, z| {
+        ((x as f64 * 0.29).sin() + (y as f64 * 0.41).cos()) * (1.0 + 0.01 * z as f64)
+    })
+}
+
+fn config() -> LowCommConfig {
+    LowCommConfig {
+        n: N,
+        k: K,
+        batch: 512,
+        schedule: RateSchedule::for_kernel_spread(K, SIGMA, 16),
+    }
+}
+
+/// The distributed low-comm convolution under `plan`: local compressed
+/// convolutions, one surviving allgather, reconstruction with degraded
+/// recomputation of any crashed rank's domains.
+fn run(plan: FaultPlan) -> (Vec<Option<Grid3<f64>>>, Arc<CommStats>) {
+    let kernel = Arc::new(GaussianKernel::new(N, SIGMA));
+    let field = Arc::new(input());
+    let cfg = Arc::new(config());
+    let domains = decompose_uniform(N, K);
+    let assignment = assign_round_robin(domains.len(), P);
+    run_cluster_with_faults(P, plan, RetryPolicy::default(), move |mut w| {
+        let conv = LowCommConvolver::new((*cfg).clone());
+        let my_fields: Vec<CompressedField> = assignment[w.rank()]
+            .iter()
+            .map(|&di| {
+                let d = domains[di];
+                let sub = field.extract(&d);
+                let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
+                conv.local()
+                    .convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
+            })
+            .collect();
+        let payload: Vec<f64> = my_fields
+            .iter()
+            .flat_map(|f| f.samples().iter().copied())
+            .collect();
+        let all = w
+            .allgather_surviving(encode_f64s(&payload))
+            .expect("surviving allgather failed");
+        let mut live_fields = Vec::new();
+        let mut missing = Vec::new();
+        for (rank, bytes) in all.iter().enumerate() {
+            match bytes {
+                Some(bytes) => {
+                    let samples = decode_f64s(bytes);
+                    let mut off = 0;
+                    for &di in &assignment[rank] {
+                        let d = domains[di];
+                        let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
+                        let count = plan.total_samples();
+                        let mut f = CompressedField::zeros(plan);
+                        f.samples_mut().copy_from_slice(&samples[off..off + count]);
+                        off += count;
+                        live_fields.push(f);
+                    }
+                }
+                None => missing.extend(assignment[rank].iter().map(|&di| domains[di])),
+            }
+        }
+        let (result, _) = conv.accumulate_degraded(&live_fields, &field, kernel.as_ref(), &missing);
+        result
+    })
+}
+
+fn main() {
+    let oracle = TraditionalConvolver::new(N).convolve(&input(), &GaussianKernel::new(N, SIGMA));
+    let (baseline, _) = run(FaultPlan::none());
+    let baseline = baseline[0].as_ref().unwrap().clone();
+
+    println!("== chaos sweep: N={N} k={K} P={P}, seed {SEED:#x}, one sparse exchange ==");
+    println!(
+        "{:<22} {:>8} {:>11} {:>8} {:>8} {:>12} {:>12}",
+        "scenario", "retrans", "dups-suppr", "timeouts", "rounds", "vs clean", "vs oracle"
+    );
+    let sweeps: &[(&str, FaultPlan)] = &[
+        ("fault-free", FaultPlan::none()),
+        ("drop 1%", FaultPlan::new(SEED).with_drop(0.01)),
+        ("drop 5%", FaultPlan::new(SEED).with_drop(0.05)),
+        ("drop 10%", FaultPlan::new(SEED).with_drop(0.10)),
+        (
+            "drop 20% + dup 10%",
+            FaultPlan::new(SEED).with_drop(0.20).with_duplicates(0.10),
+        ),
+        ("crash rank 3", FaultPlan::new(SEED).with_crashed(3)),
+        (
+            "crash 3 + drop 5%",
+            FaultPlan::new(SEED).with_drop(0.05).with_crashed(3),
+        ),
+    ];
+    for (name, plan) in sweeps {
+        let (results, stats) = run(plan.clone());
+        let survivor = results
+            .iter()
+            .flatten()
+            .next()
+            .expect("at least one survivor");
+        let vs_clean = relative_l2(baseline.as_slice(), survivor.as_slice());
+        let vs_oracle = relative_l2(oracle.as_slice(), survivor.as_slice());
+        println!(
+            "{:<22} {:>8} {:>11} {:>8} {:>8} {:>12.2e} {:>12.2e}",
+            name,
+            stats.retransmit_count(),
+            stats.duplicate_count(),
+            stats.timeout_count(),
+            stats.rounds(),
+            vs_clean,
+            vs_oracle
+        );
+    }
+    println!();
+    println!("Message loss is fully absorbed by the ack/retry protocol (vs clean = 0);");
+    println!("a crashed rank degrades accuracy — survivors rebuild its domains at the");
+    println!("schedule's coarsest rate — but the run still completes in one round.");
+}

@@ -30,7 +30,7 @@ fn measured(n: usize, k: usize, p: usize) {
     let (_, trad) = run_cluster(p, move |mut w| {
         let planner = FftPlanner::new();
         let mine = slabs[w.rank()].clone();
-        convolve_distributed(&mut w, &planner, mine, n, &kern);
+        convolve_distributed(&mut w, &planner, mine, n, &kern).expect("convolution failed");
     });
 
     // Proposed: local compressed convolutions + one routed exchange.
@@ -66,13 +66,13 @@ fn measured(n: usize, k: usize, p: usize) {
                     let d = domains[di];
                     let sub = input.extract(&d);
                     let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
-                    conv.local().convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
+                    conv.local()
+                        .convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
                 })
                 .collect();
             let outgoing: Vec<Vec<u8>> = (0..w.size())
                 .map(|dest| {
-                    let region =
-                        BoxRegion::new([dest * n / p, 0, 0], [(dest + 1) * n / p, n, n]);
+                    let region = BoxRegion::new([dest * n / p, 0, 0], [(dest + 1) * n / p, n, n]);
                     let mut bytes = Vec::new();
                     for f in &fields {
                         bytes.extend(encode_f64s(&f.region_payload(&region).samples));
@@ -80,7 +80,7 @@ fn measured(n: usize, k: usize, p: usize) {
                     bytes
                 })
                 .collect();
-            let _ = w.alltoall(outgoing);
+            let _ = w.alltoall(outgoing).expect("exchange failed");
         }
     });
 
@@ -118,7 +118,12 @@ fn main() {
         (4096, 4096, 128, 16.0),
         (8192, 4096, 128, 32.0),
     ] {
-        let s = CommScenario { n, p, elem_bytes: 16, link: AlphaBeta::hpc_default() };
+        let s = CommScenario {
+            n,
+            p,
+            elem_bytes: 16,
+            link: AlphaBeta::hpc_default(),
+        };
         let t1 = s.t_fft_bandwidth_only();
         let t1ab = s.t_fft_alltoall();
         let t6 = s.t_ours(k, r);

@@ -21,7 +21,10 @@ fn main() {
         "sigma", "schedule", "measured", "bound", "ratio"
     );
     for sigma in [1.0f64, 2.0, 3.0] {
-        let decay = GaussianDecay { amplitude: 1.0, sigma };
+        let decay = GaussianDecay {
+            amplitude: 1.0,
+            sigma,
+        };
         let field = Grid3::from_fn((n, n, n), |x, y, z| {
             let d = domain.chebyshev_distance([x, y, z]) as f64;
             (-d * d / (2.0 * sigma * sigma)).exp()

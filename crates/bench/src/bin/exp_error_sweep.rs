@@ -39,14 +39,21 @@ fn main() {
                 format!("spread-aware({spread})"),
                 RateSchedule::for_kernel_spread(k, spread, 16),
             ),
-            ("paper heuristic f16".into(), RateSchedule::paper_default(k, 16)),
+            (
+                "paper heuristic f16".into(),
+                RateSchedule::paper_default(k, 16),
+            ),
             ("uniform r=2".into(), RateSchedule::uniform(2)),
             ("uniform r=4".into(), RateSchedule::uniform(4)),
             ("uniform r=8".into(), RateSchedule::uniform(8)),
         ];
         for (sname, schedule) in schedules {
-            let conv =
-                LowCommConvolver::new(LowCommConfig { n, k, batch: 1024, schedule });
+            let conv = LowCommConvolver::new(LowCommConfig {
+                n,
+                k,
+                batch: 1024,
+                schedule,
+            });
             let (approx, report) = conv.convolve(&input, kernel);
             let err = relative_l2(exact.as_slice(), approx.as_slice());
             println!(

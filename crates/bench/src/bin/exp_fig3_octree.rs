@@ -26,7 +26,10 @@ fn main() {
     );
 
     println!("\nper-rate census:");
-    println!("{:<8} {:>10} {:>14} {:>14} {:>12}", "rate", "cells", "points", "samples", "density");
+    println!(
+        "{:<8} {:>10} {:>14} {:>14} {:>12}",
+        "rate", "cells", "points", "samples", "density"
+    );
     for s in plan.rate_histogram() {
         println!(
             "{:<8} {:>10} {:>14} {:>14} {:>12.5}",
@@ -39,7 +42,10 @@ fn main() {
     }
 
     println!("\nsample density by Chebyshev distance from the sub-domain:");
-    println!("{:<12} {:>12} {:>14} {:>10}", "distance", "samples", "points", "density");
+    println!(
+        "{:<12} {:>12} {:>14} {:>10}",
+        "distance", "samples", "points", "density"
+    );
     let mut samples_by_shell = vec![0usize; n];
     let mut points_by_shell = vec![0usize; n];
     for cell in plan.cells() {
@@ -63,7 +69,13 @@ fn main() {
         let s: usize = range.clone().map(|d| samples_by_shell[d]).sum();
         let p: usize = range.map(|d| points_by_shell[d]).sum();
         if p > 0 {
-            println!("{:<12} {:>12} {:>14} {:>10.5}", label, s, p, s as f64 / p as f64);
+            println!(
+                "{:<12} {:>12} {:>14} {:>10.5}",
+                label,
+                s,
+                p,
+                s as f64 / p as f64
+            );
         }
     }
 

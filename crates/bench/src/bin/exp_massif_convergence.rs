@@ -25,9 +25,15 @@ fn main() {
     // Tolerance sits above Algorithm 2's compression-error floor (~1e-3 at
     // this schedule): §5.3's claim is about convergence at the tolerances
     // the application actually uses, not below the approximation error.
-    let cfg = SolverConfig { max_iters: 30, tol: 2.5e-3 };
+    let cfg = SolverConfig {
+        max_iters: 30,
+        tol: 2.5e-3,
+    };
 
-    println!("MASSIF convergence — {n}³ composite, inclusion fraction {:.3}", vf[1]);
+    println!(
+        "MASSIF convergence — {n}³ composite, inclusion fraction {:.3}",
+        vf[1]
+    );
     let (alg1, t1) = time_ms(|| solve(&micro, e, cfg, &SpectralGamma::new(gamma)));
     let engine = LowCommGamma::new(
         gamma,
@@ -40,11 +46,22 @@ fn main() {
     );
     let (alg2, t2) = time_ms(|| solve(&micro, e, cfg, &engine));
 
-    println!("\n{:<6} {:>18} {:>18}", "iter", "Alg1 residual", "Alg2 residual");
+    println!(
+        "\n{:<6} {:>18} {:>18}",
+        "iter", "Alg1 residual", "Alg2 residual"
+    );
     let rows = alg1.residuals.len().max(alg2.residuals.len());
     for i in 0..rows {
-        let a = alg1.residuals.get(i).map(|v| format!("{v:.4e}")).unwrap_or_default();
-        let b = alg2.residuals.get(i).map(|v| format!("{v:.4e}")).unwrap_or_default();
+        let a = alg1
+            .residuals
+            .get(i)
+            .map(|v| format!("{v:.4e}"))
+            .unwrap_or_default();
+        let b = alg2
+            .residuals
+            .get(i)
+            .map(|v| format!("{v:.4e}"))
+            .unwrap_or_default();
         println!("{:<6} {:>18} {:>18}", i + 1, a, b);
     }
 

@@ -11,8 +11,7 @@ use lcc_device::SimDevice;
 /// downsampling rate; true if all fit.
 fn fits_at_r(dev: &SimDevice, n: usize, k: usize, batch: usize, r: usize) -> bool {
     let retained = (2 * k + n / r).min(n);
-    let compressed =
-        8 * ((k as u64).pow(3) + (n as u64).pow(3) / (r as u64).pow(3));
+    let compressed = 8 * ((k as u64).pow(3) + (n as u64).pow(3) / (r as u64).pow(3));
     let fp = PipelineFootprint::model(n, k, retained, batch, compressed);
     let mut held = Vec::new();
     for (bytes, label) in [
@@ -49,7 +48,10 @@ fn fits(dev_name: &str, n: usize, k: usize, batch: usize) -> Option<u64> {
 
 fn main() {
     println!("Table 2 — allowable k per N within a single GPU's memory");
-    println!("{:<8} {:<14} {:<18} {:>14}", "N", "allowable k", "device", "peak GB @ k");
+    println!(
+        "{:<8} {:<14} {:<18} {:>14}",
+        "N", "allowable k", "device", "peak GB @ k"
+    );
     let rows = [
         (128usize, "V100 16GB"),
         (256, "V100 16GB"),

@@ -20,9 +20,18 @@ use lcc_octree::{RateBand, RateSchedule, SamplingPlan};
 fn schedule_for_r(k: usize, r: u32) -> RateSchedule {
     RateSchedule {
         bands: vec![
-            RateBand { max_distance: 3, rate: 1 },
-            RateBand { max_distance: k / 2, rate: 2 },
-            RateBand { max_distance: 4 * k, rate: r.clamp(2, 8) },
+            RateBand {
+                max_distance: 3,
+                rate: 1,
+            },
+            RateBand {
+                max_distance: k / 2,
+                rate: 2,
+            },
+            RateBand {
+                max_distance: 4 * k,
+                rate: r.clamp(2, 8),
+            },
         ],
         far_rate: r,
         boundary_width: 0,

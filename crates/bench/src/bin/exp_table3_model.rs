@@ -23,8 +23,8 @@ fn pipeline_flops(n: usize, k: usize, retained: usize) -> f64 {
     // Stage 1: per slice, k y-pencils + n x-pencils; k slices.
     let stage1 = k as f64 * (k as f64 + n as f64) * pruned_pencil;
     // Stage 2: n² pencils: pruned forward + pointwise + full inverse.
-    let stage2 = (n * n) as f64
-        * (pruned_pencil + 8.0 * n as f64 + 5.0 * n as f64 * (n as f64).log2());
+    let stage2 =
+        (n * n) as f64 * (pruned_pencil + 8.0 * n as f64 + 5.0 * n as f64 * (n as f64).log2());
     // Stage 3: retained planes × 2D inverse (2n pencils of length n each).
     let stage3 = retained as f64 * 2.0 * fft_flops(n, n);
     stage1 + stage2 + stage3
@@ -59,8 +59,7 @@ fn main() {
         gpu.launch_kernel(pipeline_flops(n, k, retained));
         let batches = (n * n / 4096).max(1);
         let launch_overhead = batches as f64 * gpu.perf().launch_latency;
-        let samples_out =
-            (k * k * k) as u64 * 8 + ((n as u64).pow(3) / (r as u64).pow(3)) * 8;
+        let samples_out = (k * k * k) as u64 * 8 + ((n as u64).pow(3) / (r as u64).pow(3)) * 8;
         gpu.transfer_d2h(samples_out);
         let t_gpu = (gpu.elapsed() + launch_overhead) * 1e3;
 
@@ -78,7 +77,9 @@ fn main() {
             t_gpu,
             t_cpu,
             speedup,
-            paper.map(|p| format!("{p:.2}")).unwrap_or_else(|| "-".into())
+            paper
+                .map(|p| format!("{p:.2}"))
+                .unwrap_or_else(|| "-".into())
         );
     }
     println!("\nShape to match: speedup grows with N into the tens — the GPU's flop");

@@ -29,8 +29,7 @@ fn main() {
     for (n, k, r, p_est, p_act) in rows {
         // Retained planes: dense response (~2k) + exterior strided at r.
         let retained = (2 * k + n / r as usize).min(n);
-        let compressed =
-            8 * ((k as u64).pow(3) + (n as u64).pow(3) / (r as u64).pow(3));
+        let compressed = 8 * ((k as u64).pow(3) + (n as u64).pow(3) / (r as u64).pow(3));
         let batch = (4 * n).min(32768);
         let fp = PipelineFootprint::model(n, k, retained, batch, compressed);
         let est = fp.estimated_bytes();

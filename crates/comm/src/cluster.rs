@@ -5,23 +5,60 @@
 //! allgather, barrier). Every byte that crosses a channel is counted, so
 //! experiments can report *measured* communication volumes and round counts
 //! next to the analytic Eq. 1 / Eq. 6 estimates.
+//!
+//! # Fault injection and reliability
+//!
+//! Runs started with [`run_cluster_with_faults`] thread a [`FaultPlan`]
+//! through every wire crossing. When the plan is active, point-to-point
+//! sends switch to a sequenced, acknowledged protocol: each logical message
+//! carries a per-(src, dst) sequence number, the receiver acks every
+//! delivered frame and suppresses retransmitted duplicates, and the sender
+//! retries dropped frames up to [`RetryPolicy::max_attempts`] times with
+//! exponential backoff. Because every drop/duplicate decision is a pure
+//! keyed hash of `(seed, src, dst, seq, attempt)` — see [`crate::fault`] —
+//! both endpoints can *compute* the fate of each transmission instead of
+//! discovering it by waiting. The sender therefore never burns a real
+//! timeout on a frame it knows was lost; blocking waits remain only for
+//! events guaranteed to happen, with generous safety timeouts surfacing
+//! [`CommError`] instead of deadlocking. The upshot: retransmit, duplicate
+//! and timeout counters are exact functions of the fault seed, so any chaos
+//! run can be replayed bit-for-bit.
+//!
+//! When the plan is inert ([`FaultPlan::is_active`] is false — the
+//! [`run_cluster`] path) none of the protocol engages and the simulator
+//! behaves exactly like the original fire-and-forget implementation.
+//!
+//! Counter semantics: `bytes_sent` / `messages` count each *logical* send
+//! once, never its retransmissions or acks, so communication-volume
+//! experiments read the same with faults on or off.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+use crate::fault::{CommError, FaultPlan, RetryPolicy};
 
 /// Shared instrumentation counters for one cluster run.
 #[derive(Debug, Default)]
 pub struct CommStats {
-    /// Total payload bytes sent across all ranks (self-copies excluded).
+    /// Total payload bytes sent across all ranks (self-copies excluded,
+    /// retransmissions and acks excluded: logical traffic only).
     pub bytes_sent: AtomicU64,
-    /// Total point-to-point messages (self-copies excluded).
+    /// Total logical point-to-point messages (self-copies excluded).
     pub messages: AtomicU64,
     /// Number of collective rounds entered (counted once per collective,
     /// not per rank).
     pub collective_rounds: AtomicU64,
+    /// Data-frame retransmissions forced by the fault plan.
+    pub retransmits: AtomicU64,
+    /// Redundant deliveries discarded by receivers (retransmits that raced
+    /// a successful delivery, plus injected duplicates).
+    pub duplicates_suppressed: AtomicU64,
+    /// Ack waits that expired because the fault plan dropped the ack.
+    pub timeouts: AtomicU64,
 }
 
 impl CommStats {
@@ -40,18 +77,85 @@ impl CommStats {
         self.collective_rounds.load(Ordering::Relaxed)
     }
 
+    /// Snapshot of forced retransmissions.
+    pub fn retransmit_count(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of suppressed duplicate deliveries.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates_suppressed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of expired ack waits.
+    pub fn timeout_count(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
     /// α-β modeled wall time of the recorded traffic on `p` ranks,
     /// assuming all ranks inject concurrently on dedicated links (the
     /// fully-connected assumption behind the paper's Eq. 1): every message
     /// pays α, and each rank's share of the volume pays β serially.
     pub fn modeled_time(&self, model: &crate::model::AlphaBeta, p: usize) -> f64 {
         let p = p.max(1) as f64;
-        (self.message_count() as f64 / p) * model.alpha
-            + (self.bytes() as f64 / p) * model.beta
+        (self.message_count() as f64 / p) * model.alpha + (self.bytes() as f64 / p) * model.beta
     }
 }
 
-type Packet = (usize, Vec<u8>);
+/// What actually crosses a channel: sequenced data or an acknowledgement.
+enum Frame {
+    Data { seq: u64, payload: Vec<u8> },
+    Ack { seq: u64 },
+}
+
+type Packet = (usize, Frame);
+
+/// A reusable generation barrier over the run's *live* ranks, with a
+/// timeout so a rank missing the rendezvous surfaces an error instead of
+/// hanging the cluster. (`std::sync::Barrier` has no timed wait.)
+struct SimBarrier {
+    n: usize,
+    state: Mutex<(usize, u64)>,
+    cv: Condvar,
+}
+
+impl SimBarrier {
+    fn new(n: usize) -> Self {
+        SimBarrier {
+            n,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Returns true if all `n` ranks arrived within `timeout`. On timeout
+    /// this rank withdraws its arrival so the barrier stays usable.
+    fn wait(&self, timeout: Duration) -> bool {
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let generation = guard.1;
+        guard.0 += 1;
+        if guard.0 == self.n {
+            guard.0 = 0;
+            guard.1 += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        while guard.1 == generation {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                guard.0 -= 1;
+                return false;
+            }
+            guard = self
+                .cv
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        true
+    }
+}
 
 /// One rank's endpoint into the cluster.
 pub struct CommWorld {
@@ -62,8 +166,21 @@ pub struct CommWorld {
     /// Per-peer reorder buffers: messages that arrived ahead of the peer we
     /// are currently waiting on.
     inbox: Vec<VecDeque<Vec<u8>>>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<SimBarrier>,
     stats: Arc<CommStats>,
+    plan: Arc<FaultPlan>,
+    retry: RetryPolicy,
+    /// Next sequence number per destination.
+    next_seq: Vec<u64>,
+    /// Next expected sequence number per source (receiver-side dedup).
+    next_expected: Vec<u64>,
+    /// Ack index per source for the in-flight sequence, mirroring the
+    /// sender's enumeration of delivered frames.
+    ack_idx: Vec<u64>,
+    /// Ranks (out of the live ones) whose closure has returned; used by the
+    /// end-of-run drain so every delivered frame is serviced exactly once.
+    done: Arc<AtomicUsize>,
+    live: usize,
 }
 
 impl CommWorld {
@@ -82,57 +199,348 @@ impl CommWorld {
         &self.stats
     }
 
+    /// The fault plan governing this run (inert under [`run_cluster`]).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
     /// Sends `payload` to `to` (point-to-point, FIFO per sender-receiver
-    /// pair).
-    pub fn send(&self, to: usize, payload: Vec<u8>) {
+    /// pair). Under an active fault plan this blocks until the message is
+    /// acknowledged, retrying dropped frames per the [`RetryPolicy`].
+    pub fn send(&mut self, to: usize, payload: Vec<u8>) -> Result<(), CommError> {
         assert!(to < self.size, "invalid destination rank {to}");
-        if to != self.rank {
-            self.stats.bytes_sent.fetch_add(payload.len() as u64, Ordering::Relaxed);
-            self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        if to == self.rank {
+            // Local delivery never touches the wire (or the fault plan).
+            self.inbox[to].push_back(payload);
+            return Ok(());
         }
-        self.senders[to].send((self.rank, payload)).expect("peer hung up");
+        if self.plan.is_crashed(to) {
+            return Err(CommError::PeerCrashed {
+                rank: self.rank,
+                peer: to,
+            });
+        }
+        self.stats
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        let seq = self.next_seq[to];
+        self.next_seq[to] += 1;
+        if !self.plan.is_active() {
+            return self.push(to, Frame::Data { seq, payload });
+        }
+        self.send_reliable(to, seq, payload)
+    }
+
+    fn push(&self, to: usize, frame: Frame) -> Result<(), CommError> {
+        self.senders[to]
+            .send((self.rank, frame))
+            .map_err(|_| CommError::Disbanded {
+                rank: self.rank,
+                peer: to,
+            })
+    }
+
+    /// The sequenced/acked path. The fate of every transmission is a keyed
+    /// hash both endpoints can evaluate, so the protocol outcome (attempt
+    /// count, timeouts, which ack finally survives) is decided up front;
+    /// the frames are then transmitted and the one blocking wait is for an
+    /// ack that is guaranteed to arrive.
+    fn send_reliable(&mut self, to: usize, seq: u64, payload: Vec<u8>) -> Result<(), CommError> {
+        let plan = Arc::clone(&self.plan);
+        let mut k = 0u64; // delivered-frame index, shared with the receiver
+        let mut acked = false;
+        let mut attempts = 0u32;
+        let (mut retransmits, mut timeouts) = (0u64, 0u64);
+        while attempts < self.retry.max_attempts {
+            let a = attempts;
+            attempts += 1;
+            let delivered = !plan.drops_data(self.rank, to, seq, a);
+            let mut ack_survives = false;
+            if delivered {
+                let copies = if plan.duplicates_data(self.rank, to, seq, a) {
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..copies {
+                    ack_survives |= !plan.drops_ack(self.rank, to, seq, k);
+                    k += 1;
+                }
+            }
+            if ack_survives {
+                acked = true;
+                break;
+            }
+            if delivered {
+                // Data arrived but no ack will: this attempt ends in a real
+                // protocol timeout before the retry.
+                timeouts += 1;
+            }
+            retransmits += 1;
+        }
+
+        let delay = plan.delay_units(self.rank, to, seq);
+        if delay > 0 {
+            std::thread::sleep(plan.delay_unit * delay);
+        }
+        for a in 0..attempts {
+            if a > 0 {
+                std::thread::sleep(self.retry.backoff(a));
+            }
+            if plan.drops_data(self.rank, to, seq, a) {
+                continue; // lost in flight: the receiver never sees it
+            }
+            let copies = if plan.duplicates_data(self.rank, to, seq, a) {
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                self.push(
+                    to,
+                    Frame::Data {
+                        seq,
+                        payload: payload.clone(),
+                    },
+                )?;
+            }
+        }
+        self.stats
+            .retransmits
+            .fetch_add(retransmits, Ordering::Relaxed);
+        self.stats.timeouts.fetch_add(timeouts, Ordering::Relaxed);
+        if !acked {
+            return Err(CommError::RetriesExhausted {
+                rank: self.rank,
+                peer: to,
+                seq,
+                attempts,
+            });
+        }
+        self.wait_for_ack(to, seq)
+    }
+
+    /// Blocks until the ack for `(to, seq)` arrives, servicing any data
+    /// frames encountered meanwhile so two mutually-sending ranks cannot
+    /// deadlock on each other's acks.
+    fn wait_for_ack(&mut self, to: usize, seq: u64) -> Result<(), CommError> {
+        let deadline = Instant::now() + self.retry.ack_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(CommError::Timeout {
+                    op: "ack",
+                    rank: self.rank,
+                    waiting_on: to,
+                });
+            }
+            match self.receiver.recv_timeout(remaining) {
+                Ok((src, Frame::Ack { seq: s })) => {
+                    if src == to && s == seq {
+                        return Ok(());
+                    }
+                    // Stale ack from an already-completed exchange.
+                }
+                Ok((src, Frame::Data { seq: s, payload })) => self.handle_data(src, s, payload),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disbanded {
+                        rank: self.rank,
+                        peer: to,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Receiver-side protocol: accept new frames in order, ack every
+    /// delivered frame (subject to ack drops), and suppress duplicates.
+    fn handle_data(&mut self, src: usize, seq: u64, payload: Vec<u8>) {
+        if !self.plan.is_active() {
+            self.inbox[src].push_back(payload);
+            return;
+        }
+        if seq < self.next_expected[src] {
+            // A retransmission of something already delivered.
+            self.stats
+                .duplicates_suppressed
+                .fetch_add(1, Ordering::Relaxed);
+            self.send_ack(src, seq);
+            return;
+        }
+        // New message (sequence gaps only arise from aborted sends).
+        self.next_expected[src] = seq + 1;
+        self.ack_idx[src] = 0;
+        self.send_ack(src, seq);
+        self.inbox[src].push_back(payload);
+    }
+
+    /// Acks delivered frame number `ack_idx[src]` of `(src → self, seq)`,
+    /// unless the fault plan drops the ack — a decision the sender makes
+    /// identically, so it knows not to wait for this one.
+    fn send_ack(&mut self, src: usize, seq: u64) {
+        let k = self.ack_idx[src];
+        self.ack_idx[src] += 1;
+        if self.plan.drops_ack(src, self.rank, seq, k) {
+            return;
+        }
+        // Best effort: the peer may already have finished its run.
+        let _ = self.senders[src].send((self.rank, Frame::Ack { seq }));
+    }
+
+    fn handle_frame(&mut self, src: usize, frame: Frame) {
+        match frame {
+            Frame::Data { seq, payload } => self.handle_data(src, seq, payload),
+            Frame::Ack { .. } => {} // stale: nobody is waiting on it anymore
+        }
     }
 
     /// Receives the next in-order message from `from`, buffering messages
-    /// from other peers encountered while waiting.
-    pub fn recv_from(&mut self, from: usize) -> Vec<u8> {
+    /// from other peers encountered while waiting. Fails with a typed error
+    /// after [`RetryPolicy::recv_timeout`] instead of hanging.
+    pub fn recv_from(&mut self, from: usize) -> Result<Vec<u8>, CommError> {
         assert!(from < self.size, "invalid source rank {from}");
-        if let Some(m) = self.inbox[from].pop_front() {
-            return m;
+        if self.plan.is_crashed(from) {
+            return Err(CommError::PeerCrashed {
+                rank: self.rank,
+                peer: from,
+            });
         }
+        let deadline = Instant::now() + self.retry.recv_timeout;
         loop {
-            let (src, payload) = self.receiver.recv().expect("cluster disbanded");
-            if src == from {
-                return payload;
+            if let Some(m) = self.inbox[from].pop_front() {
+                return Ok(m);
             }
-            self.inbox[src].push_back(payload);
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CommError::Timeout {
+                    op: "recv_from",
+                    rank: self.rank,
+                    waiting_on: from,
+                });
+            }
+            match self.receiver.recv_timeout(remaining) {
+                Ok((src, frame)) => self.handle_frame(src, frame),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disbanded {
+                        rank: self.rank,
+                        peer: from,
+                    })
+                }
+            }
         }
     }
 
-    /// Synchronizes all ranks.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    /// Synchronizes all live ranks, failing with a typed error after
+    /// [`RetryPolicy::barrier_timeout`].
+    pub fn barrier(&self) -> Result<(), CommError> {
+        if self.barrier.wait(self.retry.barrier_timeout) {
+            Ok(())
+        } else {
+            Err(CommError::Timeout {
+                op: "barrier",
+                rank: self.rank,
+                waiting_on: usize::MAX,
+            })
+        }
+    }
+
+    /// Bumps the collective-round counter exactly once per collective: on
+    /// the lowest live rank.
+    fn count_round(&self) {
+        let lowest_live = (0..self.size)
+            .find(|&r| !self.plan.is_crashed(r))
+            .unwrap_or(0);
+        if self.rank == lowest_live {
+            self.stats.collective_rounds.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// All-to-all personalized exchange: `outgoing[i]` goes to rank `i`;
     /// returns `incoming[i]` from each rank `i` (including this rank's own
     /// self-message, delivered without touching the network counters).
-    pub fn alltoall(&mut self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    /// Fails with [`CommError::PeerCrashed`] if any peer is crashed — use
+    /// [`CommWorld::alltoall_surviving`] to degrade instead.
+    pub fn alltoall(&mut self, outgoing: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, CommError> {
         assert_eq!(outgoing.len(), self.size, "need one payload per rank");
-        if self.rank == 0 {
-            self.stats.collective_rounds.fetch_add(1, Ordering::Relaxed);
-        }
+        self.count_round();
         for (to, payload) in outgoing.into_iter().enumerate() {
-            self.send(to, payload);
+            self.send(to, payload)?;
         }
         (0..self.size).map(|from| self.recv_from(from)).collect()
     }
 
     /// Allgather: every rank contributes `payload`, every rank receives all
     /// contributions indexed by rank.
-    pub fn allgather(&mut self, payload: Vec<u8>) -> Vec<Vec<u8>> {
+    pub fn allgather(&mut self, payload: Vec<u8>) -> Result<Vec<Vec<u8>>, CommError> {
         let outgoing = vec![payload; self.size];
         self.alltoall(outgoing)
+    }
+
+    /// All-to-all across the surviving ranks: payloads addressed to crashed
+    /// peers are discarded and their slots come back as `None`, letting the
+    /// caller degrade gracefully instead of failing.
+    pub fn alltoall_surviving(
+        &mut self,
+        outgoing: Vec<Vec<u8>>,
+    ) -> Result<Vec<Option<Vec<u8>>>, CommError> {
+        assert_eq!(outgoing.len(), self.size, "need one payload per rank");
+        self.count_round();
+        for (to, payload) in outgoing.into_iter().enumerate() {
+            if !self.plan.is_crashed(to) {
+                self.send(to, payload)?;
+            }
+        }
+        (0..self.size)
+            .map(|from| {
+                if self.plan.is_crashed(from) {
+                    Ok(None)
+                } else {
+                    self.recv_from(from).map(Some)
+                }
+            })
+            .collect()
+    }
+
+    /// Allgather across the surviving ranks; crashed ranks' slots are
+    /// `None`.
+    pub fn allgather_surviving(
+        &mut self,
+        payload: Vec<u8>,
+    ) -> Result<Vec<Option<Vec<u8>>>, CommError> {
+        let outgoing = vec![payload; self.size];
+        self.alltoall_surviving(outgoing)
+    }
+}
+
+impl Drop for CommWorld {
+    /// End-of-run drain. Retransmitted duplicates can still be in flight
+    /// when a rank's closure returns; servicing them here (a) releases any
+    /// peer still blocked on an ack and (b) makes `duplicates_suppressed`
+    /// count *every* delivered redundant frame, keeping the counter an
+    /// exact function of the fault seed rather than of thread timing.
+    fn drop(&mut self) {
+        if !self.plan.is_active() || self.plan.is_crashed(self.rank) {
+            return;
+        }
+        self.done.fetch_add(1, Ordering::SeqCst);
+        let deadline = Instant::now() + self.retry.ack_timeout;
+        loop {
+            let all_done = self.done.load(Ordering::SeqCst) >= self.live;
+            match self.receiver.try_recv() {
+                Ok((src, frame)) => self.handle_frame(src, frame),
+                Err(TryRecvError::Empty) => {
+                    if all_done || Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
     }
 }
 
@@ -155,10 +563,35 @@ where
     R: Send,
     F: Fn(CommWorld) -> R + Send + Sync,
 {
+    let (results, stats) = run_cluster_with_faults(p, FaultPlan::none(), RetryPolicy::default(), f);
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("no rank is crashed in a fault-free run"))
+        .collect();
+    (results, stats)
+}
+
+/// Runs `f` on the live ranks of a `p`-rank cluster under `plan`, returning
+/// `None` in the slots of crashed ranks. Identical seeds replay identical
+/// fault patterns and statistics (see [`crate::fault`]).
+pub fn run_cluster_with_faults<R, F>(
+    p: usize,
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    f: F,
+) -> (Vec<Option<R>>, Arc<CommStats>)
+where
+    R: Send,
+    F: Fn(CommWorld) -> R + Send + Sync,
+{
     assert!(p >= 1, "need at least one rank");
+    let live = plan.live_count(p);
+    assert!(live >= 1, "at least one rank must survive the fault plan");
     let _gate = CLUSTER_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = Arc::new(plan);
     let stats = Arc::new(CommStats::default());
-    let barrier = Arc::new(Barrier::new(p));
+    let barrier = Arc::new(SimBarrier::new(live));
+    let done = Arc::new(AtomicUsize::new(0));
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
     for _ in 0..p {
@@ -177,20 +610,58 @@ where
             inbox: (0..p).map(|_| VecDeque::new()).collect(),
             barrier: barrier.clone(),
             stats: stats.clone(),
+            plan: plan.clone(),
+            retry: retry.clone(),
+            next_seq: vec![0; p],
+            next_expected: vec![0; p],
+            ack_idx: vec![0; p],
+            done: done.clone(),
+            live,
         })
         .collect();
     drop(senders);
 
     let f = &f;
-    let results: Vec<R> = std::thread::scope(|scope| {
+    let results: Vec<Option<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = worlds
             .drain(..)
-            .map(|world| scope.spawn(move || f(world)))
+            .map(|world| {
+                if plan.is_crashed(world.rank) {
+                    None // the rank never starts; dropping the world here
+                         // closes its endpoint
+                } else {
+                    Some(scope.spawn(move || f(world)))
+                }
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.map(|h| h.join().expect("rank panicked")))
+            .collect()
     });
     (results, stats)
 }
+
+/// Codec failure: a payload whose length is not a whole number of elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Size of the element the decoder expected.
+    pub elem_size: usize,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "payload of {} bytes is not a whole number of {}-byte elements",
+            self.len, self.elem_size
+        )
+    }
+}
+
+impl std::error::Error for CodecError {}
 
 /// Serializes f64 values little-endian.
 pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
@@ -201,13 +672,25 @@ pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
     out
 }
 
-/// Deserializes f64 values little-endian. Panics on ragged input.
-pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
-    assert_eq!(bytes.len() % 8, 0, "payload is not a whole number of f64s");
-    bytes
+/// Deserializes f64 values little-endian, rejecting ragged payloads with a
+/// typed error.
+pub fn try_decode_f64s(bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(CodecError {
+            len: bytes.len(),
+            elem_size: 8,
+        });
+    }
+    Ok(bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+        .collect())
+}
+
+/// Deserializes f64 values little-endian. Panics on ragged input; use
+/// [`try_decode_f64s`] to handle that case as data.
+pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
+    try_decode_f64s(bytes).unwrap_or_else(|e| panic!("payload is not a whole number of f64s: {e}"))
 }
 
 #[cfg(test)]
@@ -219,8 +702,8 @@ mod tests {
         let (results, stats) = run_cluster(4, |mut w| {
             let next = (w.rank() + 1) % w.size();
             let prev = (w.rank() + w.size() - 1) % w.size();
-            w.send(next, vec![w.rank() as u8]);
-            let got = w.recv_from(prev);
+            w.send(next, vec![w.rank() as u8]).unwrap();
+            let got = w.recv_from(prev).unwrap();
             got[0] as usize
         });
         assert_eq!(results, vec![3, 0, 1, 2]);
@@ -234,7 +717,7 @@ mod tests {
             let outgoing: Vec<Vec<u8>> = (0..w.size())
                 .map(|to| vec![(w.rank() * 10 + to) as u8])
                 .collect();
-            let incoming = w.alltoall(outgoing);
+            let incoming = w.alltoall(outgoing).unwrap();
             incoming.iter().map(|m| m[0] as usize).collect::<Vec<_>>()
         });
         // Rank r receives from each source s the byte s*10 + r.
@@ -251,7 +734,7 @@ mod tests {
     #[test]
     fn allgather_matches_manual() {
         let (results, _) = run_cluster(4, |mut w| {
-            let all = w.allgather(vec![w.rank() as u8; 2]);
+            let all = w.allgather(vec![w.rank() as u8; 2]).unwrap();
             all.iter().map(|m| m[0]).collect::<Vec<_>>()
         });
         for row in results {
@@ -264,13 +747,13 @@ mod tests {
         let (results, _) = run_cluster(3, |mut w| {
             if w.rank() == 0 {
                 // Receive in the order 2 then 1, regardless of arrival.
-                w.barrier();
-                let a = w.recv_from(2);
-                let b = w.recv_from(1);
+                w.barrier().unwrap();
+                let a = w.recv_from(2).unwrap();
+                let b = w.recv_from(1).unwrap();
                 (a[0], b[0])
             } else {
-                w.send(0, vec![w.rank() as u8]);
-                w.barrier();
+                w.send(0, vec![w.rank() as u8]).unwrap();
+                w.barrier().unwrap();
                 (0, 0)
             }
         });
@@ -280,7 +763,7 @@ mod tests {
     #[test]
     fn self_messages_do_not_count() {
         let (_, stats) = run_cluster(1, |mut w| {
-            let out = w.alltoall(vec![vec![1, 2, 3]]);
+            let out = w.alltoall(vec![vec![1, 2, 3]]).unwrap();
             assert_eq!(out[0], vec![1, 2, 3]);
         });
         assert_eq!(stats.bytes(), 0);
@@ -300,11 +783,28 @@ mod tests {
     }
 
     #[test]
+    fn ragged_decode_is_a_typed_error() {
+        let err = try_decode_f64s(&[0u8; 9]).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError {
+                len: 9,
+                elem_size: 8
+            }
+        );
+        assert!(err.to_string().contains("9 bytes"));
+        assert_eq!(
+            try_decode_f64s(&encode_f64s(&[2.5, -1.0])).unwrap(),
+            vec![2.5, -1.0]
+        );
+    }
+
+    #[test]
     fn modeled_time_tracks_traffic() {
         use crate::model::AlphaBeta;
         let (_, stats) = run_cluster(4, |mut w| {
             let out = vec![vec![0u8; 1 << 20]; w.size()];
-            w.alltoall(out);
+            w.alltoall(out).unwrap();
         });
         let ab = AlphaBeta::from_latency_bandwidth(1e-6, 1e9);
         let t = stats.modeled_time(&ab, 4);
@@ -317,32 +817,197 @@ mod tests {
     fn invalid_rank_usage_is_loud() {
         // Misuse fails fast instead of corrupting the exchange.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_cluster(2, |w| {
+            run_cluster(2, |mut w| {
                 if w.rank() == 0 {
-                    w.send(5, vec![1]); // destination out of range
+                    w.send(5, vec![1]).unwrap(); // destination out of range
                 }
             });
         }));
-        assert!(result.is_err(), "expected a panic from the invalid destination");
+        assert!(
+            result.is_err(),
+            "expected a panic from the invalid destination"
+        );
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_cluster(2, |mut w| {
                 // Wrong payload count for the collective.
                 let _ = w.alltoall(vec![vec![0u8; 1]; 3]);
             });
         }));
-        assert!(result.is_err(), "expected a panic from the ragged all-to-all");
+        assert!(
+            result.is_err(),
+            "expected a panic from the ragged all-to-all"
+        );
     }
 
     #[test]
     fn barrier_synchronizes() {
-        use std::sync::atomic::AtomicUsize;
         let counter = Arc::new(AtomicUsize::new(0));
         let c = counter.clone();
         run_cluster(8, move |w| {
             c.fetch_add(1, Ordering::SeqCst);
-            w.barrier();
+            w.barrier().unwrap();
             // After the barrier every rank must see all increments.
             assert_eq!(c.load(Ordering::SeqCst), 8);
         });
+    }
+
+    // ---- fault-injection protocol tests ----
+
+    type GatherRun = (Vec<Option<Vec<Vec<u8>>>>, Arc<CommStats>);
+
+    /// The `distributed_lowcomm` exchange shape in miniature: every rank
+    /// allgathers a payload derived from its rank.
+    fn allgather_workload(drop: f64, seed: u64) -> GatherRun {
+        let plan = FaultPlan::new(seed).with_drop(drop);
+        run_cluster_with_faults(4, plan, RetryPolicy::default(), |mut w| {
+            let payload: Vec<u8> = (0..64).map(|i| (w.rank() * 7 + i) as u8).collect();
+            w.allgather(payload).unwrap()
+        })
+    }
+
+    #[test]
+    fn drops_are_recovered_bit_identically() {
+        let (clean, clean_stats) = allgather_workload(0.0, 11);
+        let (faulty, faulty_stats) = allgather_workload(0.3, 11);
+        assert_eq!(clean, faulty, "retries must reconstruct the exact exchange");
+        // Heavy drops must actually have exercised the retry machinery…
+        assert!(
+            faulty_stats.retransmit_count() > 0,
+            "30% drop produced no retransmits"
+        );
+        // …without inflating the logical-traffic counters.
+        assert_eq!(clean_stats.bytes(), faulty_stats.bytes());
+        assert_eq!(clean_stats.message_count(), faulty_stats.message_count());
+    }
+
+    #[test]
+    fn fault_counters_replay_exactly_from_the_seed() {
+        let (r1, s1) = allgather_workload(0.25, 99);
+        let (r2, s2) = allgather_workload(0.25, 99);
+        assert_eq!(r1, r2);
+        assert_eq!(s1.retransmit_count(), s2.retransmit_count());
+        assert_eq!(s1.duplicate_count(), s2.duplicate_count());
+        assert_eq!(s1.timeout_count(), s2.timeout_count());
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let plan = FaultPlan::new(5).with_duplicates(0.5);
+        let (results, stats) = run_cluster_with_faults(3, plan, RetryPolicy::default(), |mut w| {
+            let mut got = Vec::new();
+            for round in 0..8u8 {
+                let all = w.allgather(vec![w.rank() as u8, round]).unwrap();
+                got.push(all);
+            }
+            got
+        });
+        // Every rank saw exactly one copy of every message, in order.
+        let expect = results[0].clone().unwrap();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap(), &expect);
+        }
+        assert!(
+            stats.duplicate_count() > 0,
+            "50% duplication produced no duplicates"
+        );
+    }
+
+    #[test]
+    fn crashed_peers_fail_fast_and_survivors_degrade() {
+        let plan = FaultPlan::new(3).with_crashed(2);
+        let (results, _) = run_cluster_with_faults(4, plan, RetryPolicy::default(), |mut w| {
+            // Direct traffic with the crashed rank is a typed error…
+            assert!(matches!(
+                w.send(2, vec![1]),
+                Err(CommError::PeerCrashed { peer: 2, .. })
+            ));
+            assert!(matches!(
+                w.recv_from(2),
+                Err(CommError::PeerCrashed { peer: 2, .. })
+            ));
+            // …while the surviving collective completes around the hole.
+
+            w.allgather_surviving(vec![w.rank() as u8]).unwrap()
+        });
+        assert!(
+            results[2].is_none(),
+            "crashed rank must not produce a result"
+        );
+        for (rank, r) in results.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            let all = r.as_ref().unwrap();
+            assert!(all[2].is_none());
+            for live in [0, 1, 3] {
+                assert_eq!(all[live].as_ref().unwrap(), &vec![live as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn delay_perturbs_timing_but_not_results() {
+        let plan = FaultPlan::new(17).with_delay(3);
+        let (delayed, stats) = run_cluster_with_faults(4, plan, RetryPolicy::default(), |mut w| {
+            w.allgather(vec![w.rank() as u8; 8]).unwrap()
+        });
+        let (clean, _) = run_cluster(4, |mut w| w.allgather(vec![w.rank() as u8; 8]).unwrap());
+        for (d, c) in delayed.iter().zip(&clean) {
+            assert_eq!(d.as_ref().unwrap(), c);
+        }
+        assert_eq!(stats.retransmit_count(), 0);
+        assert_eq!(stats.duplicate_count(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_instead_of_hanging() {
+        let plan = FaultPlan::new(0).with_delay(1); // active plan, no drops
+        let retry = RetryPolicy {
+            recv_timeout: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        let (results, _) = run_cluster_with_faults(2, plan, retry, |mut w| {
+            if w.rank() == 0 {
+                // Nobody ever sends to rank 0: must time out, not hang.
+                w.recv_from(1)
+            } else {
+                Ok(vec![])
+            }
+        });
+        assert_eq!(
+            results[0].clone().unwrap(),
+            Err(CommError::Timeout {
+                op: "recv_from",
+                rank: 0,
+                waiting_on: 1
+            })
+        );
+    }
+
+    #[test]
+    fn retries_exhausted_is_reported() {
+        // Certain loss: every attempt drops, so the send must give up.
+        let plan = FaultPlan::new(1).with_drop(1.0);
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        let (results, stats) = run_cluster_with_faults(2, plan, retry, |mut w| {
+            if w.rank() == 0 {
+                w.send(1, vec![9; 16])
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(
+            results[0].clone().unwrap(),
+            Err(CommError::RetriesExhausted {
+                rank: 0,
+                peer: 1,
+                seq: 0,
+                attempts: 4
+            })
+        );
+        assert_eq!(stats.retransmit_count(), 4);
     }
 }

@@ -12,7 +12,8 @@
 
 use lcc_fft::{fft_axis, scale_in_place, Complex64, FftDirection, FftPlanner};
 
-use crate::cluster::CommWorld;
+use crate::cluster::{CodecError, CommWorld};
+use crate::fault::CommError;
 
 /// Serializes a complex slice as little-endian f64 pairs.
 pub fn encode_complex(values: &[Complex64]) -> Vec<u8> {
@@ -24,16 +25,29 @@ pub fn encode_complex(values: &[Complex64]) -> Vec<u8> {
     out
 }
 
-/// Deserializes little-endian f64 pairs into complex values.
-pub fn decode_complex(bytes: &[u8]) -> Vec<Complex64> {
-    assert_eq!(bytes.len() % 16, 0, "payload is not a whole number of c64s");
-    bytes
+/// Deserializes little-endian f64 pairs into complex values, rejecting
+/// ragged payloads with a typed error.
+pub fn try_decode_complex(bytes: &[u8]) -> Result<Vec<Complex64>, CodecError> {
+    if !bytes.len().is_multiple_of(16) {
+        return Err(CodecError {
+            len: bytes.len(),
+            elem_size: 16,
+        });
+    }
+    Ok(bytes
         .chunks_exact(16)
         .map(|c| Complex64 {
             re: f64::from_le_bytes(c[0..8].try_into().unwrap()),
             im: f64::from_le_bytes(c[8..16].try_into().unwrap()),
         })
-        .collect()
+        .collect())
+}
+
+/// Deserializes little-endian f64 pairs into complex values. Panics on
+/// ragged input; use [`try_decode_complex`] to handle that case as data.
+pub fn decode_complex(bytes: &[u8]) -> Vec<Complex64> {
+    try_decode_complex(bytes)
+        .unwrap_or_else(|e| panic!("payload is not a whole number of c64s: {e}"))
 }
 
 /// All-to-all transpose of the decomposed axis with axis 1.
@@ -47,7 +61,7 @@ pub fn transpose_exchange(
     world: &mut CommWorld,
     data: &[Complex64],
     n: usize,
-) -> Vec<Complex64> {
+) -> Result<Vec<Complex64>, CommError> {
     let p = world.size();
     let c = n / p;
     assert_eq!(data.len(), c * n * n, "slab shape mismatch");
@@ -65,7 +79,7 @@ pub fn transpose_exchange(
             encode_complex(&block)
         })
         .collect();
-    let incoming = world.alltoall(outgoing);
+    let incoming = world.alltoall(outgoing)?;
     // Assemble: from source s we got (a_loc in s's range, b_loc in ours, z).
     let my_rank = world.rank();
     let _ = my_rank;
@@ -82,7 +96,7 @@ pub fn transpose_exchange(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Distributed forward 3D FFT of an axis-0-decomposed slab.
@@ -96,7 +110,7 @@ pub fn forward_3d(
     planner: &FftPlanner,
     slab: Vec<Complex64>,
     n: usize,
-) -> Vec<Complex64> {
+) -> Result<Vec<Complex64>, CommError> {
     let c = n / world.size();
     let dims = (c, n, n);
     let mut slab = slab;
@@ -104,9 +118,9 @@ pub fn forward_3d(
     fft_axis(planner, &mut slab, dims, 2, FftDirection::Forward);
     fft_axis(planner, &mut slab, dims, 1, FftDirection::Forward);
     // Rotate x into locality (one all-to-all), then transform it.
-    let mut t = transpose_exchange(world, &slab, n);
+    let mut t = transpose_exchange(world, &slab, n)?;
     fft_axis(planner, &mut t, dims, 1, FftDirection::Forward);
-    t
+    Ok(t)
 }
 
 /// Distributed inverse 3D FFT (normalized), undoing [`forward_3d`]:
@@ -117,17 +131,17 @@ pub fn inverse_3d(
     planner: &FftPlanner,
     spectrum: Vec<Complex64>,
     n: usize,
-) -> Vec<Complex64> {
+) -> Result<Vec<Complex64>, CommError> {
     let c = n / world.size();
     let dims = (c, n, n);
     let mut spec = spectrum;
     fft_axis(planner, &mut spec, dims, 1, FftDirection::Inverse);
-    let mut slab = transpose_exchange(world, &spec, n);
+    let mut slab = transpose_exchange(world, &spec, n)?;
     fft_axis(planner, &mut slab, dims, 1, FftDirection::Inverse);
     fft_axis(planner, &mut slab, dims, 2, FftDirection::Inverse);
     let scale = 1.0 / (n as f64).powi(3);
     scale_in_place(&mut slab, scale);
-    slab
+    Ok(slab)
 }
 
 /// Distributed FFT convolution — the full traditional pipeline of Fig. 1a:
@@ -141,9 +155,9 @@ pub fn convolve_distributed(
     slab: Vec<Complex64>,
     n: usize,
     kernel: &(dyn Fn([usize; 3]) -> Complex64 + Sync),
-) -> Vec<Complex64> {
+) -> Result<Vec<Complex64>, CommError> {
     let c = n / world.size();
-    let mut spec = forward_3d(world, planner, slab, n);
+    let mut spec = forward_3d(world, planner, slab, n)?;
     let y0 = world.rank() * c;
     // Transposed layout: local (fy_loc, fx, fz).
     for fy_loc in 0..c {
@@ -197,8 +211,8 @@ mod tests {
             let slabs = scatter_slabs(&f, n, p);
             let (outs, _) = run_cluster(p, |mut w| {
                 let mine = slabs[w.rank()].clone();
-                let once = transpose_exchange(&mut w, &mine, n);
-                transpose_exchange(&mut w, &once, n)
+                let once = transpose_exchange(&mut w, &mine, n).unwrap();
+                transpose_exchange(&mut w, &once, n).unwrap()
             });
             let back = gather_slabs(outs, n);
             assert_eq!(back, f, "p={p}");
@@ -217,7 +231,7 @@ mod tests {
             let (outs, stats) = run_cluster(p, |mut w| {
                 let planner = FftPlanner::new();
                 let mine = slabs[w.rank()].clone();
-                forward_3d(&mut w, &planner, mine, n)
+                forward_3d(&mut w, &planner, mine, n).unwrap()
             });
             assert_eq!(stats.rounds(), 1, "forward costs one all-to-all");
             // Transposed layout: local (fy_loc, fx, fz) on owner of fy.
@@ -229,10 +243,7 @@ mod tests {
                         for fz in 0..n {
                             let got = out[(fy_loc * n + fx) * n + fz];
                             let want = serial[(fx * n + fy) * n + fz];
-                            assert!(
-                                (got - want).norm() < 1e-8,
-                                "p={p} bin ({fx},{fy},{fz})"
-                            );
+                            assert!((got - want).norm() < 1e-8, "p={p} bin ({fx},{fy},{fz})");
                         }
                     }
                 }
@@ -249,10 +260,14 @@ mod tests {
         let (outs, stats) = run_cluster(p, |mut w| {
             let planner = FftPlanner::new();
             let mine = slabs[w.rank()].clone();
-            let spec = forward_3d(&mut w, &planner, mine, n);
-            inverse_3d(&mut w, &planner, spec, n)
+            let spec = forward_3d(&mut w, &planner, mine, n).unwrap();
+            inverse_3d(&mut w, &planner, spec, n).unwrap()
         });
-        assert_eq!(stats.rounds(), 2, "3D FFT + inverse = two all-to-alls (Eq. 1)");
+        assert_eq!(
+            stats.rounds(),
+            2,
+            "3D FFT + inverse = two all-to-alls (Eq. 1)"
+        );
         let back = gather_slabs(outs, n);
         for (a, b) in f.iter().zip(&back) {
             assert!((*a - *b).norm() < 1e-9);
@@ -289,7 +304,7 @@ mod tests {
         let (outs, stats) = run_cluster(p, |mut w| {
             let planner = FftPlanner::new();
             let mine = slabs[w.rank()].clone();
-            convolve_distributed(&mut w, &planner, mine, n, &kern)
+            convolve_distributed(&mut w, &planner, mine, n, &kern).unwrap()
         });
         assert_eq!(stats.rounds(), 2, "convolution costs two transposes here");
         let got = gather_slabs(outs, n);
@@ -309,7 +324,7 @@ mod tests {
         let slabs = scatter_slabs(&f, n, p);
         let (_, stats) = run_cluster(p, |mut w| {
             let mine = slabs[w.rank()].clone();
-            transpose_exchange(&mut w, &mine, n);
+            transpose_exchange(&mut w, &mine, n).unwrap();
         });
         let expect = (p * (p - 1)) as u64 * (c * c * n * 16) as u64;
         assert_eq!(stats.bytes(), expect);
@@ -319,5 +334,25 @@ mod tests {
     fn codec_roundtrip() {
         let v = vec![c64(1.0, -2.0), c64(0.5, 3.5)];
         assert_eq!(decode_complex(&encode_complex(&v)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_complex_decode_panics() {
+        decode_complex(&[0u8; 17]);
+    }
+
+    #[test]
+    fn ragged_complex_decode_is_a_typed_error() {
+        let err = try_decode_complex(&[0u8; 17]).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError {
+                len: 17,
+                elem_size: 16
+            }
+        );
+        let v = vec![c64(1.0, -2.0)];
+        assert_eq!(try_decode_complex(&encode_complex(&v)).unwrap(), v);
     }
 }

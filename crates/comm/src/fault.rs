@@ -1,0 +1,373 @@
+//! Deterministic, seed-driven fault injection for the cluster simulator.
+//!
+//! A [`FaultPlan`] perturbs every wire crossing in [`crate::cluster`]: data
+//! frames can be dropped or duplicated, acks can be dropped, senders can be
+//! delayed, and whole ranks can be crashed before the run starts. Every
+//! decision is a pure function of `(seed, src, dst, seq, attempt)` through a
+//! SplitMix64-style keyed hash — *not* a draw from a sequentially consumed
+//! RNG — so the injected fault pattern is identical on every replay of the
+//! same seed regardless of how the OS interleaves the rank threads. That is
+//! what makes a failing chaos run reproducible from its seed alone.
+//!
+//! [`RetryPolicy`] bounds the recovery machinery layered on top (retransmit
+//! attempts, backoff pacing, and the timeouts that turn would-be deadlocks
+//! into typed [`CommError`]s).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::Duration;
+
+/// Typed failure surfaced by communication calls instead of a hang or panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A blocking wait (recv, ack wait, or barrier) exceeded its timeout.
+    Timeout {
+        /// The operation that timed out (`"recv_from"`, `"ack"`, `"barrier"`).
+        op: &'static str,
+        /// The rank that was waiting.
+        rank: usize,
+        /// The peer it was waiting on (`usize::MAX` for barriers).
+        waiting_on: usize,
+    },
+    /// The peer was crashed by the fault plan before the run started.
+    PeerCrashed { rank: usize, peer: usize },
+    /// A send exhausted [`RetryPolicy::max_attempts`] without an ack.
+    RetriesExhausted {
+        rank: usize,
+        peer: usize,
+        seq: u64,
+        attempts: u32,
+    },
+    /// The peer's endpoint no longer exists (its thread exited or panicked).
+    Disbanded { rank: usize, peer: usize },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout {
+                op,
+                rank,
+                waiting_on,
+            } => {
+                if *waiting_on == usize::MAX {
+                    write!(f, "rank {rank}: {op} timed out")
+                } else {
+                    write!(
+                        f,
+                        "rank {rank}: {op} timed out waiting on rank {waiting_on}"
+                    )
+                }
+            }
+            CommError::PeerCrashed { rank, peer } => {
+                write!(f, "rank {rank}: peer rank {peer} is crashed")
+            }
+            CommError::RetriesExhausted {
+                rank,
+                peer,
+                seq,
+                attempts,
+            } => write!(
+                f,
+                "rank {rank}: send seq {seq} to rank {peer} unacked after {attempts} attempts"
+            ),
+            CommError::Disbanded { rank, peer } => {
+                write!(f, "rank {rank}: rank {peer} hung up (cluster disbanded)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+const SALT_DROP: u64 = 0x4452_4F50; // "DROP"
+const SALT_DUP: u64 = 0x4455_5045; // "DUPE"
+const SALT_ACK: u64 = 0x41_434B; // "ACK"
+const SALT_DELAY: u64 = 0x444C_4159; // "DLAY"
+
+/// A deterministic fault schedule for one cluster run.
+///
+/// All probabilities are in `[0, 1]`. The plan is inert
+/// (`!self.is_active()`) when every probability is zero, no rank is crashed,
+/// and no delay is configured; the inert path is bit-identical to the
+/// original fault-free simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed keying every fault decision. Same seed ⇒ same fault pattern.
+    pub seed: u64,
+    /// Probability that a data-frame transmission attempt is lost.
+    pub drop_prob: f64,
+    /// Probability that a delivered data frame arrives twice.
+    pub duplicate_prob: f64,
+    /// Probability that an ack transmission is lost.
+    pub ack_drop_prob: f64,
+    /// Maximum sender-side delay, in units of [`FaultPlan::delay_unit`],
+    /// rolled uniformly per logical send. Perturbs thread interleaving
+    /// (exercising the reorder buffers) without changing any outcome.
+    pub delay_steps: u32,
+    /// Wall-clock length of one delay step.
+    pub delay_unit: Duration,
+    /// Ranks that never start. Sends/recvs touching them fail fast with
+    /// [`CommError::PeerCrashed`].
+    pub crashed_ranks: BTreeSet<usize>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The inert plan: no faults, bit-identical to the fault-free simulator.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            ack_drop_prob: 0.0,
+            delay_steps: 0,
+            delay_unit: Duration::from_micros(100),
+            crashed_ranks: BTreeSet::new(),
+        }
+    }
+
+    /// An inert plan keyed by `seed`; combine with the `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Sets the data-frame drop probability (acks drop at the same rate).
+    pub fn with_drop(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "drop_prob must be in [0, 1]");
+        self.drop_prob = prob;
+        self.ack_drop_prob = prob;
+        self
+    }
+
+    /// Sets the duplicate-delivery probability.
+    pub fn with_duplicates(mut self, prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "duplicate_prob must be in [0, 1]"
+        );
+        self.duplicate_prob = prob;
+        self
+    }
+
+    /// Sets the maximum sender-side delay in steps.
+    pub fn with_delay(mut self, steps: u32) -> Self {
+        self.delay_steps = steps;
+        self
+    }
+
+    /// Crashes `rank` before the run starts.
+    pub fn with_crashed(mut self, rank: usize) -> Self {
+        self.crashed_ranks.insert(rank);
+        self
+    }
+
+    /// Whether any perturbation is configured. Inert plans skip the
+    /// reliability protocol entirely.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.ack_drop_prob > 0.0
+            || self.delay_steps > 0
+            || !self.crashed_ranks.is_empty()
+    }
+
+    /// Whether `rank` is crashed in this plan.
+    pub fn is_crashed(&self, rank: usize) -> bool {
+        self.crashed_ranks.contains(&rank)
+    }
+
+    /// Number of ranks (out of `p`) that actually run.
+    pub fn live_count(&self, p: usize) -> usize {
+        p - self.crashed_ranks.iter().filter(|&&r| r < p).count()
+    }
+
+    /// The keyed hash behind every decision: a pure function of the plan
+    /// seed and the event coordinates, independent of thread scheduling.
+    #[inline]
+    fn key(&self, salt: u64, src: usize, dst: usize, seq: u64, attempt: u64) -> u64 {
+        let mut x = self.seed ^ mix64(salt.wrapping_mul(GOLDEN));
+        x = mix64(x ^ (src as u64).wrapping_mul(GOLDEN));
+        x = mix64(x ^ (dst as u64).wrapping_mul(GOLDEN));
+        x = mix64(x ^ seq.wrapping_mul(GOLDEN));
+        mix64(x ^ attempt.wrapping_mul(GOLDEN))
+    }
+
+    /// Converts a hash to a uniform draw in `[0, 1)` and compares it to `p`.
+    #[inline]
+    fn chance(&self, p: f64, hash: u64) -> bool {
+        p > 0.0 && ((hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+
+    /// Whether transmission `attempt` of data frame `(src → dst, seq)` is
+    /// lost in flight.
+    pub fn drops_data(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> bool {
+        self.chance(
+            self.drop_prob,
+            self.key(SALT_DROP, src, dst, seq, attempt as u64),
+        )
+    }
+
+    /// Whether a delivered `attempt` of `(src → dst, seq)` arrives twice.
+    pub fn duplicates_data(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> bool {
+        self.chance(
+            self.duplicate_prob,
+            self.key(SALT_DUP, src, dst, seq, attempt as u64),
+        )
+    }
+
+    /// Whether the `k`-th ack for data `(src → dst, seq)` is lost on its way
+    /// back to `src`. Both endpoints can evaluate this identically, which is
+    /// what lets the sender know a lost ack will never arrive instead of
+    /// burning a real timeout.
+    pub fn drops_ack(&self, src: usize, dst: usize, seq: u64, k: u64) -> bool {
+        self.chance(self.ack_drop_prob, self.key(SALT_ACK, src, dst, seq, k))
+    }
+
+    /// Sender-side delay (in steps ≤ `delay_steps`) before transmitting
+    /// logical send `(src → dst, seq)`.
+    pub fn delay_units(&self, src: usize, dst: usize, seq: u64) -> u32 {
+        if self.delay_steps == 0 {
+            return 0;
+        }
+        (self.key(SALT_DELAY, src, dst, seq, 0) % (self.delay_steps as u64 + 1)) as u32
+    }
+}
+
+/// Bounds on the reliability machinery: how hard to retry and how long to
+/// wait before declaring a typed failure instead of deadlocking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum transmissions per logical send before
+    /// [`CommError::RetriesExhausted`].
+    pub max_attempts: u32,
+    /// Safety-net wait for an ack the protocol says must arrive. Only
+    /// exceeded if the peer misbehaves (e.g., exited without receiving).
+    pub ack_timeout: Duration,
+    /// Base pause before a retransmission; doubles each retry.
+    pub backoff_base: Duration,
+    /// Upper bound on the retransmission pause.
+    pub backoff_cap: Duration,
+    /// Maximum blocking wait inside `recv_from`.
+    pub recv_timeout: Duration,
+    /// Maximum wait at a barrier.
+    pub barrier_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 16,
+            ack_timeout: Duration::from_secs(10),
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_millis(2),
+            recv_timeout: Duration::from_secs(30),
+            barrier_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff pause before transmission `attempt` (attempt 0 pays none).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let scaled = self
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        scaled.min(self.backoff_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic_and_keyed() {
+        let a = FaultPlan::new(42).with_drop(0.5);
+        let b = FaultPlan::new(42).with_drop(0.5);
+        for seq in 0..64u64 {
+            assert_eq!(a.drops_data(0, 1, seq, 0), b.drops_data(0, 1, seq, 0));
+            assert_eq!(a.drops_ack(0, 1, seq, 0), b.drops_ack(0, 1, seq, 0));
+        }
+        // A different seed must produce a different pattern somewhere.
+        let c = FaultPlan::new(43).with_drop(0.5);
+        assert!((0..64u64).any(|s| a.drops_data(0, 1, s, 0) != c.drops_data(0, 1, s, 0)));
+        // Coordinates matter: direction is part of the key.
+        assert!((0..64u64).any(|s| a.drops_data(0, 1, s, 0) != a.drops_data(1, 0, s, 0)));
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::new(7).with_drop(0.25);
+        let n = 10_000u64;
+        let dropped = (0..n).filter(|&s| plan.drops_data(2, 5, s, 0)).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for seq in 0..256u64 {
+            assert!(!plan.drops_data(0, 1, seq, 0));
+            assert!(!plan.duplicates_data(0, 1, seq, 0));
+            assert!(!plan.drops_ack(0, 1, seq, 0));
+            assert_eq!(plan.delay_units(0, 1, seq), 0);
+        }
+    }
+
+    #[test]
+    fn crash_bookkeeping() {
+        let plan = FaultPlan::new(1).with_crashed(2).with_crashed(5);
+        assert!(plan.is_active());
+        assert!(plan.is_crashed(2) && plan.is_crashed(5) && !plan.is_crashed(0));
+        assert_eq!(plan.live_count(4), 3); // rank 5 is outside p=4
+        assert_eq!(plan.live_count(8), 6);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(0), Duration::ZERO);
+        assert!(policy.backoff(1) <= policy.backoff(2));
+        assert!(policy.backoff(12) <= policy.backoff_cap);
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = CommError::Timeout {
+            op: "recv_from",
+            rank: 1,
+            waiting_on: 3,
+        };
+        assert!(e.to_string().contains("recv_from"));
+        let e = CommError::RetriesExhausted {
+            rank: 0,
+            peer: 2,
+            seq: 9,
+            attempts: 16,
+        };
+        assert!(e.to_string().contains("16 attempts"));
+    }
+}

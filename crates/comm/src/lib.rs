@@ -11,16 +11,28 @@
 //!   3D FFT and FFT convolution built on them. Measured bytes and round
 //!   counts from these runs sit next to the analytic estimates in the
 //!   experiment reports.
+//! * [`fault`] — deterministic, seed-driven fault injection threaded
+//!   through the cluster: dropped/duplicated frames, delayed senders and
+//!   crashed ranks, with a retrying ack protocol underneath the collectives
+//!   so failures surface as typed [`CommError`]s (or degrade gracefully via
+//!   the `*_surviving` collectives) instead of deadlocks. Every fault
+//!   decision is a keyed hash of the plan seed, so chaos runs replay
+//!   bit-for-bit.
 
 pub mod cluster;
 pub mod dist_fft;
+pub mod fault;
 pub mod model;
 pub mod pencil_fft;
 
-pub use cluster::{decode_f64s, encode_f64s, run_cluster, CommStats, CommWorld};
-pub use dist_fft::{
-    convolve_distributed, decode_complex, encode_complex, forward_3d, gather_slabs,
-    inverse_3d, scatter_slabs, transpose_exchange,
+pub use cluster::{
+    decode_f64s, encode_f64s, run_cluster, run_cluster_with_faults, try_decode_f64s, CodecError,
+    CommStats, CommWorld,
 };
+pub use dist_fft::{
+    convolve_distributed, decode_complex, encode_complex, forward_3d, gather_slabs, inverse_3d,
+    scatter_slabs, transpose_exchange, try_decode_complex,
+};
+pub use fault::{CommError, FaultPlan, RetryPolicy};
 pub use model::{lowcomm_volume, traditional_conv_volume, AlphaBeta, CommScenario};
 pub use pencil_fft::{grid_coords, pencil_forward_3d, pencil_inverse_3d, sub_alltoall};

@@ -20,7 +20,10 @@ impl AlphaBeta {
     /// Creates the model from latency (s) and bandwidth (bytes/s).
     pub fn from_latency_bandwidth(alpha: f64, bandwidth: f64) -> Self {
         assert!(bandwidth > 0.0);
-        AlphaBeta { alpha, beta: 1.0 / bandwidth }
+        AlphaBeta {
+            alpha,
+            beta: 1.0 / bandwidth,
+        }
     }
 
     /// Typical HPC interconnect: 1 µs latency, 10 GB/s per link.
@@ -112,7 +115,12 @@ mod tests {
     use super::*;
 
     fn scenario(n: usize, p: usize) -> CommScenario {
-        CommScenario { n, p, elem_bytes: 16, link: AlphaBeta::hpc_default() }
+        CommScenario {
+            n,
+            p,
+            elem_bytes: 16,
+            link: AlphaBeta::hpc_default(),
+        }
     }
 
     #[test]
@@ -163,7 +171,10 @@ mod tests {
 
     #[test]
     fn volumes_match_hand_count() {
-        assert_eq!(traditional_conv_volume(64, 4, 16), 4 * (64u64.pow(3) / 4) * 16);
+        assert_eq!(
+            traditional_conv_volume(64, 4, 16),
+            4 * (64u64.pow(3) / 4) * 16
+        );
         // r=2 exterior downsampling: (N³−k³)/8 points + dense k³.
         let v = lowcomm_volume(64, 16, 2.0, 8);
         let points = 16u64.pow(3) as f64 + ((64u64.pow(3) - 16u64.pow(3)) as f64) / 8.0;

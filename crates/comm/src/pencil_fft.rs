@@ -24,6 +24,7 @@ use lcc_fft::{fft_axis, scale_in_place, Complex64, FftDirection, FftPlanner};
 
 use crate::cluster::CommWorld;
 use crate::dist_fft::{decode_complex, encode_complex};
+use crate::fault::CommError;
 
 /// 2D process-grid coordinates of `rank` in a `pr × pc` grid
 /// (row-major: `rank = r·pc + c`).
@@ -41,14 +42,14 @@ pub fn sub_alltoall(
     world: &mut CommWorld,
     peers: &[usize],
     outgoing: Vec<Vec<u8>>,
-) -> Vec<Vec<u8>> {
+) -> Result<Vec<Vec<u8>>, CommError> {
     assert_eq!(peers.len(), outgoing.len());
     let mut global = vec![Vec::new(); world.size()];
     for (p, payload) in peers.iter().zip(outgoing) {
         global[*p] = payload;
     }
-    let incoming = world.alltoall(global);
-    peers.iter().map(|&p| incoming[p].clone()).collect()
+    let incoming = world.alltoall(global)?;
+    Ok(peers.iter().map(|&p| incoming[p].clone()).collect())
 }
 
 /// One pencil-transpose: the caller owns blocks `(a_loc ∈ [0, ca), b, z…)`
@@ -65,7 +66,7 @@ fn pencil_exchange(
     ca: usize,
     n: usize,
     w: usize,
-) -> Vec<Complex64> {
+) -> Result<Vec<Complex64>, CommError> {
     let q = peers.len();
     let cb = n / q;
     assert_eq!(data.len(), ca * n * w, "pencil block shape mismatch");
@@ -82,7 +83,7 @@ fn pencil_exchange(
             encode_complex(&block)
         })
         .collect();
-    let incoming = sub_alltoall(world, peers, outgoing);
+    let incoming = sub_alltoall(world, peers, outgoing)?;
     let ca_total = ca * q; // = full length of axis a
     let mut out = vec![Complex64::ZERO; cb * ca_total * w];
     for (s, payload) in incoming.iter().enumerate() {
@@ -98,7 +99,7 @@ fn pencil_exchange(
         }
     }
     let _ = my_index;
-    out
+    Ok(out)
 }
 
 /// Ranks of this rank's process-grid row (sharing `r`, varying `c`).
@@ -125,7 +126,7 @@ pub fn pencil_forward_3d(
     n: usize,
     pr: usize,
     pc: usize,
-) -> Vec<Complex64> {
+) -> Result<Vec<Complex64>, CommError> {
     assert_eq!(world.size(), pr * pc, "process grid must cover the cluster");
     assert_eq!(n % pr, 0, "pr must divide n");
     assert_eq!(n % pc, 0, "pc must divide n");
@@ -153,7 +154,7 @@ pub fn pencil_forward_3d(
     }
     // perm dims: (cy, n, cx) indexed (y_loc, z, x_loc).
     let peers = row_peers(r, pc);
-    let exchanged = pencil_exchange(world, &peers, c, &perm, cy, n, cx);
+    let exchanged = pencil_exchange(world, &peers, c, &perm, cy, n, cx)?;
     // exchanged dims: (cz = n/pc, n, cx) indexed (z_loc, y, x_loc).
     let cz = n / pc;
     let mut data = exchanged;
@@ -195,7 +196,7 @@ pub fn pencil_forward_3d(
             encode_complex(&blockb)
         })
         .collect();
-    let incoming = sub_alltoall(world, &peers, outgoing);
+    let incoming = sub_alltoall(world, &peers, outgoing)?;
     // Assemble: from column peer s we get fy ∈ our chunk, x ∈ s's chunk,
     // z ∈ our cz. Output dims (cyr, cz, n) indexed (fy_loc, z_loc, fx).
     let mut out = vec![Complex64::ZERO; cyr * cz * n];
@@ -213,7 +214,7 @@ pub fn pencil_forward_3d(
     }
     // Transform x: dims (cyr, cz, n), axis 2 (contiguous).
     fft_axis(planner, &mut out, (cyr, cz, n), 2, FftDirection::Forward);
-    out
+    Ok(out)
 }
 
 /// Inverse of [`pencil_forward_3d`] (normalized), returning data in the
@@ -227,7 +228,7 @@ pub fn pencil_inverse_3d(
     n: usize,
     pr: usize,
     pc: usize,
-) -> Vec<Complex64> {
+) -> Result<Vec<Complex64>, CommError> {
     let (r, c) = grid_coords(world.rank(), pc);
     let (cx, cy) = (n / pr, n / pc);
     let (cyr, cz) = (n / pr, n / pc);
@@ -249,7 +250,7 @@ pub fn pencil_inverse_3d(
             encode_complex(&blockb)
         })
         .collect();
-    let incoming = sub_alltoall(world, &peers, outgoing);
+    let incoming = sub_alltoall(world, &peers, outgoing)?;
     // Rebuild (fy full, z_loc, x_loc): from peer s, fy ∈ s's chunk.
     let mut perm = vec![Complex64::ZERO; n * cz * cx];
     for (s, payload) in incoming.iter().enumerate() {
@@ -277,7 +278,7 @@ pub fn pencil_inverse_3d(
 
     // Undo phase 1: row exchange back (z ↔ y), to (y_loc, z full, x_loc).
     let peers = row_peers(r, pc);
-    let back = pencil_exchange(world, &peers, c, &data, cz, n, cx);
+    let back = pencil_exchange(world, &peers, c, &data, cz, n, cx)?;
     // back dims: (cy, n, cx) indexed (y_loc, z, x_loc).
     // Restore (x_loc, y_loc, z) and inverse z transform.
     let mut out = vec![Complex64::ZERO; cx * cy * n];
@@ -290,7 +291,7 @@ pub fn pencil_inverse_3d(
     }
     fft_axis(planner, &mut out, (cx, cy, n), 2, FftDirection::Inverse);
     scale_in_place(&mut out, 1.0 / (n as f64).powi(3));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -334,7 +335,7 @@ mod tests {
             let (outs, stats) = run_cluster(pr * pc, |mut w| {
                 let planner = FftPlanner::new();
                 let mine = blocks[w.rank()].clone();
-                pencil_forward_3d(&mut w, &planner, mine, n, pr, pc)
+                pencil_forward_3d(&mut w, &planner, mine, n, pr, pc).unwrap()
             });
             assert_eq!(stats.rounds(), 2, "pencil forward = two exchanges");
             let (cyr, cz) = (n / pr, n / pc);
@@ -367,8 +368,8 @@ mod tests {
         let (outs, stats) = run_cluster(pr * pc, |mut w| {
             let planner = FftPlanner::new();
             let mine = blocks[w.rank()].clone();
-            let spec = pencil_forward_3d(&mut w, &planner, mine, n, pr, pc);
-            pencil_inverse_3d(&mut w, &planner, spec, n, pr, pc)
+            let spec = pencil_forward_3d(&mut w, &planner, mine, n, pr, pc).unwrap();
+            pencil_inverse_3d(&mut w, &planner, spec, n, pr, pc).unwrap()
         });
         assert_eq!(stats.rounds(), 4, "round trip = four exchanges");
         for (rank, out) in outs.iter().enumerate() {
@@ -389,13 +390,13 @@ mod tests {
         let (_, pencil_stats) = run_cluster(4, |mut w| {
             let planner = FftPlanner::new();
             let mine = blocks[w.rank()].clone();
-            pencil_forward_3d(&mut w, &planner, mine, n, 2, 2)
+            pencil_forward_3d(&mut w, &planner, mine, n, 2, 2).unwrap()
         });
         let slabs = crate::dist_fft::scatter_slabs(&f, n, 4);
         let (_, slab_stats) = run_cluster(4, |mut w| {
             let planner = FftPlanner::new();
             let mine = slabs[w.rank()].clone();
-            crate::dist_fft::forward_3d(&mut w, &planner, mine, n)
+            crate::dist_fft::forward_3d(&mut w, &planner, mine, n).unwrap()
         });
         assert!(pencil_stats.rounds() > slab_stats.rounds());
     }

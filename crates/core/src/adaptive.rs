@@ -36,7 +36,13 @@ impl AdaptiveConvolver {
     /// schedule via [`RateSchedule::for_kernel_spread`].
     pub fn new(n: usize, batch: usize, spread: f64, far_rate: u32) -> Self {
         assert!(n.is_power_of_two(), "grid must be a power of two");
-        AdaptiveConvolver { n, batch, spread, far_rate, locals: Mutex::new(HashMap::new()) }
+        AdaptiveConvolver {
+            n,
+            batch,
+            spread,
+            far_rate,
+            locals: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Grid size.
@@ -102,7 +108,10 @@ impl AdaptiveConvolver {
                     self.response_region(d, kernel),
                     &self.schedule_for(k),
                 ));
-                Some(self.local_for(k).convolve_compressed(&sub, d.lo, kernel, plan))
+                Some(
+                    self.local_for(k)
+                        .convolve_compressed(&sub, d.lo, kernel, plan),
+                )
             })
             .collect();
 
@@ -143,8 +152,7 @@ mod tests {
         let mut input = Grid3::zeros((n, n, n));
         input[(3, 3, 3)] = 5.0;
         input[(20, 24, 8)] = -2.0;
-        let domains =
-            decompose_adaptive(&input, AdaptiveDecomposition::new(4, 16));
+        let domains = decompose_adaptive(&input, AdaptiveDecomposition::new(4, 16));
         let conv = AdaptiveConvolver::new(n, 512, sigma, 16);
         let (approx, report) = conv.convolve(&input, &kernel, &domains);
         let exact = TraditionalConvolver::new(n).convolve(&input, &kernel);
@@ -183,7 +191,11 @@ mod tests {
             for dy in 0..2 {
                 for dz in 0..2 {
                     domains.push(BoxRegion::new(
-                        [first.lo[0] + dx * 4, first.lo[1] + dy * 4, first.lo[2] + dz * 4],
+                        [
+                            first.lo[0] + dx * 4,
+                            first.lo[1] + dy * 4,
+                            first.lo[2] + dz * 4,
+                        ],
                         [
                             first.lo[0] + dx * 4 + 4,
                             first.lo[1] + dy * 4 + 4,

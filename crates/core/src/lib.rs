@@ -44,12 +44,12 @@ pub mod pipeline;
 pub mod tensor_pipeline;
 pub mod traditional;
 
-pub use lowcomm::{LowCommConfig, LowCommConvolver, RunReport};
+pub use adaptive::AdaptiveConvolver;
+pub use lowcomm::{ConvolveReport, LowCommConfig, LowCommConvolver, RunReport};
 pub use memory_model::{
     allowable_k, domains_per_device, local_slab_bytes, table1_rows, traditional_bytes,
     traditional_fits, PipelineFootprint, Table1Row, TABLE1_CASES,
 };
-pub use adaptive::AdaptiveConvolver;
 pub use pipeline::LocalConvolver;
 pub use tensor_pipeline::TensorKernelSpectrum;
 pub use traditional::TraditionalConvolver;

@@ -7,7 +7,12 @@
 //! decomposition and local computing." Each sub-domain's contribution is an
 //! independent task; by linearity their reconstructions sum to the (cyclic)
 //! convolution of the whole input. Only compressed samples would cross the
-//! network — [`RunReport`] records exactly how many bytes that is.
+//! network — [`ConvolveReport`] records exactly how many bytes that is.
+//!
+//! When ranks die mid-deployment the pipeline degrades instead of failing:
+//! survivors recompute the missing domains' contributions at the schedule's
+//! *coarsest* rate (cheap, low-resolution) so availability is preserved and
+//! only accuracy suffers — see [`LowCommConvolver::accumulate_degraded`].
 
 use std::sync::Arc;
 
@@ -44,9 +49,10 @@ impl LowCommConfig {
     }
 }
 
-/// Per-run accounting: what a distributed deployment would communicate.
+/// Per-run accounting: what a distributed deployment would communicate,
+/// and how much of the result had to be reconstructed in degraded mode.
 #[derive(Clone, Debug, Default)]
-pub struct RunReport {
+pub struct ConvolveReport {
     /// Number of sub-domains processed (zero-skipped ones excluded).
     pub domains_processed: usize,
     /// Sub-domains skipped because their input was identically zero —
@@ -59,7 +65,16 @@ pub struct RunReport {
     /// Dense bytes the traditional approach would have exchanged per FFT
     /// stage (N³ points, 16 B), for comparison.
     pub dense_stage_bytes: usize,
+    /// Sub-domains whose owning rank died and whose contribution was
+    /// recomputed by survivors at the coarsest rate.
+    pub degraded_domains: usize,
+    /// The uniform sampling rate used for degraded reconstruction
+    /// (`None` when nothing degraded).
+    pub degraded_rate: Option<u32>,
 }
+
+/// Former name of [`ConvolveReport`], kept for downstream code.
+pub type RunReport = ConvolveReport;
 
 /// The end-to-end approximate convolver.
 pub struct LowCommConvolver {
@@ -121,7 +136,7 @@ impl LowCommConvolver {
         &self,
         input: &Grid3<f64>,
         kernel: &dyn KernelSpectrum,
-    ) -> (Vec<CompressedField>, RunReport) {
+    ) -> (Vec<CompressedField>, ConvolveReport) {
         let n = self.cfg.n;
         assert_eq!(input.shape(), (n, n, n), "input shape mismatch");
         let domains = decompose_uniform(n, self.cfg.k);
@@ -137,7 +152,7 @@ impl LowCommConvolver {
             })
             .collect();
 
-        let mut report = RunReport {
+        let mut report = ConvolveReport {
             dense_stage_bytes: n * n * n * 16,
             ..Default::default()
         };
@@ -173,9 +188,92 @@ impl LowCommConvolver {
         &self,
         input: &Grid3<f64>,
         kernel: &dyn KernelSpectrum,
-    ) -> (Grid3<f64>, RunReport) {
+    ) -> (Grid3<f64>, ConvolveReport) {
         let (fields, report) = self.compress_domains(input, kernel);
         (self.accumulate(&fields), report)
+    }
+
+    /// The coarsest sampling rate anywhere in the configured schedule —
+    /// the cheapest resolution the deployment already tolerates far from a
+    /// domain, and therefore the natural fidelity for emergency
+    /// reconstruction of a dead rank's domains.
+    pub fn coarsest_rate(&self) -> u32 {
+        let s = &self.cfg.schedule;
+        s.bands
+            .iter()
+            .map(|b| b.rate)
+            .chain([s.far_rate, s.boundary_rate.max(1)])
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// The uniform schedule used for degraded reconstruction.
+    pub fn degraded_schedule(&self) -> RateSchedule {
+        RateSchedule::uniform(self.coarsest_rate())
+    }
+
+    /// Recomputes one sub-domain's contribution at the coarsest uniform
+    /// rate. Returns `None` for identically-zero domains (nothing to
+    /// reconstruct). This is what a survivor runs for each domain owned by
+    /// a dead rank.
+    pub fn compress_domain_degraded(
+        &self,
+        input: &Grid3<f64>,
+        domain: &BoxRegion,
+        kernel: &dyn KernelSpectrum,
+    ) -> Option<CompressedField> {
+        let sub = input.extract(domain);
+        if sub.as_slice().iter().all(|&v| v == 0.0) {
+            return None;
+        }
+        let plan = Arc::new(SamplingPlan::build(
+            self.cfg.n,
+            self.response_region(domain, kernel),
+            &self.degraded_schedule(),
+        ));
+        Some(
+            self.local
+                .convolve_compressed(&sub, domain.lo, kernel, plan),
+        )
+    }
+
+    /// Graceful degradation: accumulates the surviving ranks' compressed
+    /// contributions, then fills in `missing` domains (those owned by dead
+    /// ranks) by recomputing them locally at the coarsest rate. The report
+    /// records how much of the field is degraded so callers can surface the
+    /// accuracy loss instead of silently absorbing it.
+    pub fn accumulate_degraded(
+        &self,
+        fields: &[CompressedField],
+        input: &Grid3<f64>,
+        kernel: &dyn KernelSpectrum,
+        missing: &[BoxRegion],
+    ) -> (Grid3<f64>, ConvolveReport) {
+        let n = self.cfg.n;
+        let cube = BoxRegion::cube(n);
+        let mut out = self.accumulate(fields);
+        let mut report = ConvolveReport {
+            domains_processed: fields.len(),
+            dense_stage_bytes: n * n * n * 16,
+            ..Default::default()
+        };
+        for f in fields {
+            report.total_samples += f.plan().total_samples();
+            report.exchange_bytes += f.message_bytes();
+        }
+        for d in missing {
+            match self.compress_domain_degraded(input, d, kernel) {
+                Some(f) => {
+                    f.add_region_into(&cube, &mut out, 1.0);
+                    report.degraded_domains += 1;
+                }
+                None => report.domains_skipped += 1,
+            }
+        }
+        if report.degraded_domains > 0 {
+            report.degraded_rate = Some(self.coarsest_rate());
+        }
+        (out, report)
     }
 }
 

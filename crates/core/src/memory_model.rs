@@ -130,8 +130,7 @@ pub fn allowable_k(n: usize, capacity: u64, batch: usize) -> Option<usize> {
     while k <= n / 2 {
         let retained = (2 * k + n / 8).min(n);
         // Compressed output ≈ dense domain + exterior at average rate 8.
-        let compressed =
-            8 * ((k as u64).pow(3) + (n as u64).pow(3) / 512) + (1 << 20);
+        let compressed = 8 * ((k as u64).pow(3) + (n as u64).pow(3) / 512) + (1 << 20);
         let fp = PipelineFootprint::model(n, k, retained, batch, compressed);
         if fp.actual_bytes() <= capacity {
             best = Some(k);
@@ -226,7 +225,10 @@ mod tests {
         let caps = 32 * GB;
         let k1024 = allowable_k(1024, caps, 1024).unwrap();
         let k2048 = allowable_k(2048, caps, 4096).unwrap();
-        assert!(k2048 < k1024, "k({k2048}) at 2048 must be below k({k1024}) at 1024");
+        assert!(
+            k2048 < k1024,
+            "k({k2048}) at 2048 must be below k({k1024}) at 1024"
+        );
     }
 
     #[test]
@@ -237,7 +239,10 @@ mod tests {
         let small = domains_per_device(256, 32, 1024, cap);
         let medium = domains_per_device(512, 32, 1024, cap);
         assert!(small > medium, "{small} vs {medium}");
-        assert!(small >= 8, "a 256³ pipeline should batch many domains: {small}");
+        assert!(
+            small >= 8,
+            "a 256³ pipeline should batch many domains: {small}"
+        );
         assert_eq!(domains_per_device(8192, 512, 8192, GB), 0);
     }
 

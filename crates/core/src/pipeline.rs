@@ -49,16 +49,17 @@ impl LocalConvolver {
         assert_eq!(n % k, 0, "k must divide n");
         assert!(batch >= 1, "batch must be at least 1");
         let planner = Arc::new(FftPlanner::new());
-        let pruned = Arc::new(PrunedInputFft::new(
-            &planner,
-            n,
-            k,
-            FftDirection::Forward,
-        ));
+        let pruned = Arc::new(PrunedInputFft::new(&planner, n, k, FftDirection::Forward));
         // Warm the plan cache so timed runs measure execution only.
         planner.plan(n, FftDirection::Inverse);
         planner.plan(n, FftDirection::Forward);
-        LocalConvolver { n, k, batch, planner, pruned }
+        LocalConvolver {
+            n,
+            k,
+            batch,
+            planner,
+            pruned,
+        }
     }
 
     /// Grid size N.
@@ -97,31 +98,33 @@ impl LocalConvolver {
         let (n, k) = (self.n, self.k);
         assert_eq!(sub.shape(), (k, k, k), "sub-domain must be k³");
         let mut slab = vec![Complex64::ZERO; k * n * n];
-        slab.par_chunks_mut(n * n).enumerate().for_each(|(zloc, plane)| {
-            let mut scratch = vec![Complex64::ZERO; k];
-            let mut row_in = vec![Complex64::ZERO; k];
-            // y transforms: k nonzero rows, each with k nonzero entries.
-            let mut rows = vec![Complex64::ZERO; k * n];
-            for x in 0..k {
-                for y in 0..k {
-                    row_in[y] = Complex64::from_real(sub[(x, y, zloc)]);
-                }
-                self.pruned
-                    .process(&row_in, &mut rows[x * n..(x + 1) * n], &mut scratch);
-            }
-            // x transforms: every fy column has k nonzero entries (x<k).
-            let mut col_in = vec![Complex64::ZERO; k];
-            let mut col_out = vec![Complex64::ZERO; n];
-            for fy in 0..n {
+        slab.par_chunks_mut(n * n)
+            .enumerate()
+            .for_each(|(zloc, plane)| {
+                let mut scratch = vec![Complex64::ZERO; k];
+                let mut row_in = vec![Complex64::ZERO; k];
+                // y transforms: k nonzero rows, each with k nonzero entries.
+                let mut rows = vec![Complex64::ZERO; k * n];
                 for x in 0..k {
-                    col_in[x] = rows[x * n + fy];
+                    for y in 0..k {
+                        row_in[y] = Complex64::from_real(sub[(x, y, zloc)]);
+                    }
+                    self.pruned
+                        .process(&row_in, &mut rows[x * n..(x + 1) * n], &mut scratch);
                 }
-                self.pruned.process(&col_in, &mut col_out, &mut scratch);
-                for fx in 0..n {
-                    plane[fx * n + fy] = col_out[fx];
+                // x transforms: every fy column has k nonzero entries (x<k).
+                let mut col_in = vec![Complex64::ZERO; k];
+                let mut col_out = vec![Complex64::ZERO; n];
+                for fy in 0..n {
+                    for x in 0..k {
+                        col_in[x] = rows[x * n + fy];
+                    }
+                    self.pruned.process(&col_in, &mut col_out, &mut scratch);
+                    for fx in 0..n {
+                        plane[fx * n + fy] = col_out[fx];
+                    }
                 }
-            }
-        });
+            });
         slab
     }
 
@@ -287,14 +290,12 @@ mod tests {
         let kernel = GaussianKernel::new(n, 1.0);
         let sub = sub_field(k);
         for corner in [[0usize, 0, 0], [12, 12, 12]] {
-            let domain =
-                BoxRegion::new(corner, [corner[0] + k, corner[1] + k, corner[2] + k]);
+            let domain = BoxRegion::new(corner, [corner[0] + k, corner[1] + k, corner[2] + k]);
             let conv = LocalConvolver::new(n, k, 16);
             let got = conv
                 .convolve_compressed(&sub, corner, &kernel, dense_plan(n, domain))
                 .reconstruct();
-            let want =
-                TraditionalConvolver::new(n).convolve_subdomain(&sub, corner, &kernel);
+            let want = TraditionalConvolver::new(n).convolve_subdomain(&sub, corner, &kernel);
             let err = relative_l2(want.as_slice(), got.as_slice());
             assert!(err < 1e-10, "corner {corner:?} error {err}");
         }
@@ -309,11 +310,15 @@ mod tests {
         let sub = sub_field(k);
         let domain = BoxRegion::new(corner, [8, 8, 8]);
         let plan = dense_plan(n, domain);
-        let base = LocalConvolver::new(n, k, 1)
-            .convolve_compressed(&sub, corner, &kernel, plan.clone());
+        let base =
+            LocalConvolver::new(n, k, 1).convolve_compressed(&sub, corner, &kernel, plan.clone());
         for b in [3, 64, 256, 1024] {
-            let other = LocalConvolver::new(n, k, b)
-                .convolve_compressed(&sub, corner, &kernel, plan.clone());
+            let other = LocalConvolver::new(n, k, b).convolve_compressed(
+                &sub,
+                corner,
+                &kernel,
+                plan.clone(),
+            );
             let err = relative_l2(base.samples(), other.samples());
             assert!(err < 1e-12, "batch {b} changed the result: {err}");
         }
@@ -366,7 +371,10 @@ mod tests {
         let plan = SamplingPlan::build(n, domain, &RateSchedule::paper_default(k, 16));
         let fp = conv.footprint(&plan);
         assert_eq!(fp.slab_bytes, 16 * (n as u64) * (n as u64) * (k as u64));
-        assert!(fp.estimated_bytes() < 16 * (n as u64).pow(3), "must beat dense");
+        assert!(
+            fp.estimated_bytes() < 16 * (n as u64).pow(3),
+            "must beat dense"
+        );
         assert!(fp.actual_bytes() > fp.estimated_bytes());
     }
 

@@ -75,13 +75,15 @@ impl LocalConvolver {
         let phase = |len: usize, c: usize| -> Vec<Complex64> {
             (0..len)
                 .map(|f| {
-                    Complex64::cis(
-                        -2.0 * std::f64::consts::PI * ((f * c) % n) as f64 / n as f64,
-                    )
+                    Complex64::cis(-2.0 * std::f64::consts::PI * ((f * c) % n) as f64 / n as f64)
                 })
                 .collect()
         };
-        let (phx, phy, phz) = (phase(n, corner[0]), phase(n, corner[1]), phase(n, corner[2]));
+        let (phx, phy, phz) = (
+            phase(n, corner[0]),
+            phase(n, corner[1]),
+            phase(n, corner[2]),
+        );
 
         let total = n * n;
         let batch = self.batch();
@@ -185,9 +187,10 @@ mod tests {
             self.gamma.n()
         }
         fn eval(&self, f: [usize; 3]) -> Complex64 {
-            Complex64::from_real(self.gamma.component(
-                f, self.ij.0, self.ij.1, self.kl.0, self.kl.1,
-            ))
+            Complex64::from_real(
+                self.gamma
+                    .component(f, self.ij.0, self.ij.1, self.kl.0, self.kl.1),
+            )
         }
     }
 
@@ -221,7 +224,10 @@ mod tests {
                 }
             }
             let err = relative_l2(&acc, tensor_out[ci].samples());
-            assert!(err < 1e-9, "component {ci}: tensor vs scalar-sum error {err}");
+            assert!(
+                err < 1e-9,
+                "component {ci}: tensor vs scalar-sum error {err}"
+            );
         }
     }
 
@@ -232,21 +238,16 @@ mod tests {
         let gamma = MassifGamma::new(n, 1.0, 1.0);
         let domain = BoxRegion::new([0; 3], [k; 3]);
         let plan = Arc::new(SamplingPlan::build(n, domain, &RateSchedule::uniform(1)));
-        let sub: [Grid3<f64>; 6] = std::array::from_fn(|c| {
-            Grid3::from_fn((k, k, k), |x, y, z| (x * y + z + c) as f64)
-        });
+        let sub: [Grid3<f64>; 6] =
+            std::array::from_fn(|c| Grid3::from_fn((k, k, k), |x, y, z| (x * y + z + c) as f64));
         let a = LocalConvolver::new(n, k, 1).convolve_tensor_compressed(
             &sub,
             [0; 3],
             &gamma,
             plan.clone(),
         );
-        let b = LocalConvolver::new(n, k, 64).convolve_tensor_compressed(
-            &sub,
-            [0; 3],
-            &gamma,
-            plan,
-        );
+        let b =
+            LocalConvolver::new(n, k, 64).convolve_tensor_compressed(&sub, [0; 3], &gamma, plan);
         for c in 0..6 {
             for (x, y) in a[c].samples().iter().zip(b[c].samples()) {
                 assert!((x - y).abs() < 1e-10);

@@ -18,7 +18,10 @@ pub struct TraditionalConvolver {
 impl TraditionalConvolver {
     /// Creates a convolver for an `n³` grid.
     pub fn new(n: usize) -> Self {
-        TraditionalConvolver { n, planner: FftPlanner::new() }
+        TraditionalConvolver {
+            n,
+            planner: FftPlanner::new(),
+        }
     }
 
     /// Grid size.
@@ -134,6 +137,9 @@ mod tests {
 
     #[test]
     fn peak_bytes_formula() {
-        assert_eq!(TraditionalConvolver::new(64).peak_bytes(), 16 * 64u64.pow(3));
+        assert_eq!(
+            TraditionalConvolver::new(64).peak_bytes(),
+            16 * 64u64.pow(3)
+        );
     }
 }

@@ -22,7 +22,11 @@ pub struct PlanShape {
 impl PlanShape {
     /// Complex-double batch of `batch` transforms of length `len`.
     pub fn c2c(len: usize, batch: usize) -> Self {
-        PlanShape { len, batch, elem_bytes: 16 }
+        PlanShape {
+            len,
+            batch,
+            elem_bytes: 16,
+        }
     }
 
     /// Size of the data buffer the plan operates on.

@@ -51,7 +51,10 @@ pub struct MemoryTracker {
 impl MemoryTracker {
     /// Creates a tracker with `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        MemoryTracker { capacity, state: Arc::new(Mutex::new(MemState::default())) }
+        MemoryTracker {
+            capacity,
+            state: Arc::new(Mutex::new(MemState::default())),
+        }
     }
 
     /// Device capacity in bytes.
@@ -88,7 +91,11 @@ impl MemoryTracker {
         }
         s.used += bytes;
         s.peak = s.peak.max(s.used);
-        Ok(DeviceBuffer { bytes, tracker: self.state.clone(), label: label.to_string() })
+        Ok(DeviceBuffer {
+            bytes,
+            tracker: self.state.clone(),
+            label: label.to_string(),
+        })
     }
 }
 

@@ -97,19 +97,16 @@ fn process_pencils(data: &mut [Complex64], offsets: &[usize], stride: usize, pla
     let ptr = SendPtr(data.as_mut_ptr());
     if stride == 1 {
         // Contiguous pencils: transform in place without gather/scatter.
-        offsets.par_iter().for_each(|&off| {
-            let ptr = ptr;
+        offsets.par_iter().for_each(move |&off| {
             // SAFETY: offsets are distinct pencil bases; contiguous ranges
             // [off, off+len) are disjoint across tasks and in bounds.
-            let pencil =
-                unsafe { std::slice::from_raw_parts_mut(ptr.0.add(off), len) };
+            let pencil = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(off), len) };
             plan.process(pencil);
         });
     } else {
         offsets.par_iter().for_each_init(
             || vec![Complex64::ZERO; len],
-            |scratch, &off| {
-                let ptr = ptr;
+            move |scratch, &off| {
                 for (t, s) in scratch.iter_mut().enumerate() {
                     // SAFETY: disjoint strided index sets per task, in bounds
                     // by the assert above.
@@ -177,7 +174,12 @@ mod tests {
             .collect()
     }
 
-    fn reference_axis(data: &[Complex64], dims: Dims3, axis: usize, dir: FftDirection) -> Vec<Complex64> {
+    fn reference_axis(
+        data: &[Complex64],
+        dims: Dims3,
+        axis: usize,
+        dir: FftDirection,
+    ) -> Vec<Complex64> {
         let (n0, n1, n2) = dims;
         let mut out = data.to_vec();
         let idx = |i0: usize, i1: usize, i2: usize| i0 * n1 * n2 + i1 * n2 + i2;
@@ -261,10 +263,23 @@ mod tests {
         let mut batched = full.clone();
         fft_axis(&planner, &mut full, dims, 2, FftDirection::Forward);
         // Two batches covering all pencils.
-        let all: Vec<(usize, usize)> =
-            (0..3).flat_map(|i0| (0..5).map(move |i1| (i0, i1))).collect();
-        fft_axis2_batch(&planner, &mut batched, dims, &all[..7], FftDirection::Forward);
-        fft_axis2_batch(&planner, &mut batched, dims, &all[7..], FftDirection::Forward);
+        let all: Vec<(usize, usize)> = (0..3)
+            .flat_map(|i0| (0..5).map(move |i1| (i0, i1)))
+            .collect();
+        fft_axis2_batch(
+            &planner,
+            &mut batched,
+            dims,
+            &all[..7],
+            FftDirection::Forward,
+        );
+        fft_axis2_batch(
+            &planner,
+            &mut batched,
+            dims,
+            &all[7..],
+            FftDirection::Forward,
+        );
         for (a, b) in full.iter().zip(&batched) {
             assert!((*a - *b).norm() < 1e-9);
         }

@@ -122,12 +122,17 @@ mod tests {
     }
 
     fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).norm()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).norm())
+            .fold(0.0, f64::max)
     }
 
     #[test]
     fn matches_dft_various_lengths() {
-        for n in [1, 2, 3, 5, 6, 7, 9, 11, 12, 15, 17, 31, 45, 97, 100, 129, 243] {
+        for n in [
+            1, 2, 3, 5, 6, 7, 9, 11, 12, 15, 17, 31, 45, 97, 100, 129, 243,
+        ] {
             let x = signal(n);
             let expect = dft(&x, FftDirection::Forward);
             let plan = BluesteinFft::new(n, FftDirection::Forward);

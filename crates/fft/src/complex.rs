@@ -161,6 +161,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline(always)]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division as multiply-by-inverse
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -315,7 +316,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![c64(1.0, 1.0); 10];
+        let v = [c64(1.0, 1.0); 10];
         let s: Complex64 = v.iter().sum();
         assert!(close(s, c64(10.0, 10.0)));
     }

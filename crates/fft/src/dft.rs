@@ -44,11 +44,7 @@ pub fn dft_into(input: &[Complex64], output: &mut [Complex64], direction: FftDir
 ///
 /// Cost is O(|bins| · n). Used by the pruned-output transforms when only a
 /// handful of coarse samples of a long inverse transform are needed.
-pub fn dft_bins(
-    input: &[Complex64],
-    bins: &[usize],
-    direction: FftDirection,
-) -> Vec<Complex64> {
+pub fn dft_bins(input: &[Complex64], bins: &[usize], direction: FftDirection) -> Vec<Complex64> {
     let n = input.len();
     let sign = direction.angle_sign();
     let step = sign * 2.0 * std::f64::consts::PI / n as f64;

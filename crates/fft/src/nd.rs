@@ -6,12 +6,7 @@ use crate::planner::FftPlanner;
 use crate::FftDirection;
 
 /// Full 3D transform: every axis of the row-major `(n0, n1, n2)` buffer.
-pub fn fft_3d(
-    planner: &FftPlanner,
-    data: &mut [Complex64],
-    dims: Dims3,
-    direction: FftDirection,
-) {
+pub fn fft_3d(planner: &FftPlanner, data: &mut [Complex64], dims: Dims3, direction: FftDirection) {
     // Innermost (contiguous) axis first: best locality while the data is
     // still untouched; subsequent strided axes see already-transformed rows.
     fft_axis(planner, data, dims, 2, direction);

@@ -17,11 +17,7 @@ use crate::FftDirection;
 
 /// Forward r2c 3D transform: real row-major `(n0, n1, n2)` input →
 /// complex `(n0, n1, n2/2 + 1)` half-spectrum (unnormalized).
-pub fn fft_3d_r2c(
-    planner: &FftPlanner,
-    input: &[f64],
-    dims: Dims3,
-) -> Vec<Complex64> {
+pub fn fft_3d_r2c(planner: &FftPlanner, input: &[f64], dims: Dims3) -> Vec<Complex64> {
     let (n0, n1, n2) = dims;
     assert_eq!(input.len(), n0 * n1 * n2, "input shape mismatch");
     assert!(n2 % 2 == 0 && n2 >= 2, "innermost axis must be even");
@@ -42,11 +38,7 @@ pub fn fft_3d_r2c(
 /// Inverse c2r 3D transform (normalized): half-spectrum
 /// `(n0, n1, n2/2 + 1)` → real `(n0, n1, n2)`, such that
 /// `ifft_3d_c2r(fft_3d_r2c(x)) == x`.
-pub fn ifft_3d_c2r(
-    planner: &FftPlanner,
-    spectrum: &[Complex64],
-    dims: Dims3,
-) -> Vec<f64> {
+pub fn ifft_3d_c2r(planner: &FftPlanner, spectrum: &[Complex64], dims: Dims3) -> Vec<f64> {
     let (n0, n1, n2) = dims;
     assert!(n2 % 2 == 0 && n2 >= 2, "innermost axis must be even");
     let h = n2 / 2 + 1;
@@ -91,8 +83,7 @@ mod tests {
         let planner = FftPlanner::new();
         let x = real_field(dims);
         let half = fft_3d_r2c(&planner, &x, dims);
-        let mut full: Vec<Complex64> =
-            x.iter().map(|&v| Complex64::from_real(v)).collect();
+        let mut full: Vec<Complex64> = x.iter().map(|&v| Complex64::from_real(v)).collect();
         fft_3d(&planner, &mut full, dims, FftDirection::Forward);
         let h = dims.2 / 2 + 1;
         for f0 in 0..dims.0 {

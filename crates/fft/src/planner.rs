@@ -118,7 +118,9 @@ mod tests {
     use crate::dft::dft;
 
     fn signal(n: usize) -> Vec<Complex64> {
-        (0..n).map(|i| c64((i as f64).sin(), (i as f64 * 0.3).cos())).collect()
+        (0..n)
+            .map(|i| c64((i as f64).sin(), (i as f64 * 0.3).cos()))
+            .collect()
     }
 
     #[test]

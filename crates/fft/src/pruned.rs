@@ -45,7 +45,13 @@ impl PrunedInputFft {
         let step = sign * 2.0 * std::f64::consts::PI / n as f64;
         let root_table = (0..n).map(|j| Complex64::cis(step * j as f64)).collect();
         let inner = planner.plan(k, direction);
-        PrunedInputFft { n, k, direction, root_table, inner }
+        PrunedInputFft {
+            n,
+            k,
+            direction,
+            root_table,
+            inner,
+        }
     }
 
     /// Total (padded) transform length N.
@@ -72,7 +78,12 @@ impl PrunedInputFft {
     /// (length N, all bins).
     ///
     /// `scratch` must have length k; it is clobbered.
-    pub fn process(&self, input: &[Complex64], output: &mut [Complex64], scratch: &mut [Complex64]) {
+    pub fn process(
+        &self,
+        input: &[Complex64],
+        output: &mut [Complex64],
+        scratch: &mut [Complex64],
+    ) {
         let (n, k) = (self.n, self.k);
         assert_eq!(input.len(), k, "input must be the k-point support");
         assert_eq!(output.len(), n, "output must be the full N bins");
@@ -149,12 +160,24 @@ impl DecimatedOutputFft {
             )
         };
         let inner = planner.plan(n / stride, direction);
-        DecimatedOutputFft { n, stride, offset, direction, offset_twiddle, inner }
+        DecimatedOutputFft {
+            n,
+            stride,
+            offset,
+            direction,
+            offset_twiddle,
+            inner,
+        }
     }
 
     /// Full transform length N.
     pub fn len(&self) -> usize {
         self.n
+    }
+
+    /// True only for the degenerate zero-length transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
     }
 
     /// Number of retained outputs, `N/stride`.
@@ -211,16 +234,15 @@ impl DecimatedOutputFft {
     }
 }
 
+type PrunedKey = (usize, usize, FftDirection);
+type DecimatedKey = (usize, usize, usize, FftDirection);
+
 /// Cache of pruned plans keyed by (n, k, direction), mirroring `FftPlanner`.
 #[derive(Default)]
 pub struct PrunedPlanner {
     planner: Arc<FftPlanner>,
-    pruned: parking_lot::Mutex<
-        std::collections::HashMap<(usize, usize, FftDirection), Arc<PrunedInputFft>>,
-    >,
-    decimated: parking_lot::Mutex<
-        std::collections::HashMap<(usize, usize, usize, FftDirection), Arc<DecimatedOutputFft>>,
-    >,
+    pruned: parking_lot::Mutex<std::collections::HashMap<PrunedKey, Arc<PrunedInputFft>>>,
+    decimated: parking_lot::Mutex<std::collections::HashMap<DecimatedKey, Arc<DecimatedOutputFft>>>,
 }
 
 impl PrunedPlanner {
@@ -231,7 +253,10 @@ impl PrunedPlanner {
 
     /// Creates a pruned-plan cache sharing an existing inner planner.
     pub fn with_planner(planner: Arc<FftPlanner>) -> Self {
-        PrunedPlanner { planner, ..Self::default() }
+        PrunedPlanner {
+            planner,
+            ..Self::default()
+        }
     }
 
     /// The shared dense planner.
@@ -240,17 +265,16 @@ impl PrunedPlanner {
     }
 
     /// Plan (or fetch) a pruned-input transform.
-    pub fn plan_pruned(
-        &self,
-        n: usize,
-        k: usize,
-        direction: FftDirection,
-    ) -> Arc<PrunedInputFft> {
+    pub fn plan_pruned(&self, n: usize, k: usize, direction: FftDirection) -> Arc<PrunedInputFft> {
         if let Some(p) = self.pruned.lock().get(&(n, k, direction)) {
             return p.clone();
         }
         let plan = Arc::new(PrunedInputFft::new(&self.planner, n, k, direction));
-        self.pruned.lock().entry((n, k, direction)).or_insert(plan).clone()
+        self.pruned
+            .lock()
+            .entry((n, k, direction))
+            .or_insert(plan)
+            .clone()
     }
 
     /// Plan (or fetch) a decimated-output transform.
@@ -265,7 +289,13 @@ impl PrunedPlanner {
         if let Some(p) = self.decimated.lock().get(&key) {
             return p.clone();
         }
-        let plan = Arc::new(DecimatedOutputFft::new(&self.planner, n, stride, offset, direction));
+        let plan = Arc::new(DecimatedOutputFft::new(
+            &self.planner,
+            n,
+            stride,
+            offset,
+            direction,
+        ));
         self.decimated.lock().entry(key).or_insert(plan).clone()
     }
 }
@@ -277,7 +307,9 @@ mod tests {
     use crate::dft::{dft, dft_bins};
 
     fn head_signal(k: usize) -> Vec<Complex64> {
-        (0..k).map(|i| c64((i as f64 * 0.9).cos() + 0.3, i as f64 * 0.1)).collect()
+        (0..k)
+            .map(|i| c64((i as f64 * 0.9).cos() + 0.3, i as f64 * 0.1))
+            .collect()
     }
 
     #[test]
@@ -341,8 +373,9 @@ mod tests {
     fn decimated_matches_subset_no_offset() {
         let planner = FftPlanner::new();
         for (n, r) in [(16, 4), (64, 8), (60, 5), (128, 1)] {
-            let x: Vec<Complex64> =
-                (0..n).map(|i| c64((i as f64).sin(), (i as f64 * 0.5).cos())).collect();
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| c64((i as f64).sin(), (i as f64 * 0.5).cos()))
+                .collect();
             let bins: Vec<usize> = (0..n / r).map(|t| t * r).collect();
             let expect = dft_bins(&x, &bins, FftDirection::Inverse);
             let plan = DecimatedOutputFft::new(&planner, n, r, 0, FftDirection::Inverse);

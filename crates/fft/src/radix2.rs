@@ -21,11 +21,19 @@ pub struct Radix2Fft {
 impl Radix2Fft {
     /// Plans a transform of length `n` (must be a power of two, n ≥ 1).
     pub fn new(n: usize, direction: FftDirection) -> Self {
-        assert!(n.is_power_of_two(), "Radix2Fft requires power-of-two length, got {n}");
-        assert!(n <= u32::MAX as usize, "length too large for bit-reversal table");
+        assert!(
+            n.is_power_of_two(),
+            "Radix2Fft requires power-of-two length, got {n}"
+        );
+        assert!(
+            n <= u32::MAX as usize,
+            "length too large for bit-reversal table"
+        );
         let sign = direction.angle_sign();
         let step = sign * 2.0 * std::f64::consts::PI / n as f64;
-        let twiddles = (0..n / 2).map(|j| Complex64::cis(step * j as f64)).collect();
+        let twiddles = (0..n / 2)
+            .map(|j| Complex64::cis(step * j as f64))
+            .collect();
 
         let bits = n.trailing_zeros();
         let bitrev = (0..n as u32)
@@ -38,7 +46,12 @@ impl Radix2Fft {
             })
             .collect();
 
-        Radix2Fft { len: n, direction, twiddles, bitrev }
+        Radix2Fft {
+            len: n,
+            direction,
+            twiddles,
+            bitrev,
+        }
     }
 
     #[inline]
@@ -111,11 +124,16 @@ mod tests {
     use crate::dft::dft;
 
     fn ramp(n: usize) -> Vec<Complex64> {
-        (0..n).map(|i| c64(i as f64 + 0.5, (n - i) as f64 * 0.25)).collect()
+        (0..n)
+            .map(|i| c64(i as f64 + 0.5, (n - i) as f64 * 0.25))
+            .collect()
     }
 
     fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).norm()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).norm())
+            .fold(0.0, f64::max)
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub struct Radix4Fft {
 impl Radix4Fft {
     /// Plans a transform of power-of-two length `n ≥ 1`.
     pub fn new(n: usize, direction: FftDirection) -> Self {
-        assert!(n.is_power_of_two(), "Radix4Fft requires power-of-two length");
+        assert!(
+            n.is_power_of_two(),
+            "Radix4Fft requires power-of-two length"
+        );
         let sign = direction.angle_sign();
         let step = sign * 2.0 * std::f64::consts::PI / n as f64;
         let twiddles = (0..(3 * n / 4).max(1))
@@ -37,7 +40,13 @@ impl Radix4Fft {
         // the output order of repeated DIT splits is the digit reversal in
         // the mixed radix system (2 then 4s, or all 4s).
         let perm = Self::digit_reversal(n, leading_radix2);
-        Radix4Fft { len: n, direction, twiddles, perm, leading_radix2 }
+        Radix4Fft {
+            len: n,
+            direction,
+            twiddles,
+            perm,
+            leading_radix2,
+        }
     }
 
     /// Digit reversal for a mixed (2, 4, 4, …) radix system.
@@ -147,7 +156,9 @@ mod tests {
     use crate::radix2::Radix2Fft;
 
     fn signal(n: usize) -> Vec<Complex64> {
-        (0..n).map(|i| c64((i as f64 * 0.9).sin(), (i as f64 * 0.4).cos())).collect()
+        (0..n)
+            .map(|i| c64((i as f64 * 0.9).sin(), (i as f64 * 0.4).cos()))
+            .collect()
     }
 
     #[test]

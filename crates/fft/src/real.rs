@@ -26,7 +26,10 @@ pub struct RealFft {
 impl RealFft {
     /// Plans an r2c transform of even length `n ≥ 2`.
     pub fn new(planner: &FftPlanner, n: usize) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "RealFft requires even n >= 2, got {n}");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "RealFft requires even n >= 2, got {n}"
+        );
         let half = n / 2;
         let step = -2.0 * std::f64::consts::PI / n as f64;
         RealFft {
@@ -99,7 +102,10 @@ pub struct RealIfft {
 impl RealIfft {
     /// Plans a c2r transform of even length `n ≥ 2`.
     pub fn new(planner: &FftPlanner, n: usize) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "RealIfft requires even n >= 2, got {n}");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "RealIfft requires even n >= 2, got {n}"
+        );
         let half = n / 2;
         let step = 2.0 * std::f64::consts::PI / n as f64;
         RealIfft {
@@ -169,7 +175,9 @@ mod tests {
     use crate::dft::dft;
 
     fn real_signal(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64)
+            .collect()
     }
 
     #[test]

@@ -14,9 +14,7 @@ use lcc_grid::BoxRegion;
 use lcc_octree::{RateSchedule, SamplingPlan};
 
 use crate::plan::{ComposeError, FftxMode, FftxPlan};
-use crate::subplan::{
-    CopyOffsetStage, Dft3dStage, PointwiseStage, SamplingStage, ZeroPadEmbed,
-};
+use crate::subplan::{CopyOffsetStage, Dft3dStage, PointwiseStage, SamplingStage, ZeroPadEmbed};
 
 /// Builds the MASSIF convolution plan of Fig. 5.
 ///
@@ -57,8 +55,14 @@ pub fn massif_convolution_plan(
                 callback: Box::new(move |f, v| v * gf(f)),
             }),
             // plans[2]: inverse transform with adaptive sampling attached.
-            Box::new(Dft3dStage { n, direction: FftDirection::Inverse, planner }),
-            Box::new(SamplingStage { plan: sampling.clone() }),
+            Box::new(Dft3dStage {
+                n,
+                direction: FftDirection::Inverse,
+                planner,
+            }),
+            Box::new(SamplingStage {
+                plan: sampling.clone(),
+            }),
             // plans[3]: copy_offset places samples back in the output cube.
             Box::new(CopyOffsetStage { plan: sampling }),
         ],
@@ -100,8 +104,7 @@ mod tests {
             .collect();
         let out = plan.execute(&input);
 
-        let want =
-            TraditionalConvolver::new(n).convolve_subdomain(&sub, corner, kernel.as_ref());
+        let want = TraditionalConvolver::new(n).convolve_subdomain(&sub, corner, kernel.as_ref());
         // Rate-1 schedule: every point is sampled, so the scattered output
         // equals the dense result everywhere.
         for (i, v) in out.iter().enumerate() {
@@ -125,7 +128,13 @@ mod tests {
         )
         .unwrap();
         let desc = plan.describe();
-        for stage in ["zero_pad_embed", "dft3d", "pointwise_c2c", "adaptive_sampling", "copy_offset"] {
+        for stage in [
+            "zero_pad_embed",
+            "dft3d",
+            "pointwise_c2c",
+            "adaptive_sampling",
+            "copy_offset",
+        ] {
             assert!(desc.contains(stage), "missing {stage} in:\n{desc}");
         }
         let est = plan.estimate();

@@ -72,10 +72,7 @@ impl std::fmt::Debug for FftxPlan {
 impl FftxPlan {
     /// Composes subplans, validating that shapes chain
     /// (`fftx_plan_compose`).
-    pub fn compose(
-        subplans: Vec<Box<dyn Subplan>>,
-        mode: FftxMode,
-    ) -> Result<Self, ComposeError> {
+    pub fn compose(subplans: Vec<Box<dyn Subplan>>, mode: FftxMode) -> Result<Self, ComposeError> {
         assert!(!subplans.is_empty(), "a plan needs at least one subplan");
         for (i, w) in subplans.windows(2).enumerate() {
             if w[0].output_len() != w[1].input_len() {
@@ -161,7 +158,11 @@ mod tests {
     fn compose_validates_shapes() {
         let err = FftxPlan::compose(
             vec![
-                Box::new(ZeroPadEmbed { k: 2, n: 4, corner: [0; 3] }),
+                Box::new(ZeroPadEmbed {
+                    k: 2,
+                    n: 4,
+                    corner: [0; 3],
+                }),
                 Box::new(Dft3dStage {
                     n: 8,
                     direction: FftDirection::Forward,
@@ -182,18 +183,31 @@ mod tests {
         let p = planner();
         let plan = FftxPlan::compose(
             vec![
-                Box::new(Dft3dStage { n: 4, direction: FftDirection::Forward, planner: p.clone() }),
-                Box::new(PointwiseStage { n: 4, callback: Box::new(|_f, v| v * 2.0) }),
-                Box::new(Dft3dStage { n: 4, direction: FftDirection::Inverse, planner: p }),
+                Box::new(Dft3dStage {
+                    n: 4,
+                    direction: FftDirection::Forward,
+                    planner: p.clone(),
+                }),
+                Box::new(PointwiseStage {
+                    n: 4,
+                    callback: Box::new(|_f, v| v * 2.0),
+                }),
+                Box::new(Dft3dStage {
+                    n: 4,
+                    direction: FftDirection::Inverse,
+                    planner: p,
+                }),
             ],
             FftxMode::HighPerformance,
         )
         .unwrap();
-        let input: Vec<Complex64> =
-            (0..64).map(|i| Complex64::from_real(i as f64)).collect();
+        let input: Vec<Complex64> = (0..64).map(|i| Complex64::from_real(i as f64)).collect();
         let out = plan.execute(&input);
         for (a, b) in input.iter().zip(&out) {
-            assert!((*a * 2.0 - *b).norm() < 1e-9, "pipeline must double the field");
+            assert!(
+                (*a * 2.0 - *b).norm() < 1e-9,
+                "pipeline must double the field"
+            );
         }
         // Plans are reusable.
         let out2 = plan.execute(&input);
@@ -203,7 +217,11 @@ mod tests {
     #[test]
     fn observe_mode_describes_stages() {
         let plan = FftxPlan::compose(
-            vec![Box::new(ZeroPadEmbed { k: 2, n: 4, corner: [1, 0, 0] })],
+            vec![Box::new(ZeroPadEmbed {
+                k: 2,
+                n: 4,
+                corner: [1, 0, 0],
+            })],
             FftxMode::Observe,
         )
         .unwrap();
@@ -219,8 +237,16 @@ mod tests {
         let p = planner();
         let plan = FftxPlan::compose(
             vec![
-                Box::new(Dft3dStage { n: 8, direction: FftDirection::Forward, planner: p.clone() }),
-                Box::new(Dft3dStage { n: 8, direction: FftDirection::Inverse, planner: p }),
+                Box::new(Dft3dStage {
+                    n: 8,
+                    direction: FftDirection::Forward,
+                    planner: p.clone(),
+                }),
+                Box::new(Dft3dStage {
+                    n: 8,
+                    direction: FftDirection::Inverse,
+                    planner: p,
+                }),
             ],
             FftxMode::Estimate,
         )

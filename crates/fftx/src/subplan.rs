@@ -250,10 +250,14 @@ mod tests {
 
     #[test]
     fn embed_places_cube() {
-        let s = ZeroPadEmbed { k: 2, n: 4, corner: [1, 1, 1] };
+        let s = ZeroPadEmbed {
+            k: 2,
+            n: 4,
+            corner: [1, 1, 1],
+        };
         let input: Vec<Complex64> = (0..8).map(|i| c64(i as f64, 0.0)).collect();
         let out = s.execute(&input);
-        assert_eq!(out[(1 * 4 + 1) * 4 + 1], c64(0.0, 0.0));
+        assert_eq!(out[(4 + 1) * 4 + 1], c64(0.0, 0.0));
         assert_eq!(out[(2 * 4 + 2) * 4 + 2], c64(7.0, 0.0));
         assert_eq!(out[0], Complex64::ZERO);
     }
@@ -261,8 +265,16 @@ mod tests {
     #[test]
     fn dft_roundtrip_through_stages() {
         let planner = Arc::new(FftPlanner::new());
-        let fwd = Dft3dStage { n: 4, direction: FftDirection::Forward, planner: planner.clone() };
-        let inv = Dft3dStage { n: 4, direction: FftDirection::Inverse, planner };
+        let fwd = Dft3dStage {
+            n: 4,
+            direction: FftDirection::Forward,
+            planner: planner.clone(),
+        };
+        let inv = Dft3dStage {
+            n: 4,
+            direction: FftDirection::Inverse,
+            planner,
+        };
         let input: Vec<Complex64> = (0..64).map(|i| c64(i as f64, -(i as f64))).collect();
         let back = inv.execute(&fwd.execute(&input));
         for (a, b) in input.iter().zip(&back) {

@@ -29,7 +29,10 @@ pub struct GaussianKernel {
 impl GaussianKernel {
     /// Builds the kernel for an `n`-point grid (n even) with width `sigma`.
     pub fn new(n: usize, sigma: f64) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "grid size must be even, got {n}");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "grid size must be even, got {n}"
+        );
         assert!(sigma > 0.0, "sigma must be positive");
         // 1D centered Gaussian, then exact DFT. The sequence is even around
         // index 0 (x[i] = x[(n-i) mod n]) because it is symmetric about n/2,
@@ -72,7 +75,9 @@ impl GaussianKernel {
         let mut buf: Vec<Complex64> = (0..self.n)
             .map(|i| Complex64::from_real(self.profile(i)))
             .collect();
-        planner.plan(self.n, FftDirection::Forward).process(&mut buf);
+        planner
+            .plan(self.n, FftDirection::Forward)
+            .process(&mut buf);
         buf.iter().map(|v| v.im.abs()).fold(0.0, f64::max)
     }
 }
@@ -107,7 +112,10 @@ mod tests {
     #[test]
     fn spectrum_is_real() {
         let k = GaussianKernel::new(32, 2.0);
-        assert!(k.spectrum_imag_residual() < 1e-10, "paper requires a real-valued FFT");
+        assert!(
+            k.spectrum_imag_residual() < 1e-10,
+            "paper requires a real-valued FFT"
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl ScreenedPoissonSpectrum {
     /// Creates the spectrum; `kappa > 0`.
     pub fn new(n: usize, kappa: f64) -> Self {
         assert!(n >= 2, "grid too small");
-        assert!(kappa > 0.0, "kappa must be positive (use PoissonSpectrum for kappa = 0)");
+        assert!(
+            kappa > 0.0,
+            "kappa must be positive (use PoissonSpectrum for kappa = 0)"
+        );
         ScreenedPoissonSpectrum { n, kappa }
     }
 
@@ -68,14 +71,13 @@ impl KernelSpectrum for ScreenedPoissonSpectrum {
 /// centered at `n/2`, with the cell-averaged regularization at `r = 0`
 /// (mirrors [`crate::poisson::free_space_kernel`]).
 pub fn yukawa_kernel(n: usize, kappa: f64) -> Grid3<f64> {
-    assert!(n >= 2 && n % 2 == 0, "grid size must be even");
+    assert!(n >= 2 && n.is_multiple_of(2), "grid size must be even");
     assert!(kappa >= 0.0);
     let c = (n / 2) as f64;
     let four_pi = 4.0 * std::f64::consts::PI;
     let r_eq = (3.0 / four_pi).cbrt() / 2.0;
     Grid3::from_fn((n, n, n), |x, y, z| {
-        let r = ((x as f64 - c).powi(2) + (y as f64 - c).powi(2) + (z as f64 - c).powi(2))
-            .sqrt();
+        let r = ((x as f64 - c).powi(2) + (y as f64 - c).powi(2) + (z as f64 - c).powi(2)).sqrt();
         let r_eff = if r == 0.0 { r_eq } else { r };
         (-kappa * r_eff).exp() / (four_pi * r_eff)
     })

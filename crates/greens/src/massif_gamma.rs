@@ -33,7 +33,10 @@ impl MassifGamma {
     /// a positive-definite reference medium.
     pub fn new(n: usize, lambda0: f64, mu0: f64) -> Self {
         assert!(mu0 > 0.0, "mu0 must be positive");
-        assert!(lambda0 + 2.0 * mu0 > 0.0, "lambda0 + 2 mu0 must be positive");
+        assert!(
+            lambda0 + 2.0 * mu0 > 0.0,
+            "lambda0 + 2 mu0 must be positive"
+        );
         MassifGamma { n, lambda0, mu0 }
     }
 
@@ -85,9 +88,9 @@ impl MassifGamma {
         }
         // s_i = Σ_l ξ_l σ_il
         let mut s = [Complex64::ZERO; 3];
-        for i in 0..3 {
-            for l in 0..3 {
-                s[i] += sigma.get(i, l) * xi[l];
+        for (i, si) in s.iter_mut().enumerate() {
+            for (l, &x) in xi.iter().enumerate() {
+                *si += sigma.get(i, l) * x;
             }
         }
         // ξ·s

@@ -55,7 +55,7 @@ impl KernelSpectrum for PoissonSpectrum {
 /// point regularized to the cell-average value `≈ 1/(4π·r_eq)`,
 /// `r_eq = (3/4π)^{1/3}/2` the equivalent radius of a unit cell.
 pub fn free_space_kernel(n: usize) -> Grid3<f64> {
-    assert!(n >= 2 && n % 2 == 0, "grid size must be even");
+    assert!(n >= 2 && n.is_multiple_of(2), "grid size must be even");
     let c = (n / 2) as f64;
     let four_pi = 4.0 * std::f64::consts::PI;
     // Cell-averaged self term: finite part of ∫ 1/(4πr) over a unit cube.

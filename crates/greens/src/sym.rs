@@ -17,7 +17,9 @@ pub struct Sym3C {
 
 impl Sym3C {
     /// The zero tensor.
-    pub const ZERO: Sym3C = Sym3C { c: [Complex64::ZERO; 6] };
+    pub const ZERO: Sym3C = Sym3C {
+        c: [Complex64::ZERO; 6],
+    };
 
     /// Widens a real symmetric tensor.
     pub fn from_real(t: &Sym3) -> Self {

@@ -26,7 +26,10 @@ impl BoxRegion {
 
     /// The cube `[0, n)³`.
     pub fn cube(n: usize) -> Self {
-        BoxRegion { lo: [0; 3], hi: [n; 3] }
+        BoxRegion {
+            lo: [0; 3],
+            hi: [n; 3],
+        }
     }
 
     /// Size along each axis.
@@ -104,7 +107,11 @@ impl BoxRegion {
                 if lo <= p[d] && p[d] < hi {
                     0
                 } else {
-                    let fwd = if p[d] >= hi { p[d] - (hi - 1) } else { p[d] + n - (hi - 1) };
+                    let fwd = if p[d] >= hi {
+                        p[d] - (hi - 1)
+                    } else {
+                        p[d] + n - (hi - 1)
+                    };
                     let bwd = if p[d] < lo { lo - p[d] } else { lo + n - p[d] };
                     fwd.min(bwd)
                 }
@@ -136,7 +143,10 @@ impl BoxRegion {
 /// `k` must divide `n`; returns `(n/k)³` boxes in row-major order of their
 /// low corners.
 pub fn decompose_uniform(n: usize, k: usize) -> Vec<BoxRegion> {
-    assert!(k >= 1 && k <= n, "sub-domain size k={k} must be in 1..=n={n}");
+    assert!(
+        k >= 1 && k <= n,
+        "sub-domain size k={k} must be in 1..=n={n}"
+    );
     assert_eq!(n % k, 0, "sub-domain size k={k} must divide n={n}");
     let m = n / k;
     let mut out = Vec::with_capacity(m * m * m);

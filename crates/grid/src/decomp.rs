@@ -28,7 +28,11 @@ impl AdaptiveDecomposition {
     pub fn new(min_k: usize, max_k: usize) -> Self {
         assert!(min_k.is_power_of_two() && max_k.is_power_of_two());
         assert!(min_k <= max_k);
-        AdaptiveDecomposition { max_k, min_k, energy_fraction: 0.125 }
+        AdaptiveDecomposition {
+            max_k,
+            min_k,
+            energy_fraction: 0.125,
+        }
     }
 }
 
@@ -36,14 +40,14 @@ impl AdaptiveDecomposition {
 /// energy distribution of `input`. Returned boxes tile the grid exactly;
 /// boxes whose content is identically zero are still returned (callers skip
 /// them cheaply, as the regular pipeline already does).
-pub fn decompose_adaptive(
-    input: &Grid3<f64>,
-    params: AdaptiveDecomposition,
-) -> Vec<BoxRegion> {
+pub fn decompose_adaptive(input: &Grid3<f64>, params: AdaptiveDecomposition) -> Vec<BoxRegion> {
     let (nx, ny, nz) = input.shape();
     assert!(nx == ny && ny == nz, "expected a cubic grid");
     let n = nx;
-    assert!(n.is_power_of_two(), "adaptive decomposition needs a power-of-two grid");
+    assert!(
+        n.is_power_of_two(),
+        "adaptive decomposition needs a power-of-two grid"
+    );
     assert!(params.max_k <= n);
 
     let total_energy: f64 = input.as_slice().iter().map(|v| v * v).sum();

@@ -29,7 +29,12 @@ pub fn relative_l2(reference: &[f64], approx: &[f64]) -> f64 {
 
 /// Relative L2 error using a caller-supplied squared-magnitude function, for
 /// element types the crate does not know about (e.g. complex numbers).
-pub fn relative_l2_by<T>(reference: &[T], approx: &[T], diff_sq: impl Fn(&T, &T) -> f64, mag_sq: impl Fn(&T) -> f64) -> f64 {
+pub fn relative_l2_by<T>(
+    reference: &[T],
+    approx: &[T],
+    diff_sq: impl Fn(&T, &T) -> f64,
+    mag_sq: impl Fn(&T) -> f64,
+) -> f64 {
     assert_eq!(reference.len(), approx.len(), "length mismatch");
     let mut num = 0.0;
     let mut den = 0.0;
@@ -127,12 +132,7 @@ mod tests {
         let a = [1.0, 2.0, 3.0];
         let b = [1.1, 1.9, 3.2];
         let scalar = relative_l2(&a, &b);
-        let generic = relative_l2_by(
-            &a,
-            &b,
-            |x, y| (x - y) * (x - y),
-            |x| x * x,
-        );
+        let generic = relative_l2_by(&a, &b, |x, y| (x - y) * (x - y), |x| x * x);
         assert!((scalar - generic).abs() < 1e-12);
     }
 

@@ -25,7 +25,10 @@ impl<T: Clone + Default> Grid3<T> {
 impl<T: Clone> Grid3<T> {
     /// Creates a grid filled with copies of `value`.
     pub fn filled(shape: (usize, usize, usize), value: T) -> Self {
-        Grid3 { shape, data: vec![value; shape.0 * shape.1 * shape.2] }
+        Grid3 {
+            shape,
+            data: vec![value; shape.0 * shape.1 * shape.2],
+        }
     }
 
     /// Extracts the sub-box `region` into a new dense grid.
@@ -47,7 +50,10 @@ impl<T: Clone> Grid3<T> {
                 out.extend_from_slice(&self.data[base..base + sz]);
             }
         }
-        Grid3 { shape: (sx, sy, sz), data: out }
+        Grid3 {
+            shape: (sx, sy, sz),
+            data: out,
+        }
     }
 
     /// Writes `src` into the sub-box of this grid whose low corner is
@@ -73,7 +79,10 @@ impl<T: Clone> Grid3<T> {
 
 impl<T> Grid3<T> {
     /// Builds a grid by evaluating `f(x, y, z)` at every point.
-    pub fn from_fn(shape: (usize, usize, usize), mut f: impl FnMut(usize, usize, usize) -> T) -> Self {
+    pub fn from_fn(
+        shape: (usize, usize, usize),
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
         let mut data = Vec::with_capacity(shape.0 * shape.1 * shape.2);
         for x in 0..shape.0 {
             for y in 0..shape.1 {
@@ -149,7 +158,10 @@ impl<T> Grid3<T> {
 
     /// Point-wise map into a new grid.
     pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Grid3<U> {
-        Grid3 { shape: self.shape, data: self.data.iter().map(f).collect() }
+        Grid3 {
+            shape: self.shape,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 
     /// Iterates `((x, y, z), &value)` in row-major order.

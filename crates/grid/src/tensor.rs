@@ -23,11 +23,15 @@ impl Sym3 {
     pub const ZERO: Sym3 = Sym3 { c: [0.0; 6] };
 
     /// The identity tensor.
-    pub const IDENTITY: Sym3 = Sym3 { c: [1.0, 1.0, 1.0, 0.0, 0.0, 0.0] };
+    pub const IDENTITY: Sym3 = Sym3 {
+        c: [1.0, 1.0, 1.0, 0.0, 0.0, 0.0],
+    };
 
     /// Builds from the six components `(xx, yy, zz, yz, xz, xy)`.
     pub const fn new(xx: f64, yy: f64, zz: f64, yz: f64, xz: f64, xy: f64) -> Self {
-        Sym3 { c: [xx, yy, zz, yz, xz, xy] }
+        Sym3 {
+            c: [xx, yy, zz, yz, xz, xy],
+        }
     }
 
     /// Builds a diagonal (hydrostatic plus axial) tensor.

@@ -42,7 +42,10 @@ impl KernelSpectrum for GammaComponentKernel {
     }
 
     fn eval(&self, f: [usize; 3]) -> Complex64 {
-        Complex64::from_real(self.gamma.component(f, self.ij.0, self.ij.1, self.kl.0, self.kl.1))
+        Complex64::from_real(
+            self.gamma
+                .component(f, self.ij.0, self.ij.1, self.kl.0, self.kl.1),
+        )
     }
 
     // Γ̂ is homogeneous of degree 0 with its "impulse" at the origin: the

@@ -27,7 +27,11 @@ impl Microstructure {
         assert!(nx == ny && ny == nz, "expected a cubic grid");
         let max = *phases.as_slice().iter().max().unwrap_or(&0) as usize;
         assert!(max < materials.len(), "phase id exceeds material table");
-        Microstructure { n: nx, phases, materials }
+        Microstructure {
+            n: nx,
+            phases,
+            materials,
+        }
     }
 
     /// Homogeneous single-phase medium (the solver must converge in one
@@ -48,8 +52,7 @@ impl Microstructure {
         let c = (n as f64 - 1.0) / 2.0;
         let r = radius_fraction * n as f64 / 2.0;
         let phases = Grid3::from_fn((n, n, n), |x, y, z| {
-            let d2 =
-                (x as f64 - c).powi(2) + (y as f64 - c).powi(2) + (z as f64 - c).powi(2);
+            let d2 = (x as f64 - c).powi(2) + (y as f64 - c).powi(2) + (z as f64 - c).powi(2);
             u8::from(d2 <= r * r)
         });
         Microstructure::new(phases, vec![matrix, inclusion])
@@ -145,14 +148,22 @@ impl Microstructure {
     /// the arithmetic mean of the extreme phases (the Moulinec–Suquet
     /// recommendation for the basic scheme).
     pub fn reference_medium(&self) -> IsotropicStiffness {
-        let min_mu = self.materials.iter().map(|m| m.mu).fold(f64::INFINITY, f64::min);
+        let min_mu = self
+            .materials
+            .iter()
+            .map(|m| m.mu)
+            .fold(f64::INFINITY, f64::min);
         let max_mu = self.materials.iter().map(|m| m.mu).fold(0.0_f64, f64::max);
         let min_l = self
             .materials
             .iter()
             .map(|m| m.lambda)
             .fold(f64::INFINITY, f64::min);
-        let max_l = self.materials.iter().map(|m| m.lambda).fold(0.0_f64, f64::max);
+        let max_l = self
+            .materials
+            .iter()
+            .map(|m| m.lambda)
+            .fold(0.0_f64, f64::max);
         IsotropicStiffness::new((min_l + max_l) / 2.0, (min_mu + max_mu) / 2.0)
     }
 }

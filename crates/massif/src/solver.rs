@@ -43,7 +43,10 @@ pub struct SpectralGamma {
 impl SpectralGamma {
     /// Creates the dense engine for `gamma`.
     pub fn new(gamma: MassifGamma) -> Self {
-        SpectralGamma { gamma, planner: FftPlanner::new() }
+        SpectralGamma {
+            gamma,
+            planner: FftPlanner::new(),
+        }
     }
 }
 
@@ -70,12 +73,12 @@ impl GammaConvolution for SpectralGamma {
                 for fz in 0..n {
                     let idx = (fx * n + fy) * n + fz;
                     let mut s = Sym3C::ZERO;
-                    for c in 0..6 {
-                        s.c[c] = hat[c][idx];
+                    for (sc, h) in s.c.iter_mut().zip(hat.iter()) {
+                        *sc = h[idx];
                     }
                     let d = self.gamma.apply([fx, fy, fz], &s);
-                    for c in 0..6 {
-                        hat[c][idx] = d.c[c];
+                    for (h, dc) in hat.iter_mut().zip(d.c.iter()) {
+                        h[idx] = *dc;
                     }
                 }
             }
@@ -115,7 +118,10 @@ impl LowCommGamma {
     /// Creates the low-communication engine.
     pub fn new(gamma: MassifGamma, cfg: LowCommConfig) -> Self {
         assert_eq!(gamma.n(), cfg.n, "gamma and pipeline grid sizes differ");
-        LowCommGamma { gamma, conv: LowCommConvolver::new(cfg) }
+        LowCommGamma {
+            gamma,
+            conv: LowCommConvolver::new(cfg),
+        }
     }
 
     /// The underlying convolver (for communication accounting).
@@ -134,12 +140,8 @@ impl GammaConvolution for LowCommGamma {
         // Γ̂ is origin-centered, so each sub-domain's response region is the
         // sub-domain itself.
         for d in decompose_uniform(n, k) {
-            let sub: [Grid3<f64>; 6] =
-                std::array::from_fn(|c| sigma.component(c).extract(&d));
-            if sub
-                .iter()
-                .all(|g| g.as_slice().iter().all(|&v| v == 0.0))
-            {
+            let sub: [Grid3<f64>; 6] = std::array::from_fn(|c| sigma.component(c).extract(&d));
+            if sub.iter().all(|g| g.as_slice().iter().all(|&v| v == 0.0)) {
                 continue;
             }
             let plan = self.conv.plan_for(d);
@@ -170,7 +172,10 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { max_iters: 100, tol: 1e-6 }
+        SolverConfig {
+            max_iters: 100,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -265,8 +270,7 @@ pub fn solve_accelerated(
                     let r = e - eps - gt.get(x, y, z);
                     let c0r = c0.apply(&r);
                     let c = micro.stiffness(x, y, z);
-                    let upd =
-                        apply_isotropic_inverse(c.lambda + l0, c.mu + m0, &c0r).scale(2.0);
+                    let upd = apply_isotropic_inverse(c.lambda + l0, c.mu + m0, &c0r).scale(2.0);
                     // Frobenius with shear double-count, as in field norms.
                     update_norm_sq += upd.ddot(&upd);
                     strain.set(x, y, z, eps + upd);
@@ -281,7 +285,12 @@ pub fn solve_accelerated(
         }
     }
     let stress = TensorField::stress_from_strain(micro, &strain);
-    SolveResult { strain, stress, residuals, converged }
+    SolveResult {
+        strain,
+        stress,
+        residuals,
+        converged,
+    }
 }
 
 /// Runs the fixed-point iteration on `micro` under applied strain `e`
@@ -311,7 +320,12 @@ pub fn solve(
             break;
         }
     }
-    SolveResult { strain, stress, residuals, converged }
+    SolveResult {
+        strain,
+        stress,
+        residuals,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -341,7 +355,11 @@ mod tests {
         let e = Sym3::diagonal(0.01, 0.0, 0.0);
         let r = solve(&micro, e, SolverConfig::default(), &engine);
         assert!(r.converged);
-        assert_eq!(r.iterations(), 1, "uniform stress is already in equilibrium");
+        assert_eq!(
+            r.iterations(),
+            1,
+            "uniform stress is already in equilibrium"
+        );
         // Strain stays exactly E; stress = C:E.
         assert_eq!(r.strain.get(3, 4, 5), e);
         let want = soft().apply(&e);
@@ -361,8 +379,20 @@ mod tests {
         let engine = SpectralGamma::new(gamma_for(&micro));
         let exy = 0.01;
         let e = Sym3::new(0.0, 0.0, 0.0, 0.0, 0.0, exy);
-        let r = solve(&micro, e, SolverConfig { max_iters: 300, tol: 1e-10 }, &engine);
-        assert!(r.converged, "laminate failed to converge: {:?}", r.residuals.last());
+        let r = solve(
+            &micro,
+            e,
+            SolverConfig {
+                max_iters: 300,
+                tol: 1e-10,
+            },
+            &engine,
+        );
+        assert!(
+            r.converged,
+            "laminate failed to converge: {:?}",
+            r.residuals.last()
+        );
         let mu_h = 1.0 / (f / stiff().mu + (1.0 - f) / soft().mu);
         let want = 2.0 * mu_h * exy;
         let got = r.effective_stress().c[5];
@@ -381,7 +411,15 @@ mod tests {
         let micro = Microstructure::sphere(16, 0.5, soft(), stiff());
         let engine = SpectralGamma::new(gamma_for(&micro));
         let e = Sym3::diagonal(0.01, 0.0, 0.0);
-        let r = solve(&micro, e, SolverConfig { max_iters: 80, tol: 1e-5 }, &engine);
+        let r = solve(
+            &micro,
+            e,
+            SolverConfig {
+                max_iters: 80,
+                tol: 1e-5,
+            },
+            &engine,
+        );
         assert!(r.converged, "residuals: {:?}", &r.residuals);
         // Monotone (basic scheme contracts for this contrast).
         for w in r.residuals.windows(2) {
@@ -404,13 +442,23 @@ mod tests {
         let engine = SpectralGamma::new(gamma);
         let exy = 0.01;
         let e = Sym3::new(0.0, 0.0, 0.0, 0.0, 0.0, exy);
-        let cfg = SolverConfig { max_iters: 200, tol: 1e-10 };
+        let cfg = SolverConfig {
+            max_iters: 200,
+            tol: 1e-10,
+        };
         let r = solve_accelerated(&micro, e, cfg, &engine, &gamma);
-        assert!(r.converged, "EM failed to converge: {:?}", r.residuals.last());
+        assert!(
+            r.converged,
+            "EM failed to converge: {:?}",
+            r.residuals.last()
+        );
         let mu_h = 1.0 / (f / stiff().mu + (1.0 - f) / soft().mu);
         let want = 2.0 * mu_h * exy;
         let got = r.effective_stress().c[5];
-        assert!((got - want).abs() / want < 1e-6, "EM σ_xy {got} vs Reuss {want}");
+        assert!(
+            (got - want).abs() / want < 1e-6,
+            "EM σ_xy {got} vs Reuss {want}"
+        );
     }
 
     #[test]
@@ -422,7 +470,10 @@ mod tests {
         let gamma = gamma_for(&micro);
         let engine = SpectralGamma::new(gamma);
         let e = Sym3::diagonal(0.01, 0.0, 0.0);
-        let cfg = SolverConfig { max_iters: 400, tol: 1e-6 };
+        let cfg = SolverConfig {
+            max_iters: 400,
+            tol: 1e-6,
+        };
         let em = solve_accelerated(&micro, e, cfg, &engine, &gamma);
         let basic = solve(&micro, e, cfg, &engine);
         assert!(em.converged, "EM residuals tail: {:?}", em.residuals.last());
@@ -458,11 +509,19 @@ mod tests {
         let micro = Microstructure::sphere(n, 0.6, soft(), stiff());
         let gamma = gamma_for(&micro);
         let e = Sym3::diagonal(0.01, 0.0, 0.0);
-        let cfg = SolverConfig { max_iters: 4, tol: 1e-14 };
+        let cfg = SolverConfig {
+            max_iters: 4,
+            tol: 1e-14,
+        };
         let spectral = solve(&micro, e, cfg, &SpectralGamma::new(gamma));
         let lc_engine = LowCommGamma::new(
             gamma,
-            LowCommConfig { n, k: 4, batch: 64, schedule: RateSchedule::uniform(1) },
+            LowCommConfig {
+                n,
+                k: 4,
+                batch: 64,
+                schedule: RateSchedule::uniform(1),
+            },
         );
         let lowcomm = solve(&micro, e, cfg, &lc_engine);
         let err = lowcomm.strain.relative_error_to(&spectral.strain);
@@ -477,7 +536,10 @@ mod tests {
         let micro = Microstructure::sphere(n, 0.5, soft(), stiff());
         let gamma = gamma_for(&micro);
         let e = Sym3::diagonal(0.01, 0.0, 0.0);
-        let cfg = SolverConfig { max_iters: 40, tol: 1e-4 };
+        let cfg = SolverConfig {
+            max_iters: 40,
+            tol: 1e-4,
+        };
         let spectral = solve(&micro, e, cfg, &SpectralGamma::new(gamma));
         let lc_engine = LowCommGamma::new(
             gamma,
@@ -491,9 +553,17 @@ mod tests {
         let lowcomm = solve(&micro, e, cfg, &lc_engine);
         assert!(spectral.converged && lowcomm.converged);
         let di = (spectral.iterations() as i64 - lowcomm.iterations() as i64).abs();
-        assert!(di <= 2, "iteration counts diverged: {} vs {}", spectral.iterations(), lowcomm.iterations());
+        assert!(
+            di <= 2,
+            "iteration counts diverged: {} vs {}",
+            spectral.iterations(),
+            lowcomm.iterations()
+        );
         let sa = spectral.effective_stress().c[0];
         let sb = lowcomm.effective_stress().c[0];
-        assert!((sa - sb).abs() / sa < 0.03, "effective stress differs: {sa} vs {sb}");
+        assert!(
+            (sa - sb).abs() / sa < 0.03,
+            "effective stress differs: {sa} vs {sb}"
+        );
     }
 }

@@ -144,10 +144,20 @@ pub fn schedule_error_bound(
         let pointwise = trilinear_error_bound(rate, m2).min(2.0 * decay.value(from as f64));
         let points = shell_points(from, to);
         err_sq += points as f64 * pointwise * pointwise;
-        bands.push(BandBound { rate, from, to, pointwise, points });
+        bands.push(BandBound {
+            rate,
+            from,
+            to,
+            pointwise,
+            points,
+        });
     }
     let f_norm = decay.value(0.0) * ((k * k * k) as f64).sqrt();
-    let bound = if f_norm > 0.0 { err_sq.sqrt() / f_norm } else { 0.0 };
+    let bound = if f_norm > 0.0 {
+        err_sq.sqrt() / f_norm
+    } else {
+        0.0
+    };
     (bands, bound)
 }
 
@@ -178,7 +188,10 @@ mod tests {
 
     #[test]
     fn gaussian_decay_model_shapes() {
-        let g = GaussianDecay { amplitude: 1.0, sigma: 2.0 };
+        let g = GaussianDecay {
+            amplitude: 1.0,
+            sigma: 2.0,
+        };
         assert_eq!(g.value(0.0), 1.0);
         assert!(g.value(4.0) < g.value(2.0));
         assert!(g.second_derivative(8.0) < g.second_derivative(3.0));
@@ -186,7 +199,10 @@ mod tests {
 
     #[test]
     fn inverse_distance_model_shapes() {
-        let p = InverseDistanceDecay { amplitude: 2.0, r0: 1.0 };
+        let p = InverseDistanceDecay {
+            amplitude: 2.0,
+            r0: 1.0,
+        };
         assert_eq!(p.value(0.5), 2.0);
         assert!((p.value(4.0) - 0.5).abs() < 1e-12);
         assert!(p.second_derivative(8.0) < p.second_derivative(2.0));
@@ -213,19 +229,28 @@ mod tests {
         });
         let compressed = CompressedField::compress(plan.clone(), &field);
         let measured = relative_l2(field.as_slice(), compressed.reconstruct().as_slice());
-        let decay = GaussianDecay { amplitude: 1.0, sigma };
+        let decay = GaussianDecay {
+            amplitude: 1.0,
+            sigma,
+        };
         let (_, bound) = schedule_error_bound(n, k, &schedule, &decay);
         assert!(
             measured <= bound,
             "measured {measured} exceeds analytic bound {bound}"
         );
         // And the bound should not be vacuous (within a couple orders).
-        assert!(bound < measured.max(1e-6) * 1e3 + 1.0, "bound {bound} is vacuous");
+        assert!(
+            bound < measured.max(1e-6) * 1e3 + 1.0,
+            "bound {bound} is vacuous"
+        );
     }
 
     #[test]
     fn bound_decreases_with_denser_schedule() {
-        let decay = GaussianDecay { amplitude: 1.0, sigma: 2.0 };
+        let decay = GaussianDecay {
+            amplitude: 1.0,
+            sigma: 2.0,
+        };
         let coarse = schedule_error_bound(128, 32, &RateSchedule::uniform(8), &decay).1;
         let fine = schedule_error_bound(128, 32, &RateSchedule::uniform(2), &decay).1;
         assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
@@ -236,9 +261,11 @@ mod tests {
 
     #[test]
     fn band_reports_cover_grid() {
-        let decay = GaussianDecay { amplitude: 1.0, sigma: 1.0 };
-        let (bands, _) =
-            schedule_error_bound(64, 16, &RateSchedule::paper_default(16, 16), &decay);
+        let decay = GaussianDecay {
+            amplitude: 1.0,
+            sigma: 1.0,
+        };
+        let (bands, _) = schedule_error_bound(64, 16, &RateSchedule::paper_default(16, 16), &decay);
         assert!(!bands.is_empty());
         let covered: usize = bands.iter().map(|b| b.points).sum();
         assert!(covered <= 64usize.pow(3));

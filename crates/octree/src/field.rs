@@ -68,7 +68,7 @@ impl CompressedField {
         for (i, cell) in plan.cells().iter().enumerate() {
             let r = cell.rate as usize;
             let cz = cell.corner[2];
-            if z < cz || z >= cz + cell.size || (z - cz) % r != 0 {
+            if z < cz || z >= cz + cell.size || !(z - cz).is_multiple_of(r) {
                 continue;
             }
             let tz = (z - cz) / r;
@@ -78,8 +78,7 @@ impl CompressedField {
                 let x = cell.corner[0] + tx * r;
                 for ty in 0..spa {
                     let y = cell.corner[1] + ty * r;
-                    self.samples[base + cell.local_sample_index(tx, ty, tz)] =
-                        plane[x * n + y];
+                    self.samples[base + cell.local_sample_index(tx, ty, tz)] = plane[x * n + y];
                 }
             }
         }
@@ -130,7 +129,10 @@ impl CompressedField {
             let count = plan.cells()[i].sample_count();
             samples.extend_from_slice(&self.samples[base..base + count]);
         }
-        RegionPayload { cells: cells.iter().map(|&i| i as u32).collect(), samples }
+        RegionPayload {
+            cells: cells.iter().map(|&i| i as u32).collect(),
+            samples,
+        }
     }
 
     /// Rebuilds a (partial) compressed field from a region payload. Cells
@@ -143,8 +145,7 @@ impl CompressedField {
             let ci = ci as usize;
             let base = plan.cell_offset(ci) as usize;
             let count = plan.cells()[ci].sample_count();
-            field.samples[base..base + count]
-                .copy_from_slice(&payload.samples[off..off + count]);
+            field.samples[base..base + count].copy_from_slice(&payload.samples[off..off + count]);
             off += count;
         }
         assert_eq!(off, payload.samples.len(), "payload length mismatch");
@@ -270,7 +271,11 @@ mod tests {
     fn make_plan(n: usize, k: usize, far: u32) -> Arc<SamplingPlan> {
         let lo = (n - k) / 2;
         let domain = BoxRegion::new([lo; 3], [lo + k; 3]);
-        Arc::new(SamplingPlan::build(n, domain, &RateSchedule::paper_default(k, far)))
+        Arc::new(SamplingPlan::build(
+            n,
+            domain,
+            &RateSchedule::paper_default(k, far),
+        ))
     }
 
     #[test]
@@ -289,9 +294,8 @@ mod tests {
         // Trilinear interpolation (with linear extrapolation at cell edges)
         // is exact on affine functions.
         let plan = make_plan(32, 8, 8);
-        let f = |x: usize, y: usize, z: usize| {
-            1.0 + 0.5 * x as f64 - 0.25 * y as f64 + 2.0 * z as f64
-        };
+        let f =
+            |x: usize, y: usize, z: usize| 1.0 + 0.5 * x as f64 - 0.25 * y as f64 + 2.0 * z as f64;
         let dense = Grid3::from_fn((32, 32, 32), f);
         let c = CompressedField::compress(plan, &dense);
         let back = c.reconstruct();
@@ -401,7 +405,10 @@ mod tests {
         let full = CompressedField::compress(plan.clone(), &dense);
         let region = BoxRegion::new([8; 3], [16; 3]);
         let payload = full.region_payload(&region);
-        assert!(payload.samples.len() < full.samples().len(), "payload is a strict subset");
+        assert!(
+            payload.samples.len() < full.samples().len(),
+            "payload is a strict subset"
+        );
         assert!(payload.byte_len() > 0);
         let partial = CompressedField::from_region_payload(plan, &payload);
         let a = full.reconstruct_region(&region);
@@ -416,12 +423,19 @@ mod tests {
         // several — that duplication is the price of cell-granular routing).
         let n = 16;
         let plan = make_plan(n, 4, 4);
-        let field = CompressedField::compress(
-            plan.clone(),
-            &Grid3::from_fn((n, n, n), |x, _, _| x as f64),
-        );
+        let field =
+            CompressedField::compress(plan.clone(), &Grid3::from_fn((n, n, n), |x, _, _| x as f64));
         let mut seen = vec![false; plan.cells().len()];
-        for corner in [[0usize; 3], [8, 0, 0], [0, 8, 0], [0, 0, 8], [8, 8, 0], [8, 0, 8], [0, 8, 8], [8, 8, 8]] {
+        for corner in [
+            [0usize; 3],
+            [8, 0, 0],
+            [0, 8, 0],
+            [0, 0, 8],
+            [8, 8, 0],
+            [8, 0, 8],
+            [0, 8, 8],
+            [8, 8, 8],
+        ] {
             let region = BoxRegion::new(corner, [corner[0] + 8, corner[1] + 8, corner[2] + 8]);
             for &c in &field.region_payload(&region).cells {
                 seen[c as usize] = true;

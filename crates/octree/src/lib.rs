@@ -19,7 +19,10 @@ pub mod field;
 pub mod plan;
 pub mod schedule;
 
-pub use bounds::{plan_error_bound, schedule_error_bound, BandBound, DecayModel, GaussianDecay, InverseDistanceDecay};
+pub use bounds::{
+    plan_error_bound, schedule_error_bound, BandBound, DecayModel, GaussianDecay,
+    InverseDistanceDecay,
+};
 pub use field::{CompressedField, RegionPayload};
 pub use plan::{OctCell, RateStats, SamplingPlan};
 pub use schedule::{RateBand, RateSchedule};

@@ -96,12 +96,20 @@ fn axis_domain_distance_range(
         if p >= dlo && p < dhi {
             0
         } else {
-            let fwd = if p >= dhi { p - (dhi - 1) } else { p + n - (dhi - 1) };
+            let fwd = if p >= dhi {
+                p - (dhi - 1)
+            } else {
+                p + n - (dhi - 1)
+            };
             let bwd = if p < dlo { dlo - p } else { dlo + n - p };
             fwd.min(bwd)
         }
     };
-    let min = if lo < dhi && hi > dlo { 0 } else { d(lo).min(d(last)) };
+    let min = if lo < dhi && hi > dlo {
+        0
+    } else {
+        d(lo).min(d(last))
+    };
     let mut max = d(lo).max(d(last));
     // Antipodal peak of the gap, where forward and backward distances meet.
     let peak = (dhi - 1 + dlo + n) / 2 % n;
@@ -149,17 +157,16 @@ fn classify(
     // Periodic domain distance interval (Chebyshev = max over axes).
     let mut dom_min = 0usize;
     let mut dom_max = 0usize;
-    for a in 0..3 {
-        let (lo, hi) =
-            axis_domain_distance_range(corner[a], size, domain.lo[a], domain.hi[a], n);
+    for (&c, (&dlo, &dhi)) in corner.iter().zip(domain.lo.iter().zip(domain.hi.iter())) {
+        let (lo, hi) = axis_domain_distance_range(c, size, dlo, dhi, n);
         dom_min = dom_min.max(lo);
         dom_max = dom_max.max(hi);
     }
     // Boundary distance interval (min over axes; separable for both bounds).
     let mut bnd_min = usize::MAX;
     let mut bnd_max = usize::MAX;
-    for a in 0..3 {
-        let (lo, hi) = axis_boundary_distance_range(corner[a], size, n);
+    for &c in &corner {
+        let (lo, hi) = axis_boundary_distance_range(c, size, n);
         bnd_min = bnd_min.min(lo);
         bnd_max = bnd_max.min(hi);
     }
@@ -209,7 +216,10 @@ impl SamplingPlan {
     /// Builds the octree plan for an `n³` grid (n a power of two) around the
     /// sub-domain `domain` under `schedule`.
     pub fn build(n: usize, domain: BoxRegion, schedule: &RateSchedule) -> Self {
-        assert!(n.is_power_of_two(), "octree requires power-of-two grid, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "octree requires power-of-two grid, got {n}"
+        );
         assert!(
             BoxRegion::cube(n).contains_box(&domain),
             "domain {domain:?} must lie inside the n={n} grid"
@@ -220,22 +230,28 @@ impl SamplingPlan {
         // Rates are capped at size/2 so every cell of size ≥ 2 carries at
         // least 2 samples per axis, keeping per-cell trilinear interpolation
         // well-posed (and exact on affine fields).
-        let cap = |rate: u32, size: usize| -> u32 {
-            (rate as usize).min((size / 2).max(1)) as u32
-        };
+        let cap = |rate: u32, size: usize| -> u32 { (rate as usize).min((size / 2).max(1)) as u32 };
         let mut cells = Vec::new();
         let mut stack = vec![([0usize; 3], n)];
         while let Some((corner, size)) = stack.pop() {
             match classify(corner, size, n, &domain, schedule) {
                 CellClass::Uniform(rate) => {
-                    cells.push(OctCell { corner, size, rate: cap(rate, size) });
+                    cells.push(OctCell {
+                        corner,
+                        size,
+                        rate: cap(rate, size),
+                    });
                 }
                 // A mixed cell larger than twice its finest applicable rate
                 // is still worth splitting; below that, exact banding would
                 // fragment into size-1 cells for no accuracy gain, so we cut
                 // the recursion and oversample at the finest rate present.
                 CellClass::Mixed(finest) if size <= 2 * finest as usize => {
-                    cells.push(OctCell { corner, size, rate: cap(finest, size) });
+                    cells.push(OctCell {
+                        corner,
+                        size,
+                        rate: cap(finest, size),
+                    });
                 }
                 CellClass::Mixed(_) => {
                     debug_assert!(size > 1, "size-1 cells are always uniform");
@@ -244,11 +260,7 @@ impl SamplingPlan {
                         for dy in 0..2 {
                             for dz in 0..2 {
                                 stack.push((
-                                    [
-                                        corner[0] + dx * h,
-                                        corner[1] + dy * h,
-                                        corner[2] + dz * h,
-                                    ],
+                                    [corner[0] + dx * h, corner[1] + dy * h, corner[2] + dz * h],
                                     h,
                                 ));
                             }
@@ -267,7 +279,12 @@ impl SamplingPlan {
             acc += c.sample_count() as u64;
         }
         cum.push(acc);
-        SamplingPlan { n, domain, cells, cum }
+        SamplingPlan {
+            n,
+            domain,
+            cells,
+            cum,
+        }
     }
 
     /// Grid size n.
@@ -339,15 +356,22 @@ impl SamplingPlan {
         encoded: &[u64],
         total_samples: u64,
     ) -> Result<Self, String> {
-        if encoded.len() % 5 != 0 {
-            return Err(format!("metadata length {} not a multiple of 5", encoded.len()));
+        if !encoded.len().is_multiple_of(5) {
+            return Err(format!(
+                "metadata length {} not a multiple of 5",
+                encoded.len()
+            ));
         }
         let num = encoded.len() / 5;
         let mut cells = Vec::with_capacity(num);
         let mut cum = Vec::with_capacity(num + 1);
         for i in 0..num {
             let e = &encoded[i * 5..i * 5 + 5];
-            let next_cum = if i + 1 < num { encoded[(i + 1) * 5 + 4] } else { total_samples };
+            let next_cum = if i + 1 < num {
+                encoded[(i + 1) * 5 + 4]
+            } else {
+                total_samples
+            };
             let count = next_cum
                 .checked_sub(e[4])
                 .ok_or_else(|| format!("cell {i}: non-monotone sample counts"))?;
@@ -366,7 +390,12 @@ impl SamplingPlan {
             cum.push(e[4]);
         }
         cum.push(total_samples);
-        Ok(SamplingPlan { n, domain, cells, cum })
+        Ok(SamplingPlan {
+            n,
+            domain,
+            cells,
+            cum,
+        })
     }
 
     /// Packed low-precision metadata — the paper's note that the 5-integer
@@ -389,13 +418,12 @@ impl SamplingPlan {
     }
 
     /// Decodes [`Self::encode_packed`] output.
-    pub fn decode_packed(
-        n: usize,
-        domain: BoxRegion,
-        bytes: &[u8],
-    ) -> Result<Self, String> {
-        if bytes.len() % 11 != 0 {
-            return Err(format!("packed metadata length {} not a multiple of 11", bytes.len()));
+    pub fn decode_packed(n: usize, domain: BoxRegion, bytes: &[u8]) -> Result<Self, String> {
+        if !bytes.len().is_multiple_of(11) {
+            return Err(format!(
+                "packed metadata length {} not a multiple of 11",
+                bytes.len()
+            ));
         }
         let mut cells = Vec::with_capacity(bytes.len() / 11);
         let mut cum = Vec::with_capacity(cells.capacity() + 1);
@@ -408,8 +436,8 @@ impl SamplingPlan {
             ];
             let rate = 1u32 << rec[6];
             let count = u32::from_le_bytes([rec[7], rec[8], rec[9], rec[10]]) as u64;
-            let spa = integer_cbrt(count)
-                .ok_or_else(|| format!("sample count {count} is not a cube"))?;
+            let spa =
+                integer_cbrt(count).ok_or_else(|| format!("sample count {count} is not a cube"))?;
             cells.push(OctCell {
                 corner,
                 size: spa as usize * rate as usize,
@@ -419,7 +447,12 @@ impl SamplingPlan {
             acc += count;
         }
         cum.push(acc);
-        Ok(SamplingPlan { n, domain, cells, cum })
+        Ok(SamplingPlan {
+            n,
+            domain,
+            cells,
+            cum,
+        })
     }
 
     /// Sorted unique z-coordinates that carry at least one sample — the
@@ -513,12 +546,7 @@ fn integer_cbrt(v: u64) -> Option<u64> {
         return None;
     }
     let r = (v as f64).cbrt().round() as u64;
-    for c in r.saturating_sub(1)..=r + 1 {
-        if c * c * c == v {
-            return Some(c);
-        }
-    }
-    None
+    (r.saturating_sub(1)..=r + 1).find(|&c| c * c * c == v)
 }
 
 #[cfg(test)]
@@ -573,8 +601,7 @@ mod tests {
         );
         // The far region dominates the grid volume but not the samples.
         let far: usize = hist.iter().filter(|s| s.rate >= 8).map(|s| s.points).sum();
-        let far_samples: usize =
-            hist.iter().filter(|s| s.rate >= 8).map(|s| s.samples).sum();
+        let far_samples: usize = hist.iter().filter(|s| s.rate >= 8).map(|s| s.samples).sum();
         assert!(far > n * n * n / 2);
         assert!(far_samples < far / 64, "far region must be sparse");
     }
@@ -608,7 +635,11 @@ mod tests {
         }
         // And the interior of the domain is exactly rate 1.
         let mid = [n / 2; 3];
-        let cell = plan.cells().iter().find(|c| c.region().contains(mid)).unwrap();
+        let cell = plan
+            .cells()
+            .iter()
+            .find(|c| c.region().contains(mid))
+            .unwrap();
         assert_eq!(cell.rate, 1);
     }
 

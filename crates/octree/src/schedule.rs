@@ -65,11 +65,20 @@ impl RateSchedule {
     /// `8·N·N·k`-byte footprint, so it is reserved for applications whose
     /// boundary conditions need it.
     pub fn paper_default(k: usize, far_rate: u32) -> Self {
-        assert!(far_rate.is_power_of_two(), "far rate must be a power of two");
+        assert!(
+            far_rate.is_power_of_two(),
+            "far rate must be a power of two"
+        );
         RateSchedule {
             bands: vec![
-                RateBand { max_distance: (k / 2).max(1), rate: 2 },
-                RateBand { max_distance: 4 * k, rate: 8 },
+                RateBand {
+                    max_distance: (k / 2).max(1),
+                    rate: 2,
+                },
+                RateBand {
+                    max_distance: 4 * k,
+                    rate: 8,
+                },
             ],
             far_rate,
             boundary_width: 0,
@@ -90,15 +99,29 @@ impl RateSchedule {
     /// paper's 3% budget.
     pub fn for_kernel_spread(k: usize, spread: f64, far_rate: u32) -> Self {
         assert!(spread > 0.0, "spread must be positive");
-        assert!(far_rate.is_power_of_two(), "far rate must be a power of two");
+        assert!(
+            far_rate.is_power_of_two(),
+            "far rate must be a power of two"
+        );
         let halo = (3.0 * spread).ceil() as usize;
-        let r2_end = (halo + (2.0 * spread).ceil() as usize + 2).max(k / 2).max(halo + 1);
+        let r2_end = (halo + (2.0 * spread).ceil() as usize + 2)
+            .max(k / 2)
+            .max(halo + 1);
         let r8_end = (4 * k).max(r2_end + 1);
         RateSchedule {
             bands: vec![
-                RateBand { max_distance: halo.max(1), rate: 1 },
-                RateBand { max_distance: r2_end, rate: 2 },
-                RateBand { max_distance: r8_end, rate: 8 },
+                RateBand {
+                    max_distance: halo.max(1),
+                    rate: 1,
+                },
+                RateBand {
+                    max_distance: r2_end,
+                    rate: 2,
+                },
+                RateBand {
+                    max_distance: r8_end,
+                    rate: 8,
+                },
             ],
             far_rate,
             boundary_width: 0,
@@ -109,7 +132,10 @@ impl RateSchedule {
     /// Adds a densely re-sampled shell of `width` points at `rate` along
     /// every grid face (Fig. 3's boundary treatment).
     pub fn with_boundary_shell(mut self, width: usize, rate: u32) -> Self {
-        assert!(rate.is_power_of_two(), "boundary rate must be a power of two");
+        assert!(
+            rate.is_power_of_two(),
+            "boundary rate must be a power of two"
+        );
         self.boundary_width = width;
         self.boundary_rate = rate;
         self

@@ -34,7 +34,7 @@ fn measured(n: usize, k: usize, p: usize) {
     let (_, trad) = run_cluster(p, move |mut w| {
         let planner = FftPlanner::new();
         let mine = slabs[w.rank()].clone();
-        convolve_distributed(&mut w, &planner, mine, n, &kern);
+        convolve_distributed(&mut w, &planner, mine, n, &kern).expect("convolution failed");
     });
 
     // Proposed: local compressed convolutions, then ONE exchange where each
@@ -73,13 +73,13 @@ fn measured(n: usize, k: usize, p: usize) {
                     let d = domains[di];
                     let sub = input.extract(&d);
                     let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
-                    conv.local().convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
+                    conv.local()
+                        .convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
                 })
                 .collect();
             let outgoing: Vec<Vec<u8>> = (0..w.size())
                 .map(|dest| {
-                    let region =
-                        BoxRegion::new([dest * n / p, 0, 0], [(dest + 1) * n / p, n, n]);
+                    let region = BoxRegion::new([dest * n / p, 0, 0], [(dest + 1) * n / p, n, n]);
                     let mut bytes = Vec::new();
                     for f in &fields {
                         bytes.extend(encode_f64s(&f.region_payload(&region).samples));
@@ -87,7 +87,7 @@ fn measured(n: usize, k: usize, p: usize) {
                     bytes
                 })
                 .collect();
-            let _ = w.alltoall(outgoing);
+            let _ = w.alltoall(outgoing).expect("exchange failed");
         }
     });
 
@@ -119,13 +119,27 @@ fn main() {
         "{:<6} {:<6} {:>14} {:>14} {:>10}",
         "N", "P", "T_fft (s)", "T_ours (s)", "ratio"
     );
-    for (n, p) in [(1024usize, 64usize), (2048, 256), (4096, 1024), (8192, 4096)] {
-        let s = CommScenario { n, p, elem_bytes: 16, link: AlphaBeta::hpc_default() };
+    for (n, p) in [
+        (1024usize, 64usize),
+        (2048, 256),
+        (4096, 1024),
+        (8192, 4096),
+    ] {
+        let s = CommScenario {
+            n,
+            p,
+            elem_bytes: 16,
+            link: AlphaBeta::hpc_default(),
+        };
         let t_fft = s.t_fft_bandwidth_only();
         let t_ours = s.t_ours(128, 8.0);
         println!(
             "{:<6} {:<6} {:>14.4e} {:>14.4e} {:>10.1}",
-            n, p, t_fft, t_ours, t_fft / t_ours
+            n,
+            p,
+            t_fft,
+            t_ours,
+            t_fft / t_ours
         );
     }
 }

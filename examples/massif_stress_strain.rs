@@ -22,13 +22,19 @@ fn main() {
     let inclusion = IsotropicStiffness::from_engineering(70.0, 0.22); // glass-like
     let micro = Microstructure::sphere(n, 0.5, matrix, inclusion);
     let vf = micro.volume_fractions();
-    println!("microstructure: {n}³ grid, sphere volume fraction {:.3}", vf[1]);
+    println!(
+        "microstructure: {n}³ grid, sphere volume fraction {:.3}",
+        vf[1]
+    );
 
     let r = micro.reference_medium();
     let gamma = MassifGamma::new(n, r.lambda, r.mu);
     let e = Sym3::diagonal(0.01, 0.0, 0.0); // 1% uniaxial strain
-    // Tolerance chosen above Algorithm 2's compression-error floor (§5.3).
-    let cfg = SolverConfig { max_iters: 30, tol: 2.5e-3 };
+                                            // Tolerance chosen above Algorithm 2's compression-error floor (§5.3).
+    let cfg = SolverConfig {
+        max_iters: 30,
+        tol: 2.5e-3,
+    };
 
     println!("\nAlgorithm 1 (dense spectral inner loop):");
     let t0 = std::time::Instant::now();
@@ -66,7 +72,10 @@ fn main() {
     println!("  effective stress sigma_xx = {:.4}", s_lc.c[0]);
 
     let strain_err = lc_result.strain.relative_error_to(&ref_result.strain);
-    println!("\nstrain-field deviation (Alg. 2 vs Alg. 1): {:.3e}", strain_err);
+    println!(
+        "\nstrain-field deviation (Alg. 2 vs Alg. 1): {:.3e}",
+        strain_err
+    );
     println!(
         "effective-stress deviation: {:.3e}",
         (s_lc.c[0] - s_ref.c[0]).abs() / s_ref.c[0]

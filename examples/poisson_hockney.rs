@@ -31,8 +31,14 @@ fn main() {
 
     let exact = TraditionalConvolver::new(n).convolve(&rho, &spectrum);
 
-    println!("Poisson dipole on {n}³, charges in 2 of {} sub-domains", (n / k).pow(3));
-    println!("{:<10} {:>14} {:>14} {:>12}", "far rate", "samples", "bytes", "rel. L2 err");
+    println!(
+        "Poisson dipole on {n}³, charges in 2 of {} sub-domains",
+        (n / k).pow(3)
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}",
+        "far rate", "samples", "bytes", "rel. L2 err"
+    );
     for far in [2u32, 4, 8, 16] {
         // 1/r decays slowly, so keep a dense halo and an r=2 transition;
         // the far band (periodic distance > k on this 64³ grid) carries the
@@ -40,21 +46,35 @@ fn main() {
         // here — the bands must fit the grid.)
         let schedule = RateSchedule {
             bands: vec![
-                RateBand { max_distance: k / 2, rate: 1 },
-                RateBand { max_distance: k, rate: 2 },
+                RateBand {
+                    max_distance: k / 2,
+                    rate: 1,
+                },
+                RateBand {
+                    max_distance: k,
+                    rate: 2,
+                },
             ],
             far_rate: far,
             boundary_width: 0,
             boundary_rate: 1,
         };
-        let conv = LowCommConvolver::new(LowCommConfig { n, k, batch: 1024, schedule });
+        let conv = LowCommConvolver::new(LowCommConfig {
+            n,
+            k,
+            batch: 1024,
+            schedule,
+        });
         let (approx, report) = conv.convolve(&rho, &spectrum);
         let err = relative_l2(exact.as_slice(), approx.as_slice());
         println!(
             "{:<10} {:>14} {:>14} {:>12.4}",
             far, report.total_samples, report.exchange_bytes, err
         );
-        assert_eq!(report.domains_processed, 2, "only the charged domains compute");
+        assert_eq!(
+            report.domains_processed, 2,
+            "only the charged domains compute"
+        );
         assert_eq!(report.domains_skipped, (n / k).pow(3) - 2);
     }
     println!("(accuracy degrades gracefully as the far field is sampled more coarsely)");

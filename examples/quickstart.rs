@@ -25,7 +25,12 @@ fn main() {
     // The adaptive schedule: dense through a 3σ halo around each
     // sub-domain's response, r = 2 through the transition, r = 8 / 16 beyond.
     let schedule = RateSchedule::for_kernel_spread(k, sigma, 16);
-    let conv = LowCommConvolver::new(LowCommConfig { n, k, batch: 1024, schedule });
+    let conv = LowCommConvolver::new(LowCommConfig {
+        n,
+        k,
+        batch: 1024,
+        schedule,
+    });
 
     println!("low-communication convolution: N = {n}, k = {k}, sigma = {sigma}");
     let t0 = std::time::Instant::now();
@@ -46,10 +51,16 @@ fn main() {
         (n * n * n) as f64 / per_domain as f64
     );
     println!("  all-to-all rounds        : 1 (traditional FFT convolution: 4)");
-    println!("  relative L2 error        : {:.3e}  (paper budget: 3e-2)", err);
+    println!(
+        "  relative L2 error        : {:.3e}  (paper budget: 3e-2)",
+        err
+    );
     println!("  wall time ours/dense     : {t_ours:.2?} / {t_dense:.2?}");
     println!();
-    println!("Note: serially, processing {} domains repeats work the dense path does", report.domains_processed);
+    println!(
+        "Note: serially, processing {} domains repeats work the dense path does",
+        report.domains_processed
+    );
     println!("once — the method trades redundant *local* compute for per-worker memory");
     println!("and communication, which is what scales on a cluster (see DESIGN.md).");
     assert!(err < 0.03, "error above the paper's tolerance");

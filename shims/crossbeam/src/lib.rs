@@ -1,0 +1,90 @@
+//! Offline shim for `crossbeam`: the `channel` subset the cluster
+//! simulator uses (unbounded MPSC with timeouts), backed by
+//! `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Multi-producer sending half; clone freely across threads.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half; one per channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (s, r) = unbounded();
+            s.send(1).unwrap();
+            s.send(2).unwrap();
+            assert_eq!(r.recv().unwrap(), 1);
+            assert_eq!(r.recv().unwrap(), 2);
+        }
+
+        #[test]
+        fn timeout_and_disconnect() {
+            let (s, r) = unbounded::<u8>();
+            assert_eq!(
+                r.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(s);
+            assert_eq!(
+                r.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cloned_senders_feed_one_receiver() {
+            let (s, r) = unbounded();
+            let s2 = s.clone();
+            std::thread::spawn(move || s2.send(7u8).unwrap())
+                .join()
+                .unwrap();
+            drop(s);
+            assert_eq!(r.recv().unwrap(), 7);
+            assert!(r.recv().is_err(), "all senders dropped");
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Offline shim for `proptest`: the macro + strategy subset the workspace
+//! uses. Cases are generated from a deterministic per-test seed (derived
+//! from the test function's name), so every run — and every failure —
+//! replays identically. No shrinking: the failing case is reported as-is
+//! with its case index.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// A failed property within a test case; produced by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic value source handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// FNV-1a over a test's name: the per-test base seed.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// Generates values of `Value` from a [`TestRng`].
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 strategy range");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(usize, u64, u32, u16, u8);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// A boxed `prop_oneof!` arm: a generator erased to its value type.
+    pub type OneofArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// Uniform choice among boxed alternatives — the `prop_oneof!` backend.
+    pub struct Union<T> {
+        options: Vec<OneofArm<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<OneofArm<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    /// Boxes one `prop_oneof!` arm. Going through a generic parameter lets
+    /// integer-literal arms unify their value type with the other arms.
+    pub fn oneof_arm<S: Strategy + 'static>(s: S) -> OneofArm<S::Value> {
+        Box::new(move |rng| s.generate(rng))
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            (self.options[i])(rng)
+        }
+    }
+
+    /// Accepted size specifications for [`collection::vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Vector of values from an element strategy, with random length.
+    pub struct VecStrategy<S> {
+        pub element: S,
+        pub size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// `proptest::collection::vec(element, sizes)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Fails the enclosing test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing test case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Fails the enclosing test case unless the operands compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Uniform choice among strategy arms with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::oneof_arm($arm)),+])
+    };
+}
+
+/// The test-definition macro: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` deterministic instantiations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let seed = $crate::TestRng::seed_from_name(concat!(
+                ::core::module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..cfg.cases {
+                let mut rng = $crate::TestRng::new(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let __inputs: ::std::string::String =
+                    [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),*].join(", ");
+                let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {case}/{} failed: {e}\n  inputs: {__inputs}",
+                        cfg.cases,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(
+            x in 1usize..10,
+            ab in (0.0f64..1.0, 5u32..=6),
+            v in crate::collection::vec(-1.0f64..1.0, 2..=5),
+        ) {
+            let (a, b) = ab;
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!(b == 5 || b == 6);
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            prop_assert!(v.iter().all(|t| (-1.0..1.0).contains(t)));
+        }
+
+        #[test]
+        fn oneof_and_just(r in prop_oneof![Just(4u32), Just(8), Just(16)]) {
+            prop_assert!(r == 4 || r == 8 || r == 16);
+            prop_assert_eq!(r.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let seed = crate::TestRng::seed_from_name("module::case");
+        let a: Vec<u64> = {
+            let mut rng = crate::TestRng::new(seed);
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::TestRng::new(seed);
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_reports_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0usize..100) {
+                prop_assert!(x > 1_000, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

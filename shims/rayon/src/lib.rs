@@ -1,0 +1,117 @@
+//! Offline shim for `rayon`: the `prelude::*` combinators the workspace
+//! uses, executing **sequentially** on the calling thread.
+//!
+//! Every `par_*` method returns the corresponding `std` iterator, so the
+//! full std combinator vocabulary (`map`, `zip`, `enumerate`, `collect`,
+//! `for_each`, …) is available unchanged. The workspace only applies
+//! order-independent operations, so results are identical to the real
+//! crate; only wall-clock parallelism is lost.
+
+pub mod prelude {
+    /// `par_iter`/`par_chunks` on slices (and anything derefing to one).
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut`/`par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `into_par_iter` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Rayon's `for_each_init`: per-"thread" scratch state. Sequential, so
+    /// the initializer runs exactly once.
+    pub trait ForEachInit: Iterator + Sized {
+        fn for_each_init<S, INIT, F>(self, init: INIT, mut f: F)
+        where
+            INIT: FnMut() -> S,
+            F: FnMut(&mut S, Self::Item),
+        {
+            let mut init = init;
+            let mut state = init();
+            self.for_each(|item| f(&mut state, item));
+        }
+    }
+
+    impl<I: Iterator> ForEachInit for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect() {
+        let v = [1, 2, 3];
+        let out: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate() {
+        let mut v = vec![0usize; 6];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn zip_and_for_each_init() {
+        let a = [1, 2, 3];
+        let mut b = vec![0, 0, 0];
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(y, x)| *y = x + 1);
+        assert_eq!(b, vec![2, 3, 4]);
+        let mut total = 0;
+        a.par_iter().for_each_init(|| 10, |s, x| total += *s + x);
+        assert_eq!(total, 36);
+    }
+}

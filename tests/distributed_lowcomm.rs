@@ -4,9 +4,7 @@
 //! the serial low-communication result and the dense oracle, with measured
 //! communication compared to the traditional distributed convolution.
 
-use lcc_comm::{
-    convolve_distributed, decode_f64s, encode_f64s, run_cluster, scatter_slabs,
-};
+use lcc_comm::{convolve_distributed, decode_f64s, encode_f64s, run_cluster, scatter_slabs};
 use lcc_core::{LowCommConfig, LowCommConvolver, TraditionalConvolver};
 use lcc_fft::{Complex64, FftPlanner};
 use lcc_greens::{GaussianKernel, KernelSpectrum};
@@ -25,7 +23,12 @@ fn distributed_matches_serial_lowcomm_and_oracle() {
         ((x as f64 * 0.29).sin() + (y as f64 * 0.41).cos()) * (1.0 + 0.01 * z as f64)
     }));
     let schedule = RateSchedule::for_kernel_spread(k, sigma, 16);
-    let cfg = LowCommConfig { n, k, batch: 512, schedule };
+    let cfg = LowCommConfig {
+        n,
+        k,
+        batch: 512,
+        schedule,
+    };
 
     // Serial references.
     let serial_conv = LowCommConvolver::new(cfg.clone());
@@ -51,7 +54,8 @@ fn distributed_matches_serial_lowcomm_and_oracle() {
                     let d = domains[di];
                     let sub = input.extract(&d);
                     let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
-                    conv.local().convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
+                    conv.local()
+                        .convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
                 })
                 .collect();
             let before = w.stats().bytes();
@@ -62,7 +66,9 @@ fn distributed_matches_serial_lowcomm_and_oracle() {
                 .iter()
                 .flat_map(|f| f.samples().iter().copied())
                 .collect();
-            let all = w.allgather(encode_f64s(&payload));
+            let all = w
+                .allgather(encode_f64s(&payload))
+                .expect("allgather failed");
 
             // Everyone reconstructs the full field from everyone's samples.
             // (A production deployment reconstructs only its own region;
@@ -90,7 +96,10 @@ fn distributed_matches_serial_lowcomm_and_oracle() {
     assert_eq!(stats.rounds(), 1, "exactly one collective exchange");
     for field in &rank_fields {
         let vs_serial = relative_l2(serial.as_slice(), field.as_slice());
-        assert!(vs_serial < 1e-10, "distributed deviates from serial: {vs_serial}");
+        assert!(
+            vs_serial < 1e-10,
+            "distributed deviates from serial: {vs_serial}"
+        );
         let vs_oracle = relative_l2(oracle.as_slice(), field.as_slice());
         assert!(vs_oracle < 0.03, "distributed error vs oracle: {vs_oracle}");
     }
@@ -121,14 +130,13 @@ fn lowcomm_exchanges_less_than_traditional() {
     let (_, trad_stats) = run_cluster(p, move |mut w| {
         let planner = FftPlanner::new();
         let mine = slabs[w.rank()].clone();
-        convolve_distributed(&mut w, &planner, mine, n, &kern);
+        convolve_distributed(&mut w, &planner, mine, n, &kern).expect("convolution failed");
     });
 
     // Ownership: worker w owns the x-slab [w·n/p, (w+1)·n/p); a domain is
     // processed by the owner of its response region's low corner.
     let slab_of = |x: usize| x / (n / p);
-    let owner_region =
-        |w: usize| BoxRegion::new([w * n / p, 0, 0], [(w + 1) * n / p, n, n]);
+    let owner_region = |w: usize| BoxRegion::new([w * n / p, 0, 0], [(w + 1) * n / p, n, n]);
     let domains = decompose_uniform(n, k);
     let input_grid = Arc::new(Grid3::from_vec(
         (n, n, n),
@@ -167,7 +175,8 @@ fn lowcomm_exchanges_less_than_traditional() {
                     let d = domains[di];
                     let sub = input.extract(&d);
                     let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
-                    conv.local().convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
+                    conv.local()
+                        .convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
                 })
                 .collect();
             // Single routed exchange: each receiver gets only its slab's cells.
@@ -182,7 +191,7 @@ fn lowcomm_exchanges_less_than_traditional() {
                     bytes
                 })
                 .collect();
-            let _incoming = w.alltoall(outgoing);
+            let _incoming = w.alltoall(outgoing).expect("exchange failed");
         }
     });
 

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use lcc_core::{LocalConvolver, LowCommConfig, LowCommConvolver, TraditionalConvolver};
-use lcc_fft::{dft::dft, fft_in_place, c64, Complex64, FftDirection, FftPlanner};
+use lcc_fft::{c64, dft::dft, fft_in_place, Complex64, FftDirection, FftPlanner};
 use lcc_greens::GaussianKernel;
 use lcc_grid::{relative_l2, BoxRegion, Grid3};
 use lcc_octree::{CompressedField, RateSchedule, SamplingPlan};

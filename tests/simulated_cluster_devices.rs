@@ -12,7 +12,7 @@ use std::sync::Arc;
 use lcc_comm::{encode_f64s, run_cluster};
 use lcc_core::{LowCommConfig, LowCommConvolver, PipelineFootprint};
 use lcc_device::{PerfModel, SimDevice};
-use lcc_greens::{GaussianKernel, KernelSpectrum};
+use lcc_greens::GaussianKernel;
 use lcc_grid::{decompose_uniform, relative_l2, BoxRegion, Grid3};
 use lcc_octree::RateSchedule;
 
@@ -35,10 +35,7 @@ fn pipeline_fits_where_dense_does_not() {
     let a = dev.alloc(dense_part, "dense-field");
     let b = dev.alloc(dense_part, "dense-spectrum");
     let c = dev.alloc(dense_part, "dense-workspace");
-    assert!(
-        c.is_err(),
-        "dense transform must not fit on the toy device"
-    );
+    assert!(c.is_err(), "dense transform must not fit on the toy device");
     drop((a, b));
     assert_eq!(dev.memory().used(), 0);
 
@@ -113,8 +110,7 @@ fn cluster_of_constrained_devices_computes_correct_result() {
                 .iter()
                 .map(|&di| {
                     let d = domains[di];
-                    let plan =
-                        conv.plan_for(conv.response_region(&d, kernel.as_ref()));
+                    let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
                     let fp = PipelineFootprint::model(
                         n,
                         k,
@@ -127,7 +123,8 @@ fn cluster_of_constrained_devices_computes_correct_result() {
                         .alloc(fp.retained_bytes + fp.batch_bytes, "working")
                         .expect("working set fits");
                     let sub = input.extract(&d);
-                    conv.local().convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
+                    conv.local()
+                        .convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
                 })
                 .collect();
             assert!(dev.memory().peak() <= dev.memory().capacity());
@@ -135,8 +132,7 @@ fn cluster_of_constrained_devices_computes_correct_result() {
             // One routed exchange, then each rank reconstructs its slab.
             let outgoing: Vec<Vec<u8>> = (0..w.size())
                 .map(|dest| {
-                    let region =
-                        BoxRegion::new([dest * n / p, 0, 0], [(dest + 1) * n / p, n, n]);
+                    let region = BoxRegion::new([dest * n / p, 0, 0], [(dest + 1) * n / p, n, n]);
                     let mut bytes = Vec::new();
                     for f in &my_fields {
                         bytes.extend(encode_f64s(&f.region_payload(&region).samples));
@@ -144,7 +140,7 @@ fn cluster_of_constrained_devices_computes_correct_result() {
                     bytes
                 })
                 .collect();
-            let _incoming = w.alltoall(outgoing);
+            let _incoming = w.alltoall(outgoing).expect("exchange failed");
 
             // For verification, each rank also returns its dense share
             // computed from its own fields plus everyone's (rebuilt

@@ -15,8 +15,16 @@
 //! | `exp_error_sweep` | §5.3 — approximation error vs downsampling |
 //! | `exp_massif_convergence` | Algorithms 1 & 2 — convergence unaffected by compression |
 //! | `exp_fftx_plan` | §6 / Fig. 5 — FFTX plan composition |
+//! | `exp_chaos` | fault-injection sweep — retry protocol vs message loss |
+//! | `exp_recovery` | self-healing sweep — crash × crash-time × recovery policy |
 //!
+//! `exp_chaos` and `exp_recovery` also emit machine-readable
+//! `BENCH_chaos.json` / `BENCH_recovery.json` (see [`json`]); the
+//! distributed self-healing workload they share lives in [`recovery`].
 //! Criterion benches live in `benches/`.
+
+pub mod json;
+pub mod recovery;
 
 use std::time::Instant;
 

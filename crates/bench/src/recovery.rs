@@ -1,0 +1,286 @@
+//! The self-healing distributed convolution workload shared by
+//! `exp_recovery` and the recovery integration tests.
+//!
+//! Each rank computes its round-robin share of sub-domain contributions,
+//! then joins a *converged* allgather: if a peer dies (crash at start,
+//! or deserting mid-exchange), every survivor deterministically derives
+//! the same [`RecoveryPlan`] from the same epoch-stamped membership view,
+//! claimants recompute the orphaned domains — exactly, under
+//! `RecoveryPolicy::Redistribute` — and the recomputed contributions ride
+//! the same single sparse exchange. The fold order is ascending global
+//! domain id on every rank, so a redistributed run is bit-identical to a
+//! fault-free one.
+//!
+//! Wire format of one rank's payload (little-endian):
+//!
+//! ```text
+//! u64 ndomains, then per domain: u64 id | u64 nsamples | f64 × nsamples
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lcc_comm::{run_cluster_with_faults, CommStats, FaultPlan, RetryPolicy};
+use lcc_core::{ConvolveReport, LowCommConfig, LowCommConvolver, RecoveryPlanner, RecoveryPolicy};
+use lcc_greens::GaussianKernel;
+use lcc_grid::{decompose_uniform, BoxRegion, Grid3};
+use lcc_octree::{CompressedField, RateSchedule};
+
+/// One recovery scenario: a deployment shape plus a fault plan and policy.
+#[derive(Clone, Debug)]
+pub struct RecoveryCase {
+    /// Grid size N.
+    pub n: usize,
+    /// Sub-domain size k.
+    pub k: usize,
+    /// Cluster size p.
+    pub p: usize,
+    /// Gaussian kernel spread.
+    pub sigma: f64,
+    /// Deterministic fault plan (crashes, deserters, message loss).
+    pub plan: FaultPlan,
+    /// How survivors compensate for orphaned domains.
+    pub policy: RecoveryPolicy,
+    /// Ack/retry deadlines for the simulated transport.
+    pub retry: RetryPolicy,
+}
+
+impl RecoveryCase {
+    /// The standard 32³ / k=8 / p=4 deployment used across chaos benches.
+    pub fn standard(plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        RecoveryCase {
+            n: 32,
+            k: 8,
+            p: 4,
+            sigma: 1.5,
+            plan,
+            policy,
+            retry: RetryPolicy::scaled_for(4),
+        }
+    }
+
+    /// The convolver configuration every rank builds.
+    pub fn config(&self) -> LowCommConfig {
+        LowCommConfig {
+            n: self.n,
+            k: self.k,
+            batch: 512,
+            schedule: RateSchedule::for_kernel_spread(self.k, self.sigma, 16),
+        }
+    }
+
+    /// The smooth input field shared by all ranks.
+    pub fn input(&self) -> Grid3<f64> {
+        let n = self.n;
+        Grid3::from_fn((n, n, n), |x, y, z| {
+            ((x as f64 * 0.29).sin() + (y as f64 * 0.41).cos()) * (1.0 + 0.01 * z as f64)
+        })
+    }
+
+    /// The kernel shared by all ranks.
+    pub fn kernel(&self) -> GaussianKernel {
+        GaussianKernel::new(self.n, self.sigma)
+    }
+}
+
+/// Deadlines tight enough to make deserter detection quick in tests and
+/// benches (a deserter is only noticed when receive timeouts fire; the
+/// production-scaled 30 s deadline would dominate wall time).
+pub fn fast_retry(p: usize) -> RetryPolicy {
+    RetryPolicy {
+        ack_timeout: std::time::Duration::from_millis(400),
+        recv_timeout: std::time::Duration::from_millis(400),
+        ..RetryPolicy::scaled_for(p)
+    }
+}
+
+/// What one surviving rank produced.
+#[derive(Clone, Debug)]
+pub struct RankOutcome {
+    /// The accumulated (recovered) convolution result.
+    pub result: Grid3<f64>,
+    /// Recovery-aware accounting for this rank's fold.
+    pub report: ConvolveReport,
+    /// The membership epoch the exchange converged under.
+    pub epoch: u64,
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(bytes: &[u8], at: &mut usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[*at..*at + 8]);
+    *at += 8;
+    u64::from_le_bytes(b)
+}
+
+fn encode_payload(entries: &BTreeMap<usize, CompressedField>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, entries.len() as u64);
+    for (&id, f) in entries {
+        put_u64(&mut buf, id as u64);
+        put_u64(&mut buf, f.samples().len() as u64);
+        for v in f.samples() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    buf
+}
+
+fn decode_payload(bytes: &[u8]) -> Vec<(usize, Vec<f64>)> {
+    let mut at = 0;
+    let count = get_u64(bytes, &mut at) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = get_u64(bytes, &mut at) as usize;
+        let ns = get_u64(bytes, &mut at) as usize;
+        let mut samples = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[at..at + 8]);
+            at += 8;
+            samples.push(f64::from_le_bytes(b));
+        }
+        out.push((id, samples));
+    }
+    out
+}
+
+/// Runs `case` on the cluster simulator. The outer `Option` is `None` for
+/// crashed *and* deserting ranks; survivors all hold bit-identical results.
+pub fn run_recovery(case: &RecoveryCase) -> (Vec<Option<RankOutcome>>, Arc<CommStats>) {
+    let p = case.p;
+    let policy = case.policy;
+    let cfg = Arc::new(case.config());
+    let field = Arc::new(case.input());
+    let kernel = Arc::new(case.kernel());
+    let domains = Arc::new(decompose_uniform(case.n, case.k));
+
+    let (results, stats) = run_cluster_with_faults(p, case.plan.clone(), case.retry.clone(), {
+        move |mut w| {
+            let rank = w.rank();
+            let conv = LowCommConvolver::new((*cfg).clone());
+            let planner = RecoveryPlanner::new(policy);
+            let owner = |id: usize| id % p;
+
+            let contribution = |id: usize| -> Option<CompressedField> {
+                conv.compress_domain_exact(&field, &domains[id], kernel.as_ref())
+            };
+            let own_payload = |claims: &[usize]| -> Vec<u8> {
+                let mut mine = BTreeMap::new();
+                for id in (0..domains.len())
+                    .filter(|&id| owner(id) == rank)
+                    .chain(claims.iter().copied())
+                {
+                    if let Some(f) = contribution(id) {
+                        mine.insert(id, f);
+                    }
+                }
+                encode_payload(&mine)
+            };
+
+            if w.fault_plan().deserts(rank) {
+                // A deserter ships its epoch-0 share to lower ranks only,
+                // then walks away mid-exchange without crashing.
+                let payload = own_payload(&[]);
+                for to in 0..rank {
+                    let _ = w.send_epoch(to, &payload);
+                }
+                return None;
+            }
+
+            let (slots, epoch) = w
+                .allgather_converged(|view| {
+                    let dead: Vec<usize> = view.dead_ranks().collect();
+                    let plan = planner.plan(&domains, owner, &view.live_ranks(), &dead);
+                    let claims: Vec<usize> = plan.claims_for(rank).map(|c| c.domain_id).collect();
+                    own_payload(&claims)
+                })
+                .expect("converged allgather failed despite retries");
+
+            // Reconstruct the recovery plan from the converged view — the
+            // same pure function every payload was built from.
+            let view = w.current_view().clone();
+            let dead: Vec<usize> = view.dead_ranks().collect();
+            let plan = planner.plan(&domains, owner, &view.live_ranks(), &dead);
+
+            let mut contribs: BTreeMap<usize, CompressedField> = BTreeMap::new();
+            for slot in slots.iter().flatten() {
+                for (id, samples) in decode_payload(slot) {
+                    let splan = conv.plan_for(conv.response_region(&domains[id], kernel.as_ref()));
+                    assert_eq!(
+                        samples.len(),
+                        splan.total_samples(),
+                        "domain {id} sample count does not match its plan"
+                    );
+                    let mut f = CompressedField::zeros(splan);
+                    f.samples_mut().copy_from_slice(&samples);
+                    contribs.insert(id, f);
+                }
+            }
+            let recovered: Vec<usize> = plan
+                .claims
+                .iter()
+                .map(|c| c.domain_id)
+                .filter(|id| contribs.contains_key(id))
+                .collect();
+            let degraded: Vec<(usize, BoxRegion)> = plan.degraded.clone();
+            let (result, report) = conv.accumulate_with_recovery(
+                &contribs,
+                &field,
+                kernel.as_ref(),
+                &recovered,
+                &degraded,
+            );
+            Some(RankOutcome {
+                result,
+                report,
+                epoch,
+            })
+        }
+    });
+    (results.into_iter().map(|r| r.flatten()).collect(), stats)
+}
+
+/// The fault-free reference result for `case`'s deployment (same fold
+/// order as the recovery path, so comparisons can demand bit-identity).
+pub fn fault_free_reference(case: &RecoveryCase) -> Grid3<f64> {
+    let mut clean = case.clone();
+    clean.plan = FaultPlan::none();
+    let (results, _) = run_recovery(&clean);
+    results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("fault-free run has survivors")
+        .result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_codec_round_trips() {
+        let case = RecoveryCase::standard(FaultPlan::none(), RecoveryPolicy::Degrade);
+        let conv = LowCommConvolver::new(case.config());
+        let field = case.input();
+        let kernel = case.kernel();
+        let domains = decompose_uniform(case.n, case.k);
+        let mut entries = BTreeMap::new();
+        for id in [0usize, 5, 63] {
+            let f = conv
+                .compress_domain_exact(&field, &domains[id], &kernel)
+                .expect("smooth input has no zero domains");
+            entries.insert(id, f);
+        }
+        let decoded = decode_payload(&encode_payload(&entries));
+        assert_eq!(decoded.len(), 3);
+        for ((id, samples), (want_id, want)) in decoded.iter().zip(entries.iter()) {
+            assert_eq!(id, want_id);
+            assert_eq!(samples, want.samples());
+        }
+    }
+}

@@ -30,9 +30,27 @@
 //!
 //! Counter semantics: `bytes_sent` / `messages` count each *logical* send
 //! once, never its retransmissions or acks, so communication-volume
-//! experiments read the same with faults on or off.
+//! experiments read the same with faults on or off. The parallel
+//! `bytes_physical` / `messages_physical` / `acks` counters record every
+//! frame that actually hits the wire — retransmissions, duplicates, frames
+//! lost in flight, and acknowledgements — so chaos runs can report the real
+//! wire cost next to the logical volume (see
+//! [`CommStats::modeled_time_physical`]).
+//!
+//! # Membership
+//!
+//! Each endpoint carries an epoch-stamped [`ClusterView`] of which ranks it
+//! believes alive. Typed failures feed suspicion via
+//! [`CommWorld::record_failure`]; a [`CommWorld::detect_failures`] sweep
+//! confirms suspicions against the fault plan (the simulator's stand-in for
+//! an out-of-band health probe), so every survivor of a given seed converges
+//! on the same sequence of views. The epoch-tagged collectives
+//! ([`CommWorld::alltoall_epoch`] and the self-healing
+//! [`CommWorld::alltoall_converged`]) stamp every frame with the sender's
+//! epoch, discard stale frames from aborted pre-failure attempts, and re-run
+//! the exchange until all survivors complete it under a common view.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -40,6 +58,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::fault::{CommError, FaultPlan, RetryPolicy};
+use crate::membership::ClusterView;
 
 /// Shared instrumentation counters for one cluster run.
 #[derive(Debug, Default)]
@@ -59,6 +78,15 @@ pub struct CommStats {
     pub duplicates_suppressed: AtomicU64,
     /// Ack waits that expired because the fault plan dropped the ack.
     pub timeouts: AtomicU64,
+    /// Payload bytes of every data frame actually transmitted: first
+    /// attempts, retransmissions, injected duplicates, and frames lost in
+    /// flight all count (the sender paid for them either way).
+    pub bytes_physical: AtomicU64,
+    /// Data frames actually transmitted (same counting rule as
+    /// `bytes_physical`).
+    pub messages_physical: AtomicU64,
+    /// Ack frames transmitted, including acks the fault plan then dropped.
+    pub acks: AtomicU64,
 }
 
 impl CommStats {
@@ -92,15 +120,46 @@ impl CommStats {
         self.timeouts.load(Ordering::Relaxed)
     }
 
-    /// α-β modeled wall time of the recorded traffic on `p` ranks,
-    /// assuming all ranks inject concurrently on dedicated links (the
-    /// fully-connected assumption behind the paper's Eq. 1): every message
-    /// pays α, and each rank's share of the volume pays β serially.
+    /// Snapshot of physically transmitted payload bytes (retransmissions,
+    /// duplicates and in-flight losses included).
+    pub fn physical_bytes(&self) -> u64 {
+        self.bytes_physical.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of physically transmitted data frames.
+    pub fn physical_message_count(&self) -> u64 {
+        self.messages_physical.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of transmitted ack frames.
+    pub fn ack_count(&self) -> u64 {
+        self.acks.load(Ordering::Relaxed)
+    }
+
+    /// α-β modeled wall time of the recorded *logical* traffic on `p`
+    /// ranks, assuming all ranks inject concurrently on dedicated links
+    /// (the fully-connected assumption behind the paper's Eq. 1): every
+    /// message pays α, and each rank's share of the volume pays β serially.
     pub fn modeled_time(&self, model: &crate::model::AlphaBeta, p: usize) -> f64 {
-        let p = p.max(1) as f64;
-        (self.message_count() as f64 / p) * model.alpha + (self.bytes() as f64 / p) * model.beta
+        model.cluster_time(self.message_count(), self.bytes(), p)
+    }
+
+    /// α-β modeled wall time of the *physical* traffic: every transmitted
+    /// data frame and ack pays α, and the retransmitted/duplicated/lost
+    /// bytes pay β like any others (acks are modeled as
+    /// [`ACK_WIRE_BYTES`]-byte frames). Under an inert plan this equals
+    /// [`CommStats::modeled_time`] plus the ack cost of zero acks — i.e.
+    /// exactly the logical time.
+    pub fn modeled_time_physical(&self, model: &crate::model::AlphaBeta, p: usize) -> f64 {
+        let msgs = self.physical_message_count() + self.ack_count();
+        let bytes = self.physical_bytes() + ACK_WIRE_BYTES * self.ack_count();
+        model.cluster_time(msgs, bytes, p)
     }
 }
+
+/// Wire size charged per ack frame in the physical α-β model: one `u64`
+/// sequence number.
+pub const ACK_WIRE_BYTES: u64 = 8;
 
 /// What actually crosses a channel: sequenced data or an acknowledgement.
 enum Frame {
@@ -181,6 +240,13 @@ pub struct CommWorld {
     /// end-of-run drain so every delivered frame is serviced exactly once.
     done: Arc<AtomicUsize>,
     live: usize,
+    /// This rank's epoch-stamped membership belief.
+    view: ClusterView,
+    /// Peers implicated by typed failures since the last detection sweep.
+    /// Suspicion accelerates detection but is never trusted directly: the
+    /// sweep confirms against the plan probe, so a transient loss cannot
+    /// evict a healthy rank.
+    suspected: BTreeSet<usize>,
 }
 
 impl CommWorld {
@@ -227,9 +293,18 @@ impl CommWorld {
         let seq = self.next_seq[to];
         self.next_seq[to] += 1;
         if !self.plan.is_active() {
+            self.count_physical(payload.len());
             return self.push(to, Frame::Data { seq, payload });
         }
         self.send_reliable(to, seq, payload)
+    }
+
+    /// Records one data frame hitting the wire.
+    fn count_physical(&self, bytes: usize) {
+        self.stats
+            .bytes_physical
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.stats.messages_physical.fetch_add(1, Ordering::Relaxed);
     }
 
     fn push(&self, to: usize, frame: Frame) -> Result<(), CommError> {
@@ -289,7 +364,10 @@ impl CommWorld {
                 std::thread::sleep(self.retry.backoff(a));
             }
             if plan.drops_data(self.rank, to, seq, a) {
-                continue; // lost in flight: the receiver never sees it
+                // Lost in flight: the receiver never sees it, but the frame
+                // left the sender's NIC, so the physical cost is paid.
+                self.count_physical(payload.len());
+                continue;
             }
             let copies = if plan.duplicates_data(self.rank, to, seq, a) {
                 2
@@ -297,6 +375,7 @@ impl CommWorld {
                 1
             };
             for _ in 0..copies {
+                self.count_physical(payload.len());
                 self.push(
                     to,
                     Frame::Data {
@@ -383,6 +462,8 @@ impl CommWorld {
     fn send_ack(&mut self, src: usize, seq: u64) {
         let k = self.ack_idx[src];
         self.ack_idx[src] += 1;
+        // The ack is transmitted before the plan loses it: physical cost.
+        self.stats.acks.fetch_add(1, Ordering::Relaxed);
         if self.plan.drops_ack(src, self.rank, seq, k) {
             return;
         }
@@ -449,10 +530,11 @@ impl CommWorld {
     }
 
     /// Bumps the collective-round counter exactly once per collective: on
-    /// the lowest live rank.
+    /// the lowest rank the fault plan lets finish the run (deserters leave
+    /// mid-run, so they cannot be the counting rank).
     fn count_round(&self) {
         let lowest_live = (0..self.size)
-            .find(|&r| !self.plan.is_crashed(r))
+            .find(|&r| !self.plan.is_crashed(r) && !self.plan.deserts(r))
             .unwrap_or(0);
         if self.rank == lowest_live {
             self.stats.collective_rounds.fetch_add(1, Ordering::Relaxed);
@@ -514,6 +596,250 @@ impl CommWorld {
         let outgoing = vec![payload; self.size];
         self.alltoall_surviving(outgoing)
     }
+
+    // ---- membership & epoch-tagged collectives ----
+
+    /// This rank's current membership belief.
+    pub fn current_view(&self) -> &ClusterView {
+        &self.view
+    }
+
+    /// Feeds a typed failure into the suspicion set. Suspicion only
+    /// accelerates [`CommWorld::detect_failures`]; it never changes the
+    /// view by itself, so a transient drop cannot evict a healthy peer.
+    pub fn record_failure(&mut self, err: &CommError) {
+        if let Some(peer) = err.implicated_peer() {
+            if peer < self.size && peer != self.rank {
+                self.suspected.insert(peer);
+            }
+        }
+    }
+
+    /// Peers currently under suspicion (ascending), for diagnostics.
+    pub fn suspected_ranks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.suspected.iter().copied()
+    }
+
+    /// Detection sweep: confirms the dead set against the fault plan — the
+    /// simulator's stand-in for an out-of-band health probe — and bumps the
+    /// view epoch iff membership changed. Returns whether it did.
+    ///
+    /// Because the probe depends only on the plan (not on which
+    /// [`CommError`]s this particular rank happened to observe), every
+    /// survivor of a given seed converges on the same sequence of views and
+    /// epochs regardless of thread interleaving. Suspicions are cleared:
+    /// each was either confirmed by the probe or exonerated as transient
+    /// loss.
+    pub fn detect_failures(&mut self) -> bool {
+        let dead = self.plan.doomed_ranks(self.size);
+        self.suspected.clear();
+        self.view.observe_dead(dead)
+    }
+
+    /// Sends `payload` framed with this rank's current view epoch. Used by
+    /// the epoch collectives and by chaos workloads that emit partial
+    /// exchanges before deserting.
+    pub fn send_epoch(&mut self, to: usize, payload: &[u8]) -> Result<(), CommError> {
+        let framed = frame_epoch(self.view.epoch(), payload);
+        self.send(to, framed)
+    }
+
+    /// Receives the next frame from `from` that carries the current view
+    /// epoch, silently discarding stale frames left over from exchange
+    /// attempts aborted by a failure. A frame from a *newer* epoch is a
+    /// protocol error ([`CommError::EpochMismatch`]): this rank missed a
+    /// detection sweep.
+    fn recv_epoch_from(&mut self, from: usize) -> Result<Vec<u8>, CommError> {
+        let local = self.view.epoch();
+        loop {
+            let frame = self.recv_from(from)?;
+            let (remote, payload) = parse_epoch(&frame).map_err(|e| CommError::Decode {
+                rank: self.rank,
+                peer: from,
+                len: e.len,
+                elem_size: e.elem_size,
+            })?;
+            if remote < local {
+                continue; // stale: from an attempt aborted pre-detection
+            }
+            if remote > local {
+                let err = CommError::EpochMismatch {
+                    rank: self.rank,
+                    peer: from,
+                    local_epoch: local,
+                    remote_epoch: remote,
+                };
+                // Not ours to consume yet: once this rank's own detection
+                // sweep catches up, the retried exchange will claim it.
+                self.inbox[from].push_front(frame);
+                return Err(err);
+            }
+            return Ok(payload.to_vec());
+        }
+    }
+
+    /// One epoch-tagged all-to-all attempt under the current view: frames
+    /// carry the sender's epoch, peers believed dead are skipped (`None`
+    /// slots), sends are best-effort (a failed send marks the peer suspect
+    /// and moves on), and any receive failure aborts the attempt so the
+    /// caller can run [`CommWorld::detect_failures`] and retry. Most
+    /// callers want [`CommWorld::alltoall_converged`], which does exactly
+    /// that loop.
+    pub fn alltoall_epoch(
+        &mut self,
+        outgoing: Vec<Vec<u8>>,
+    ) -> Result<Vec<Option<Vec<u8>>>, CommError> {
+        assert_eq!(outgoing.len(), self.size, "need one payload per rank");
+        self.count_round();
+        for (to, payload) in outgoing.into_iter().enumerate() {
+            if !self.view.is_alive(to) {
+                continue;
+            }
+            if let Err(e) = self.send_epoch(to, &payload) {
+                self.record_failure(&e);
+            }
+        }
+        let mut incoming = Vec::with_capacity(self.size);
+        for from in 0..self.size {
+            if !self.view.is_alive(from) {
+                incoming.push(None);
+                continue;
+            }
+            match self.recv_epoch_from(from) {
+                Ok(p) => incoming.push(Some(p)),
+                Err(e) => {
+                    self.record_failure(&e);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(incoming)
+    }
+
+    /// Epoch-tagged allgather attempt; see [`CommWorld::alltoall_epoch`].
+    pub fn allgather_epoch(&mut self, payload: Vec<u8>) -> Result<Vec<Option<Vec<u8>>>, CommError> {
+        let outgoing = vec![payload; self.size];
+        self.alltoall_epoch(outgoing)
+    }
+
+    /// Self-healing all-to-all: attempts the exchange, runs a detection
+    /// sweep, and re-runs under the new view until an attempt completes
+    /// with no membership change — at which point *every* survivor has
+    /// completed the exchange under the same epoch, even survivors whose
+    /// own first attempt happened to succeed before the failure surfaced.
+    ///
+    /// `make_outgoing` is called once per *epoch* with the view the attempt
+    /// will run under, letting the caller fold recovered work for newly
+    /// dead ranks into the re-sent payloads. Slots of dead ranks are `None`
+    /// in the result, which is tagged with the epoch it completed under.
+    ///
+    /// Within one epoch the exchange is resumable: a transient failure
+    /// (e.g. a marginal timeout) retries only the sends that were never
+    /// acknowledged and the slots never received, so no peer ever sees a
+    /// duplicate frame for the same epoch and later exchanges at that
+    /// epoch cannot mispair. Errors only if retries at a stable view stay
+    /// fruitless `size` times in a row — genuine protocol failure, not a
+    /// death.
+    pub fn alltoall_converged(
+        &mut self,
+        mut make_outgoing: impl FnMut(&ClusterView) -> Vec<Vec<u8>>,
+    ) -> Result<ConvergedExchange, CommError> {
+        let mut fruitless = 0usize;
+        'epoch: loop {
+            let outgoing = make_outgoing(&self.view);
+            assert_eq!(outgoing.len(), self.size, "need one payload per rank");
+            let epoch = self.view.epoch();
+            let mut sent = vec![false; self.size];
+            let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.size];
+            let mut received = vec![false; self.size];
+            loop {
+                self.count_round();
+                for (to, payload) in outgoing.iter().enumerate() {
+                    if sent[to] || !self.view.is_alive(to) {
+                        continue;
+                    }
+                    // Best-effort: an acked send is delivered exactly once
+                    // (receiver-side dedup), so it is never repeated; a
+                    // failed send marks the peer suspect and is retried
+                    // only if the view holds steady.
+                    match self.send_epoch(to, payload) {
+                        Ok(()) => sent[to] = true,
+                        Err(e) => self.record_failure(&e),
+                    }
+                }
+                let mut failure = None;
+                for from in 0..self.size {
+                    if received[from] || !self.view.is_alive(from) {
+                        continue;
+                    }
+                    match self.recv_epoch_from(from) {
+                        Ok(p) => {
+                            slots[from] = Some(p);
+                            received[from] = true;
+                        }
+                        Err(e) => {
+                            self.record_failure(&e);
+                            failure = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if self.detect_failures() {
+                    // The view advanced: this epoch's exchange (complete or
+                    // not) ran under stale membership. Redo it from scratch
+                    // at the new epoch so all survivors complete under a
+                    // common view; peers discard the stale frames.
+                    fruitless = 0;
+                    continue 'epoch;
+                }
+                match failure {
+                    None => return Ok((slots, epoch)),
+                    Some(e) => {
+                        fruitless += 1;
+                        if fruitless >= self.size {
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Self-healing allgather; see [`CommWorld::alltoall_converged`].
+    pub fn allgather_converged(
+        &mut self,
+        mut make_payload: impl FnMut(&ClusterView) -> Vec<u8>,
+    ) -> Result<ConvergedExchange, CommError> {
+        let size = self.size;
+        self.alltoall_converged(|view| vec![make_payload(view); size])
+    }
+}
+
+/// What a converged collective returns: one payload slot per rank (`None`
+/// for dead ranks) plus the membership epoch the exchange completed under.
+pub type ConvergedExchange = (Vec<Option<Vec<u8>>>, u64);
+
+/// Epoch frame header length: one little-endian `u64`.
+const EPOCH_HEADER: usize = 8;
+
+/// Prepends the membership epoch to a payload.
+fn frame_epoch(epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(EPOCH_HEADER + payload.len());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits an epoch-framed message into (epoch, payload).
+fn parse_epoch(frame: &[u8]) -> Result<(u64, &[u8]), CodecError> {
+    if frame.len() < EPOCH_HEADER {
+        return Err(CodecError {
+            len: frame.len(),
+            elem_size: EPOCH_HEADER,
+        });
+    }
+    let epoch = u64::from_le_bytes(frame[..EPOCH_HEADER].try_into().expect("checked length"));
+    Ok((epoch, &frame[EPOCH_HEADER..]))
 }
 
 impl Drop for CommWorld {
@@ -617,6 +943,8 @@ where
             ack_idx: vec![0; p],
             done: done.clone(),
             live,
+            view: ClusterView::all_alive(p),
+            suspected: BTreeSet::new(),
         })
         .collect();
     drop(senders);
@@ -1009,5 +1337,124 @@ mod tests {
             })
         );
         assert_eq!(stats.retransmit_count(), 4);
+    }
+
+    // ---- physical accounting & membership tests ----
+
+    #[test]
+    fn physical_counters_match_logical_without_faults() {
+        let (_, stats) = run_cluster(4, |mut w| {
+            w.allgather(vec![w.rank() as u8; 32]).unwrap();
+        });
+        assert_eq!(stats.physical_bytes(), stats.bytes());
+        assert_eq!(stats.physical_message_count(), stats.message_count());
+        assert_eq!(stats.ack_count(), 0, "no acks without an active plan");
+        let ab = crate::model::AlphaBeta::hpc_default();
+        assert_eq!(
+            stats.modeled_time(&ab, 4),
+            stats.modeled_time_physical(&ab, 4)
+        );
+    }
+
+    #[test]
+    fn drops_inflate_physical_but_not_logical_traffic() {
+        let (_, faulty) = allgather_workload(0.3, 21);
+        let (_, clean) = allgather_workload(0.0, 21);
+        assert_eq!(clean.bytes(), faulty.bytes(), "logical volume is invariant");
+        assert!(
+            faulty.physical_bytes() > faulty.bytes(),
+            "retransmitted frames must show up as wire cost"
+        );
+        assert!(faulty.ack_count() > 0, "delivered frames are acked");
+        let ab = crate::model::AlphaBeta::hpc_default();
+        assert!(faulty.modeled_time_physical(&ab, 4) > faulty.modeled_time(&ab, 4));
+        // Physical traffic is as replayable as everything else.
+        let (_, again) = allgather_workload(0.3, 21);
+        assert_eq!(faulty.physical_bytes(), again.physical_bytes());
+        assert_eq!(faulty.ack_count(), again.ack_count());
+    }
+
+    #[test]
+    fn converged_allgather_survives_a_crash_under_a_common_epoch() {
+        let plan = FaultPlan::new(7).with_crashed(1);
+        let (results, _) = run_cluster_with_faults(4, plan, RetryPolicy::default(), |mut w| {
+            let rank = w.rank();
+            w.allgather_converged(|_| vec![rank as u8; 4]).unwrap()
+        });
+        assert!(results[1].is_none());
+        for (rank, r) in results.iter().enumerate() {
+            if rank == 1 {
+                continue;
+            }
+            let (slots, epoch) = r.as_ref().unwrap();
+            assert_eq!(*epoch, 1, "one detection sweep found the crash");
+            assert!(slots[1].is_none(), "dead rank contributes nothing");
+            for live in [0, 2, 3] {
+                assert_eq!(slots[live].as_ref().unwrap(), &vec![live as u8; 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn converged_allgather_survives_a_mid_exchange_deserter() {
+        // Rank 2 sends a *partial* epoch-0 exchange (lower ranks only) and
+        // walks away without crashing: lower ranks see a seemingly complete
+        // first exchange, higher ranks time out — the converged collective
+        // must still land everyone on the same epoch-1 result.
+        let plan = FaultPlan::new(13).with_deserter(2);
+        let retry = RetryPolicy {
+            ack_timeout: Duration::from_millis(400),
+            recv_timeout: Duration::from_millis(400),
+            ..RetryPolicy::default()
+        };
+        let (results, _) = run_cluster_with_faults(4, plan, retry, |mut w| {
+            let rank = w.rank();
+            if w.fault_plan().deserts(rank) {
+                for to in 0..rank {
+                    let _ = w.send_epoch(to, &[rank as u8; 4]);
+                }
+                return None;
+            }
+            Some(w.allgather_converged(|_| vec![rank as u8; 4]).unwrap())
+        });
+        for (rank, r) in results.iter().enumerate() {
+            let r = r.as_ref().expect("deserters still return");
+            if rank == 2 {
+                assert!(r.is_none());
+                continue;
+            }
+            let (slots, epoch) = r.as_ref().unwrap();
+            assert_eq!(*epoch, 1, "rank {rank} converged on the wrong epoch");
+            assert!(slots[2].is_none(), "deserter contributes nothing");
+            for live in [0, 1, 3] {
+                assert_eq!(slots[live].as_ref().unwrap(), &vec![live as u8; 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn converged_exchanges_chain_without_cross_talk() {
+        // Two back-to-back converged exchanges with a crash: stale frames
+        // from the aborted first attempt must never leak into the second
+        // exchange's slots.
+        let plan = FaultPlan::new(29).with_crashed(0);
+        let (results, _) = run_cluster_with_faults(3, plan, RetryPolicy::default(), |mut w| {
+            let rank = w.rank();
+            let (first, e1) = w
+                .allgather_converged(|_| vec![0xA0 | rank as u8; 3])
+                .unwrap();
+            let (second, e2) = w
+                .allgather_converged(|_| vec![0xB0 | rank as u8; 3])
+                .unwrap();
+            assert_eq!(e1, e2, "no further deaths between the exchanges");
+            (first, second)
+        });
+        for r in results.iter().skip(1) {
+            let (first, second) = r.as_ref().unwrap();
+            for live in [1, 2] {
+                assert_eq!(first[live].as_ref().unwrap(), &vec![0xA0 | live as u8; 3]);
+                assert_eq!(second[live].as_ref().unwrap(), &vec![0xB0 | live as u8; 3]);
+            }
+        }
     }
 }

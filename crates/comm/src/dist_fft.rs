@@ -34,13 +34,16 @@ pub fn try_decode_complex(bytes: &[u8]) -> Result<Vec<Complex64>, CodecError> {
             elem_size: 16,
         });
     }
-    Ok(bytes
-        .chunks_exact(16)
-        .map(|c| Complex64 {
-            re: f64::from_le_bytes(c[0..8].try_into().unwrap()),
-            im: f64::from_le_bytes(c[8..16].try_into().unwrap()),
-        })
-        .collect())
+    let mut halves = bytes.chunks_exact(8).map(|c| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(c);
+        f64::from_le_bytes(b)
+    });
+    let mut out = Vec::with_capacity(bytes.len() / 16);
+    while let (Some(re), Some(im)) = (halves.next(), halves.next()) {
+        out.push(Complex64 { re, im });
+    }
+    Ok(out)
 }
 
 /// Deserializes little-endian f64 pairs into complex values. Panics on
@@ -82,11 +85,24 @@ pub fn transpose_exchange(
     let incoming = world.alltoall(outgoing)?;
     // Assemble: from source s we got (a_loc in s's range, b_loc in ours, z).
     let my_rank = world.rank();
-    let _ = my_rank;
     let mut out = vec![Complex64::ZERO; c * n * n];
     for (s, payload) in incoming.iter().enumerate() {
-        let block = decode_complex(payload);
-        assert_eq!(block.len(), c * c * n, "unexpected block from rank {s}");
+        // A truncated, ragged or wrong-shape block is a typed error, not a
+        // panic: the frame crossed a (simulated) wire.
+        let block = try_decode_complex(payload).map_err(|e| CommError::Decode {
+            rank: my_rank,
+            peer: s,
+            len: e.len,
+            elem_size: e.elem_size,
+        })?;
+        if block.len() != c * c * n {
+            return Err(CommError::Decode {
+                rank: my_rank,
+                peer: s,
+                len: payload.len(),
+                elem_size: 16,
+            });
+        }
         for a_loc in 0..c {
             let a = s * c + a_loc;
             for b_loc in 0..c {

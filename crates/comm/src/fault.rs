@@ -40,6 +40,27 @@ pub enum CommError {
     },
     /// The peer's endpoint no longer exists (its thread exited or panicked).
     Disbanded { rank: usize, peer: usize },
+    /// A received payload could not be decoded (truncated or ragged frame).
+    Decode {
+        rank: usize,
+        peer: usize,
+        /// Payload length in bytes.
+        len: usize,
+        /// Element size the decoder expected (0 when the frame was too
+        /// short to carry its fixed-size header).
+        elem_size: usize,
+    },
+    /// An epoch-tagged frame arrived from a *newer* membership epoch than
+    /// this rank's [`crate::membership::ClusterView`]: the peer has observed
+    /// a failure this rank has not yet detected. The caller should run
+    /// [`crate::cluster::CommWorld::detect_failures`] and retry the
+    /// collective. (Frames from *older* epochs are silently discarded.)
+    EpochMismatch {
+        rank: usize,
+        peer: usize,
+        local_epoch: u64,
+        remote_epoch: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -74,6 +95,45 @@ impl fmt::Display for CommError {
             CommError::Disbanded { rank, peer } => {
                 write!(f, "rank {rank}: rank {peer} hung up (cluster disbanded)")
             }
+            CommError::Decode {
+                rank,
+                peer,
+                len,
+                elem_size,
+            } => write!(
+                f,
+                "rank {rank}: undecodable {len}-byte frame from rank {peer} \
+                 (expected whole {elem_size}-byte elements)"
+            ),
+            CommError::EpochMismatch {
+                rank,
+                peer,
+                local_epoch,
+                remote_epoch,
+            } => write!(
+                f,
+                "rank {rank}: frame from rank {peer} carries epoch \
+                 {remote_epoch} but local view is at epoch {local_epoch}"
+            ),
+        }
+    }
+}
+
+impl CommError {
+    /// The peer this error implicates, if it names one — the input to
+    /// failure suspicion (see
+    /// [`crate::cluster::CommWorld::record_failure`]). Barrier timeouts
+    /// implicate nobody in particular.
+    pub fn implicated_peer(&self) -> Option<usize> {
+        match self {
+            CommError::Timeout { waiting_on, .. } => {
+                (*waiting_on != usize::MAX).then_some(*waiting_on)
+            }
+            CommError::PeerCrashed { peer, .. }
+            | CommError::RetriesExhausted { peer, .. }
+            | CommError::Disbanded { peer, .. }
+            | CommError::Decode { peer, .. }
+            | CommError::EpochMismatch { peer, .. } => Some(*peer),
         }
     }
 }
@@ -119,6 +179,14 @@ pub struct FaultPlan {
     /// Ranks that never start. Sends/recvs touching them fail fast with
     /// [`CommError::PeerCrashed`].
     pub crashed_ranks: BTreeSet<usize>,
+    /// Ranks that start, finish their local compute, then die *during* the
+    /// sparse accumulation exchange (they transmit to only part of the
+    /// cluster before exiting). Unlike [`FaultPlan::crashed_ranks`], peers
+    /// get no fail-fast signal: traffic with a deserter surfaces as
+    /// [`CommError::Timeout`] / [`CommError::Disbanded`], and survivors must
+    /// *detect* the death and re-converge
+    /// (see [`crate::cluster::CommWorld::detect_failures`]).
+    pub desert_ranks: BTreeSet<usize>,
 }
 
 impl Default for FaultPlan {
@@ -138,6 +206,7 @@ impl FaultPlan {
             delay_steps: 0,
             delay_unit: Duration::from_micros(100),
             crashed_ranks: BTreeSet::new(),
+            desert_ranks: BTreeSet::new(),
         }
     }
 
@@ -179,6 +248,14 @@ impl FaultPlan {
         self
     }
 
+    /// Makes `rank` a deserter: it runs its local phase, then dies mid-way
+    /// through the accumulation exchange without any fail-fast signal to
+    /// its peers.
+    pub fn with_deserter(mut self, rank: usize) -> Self {
+        self.desert_ranks.insert(rank);
+        self
+    }
+
     /// Whether any perturbation is configured. Inert plans skip the
     /// reliability protocol entirely.
     pub fn is_active(&self) -> bool {
@@ -187,11 +264,32 @@ impl FaultPlan {
             || self.ack_drop_prob > 0.0
             || self.delay_steps > 0
             || !self.crashed_ranks.is_empty()
+            || !self.desert_ranks.is_empty()
     }
 
     /// Whether `rank` is crashed in this plan.
     pub fn is_crashed(&self, rank: usize) -> bool {
         self.crashed_ranks.contains(&rank)
+    }
+
+    /// Whether `rank` dies mid-exchange in this plan. Workloads consult
+    /// this for their *own* rank (to act out the death); peers must not —
+    /// the whole point is that a desertion is only observable through
+    /// failed communication.
+    pub fn deserts(&self, rank: usize) -> bool {
+        self.desert_ranks.contains(&rank)
+    }
+
+    /// Ranks that are dead or doomed under this plan — the ground truth a
+    /// health probe converges on (see
+    /// [`crate::cluster::CommWorld::detect_failures`]).
+    pub fn doomed_ranks(&self, p: usize) -> BTreeSet<usize> {
+        self.crashed_ranks
+            .iter()
+            .chain(self.desert_ranks.iter())
+            .copied()
+            .filter(|&r| r < p)
+            .collect()
     }
 
     /// Number of ranks (out of `p`) that actually run.
@@ -253,6 +351,11 @@ impl FaultPlan {
 
 /// Bounds on the reliability machinery: how hard to retry and how long to
 /// wait before declaring a typed failure instead of deadlocking.
+///
+/// All protocol deadlines (ack, recv, barrier, end-of-run drain) live here
+/// rather than as constants in the protocol code; use
+/// [`RetryPolicy::scaled_for`] to derive deadlines appropriate for a
+/// cluster of `p` ranks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Maximum transmissions per logical send before
@@ -269,7 +372,14 @@ pub struct RetryPolicy {
     pub recv_timeout: Duration,
     /// Maximum wait at a barrier.
     pub barrier_timeout: Duration,
+    /// Maximum wait in the end-of-run drain that services straggler
+    /// retransmissions after a rank's closure returns.
+    pub drain_timeout: Duration,
 }
+
+/// The configured protocol deadlines and retry bounds — the name the
+/// recovery layer uses for [`RetryPolicy`].
+pub type RetryConfig = RetryPolicy;
 
 impl Default for RetryPolicy {
     fn default() -> Self {
@@ -280,11 +390,30 @@ impl Default for RetryPolicy {
             backoff_cap: Duration::from_millis(2),
             recv_timeout: Duration::from_secs(30),
             barrier_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(10),
         }
     }
 }
 
 impl RetryPolicy {
+    /// Deadlines scaled for a `p`-rank cluster: every blocking wait covers
+    /// `base · (1 + log₂ p)`, since collectives serialize across more peers
+    /// (and more concurrent rank threads share the host) as `p` grows.
+    /// Each deadline is the default divided by 4 times that factor, so
+    /// `scaled_for(8)` exactly reproduces [`RetryPolicy::default`], smaller
+    /// clusters fail faster, and larger ones wait proportionally longer.
+    pub fn scaled_for(p: usize) -> Self {
+        let d = RetryPolicy::default();
+        let f = 1 + p.max(1).next_power_of_two().trailing_zeros();
+        let scale = |base: Duration| base / 4 * f;
+        RetryPolicy {
+            ack_timeout: scale(d.ack_timeout),
+            recv_timeout: scale(d.recv_timeout),
+            barrier_timeout: scale(d.barrier_timeout),
+            drain_timeout: scale(d.drain_timeout),
+            ..d
+        }
+    }
     /// Backoff pause before transmission `attempt` (attempt 0 pays none).
     pub fn backoff(&self, attempt: u32) -> Duration {
         if attempt == 0 {
@@ -352,6 +481,66 @@ mod tests {
         assert_eq!(policy.backoff(0), Duration::ZERO);
         assert!(policy.backoff(1) <= policy.backoff(2));
         assert!(policy.backoff(12) <= policy.backoff_cap);
+    }
+
+    #[test]
+    fn deserters_are_active_and_doomed_but_not_crashed() {
+        let plan = FaultPlan::new(4).with_deserter(1).with_crashed(3);
+        assert!(plan.is_active());
+        assert!(plan.deserts(1) && !plan.deserts(3));
+        assert!(plan.is_crashed(3) && !plan.is_crashed(1));
+        // Deserters still start, so they count as live…
+        assert_eq!(plan.live_count(4), 3);
+        // …but a health probe reports both as doomed.
+        let doomed: Vec<usize> = plan.doomed_ranks(4).into_iter().collect();
+        assert_eq!(doomed, vec![1, 3]);
+        // Out-of-range ranks are excluded from the probe.
+        assert_eq!(plan.doomed_ranks(1).len(), 0);
+    }
+
+    #[test]
+    fn scaled_deadlines_grow_with_cluster_size() {
+        let small = RetryConfig::scaled_for(2);
+        let med = RetryConfig::scaled_for(8);
+        let big = RetryConfig::scaled_for(64);
+        assert!(small.recv_timeout < med.recv_timeout);
+        assert!(med.recv_timeout < big.recv_timeout);
+        assert!(small.barrier_timeout < big.barrier_timeout);
+        // p = 8 reproduces the defaults exactly.
+        assert_eq!(med, RetryPolicy::default());
+        assert_eq!(big.ack_timeout, RetryPolicy::default().ack_timeout / 4 * 7);
+    }
+
+    #[test]
+    fn implicated_peer_extraction() {
+        let e = CommError::Timeout {
+            op: "recv_from",
+            rank: 0,
+            waiting_on: 3,
+        };
+        assert_eq!(e.implicated_peer(), Some(3));
+        let e = CommError::Timeout {
+            op: "barrier",
+            rank: 0,
+            waiting_on: usize::MAX,
+        };
+        assert_eq!(e.implicated_peer(), None);
+        let e = CommError::EpochMismatch {
+            rank: 1,
+            peer: 2,
+            local_epoch: 0,
+            remote_epoch: 1,
+        };
+        assert_eq!(e.implicated_peer(), Some(2));
+        assert!(e.to_string().contains("epoch 1"));
+        let e = CommError::Decode {
+            rank: 1,
+            peer: 0,
+            len: 9,
+            elem_size: 8,
+        };
+        assert_eq!(e.implicated_peer(), Some(0));
+        assert!(e.to_string().contains("9-byte"));
     }
 
     #[test]

@@ -19,20 +19,28 @@
 //!   decision is a keyed hash of the plan seed, so chaos runs replay
 //!   bit-for-bit.
 
+//! * [`membership`] — epoch-stamped [`ClusterView`]s: each endpoint's
+//!   belief about who is alive, advanced by `CommWorld::detect_failures`
+//!   sweeps so that all survivors of a fault seed converge on the same
+//!   view sequence, enabling the self-healing epoch-tagged collectives
+//!   (`alltoall_converged` / `allgather_converged`).
+
 pub mod cluster;
 pub mod dist_fft;
 pub mod fault;
+pub mod membership;
 pub mod model;
 pub mod pencil_fft;
 
 pub use cluster::{
     decode_f64s, encode_f64s, run_cluster, run_cluster_with_faults, try_decode_f64s, CodecError,
-    CommStats, CommWorld,
+    CommStats, CommWorld, ConvergedExchange, ACK_WIRE_BYTES,
 };
 pub use dist_fft::{
     convolve_distributed, decode_complex, encode_complex, forward_3d, gather_slabs, inverse_3d,
     scatter_slabs, transpose_exchange, try_decode_complex,
 };
-pub use fault::{CommError, FaultPlan, RetryPolicy};
+pub use fault::{CommError, FaultPlan, RetryConfig, RetryPolicy};
+pub use membership::ClusterView;
 pub use model::{lowcomm_volume, traditional_conv_volume, AlphaBeta, CommScenario};
 pub use pencil_fft::{grid_coords, pencil_forward_3d, pencil_inverse_3d, sub_alltoall};

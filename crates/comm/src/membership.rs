@@ -1,0 +1,117 @@
+//! Epoch-stamped cluster membership.
+//!
+//! A [`ClusterView`] is one rank's belief about which ranks are alive. It
+//! starts optimistic (everyone alive, epoch 0) and only ever shrinks: each
+//! [`crate::cluster::CommWorld::detect_failures`] sweep that discovers new
+//! deaths bumps the epoch. Because detection is driven by typed
+//! [`crate::fault::CommError`]s and confirmed against the deterministic
+//! [`crate::fault::FaultPlan`] (the simulator's stand-in for a health
+//! probe), every survivor of a given fault seed converges on the *same*
+//! sequence of views — same members, same epochs — regardless of thread
+//! interleaving. That shared view is what lets the epoch-tagged collectives
+//! ([`crate::cluster::CommWorld::alltoall_epoch`]) discard stale traffic
+//! from before a failure and re-run an exchange deterministically.
+
+use std::collections::BTreeSet;
+
+/// One rank's epoch-stamped belief about cluster membership.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterView {
+    size: usize,
+    epoch: u64,
+    dead: BTreeSet<usize>,
+}
+
+impl ClusterView {
+    /// The optimistic initial view: all `size` ranks alive, epoch 0.
+    pub fn all_alive(size: usize) -> Self {
+        ClusterView {
+            size,
+            epoch: 0,
+            dead: BTreeSet::new(),
+        }
+    }
+
+    /// Total rank count (alive and dead).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Membership epoch: bumped once per detection sweep that found new
+    /// deaths. Two views with equal epochs from the same run agree on the
+    /// member set.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `rank` is believed alive.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        rank < self.size && !self.dead.contains(&rank)
+    }
+
+    /// Ranks believed dead, ascending.
+    pub fn dead_ranks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dead.iter().copied()
+    }
+
+    /// Ranks believed alive, ascending.
+    pub fn live_ranks(&self) -> Vec<usize> {
+        (0..self.size).filter(|&r| self.is_alive(r)).collect()
+    }
+
+    /// Number of ranks believed alive.
+    pub fn live_count(&self) -> usize {
+        self.size - self.dead.len()
+    }
+
+    /// Replaces the dead set, bumping the epoch iff membership changed.
+    /// Views only shrink: resurrecting a dead rank is a logic error.
+    pub(crate) fn observe_dead(&mut self, dead: BTreeSet<usize>) -> bool {
+        debug_assert!(
+            self.dead.is_subset(&dead),
+            "membership views must be monotone: {:?} -> {:?}",
+            self.dead,
+            dead
+        );
+        if dead == self.dead {
+            return false;
+        }
+        self.dead = dead;
+        self.epoch += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_optimistic() {
+        let v = ClusterView::all_alive(4);
+        assert_eq!(v.epoch(), 0);
+        assert_eq!(v.live_count(), 4);
+        assert!(v.is_alive(0) && v.is_alive(3));
+        assert!(!v.is_alive(4), "out-of-range ranks are not members");
+        assert_eq!(v.live_ranks(), vec![0, 1, 2, 3]);
+        assert_eq!(v.dead_ranks().count(), 0);
+    }
+
+    #[test]
+    fn epoch_bumps_only_on_change() {
+        let mut v = ClusterView::all_alive(4);
+        assert!(!v.observe_dead(BTreeSet::new()));
+        assert_eq!(v.epoch(), 0);
+        assert!(v.observe_dead(BTreeSet::from([2])));
+        assert_eq!(v.epoch(), 1);
+        assert!(!v.is_alive(2));
+        assert_eq!(v.live_ranks(), vec![0, 1, 3]);
+        // Same set again: no epoch change.
+        assert!(!v.observe_dead(BTreeSet::from([2])));
+        assert_eq!(v.epoch(), 1);
+        // A further death: epoch 2.
+        assert!(v.observe_dead(BTreeSet::from([2, 3])));
+        assert_eq!(v.epoch(), 2);
+        assert_eq!(v.live_count(), 2);
+    }
+}

@@ -36,6 +36,18 @@ impl AlphaBeta {
         self.alpha + self.beta * bytes as f64
     }
 
+    /// Time for `messages` messages moving `bytes` total across `p`
+    /// concurrently-injecting ranks on dedicated links: each rank's share
+    /// of the messages pays α and its share of the volume pays β serially.
+    /// This is the shared kernel behind both the logical
+    /// (`CommStats::modeled_time`) and physical
+    /// (`CommStats::modeled_time_physical`) wall-time estimates, so the
+    /// two are directly comparable.
+    pub fn cluster_time(&self, messages: u64, bytes: u64, p: usize) -> f64 {
+        let p = p.max(1) as f64;
+        (messages as f64 / p) * self.alpha + (bytes as f64 / p) * self.beta
+    }
+
     /// Time for a full-exchange all-to-all where every rank sends
     /// `per_peer_bytes` to each of the other `p−1` ranks (direct algorithm:
     /// p−1 rounds over one port).

@@ -41,6 +41,7 @@ pub mod adaptive;
 pub mod lowcomm;
 pub mod memory_model;
 pub mod pipeline;
+pub mod recovery;
 pub mod tensor_pipeline;
 pub mod traditional;
 
@@ -51,5 +52,6 @@ pub use memory_model::{
     traditional_fits, PipelineFootprint, Table1Row, TABLE1_CASES,
 };
 pub use pipeline::LocalConvolver;
+pub use recovery::{DomainClaim, RecoveryPlan, RecoveryPlanner, RecoveryPolicy};
 pub use tensor_pipeline::TensorKernelSpectrum;
 pub use traditional::TraditionalConvolver;

@@ -14,13 +14,14 @@
 //! *coarsest* rate (cheap, low-resolution) so availability is preserved and
 //! only accuracy suffers — see [`LowCommConvolver::accumulate_degraded`].
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rayon::prelude::*;
 
 use lcc_greens::KernelSpectrum;
 use lcc_grid::{decompose_uniform, BoxRegion, Grid3};
-use lcc_octree::{CompressedField, RateSchedule, SamplingPlan};
+use lcc_octree::{CompressedField, PlanCache, RateSchedule, SamplingPlan};
 
 use crate::pipeline::LocalConvolver;
 
@@ -71,6 +72,15 @@ pub struct ConvolveReport {
     /// The uniform sampling rate used for degraded reconstruction
     /// (`None` when nothing degraded).
     pub degraded_rate: Option<u32>,
+    /// Sub-domains a dead rank owned that survivors recomputed *exactly*
+    /// (same plan, same pipeline — bit-identical contributions).
+    pub recovered_domains: usize,
+    /// Modeled flops the exact recomputes cost on top of the fault-free
+    /// run (see [`LocalConvolver::flops_estimate`]).
+    pub recovery_extra_flops: f64,
+    /// Extra bytes the recovered contributions add to the single sparse
+    /// exchange.
+    pub recovery_extra_bytes: usize,
 }
 
 /// Former name of [`ConvolveReport`], kept for downstream code.
@@ -80,6 +90,11 @@ pub type RunReport = ConvolveReport;
 pub struct LowCommConvolver {
     cfg: LowCommConfig,
     local: LocalConvolver,
+    /// Memoized plans under the configured schedule: owners, decoders and
+    /// recovery claimants all share one plan per response region.
+    plans: PlanCache,
+    /// Memoized coarsest-rate plans for degraded reconstruction.
+    degraded_plans: PlanCache,
 }
 
 impl LowCommConvolver {
@@ -87,7 +102,23 @@ impl LowCommConvolver {
     pub fn new(cfg: LowCommConfig) -> Self {
         cfg.schedule.validate().expect("invalid schedule");
         let local = LocalConvolver::new(cfg.n, cfg.k, cfg.batch);
-        LowCommConvolver { cfg, local }
+        let plans = PlanCache::new(cfg.n, cfg.schedule.clone());
+        let coarsest = {
+            let s = &cfg.schedule;
+            s.bands
+                .iter()
+                .map(|b| b.rate)
+                .chain([s.far_rate, s.boundary_rate.max(1)])
+                .max()
+                .unwrap_or(1)
+        };
+        let degraded_plans = PlanCache::new(cfg.n, RateSchedule::uniform(coarsest));
+        LowCommConvolver {
+            cfg,
+            local,
+            plans,
+            degraded_plans,
+        }
     }
 
     /// The configuration.
@@ -124,9 +155,16 @@ impl LowCommConvolver {
         BoxRegion::new(lo, hi)
     }
 
-    /// Builds the sampling plan for one sub-domain's *response region*.
+    /// The sampling plan for one sub-domain's *response region*, memoized:
+    /// repeated requests (decode paths, recovery claimants) share the plan
+    /// the original computation used.
     pub fn plan_for(&self, domain: BoxRegion) -> Arc<SamplingPlan> {
-        Arc::new(SamplingPlan::build(self.cfg.n, domain, &self.cfg.schedule))
+        self.plans.plan_for(domain)
+    }
+
+    /// The memoized plan store (for cache-efficiency reporting).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
     }
 
     /// Computes the compressed contributions of every (nonzero) sub-domain.
@@ -226,15 +264,90 @@ impl LowCommConvolver {
         if sub.as_slice().iter().all(|&v| v == 0.0) {
             return None;
         }
-        let plan = Arc::new(SamplingPlan::build(
-            self.cfg.n,
-            self.response_region(domain, kernel),
-            &self.degraded_schedule(),
-        ));
+        let plan = self
+            .degraded_plans
+            .plan_for(self.response_region(domain, kernel));
         Some(
             self.local
                 .convolve_compressed(&sub, domain.lo, kernel, plan),
         )
+    }
+
+    /// Recomputes one sub-domain's contribution *exactly* — the same plan
+    /// (via the memo) and the same pruned-FFT pipeline the dead owner
+    /// would have run, so the samples are bit-identical to the fault-free
+    /// run's. Returns `None` for identically-zero domains. This is what a
+    /// recovery claimant executes per [`crate::recovery::DomainClaim`].
+    pub fn compress_domain_exact(
+        &self,
+        input: &Grid3<f64>,
+        domain: &BoxRegion,
+        kernel: &dyn KernelSpectrum,
+    ) -> Option<CompressedField> {
+        let sub = input.extract(domain);
+        if sub.as_slice().iter().all(|&v| v == 0.0) {
+            return None;
+        }
+        let plan = self.plan_for(self.response_region(domain, kernel));
+        Some(
+            self.local
+                .convolve_compressed(&sub, domain.lo, kernel, plan),
+        )
+    }
+
+    /// Accumulation with recovery accounting: folds per-domain
+    /// contributions **in ascending domain-id order** — the one fold order
+    /// every rank can reproduce regardless of who computed what, which is
+    /// what makes a redistributed run bit-identical to a fault-free run of
+    /// the same fold — then rebuilds `degraded` orphans locally at the
+    /// coarsest rate.
+    ///
+    /// `recovered` lists the domain ids in `contributions` that were
+    /// recomputed by claimants rather than their original owners; their
+    /// modeled flop and byte cost is charged to the report.
+    pub fn accumulate_with_recovery(
+        &self,
+        contributions: &BTreeMap<usize, CompressedField>,
+        input: &Grid3<f64>,
+        kernel: &dyn KernelSpectrum,
+        recovered: &[usize],
+        degraded: &[(usize, BoxRegion)],
+    ) -> (Grid3<f64>, ConvolveReport) {
+        let n = self.cfg.n;
+        let cube = BoxRegion::cube(n);
+        let mut out = Grid3::zeros((n, n, n));
+        let mut report = ConvolveReport {
+            dense_stage_bytes: n * n * n * 16,
+            ..Default::default()
+        };
+        // BTreeMap iteration is ascending by domain id.
+        for f in contributions.values() {
+            f.add_region_into(&cube, &mut out, 1.0);
+            report.domains_processed += 1;
+            report.total_samples += f.plan().total_samples();
+            report.exchange_bytes += f.message_bytes();
+        }
+        for &id in recovered {
+            let f = contributions
+                .get(&id)
+                .expect("recovered id must have a contribution");
+            report.recovered_domains += 1;
+            report.recovery_extra_flops += self.local.flops_estimate(f.plan());
+            report.recovery_extra_bytes += f.message_bytes();
+        }
+        for (_, d) in degraded {
+            match self.compress_domain_degraded(input, d, kernel) {
+                Some(f) => {
+                    f.add_region_into(&cube, &mut out, 1.0);
+                    report.degraded_domains += 1;
+                }
+                None => report.domains_skipped += 1,
+            }
+        }
+        if report.degraded_domains > 0 {
+            report.degraded_rate = Some(self.coarsest_rate());
+        }
+        (out, report)
     }
 
     /// Graceful degradation: accumulates the surviving ranks' compressed

@@ -231,6 +231,28 @@ impl LocalConvolver {
         field
     }
 
+    /// Modeled flop count of one [`LocalConvolver::convolve_compressed`]
+    /// call under `plan`, using the standard `5·N·log₂N` per-transform
+    /// count ([`lcc_device::fft_flops`]):
+    ///
+    /// * stage 1 — per z-slice, `k` pruned row FFTs + `n` column FFTs,
+    ///   each length `n`, over `k` slices;
+    /// * stage 2 — `n²` pencils, each a pruned forward + a dense inverse
+    ///   length-`n` FFT plus the 6-flop complex pointwise multiply per bin;
+    /// * stage 3 — one inverse 2D FFT (`2n` length-`n` transforms) per
+    ///   retained z-plane.
+    ///
+    /// This is the unit the recovery accounting uses to price an exact
+    /// recompute of a dead rank's domain.
+    pub fn flops_estimate(&self, plan: &SamplingPlan) -> f64 {
+        let (n, k) = (self.n, self.k);
+        let retained = plan.retained_z().len();
+        let stage1 = lcc_device::fft_flops(n, k * (k + n));
+        let stage2 = lcc_device::fft_flops(n, 2 * n * n) + 6.0 * (n * n * n) as f64;
+        let stage3 = lcc_device::fft_flops(n, retained * 2 * n);
+        stage1 + stage2 + stage3
+    }
+
     /// The device-footprint model for this pipeline under `plan`
     /// (Table 4's "estimated" vs "actual" columns).
     pub fn footprint(&self, plan: &SamplingPlan) -> PipelineFootprint {

@@ -1,0 +1,267 @@
+//! Recovery planning: who recomputes a dead rank's sub-domains, and how.
+//!
+//! The paper's economics make exact recovery affordable: the one sparse
+//! exchange is so much cheaper than a distributed FFT (Eq. 6 vs Eq. 1)
+//! that when a rank dies, survivors can recompute the lost sub-domains
+//! *exactly* — same pruned-FFT pipeline, same sampling plans — and fold the
+//! recomputed contributions into the same single exchange, keeping the
+//! result bit-identical to the fault-free run.
+//!
+//! A [`RecoveryPlanner`] turns (domains, ownership, membership) into a
+//! [`RecoveryPlan`]: orphaned domains are claimed round-robin by the sorted
+//! survivors, capped by the [`RecoveryPolicy`]'s per-claimant budget;
+//! anything over budget falls back to the PR 1 degraded path (coarsest-rate
+//! local reconstruction on every rank). The planner is a pure function of
+//! its inputs, so every survivor computes the identical plan without any
+//! extra communication — determinism is what makes the folded exchange
+//! consistent.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lcc_grid::BoxRegion;
+
+/// How survivors make up for a dead rank's lost sub-domains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// No exact recompute: every orphan is rebuilt locally at the
+    /// schedule's coarsest rate (cheap, lossy — the PR 1 behavior).
+    Degrade,
+    /// Exact recompute of up to `max_extra_domains` orphans per claimant;
+    /// any overflow degrades. `usize::MAX` means "recover everything".
+    Redistribute { max_extra_domains: usize },
+    /// One exact domain per claimant, the rest degraded: bounded extra
+    /// latency with most of the accuracy back.
+    Hybrid,
+}
+
+impl RecoveryPolicy {
+    /// Exact-recompute budget per claimant.
+    pub fn exact_budget(&self) -> usize {
+        match self {
+            RecoveryPolicy::Degrade => 0,
+            RecoveryPolicy::Redistribute { max_extra_domains } => *max_extra_domains,
+            RecoveryPolicy::Hybrid => 1,
+        }
+    }
+
+    /// Short stable name for reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Degrade => "degrade",
+            RecoveryPolicy::Redistribute { .. } => "redistribute",
+            RecoveryPolicy::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// One orphaned sub-domain assigned to a survivor for exact recompute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DomainClaim {
+    /// Global domain id (index into the decomposition).
+    pub domain_id: usize,
+    /// The sub-domain region.
+    pub domain: BoxRegion,
+    /// The surviving rank that recomputes it.
+    pub claimant: usize,
+}
+
+/// The deterministic recovery assignment all survivors agree on.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryPlan {
+    /// Dead ranks the plan compensates for, ascending.
+    pub dead: Vec<usize>,
+    /// Exact-recompute claims, ascending by domain id.
+    pub claims: Vec<DomainClaim>,
+    /// Orphans over every claimant's budget: rebuilt locally at the
+    /// coarsest rate by each rank, ascending by domain id.
+    pub degraded: Vec<(usize, BoxRegion)>,
+}
+
+impl RecoveryPlan {
+    /// Whether there is anything to recover.
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty() && self.degraded.is_empty()
+    }
+
+    /// Total orphaned domains the plan covers.
+    pub fn orphan_count(&self) -> usize {
+        self.claims.len() + self.degraded.len()
+    }
+
+    /// The claims assigned to `rank`, ascending by domain id.
+    pub fn claims_for(&self, rank: usize) -> impl Iterator<Item = &DomainClaim> + '_ {
+        self.claims.iter().filter(move |c| c.claimant == rank)
+    }
+}
+
+/// Deterministic re-partitioner of orphaned sub-domains.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPlanner {
+    policy: RecoveryPolicy,
+}
+
+impl RecoveryPlanner {
+    /// A planner applying `policy`.
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        RecoveryPlanner { policy }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Plans recovery of every domain whose owner is dead.
+    ///
+    /// `owner(id)` is the original assignment (e.g. round-robin
+    /// `id % p`); `survivors` and `dead` partition the ranks that matter.
+    /// Orphans are enumerated in ascending domain-id order and dealt
+    /// round-robin to the ascending survivor list, so any rank — given the
+    /// same membership view — derives the identical plan with no
+    /// coordination.
+    pub fn plan(
+        &self,
+        domains: &[BoxRegion],
+        owner: impl Fn(usize) -> usize,
+        survivors: &[usize],
+        dead: &[usize],
+    ) -> RecoveryPlan {
+        let dead: BTreeSet<usize> = dead.iter().copied().collect();
+        let mut survivors: Vec<usize> = survivors
+            .iter()
+            .copied()
+            .filter(|r| !dead.contains(r))
+            .collect();
+        survivors.sort_unstable();
+        survivors.dedup();
+        assert!(
+            !survivors.is_empty(),
+            "recovery needs at least one survivor"
+        );
+
+        let budget = self.policy.exact_budget();
+        let mut load: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut plan = RecoveryPlan {
+            dead: dead.iter().copied().collect(),
+            ..Default::default()
+        };
+        let orphans = domains
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| dead.contains(&owner(*id)));
+        for (j, (id, region)) in orphans.enumerate() {
+            let claimant = survivors[j % survivors.len()];
+            let used = load.entry(claimant).or_insert(0);
+            if *used < budget {
+                *used += 1;
+                plan.claims.push(DomainClaim {
+                    domain_id: id,
+                    domain: *region,
+                    claimant,
+                });
+            } else {
+                plan.degraded.push((id, *region));
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcc_grid::decompose_uniform;
+
+    fn domains() -> Vec<BoxRegion> {
+        decompose_uniform(32, 8) // 64 domains
+    }
+
+    #[test]
+    fn degrade_claims_nothing() {
+        let d = domains();
+        let plan =
+            RecoveryPlanner::new(RecoveryPolicy::Degrade).plan(&d, |id| id % 4, &[0, 2, 3], &[1]);
+        assert!(plan.claims.is_empty());
+        assert_eq!(plan.degraded.len(), 16, "a quarter of 64 domains orphaned");
+        assert_eq!(plan.orphan_count(), 16);
+        assert_eq!(plan.dead, vec![1]);
+    }
+
+    #[test]
+    fn redistribute_covers_all_orphans_round_robin() {
+        let d = domains();
+        let plan = RecoveryPlanner::new(RecoveryPolicy::Redistribute {
+            max_extra_domains: usize::MAX,
+        })
+        .plan(&d, |id| id % 4, &[0, 2, 3], &[1]);
+        assert!(plan.degraded.is_empty());
+        assert_eq!(plan.claims.len(), 16);
+        // Orphans are ids ≡ 1 (mod 4), dealt to survivors 0,2,3 in turn.
+        assert_eq!(plan.claims[0].domain_id, 1);
+        assert_eq!(plan.claims[0].claimant, 0);
+        assert_eq!(plan.claims[1].domain_id, 5);
+        assert_eq!(plan.claims[1].claimant, 2);
+        assert_eq!(plan.claims[2].domain_id, 9);
+        assert_eq!(plan.claims[2].claimant, 3);
+        assert_eq!(plan.claims[3].claimant, 0, "round-robin wraps");
+        // Even split: 16 orphans over 3 claimants.
+        let mine: Vec<_> = plan.claims_for(0).map(|c| c.domain_id).collect();
+        assert_eq!(mine.len(), 6);
+        assert!(mine.windows(2).all(|w| w[0] < w[1]), "ascending ids");
+    }
+
+    #[test]
+    fn budget_overflow_degrades_the_rest() {
+        let d = domains();
+        let plan = RecoveryPlanner::new(RecoveryPolicy::Redistribute {
+            max_extra_domains: 2,
+        })
+        .plan(&d, |id| id % 4, &[0, 2, 3], &[1]);
+        assert_eq!(plan.claims.len(), 6, "3 claimants × budget 2");
+        assert_eq!(plan.degraded.len(), 10);
+        assert_eq!(plan.orphan_count(), 16);
+        // Hybrid is the budget-1 special case.
+        let hybrid =
+            RecoveryPlanner::new(RecoveryPolicy::Hybrid).plan(&d, |id| id % 4, &[0, 2, 3], &[1]);
+        assert_eq!(hybrid.claims.len(), 3);
+        assert_eq!(hybrid.degraded.len(), 13);
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_membership() {
+        let d = domains();
+        let planner = RecoveryPlanner::new(RecoveryPolicy::Redistribute {
+            max_extra_domains: usize::MAX,
+        });
+        // Unsorted, duplicated survivor lists still give the same plan.
+        let a = planner.plan(&d, |id| id % 4, &[3, 0, 2], &[1]);
+        let b = planner.plan(&d, |id| id % 4, &[0, 2, 3, 0], &[1]);
+        assert_eq!(a.claims, b.claims);
+        assert_eq!(a.degraded, b.degraded);
+        // No deaths → nothing to do.
+        let empty = planner.plan(&d, |id| id % 4, &[0, 1, 2, 3], &[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn two_dead_ranks_orphan_both_shares() {
+        let d = domains();
+        let plan = RecoveryPlanner::new(RecoveryPolicy::Redistribute {
+            max_extra_domains: usize::MAX,
+        })
+        .plan(&d, |id| id % 4, &[0, 2], &[1, 3]);
+        assert_eq!(plan.orphan_count(), 32);
+        assert_eq!(plan.dead, vec![1, 3]);
+        assert!(plan
+            .claims
+            .iter()
+            .all(|c| c.claimant == 0 || c.claimant == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one survivor")]
+    fn no_survivors_is_rejected() {
+        let d = domains();
+        RecoveryPlanner::new(RecoveryPolicy::Hybrid).plan(&d, |id| id % 2, &[1], &[0, 1]);
+    }
+}

@@ -1,0 +1,414 @@
+//! Versioned, checksummed fixed-point solver checkpoints.
+//!
+//! The basic scheme's iterate is a pure function of the strain field —
+//! stress is recomputed as `σ = C(x) : ε` on resume — so a snapshot of
+//! `(strain, residual history)` restores a killed run *bit-identically*:
+//! the resumed trajectory matches an uninterrupted one to the last ULP.
+//!
+//! On-disk layout (all integers and floats little-endian):
+//!
+//! ```text
+//! magic "LCCMCKPT" | version u32 | n u64 | iteration u64 | nres u64
+//! residuals  f64 × nres
+//! strain     f64 × 6n³        (Voigt component-major: xx yy zz yz xz xy)
+//! checksum   FNV-1a 64 over everything above
+//! ```
+//!
+//! [`write`] is atomic (tmp file + rename), so a crash mid-write leaves
+//! the previous checkpoint intact; [`load`] refuses anything with a bad
+//! magic, unknown version, wrong length, or mismatched checksum, and
+//! [`validate`] performs the same checks without materializing the field.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::fields::TensorField;
+
+/// File magic, first 8 bytes of every checkpoint.
+pub const MAGIC: [u8; 8] = *b"LCCMCKPT";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+const HEADER_BYTES: usize = 8 + 4 + 8 + 8 + 8;
+const CHECKSUM_BYTES: usize = 8;
+
+/// A restorable solver state.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Grid size (the strain field is 6 × n³ scalars).
+    pub n: usize,
+    /// Completed fixed-point iterations at snapshot time.
+    pub iteration: usize,
+    /// Residual ‖Δε‖/‖E‖ history up to `iteration`.
+    pub residuals: Vec<f64>,
+    /// The strain field after `iteration` iterations.
+    pub strain: TensorField,
+}
+
+/// Header summary returned by [`validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Format version of the file.
+    pub version: u32,
+    /// Grid size.
+    pub n: usize,
+    /// Completed iterations at snapshot time.
+    pub iteration: usize,
+}
+
+/// When and where the solver snapshots its state.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Checkpoint file (a `.tmp` sibling appears transiently during writes).
+    pub path: PathBuf,
+    /// Snapshot after every `every` completed iterations.
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// Snapshot to `path` every `every` iterations.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        assert!(every >= 1, "checkpoint interval must be at least 1");
+        CheckpointConfig {
+            path: path.into(),
+            every,
+        }
+    }
+}
+
+/// Why a checkpoint could not be written, read, or trusted.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The file is shorter or longer than its header promises.
+    Truncated {
+        /// Bytes the header implies.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The stored FNV-1a digest does not match the contents.
+    ChecksumMismatch {
+        /// Digest stored in the file.
+        stored: u64,
+        /// Digest recomputed over the contents.
+        computed: u64,
+    },
+    /// The file parses but its contents are inconsistent.
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {VERSION})"
+                )
+            }
+            CheckpointError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "checkpoint truncated or padded: expected {expected} bytes, got {got}"
+                )
+            }
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint corrupted: stored checksum {stored:#018x}, computed {computed:#018x}"
+            ),
+            CheckpointError::Malformed(why) => write!(f, "malformed checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn encode(chk: &Checkpoint) -> Vec<u8> {
+    let n = chk.n;
+    let strain_len = 6 * n * n * n;
+    let mut buf = Vec::with_capacity(
+        HEADER_BYTES + 8 * chk.residuals.len() + 8 * strain_len + CHECKSUM_BYTES,
+    );
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    buf.extend_from_slice(&(chk.iteration as u64).to_le_bytes());
+    buf.extend_from_slice(&(chk.residuals.len() as u64).to_le_bytes());
+    for r in &chk.residuals {
+        buf.extend_from_slice(&r.to_le_bytes());
+    }
+    for c in 0..6 {
+        for v in chk.strain.component(c).as_slice() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let digest = fnv1a64(&buf);
+    buf.extend_from_slice(&digest.to_le_bytes());
+    buf
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Parses and checks everything up to (but not including) field
+/// materialization; returns the header plus the offset of the residuals.
+fn check(bytes: &[u8]) -> Result<(CheckpointInfo, usize), CheckpointError> {
+    if bytes.len() < HEADER_BYTES + CHECKSUM_BYTES {
+        return Err(CheckpointError::Truncated {
+            expected: HEADER_BYTES + CHECKSUM_BYTES,
+            got: bytes.len(),
+        });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut vb = [0u8; 4];
+    vb.copy_from_slice(&bytes[8..12]);
+    let version = u32::from_le_bytes(vb);
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let n = read_u64(bytes, 12) as usize;
+    let iteration = read_u64(bytes, 20) as usize;
+    let nres = read_u64(bytes, 28) as usize;
+    let strain_len = n
+        .checked_mul(n)
+        .and_then(|m| m.checked_mul(n))
+        .and_then(|m| m.checked_mul(6))
+        .ok_or_else(|| CheckpointError::Malformed(format!("grid size {n} overflows")))?;
+    let expected = nres
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(strain_len * 8))
+        .and_then(|b| b.checked_add(HEADER_BYTES + CHECKSUM_BYTES))
+        .ok_or_else(|| CheckpointError::Malformed("payload length overflows".into()))?;
+    if bytes.len() != expected {
+        return Err(CheckpointError::Truncated {
+            expected,
+            got: bytes.len(),
+        });
+    }
+    let body = bytes.len() - CHECKSUM_BYTES;
+    let stored = read_u64(bytes, body);
+    let computed = fnv1a64(&bytes[..body]);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    Ok((
+        CheckpointInfo {
+            version,
+            n,
+            iteration,
+        },
+        HEADER_BYTES,
+    ))
+}
+
+fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    let (info, mut at) = check(bytes)?;
+    let n = info.n;
+    let nres = read_u64(bytes, 28) as usize;
+    let mut residuals = Vec::with_capacity(nres);
+    for _ in 0..nres {
+        residuals.push(f64::from_le_bytes(
+            bytes[at..at + 8].try_into().expect("length checked"),
+        ));
+        at += 8;
+    }
+    let mut strain = TensorField::zeros(n);
+    for c in 0..6 {
+        for v in strain.component_mut(c).as_mut_slice() {
+            *v = f64::from_le_bytes(bytes[at..at + 8].try_into().expect("length checked"));
+            at += 8;
+        }
+    }
+    Ok(Checkpoint {
+        n,
+        iteration: info.iteration,
+        residuals,
+        strain,
+    })
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Atomically writes `chk` to `path` (tmp sibling + rename), so a crash
+/// mid-write can never clobber the previous good checkpoint.
+pub fn write(path: &Path, chk: &Checkpoint) -> Result<(), CheckpointError> {
+    let bytes = encode(chk);
+    let tmp = tmp_path(path);
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads and fully verifies a checkpoint.
+pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    decode(&fs::read(path)?)
+}
+
+/// Verifies a checkpoint (magic, version, length, checksum) without
+/// materializing the strain field; returns its header summary.
+pub fn validate(path: &Path) -> Result<CheckpointInfo, CheckpointError> {
+    check(&fs::read(path)?).map(|(info, _)| info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcc_grid::Sym3;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "lcc_ckpt_{}_{}_{tag}.bin",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample(n: usize) -> Checkpoint {
+        let mut strain = TensorField::zeros(n);
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    let v = (x * 97 + y * 13 + z) as f64 * 0.001 - 0.5;
+                    strain.set(x, y, z, Sym3::new(v, -v, 2.0 * v, 0.1 * v, v * v, -0.3));
+                }
+            }
+        }
+        Checkpoint {
+            n,
+            iteration: 7,
+            residuals: vec![0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625, 0.0078125],
+            strain,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let path = scratch("roundtrip");
+        let chk = sample(4);
+        write(&path, &chk).unwrap();
+        let info = validate(&path).unwrap();
+        assert_eq!(info.version, VERSION);
+        assert_eq!(info.n, 4);
+        assert_eq!(info.iteration, 7);
+        let back = load(&path).unwrap();
+        assert_eq!(back.n, chk.n);
+        assert_eq!(back.iteration, chk.iteration);
+        assert_eq!(back.residuals, chk.residuals);
+        for c in 0..6 {
+            assert_eq!(
+                back.strain.component(c).as_slice(),
+                chk.strain.component(c).as_slice(),
+                "component {c} not bit-identical"
+            );
+        }
+        assert!(!tmp_path(&path).exists(), "tmp sibling left behind");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = scratch("magic");
+        write(&path, &sample(3)).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(CheckpointError::BadMagic)));
+        assert!(matches!(validate(&path), Err(CheckpointError::BadMagic)));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let path = scratch("version");
+        write(&path, &sample(3)).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] = 99;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            validate(&path),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let path = scratch("trunc");
+        write(&path, &sample(3)).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        match load(&path) {
+            Err(CheckpointError::Truncated { expected, got }) => {
+                assert_eq!(expected, bytes.len());
+                assert_eq!(got, bytes.len() - 9);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let path = scratch("checksum");
+        write(&path, &sample(3)).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = (HEADER_BYTES + bytes.len() / 2).min(bytes.len() - CHECKSUM_BYTES - 1);
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load(&path),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = scratch("missing");
+        assert!(matches!(load(&path), Err(CheckpointError::Io(_))));
+    }
+}

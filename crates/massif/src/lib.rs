@@ -14,16 +14,20 @@
 //! * [`solver`] — the fixed-point loop with two interchangeable inner
 //!   convolutions: dense spectral (Algorithm 1) and domain-local compressed
 //!   (Algorithm 2, the paper's contribution).
+//! * [`checkpoint`] — versioned, checksummed snapshots of the solver state;
+//!   [`solve_with_checkpoints`] resumes a killed run bit-identically.
 
+pub mod checkpoint;
 pub mod fields;
 pub mod gamma_kernels;
 pub mod microstructure;
 pub mod solver;
 
+pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointError, CheckpointInfo};
 pub use fields::TensorField;
 pub use gamma_kernels::GammaComponentKernel;
 pub use microstructure::Microstructure;
 pub use solver::{
-    solve, solve_accelerated, GammaConvolution, LowCommGamma, SolveResult, SolverConfig,
-    SpectralGamma,
+    solve, solve_accelerated, solve_with_checkpoints, GammaConvolution, LowCommGamma, SolveResult,
+    SolverConfig, SpectralGamma,
 };

@@ -20,6 +20,7 @@ use lcc_fft::{fft_3d, ifft_3d_normalized, Complex64, FftDirection, FftPlanner};
 use lcc_greens::{MassifGamma, Sym3C};
 use lcc_grid::Sym3;
 
+use crate::checkpoint::{self, Checkpoint, CheckpointConfig, CheckpointError};
 use crate::fields::TensorField;
 use crate::microstructure::Microstructure;
 
@@ -301,31 +302,83 @@ pub fn solve(
     cfg: SolverConfig,
     engine: &dyn GammaConvolution,
 ) -> SolveResult {
+    solve_with_checkpoints(micro, e, cfg, engine, None)
+        .expect("checkpoint-free solve performs no I/O")
+}
+
+/// The resumable fixed-point iteration behind [`solve`].
+///
+/// With `ckpt = Some(cfg)`, the strain field and residual history are
+/// snapshotted to `cfg.path` after every `cfg.every` completed iterations
+/// (atomic write — a crash mid-write keeps the previous snapshot). If
+/// `cfg.path` already holds a valid checkpoint the run resumes from it
+/// instead of starting over; because the basic-scheme iterate is a pure
+/// function of the strain field (stress is recomputed as `C(x):ε`), the
+/// resumed trajectory is bit-identical to an uninterrupted run.
+///
+/// A corrupt, truncated, or mismatched checkpoint is an error, never a
+/// silent restart from scratch.
+pub fn solve_with_checkpoints(
+    micro: &Microstructure,
+    e: Sym3,
+    cfg: SolverConfig,
+    engine: &dyn GammaConvolution,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<SolveResult, CheckpointError> {
     let n = micro.n();
     let mut strain = TensorField::constant(n, e);
+    let mut residuals = Vec::new();
+    if let Some(c) = ckpt {
+        if c.path.exists() {
+            let chk = checkpoint::load(&c.path)?;
+            if chk.n != n {
+                return Err(CheckpointError::Malformed(format!(
+                    "checkpoint grid {} does not match problem grid {n}",
+                    chk.n
+                )));
+            }
+            strain = chk.strain;
+            residuals = chk.residuals;
+            residuals.truncate(chk.iteration);
+        }
+    }
     let mut stress = TensorField::stress_from_strain(micro, &strain);
     let e_norm = e.frobenius() * ((n * n * n) as f64).sqrt();
     assert!(e_norm > 0.0, "applied strain must be nonzero");
 
-    let mut residuals = Vec::new();
-    let mut converged = false;
-    for _ in 0..cfg.max_iters {
-        let delta = engine.apply_gamma(&stress);
-        let res = delta.norm() / e_norm;
-        residuals.push(res);
-        strain.axpy(-1.0, &delta);
-        stress = TensorField::stress_from_strain(micro, &strain);
-        if res < cfg.tol {
-            converged = true;
-            break;
+    let mut converged = residuals.last().is_some_and(|r| *r < cfg.tol);
+    if !converged {
+        for it in residuals.len()..cfg.max_iters {
+            let delta = engine.apply_gamma(&stress);
+            let res = delta.norm() / e_norm;
+            residuals.push(res);
+            strain.axpy(-1.0, &delta);
+            stress = TensorField::stress_from_strain(micro, &strain);
+            if let Some(c) = ckpt {
+                if (it + 1) % c.every == 0 {
+                    checkpoint::write(
+                        &c.path,
+                        &Checkpoint {
+                            n,
+                            iteration: it + 1,
+                            residuals: residuals.clone(),
+                            strain: strain.clone(),
+                        },
+                    )?;
+                }
+            }
+            if res < cfg.tol {
+                converged = true;
+                break;
+            }
         }
     }
-    SolveResult {
+    Ok(SolveResult {
         strain,
         stress,
         residuals,
         converged,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,139 @@
+//! Kill-and-resume: a solver run interrupted mid-iteration and restarted
+//! from its last on-disk checkpoint must retrace the uninterrupted
+//! trajectory bit-for-bit and converge to the same fixed point.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lcc_core::LowCommConfig;
+use lcc_greens::MassifGamma;
+use lcc_grid::{IsotropicStiffness, Sym3};
+use lcc_massif::{
+    solve, solve_with_checkpoints, CheckpointConfig, CheckpointError, GammaConvolution,
+    LowCommGamma, Microstructure, SpectralGamma,
+};
+use lcc_octree::RateSchedule;
+
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "lcc_restart_{}_{}_{tag}.ckpt",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn problem(n: usize) -> (Microstructure, MassifGamma, Sym3) {
+    let soft = IsotropicStiffness::new(1.0, 1.0);
+    let stiff = IsotropicStiffness::new(2.0, 4.0);
+    let micro = Microstructure::sphere(n, 0.5, soft, stiff);
+    let r = micro.reference_medium();
+    let gamma = MassifGamma::new(n, r.lambda, r.mu);
+    (micro, gamma, Sym3::diagonal(0.01, 0.0, 0.0))
+}
+
+fn assert_bit_identical(a: &lcc_massif::SolveResult, b: &lcc_massif::SolveResult) {
+    assert_eq!(a.residuals, b.residuals, "residual histories diverged");
+    assert_eq!(a.converged, b.converged);
+    for c in 0..6 {
+        assert_eq!(
+            a.strain.component(c).as_slice(),
+            b.strain.component(c).as_slice(),
+            "strain component {c} not bit-identical"
+        );
+    }
+}
+
+fn kill_and_resume(engine: &dyn GammaConvolution, micro: &Microstructure, e: Sym3, tag: &str) {
+    let cfg = lcc_massif::SolverConfig {
+        max_iters: 250,
+        tol: 1e-6,
+    };
+    let uninterrupted = solve(micro, e, cfg, engine);
+    assert!(uninterrupted.converged, "reference run must converge");
+
+    // "Kill" the run after 5 iterations; the last snapshot lands at 4.
+    let path = scratch(tag);
+    let ckpt = CheckpointConfig::new(&path, 2);
+    let killed = solve_with_checkpoints(
+        micro,
+        e,
+        lcc_massif::SolverConfig {
+            max_iters: 5,
+            ..cfg
+        },
+        engine,
+        Some(&ckpt),
+    )
+    .unwrap();
+    assert!(!killed.converged, "kill point must precede convergence");
+    let info = lcc_massif::checkpoint::validate(&path).unwrap();
+    assert_eq!(info.iteration, 4, "snapshot cadence: every 2, killed at 5");
+
+    // Resume from disk with the full budget.
+    let resumed = solve_with_checkpoints(micro, e, cfg, engine, Some(&ckpt)).unwrap();
+    assert_bit_identical(&resumed, &uninterrupted);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn spectral_run_resumes_bit_identically() {
+    let (micro, gamma, e) = problem(8);
+    kill_and_resume(&SpectralGamma::new(gamma), &micro, e, "spectral");
+}
+
+#[test]
+fn lowcomm_run_resumes_bit_identically() {
+    let (micro, gamma, e) = problem(8);
+    let engine = LowCommGamma::new(
+        gamma,
+        LowCommConfig {
+            n: 8,
+            k: 4,
+            batch: 64,
+            schedule: RateSchedule::for_kernel_spread(4, 1.0, 8),
+        },
+    );
+    kill_and_resume(&engine, &micro, e, "lowcomm");
+}
+
+#[test]
+fn already_converged_checkpoint_short_circuits() {
+    let (micro, gamma, e) = problem(8);
+    let engine = SpectralGamma::new(gamma);
+    let cfg = lcc_massif::SolverConfig {
+        max_iters: 250,
+        tol: 1e-6,
+    };
+    let path = scratch("done");
+    let ckpt = CheckpointConfig::new(&path, 1);
+    let first = solve_with_checkpoints(&micro, e, cfg, &engine, Some(&ckpt)).unwrap();
+    assert!(first.converged);
+    // Every iteration snapshots (every = 1), so the final state is on disk;
+    // a re-run must return it without iterating further.
+    let again = solve_with_checkpoints(&micro, e, cfg, &engine, Some(&ckpt)).unwrap();
+    assert_bit_identical(&again, &first);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_checkpoint_is_an_error_not_a_restart() {
+    let (micro, gamma, e) = problem(8);
+    let engine = SpectralGamma::new(gamma);
+    let cfg = lcc_massif::SolverConfig {
+        max_iters: 5,
+        tol: 1e-7,
+    };
+    let path = scratch("corrupt");
+    let ckpt = CheckpointConfig::new(&path, 2);
+    solve_with_checkpoints(&micro, e, cfg, &engine, Some(&ckpt)).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    match solve_with_checkpoints(&micro, e, cfg, &engine, Some(&ckpt)) {
+        Err(CheckpointError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,131 @@
+//! Memoized sampling plans.
+//!
+//! Building a [`SamplingPlan`] walks the octree refinement for a region —
+//! cheap next to the FFT work it gates, but wasteful to repeat: a
+//! distributed deployment plans every domain's response region once on its
+//! owner *and once more on every peer* when decoding the exchange, and
+//! failure recovery re-plans a dead rank's domains on each claimant. A
+//! [`PlanCache`] shares one plan per distinct region (for a fixed grid and
+//! schedule), so recovered domains reuse exactly the plan the original
+//! owner used — a prerequisite for bit-identical re-execution.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lcc_grid::BoxRegion;
+
+use crate::plan::SamplingPlan;
+use crate::schedule::RateSchedule;
+
+/// Memo key: a region's corners.
+type RegionKey = ([usize; 3], [usize; 3]);
+
+/// A concurrency-safe memo of [`SamplingPlan`]s for one `(n, schedule)`
+/// configuration, keyed by region corners.
+pub struct PlanCache {
+    n: usize,
+    schedule: RateSchedule,
+    plans: Mutex<HashMap<RegionKey, Arc<SamplingPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache for grid size `n` under `schedule`.
+    pub fn new(n: usize, schedule: RateSchedule) -> Self {
+        PlanCache {
+            n,
+            schedule,
+            plans: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Grid size the cached plans are built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The schedule the cached plans are built with.
+    pub fn schedule(&self) -> &RateSchedule {
+        &self.schedule
+    }
+
+    /// The plan for `region`, built on first request and shared afterwards.
+    pub fn plan_for(&self, region: BoxRegion) -> Arc<SamplingPlan> {
+        let key = (region.lo, region.hi);
+        if let Some(plan) = self
+            .plans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        // Build outside the lock: plans for distinct regions can proceed
+        // concurrently, and a racing duplicate build is harmless (last one
+        // wins; both are identical by construction).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(SamplingPlan::build(self.n, region, &self.schedule));
+        self.plans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, Arc::clone(&plan));
+        plan
+    }
+
+    /// Number of distinct regions planned so far.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether any plan has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests served from the memo.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to build a plan.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_by_region_and_shares_plans() {
+        let cache = PlanCache::new(32, RateSchedule::paper_default(8, 16));
+        let a = BoxRegion::new([0; 3], [8; 3]);
+        let b = BoxRegion::new([8, 0, 0], [16, 8, 8]);
+        let p1 = cache.plan_for(a);
+        let p2 = cache.plan_for(a);
+        let p3 = cache.plan_for(b);
+        assert!(Arc::ptr_eq(&p1, &p2), "same region must share one plan");
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.miss_count(), 2);
+        assert_eq!(cache.hit_count(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cached_plan_matches_direct_build() {
+        let schedule = RateSchedule::paper_default(8, 16);
+        let cache = PlanCache::new(32, schedule.clone());
+        let region = BoxRegion::new([8; 3], [16; 3]);
+        let cached = cache.plan_for(region);
+        let direct = SamplingPlan::build(32, region, &schedule);
+        assert_eq!(cached.total_samples(), direct.total_samples());
+        assert_eq!(cached.retained_z(), direct.retained_z());
+    }
+}

@@ -15,6 +15,7 @@
 //!   accumulation-and-interpolation step.
 
 pub mod bounds;
+pub mod cache;
 pub mod field;
 pub mod plan;
 pub mod schedule;
@@ -23,6 +24,7 @@ pub use bounds::{
     plan_error_bound, schedule_error_bound, BandBound, DecayModel, GaussianDecay,
     InverseDistanceDecay,
 };
+pub use cache::PlanCache;
 pub use field::{CompressedField, RegionPayload};
 pub use plan::{OctCell, RateStats, SamplingPlan};
 pub use schedule::{RateBand, RateSchedule};

@@ -1,0 +1,144 @@
+//! Self-healing integration tests on the cluster simulator: failure
+//! detection, deterministic work redistribution, and bit-identical exact
+//! recovery (ISSUE 2 tentpole acceptance).
+
+use lcc_bench::recovery::{fast_retry, fault_free_reference, run_recovery, RecoveryCase};
+use lcc_comm::FaultPlan;
+use lcc_core::RecoveryPolicy;
+use lcc_grid::relative_l2;
+use proptest::prelude::*;
+
+const SEED: u64 = 0xFA_11_0E;
+
+fn small_case(plan: FaultPlan, policy: RecoveryPolicy) -> RecoveryCase {
+    let mut case = RecoveryCase::standard(plan, policy);
+    case.n = 16;
+    case.sigma = 1.0;
+    case
+}
+
+fn redistribute() -> RecoveryPolicy {
+    RecoveryPolicy::Redistribute {
+        max_extra_domains: usize::MAX,
+    }
+}
+
+#[test]
+fn redistribute_is_bit_identical_for_every_crash_rank() {
+    let clean = fault_free_reference(&small_case(FaultPlan::none(), redistribute()));
+    for crash in 0..4 {
+        let case = small_case(FaultPlan::new(SEED).with_crashed(crash), redistribute());
+        let (results, _) = run_recovery(&case);
+        let mut survivors = 0;
+        for (rank, r) in results.iter().enumerate() {
+            if rank == crash {
+                assert!(r.is_none(), "crashed rank {rank} must not report");
+                continue;
+            }
+            let r = r.as_ref().expect("survivor lost");
+            survivors += 1;
+            assert_eq!(r.epoch, 1, "crash must bump the membership epoch");
+            assert_eq!(
+                r.result.as_slice(),
+                clean.as_slice(),
+                "rank {rank} not bit-identical after crash of {crash}"
+            );
+            assert!(r.report.recovered_domains > 0);
+            assert_eq!(r.report.degraded_domains, 0);
+            assert!(r.report.recovery_extra_flops > 0.0);
+            assert!(r.report.recovery_extra_bytes > 0);
+        }
+        assert_eq!(survivors, 3);
+    }
+}
+
+#[test]
+fn deserter_mid_accumulation_recovers_bit_identically() {
+    // Death *during* the sparse accumulation: rank 2 ships a partial
+    // epoch-0 exchange (to lower ranks only) and walks away. Lower ranks
+    // saw plausible frames, higher ranks time out — all survivors must
+    // converge on the same epoch-1 view and the exact recovered result.
+    let clean = fault_free_reference(&small_case(FaultPlan::none(), redistribute()));
+    let mut case = small_case(FaultPlan::new(SEED).with_deserter(2), redistribute());
+    case.retry = fast_retry(case.p);
+    let (results, _) = run_recovery(&case);
+    assert!(results[2].is_none(), "deserter must not report");
+    for (rank, r) in results.iter().enumerate() {
+        let Some(r) = r.as_ref() else { continue };
+        assert_eq!(r.epoch, 1, "rank {rank} on the wrong epoch");
+        assert_eq!(
+            r.result.as_slice(),
+            clean.as_slice(),
+            "rank {rank} not bit-identical after mid-exchange desertion"
+        );
+    }
+}
+
+#[test]
+fn degrade_loses_accuracy_where_redistribute_does_not() {
+    let clean = fault_free_reference(&small_case(FaultPlan::none(), redistribute()));
+    let plan = FaultPlan::new(SEED).with_crashed(1);
+    let (degraded, _) = run_recovery(&small_case(plan.clone(), RecoveryPolicy::Degrade));
+    let d = degraded
+        .iter()
+        .flatten()
+        .next()
+        .expect("degrade run has survivors");
+    let err = relative_l2(clean.as_slice(), d.result.as_slice());
+    assert!(err > 1e-6, "degraded reconstruction should be lossy: {err}");
+    assert_eq!(d.report.recovered_domains, 0);
+    assert!(d.report.degraded_domains > 0);
+    assert!(d.report.degraded_rate.is_some());
+
+    let (exact, _) = run_recovery(&small_case(plan, redistribute()));
+    let e = exact.iter().flatten().next().expect("survivors");
+    assert_eq!(e.result.as_slice(), clean.as_slice());
+}
+
+#[test]
+fn message_loss_on_top_of_a_crash_changes_nothing() {
+    let clean = fault_free_reference(&small_case(FaultPlan::none(), redistribute()));
+    let case = small_case(
+        FaultPlan::new(SEED).with_crashed(3).with_drop(0.05),
+        redistribute(),
+    );
+    let (results, stats) = run_recovery(&case);
+    let r = results.iter().flatten().next().expect("survivors");
+    assert_eq!(r.result.as_slice(), clean.as_slice());
+    assert!(
+        stats.physical_bytes() > stats.bytes(),
+        "retransmissions must show up in physical traffic only"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any single crash, any fault seed: Redistribute recovery is
+    /// bit-identical to the fault-free run on every survivor.
+    #[test]
+    fn redistribute_bit_identity_holds_for_any_crash_and_seed(
+        crash in 0usize..4,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let clean = fault_free_reference(&small_case(FaultPlan::none(), redistribute()));
+        let case = small_case(FaultPlan::new(seed).with_crashed(crash), redistribute());
+        let (results, _) = run_recovery(&case);
+        let mut survivors = 0;
+        for (rank, r) in results.iter().enumerate() {
+            let Some(r) = r.as_ref() else {
+                prop_assert_eq!(rank, crash);
+                continue;
+            };
+            survivors += 1;
+            prop_assert_eq!(
+                r.result.as_slice(),
+                clean.as_slice(),
+                "rank {} diverged under seed {:#x}",
+                rank,
+                seed
+            );
+        }
+        prop_assert_eq!(survivors, 3);
+    }
+}

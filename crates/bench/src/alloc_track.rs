@@ -1,0 +1,103 @@
+//! Counting global allocator for steady-state allocation assertions.
+//!
+//! `exp_pipeline_perf` installs [`CountingAlloc`] as its `#[global_allocator]`
+//! and measures the allocations of a warm `LocalConvolver::convolve_compressed`
+//! call: with the workspace arenas and plan caches warmed up, the hot path
+//! must allocate (amortized) nothing per pencil.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`System`]-backed allocator that counts allocations and bytes.
+///
+/// Counters track `alloc`/`alloc_zeroed`/`realloc` calls (a `realloc` counts
+/// as one allocation of the new size); `dealloc` is deliberately not
+/// subtracted — the counters measure allocator *traffic*, not live bytes.
+pub struct CountingAlloc {
+    bytes: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A snapshot of the counters since the last [`CountingAlloc::reset`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Total bytes requested.
+    pub bytes: u64,
+    /// Number of allocation calls.
+    pub count: u64,
+}
+
+impl CountingAlloc {
+    /// A fresh allocator with zeroed counters.
+    pub const fn new() -> Self {
+        CountingAlloc {
+            bytes: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Zeroes the counters.
+    pub fn reset(&self) {
+        self.bytes.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    /// Reads the counters.
+    pub fn snapshot(&self) -> AllocStats {
+        AllocStats {
+            bytes: self.bytes.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record(&self, size: usize) {
+        self.bytes.fetch_add(size as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: pure pass-through to `System`; the counters are side effects only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.record(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.record(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.record(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_traffic() {
+        let a = CountingAlloc::new();
+        assert_eq!(a.snapshot(), AllocStats { bytes: 0, count: 0 });
+        a.record(128);
+        a.record(64);
+        let s = a.snapshot();
+        assert_eq!(s.bytes, 192);
+        assert_eq!(s.count, 2);
+        a.reset();
+        assert_eq!(a.snapshot().count, 0);
+    }
+}

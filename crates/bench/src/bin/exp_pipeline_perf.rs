@@ -1,0 +1,309 @@
+//! Pipeline parallelism & allocation sweep: threads × (n, k, B).
+//!
+//! Measures `LocalConvolver::convolve_compressed` wall-clock at 1/2/4
+//! threads, the speedup vs 1 thread, and the steady-state allocator traffic
+//! of a warm call (counting global allocator). Because the pool size is
+//! fixed per process (the global pool spins up on first use), each
+//! (threads, config) cell runs in a **child process** re-exec'd with
+//! `LCC_THREADS` set; the parent collects one `RESULT` line per child.
+//!
+//! Assertions:
+//! * the output checksum is identical across thread counts (bit-identical
+//!   parallel execution);
+//! * steady-state allocation count is a small constant — *not* O(pencils) —
+//!   i.e. zero allocations per pencil in the hot path;
+//! * on hosts with ≥ 4 cores (full mode), ≥ 2× speedup at 4 threads for
+//!   the (n=128, k=32) configuration.
+//!
+//! Emits `BENCH_pipeline.json`. Run with `--smoke` for the CI-fast sweep.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lcc_bench::alloc_track::CountingAlloc;
+use lcc_bench::json::{write_report, Json};
+use lcc_core::LocalConvolver;
+use lcc_greens::GaussianKernel;
+use lcc_grid::{BoxRegion, Grid3};
+use lcc_octree::{RateSchedule, SamplingPlan};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const CHILD_ENV: &str = "LCC_PIPELINE_PERF_CHILD";
+
+#[derive(Clone, Copy)]
+struct Config {
+    n: usize,
+    k: usize,
+    batch: usize,
+    reps: usize,
+}
+
+fn configs(smoke: bool) -> Vec<Config> {
+    if smoke {
+        vec![Config {
+            n: 32,
+            k: 8,
+            batch: 64,
+            reps: 1,
+        }]
+    } else {
+        vec![
+            Config {
+                n: 64,
+                k: 16,
+                batch: 64,
+                reps: 3,
+            },
+            Config {
+                n: 128,
+                k: 32,
+                batch: 128,
+                reps: 3,
+            },
+        ]
+    }
+}
+
+fn thread_counts(smoke: bool) -> Vec<usize> {
+    if smoke {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4]
+    }
+}
+
+/// FNV-1a over the sample bit patterns: equal iff the runs are
+/// bit-identical.
+fn checksum(samples: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in samples {
+        for b in v.to_bits().to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn env_usize(key: &str) -> usize {
+    std::env::var(key)
+        .unwrap_or_default()
+        .parse()
+        .unwrap_or_else(|_| panic!("missing/invalid {key}"))
+}
+
+/// One measurement cell, run in a dedicated process so `LCC_THREADS` can
+/// differ between cells.
+fn child_main() {
+    let (n, k) = (env_usize("LCC_PPERF_N"), env_usize("LCC_PPERF_K"));
+    let batch = env_usize("LCC_PPERF_B");
+    let reps = env_usize("LCC_PPERF_REPS").max(1);
+
+    let conv = LocalConvolver::new(n, k, batch);
+    let kernel = GaussianKernel::new(n, 1.2);
+    let corner = [n / 4, n / 8, 0];
+    let domain = BoxRegion::new(corner, [corner[0] + k, corner[1] + k, corner[2] + k]);
+    let plan = Arc::new(SamplingPlan::build(n, domain, &RateSchedule::uniform(1)));
+    let sub = Grid3::from_fn((k, k, k), |x, y, z| {
+        1.0 + (x as f64 * 0.8).sin() + 0.5 * y as f64 - 0.1 * (z * z) as f64
+    });
+
+    // Warm-up: builds plans, phase tables, and grows the workspace arenas.
+    let field = conv.convolve_compressed(&sub, corner, &kernel, plan.clone());
+    let sum = checksum(field.samples());
+    drop(field);
+
+    // Steady-state allocator traffic of one warm call.
+    ALLOC.reset();
+    let field = conv.convolve_compressed(&sub, corner, &kernel, plan.clone());
+    let stats = ALLOC.snapshot();
+    assert_eq!(
+        checksum(field.samples()),
+        sum,
+        "warm run changed the result"
+    );
+    drop(field);
+
+    // Wall-clock: best of `reps`.
+    let mut best_ns = u128::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let field = conv.convolve_compressed(&sub, corner, &kernel, plan.clone());
+        best_ns = best_ns.min(t0.elapsed().as_nanos());
+        assert_eq!(
+            checksum(field.samples()),
+            sum,
+            "timed run changed the result"
+        );
+    }
+
+    println!(
+        "RESULT threads={} n={n} k={k} batch={batch} wall_ns={best_ns} \
+         alloc_bytes={} alloc_count={} pencils={} checksum={sum:016x}",
+        rayon::current_num_threads(),
+        stats.bytes,
+        stats.count,
+        n * n,
+    );
+}
+
+#[derive(Clone)]
+struct Cell {
+    threads: usize,
+    wall_ns: u128,
+    alloc_bytes: u64,
+    alloc_count: u64,
+    checksum: String,
+}
+
+fn parse_result(stdout: &str) -> (u128, u64, u64, String) {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("RESULT "))
+        .unwrap_or_else(|| panic!("child produced no RESULT line:\n{stdout}"));
+    let mut wall = 0u128;
+    let (mut bytes, mut count) = (0u64, 0u64);
+    let mut sum = String::new();
+    for tok in line.split_whitespace().skip(1) {
+        let (key, val) = tok.split_once('=').expect("key=value token");
+        match key {
+            "wall_ns" => wall = val.parse().expect("wall_ns"),
+            "alloc_bytes" => bytes = val.parse().expect("alloc_bytes"),
+            "alloc_count" => count = val.parse().expect("alloc_count"),
+            "checksum" => sum = val.to_string(),
+            _ => {}
+        }
+    }
+    (wall, bytes, count, sum)
+}
+
+fn run_cell(threads: usize, cfg: Config) -> Cell {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .env(CHILD_ENV, "1")
+        .env("LCC_THREADS", threads.to_string())
+        .env("LCC_PPERF_N", cfg.n.to_string())
+        .env("LCC_PPERF_K", cfg.k.to_string())
+        .env("LCC_PPERF_B", cfg.batch.to_string())
+        .env("LCC_PPERF_REPS", cfg.reps.to_string())
+        .output()
+        .expect("spawn child");
+    assert!(
+        out.status.success(),
+        "child (threads={threads}, n={}) failed:\n{}",
+        cfg.n,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let (wall_ns, alloc_bytes, alloc_count, checksum) =
+        parse_result(&String::from_utf8_lossy(&out.stdout));
+    Cell {
+        threads,
+        wall_ns,
+        alloc_bytes,
+        alloc_count,
+        checksum,
+    }
+}
+
+fn main() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        child_main();
+        return;
+    }
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "pipeline perf sweep ({}, host parallelism {host_threads})",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!(
+        "{:>5} {:>4} {:>6} {:>8} {:>12} {:>10} {:>12} {:>12}  checksum",
+        "n", "k", "batch", "threads", "wall ms", "speedup", "alloc bytes", "alloc count"
+    );
+
+    let mut rows = Vec::new();
+    for cfg in configs(smoke) {
+        let mut base_ns = 0u128;
+        let mut cells: Vec<Cell> = Vec::new();
+        for &t in &thread_counts(smoke) {
+            let cell = run_cell(t, cfg);
+            if t == 1 {
+                base_ns = cell.wall_ns;
+            }
+            cells.push(cell);
+        }
+
+        // Bit-identity across thread counts.
+        for c in &cells {
+            assert_eq!(
+                c.checksum, cells[0].checksum,
+                "threads={} changed the result for n={}",
+                c.threads, cfg.n
+            );
+        }
+        // Zero allocations per pencil: steady traffic must be a small
+        // constant, not O(pencils).
+        let pencils = (cfg.n * cfg.n) as u64;
+        for c in &cells {
+            assert!(
+                c.alloc_count < pencils / 8,
+                "steady-state alloc count {} is not ≪ pencil count {pencils} \
+                 (threads={})",
+                c.alloc_count,
+                c.threads
+            );
+        }
+        // Speedup on real multicore hardware (the CI acceptance number).
+        if !smoke && host_threads >= 4 && cfg.n == 128 {
+            let c4 = cells
+                .iter()
+                .find(|c| c.threads == 4)
+                .expect("4-thread cell");
+            let speedup = base_ns as f64 / c4.wall_ns as f64;
+            assert!(
+                speedup >= 2.0,
+                "4-thread speedup {speedup:.2}× below the 2× acceptance bar"
+            );
+        }
+
+        for c in &cells {
+            let speedup = base_ns as f64 / c.wall_ns as f64;
+            println!(
+                "{:>5} {:>4} {:>6} {:>8} {:>12.3} {:>9.2}x {:>12} {:>12}  {}",
+                cfg.n,
+                cfg.k,
+                cfg.batch,
+                c.threads,
+                c.wall_ns as f64 / 1e6,
+                speedup,
+                c.alloc_bytes,
+                c.alloc_count,
+                c.checksum
+            );
+            rows.push(Json::obj(vec![
+                ("n", Json::int(cfg.n as i64)),
+                ("k", Json::int(cfg.k as i64)),
+                ("batch", Json::int(cfg.batch as i64)),
+                ("threads", Json::int(c.threads as i64)),
+                ("wall_ms", Json::Num(c.wall_ns as f64 / 1e6)),
+                ("speedup_vs_1", Json::Num(speedup)),
+                ("steady_alloc_bytes", Json::int(c.alloc_bytes as i64)),
+                ("steady_alloc_count", Json::int(c.alloc_count as i64)),
+                (
+                    "allocs_per_pencil",
+                    Json::Num(c.alloc_count as f64 / pencils as f64),
+                ),
+                ("checksum", Json::str(c.checksum.clone())),
+            ]));
+        }
+    }
+
+    let report = Json::obj(vec![
+        ("experiment", Json::str("pipeline_perf")),
+        ("smoke", Json::Bool(smoke)),
+        ("host_parallelism", Json::int(host_threads as i64)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    write_report("BENCH_pipeline.json", &report);
+}

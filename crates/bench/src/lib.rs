@@ -17,12 +17,14 @@
 //! | `exp_fftx_plan` | §6 / Fig. 5 — FFTX plan composition |
 //! | `exp_chaos` | fault-injection sweep — retry protocol vs message loss |
 //! | `exp_recovery` | self-healing sweep — crash × crash-time × recovery policy |
+//! | `exp_pipeline_perf` | threads × (n, k, B) pipeline sweep — wall-clock, speedup vs 1 thread, steady-state allocations |
 //!
 //! `exp_chaos` and `exp_recovery` also emit machine-readable
 //! `BENCH_chaos.json` / `BENCH_recovery.json` (see [`json`]); the
 //! distributed self-healing workload they share lives in [`recovery`].
 //! Criterion benches live in `benches/`.
 
+pub mod alloc_track;
 pub mod json;
 pub mod recovery;
 

@@ -20,11 +20,13 @@
 //! frequency-domain phase `e^{-2πi f·c/N}` folded into the pointwise
 //! multiply, so the pruned transforms never see shifted data.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use rayon::prelude::*;
 
-use lcc_fft::{fft_2d, Complex64, FftDirection, FftPlanner, PrunedInputFft};
+use lcc_fft::{fft_2d, workspace, Complex64, FftDirection, FftPlanner, PrunedInputFft};
 use lcc_greens::KernelSpectrum;
 use lcc_grid::Grid3;
 use lcc_octree::{CompressedField, SamplingPlan};
@@ -39,6 +41,11 @@ pub struct LocalConvolver {
     planner: Arc<FftPlanner>,
     /// Pruned k→N forward transform shared by all three axes.
     pruned: Arc<PrunedInputFft>,
+    /// Position-phase tables `e^{-2πi f·c/N}` keyed by corner coordinate
+    /// `c`. The table depends only on `(n, c)`, so repeated convolves of
+    /// sub-domains at recurring corners (every rank in a fixed
+    /// decomposition) reuse it instead of rebuilding three `Vec`s per call.
+    phase_cache: Mutex<HashMap<usize, Arc<[Complex64]>>>,
 }
 
 impl LocalConvolver {
@@ -59,7 +66,22 @@ impl LocalConvolver {
             batch,
             planner,
             pruned,
+            phase_cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The cached position-phase table for corner coordinate `c`:
+    /// `table[f] = e^{-2πi f·c/N}`.
+    pub(crate) fn phase_table(&self, c: usize) -> Arc<[Complex64]> {
+        if let Some(t) = self.phase_cache.lock().get(&c) {
+            return t.clone();
+        }
+        let n = self.n;
+        let t: Arc<[Complex64]> = (0..n)
+            .map(|f| Complex64::cis(-2.0 * std::f64::consts::PI * ((f * c) % n) as f64 / n as f64))
+            .collect();
+        // Built outside the lock; a racing builder's identical table wins.
+        self.phase_cache.lock().entry(c).or_insert(t).clone()
     }
 
     /// Grid size N.
@@ -93,38 +115,45 @@ impl LocalConvolver {
     }
 
     /// Stage 1 of the pipeline: pruned 2D transforms of a k³ sub-domain
-    /// into the `(zloc, fx, fy)` slab (k contiguous N² planes).
-    pub(crate) fn forward_2d_slab(&self, sub: &Grid3<f64>) -> Vec<Complex64> {
+    /// into the `(zloc, fx, fy)` slab (k contiguous N² planes). `slab` must
+    /// have length `k·n²`; every element is overwritten.
+    pub(crate) fn forward_2d_slab_into(&self, sub: &Grid3<f64>, slab: &mut [Complex64]) {
         let (n, k) = (self.n, self.k);
         assert_eq!(sub.shape(), (k, k, k), "sub-domain must be k³");
-        let mut slab = vec![Complex64::ZERO; k * n * n];
+        assert_eq!(slab.len(), k * n * n, "slab must be k·n² planes");
         slab.par_chunks_mut(n * n)
             .enumerate()
-            .for_each(|(zloc, plane)| {
-                let mut scratch = vec![Complex64::ZERO; k];
-                let mut row_in = vec![Complex64::ZERO; k];
+            .for_each_init(workspace, |ws, (zloc, plane)| {
+                // All five buffers are fully written before being read:
+                // row_in/col_in per inner loop, rows/col_out as pruned
+                // transform outputs, scratch inside `process`.
+                let [scratch, row_in, rows, col_in, col_out] = ws.complex_bufs([k, k, k * n, k, n]);
                 // y transforms: k nonzero rows, each with k nonzero entries.
-                let mut rows = vec![Complex64::ZERO; k * n];
                 for x in 0..k {
                     for y in 0..k {
                         row_in[y] = Complex64::from_real(sub[(x, y, zloc)]);
                     }
                     self.pruned
-                        .process(&row_in, &mut rows[x * n..(x + 1) * n], &mut scratch);
+                        .process(row_in, &mut rows[x * n..(x + 1) * n], scratch);
                 }
                 // x transforms: every fy column has k nonzero entries (x<k).
-                let mut col_in = vec![Complex64::ZERO; k];
-                let mut col_out = vec![Complex64::ZERO; n];
                 for fy in 0..n {
                     for x in 0..k {
                         col_in[x] = rows[x * n + fy];
                     }
-                    self.pruned.process(&col_in, &mut col_out, &mut scratch);
+                    self.pruned.process(col_in, col_out, scratch);
                     for fx in 0..n {
                         plane[fx * n + fy] = col_out[fx];
                     }
                 }
             });
+    }
+
+    /// Allocating wrapper around [`Self::forward_2d_slab_into`] (used by the
+    /// tensor-field variant, which owns its slabs).
+    pub(crate) fn forward_2d_slab(&self, sub: &Grid3<f64>) -> Vec<Complex64> {
+        let mut slab = vec![Complex64::ZERO; self.k * self.n * self.n];
+        self.forward_2d_slab_into(sub, &mut slab);
         slab
     }
 
@@ -147,54 +176,58 @@ impl LocalConvolver {
             "corner must lie inside the grid"
         );
 
+        let retained = plan.retained_z();
+        let nzr = retained.len();
+
+        // Call-level arena: the slab, the retained-plane buffer, the batch
+        // staging buffer and the stage-3 real plane all come from one pooled
+        // workspace, so a warm convolve allocates nothing for them. Each is
+        // fully overwritten before it is read (slab by stage 1, kept by the
+        // batch scatter over every (plane, pencil), batch_out by each batch,
+        // real_plane per plane).
+        let mut ws = workspace();
+        let ([slab, kept, batch_out], real_plane) =
+            ws.split([k * n * n, nzr * n * n, self.batch * nzr], n * n);
+
         // ---- Stage 1: 2D pruned transforms into the N×N×k slab. ----
         // Slab layout: (zloc, fx, fy), each z-slice a contiguous N² plane.
-        let slab = self.forward_2d_slab(sub);
+        self.forward_2d_slab_into(sub, slab);
+        let slab: &[Complex64] = slab;
 
         // ---- Stage 2: batched z pencils with on-the-fly multiply and
         //      compression to retained z-planes. ----
-        let retained = plan.retained_z();
-        let nzr = retained.len();
-        let mut kept = vec![Complex64::ZERO; nzr * n * n];
         let inv_n = self.planner.plan(n, FftDirection::Inverse);
-        // Phase of the sub-domain position: e^{-2πi f·c / N} per axis.
-        let phase_axis = |len: usize, c: usize| -> Vec<Complex64> {
-            (0..len)
-                .map(|f| {
-                    Complex64::cis(-2.0 * std::f64::consts::PI * ((f * c) % n) as f64 / n as f64)
-                })
-                .collect()
-        };
-        let phx = phase_axis(n, corner[0]);
-        let phy = phase_axis(n, corner[1]);
-        let phz = phase_axis(n, corner[2]);
+        // Phase of the sub-domain position: e^{-2πi f·c / N} per axis,
+        // cached across calls (it depends only on the corner coordinate).
+        let phx = self.phase_table(corner[0]);
+        let phy = self.phase_table(corner[1]);
+        let phz = self.phase_table(corner[2]);
 
         let total_pencils = n * n;
-        let mut batch_out = vec![Complex64::ZERO; self.batch * nzr];
         let mut q0 = 0;
         while q0 < total_pencils {
             let b = self.batch.min(total_pencils - q0);
             batch_out[..b * nzr]
                 .par_chunks_mut(nzr)
                 .enumerate()
-                .for_each(|(i, out)| {
+                .for_each_init(workspace, |pws, (i, out)| {
                     let q = q0 + i;
                     let (fx, fy) = (q / n, q % n);
-                    let mut zin = vec![Complex64::ZERO; k];
+                    // Per-pencil buffers from the per-participant workspace:
+                    // zin/kbuf are fully written below, pencil and scratch
+                    // inside the pruned transform.
+                    let [zin, pencil, scratch, kbuf] = pws.complex_bufs([k, n, k, n]);
                     for (zloc, zi) in zin.iter_mut().enumerate() {
                         *zi = slab[zloc * n * n + q];
                     }
-                    let mut pencil = vec![Complex64::ZERO; n];
-                    let mut scratch = vec![Complex64::ZERO; k];
-                    self.pruned.process(&zin, &mut pencil, &mut scratch);
+                    self.pruned.process(zin, pencil, scratch);
                     // Pointwise: kernel × position phase, evaluated on the fly.
-                    let mut kbuf = vec![Complex64::ZERO; n];
-                    kernel.eval_pencil_axis2(fx, fy, &mut kbuf);
+                    kernel.eval_pencil_axis2(fx, fy, kbuf);
                     let pxy = phx[fx] * phy[fy];
                     for fz in 0..n {
                         pencil[fz] *= kbuf[fz] * (pxy * phz[fz]);
                     }
-                    inv_n.process(&mut pencil);
+                    inv_n.process(pencil);
                     let s = 1.0 / n as f64;
                     for (o, &z) in out.iter_mut().zip(retained.iter()) {
                         *o = pencil[z] * s;
@@ -209,7 +242,6 @@ impl LocalConvolver {
             }
             q0 += b;
         }
-        drop(slab);
 
         // ---- Stage 3: inverse 2D per retained plane + octree sampling. ----
         kept.par_chunks_mut(n * n).for_each(|plane| {
@@ -220,13 +252,12 @@ impl LocalConvolver {
             }
         });
         let mut field = CompressedField::zeros(plan);
-        let mut real_plane = vec![0.0f64; n * n];
         for (zi, &z) in retained.iter().enumerate() {
             let plane = &kept[zi * n * n..(zi + 1) * n * n];
-            for (r, v) in real_plane.iter_mut().zip(plane) {
+            for (r, v) in real_plane.iter_mut().zip(plane.iter()) {
                 *r = v.re;
             }
-            field.capture_plane(z, &real_plane);
+            field.capture_plane(z, real_plane);
         }
         field
     }

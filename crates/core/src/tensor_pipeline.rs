@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use lcc_fft::{fft_2d, Complex64, FftDirection};
+use lcc_fft::{fft_2d, workspace, Complex64, FftDirection};
 use lcc_greens::Sym3C;
 use lcc_grid::Grid3;
 use lcc_octree::{CompressedField, SamplingPlan};
@@ -72,18 +72,11 @@ impl LocalConvolver {
             (0..6).map(|_| vec![Complex64::ZERO; nzr * n * n]).collect();
         let inv_n = self.plan_inverse_n();
         let pruned = self.pruned_plan();
-        let phase = |len: usize, c: usize| -> Vec<Complex64> {
-            (0..len)
-                .map(|f| {
-                    Complex64::cis(-2.0 * std::f64::consts::PI * ((f * c) % n) as f64 / n as f64)
-                })
-                .collect()
-        };
-        let (phx, phy, phz) = (
-            phase(n, corner[0]),
-            phase(n, corner[1]),
-            phase(n, corner[2]),
-        );
+        // Position-phase tables, cached per corner coordinate in the
+        // convolver (shared with the scalar pipeline).
+        let phx = self.phase_table(corner[0]);
+        let phy = self.phase_table(corner[1]);
+        let phz = self.phase_table(corner[2]);
 
         let total = n * n;
         let batch = self.batch();
@@ -95,17 +88,17 @@ impl LocalConvolver {
             batch_out[..b * nzr * 6]
                 .par_chunks_mut(nzr * 6)
                 .enumerate()
-                .for_each(|(i, out)| {
+                .for_each_init(workspace, |ws, (i, out)| {
                     let q = q0 + i;
                     let (fx, fy) = (q / n, q % n);
-                    let mut pencils = vec![Complex64::ZERO; 6 * n];
-                    let mut zin = vec![Complex64::ZERO; k];
-                    let mut scratch = vec![Complex64::ZERO; k];
+                    // Per-pencil buffers from the pooled workspace; each is
+                    // fully written before being read.
+                    let [pencils, zin, scratch] = ws.complex_bufs([6 * n, k, k]);
                     for (c, slab) in slabs.iter().enumerate() {
                         for (zloc, zi) in zin.iter_mut().enumerate() {
                             *zi = slab[zloc * n * n + q];
                         }
-                        pruned.process(&zin, &mut pencils[c * n..(c + 1) * n], &mut scratch);
+                        pruned.process(zin, &mut pencils[c * n..(c + 1) * n], scratch);
                     }
                     // Tensor contraction + position phase per fz.
                     let pxy = phx[fx] * phy[fy];
@@ -152,7 +145,8 @@ impl LocalConvolver {
                     }
                 });
                 let mut field = CompressedField::zeros(plan.clone());
-                let mut real_plane = vec![0.0f64; n * n];
+                let mut ws = workspace();
+                let real_plane = ws.real_buf(n * n);
                 for (zi, &z) in retained.iter().enumerate() {
                     for (r, v) in real_plane
                         .iter_mut()
@@ -160,7 +154,7 @@ impl LocalConvolver {
                     {
                         *r = v.re;
                     }
-                    field.capture_plane(z, &real_plane);
+                    field.capture_plane(z, real_plane);
                 }
                 field
             })

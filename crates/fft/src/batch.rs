@@ -6,13 +6,16 @@
 //! x/y transforms, the pencil stage a batch of z transforms processed `B`
 //! pencils at a time.
 //!
-//! Pencils along a non-contiguous axis are gathered into thread-local scratch,
-//! transformed, and scattered back. Work is distributed with rayon.
+//! Pencils along a non-contiguous axis are gathered into pooled workspace
+//! scratch, transformed, and scattered back. Work is distributed with rayon;
+//! pencil base offsets are *generated* from the axis geometry instead of
+//! materialized into a per-call `Vec`, keeping the hot path allocation-free.
 
 use rayon::prelude::*;
 
 use crate::complex::Complex64;
 use crate::planner::{FftPlan, FftPlanner};
+use crate::workspace::workspace;
 use crate::FftDirection;
 
 /// Shape of a row-major 3D buffer.
@@ -20,18 +23,86 @@ pub type Dims3 = (usize, usize, usize);
 
 /// Raw pointer wrapper that lets disjoint pencil tasks share the buffer.
 ///
-/// Safety contract: every task derived from this pointer must touch a set of
-/// indices disjoint from every other task's. The axis helpers below guarantee
-/// this by assigning each task a unique pencil base offset; a pencil along
-/// axis `a` with base `(i, j)` covers exactly the indices
-/// `{base + t·stride}`, which are distinct across distinct bases.
+/// # Disjointness invariant (the entire aliasing argument)
+///
+/// Pencil `p` with base offset `off(p)` touches exactly the index set
+/// `{off(p) + t·stride : 0 ≤ t < len}`. Tasks running on different threads
+/// hold `&mut` views derived from this pointer **only** into their own
+/// pencil's index set, so the views are disjoint iff the index sets are:
+///
+/// * distinct bases from a [`PencilSet::Grid`] differ in a coordinate
+///   orthogonal to the stride axis, so their strided sets never meet;
+/// * explicit batches are rejected up front if two bases alias
+///   (`fft_axis2_batch`'s duplicate check), and every base is a multiple of
+///   the pencil length along a distinct row.
+///
+/// Debug builds additionally verify the invariant for every call via
+/// [`assert_disjoint`]: two same-stride pencils intersect iff their bases
+/// are congruent mod `stride` and closer than `len·stride`.
 #[derive(Clone, Copy)]
 struct SendPtr(*mut Complex64);
-// SAFETY: see the disjointness contract above; the pointer itself is just an
-// address, sending it between threads is safe as long as accesses stay
-// disjoint, which the offset construction guarantees.
+// SAFETY: see the disjointness invariant above; the pointer itself is just
+// an address, sending it between threads is safe as long as accesses stay
+// disjoint, which the offset construction guarantees (and debug builds
+// check).
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
+
+/// Pencil base offsets described by their generator rather than a
+/// materialized list, so the per-call offsets `Vec` disappears from the
+/// hot path.
+enum PencilSet<'a> {
+    /// Lexicographic grid over `(outer, inner)` coordinates:
+    /// `offset(o·inner + i) = o·outer_step + i·inner_step`.
+    Grid {
+        outer: usize,
+        outer_step: usize,
+        inner: usize,
+        inner_step: usize,
+    },
+    /// Arbitrary caller-provided bases (the streamed batch path).
+    Explicit(&'a [usize]),
+}
+
+impl PencilSet<'_> {
+    fn count(&self) -> usize {
+        match *self {
+            PencilSet::Grid { outer, inner, .. } => outer * inner,
+            PencilSet::Explicit(offs) => offs.len(),
+        }
+    }
+
+    #[inline]
+    fn offset(&self, i: usize) -> usize {
+        match *self {
+            PencilSet::Grid {
+                outer_step,
+                inner,
+                inner_step,
+                ..
+            } => (i / inner) * outer_step + (i % inner) * inner_step,
+            PencilSet::Explicit(offs) => offs[i],
+        }
+    }
+}
+
+/// Debug-build verification of the [`SendPtr`] disjointness invariant:
+/// same-stride pencils `{a + t·s}` and `{b + t·s}` (`0 ≤ t < len`) intersect
+/// iff `a ≡ b (mod s)` and `|a − b| < len·s`, so sorting by `(residue, base)`
+/// reduces the check to adjacent pairs.
+#[cfg(debug_assertions)]
+fn assert_disjoint(set: &PencilSet, stride: usize, len: usize) {
+    let stride = stride.max(1);
+    let mut offs: Vec<usize> = (0..set.count()).map(|i| set.offset(i)).collect();
+    offs.sort_unstable_by_key(|&o| (o % stride, o));
+    for w in offs.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        assert!(
+            a % stride != b % stride || b - a >= len * stride,
+            "overlapping pencils: bases {a} and {b} alias (stride {stride}, len {len})"
+        );
+    }
+}
 
 /// Checks `dims` describes `data` exactly.
 fn check_dims(data: &[Complex64], dims: Dims3) {
@@ -54,71 +125,95 @@ pub fn fft_axis(
 ) {
     check_dims(data, dims);
     let (n0, n1, n2) = dims;
-    let (len, stride, offsets): (usize, usize, Vec<usize>) = match axis {
-        0 => {
-            let offs = (0..n1)
-                .flat_map(|i1| (0..n2).map(move |i2| i1 * n2 + i2))
-                .collect();
-            (n0, n1 * n2, offs)
-        }
-        1 => {
-            let offs = (0..n0)
-                .flat_map(|i0| (0..n2).map(move |i2| i0 * n1 * n2 + i2))
-                .collect();
-            (n1, n2, offs)
-        }
-        2 => {
-            let offs = (0..n0)
-                .flat_map(|i0| (0..n1).map(move |i1| i0 * n1 * n2 + i1 * n2))
-                .collect();
-            (n2, 1, offs)
-        }
+    let (len, stride, set) = match axis {
+        0 => (
+            n0,
+            n1 * n2,
+            PencilSet::Grid {
+                outer: 1,
+                outer_step: 0,
+                inner: n1 * n2,
+                inner_step: 1,
+            },
+        ),
+        1 => (
+            n1,
+            n2,
+            PencilSet::Grid {
+                outer: n0,
+                outer_step: n1 * n2,
+                inner: n2,
+                inner_step: 1,
+            },
+        ),
+        2 => (
+            n2,
+            1,
+            PencilSet::Grid {
+                outer: n0,
+                outer_step: n1 * n2,
+                inner: n1,
+                inner_step: n2,
+            },
+        ),
         _ => panic!("axis must be 0, 1 or 2, got {axis}"),
     };
-    if len == 0 || offsets.is_empty() {
+    if len == 0 || set.count() == 0 {
         return;
     }
     let plan = planner.plan(len, direction);
-    process_pencils(data, &offsets, stride, &plan);
+    process_pencils(data, &set, stride, &plan);
 }
 
-/// Transforms the given disjoint pencils (defined by base `offsets`, common
-/// `stride`, and the plan's length) in parallel.
-fn process_pencils(data: &mut [Complex64], offsets: &[usize], stride: usize, plan: &FftPlan) {
+/// Transforms the given disjoint pencils (defined by base offsets from
+/// `set`, common `stride`, and the plan's length) in parallel.
+fn process_pencils(data: &mut [Complex64], set: &PencilSet, stride: usize, plan: &FftPlan) {
     let len = plan.len();
+    let count = set.count();
+    if count == 0 {
+        return;
+    }
     // Bounds check up front so the unsafe below cannot go out of range.
-    let max_needed = offsets
-        .iter()
-        .map(|&o| o + (len - 1) * stride)
+    let max_needed = (0..count)
+        .map(|i| set.offset(i) + (len - 1) * stride)
         .max()
         .unwrap_or(0);
     assert!(max_needed < data.len(), "pencil exceeds buffer bounds");
+    #[cfg(debug_assertions)]
+    assert_disjoint(set, stride, len);
 
     let ptr = SendPtr(data.as_mut_ptr());
     if stride == 1 {
         // Contiguous pencils: transform in place without gather/scatter.
-        offsets.par_iter().for_each(move |&off| {
-            // SAFETY: offsets are distinct pencil bases; contiguous ranges
+        (0..count).into_par_iter().for_each(|i| {
+            // Copy the Sync wrapper, not the bare `*mut` field, so the
+            // closure stays shareable across pool threads.
+            let p = ptr;
+            let off = set.offset(i);
+            // SAFETY: bases are distinct pencil starts; contiguous ranges
             // [off, off+len) are disjoint across tasks and in bounds.
-            let pencil = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(off), len) };
+            let pencil = unsafe { std::slice::from_raw_parts_mut(p.0.add(off), len) };
             plan.process(pencil);
         });
     } else {
-        offsets.par_iter().for_each_init(
-            || vec![Complex64::ZERO; len],
-            move |scratch, &off| {
+        (0..count)
+            .into_par_iter()
+            .for_each_init(workspace, |ws, i| {
+                let p = ptr;
+                let off = set.offset(i);
+                let [scratch] = ws.complex_bufs([len]);
                 for (t, s) in scratch.iter_mut().enumerate() {
                     // SAFETY: disjoint strided index sets per task, in bounds
-                    // by the assert above.
-                    *s = unsafe { *ptr.0.add(off + t * stride) };
+                    // by the assert above. The scratch is fully overwritten
+                    // here before the transform reads it.
+                    *s = unsafe { *p.0.add(off + t * stride) };
                 }
                 plan.process(scratch);
                 for (t, s) in scratch.iter().enumerate() {
                     // SAFETY: as above.
-                    unsafe { *ptr.0.add(off + t * stride) = *s };
+                    unsafe { *p.0.add(off + t * stride) = *s };
                 }
-            },
-        );
+            });
     }
 }
 
@@ -153,7 +248,7 @@ pub fn fft_axis2_batch(
         return;
     }
     let plan = planner.plan(n2, direction);
-    process_pencils(data, &offsets, 1, &plan);
+    process_pencils(data, &PencilSet::Explicit(&offsets), 1, &plan);
 }
 
 /// Applies a scalar multiply to the whole buffer (e.g. inverse normalization).
@@ -324,6 +419,44 @@ mod tests {
         let planner = FftPlanner::new();
         let mut data = fill((2, 2, 2));
         fft_axis(&planner, &mut data, (2, 2, 3), 0, FftDirection::Forward);
+    }
+
+    #[test]
+    fn parallel_pencils_bit_identical_to_sequential_stress() {
+        // Exercises the SendPtr disjointness argument under whatever pool
+        // the environment configures (CI runs this with LCC_THREADS=4):
+        // repeated full-axis sweeps must be bit-identical to the forced
+        // sequential execution of the same calls.
+        let planner = FftPlanner::new();
+        let dims = (24, 16, 10);
+        for _rep in 0..8 {
+            let base = fill(dims);
+            let mut par = base.clone();
+            for axis in 0..3 {
+                fft_axis(&planner, &mut par, dims, axis, FftDirection::Forward);
+            }
+            let mut seq = base.clone();
+            rayon::run_sequential(|| {
+                for axis in 0..3 {
+                    fft_axis(&planner, &mut seq, dims, axis, FftDirection::Forward);
+                }
+            });
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "overlapping pencils")]
+    fn overlapping_pencils_caught_in_debug() {
+        let planner = FftPlanner::new();
+        let mut data = fill((1, 1, 8));
+        let plan = planner.plan_forward(4);
+        // Bases 0 and 2 with len 4, stride 1: ranges [0,4) and [2,6) alias.
+        process_pencils(&mut data, &PencilSet::Explicit(&[0, 2]), 1, &plan);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use crate::complex::Complex64;
 use crate::radix2::Radix2Fft;
+use crate::workspace::workspace;
 use crate::{Fft, FftDirection};
 
 /// A planned arbitrary-length FFT via Bluestein's chirp-z reformulation.
@@ -93,15 +94,17 @@ impl Fft for BluesteinFft {
             return;
         }
         let m = self.inner_len();
-        let mut work = vec![Complex64::ZERO; m];
+        let mut ws = workspace();
+        let [work] = ws.complex_bufs([m]);
         for k in 0..n {
             work[k] = buf[k] * self.chirp[k];
         }
-        self.inner_fwd.process(&mut work);
+        work[n..].fill(Complex64::ZERO);
+        self.inner_fwd.process(work);
         for (w, k) in work.iter_mut().zip(&self.kernel_hat) {
             *w *= *k;
         }
-        self.inner_inv.process(&mut work);
+        self.inner_inv.process(work);
         let scale = 1.0 / m as f64;
         for j in 0..n {
             buf[j] = work[j] * self.chirp[j] * scale;

@@ -35,6 +35,7 @@ pub mod pruned;
 pub mod radix2;
 pub mod radix4;
 pub mod real;
+pub mod workspace;
 
 pub use batch::{fft_axis, fft_axis2_batch, scale_in_place, Dims3};
 pub use complex::{c64, Complex64};
@@ -43,6 +44,7 @@ pub use nd_real::{fft_3d_r2c, ifft_3d_c2r, r2c_memory_factor};
 pub use planner::{fft_in_place, ifft_normalized, FftPlan, FftPlanner};
 pub use pruned::{DecimatedOutputFft, PrunedInputFft, PrunedPlanner};
 pub use real::{RealFft, RealIfft};
+pub use workspace::{workspace, Workspace, WorkspaceGuard};
 
 /// Transform direction. Forward uses the `e^{-2πi jn/N}` kernel; Inverse uses
 /// the conjugate kernel and, like FFTW, applies **no** normalization.

@@ -1,27 +1,44 @@
 //! Plan construction and caching.
 //!
 //! [`FftPlanner`] hands out `Arc`-shared, immutable plans keyed by
-//! `(length, direction)`. Planning a power-of-two size yields the radix-2
+//! `(length, direction)`. Planning a power-of-two size yields the radix-4/2
 //! kernel; tiny non-power-of-two sizes fall back to the O(n²) oracle (cheaper
 //! than Bluestein bookkeeping); everything else uses Bluestein.
 //!
-//! The planner is `Send + Sync` (cache behind a `parking_lot::Mutex`) so one
-//! planner can serve a rayon pool — the hot path after warm-up is a single
-//! short-lived lock to clone an `Arc`.
+//! # Concurrency
+//!
+//! The cache is sharded (keys hashed over [`PLANNER_SHARDS`] independent
+//! `RwLock`-protected maps) so a warm thread pool never serializes on a
+//! single lock: the hot path is one shard **read** lock to clone an `Arc`,
+//! and readers of different shards — and concurrent readers of the same
+//! shard — do not contend at all.
+//!
+//! Cold-path builds are deduplicated with a per-key `OnceLock` slot: when
+//! several threads race to plan the same `(n, direction)`, exactly one
+//! constructs the plan (the others block on the slot and share the result),
+//! so an expensive Bluestein build is never thrown away. The regression
+//! test `concurrent_warmup_builds_each_plan_once` pins this down via
+//! [`FftPlanner::plan_builds`].
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::bluestein::BluesteinFft;
 use crate::complex::Complex64;
 use crate::dft::dft_into;
 use crate::radix4::Radix4Fft;
+use crate::workspace::workspace;
 use crate::{Fft, FftDirection};
 
 /// Threshold below which non-power-of-two sizes use the naive DFT.
 const SMALL_DFT_LIMIT: usize = 16;
+
+/// Number of independent cache shards. Sixteen is plenty: the pipeline
+/// plans a handful of distinct sizes, and the point is only that a warm
+/// pool's lookups fan out over several locks instead of one.
+const PLANNER_SHARDS: usize = 16;
 
 /// A planned naive DFT, used for tiny awkward sizes.
 struct SmallDft {
@@ -38,19 +55,34 @@ impl Fft for SmallDft {
     }
     fn process(&self, buf: &mut [Complex64]) {
         assert_eq!(buf.len(), self.len);
-        let mut out = vec![Complex64::ZERO; self.len];
-        dft_into(buf, &mut out, self.direction);
-        buf.copy_from_slice(&out);
+        let mut ws = workspace();
+        let [out] = ws.complex_bufs([self.len]);
+        dft_into(buf, out, self.direction);
+        buf.copy_from_slice(out);
     }
 }
 
 /// Shared handle to a planned transform.
 pub type FftPlan = Arc<dyn Fft + Send + Sync>;
 
+type Key = (usize, FftDirection);
+/// A cache slot: present as soon as some thread has claimed the build,
+/// readable by everyone once the build completes. `OnceLock` blocks
+/// concurrent initializers, which is exactly the in-flight dedupe we need.
+type Slot = Arc<OnceLock<FftPlan>>;
+
 /// Creates and caches FFT plans.
 #[derive(Default)]
 pub struct FftPlanner {
-    cache: Mutex<HashMap<(usize, FftDirection), FftPlan>>,
+    shards: [RwLock<HashMap<Key, Slot>>; PLANNER_SHARDS],
+    builds: std::sync::atomic::AtomicUsize,
+}
+
+/// Shard index for a key: multiplicative mix so the power-of-two-heavy
+/// sizes the pipeline plans don't all collide on one shard.
+fn shard_of(n: usize, direction: FftDirection) -> usize {
+    let x = (n as u64) << 1 | matches!(direction, FftDirection::Inverse) as u64;
+    (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize % PLANNER_SHARDS
 }
 
 impl FftPlanner {
@@ -62,21 +94,27 @@ impl FftPlanner {
     /// Returns a plan for length `n` in `direction`, creating it on first use.
     pub fn plan(&self, n: usize, direction: FftDirection) -> FftPlan {
         assert!(n >= 1, "cannot plan a zero-length FFT");
-        if let Some(p) = self.cache.lock().get(&(n, direction)) {
-            return p.clone();
-        }
-        // Build outside the lock: Bluestein planning runs an inner FFT.
-        // Power-of-two sizes take the mixed radix-4/2 kernel (fewer
-        // multiplies than pure radix-2, identical results).
-        let plan: FftPlan = if n.is_power_of_two() {
-            Arc::new(Radix4Fft::new(n, direction))
-        } else if n < SMALL_DFT_LIMIT {
-            Arc::new(SmallDft { len: n, direction })
-        } else {
-            Arc::new(BluesteinFft::new(n, direction))
-        };
-        let mut cache = self.cache.lock();
-        cache.entry((n, direction)).or_insert(plan).clone()
+        let key = (n, direction);
+        let shard = &self.shards[shard_of(n, direction)];
+        // Warm path: a read lock and an Arc clone.
+        let slot: Option<Slot> = shard.read().get(&key).cloned();
+        let slot = slot.unwrap_or_else(|| shard.write().entry(key).or_default().clone());
+        slot.get_or_init(|| {
+            // Exactly one thread per key reaches this closure; losers of
+            // the race block above and share the winner's plan. Built
+            // outside any shard lock: Bluestein planning recursively plans
+            // its inner power-of-two transform.
+            self.builds
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n.is_power_of_two() {
+                Arc::new(Radix4Fft::new(n, direction)) as FftPlan
+            } else if n < SMALL_DFT_LIMIT {
+                Arc::new(SmallDft { len: n, direction })
+            } else {
+                Arc::new(BluesteinFft::new(n, direction))
+            }
+        })
+        .clone()
     }
 
     /// Convenience: forward plan.
@@ -91,7 +129,19 @@ impl FftPlanner {
 
     /// Number of distinct plans currently cached.
     pub fn cached_plans(&self) -> usize {
-        self.cache.lock().len()
+        self.planned_len()
+    }
+
+    /// Number of distinct `(n, direction)` keys planned so far.
+    pub fn planned_len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Number of plan constructions actually executed — with the in-flight
+    /// dedupe this equals [`Self::planned_len`] even under concurrent
+    /// warm-up (no double-build).
+    pub fn plan_builds(&self) -> usize {
+        self.builds.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -146,6 +196,7 @@ mod tests {
         assert_eq!(planner.cached_plans(), 1);
         planner.plan_inverse(64);
         assert_eq!(planner.cached_plans(), 2);
+        assert_eq!(planner.plan_builds(), 2);
     }
 
     #[test]
@@ -175,6 +226,47 @@ mod tests {
             }
         });
         assert!(planner.cached_plans() >= 1);
+    }
+
+    #[test]
+    fn concurrent_warmup_builds_each_plan_once() {
+        // Regression for the benign double-build race: many threads racing
+        // to plan the same awkward (Bluestein) size must produce exactly
+        // one cache entry AND exactly one construction.
+        let planner = std::sync::Arc::new(FftPlanner::new());
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let p = planner.clone();
+                let b = &barrier;
+                s.spawn(move || {
+                    b.wait();
+                    let plan = p.plan(100, FftDirection::Forward);
+                    assert_eq!(plan.len(), 100);
+                });
+            }
+        });
+        // Bluestein(100) recursively plans its power-of-two inner size, so
+        // more than one key exists — but every key must have been built
+        // exactly once (no thrown-away duplicate constructions).
+        assert!(planner.planned_len() >= 1);
+        assert_eq!(
+            planner.plan_builds(),
+            planner.planned_len(),
+            "every cached key built exactly once"
+        );
+    }
+
+    #[test]
+    fn build_count_equals_key_count_after_heavy_reuse() {
+        let planner = FftPlanner::new();
+        for _ in 0..10 {
+            for n in [8usize, 12, 100, 128] {
+                planner.plan_forward(n);
+                planner.plan_inverse(n);
+            }
+        }
+        assert_eq!(planner.plan_builds(), planner.planned_len());
     }
 
     #[test]

@@ -241,8 +241,15 @@ type DecimatedKey = (usize, usize, usize, FftDirection);
 #[derive(Default)]
 pub struct PrunedPlanner {
     planner: Arc<FftPlanner>,
-    pruned: parking_lot::Mutex<std::collections::HashMap<PrunedKey, Arc<PrunedInputFft>>>,
-    decimated: parking_lot::Mutex<std::collections::HashMap<DecimatedKey, Arc<DecimatedOutputFft>>>,
+    // Per-key `OnceLock` slots dedupe concurrent builds, mirroring
+    // `FftPlanner`: the map lock is held only to fetch the slot, and exactly
+    // one thread per key constructs the plan.
+    pruned: parking_lot::Mutex<
+        std::collections::HashMap<PrunedKey, Arc<std::sync::OnceLock<Arc<PrunedInputFft>>>>,
+    >,
+    decimated: parking_lot::Mutex<
+        std::collections::HashMap<DecimatedKey, Arc<std::sync::OnceLock<Arc<DecimatedOutputFft>>>>,
+    >,
 }
 
 impl PrunedPlanner {
@@ -266,14 +273,13 @@ impl PrunedPlanner {
 
     /// Plan (or fetch) a pruned-input transform.
     pub fn plan_pruned(&self, n: usize, k: usize, direction: FftDirection) -> Arc<PrunedInputFft> {
-        if let Some(p) = self.pruned.lock().get(&(n, k, direction)) {
-            return p.clone();
-        }
-        let plan = Arc::new(PrunedInputFft::new(&self.planner, n, k, direction));
-        self.pruned
+        let slot = self
+            .pruned
             .lock()
             .entry((n, k, direction))
-            .or_insert(plan)
+            .or_default()
+            .clone();
+        slot.get_or_init(|| Arc::new(PrunedInputFft::new(&self.planner, n, k, direction)))
             .clone()
     }
 
@@ -286,17 +292,17 @@ impl PrunedPlanner {
         direction: FftDirection,
     ) -> Arc<DecimatedOutputFft> {
         let key = (n, stride, offset, direction);
-        if let Some(p) = self.decimated.lock().get(&key) {
-            return p.clone();
-        }
-        let plan = Arc::new(DecimatedOutputFft::new(
-            &self.planner,
-            n,
-            stride,
-            offset,
-            direction,
-        ));
-        self.decimated.lock().entry(key).or_insert(plan).clone()
+        let slot = self.decimated.lock().entry(key).or_default().clone();
+        slot.get_or_init(|| {
+            Arc::new(DecimatedOutputFft::new(
+                &self.planner,
+                n,
+                stride,
+                offset,
+                direction,
+            ))
+        })
+        .clone()
     }
 }
 

@@ -17,8 +17,9 @@ pub struct Radix4Fft {
     /// `w^j = e^{sign·2πi·j/n}` for `j in 0..3n/4` (radix-4 needs w^{2j},
     /// w^{3j} too; all live in one table).
     twiddles: Vec<Complex64>,
-    /// Digit-reversed permutation for the mixed radix schedule.
-    perm: Vec<u32>,
+    /// Swap schedule realizing the digit-reversed permutation in place
+    /// (precomputed so `process` never allocates a scratch buffer).
+    swaps: Vec<(u32, u32)>,
     /// True if one radix-2 stage is needed (n = 2 · 4^m).
     leading_radix2: bool,
 }
@@ -40,11 +41,25 @@ impl Radix4Fft {
         // the output order of repeated DIT splits is the digit reversal in
         // the mixed radix system (2 then 4s, or all 4s).
         let perm = Self::digit_reversal(n, leading_radix2);
+        // Turn `out[i] = in[perm[i]]` into an in-place swap schedule (the
+        // classic cycle-chase: walk each target index forward through the
+        // swaps already performed). Doing this once at plan time lets
+        // `process` permute with zero scratch allocation.
+        let mut swaps = Vec::new();
+        for i in 0..n {
+            let mut k = perm[i] as usize;
+            while k < i {
+                k = perm[k] as usize;
+            }
+            if k != i {
+                swaps.push((i as u32, k as u32));
+            }
+        }
         Radix4Fft {
             len: n,
             direction,
             twiddles,
-            perm,
+            swaps,
             leading_radix2,
         }
     }
@@ -99,12 +114,11 @@ impl Fft for Radix4Fft {
         if n <= 1 {
             return;
         }
-        // Permute to digit-reversed order.
-        let mut tmp = vec![Complex64::ZERO; n];
-        for (i, &p) in self.perm.iter().enumerate() {
-            tmp[i] = buf[p as usize];
+        // Permute to digit-reversed order in place via the precomputed
+        // swap schedule — no scratch buffer, no allocation.
+        for &(a, b) in &self.swaps {
+            buf.swap(a as usize, b as usize);
         }
-        buf.copy_from_slice(&tmp);
 
         let mut m = 1usize;
         if self.leading_radix2 {

@@ -1,117 +1,886 @@
 //! Offline shim for `rayon`: the `prelude::*` combinators the workspace
-//! uses, executing **sequentially** on the calling thread.
+//! uses, executing on a **real** `std::thread` worker pool.
 //!
-//! Every `par_*` method returns the corresponding `std` iterator, so the
-//! full std combinator vocabulary (`map`, `zip`, `enumerate`, `collect`,
-//! `for_each`, …) is available unchanged. The workspace only applies
-//! order-independent operations, so results are identical to the real
-//! crate; only wall-clock parallelism is lost.
+//! The pool is global and lazy: it spins up on the first parallel call,
+//! sized by `LCC_THREADS` (preferred), then `RAYON_NUM_THREADS`, then
+//! `std::thread::available_parallelism()`. With one thread the combinators
+//! run inline on the caller, byte-identical to the historical sequential
+//! shim. Work is distributed by chunked atomic-index stealing: each
+//! participant (the caller plus every worker) pulls contiguous index
+//! ranges off a shared atomic counter until the range is exhausted.
+//!
+//! # Determinism
+//!
+//! Every combinator here is *indexed*: item `i` of a `par_iter`/
+//! `par_chunks_mut`/`zip`/`map` chain is a pure function of `i` and the
+//! underlying data, and lands in a position (or output slot) derived from
+//! `i` alone. No reductions reorder floating-point operations and no item
+//! reads another item's output, so results are bit-identical for every
+//! thread count and every chunking. This is what lets the convolution
+//! pipeline keep its recovery bit-identity guarantees under parallelism.
+//!
+//! # Nesting
+//!
+//! Parallel regions started from inside a pool task (or from inside
+//! [`run_sequential`]) execute inline on the current thread — the pool is
+//! never re-entered, so nested `par_*` calls cannot deadlock.
 
-pub mod prelude {
-    /// `par_iter`/`par_chunks` on slices (and anything derefing to one).
-    pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[doc(hidden)]
+pub mod pool {
+    //! The worker pool. Public (but hidden) so tests and benches can build
+    //! fixed-size pools regardless of the environment.
+
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    type Body = dyn Fn() + Sync;
+    type Payload = Box<dyn std::any::Any + Send>;
+
+    struct Slot {
+        /// Current job, lifetime-erased. Non-`None` only while a broadcast
+        /// is in flight; the submitting thread keeps the referent alive
+        /// until every worker has finished it.
+        job: Option<&'static Body>,
+        /// Monotonic job id so a worker runs each job exactly once.
+        seq: u64,
+        /// Workers that have not yet finished the current job.
+        remaining: usize,
+        /// First panic payload raised by a worker, re-thrown by the caller.
+        payload: Option<Payload>,
+        stop: bool,
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    struct Inner {
+        threads: usize,
+        slot: Mutex<Slot>,
+        work_ready: Condvar,
+        work_done: Condvar,
+        /// Serializes broadcasts from independent caller threads.
+        submit: Mutex<()>,
+    }
+
+    /// A fixed-size worker pool: `threads - 1` parked worker threads plus
+    /// the submitting caller, which always participates.
+    pub struct WorkerPool {
+        inner: Arc<Inner>,
+        handles: Vec<std::thread::JoinHandle<()>>,
+    }
+
+    thread_local! {
+        static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// True on pool worker threads and inside [`run_sequential`]; parallel
+    /// regions started here run inline.
+    pub fn in_pool() -> bool {
+        IN_POOL.with(|c| c.get())
+    }
+
+    fn worker_loop(inner: &Inner) {
+        IN_POOL.with(|c| c.set(true));
+        let mut seen = 0u64;
+        loop {
+            let (job, seq) = {
+                let mut s = inner.slot.lock().unwrap();
+                loop {
+                    if s.stop {
+                        return;
+                    }
+                    if let Some(j) = s.job {
+                        if s.seq != seen {
+                            break (j, s.seq);
+                        }
+                    }
+                    s = inner.work_ready.wait(s).unwrap();
+                }
+            };
+            seen = seq;
+            let result = catch_unwind(AssertUnwindSafe(job));
+            let mut s = inner.slot.lock().unwrap();
+            if let Err(p) = result {
+                if s.payload.is_none() {
+                    s.payload = Some(p);
+                }
+            }
+            s.remaining -= 1;
+            if s.remaining == 0 {
+                inner.work_done.notify_all();
+            }
+        }
+    }
+
+    impl WorkerPool {
+        /// Spawns a pool with `threads` total participants (`threads - 1`
+        /// OS workers). `threads == 1` spawns nothing; broadcasts run
+        /// inline.
+        pub fn new(threads: usize) -> Self {
+            let threads = threads.max(1);
+            let inner = Arc::new(Inner {
+                threads,
+                slot: Mutex::new(Slot {
+                    job: None,
+                    seq: 0,
+                    remaining: 0,
+                    payload: None,
+                    stop: false,
+                }),
+                work_ready: Condvar::new(),
+                work_done: Condvar::new(),
+                submit: Mutex::new(()),
+            });
+            let mut handles = Vec::new();
+            for w in 1..threads {
+                let inner = Arc::clone(&inner);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("lcc-par-{w}"))
+                        .spawn(move || worker_loop(&inner))
+                        .expect("failed to spawn pool worker"),
+                );
+            }
+            WorkerPool { inner, handles }
         }
 
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+        /// Total participants (workers + caller).
+        pub fn threads(&self) -> usize {
+            self.inner.threads
+        }
+
+        /// Runs `body` once on every participant concurrently, returning
+        /// after all have finished. Panics (from any participant) are
+        /// re-thrown on the caller after the barrier, so the job's borrows
+        /// stay valid for as long as any worker can touch them.
+        pub fn broadcast(&self, body: &(dyn Fn() + Sync)) {
+            let inner = &*self.inner;
+            if inner.threads == 1 || in_pool() {
+                body();
+                return;
+            }
+            let _serialize = inner.submit.lock().unwrap();
+            // SAFETY: the job reference is only reachable by workers while
+            // this call is on the stack — we do not return (even on panic)
+            // until `remaining == 0`, i.e. every worker is done with it.
+            let job: &'static Body =
+                unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static Body>(body) };
+            {
+                let mut s = inner.slot.lock().unwrap();
+                s.job = Some(job);
+                s.seq = s.seq.wrapping_add(1);
+                s.remaining = inner.threads - 1;
+                inner.work_ready.notify_all();
+            }
+            let prev = IN_POOL.with(|c| c.replace(true));
+            let caller = catch_unwind(AssertUnwindSafe(body));
+            let worker_payload = {
+                let mut s = inner.slot.lock().unwrap();
+                while s.remaining > 0 {
+                    s = inner.work_done.wait(s).unwrap();
+                }
+                s.job = None;
+                s.payload.take()
+            };
+            IN_POOL.with(|c| c.set(prev));
+            drop(_serialize);
+            if let Err(p) = caller {
+                std::panic::resume_unwind(p);
+            }
+            if let Some(p) = worker_payload {
+                std::panic::resume_unwind(p);
+            }
+        }
+    }
+
+    impl Drop for WorkerPool {
+        fn drop(&mut self) {
+            {
+                let mut s = self.inner.slot.lock().unwrap();
+                s.stop = true;
+            }
+            self.inner.work_ready.notify_all();
+            for h in self.handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Pool size from the environment: `LCC_THREADS`, then
+    /// `RAYON_NUM_THREADS`, then the machine's available parallelism.
+    pub fn configured_threads() -> usize {
+        for var in ["LCC_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(v) = std::env::var(var) {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+
+    /// The lazy global pool used by all `prelude` combinators.
+    pub fn global() -> &'static WorkerPool {
+        GLOBAL.get_or_init(|| WorkerPool::new(configured_threads()))
+    }
+
+    /// Effective parallelism for a region starting *here*: 1 when already
+    /// inside a pool task (nested regions run inline).
+    pub fn parallelism() -> usize {
+        if in_pool() {
+            1
+        } else {
+            global().threads()
+        }
+    }
+
+    /// Runs `body` on every participant of the global pool (inline when
+    /// single-threaded or nested).
+    pub fn run(body: &(dyn Fn() + Sync)) {
+        if in_pool() {
+            body();
+            return;
+        }
+        let p = global();
+        if p.threads() == 1 {
+            body();
+            return;
+        }
+        p.broadcast(body);
+    }
+
+    /// Forces everything inside `f` (on this thread) to run sequentially,
+    /// regardless of the pool size — the reference execution for
+    /// parallel-vs-sequential bit-identity tests.
+    pub fn run_sequential<R>(f: impl FnOnce() -> R) -> R {
+        struct Restore(bool);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                IN_POOL.with(|c| c.set(self.0));
+            }
+        }
+        let prev = IN_POOL.with(|c| c.replace(true));
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+pub use pool::run_sequential;
+
+/// Number of threads the global pool uses (rayon-compatible name).
+pub fn current_num_threads() -> usize {
+    pool::global().threads()
+}
+
+/// Chunk size for distributing `len` items over `threads` participants:
+/// small enough to balance, large enough to amortize the atomic pop.
+fn chunk_for(len: usize, threads: usize) -> usize {
+    (len / (threads * 4)).max(1)
+}
+
+pub mod prelude {
+    use super::pool;
+    use super::{chunk_for, AtomicUsize, Ordering};
+    use std::marker::PhantomData;
+
+    /// An indexed parallel iterator: `item(i)` is a pure function of the
+    /// index and the underlying data, which is what makes execution
+    /// bit-identical across thread counts.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item: Send;
+
+        /// Number of items.
+        fn len(&self) -> usize;
+
+        /// True when there are no items.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Produces item `i`.
+        ///
+        /// # Safety
+        ///
+        /// For sources handing out `&mut` references (`par_iter_mut`,
+        /// `par_chunks_mut`), each index must be produced **at most once**
+        /// across all threads for the lifetime of the borrow — the driver
+        /// loops below guarantee this by partitioning `0..len` disjointly.
+        unsafe fn item(&self, index: usize) -> Self::Item;
+
+        /// Maps each item through `f`.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Pairs items with their index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { inner: self }
+        }
+
+        /// Zips with another indexed iterator (shorter length wins).
+        fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+            Zip { a: self, b: other }
+        }
+
+        /// Consumes every item on the pool.
+        fn for_each<F>(self, f: F)
+        where
+            Self: Sync,
+            F: Fn(Self::Item) + Sync,
+        {
+            let len = self.len();
+            if len == 0 {
+                return;
+            }
+            let threads = pool::parallelism();
+            if threads == 1 {
+                for i in 0..len {
+                    // SAFETY: 0..len visited exactly once.
+                    f(unsafe { self.item(i) });
+                }
+                return;
+            }
+            let chunk = chunk_for(len, threads);
+            let next = AtomicUsize::new(0);
+            pool::run(&|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + chunk).min(len);
+                for i in start..end {
+                    // SAFETY: the atomic counter hands out each index to
+                    // exactly one participant.
+                    f(unsafe { self.item(i) });
+                }
+            });
+        }
+
+        /// Like [`Self::for_each`] but with per-participant scratch state:
+        /// `init` runs once per participating thread per call (exactly once
+        /// in sequential mode).
+        fn for_each_init<S, INIT, F>(self, init: INIT, f: F)
+        where
+            Self: Sync,
+            INIT: Fn() -> S + Sync,
+            F: Fn(&mut S, Self::Item) + Sync,
+        {
+            let len = self.len();
+            if len == 0 {
+                return;
+            }
+            let threads = pool::parallelism();
+            if threads == 1 {
+                let mut state = init();
+                for i in 0..len {
+                    // SAFETY: 0..len visited exactly once.
+                    f(&mut state, unsafe { self.item(i) });
+                }
+                return;
+            }
+            let chunk = chunk_for(len, threads);
+            let next = AtomicUsize::new(0);
+            pool::run(&|| {
+                let mut state = init();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + chunk).min(len);
+                    for i in start..end {
+                        // SAFETY: disjoint index ranges per participant.
+                        f(&mut state, unsafe { self.item(i) });
+                    }
+                }
+            });
+        }
+
+        /// Collects into a container, preserving item order.
+        fn collect<C>(self) -> C
+        where
+            Self: Sync,
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_iter_indexed(self)
+        }
+    }
+
+    /// Order-preserving parallel collection.
+    pub trait FromParallelIterator<T: Send> {
+        /// Builds the container from an indexed parallel iterator.
+        fn from_par_iter_indexed<P>(p: P) -> Self
+        where
+            P: ParallelIterator<Item = T> + Sync;
+    }
+
+    /// Raw destination pointer for parallel collect; writes are disjoint by
+    /// index so sharing it across threads is sound.
+    struct DestPtr<T>(*mut T);
+    impl<T> Clone for DestPtr<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for DestPtr<T> {}
+    // SAFETY: slot `i` is written by exactly one participant.
+    unsafe impl<T: Send> Send for DestPtr<T> {}
+    unsafe impl<T: Send> Sync for DestPtr<T> {}
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter_indexed<P>(p: P) -> Self
+        where
+            P: ParallelIterator<Item = T> + Sync,
+        {
+            let len = p.len();
+            let mut out: Vec<T> = Vec::with_capacity(len);
+            let threads = pool::parallelism();
+            if threads == 1 {
+                for i in 0..len {
+                    // SAFETY: 0..len visited exactly once.
+                    out.push(unsafe { p.item(i) });
+                }
+                return out;
+            }
+            let dest = DestPtr(out.as_mut_ptr());
+            let chunk = chunk_for(len, threads);
+            let next = AtomicUsize::new(0);
+            pool::run(&|| {
+                // Copy the wrapper (not the raw field) so the closure
+                // captures the `Sync` type, not a bare `*mut T`.
+                let d = dest;
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + chunk).min(len);
+                    for i in start..end {
+                        // SAFETY: index handed to exactly one participant;
+                        // slot i is inside the reserved capacity.
+                        unsafe { d.0.add(i).write(p.item(i)) };
+                    }
+                }
+            });
+            // SAFETY: every slot in 0..len was initialized above (the
+            // barrier in `run` orders the writes before this).
+            unsafe { out.set_len(len) };
+            out
+        }
+    }
+
+    // ---- Sources ----
+
+    /// Shared-slice source (`par_iter`).
+    pub struct ParIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+        type Item = &'a T;
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+        unsafe fn item(&self, index: usize) -> &'a T {
+            &self.slice[index]
+        }
+    }
+
+    /// Shared-chunks source (`par_chunks`).
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+        type Item = &'a [T];
+        fn len(&self) -> usize {
+            self.slice.len().div_ceil(self.size)
+        }
+        unsafe fn item(&self, index: usize) -> &'a [T] {
+            let start = index * self.size;
+            let end = (start + self.size).min(self.slice.len());
+            &self.slice[start..end]
+        }
+    }
+
+    /// Mutable-slice source (`par_iter_mut`).
+    pub struct ParIterMut<'a, T> {
+        ptr: *mut T,
+        len: usize,
+        _marker: PhantomData<&'a mut [T]>,
+    }
+
+    // SAFETY: each index yields a disjoint `&mut T` (driver loops visit
+    // every index at most once).
+    unsafe impl<T: Send> Send for ParIterMut<'_, T> {}
+    unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
+
+    impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+        type Item = &'a mut T;
+        fn len(&self) -> usize {
+            self.len
+        }
+        unsafe fn item(&self, index: usize) -> &'a mut T {
+            assert!(index < self.len);
+            // SAFETY: in bounds; disjointness per the trait contract.
+            unsafe { &mut *self.ptr.add(index) }
+        }
+    }
+
+    /// Mutable-chunks source (`par_chunks_mut`).
+    pub struct ParChunksMut<'a, T> {
+        ptr: *mut T,
+        len: usize,
+        size: usize,
+        _marker: PhantomData<&'a mut [T]>,
+    }
+
+    // SAFETY: chunk `i` covers indices `[i*size, min((i+1)*size, len))`,
+    // disjoint across distinct `i`.
+    unsafe impl<T: Send> Send for ParChunksMut<'_, T> {}
+    unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
+
+    impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+        type Item = &'a mut [T];
+        fn len(&self) -> usize {
+            self.len.div_ceil(self.size)
+        }
+        unsafe fn item(&self, index: usize) -> &'a mut [T] {
+            let start = index * self.size;
+            assert!(start < self.len);
+            let end = (start + self.size).min(self.len);
+            // SAFETY: in bounds; chunks are disjoint by construction.
+            unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+        }
+    }
+
+    /// Index-range source (`(0..n).into_par_iter()`).
+    pub struct ParRange {
+        start: usize,
+        count: usize,
+    }
+
+    impl ParallelIterator for ParRange {
+        type Item = usize;
+        fn len(&self) -> usize {
+            self.count
+        }
+        unsafe fn item(&self, index: usize) -> usize {
+            self.start + index
+        }
+    }
+
+    // ---- Adapters ----
+
+    /// Output of [`ParallelIterator::map`].
+    pub struct Map<P, F> {
+        inner: P,
+        f: F,
+    }
+
+    impl<P, R, F> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        R: Send,
+        F: Fn(P::Item) -> R + Sync,
+    {
+        type Item = R;
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        unsafe fn item(&self, index: usize) -> R {
+            // SAFETY: forwards the caller's once-per-index guarantee.
+            (self.f)(unsafe { self.inner.item(index) })
+        }
+    }
+
+    /// Output of [`ParallelIterator::enumerate`].
+    pub struct Enumerate<P> {
+        inner: P,
+    }
+
+    impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+        type Item = (usize, P::Item);
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        unsafe fn item(&self, index: usize) -> (usize, P::Item) {
+            // SAFETY: forwards the caller's once-per-index guarantee.
+            (index, unsafe { self.inner.item(index) })
+        }
+    }
+
+    /// Output of [`ParallelIterator::zip`].
+    pub struct Zip<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+        type Item = (A::Item, B::Item);
+        fn len(&self) -> usize {
+            self.a.len().min(self.b.len())
+        }
+        unsafe fn item(&self, index: usize) -> (A::Item, B::Item) {
+            // SAFETY: forwards the caller's once-per-index guarantee to
+            // both sides.
+            unsafe { (self.a.item(index), self.b.item(index)) }
+        }
+    }
+
+    // ---- Entry points ----
+
+    /// `par_iter`/`par_chunks` on slices (and anything derefing to one).
+    pub trait ParallelSlice<T: Sync> {
+        /// Indexed parallel iterator over `&T`.
+        fn par_iter(&self) -> ParIter<'_, T>;
+        /// Indexed parallel iterator over `&[T]` chunks.
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<'_, T> {
+            ParIter { slice: self }
+        }
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            ParChunks {
+                slice: self,
+                size: chunk_size,
+            }
         }
     }
 
     /// `par_iter_mut`/`par_chunks_mut` on mutable slices.
-    pub trait ParallelSliceMut<T> {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    pub trait ParallelSliceMut<T: Send> {
+        /// Indexed parallel iterator over `&mut T`.
+        fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+        /// Indexed parallel iterator over `&mut [T]` chunks.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+            ParIterMut {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                _marker: PhantomData,
+            }
         }
-
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be non-zero");
+            ParChunksMut {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                size: chunk_size,
+                _marker: PhantomData,
+            }
         }
     }
 
-    /// `into_par_iter` on owned collections and ranges.
+    /// `into_par_iter` on index ranges.
     pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item: Send;
+        /// The parallel iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts into a parallel iterator.
         fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Item = T;
-        type Iter = std::vec::IntoIter<T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
     }
 
     impl IntoParallelIterator for std::ops::Range<usize> {
         type Item = usize;
-        type Iter = std::ops::Range<usize>;
-        fn into_par_iter(self) -> Self::Iter {
-            self
+        type Iter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange {
+                start: self.start,
+                count: self.end.saturating_sub(self.start),
+            }
         }
     }
-
-    /// Rayon's `for_each_init`: per-"thread" scratch state. Sequential, so
-    /// the initializer runs exactly once.
-    pub trait ForEachInit: Iterator + Sized {
-        fn for_each_init<S, INIT, F>(self, init: INIT, mut f: F)
-        where
-            INIT: FnMut() -> S,
-            F: FnMut(&mut S, Self::Item),
-        {
-            let mut init = init;
-            let mut state = init();
-            self.for_each(|item| f(&mut state, item));
-        }
-    }
-
-    impl<I: Iterator> ForEachInit for I {}
 }
 
 #[cfg(test)]
 mod tests {
+    use super::pool::WorkerPool;
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn par_iter_map_collect() {
-        let v = [1, 2, 3];
-        let out: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
-        assert_eq!(out, vec![2, 4, 6]);
+    fn par_iter_map_collect_preserves_order() {
+        let v: Vec<i64> = (0..10_000).collect();
+        let out: Vec<i64> = v.par_iter().map(|x| x * 2).collect();
+        let expect: Vec<i64> = v.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]
     fn par_chunks_mut_enumerate() {
-        let mut v = vec![0usize; 6];
+        let mut v = vec![0usize; 6_000];
         v.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
             for x in c.iter_mut() {
                 *x = i;
             }
         });
-        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+        for (j, &x) in v.iter().enumerate() {
+            assert_eq!(x, j / 2);
+        }
     }
 
     #[test]
-    fn zip_and_for_each_init() {
-        let a = [1, 2, 3];
-        let mut b = vec![0, 0, 0];
+    fn zip_mut_with_shared() {
+        let a: Vec<i32> = (0..4096).collect();
+        let mut b = vec![0i32; 4096];
         b.par_iter_mut()
             .zip(a.par_iter())
             .for_each(|(y, x)| *y = x + 1);
-        assert_eq!(b, vec![2, 3, 4]);
-        let mut total = 0;
-        a.par_iter().for_each_init(|| 10, |s, x| total += *s + x);
-        assert_eq!(total, 36);
+        for (y, x) in b.iter().zip(&a) {
+            assert_eq!(*y, x + 1);
+        }
+    }
+
+    #[test]
+    fn for_each_init_runs_init_once_per_participant() {
+        let inits = AtomicUsize::new(0);
+        let items = AtomicUsize::new(0);
+        let v = vec![1u8; 10_000];
+        v.par_iter().for_each_init(
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, _| {
+                items.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(items.load(Ordering::Relaxed), 10_000);
+        assert!(inits.load(Ordering::Relaxed) <= super::current_num_threads());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let hits = AtomicUsize::new(0);
+        (7..5_007).into_par_iter().for_each(|i| {
+            assert!((7..5_007).contains(&i));
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5_000);
+    }
+
+    #[test]
+    fn pool_broadcast_runs_every_participant() {
+        let pool = WorkerPool::new(4);
+        let ran = AtomicUsize::new(0);
+        pool.broadcast(&|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+        // A second job reuses the same (still-parked) workers.
+        let ran2 = AtomicUsize::new(0);
+        pool.broadcast(&|| {
+            ran2.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran2.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn pool_chunked_counter_covers_all_indices() {
+        let pool = WorkerPool::new(4);
+        let n = 100_000usize;
+        let mut data = vec![0u8; n];
+        struct Dest(*mut u8);
+        unsafe impl Send for Dest {}
+        unsafe impl Sync for Dest {}
+        let dest = Dest(data.as_mut_ptr());
+        let next = AtomicUsize::new(0);
+        pool.broadcast(&|| {
+            let d = &dest;
+            loop {
+                let start = next.fetch_add(64, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + 64).min(n) {
+                    // SAFETY: disjoint indices via the atomic counter.
+                    unsafe { *d.0.add(i) += 1 };
+                }
+            }
+        });
+        assert!(data.iter().all(|&b| b == 1), "every index exactly once");
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(&|| panic!("boom from pool"));
+        }));
+        assert!(result.is_err());
+        // Pool stays usable after a panic.
+        let ran = AtomicUsize::new(0);
+        pool.broadcast(&|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn combinator_panic_propagates() {
+        let v = vec![0u8; 1000];
+        let result = std::panic::catch_unwind(|| {
+            v.par_iter().for_each(|_| panic!("item panic"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_parallel_regions_run_inline() {
+        let mut outer = vec![0usize; 64];
+        outer.par_chunks_mut(8).enumerate().for_each(|(i, c)| {
+            // Nested region: must run inline without deadlocking.
+            c.par_iter_mut().for_each(|x| *x = i);
+        });
+        for (j, &x) in outer.iter().enumerate() {
+            assert_eq!(x, j / 8);
+        }
+    }
+
+    #[test]
+    fn run_sequential_matches_parallel() {
+        let v: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let par: Vec<f64> = v.par_iter().map(|x| x.exp()).collect();
+        let seq: Vec<f64> = super::run_sequential(|| v.par_iter().map(|x| x.exp()).collect());
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-identical across modes");
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let ran = AtomicUsize::new(0);
+        pool.broadcast(&|| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        let v: Vec<u8> = Vec::new();
+        v.par_iter().for_each(|_| unreachable!());
+        let out: Vec<u8> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        (0..0).into_par_iter().for_each(|_| unreachable!());
     }
 }

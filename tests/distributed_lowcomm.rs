@@ -58,6 +58,11 @@ fn distributed_matches_serial_lowcomm_and_oracle() {
                         .convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
                 })
                 .collect();
+            // The byte counter is cluster-global, so rendezvous first: only
+            // once *every* rank has finished its local phase is "no bytes
+            // yet" a race-free statement (a fast rank would otherwise enter
+            // the exchange while a slow one is still checking).
+            w.barrier().expect("barrier failed");
             let before = w.stats().bytes();
             assert_eq!(before, 0, "local phase must not communicate");
 

@@ -64,22 +64,30 @@ impl Default for CountingAlloc {
 
 // SAFETY: pure pass-through to `System`; the counters are side effects only.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: contract inherited verbatim from `GlobalAlloc::alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         self.record(layout.size());
+        // SAFETY: forwarding the caller's layout unchanged to `System`.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: contract inherited verbatim from `GlobalAlloc::alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         self.record(layout.size());
+        // SAFETY: forwarding the caller's layout unchanged to `System`.
         unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: contract inherited verbatim from `GlobalAlloc::dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from this allocator, which is `System` underneath.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: contract inherited verbatim from `GlobalAlloc::realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         self.record(new_size);
+        // SAFETY: `ptr` came from this allocator, which is `System` underneath.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

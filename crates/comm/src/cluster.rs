@@ -838,7 +838,9 @@ fn parse_epoch(frame: &[u8]) -> Result<(u64, &[u8]), CodecError> {
             elem_size: EPOCH_HEADER,
         });
     }
-    let epoch = u64::from_le_bytes(frame[..EPOCH_HEADER].try_into().expect("checked length"));
+    let mut header = [0u8; EPOCH_HEADER];
+    header.copy_from_slice(&frame[..EPOCH_HEADER]);
+    let epoch = u64::from_le_bytes(header);
     Ok((epoch, &frame[EPOCH_HEADER..]))
 }
 
@@ -892,7 +894,10 @@ where
     let (results, stats) = run_cluster_with_faults(p, FaultPlan::none(), RetryPolicy::default(), f);
     let results = results
         .into_iter()
-        .map(|r| r.expect("no rank is crashed in a fault-free run"))
+        .map(|r| match r {
+            Some(r) => r,
+            None => unreachable!("no rank is crashed in a fault-free run"),
+        })
         .collect();
     (results, stats)
 }
@@ -964,7 +969,7 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.map(|h| h.join().expect("rank panicked")))
+            .map(|h| h.map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))))
             .collect()
     });
     (results, stats)
@@ -1011,7 +1016,11 @@ pub fn try_decode_f64s(bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
     }
     Ok(bytes
         .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .map(|c| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(c);
+            f64::from_le_bytes(b)
+        })
         .collect())
 }
 

@@ -23,7 +23,7 @@
 use lcc_fft::{fft_axis, scale_in_place, Complex64, FftDirection, FftPlanner};
 
 use crate::cluster::CommWorld;
-use crate::dist_fft::{decode_complex, encode_complex};
+use crate::dist_fft::{encode_complex, try_decode_complex};
 use crate::fault::CommError;
 
 /// 2D process-grid coordinates of `rank` in a `pr × pc` grid
@@ -87,8 +87,22 @@ fn pencil_exchange(
     let ca_total = ca * q; // = full length of axis a
     let mut out = vec![Complex64::ZERO; cb * ca_total * w];
     for (s, payload) in incoming.iter().enumerate() {
-        let block = decode_complex(payload);
-        assert_eq!(block.len(), ca * cb * w, "bad block from sub-peer {s}");
+        // A malformed block crossed a (simulated) wire: typed error, not a
+        // panic, so the caller can trigger recovery.
+        let block = try_decode_complex(payload).map_err(|e| CommError::Decode {
+            rank: world.rank(),
+            peer: peers[s],
+            len: e.len,
+            elem_size: e.elem_size,
+        })?;
+        if block.len() != ca * cb * w {
+            return Err(CommError::Decode {
+                rank: world.rank(),
+                peer: peers[s],
+                len: payload.len(),
+                elem_size: 16,
+            });
+        }
         for a_loc in 0..ca {
             let a = s * ca + a_loc;
             for b_loc in 0..cb {
@@ -201,8 +215,20 @@ pub fn pencil_forward_3d(
     // z ∈ our cz. Output dims (cyr, cz, n) indexed (fy_loc, z_loc, fx).
     let mut out = vec![Complex64::ZERO; cyr * cz * n];
     for (s, payload) in incoming.iter().enumerate() {
-        let blockb = decode_complex(payload);
-        assert_eq!(blockb.len(), cyr * cz * cx, "bad column block");
+        let blockb = try_decode_complex(payload).map_err(|e| CommError::Decode {
+            rank: world.rank(),
+            peer: peers[s],
+            len: e.len,
+            elem_size: e.elem_size,
+        })?;
+        if blockb.len() != cyr * cz * cx {
+            return Err(CommError::Decode {
+                rank: world.rank(),
+                peer: peers[s],
+                len: payload.len(),
+                elem_size: 16,
+            });
+        }
         for yl in 0..cyr {
             for z in 0..cz {
                 for xl in 0..cx {
@@ -254,8 +280,20 @@ pub fn pencil_inverse_3d(
     // Rebuild (fy full, z_loc, x_loc): from peer s, fy ∈ s's chunk.
     let mut perm = vec![Complex64::ZERO; n * cz * cx];
     for (s, payload) in incoming.iter().enumerate() {
-        let blockb = decode_complex(payload);
-        assert_eq!(blockb.len(), cyr * cz * cx);
+        let blockb = try_decode_complex(payload).map_err(|e| CommError::Decode {
+            rank: world.rank(),
+            peer: peers[s],
+            len: e.len,
+            elem_size: e.elem_size,
+        })?;
+        if blockb.len() != cyr * cz * cx {
+            return Err(CommError::Decode {
+                rank: world.rank(),
+                peer: peers[s],
+                len: payload.len(),
+                elem_size: 16,
+            });
+        }
         for yl in 0..cyr {
             let y = s * cyr + yl;
             for z in 0..cz {

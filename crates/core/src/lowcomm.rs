@@ -328,9 +328,10 @@ impl LowCommConvolver {
             report.exchange_bytes += f.message_bytes();
         }
         for &id in recovered {
-            let f = contributions
-                .get(&id)
-                .expect("recovered id must have a contribution");
+            let f = match contributions.get(&id) {
+                Some(f) => f,
+                None => unreachable!("recovered id must have a contribution"),
+            };
             report.recovered_domains += 1;
             report.recovery_extra_flops += self.local.flops_estimate(f.plan());
             report.recovery_extra_bytes += f.message_bytes();

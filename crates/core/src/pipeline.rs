@@ -20,6 +20,8 @@
 //! frequency-domain phase `e^{-2πi f·c/N}` folded into the pointwise
 //! multiply, so the pruned transforms never see shifted data.
 
+// lcc-lint: hot-path — pipeline stages 1-3; only per-solve setup may allocate.
+
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -152,6 +154,7 @@ impl LocalConvolver {
     /// Allocating wrapper around [`Self::forward_2d_slab_into`] (used by the
     /// tensor-field variant, which owns its slabs).
     pub(crate) fn forward_2d_slab(&self, sub: &Grid3<f64>) -> Vec<Complex64> {
+        // lcc-lint: allow(alloc) — one slab per solve, owned by the caller.
         let mut slab = vec![Complex64::ZERO; self.k * self.n * self.n];
         self.forward_2d_slab_into(sub, &mut slab);
         slab

@@ -9,6 +9,8 @@
 //! outputs — the same transform count as the paper's "9 convolutions per
 //! stress component" accounting collapsed into shared passes.
 
+// lcc-lint: hot-path — tensor z stage; only per-solve setup may allocate.
+
 use std::sync::Arc;
 
 use rayon::prelude::*;
@@ -68,6 +70,8 @@ impl LocalConvolver {
         // frequency bin, so the tensor contraction happens in-register.
         let retained = plan.retained_z();
         let nzr = retained.len();
+        // lcc-lint: allow(alloc) — six per-solve output buffers, kept until
+        // compression; not per-pencil traffic.
         let mut kept: Vec<Vec<Complex64>> =
             (0..6).map(|_| vec![Complex64::ZERO; nzr * n * n]).collect();
         let inv_n = self.plan_inverse_n();
@@ -81,6 +85,8 @@ impl LocalConvolver {
         let total = n * n;
         let batch = self.batch();
         // Per-pencil output: 6 components × nzr retained values.
+        // lcc-lint: allow(alloc) — one batch buffer per solve, reused across
+        // all batches.
         let mut batch_out = vec![Complex64::ZERO; batch * nzr * 6];
         let mut q0 = 0;
         while q0 < total {
@@ -159,7 +165,10 @@ impl LocalConvolver {
                 field
             })
             .collect();
-        fields.try_into().expect("exactly six components")
+        match fields.try_into() {
+            Ok(six) => six,
+            Err(_) => unreachable!("exactly six components"),
+        }
     }
 }
 

@@ -11,6 +11,8 @@
 //! pencil base offsets are *generated* from the axis geometry instead of
 //! materialized into a per-call `Vec`, keeping the hot path allocation-free.
 
+// lcc-lint: hot-path — per-pencil dispatch; warm-path allocations are banned.
+
 use rayon::prelude::*;
 
 use crate::complex::Complex64;
@@ -46,6 +48,7 @@ struct SendPtr(*mut Complex64);
 // disjoint, which the offset construction guarantees (and debug builds
 // check).
 unsafe impl Send for SendPtr {}
+// SAFETY: same disjointness argument as `Send` above.
 unsafe impl Sync for SendPtr {}
 
 /// Pencil base offsets described by their generator rather than a
@@ -181,6 +184,11 @@ fn process_pencils(data: &mut [Complex64], set: &PencilSet, stride: usize, plan:
     assert!(max_needed < data.len(), "pencil exceeds buffer bounds");
     #[cfg(debug_assertions)]
     assert_disjoint(set, stride, len);
+    // Debug/analysis builds additionally tag every dispatched pencil range
+    // in the global detector registry, so overlap between *concurrently
+    // live* items (including across independent dispatches racing on the
+    // same buffer) panics with both call sites. No-op in plain release.
+    crate::detector::begin_epoch();
 
     let ptr = SendPtr(data.as_mut_ptr());
     if stride == 1 {
@@ -190,6 +198,7 @@ fn process_pencils(data: &mut [Complex64], set: &PencilSet, stride: usize, plan:
             // closure stays shareable across pool threads.
             let p = ptr;
             let off = set.offset(i);
+            let _claim = crate::detector::register(p.0 as usize, off, 1, len, "contiguous pencil");
             // SAFETY: bases are distinct pencil starts; contiguous ranges
             // [off, off+len) are disjoint across tasks and in bounds.
             let pencil = unsafe { std::slice::from_raw_parts_mut(p.0.add(off), len) };
@@ -201,6 +210,8 @@ fn process_pencils(data: &mut [Complex64], set: &PencilSet, stride: usize, plan:
             .for_each_init(workspace, |ws, i| {
                 let p = ptr;
                 let off = set.offset(i);
+                let _claim =
+                    crate::detector::register(p.0 as usize, off, stride, len, "strided pencil");
                 let [scratch] = ws.complex_bufs([len]);
                 for (t, s) in scratch.iter_mut().enumerate() {
                     // SAFETY: disjoint strided index sets per task, in bounds
@@ -457,6 +468,25 @@ mod tests {
         let plan = planner.plan_forward(4);
         // Bases 0 and 2 with len 4, stride 1: ranges [0,4) and [2,6) alias.
         process_pencils(&mut data, &PencilSet::Explicit(&[0, 2]), 1, &plan);
+    }
+
+    /// The runtime detector's view of the same bug class: materialize the
+    /// claims a deliberately overlapping [`PencilSet`] would make if its
+    /// items ran concurrently. Unlike `overlapping_pencils_caught_in_debug`
+    /// this also runs in optimized builds with `--features analysis`,
+    /// where `assert_disjoint` is compiled out.
+    #[cfg(any(debug_assertions, feature = "analysis"))]
+    #[test]
+    #[should_panic(expected = "overlapping pencils")]
+    fn detector_catches_overlapping_pencil_set() {
+        // Stride 4, len 2: bases {0, 6, 4} give index sets {0,4}, {6,10},
+        // {4,8} — the third shares index 4 with the first.
+        let set = PencilSet::Explicit(&[0, 6, 4]);
+        crate::detector::begin_epoch();
+        let buf = 0xF00D0000usize;
+        let _claims: Vec<_> = (0..set.count())
+            .map(|i| crate::detector::register(buf, set.offset(i), 4, 2, "test pencil"))
+            .collect();
     }
 
     #[test]

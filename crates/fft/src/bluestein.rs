@@ -9,6 +9,8 @@
 //! The kernel's forward transform is precomputed at plan time, so each
 //! invocation costs two inner FFTs plus O(n) pre/post multiplies.
 
+// lcc-lint: hot-path — per-call chirp convolution; only plan-time may allocate.
+
 use std::sync::Arc;
 
 use crate::complex::Complex64;
@@ -49,6 +51,7 @@ impl BluesteinFft {
         //   X[j] = b[j] · Σ_k (x[k]·b[k]) · b*[j−k],
         // so the convolution kernel is the *conjugate* chirp, mirrored into
         // the tail so that circular indices j−k < 0 wrap onto b*[k−j].
+        // lcc-lint: allow(alloc) — plan-time kernel table, built once.
         let mut kernel = vec![Complex64::ZERO; m];
         for k in 0..n {
             let v = chirp(k).conj();

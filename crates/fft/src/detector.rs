@@ -1,0 +1,247 @@
+//! Debug-mode aliasing/race detector for the unsafe hot path.
+//!
+//! The hot path's soundness rests on two invariants that ordinary tests
+//! only probe indirectly:
+//!
+//! * pencils dispatched by [`crate::batch`] across pool threads touch
+//!   **disjoint** strided index sets of the shared buffer, and
+//! * a pooled [`crate::workspace::Workspace`] arena is leased to **one**
+//!   borrower at a time.
+//!
+//! This module checks both at runtime. Every dispatched pencil range and
+//! every workspace lease registers a *region* — `(buffer identity, base,
+//! stride, len)` tagged with the registering thread, the current dispatch
+//! epoch and the exact call site — in a small global interval registry.
+//! Registering a region that overlaps a live one panics immediately with
+//! **both** conflicting call sites, turning a silent data race into a
+//! deterministic failure at the moment of overlap.
+//!
+//! Overlap between strided sets `{base + t·stride : t < len}` is decided
+//! exactly for equal strides (congruent bases closer than `len·stride`)
+//! and conservatively otherwise (bounding intervals intersect and the
+//! bases are congruent modulo `gcd` of the strides).
+//!
+//! The detector is compiled in under `debug_assertions` **or** the
+//! `analysis` feature (so CI can run it against release-optimized code);
+//! in plain release builds every entry point is an empty `#[inline]`
+//! function returning a zero-sized guard — the hot path pays nothing.
+
+#[cfg(any(debug_assertions, feature = "analysis"))]
+mod imp {
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread::ThreadId;
+
+    use parking_lot::Mutex;
+
+    /// One live claimed region: a strided index set of a tagged buffer.
+    struct Region {
+        id: u64,
+        buf: usize,
+        base: usize,
+        stride: usize,
+        len: usize,
+        epoch: u64,
+        thread: ThreadId,
+        label: &'static str,
+        site: &'static Location<'static>,
+    }
+
+    static EPOCH: AtomicU64 = AtomicU64::new(0);
+    static NEXT_REGION: AtomicU64 = AtomicU64::new(0);
+    static REGISTRY: Mutex<Vec<Region>> = Mutex::new(Vec::new());
+
+    fn gcd(mut a: usize, mut b: usize) -> usize {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+
+    /// Whether two regions' index sets can intersect. Exact for equal
+    /// strides; conservative (may report a near-miss) otherwise.
+    fn overlaps(a: &Region, b: &Region) -> bool {
+        if a.buf != b.buf || a.len == 0 || b.len == 0 {
+            return false;
+        }
+        let (sa, sb) = (a.stride.max(1), b.stride.max(1));
+        if a.base > b.base + (b.len - 1) * sb || b.base > a.base + (a.len - 1) * sa {
+            return false;
+        }
+        if sa == sb {
+            a.base % sa == b.base % sa
+        } else {
+            let g = gcd(sa, sb);
+            a.base % g == b.base % g
+        }
+    }
+
+    /// RAII release of a registered region.
+    pub struct RegionGuard {
+        id: u64,
+    }
+
+    impl Drop for RegionGuard {
+        fn drop(&mut self) {
+            let mut reg = REGISTRY.lock();
+            if let Some(pos) = reg.iter().position(|r| r.id == self.id) {
+                reg.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Starts a new dispatch epoch (purely diagnostic: conflict reports
+    /// name the epochs so cross-dispatch races are distinguishable from
+    /// intra-dispatch ones). Returns the new epoch number.
+    pub fn begin_epoch() -> u64 {
+        EPOCH.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Claims the strided region `{base + t·stride : t < len}` of the
+    /// buffer identified by `buf` until the returned guard drops. Panics —
+    /// naming both call sites — if the region overlaps a live claim.
+    #[track_caller]
+    pub fn register(
+        buf: usize,
+        base: usize,
+        stride: usize,
+        len: usize,
+        label: &'static str,
+    ) -> RegionGuard {
+        let region = Region {
+            id: NEXT_REGION.fetch_add(1, Ordering::Relaxed),
+            buf,
+            base,
+            stride,
+            len,
+            epoch: EPOCH.load(Ordering::Relaxed),
+            thread: std::thread::current().id(),
+            label,
+            site: Location::caller(),
+        };
+        let mut reg = REGISTRY.lock();
+        if let Some(prior) = reg.iter().find(|r| overlaps(r, &region)) {
+            let msg = format!(
+                "overlapping pencils: {} at {} (buf {:#x}, base {}, stride {}, len {}, \
+                 {:?}, epoch {}) overlaps live {} at {} (base {}, stride {}, len {}, \
+                 {:?}, epoch {})",
+                region.label,
+                region.site,
+                region.buf,
+                region.base,
+                region.stride,
+                region.len,
+                region.thread,
+                region.epoch,
+                prior.label,
+                prior.site,
+                prior.base,
+                prior.stride,
+                prior.len,
+                prior.thread,
+                prior.epoch,
+            );
+            drop(reg);
+            panic!("{msg}");
+        }
+        let id = region.id;
+        reg.push(region);
+        RegionGuard { id }
+    }
+
+    /// Number of currently live regions (test hook).
+    pub fn live_regions() -> usize {
+        REGISTRY.lock().len()
+    }
+}
+
+#[cfg(any(debug_assertions, feature = "analysis"))]
+pub use imp::{begin_epoch, live_regions, register, RegionGuard};
+
+#[cfg(not(any(debug_assertions, feature = "analysis")))]
+mod noop {
+    /// Zero-sized stand-in; carries no state and has no `Drop`.
+    pub struct RegionGuard;
+
+    #[inline(always)]
+    pub fn begin_epoch() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn register(
+        _buf: usize,
+        _base: usize,
+        _stride: usize,
+        _len: usize,
+        _label: &'static str,
+    ) -> RegionGuard {
+        RegionGuard
+    }
+
+    #[inline(always)]
+    pub fn live_regions() -> usize {
+        0
+    }
+}
+
+#[cfg(not(any(debug_assertions, feature = "analysis")))]
+pub use noop::{begin_epoch, live_regions, register, RegionGuard};
+
+#[cfg(all(test, any(debug_assertions, feature = "analysis")))]
+mod tests {
+    use super::*;
+
+    // Distinct buffer tags per test: the registry is global and tests run
+    // concurrently.
+
+    #[test]
+    fn disjoint_regions_coexist_and_release() {
+        let buf = 0xA11CE000;
+        let before = live_regions();
+        {
+            let _a = register(buf, 0, 4, 8, "pencil a");
+            let _b = register(buf, 1, 4, 8, "pencil b"); // different residue
+            let _c = register(buf, 32, 4, 8, "pencil c"); // same residue, past the end
+            assert!(live_regions() >= before + 3);
+        }
+        assert_eq!(live_regions(), before);
+    }
+
+    #[test]
+    fn different_buffers_never_conflict() {
+        let _a = register(0xB0B0000, 0, 1, 128, "whole buffer a");
+        let _b = register(0xB0B1000, 0, 1, 128, "whole buffer b");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping pencils")]
+    fn equal_stride_aliasing_panics() {
+        let buf = 0xBAD0000;
+        let _a = register(buf, 4, 8, 16, "pencil a");
+        // Residue 4 mod 8 again, bases 8 apart < 16·8: indices collide.
+        let _b = register(buf, 12, 8, 16, "pencil b");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping pencils")]
+    fn mixed_stride_overlap_panics() {
+        let buf = 0xC0DE000;
+        let _a = register(buf, 0, 2, 10, "even indices");
+        let _b = register(buf, 6, 4, 3, "every fourth from 6");
+    }
+
+    #[test]
+    fn failed_registration_leaves_no_region_behind() {
+        let buf = 0xD00D000;
+        let before = live_regions();
+        let _a = register(buf, 0, 1, 16, "base claim");
+        let clash = std::panic::catch_unwind(|| {
+            let _b = register(buf, 8, 1, 16, "overlapping claim");
+        });
+        assert!(clash.is_err());
+        assert_eq!(live_regions(), before + 1, "only the base claim is live");
+    }
+}

@@ -27,6 +27,7 @@
 pub mod batch;
 pub mod bluestein;
 pub mod complex;
+pub mod detector;
 pub mod dft;
 pub mod nd;
 pub mod nd_real;

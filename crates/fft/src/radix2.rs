@@ -5,6 +5,8 @@
 //! and shared across invocations; the per-stage twiddle for butterfly `j` at
 //! stage size `m` is `w^{j·n/m}`, read from a single stride-indexed table.
 
+// lcc-lint: hot-path — butterfly kernel; only plan-time may allocate.
+
 use crate::complex::Complex64;
 use crate::{Fft, FftDirection};
 

@@ -7,6 +7,8 @@
 //! power-of-two path; `Radix2Fft` remains as the independently-tested
 //! reference kernel.
 
+// lcc-lint: hot-path — butterfly kernel; only plan-time may allocate.
+
 use crate::complex::Complex64;
 use crate::{Fft, FftDirection};
 
@@ -45,6 +47,7 @@ impl Radix4Fft {
         // classic cycle-chase: walk each target index forward through the
         // swaps already performed). Doing this once at plan time lets
         // `process` permute with zero scratch allocation.
+        // lcc-lint: allow(alloc) — plan-time swap schedule, built once.
         let mut swaps = Vec::new();
         for i in 0..n {
             let mut k = perm[i] as usize;
@@ -66,6 +69,7 @@ impl Radix4Fft {
 
     /// Digit reversal for a mixed (2, 4, 4, …) radix system.
     fn digit_reversal(n: usize, leading2: bool) -> Vec<u32> {
+        // lcc-lint: allow(alloc) — plan-time digit-reversal table.
         let mut radices = Vec::new();
         let mut m = n;
         if leading2 {

@@ -18,6 +18,8 @@
 //! reading it. All in-tree users do (pruned transforms, radix kernels and
 //! gather loops write every element they later read).
 
+// lcc-lint: hot-path — the arena itself; only pool bootstrap may allocate.
+
 use std::ops::{Deref, DerefMut};
 
 use parking_lot::Mutex;
@@ -26,10 +28,27 @@ use crate::complex::Complex64;
 
 /// A reusable scratch arena. Obtain via [`workspace`]; split into buffers
 /// with [`Workspace::complex_bufs`] / [`Workspace::split`].
-#[derive(Default)]
 pub struct Workspace {
     cbuf: Vec<Complex64>,
     rbuf: Vec<f64>,
+    /// Identity for the aliasing detector. An empty `Vec`'s dangling
+    /// pointer is shared by every empty arena, so pointers cannot tell
+    /// arenas apart — a process-unique counter can.
+    #[cfg(any(debug_assertions, feature = "analysis"))]
+    id: u64,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        #[cfg(any(debug_assertions, feature = "analysis"))]
+        static NEXT_ARENA: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        Workspace {
+            cbuf: Vec::new(), // lcc-lint: allow(alloc) — empty arena, warm-up only
+            rbuf: Vec::new(), // lcc-lint: allow(alloc) — empty arena, warm-up only
+            #[cfg(any(debug_assertions, feature = "analysis"))]
+            id: NEXT_ARENA.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
 }
 
 impl Workspace {
@@ -84,10 +103,23 @@ impl Workspace {
     pub fn complex_capacity(&self) -> usize {
         self.cbuf.len()
     }
+
+    /// Detector identity of this arena (0 when the detector is compiled out).
+    fn arena_id(&self) -> u64 {
+        #[cfg(any(debug_assertions, feature = "analysis"))]
+        {
+            self.id
+        }
+        #[cfg(not(any(debug_assertions, feature = "analysis")))]
+        {
+            0
+        }
+    }
 }
 
 /// Free list of warm workspaces. Capped so pathological fan-out cannot pin
 /// unbounded memory; beyond the cap, returned workspaces are simply dropped.
+// lcc-lint: allow(alloc) — const initializer of the pool itself.
 static FREE_LIST: Mutex<Vec<Workspace>> = Mutex::new(Vec::new());
 const FREE_LIST_CAP: usize = 128;
 
@@ -95,6 +127,8 @@ const FREE_LIST_CAP: usize = 128;
 /// drop so the next borrower reuses the (already grown) arena.
 pub struct WorkspaceGuard {
     ws: Option<Workspace>,
+    /// Detector claim proving this arena has exactly one borrower.
+    lease: Option<crate::detector::RegionGuard>,
 }
 
 impl Deref for WorkspaceGuard {
@@ -113,6 +147,10 @@ impl DerefMut for WorkspaceGuard {
 impl Drop for WorkspaceGuard {
     fn drop(&mut self) {
         if let Some(ws) = self.ws.take() {
+            // Release the lease *before* the arena re-enters the pool:
+            // otherwise another thread could pop it and register a
+            // conflicting lease while ours is still live.
+            drop(self.lease.take());
             let mut pool = FREE_LIST.lock();
             if pool.len() < FREE_LIST_CAP {
                 pool.push(ws);
@@ -125,7 +163,13 @@ impl Drop for WorkspaceGuard {
 /// only when the list is empty — i.e. during warm-up).
 pub fn workspace() -> WorkspaceGuard {
     let ws = FREE_LIST.lock().pop().unwrap_or_default();
-    WorkspaceGuard { ws: Some(ws) }
+    // Tag the lease so debug/analysis builds catch an arena ever reaching
+    // two borrowers at once (the detector panics on the second claim).
+    let lease = crate::detector::register(ws.arena_id() as usize, 0, 1, 1, "workspace lease");
+    WorkspaceGuard {
+        ws: Some(ws),
+        lease: Some(lease),
+    }
 }
 
 #[cfg(test)]

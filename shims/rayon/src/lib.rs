@@ -436,6 +436,7 @@ pub mod prelude {
     impl<T> Copy for DestPtr<T> {}
     // SAFETY: slot `i` is written by exactly one participant.
     unsafe impl<T: Send> Send for DestPtr<T> {}
+    // SAFETY: same argument — shared access never writes the same slot twice.
     unsafe impl<T: Send> Sync for DestPtr<T> {}
 
     impl<T: Send> FromParallelIterator<T> for Vec<T> {
@@ -492,6 +493,8 @@ pub mod prelude {
         fn len(&self) -> usize {
             self.slice.len()
         }
+        // SAFETY: unsafe to *call* per the trait contract; shared borrows
+        // make this implementation unconditionally sound.
         unsafe fn item(&self, index: usize) -> &'a T {
             &self.slice[index]
         }
@@ -508,6 +511,8 @@ pub mod prelude {
         fn len(&self) -> usize {
             self.slice.len().div_ceil(self.size)
         }
+        // SAFETY: unsafe to *call* per the trait contract; shared borrows
+        // make this implementation unconditionally sound.
         unsafe fn item(&self, index: usize) -> &'a [T] {
             let start = index * self.size;
             let end = (start + self.size).min(self.slice.len());
@@ -525,6 +530,7 @@ pub mod prelude {
     // SAFETY: each index yields a disjoint `&mut T` (driver loops visit
     // every index at most once).
     unsafe impl<T: Send> Send for ParIterMut<'_, T> {}
+    // SAFETY: same argument — concurrent `item` calls touch disjoint slots.
     unsafe impl<T: Send> Sync for ParIterMut<'_, T> {}
 
     impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
@@ -532,6 +538,8 @@ pub mod prelude {
         fn len(&self) -> usize {
             self.len
         }
+        // SAFETY: unsafe to *call* — the caller promises each index is
+        // visited at most once, making the returned `&mut T`s disjoint.
         unsafe fn item(&self, index: usize) -> &'a mut T {
             assert!(index < self.len);
             // SAFETY: in bounds; disjointness per the trait contract.
@@ -550,6 +558,7 @@ pub mod prelude {
     // SAFETY: chunk `i` covers indices `[i*size, min((i+1)*size, len))`,
     // disjoint across distinct `i`.
     unsafe impl<T: Send> Send for ParChunksMut<'_, T> {}
+    // SAFETY: same argument — concurrent `item` calls touch disjoint chunks.
     unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
 
     impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
@@ -557,6 +566,8 @@ pub mod prelude {
         fn len(&self) -> usize {
             self.len.div_ceil(self.size)
         }
+        // SAFETY: unsafe to *call* — the caller promises each index is
+        // visited at most once, making the returned chunks disjoint.
         unsafe fn item(&self, index: usize) -> &'a mut [T] {
             let start = index * self.size;
             assert!(start < self.len);
@@ -577,6 +588,8 @@ pub mod prelude {
         fn len(&self) -> usize {
             self.count
         }
+        // SAFETY: unsafe to *call* per the trait contract; yielding a plain
+        // integer is unconditionally sound.
         unsafe fn item(&self, index: usize) -> usize {
             self.start + index
         }
@@ -600,6 +613,8 @@ pub mod prelude {
         fn len(&self) -> usize {
             self.inner.len()
         }
+        // SAFETY: unsafe to *call*; the once-per-index obligation is
+        // forwarded unchanged to the inner iterator.
         unsafe fn item(&self, index: usize) -> R {
             // SAFETY: forwards the caller's once-per-index guarantee.
             (self.f)(unsafe { self.inner.item(index) })
@@ -616,6 +631,8 @@ pub mod prelude {
         fn len(&self) -> usize {
             self.inner.len()
         }
+        // SAFETY: unsafe to *call*; the once-per-index obligation is
+        // forwarded unchanged to the inner iterator.
         unsafe fn item(&self, index: usize) -> (usize, P::Item) {
             // SAFETY: forwards the caller's once-per-index guarantee.
             (index, unsafe { self.inner.item(index) })
@@ -633,6 +650,8 @@ pub mod prelude {
         fn len(&self) -> usize {
             self.a.len().min(self.b.len())
         }
+        // SAFETY: unsafe to *call*; the once-per-index obligation is
+        // forwarded unchanged to both inner iterators.
         unsafe fn item(&self, index: usize) -> (A::Item, B::Item) {
             // SAFETY: forwards the caller's once-per-index guarantee to
             // both sides.
@@ -798,7 +817,9 @@ mod tests {
         let n = 100_000usize;
         let mut data = vec![0u8; n];
         struct Dest(*mut u8);
+        // SAFETY: the atomic counter hands each index to exactly one worker.
         unsafe impl Send for Dest {}
+        // SAFETY: same argument — no two workers write the same index.
         unsafe impl Sync for Dest {}
         let dest = Dest(data.as_mut_ptr());
         let next = AtomicUsize::new(0);

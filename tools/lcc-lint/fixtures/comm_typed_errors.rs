@@ -1,0 +1,55 @@
+// lcc-lint: pretend-path crates/comm/src/errors_fixture.rs
+//
+// Fixture for the `typed-error` and `unwrap-ratchet` rules (both scoped
+// to the comm/core source trees via the pretend path). Never compiled —
+// scanned by `lcc-lint --self-test` with an empty (zero-budget) ratchet.
+
+use std::error::Error;
+
+pub fn boxed_error(x: u8) -> Result<u8, Box<dyn Error>> { //~ ERROR typed-error
+    Ok(x)
+}
+
+pub fn boxed_error_multi_line( //~ ERROR typed-error
+    x: u8,
+    _y: u8,
+) -> Result<u8, Box<dyn std::error::Error + Send + Sync>> {
+    Ok(x)
+}
+
+pub fn typed_is_fine(x: u8) -> Result<u8, CommError> {
+    Ok(x)
+}
+
+pub fn non_result_box_is_fine(x: u8) -> Box<dyn Error> {
+    unimplemented!("{x}")
+}
+
+fn bare_unwrap(v: Option<u8>) -> u8 {
+    v.unwrap() //~ ERROR unwrap-ratchet
+}
+
+fn bare_expect(v: Option<u8>) -> u8 {
+    v.expect("fixture message") //~ ERROR unwrap-ratchet
+}
+
+fn two_sites_one_line(a: Option<u8>, b: Option<u8>) -> u8 {
+    a.unwrap() + b.unwrap() //~ ERROR unwrap-ratchet
+}
+
+fn justified(v: Option<u8>) -> u8 {
+    v.unwrap() // lcc-lint: allow(unwrap) — infallible in the fixture
+}
+
+fn strings_do_not_count() -> &'static str {
+    "call .unwrap() and .expect( here all you like"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwraps_are_exempt() {
+        Some(1u8).unwrap();
+        Some(2u8).expect("fine in tests");
+    }
+}

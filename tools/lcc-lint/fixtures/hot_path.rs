@@ -1,0 +1,42 @@
+// lcc-lint: pretend-path crates/fft/src/hot_fixture.rs
+//
+// Fixture for the `hot-path-alloc` rule. Never compiled — scanned by
+// `lcc-lint --self-test`.
+
+// lcc-lint: hot-path — fixture module; warm-path allocations are banned.
+
+fn hot() {
+    let _v = vec![0u8; 4]; //~ ERROR hot-path-alloc
+    let _b = Box::new(1); //~ ERROR hot-path-alloc
+    let _w = Vec::with_capacity(3); //~ ERROR hot-path-alloc
+    let _n: Vec<u8> = Vec::new(); //~ ERROR hot-path-alloc
+    let _c = data.to_vec(); //~ ERROR hot-path-alloc
+}
+
+fn plan_time() {
+    // lcc-lint: allow(alloc) — plan-time table, built once.
+    let _t = vec![0.0f64; 16];
+    let _u = Vec::with_capacity(8); // lcc-lint: allow(alloc) — trailing form
+}
+
+fn multi_line_statement_covered_by_directive() {
+    // lcc-lint: allow(alloc) — per-solve buffers, directive above the
+    // statement covers the token two lines down.
+    let _kept: Vec<Vec<u8>> =
+        (0..6).map(|_| vec![0u8; 4]).collect();
+}
+
+fn strings_and_comments_do_not_count() {
+    let _s = "vec![looks like an alloc]";
+    let _m = "Vec::new and Box::new in prose";
+    // vec! in a comment is prose too.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let _v = vec![1, 2, 3];
+        let _b = Box::new(0);
+    }
+}

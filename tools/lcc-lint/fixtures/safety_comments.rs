@@ -1,0 +1,60 @@
+// lcc-lint: pretend-path crates/fft/src/safety_fixture.rs
+//
+// Fixture for the `safety-comment` rule. Never compiled — scanned by
+// `lcc-lint --self-test`, which checks that exactly the `//~ ERROR`
+// marked lines are reported.
+
+// SAFETY: a plain comment directly above the site satisfies the rule.
+unsafe impl Send for Direct {}
+
+// SAFETY: attributes between the comment and the site are looked through.
+#[allow(dead_code)]
+#[inline]
+unsafe impl Send for ThroughAttrs {}
+
+// SAFETY: a justification spread over
+// several contiguous comment lines
+// also satisfies the rule.
+unsafe impl Send for MultiLine {}
+
+unsafe impl Send for OneLiner {} // SAFETY: trailing same-line comment is fine.
+
+/// Public contract documented the rustdoc way.
+///
+/// # Safety
+///
+/// The caller must uphold the documented invariant.
+pub unsafe fn doc_safety_section() {}
+
+fn statement_continuation() {
+    // SAFETY: the walk sees through the multi-line statement head below.
+    let _job: usize =
+        unsafe { transmute_like() };
+}
+
+fn false_positives_do_not_fire() {
+    let _s = "unsafe { in_a_string() }";
+    let _r = r#"unsafe { in_a_raw_string() }"#;
+    /* block comment: unsafe here is prose /* even nested */ still prose */
+    let _ok = 1;
+}
+
+/// Doc comments mentioning unsafe code are prose, not sites.
+fn doc_mention() {}
+
+unsafe impl Send for Bare {} //~ ERROR safety-comment
+
+// SAFETY: covers only the first impl of the pair.
+unsafe impl Send for Pair {}
+unsafe impl Sync for Pair {} //~ ERROR safety-comment
+
+// SAFETY: stale — the blank line below breaks the association.
+
+fn stale_comment() {
+    let _x = unsafe { danger() }; //~ ERROR safety-comment
+}
+
+fn comment_in_string_does_not_satisfy() {
+    let _s = "// SAFETY: fake, lives in a string";
+    let _y = unsafe { danger() }; //~ ERROR safety-comment
+}

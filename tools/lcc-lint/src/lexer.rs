@@ -1,0 +1,426 @@
+//! Line/token-level Rust source preprocessing for the invariant lints.
+//!
+//! Rustc's lexer is overkill for the invariants we enforce, but naive
+//! substring search is not enough either: `unsafe` inside a string literal
+//! or a doc comment must not count as an unsafe site, and a `// SAFETY:`
+//! marker inside a string must not satisfy one. This module performs a
+//! single character-level pass that splits every line into its *code* text
+//! (with comment bodies and literal contents blanked out, structure
+//! preserved) and its *comment* text (everything that lives inside `//`,
+//! `///`, `//!` or `/* ... */`, including nested block comments), plus a
+//! per-line `in_test` flag tracking `#[cfg(test)]` modules by brace depth.
+//!
+//! All downstream rules then operate on these sanitized views, so they are
+//! immune to the classic false positives (tokens in strings, tokens in
+//! comments, SAFETY markers in doc examples) by construction.
+
+/// One source line after sanitization.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code text: comments and the *contents* of string/char literals are
+    /// replaced by spaces; quotes and everything else keep their columns.
+    pub code: String,
+    /// Comment text: the body of every comment overlapping this line
+    /// (without the `//` / `/*` markers), concatenated.
+    pub comment: String,
+    /// True when this line is inside a `#[cfg(test)]` item's braces.
+    pub in_test: bool,
+}
+
+/// A whole file, sanitized. Lines are 1-indexed via [`SourceFile::line`].
+#[derive(Debug)]
+pub struct SourceFile {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl SourceFile {
+    /// Sanitizes `text` (see module docs).
+    pub fn parse(text: &str) -> SourceFile {
+        let mut lines: Vec<Line> = Vec::new();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut state = State::Code;
+
+        let chars: Vec<char> = text.chars().collect();
+        let mut i = 0usize;
+        // Look ahead `k` characters without consuming.
+        let peek = |chars: &[char], i: usize, k: usize| chars.get(i + k).copied();
+
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                lines.push(Line {
+                    code: std::mem::take(&mut code),
+                    comment: std::mem::take(&mut comment),
+                    in_test: false,
+                });
+                if state == State::LineComment {
+                    state = State::Code;
+                }
+                i += 1;
+                continue;
+            }
+            match state {
+                State::Code => match c {
+                    '/' if peek(&chars, i, 1) == Some('/') => {
+                        state = State::LineComment;
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '/' if peek(&chars, i, 1) == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push('"');
+                        i += 1;
+                    }
+                    'r' if matches!(peek(&chars, i, 1), Some('"') | Some('#'))
+                        && raw_str_hashes(&chars, i + 1).is_some() =>
+                    {
+                        // r"..." or r#"..."# (only when the hashes really
+                        // lead to a quote — `r#foo` raw identifiers do not).
+                        let hashes = raw_str_hashes(&chars, i + 1).unwrap_or(0);
+                        state = State::RawStr(hashes);
+                        code.push('r');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        code.push('"');
+                        i += 2 + hashes as usize;
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: a literal is '\...' or
+                        // 'X' (single char then closing quote); a lifetime
+                        // is 'ident with no closing quote.
+                        if peek(&chars, i, 1) == Some('\\') {
+                            state = State::Char;
+                            code.push('\'');
+                            i += 1;
+                        } else if peek(&chars, i, 2) == Some('\'') {
+                            // 'X' — blank the payload char.
+                            code.push('\'');
+                            code.push(' ');
+                            code.push('\'');
+                            i += 3;
+                        } else {
+                            // Lifetime (or the start of one): plain code.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                State::LineComment => {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && peek(&chars, i, 1) == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else if c == '/' && peek(&chars, i, 1) == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        comment.push(' ');
+                        comment.push(' ');
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if peek(&chars, i, 1).is_some() && peek(&chars, i, 1) != Some('\n') {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        state = State::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars, i + 1, hashes) {
+                        state = State::Code;
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Char => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if peek(&chars, i, 1).is_some() {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        state = State::Code;
+                        code.push('\'');
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if !code.is_empty() || !comment.is_empty() {
+            lines.push(Line {
+                code,
+                comment,
+                in_test: false,
+            });
+        }
+
+        let mut file = SourceFile { lines };
+        file.mark_test_regions();
+        file
+    }
+
+    /// Marks every line inside the braces of an item carrying
+    /// `#[cfg(test)]` (or `#[cfg(all(test, ...))]` etc.) as test code.
+    /// Detection is structural: after the attribute, the next `{` at the
+    /// attribute's depth opens the region; the matching `}` closes it. An
+    /// intervening `;` at that depth (attribute on a brace-less item)
+    /// cancels the pending attribute.
+    fn mark_test_regions(&mut self) {
+        let mut depth: i64 = 0;
+        // (depth at which the region's braces opened) for open test regions.
+        let mut test_regions: Vec<i64> = Vec::new();
+        let mut pending_attr: Option<i64> = None;
+
+        for idx in 0..self.lines.len() {
+            let code = self.lines[idx].code.clone();
+            if code.contains("#[cfg(test)") || code.contains("#[cfg(all(test") {
+                pending_attr = Some(depth);
+            }
+            self.lines[idx].in_test = !test_regions.is_empty();
+            let mut line_opened_test = false;
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        if let Some(d) = pending_attr {
+                            if depth == d {
+                                test_regions.push(depth);
+                                pending_attr = None;
+                                line_opened_test = true;
+                            }
+                        }
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if let Some(&d) = test_regions.last() {
+                            if depth == d {
+                                test_regions.pop();
+                            }
+                        }
+                    }
+                    ';' if pending_attr == Some(depth) => {
+                        pending_attr = None;
+                    }
+                    _ => {}
+                }
+            }
+            if line_opened_test {
+                self.lines[idx].in_test = true;
+            }
+        }
+    }
+}
+
+/// If `chars[from..]` is `#*"` (zero or more hashes then a quote), returns
+/// the hash count — i.e. `from` sits right after the `r` of a raw string.
+fn raw_str_hashes(chars: &[char], from: usize) -> Option<u32> {
+    let mut n = 0u32;
+    let mut j = from;
+    while chars.get(j) == Some(&'#') {
+        n += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// True if `chars[from..]` starts with `hashes` hash characters (a raw
+/// string's closing quote was just consumed).
+fn closes_raw(chars: &[char], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Byte position of token `needle` in `haystack` starting at `from`. An
+/// identifier boundary is required only at the edges where the needle
+/// itself begins/ends with an identifier character, so `unsafe` won't
+/// match inside `unsafely` but `.unwrap()` still matches after `foo`.
+pub fn find_word(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    let bytes = haystack.as_bytes();
+    let nb = needle.as_bytes();
+    let edge_front = nb.first().copied().is_some_and(is_ident);
+    let edge_back = nb.last().copied().is_some_and(is_ident);
+    let mut start = from;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = !edge_front || at == 0 || !is_ident(bytes[at - 1]);
+        let after = at + needle.len();
+        let after_ok = !edge_back || after >= bytes.len() || !is_ident(bytes[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + needle.len().max(1);
+    }
+    None
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(text: &str) -> Vec<String> {
+        SourceFile::parse(text)
+            .lines
+            .iter()
+            .map(|l| l.code.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_remain() {
+        let code = code_of(r#"let s = "unsafe { vec![] }"; call();"#);
+        assert!(!code[0].contains("unsafe"));
+        assert!(!code[0].contains("vec!"));
+        assert!(code[0].contains("let s = \""));
+        assert!(code[0].contains("call();"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let code = code_of(r#"let s = "a\"unsafe\""; let t = 1;"#);
+        assert!(!code[0].contains("unsafe"));
+        assert!(code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let code = code_of(r##"let s = r#"unsafe"#; let u = 2;"##);
+        assert!(!code[0].contains("unsafe"));
+        assert!(code[0].contains("let u = 2;"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let code = code_of("let r#fn = 1; let x = unsafe { y };");
+        assert!(code[0].contains("unsafe"), "code after r#ident survives");
+    }
+
+    #[test]
+    fn line_comments_move_to_comment_text() {
+        let f = SourceFile::parse("let x = 1; // SAFETY: unsafe in comment\nlet y = 2;");
+        assert!(!f.lines[0].code.contains("SAFETY"));
+        assert!(f.lines[0].comment.contains("SAFETY:"));
+        assert!(f.lines[0].comment.contains("unsafe"));
+        assert!(f.lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn nested_block_comments_end_at_matching_depth() {
+        let f = SourceFile::parse("/* outer /* inner */ still comment */ let z = unsafe {};");
+        assert!(f.lines[0].comment.contains("still comment"));
+        assert!(f.lines[0].code.contains("unsafe"), "code resumes after */");
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let f = SourceFile::parse("/// calls unsafe code\nfn f() {}");
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[0].comment.contains("unsafe"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let code = code_of("let c = 'u'; fn f<'a>(x: &'a str) {} let q = '\\'';");
+        assert!(code[0].contains("'a"), "lifetimes survive");
+        assert!(!code[0].contains("'u'"), "char payload blanked");
+        assert!(code[0].contains("fn f<"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked_by_depth() {
+        let src = "\
+fn prod() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn prod2() {}
+";
+        let f = SourceFile::parse(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test, "mod tests opening line");
+        assert!(f.lines[3].in_test, "inside the mod");
+        assert!(!f.lines[5].in_test, "after the closing brace");
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_is_cancelled_by_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn f() { body(); }\n";
+        let f = SourceFile::parse(src);
+        assert!(!f.lines[2].in_test, "the fn after the use is not test code");
+    }
+
+    #[test]
+    fn find_word_respects_boundaries() {
+        assert_eq!(find_word("not_unsafe unsafe", "unsafe", 0), Some(11));
+        assert_eq!(find_word("unsafely", "unsafe", 0), None);
+        assert_eq!(find_word("an unsafe fn", "unsafe", 0), Some(3));
+    }
+}

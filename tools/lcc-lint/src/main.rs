@@ -1,0 +1,300 @@
+//! `lcc-lint` — the workspace's in-tree invariant checker.
+//!
+//! The hot path went unsafe for speed (raw-pointer pencil dispatch,
+//! uninitialized workspace arenas, a hand-rolled thread pool); the
+//! invariants that keep it sound used to live only in comments. This tool
+//! machine-checks them on every CI run:
+//!
+//! ```text
+//! lcc-lint --workspace     # scan the whole repo, exit 1 on any violation
+//! lcc-lint --self-test     # prove the scanner catches the seeded
+//!                          # violations in tools/lcc-lint/fixtures/
+//! lcc-lint FILE...         # scan specific files (repo-relative)
+//! ```
+//!
+//! Rules and their ids are documented in [`rules`]; the unwrap budget
+//! lives in `tools/lcc-lint/unwrap-ratchet.txt`. The runtime counterpart
+//! (the debug-mode aliasing detector) lives in `lcc_fft::detector`.
+
+mod lexer;
+mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lexer::SourceFile;
+use rules::{Ratchet, Violation};
+
+/// Directories scanned (repo-relative) in `--workspace` mode.
+const SCAN_ROOTS: [&str; 5] = ["crates", "shims", "tools", "tests", "examples"];
+
+/// Path components that end a recursive walk: build output and the lint's
+/// own deliberately-violating fixtures.
+const SKIP_DIRS: [&str; 3] = ["target", "fixtures", ".git"];
+
+fn repo_root() -> PathBuf {
+    // tools/lcc-lint/ -> repo root. Compile-time manifest dir keeps the
+    // tool runnable from any working directory.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a repo root two levels up")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--workspace") => run_workspace(),
+        Some("--self-test") => run_self_test(),
+        Some("--help") | None => {
+            eprintln!("usage: lcc-lint --workspace | --self-test | FILE...");
+            ExitCode::from(2)
+        }
+        Some(_) => run_files(&args),
+    }
+}
+
+/// Scans the whole repository and applies the ratchet.
+fn run_workspace() -> ExitCode {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+    let ratchet = match load_ratchet(&root.join("tools/lcc-lint/unwrap-ratchet.txt")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lcc-lint: cannot read ratchet file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut violations = Vec::new();
+    let mut sites_by_file: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = rel_path(&root, path);
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("lcc-lint: cannot read {rel}");
+            return ExitCode::FAILURE;
+        };
+        let file = SourceFile::parse(&text);
+        let (mut v, sites) = rules::check_file(&rel, &file);
+        violations.append(&mut v);
+        if !sites.is_empty() {
+            sites_by_file.insert(rel, sites);
+        }
+        scanned += 1;
+    }
+    rules::apply_ratchet(&ratchet, &sites_by_file, &mut violations);
+    report(&violations, scanned)
+}
+
+/// Scans explicitly named files (repo-relative or absolute) with an
+/// implicit zero-budget ratchet.
+fn run_files(args: &[String]) -> ExitCode {
+    let root = repo_root();
+    let mut violations = Vec::new();
+    let mut sites_by_file: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for arg in args {
+        let path = if Path::new(arg).is_absolute() {
+            PathBuf::from(arg)
+        } else {
+            root.join(arg)
+        };
+        let rel = rel_path(&root, &path);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            eprintln!("lcc-lint: cannot read {rel}");
+            return ExitCode::FAILURE;
+        };
+        let file = SourceFile::parse(&text);
+        let (mut v, sites) = rules::check_file(&rel, &file);
+        violations.append(&mut v);
+        if !sites.is_empty() {
+            sites_by_file.insert(rel, sites);
+        }
+    }
+    rules::apply_ratchet(&Ratchet::new(), &sites_by_file, &mut violations);
+    report(&violations, args.len())
+}
+
+fn report(violations: &[Violation], scanned: usize) -> ExitCode {
+    for v in violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("lcc-lint: {scanned} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "lcc-lint: {} violation(s) in {scanned} files",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Self-test over the committed violation fixtures: every `//~ ERROR rule`
+/// marker must be matched by a reported violation on that line, and no
+/// unexpected violations may appear. The fixtures are the proof that the
+/// scanner still catches what it claims to catch.
+fn run_self_test() -> ExitCode {
+    let dir = repo_root().join("tools/lcc-lint/fixtures");
+    let mut files = Vec::new();
+    collect_rs_files_unfiltered(&dir, &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!("lcc-lint: no fixtures found under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for path in &files {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("lcc-lint: cannot read fixture {name}");
+            return ExitCode::FAILURE;
+        };
+        let file = SourceFile::parse(&text);
+        // Fixtures declare the path the scanner should pretend they have,
+        // which is what activates path-scoped rules.
+        let pretend = file
+            .lines
+            .iter()
+            .find_map(|l| {
+                l.comment
+                    .split("lcc-lint: pretend-path ")
+                    .nth(1)
+                    .map(|rest| rest.split_whitespace().next().unwrap_or("").to_string())
+            })
+            .unwrap_or_else(|| format!("crates/core/src/{name}"));
+
+        let (mut found, sites) = rules::check_file(&pretend, &file);
+        let mut by_file = BTreeMap::new();
+        if !sites.is_empty() {
+            by_file.insert(pretend.clone(), sites);
+        }
+        rules::apply_ratchet(&Ratchet::new(), &by_file, &mut found);
+
+        let mut expected: Vec<(usize, String)> = Vec::new();
+        for (idx, line) in file.lines.iter().enumerate() {
+            for part in line.comment.split("//~ ERROR ").skip(1) {
+                // Marker comments are themselves comments, so they arrive
+                // concatenated in the line's comment text.
+                let rule = part.split_whitespace().next().unwrap_or("");
+                expected.push((idx + 1, rule.to_string()));
+            }
+            // Also accept markers written as the whole comment.
+            if let Some(rest) = line.comment.trim().strip_prefix("~ ERROR ") {
+                let rule = rest.split_whitespace().next().unwrap_or("");
+                expected.push((idx + 1, rule.to_string()));
+            }
+        }
+        expected.sort();
+        expected.dedup();
+        let mut got: Vec<(usize, String)> =
+            found.iter().map(|v| (v.line, v.rule.to_string())).collect();
+        got.sort();
+        got.dedup();
+
+        for e in &expected {
+            if !got.contains(e) {
+                println!(
+                    "SELF-TEST FAIL {name}:{}: seeded violation [{}] was NOT detected",
+                    e.0, e.1
+                );
+                failures += 1;
+            }
+        }
+        for g in &got {
+            if !expected.contains(g) {
+                println!(
+                    "SELF-TEST FAIL {name}:{}: unexpected violation [{}] (no marker)",
+                    g.0, g.1
+                );
+                failures += 1;
+            }
+        }
+        checked += expected.len();
+    }
+    if failures == 0 {
+        println!(
+            "lcc-lint self-test: all {checked} seeded violations detected across {} fixtures",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("lcc-lint self-test: {failures} mismatch(es)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursive `.rs` collection honouring [`SKIP_DIRS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Like [`collect_rs_files`] but without the skip list (the fixtures dir
+/// is itself skipped by the main walk).
+fn collect_rs_files_unfiltered(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files_unfiltered(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Ratchet file: `# comment` lines plus `path count` entries.
+fn load_ratchet(path: &Path) -> Result<Ratchet, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut ratchet = Ratchet::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(p), Some(n)) = (parts.next(), parts.next()) else {
+            return Err(format!("{}:{}: malformed entry", path.display(), i + 1));
+        };
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("{}:{}: bad count `{n}`", path.display(), i + 1))?;
+        ratchet.insert(p.to_string(), n);
+    }
+    Ok(ratchet)
+}

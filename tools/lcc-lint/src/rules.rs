@@ -1,0 +1,476 @@
+//! The invariant rules enforced by `lcc-lint`.
+//!
+//! Each rule has a stable kebab-case id (used by the fixture `//~ ERROR`
+//! markers and CI output):
+//!
+//! * `safety-comment` — every `unsafe` site (block, fn, or impl) must be
+//!   immediately preceded by a `// SAFETY:` comment (attributes and
+//!   contiguous comment lines may sit between; a `/// # Safety` doc
+//!   section also satisfies the rule). A trailing same-line `// SAFETY:`
+//!   comment is accepted for one-liner impls.
+//! * `unwrap-ratchet` — `.unwrap()` / `.expect(` in non-test code of
+//!   `crates/comm/src` and `crates/core/src` is budgeted by the ratchet
+//!   file (`tools/lcc-lint/unwrap-ratchet.txt`); counts can only shrink.
+//!   Individually justified sites carry `// lcc-lint: allow(unwrap)`.
+//! * `hot-path-alloc` — inside modules annotated `// lcc-lint: hot-path`,
+//!   the allocating tokens `vec!`, `Vec::new`, `Vec::with_capacity`,
+//!   `Box::new` and `.to_vec()` are banned outside test code. Plan-time
+//!   or per-solve allocations are opted out per line with
+//!   `// lcc-lint: allow(alloc)` (same line or the line above).
+//! * `typed-error` — functions in `crates/comm/src` that return `Result`
+//!   must use the crate's typed errors; returning `Box<dyn Error>` (or
+//!   any other `Box<dyn …>`) is a violation.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{find_word, SourceFile};
+
+/// One rule violation, addressed `path:line` (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Ratchet budgets: repo-relative path → allowed `.unwrap()`/`.expect(`
+/// count. Files under the ratcheted trees that are absent here have an
+/// implicit budget of zero.
+pub type Ratchet = BTreeMap<String, usize>;
+
+/// Whether `path` (repo-relative, `/`-separated) is subject to the unwrap
+/// ratchet and the typed-error rule.
+fn in_ratcheted_tree(path: &str) -> bool {
+    path.starts_with("crates/comm/src/") || path.starts_with("crates/core/src/")
+}
+
+fn is_comm_src(path: &str) -> bool {
+    path.starts_with("crates/comm/src/")
+}
+
+/// Scans one sanitized file, returning direct violations plus the lines of
+/// unratcheted unwrap sites (empty when the path is outside the ratcheted
+/// trees). The caller folds the site lists into the ratchet comparison.
+pub fn check_file(path: &str, file: &SourceFile) -> (Vec<Violation>, Vec<usize>) {
+    let mut v = Vec::new();
+    check_safety_comments(path, file, &mut v);
+    // The annotation must open its comment (`// lcc-lint: hot-path ...`)
+    // so prose that merely *mentions* the directive doesn't activate it.
+    if file
+        .lines
+        .iter()
+        .any(|l| l.comment.trim_start().starts_with("lcc-lint: hot-path"))
+    {
+        check_hot_path_allocs(path, file, &mut v);
+    }
+    let mut unwrap_sites = Vec::new();
+    if in_ratcheted_tree(path) {
+        unwrap_sites = collect_unwrap_sites(file);
+    }
+    if is_comm_src(path) {
+        check_typed_errors(path, file, &mut v);
+    }
+    (v, unwrap_sites)
+}
+
+/// `safety-comment`: every line whose code contains the word `unsafe` must
+/// carry a SAFETY justification. Walking up from the site, attribute lines
+/// and contiguous comment lines are skipped; one of the skipped comments
+/// (or the site's own trailing comment) must contain `SAFETY` or
+/// `# Safety`. A blank line or any other code terminates the walk.
+fn check_safety_comments(path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if find_word(&line.code, "unsafe", 0).is_none() {
+            continue;
+        }
+        if comment_satisfies_safety(&line.comment) {
+            continue;
+        }
+        let mut ok = false;
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            let prev = &file.lines[j];
+            let code = prev.code.trim();
+            let is_attr = code.starts_with("#[") || code.starts_with("#![");
+            let is_comment_only = code.is_empty() && !prev.comment.is_empty();
+            // A code line that doesn't end a statement (`let x: T =` before
+            // an `unsafe { … }` on the next line) is part of the same
+            // statement: look through it rather than stopping the walk.
+            let is_continuation_head =
+                !code.is_empty() && !matches!(code.chars().last(), Some(';' | '{' | '}'));
+            if comment_satisfies_safety(&prev.comment) {
+                ok = true;
+                break;
+            }
+            if !is_attr && !is_comment_only && !is_continuation_head {
+                break;
+            }
+        }
+        if !ok {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "safety-comment",
+                msg: "unsafe site without an immediately preceding `// SAFETY:` comment"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn comment_satisfies_safety(comment: &str) -> bool {
+    comment.contains("SAFETY") || comment.contains("# Safety")
+}
+
+/// The allocating tokens banned in hot-path modules.
+const ALLOC_TOKENS: [&str; 5] = [
+    "vec!",
+    "Vec::new",
+    "Vec::with_capacity",
+    "Box::new",
+    ".to_vec()",
+];
+
+fn check_hot_path_allocs(path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || allow_escape(file, idx, "lcc-lint: allow(alloc)") {
+            continue;
+        }
+        for tok in ALLOC_TOKENS {
+            if find_word(&line.code, tok, 0).is_some() {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: "hot-path-alloc",
+                    msg: format!(
+                        "`{tok}` in a `lcc-lint: hot-path` module; use the pooled \
+                         workspace, or justify with `// lcc-lint: allow(alloc)`"
+                    ),
+                });
+                break; // one violation per line is enough
+            }
+        }
+    }
+}
+
+/// True when the line carries the given directive in a comment, or one of
+/// the lines reachable by walking up through comment-only lines and
+/// statement continuations does (so a directive above a multi-line
+/// statement still covers the token lines inside it).
+fn allow_escape(file: &SourceFile, idx: usize, directive: &str) -> bool {
+    if file.lines[idx].comment.contains(directive) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let prev = &file.lines[j];
+        if prev.comment.contains(directive) {
+            return true;
+        }
+        let code = prev.code.trim();
+        let comment_only = code.is_empty() && !prev.comment.is_empty();
+        let continuation =
+            !code.is_empty() && !matches!(code.chars().last(), Some(';' | '{' | '}'));
+        if !comment_only && !continuation {
+            break;
+        }
+    }
+    false
+}
+
+/// Lines (1-based) of ratcheted `.unwrap()` / `.expect(` sites: non-test,
+/// not individually allowlisted. A line with several such calls counts
+/// once per call.
+fn collect_unwrap_sites(file: &SourceFile) -> Vec<usize> {
+    let mut sites = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || allow_escape(file, idx, "lcc-lint: allow(unwrap)") {
+            continue;
+        }
+        for tok in [".unwrap()", ".expect("] {
+            let mut from = 0;
+            while let Some(at) = find_word(&line.code, tok, from) {
+                sites.push(idx + 1);
+                from = at + tok.len();
+            }
+        }
+    }
+    sites
+}
+
+/// `typed-error`: capture each fn signature (from the `fn` keyword to the
+/// first `{` or `;`) and flag `Result`-returning ones whose return type
+/// drags in `Box<dyn …>` instead of a typed error.
+fn check_typed_errors(path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    let mut idx = 0usize;
+    while idx < file.lines.len() {
+        let line = &file.lines[idx];
+        if line.in_test {
+            idx += 1;
+            continue;
+        }
+        let Some(at) = find_word(&line.code, "fn", 0) else {
+            idx += 1;
+            continue;
+        };
+        // Accumulate the signature across lines.
+        let mut sig = String::new();
+        let mut j = idx;
+        let mut col = at;
+        let mut terminated = false;
+        while j < file.lines.len() && !terminated {
+            let code = &file.lines[j].code;
+            for ch in code[col.min(code.len())..].chars() {
+                if ch == '{' || ch == ';' {
+                    terminated = true;
+                    break;
+                }
+                sig.push(ch);
+            }
+            sig.push(' ');
+            col = 0;
+            if !terminated {
+                j += 1;
+            }
+        }
+        if sig.contains("->") && sig.contains("Result") && sig.contains("Box<dyn") {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "typed-error",
+                msg: "fn returns `Result` with a `Box<dyn …>` error; use the typed \
+                      `CommError` (or `CodecError`) instead"
+                    .to_string(),
+            });
+        }
+        idx = j.max(idx) + 1;
+    }
+}
+
+/// Folds per-file unwrap site lists into ratchet violations: a file over
+/// budget reports every site (budget 0) or a summary (budget > 0); a file
+/// under budget reports a stale ratchet so the budget can only shrink.
+pub fn apply_ratchet(
+    ratchet: &Ratchet,
+    sites_by_file: &BTreeMap<String, Vec<usize>>,
+    out: &mut Vec<Violation>,
+) {
+    let mut all_paths: Vec<&String> = sites_by_file.keys().collect();
+    for p in ratchet.keys() {
+        if !sites_by_file.contains_key(p) {
+            all_paths.push(p);
+        }
+    }
+    for path in all_paths {
+        let sites = sites_by_file.get(path).cloned().unwrap_or_default();
+        let allowed = ratchet.get(path).copied().unwrap_or(0);
+        let actual = sites.len();
+        if actual > allowed {
+            if allowed == 0 {
+                for line in sites {
+                    out.push(Violation {
+                        path: path.clone(),
+                        line,
+                        rule: "unwrap-ratchet",
+                        msg: "`.unwrap()`/`.expect(` in non-test comm/core code; return a \
+                              typed error, or justify with `// lcc-lint: allow(unwrap)`"
+                            .to_string(),
+                    });
+                }
+            } else {
+                out.push(Violation {
+                    path: path.clone(),
+                    line: 1,
+                    rule: "unwrap-ratchet",
+                    msg: format!(
+                        "{actual} unwrap/expect sites but the ratchet allows {allowed}; \
+                         burn the new ones down (the ratchet only shrinks)"
+                    ),
+                });
+            }
+        } else if actual < allowed {
+            out.push(Violation {
+                path: path.clone(),
+                line: 1,
+                rule: "unwrap-ratchet",
+                msg: format!(
+                    "ratchet is stale: {allowed} allowed but only {actual} remain; \
+                     lower the entry in tools/lcc-lint/unwrap-ratchet.txt to {actual}"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        let file = SourceFile::parse(src);
+        let (mut v, sites) = check_file(path, &file);
+        let mut by_file = BTreeMap::new();
+        if !sites.is_empty() {
+            by_file.insert(path.to_string(), sites);
+        }
+        apply_ratchet(&Ratchet::new(), &by_file, &mut v);
+        v
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let v = check("crates/x/src/lib.rs", "fn f() { unsafe { g() } }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comment");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn safety_comment_above_satisfies() {
+        let src = "// SAFETY: g has no preconditions here.\nfn f() { unsafe { g() } }\n";
+        assert!(check("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_separated_by_attributes_satisfies() {
+        let src = "\
+// SAFETY: the impl is sound because T: Send.
+#[allow(dead_code)]
+#[inline]
+unsafe impl<T> Send for Wrapper<T> {}
+";
+        assert!(check("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multi_line_safety_comment_satisfies() {
+        let src = "\
+// SAFETY: the pointer is valid for the whole
+// region and nobody else writes to it.
+let x = unsafe { *p };
+";
+        assert!(check("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_walk_sees_through_statement_continuations() {
+        let src = "\
+// SAFETY: the reference outlives every worker.
+let job: &'static Body =
+    unsafe { transmute(body) };
+";
+        assert!(check("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_the_safety_walk() {
+        let src = "// SAFETY: stale comment.\n\nlet x = unsafe { *p };\n";
+        let v = check("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comment");
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let src =
+            "let s = \"unsafe { }\"; // an unsafe-looking string\n/// unsafe docs\nfn f() {}\n";
+        assert!(check("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_safety_comment_satisfies_oneliners() {
+        let src = "unsafe impl Send for X {} // SAFETY: X is a plain address.\n";
+        assert!(check("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_tokens_are_flagged_outside_tests() {
+        let src = "\
+// lcc-lint: hot-path
+fn hot() { let v = vec![0u8; 4]; }
+fn cold() { let b = Box::new(1); } // lcc-lint: allow(alloc) — plan time
+#[cfg(test)]
+mod tests {
+    fn t() { let v = Vec::with_capacity(3); }
+}
+";
+        let v = check("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-path-alloc");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn allow_alloc_covers_multi_line_statements() {
+        let src = "\
+// lcc-lint: hot-path
+// lcc-lint: allow(alloc) — per-solve output buffers, explained over
+// two comment lines.
+let kept: Vec<Vec<u8>> =
+    (0..6).map(|_| vec![0u8; 4]).collect();
+";
+        assert!(check("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unratcheted_unwraps_are_flagged_per_site() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); }\n";
+        let v = check("crates/comm/src/y.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "unwrap-ratchet"));
+        // Same file outside the ratcheted tree: silent.
+        assert!(check("crates/fft/src/y.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_unwrap_escape_is_honoured() {
+        let src =
+            "// lcc-lint: allow(unwrap) — infallible by construction\nfn f() { a.unwrap(); }\n";
+        assert!(check("crates/comm/src/y.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ratchet_budget_and_staleness() {
+        let mut ratchet = Ratchet::new();
+        ratchet.insert("crates/comm/src/y.rs".into(), 2);
+        let file = SourceFile::parse("fn f() { a.unwrap(); }\n");
+        let (_, sites) = check_file("crates/comm/src/y.rs", &file);
+        let mut by_file = BTreeMap::new();
+        by_file.insert("crates/comm/src/y.rs".to_string(), sites);
+        let mut v = Vec::new();
+        apply_ratchet(&ratchet, &by_file, &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("stale"), "{v:?}");
+    }
+
+    #[test]
+    fn boxed_dyn_error_in_comm_result_is_flagged() {
+        let src = "\
+pub fn bad(x: u8) -> Result<u8, Box<dyn std::error::Error>> { Ok(x) }
+pub fn good(x: u8) -> Result<u8, CommError> { Ok(x) }
+pub fn multi_line(
+    x: u8,
+) -> Result<u8, Box<dyn std::error::Error>> {
+    Ok(x)
+}
+";
+        let v = check("crates/comm/src/y.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "typed-error"));
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 3);
+    }
+}

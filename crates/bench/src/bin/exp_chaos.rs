@@ -11,13 +11,14 @@
 //! schedule's coarsest rate for the dead rank's domains and report the
 //! accuracy cost instead of hanging.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lcc_bench::json::{write_report, Json};
 use lcc_comm::{
     decode_f64s, encode_f64s, run_cluster_with_faults, CommStats, FaultPlan, RetryConfig,
 };
-use lcc_core::{LowCommConfig, LowCommConvolver, TraditionalConvolver};
+use lcc_core::{ConvolveMode, LowCommConfig, LowCommConvolver, TraditionalConvolver};
 use lcc_greens::GaussianKernel;
 use lcc_grid::{assign_round_robin, decompose_uniform, relative_l2, Grid3};
 use lcc_octree::{CompressedField, RateSchedule};
@@ -71,8 +72,8 @@ fn run(plan: FaultPlan) -> (Vec<Option<Grid3<f64>>>, Arc<CommStats>) {
         let all = w
             .allgather_surviving(encode_f64s(&payload))
             .expect("surviving allgather failed");
-        let mut live_fields = Vec::new();
-        let mut missing = Vec::new();
+        let mut contribs: BTreeMap<usize, CompressedField> = BTreeMap::new();
+        let mut orphans = Vec::new();
         for (rank, bytes) in all.iter().enumerate() {
             match bytes {
                 Some(bytes) => {
@@ -85,13 +86,15 @@ fn run(plan: FaultPlan) -> (Vec<Option<Grid3<f64>>>, Arc<CommStats>) {
                         let mut f = CompressedField::zeros(plan);
                         f.samples_mut().copy_from_slice(&samples[off..off + count]);
                         off += count;
-                        live_fields.push(f);
+                        contribs.insert(di, f);
                     }
                 }
-                None => missing.extend(assignment[rank].iter().map(|&di| domains[di])),
+                None => orphans.extend(assignment[rank].iter().map(|&di| (di, domains[di]))),
             }
         }
-        let (result, _) = conv.accumulate_degraded(&live_fields, &field, kernel.as_ref(), &missing);
+        // Orphans absent from the fold are rebuilt at the coarsest rate.
+        let session = conv.session(ConvolveMode::Degraded);
+        let (result, _) = session.accumulate(&contribs, &field, kernel.as_ref(), &orphans);
         result
     })
 }

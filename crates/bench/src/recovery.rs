@@ -21,7 +21,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lcc_comm::{run_cluster_with_faults, CommStats, FaultPlan, RetryPolicy};
-use lcc_core::{ConvolveReport, LowCommConfig, LowCommConvolver, RecoveryPlanner, RecoveryPolicy};
+use lcc_core::{
+    ConvolveMode, ConvolveReport, LowCommConfig, LowCommConvolver, RecoveryPlanner, RecoveryPolicy,
+};
 use lcc_greens::GaussianKernel;
 use lcc_grid::{decompose_uniform, BoxRegion, Grid3};
 use lcc_octree::{CompressedField, RateSchedule};
@@ -162,11 +164,14 @@ pub fn run_recovery(case: &RecoveryCase) -> (Vec<Option<RankOutcome>>, Arc<CommS
         move |mut w| {
             let rank = w.rank();
             let conv = LowCommConvolver::new((*cfg).clone());
+            let session = conv.session(ConvolveMode::Recover(policy));
             let planner = RecoveryPlanner::new(policy);
             let owner = |id: usize| id % p;
 
+            // Exact in Recover mode: the same memoized plan and pipeline
+            // the dead owner would have used.
             let contribution = |id: usize| -> Option<CompressedField> {
-                conv.compress_domain_exact(&field, &domains[id], kernel.as_ref())
+                session.compress_domain(&field, &domains[id], kernel.as_ref())
             };
             let own_payload = |claims: &[usize]| -> Vec<u8> {
                 let mut mine = BTreeMap::new();
@@ -220,20 +225,15 @@ pub fn run_recovery(case: &RecoveryCase) -> (Vec<Option<RankOutcome>>, Arc<CommS
                     contribs.insert(id, f);
                 }
             }
-            let recovered: Vec<usize> = plan
+            // Claimed domains present in the fold are charged as recovered;
+            // unclaimed (or lost) orphans are rebuilt at the coarsest rate.
+            let orphans: Vec<(usize, BoxRegion)> = plan
                 .claims
                 .iter()
-                .map(|c| c.domain_id)
-                .filter(|id| contribs.contains_key(id))
+                .map(|c| (c.domain_id, domains[c.domain_id]))
+                .chain(plan.degraded.iter().copied())
                 .collect();
-            let degraded: Vec<(usize, BoxRegion)> = plan.degraded.clone();
-            let (result, report) = conv.accumulate_with_recovery(
-                &contribs,
-                &field,
-                kernel.as_ref(),
-                &recovered,
-                &degraded,
-            );
+            let (result, report) = session.accumulate(&contribs, &field, kernel.as_ref(), &orphans);
             Some(RankOutcome {
                 result,
                 report,
@@ -266,13 +266,14 @@ mod tests {
     fn payload_codec_round_trips() {
         let case = RecoveryCase::standard(FaultPlan::none(), RecoveryPolicy::Degrade);
         let conv = LowCommConvolver::new(case.config());
+        let session = conv.session(ConvolveMode::Normal);
         let field = case.input();
         let kernel = case.kernel();
         let domains = decompose_uniform(case.n, case.k);
         let mut entries = BTreeMap::new();
         for id in [0usize, 5, 63] {
-            let f = conv
-                .compress_domain_exact(&field, &domains[id], &kernel)
+            let f = session
+                .compress_domain(&field, &domains[id], &kernel)
                 .expect("smooth input has no zero domains");
             entries.insert(id, f);
         }

@@ -57,6 +57,8 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
+use lcc_obs::metrics as obs;
+
 use crate::fault::{CommError, FaultPlan, RetryPolicy};
 use crate::membership::ClusterView;
 
@@ -290,6 +292,10 @@ impl CommWorld {
             .bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        // The obs counters mirror `CommStats` at the same call site so a
+        // session's totals match the stats accounting exactly.
+        obs::COMM_BYTES_LOGICAL.add(payload.len() as u64);
+        obs::COMM_MESSAGES_LOGICAL.incr();
         let seq = self.next_seq[to];
         self.next_seq[to] += 1;
         if !self.plan.is_active() {
@@ -305,6 +311,8 @@ impl CommWorld {
             .bytes_physical
             .fetch_add(bytes as u64, Ordering::Relaxed);
         self.stats.messages_physical.fetch_add(1, Ordering::Relaxed);
+        obs::COMM_BYTES_PHYSICAL.add(bytes as u64);
+        obs::COMM_MESSAGES_PHYSICAL.incr();
     }
 
     fn push(&self, to: usize, frame: Frame) -> Result<(), CommError> {
@@ -389,6 +397,8 @@ impl CommWorld {
             .retransmits
             .fetch_add(retransmits, Ordering::Relaxed);
         self.stats.timeouts.fetch_add(timeouts, Ordering::Relaxed);
+        obs::COMM_RETRANSMITS.add(retransmits);
+        obs::COMM_TIMEOUTS.add(timeouts);
         if !acked {
             return Err(CommError::RetriesExhausted {
                 rank: self.rank,
@@ -409,6 +419,7 @@ impl CommWorld {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                obs::COMM_TIMEOUTS.incr();
                 return Err(CommError::Timeout {
                     op: "ack",
                     rank: self.rank,
@@ -446,6 +457,7 @@ impl CommWorld {
             self.stats
                 .duplicates_suppressed
                 .fetch_add(1, Ordering::Relaxed);
+            obs::COMM_DUPLICATES.incr();
             self.send_ack(src, seq);
             return;
         }
@@ -464,6 +476,7 @@ impl CommWorld {
         self.ack_idx[src] += 1;
         // The ack is transmitted before the plan loses it: physical cost.
         self.stats.acks.fetch_add(1, Ordering::Relaxed);
+        obs::COMM_ACKS.incr();
         if self.plan.drops_ack(src, self.rank, seq, k) {
             return;
         }
@@ -538,6 +551,7 @@ impl CommWorld {
             .unwrap_or(0);
         if self.rank == lowest_live {
             self.stats.collective_rounds.fetch_add(1, Ordering::Relaxed);
+            obs::COMM_COLLECTIVE_ROUNDS.incr();
         }
     }
 
@@ -633,7 +647,12 @@ impl CommWorld {
     pub fn detect_failures(&mut self) -> bool {
         let dead = self.plan.doomed_ranks(self.size);
         self.suspected.clear();
-        self.view.observe_dead(dead)
+        let changed = self.view.observe_dead(dead);
+        if changed {
+            // Spans this rank records from here on carry the new epoch.
+            lcc_obs::set_epoch(self.view.epoch());
+        }
+        changed
     }
 
     /// Sends `payload` framed with this rank's current view epoch. Used by
@@ -963,7 +982,16 @@ where
                     None // the rank never starts; dropping the world here
                          // closes its endpoint
                 } else {
-                    Some(scope.spawn(move || f(world)))
+                    Some(scope.spawn(move || {
+                        // Tag this worker's spans with its simulated rank
+                        // (and untag before the thread returns to any pool).
+                        lcc_obs::set_rank(Some(world.rank as u32));
+                        lcc_obs::set_epoch(world.view.epoch());
+                        let r = f(world);
+                        lcc_obs::set_rank(None);
+                        lcc_obs::set_epoch(0);
+                        r
+                    }))
                 }
             })
             .collect();

@@ -146,10 +146,13 @@ pub fn pencil_forward_3d(
     assert_eq!(n % pc, 0, "pc must divide n");
     let (r, c) = grid_coords(world.rank(), pc);
     let (cx, cy) = (n / pr, n / pc);
+    let _fwd = lcc_obs::span("pencil_forward_3d");
 
     // Phase 0: transform z (contiguous), dims (cx, cy, n).
     let mut data = block;
+    let ph = lcc_obs::span("pencil_fwd_z");
     fft_axis(planner, &mut data, (cx, cy, n), 2, FftDirection::Forward);
+    drop(ph);
 
     // Row exchange: distribute z among the row, gather full y.
     // Current layout (x_loc, y_loc, z): reinterpret as (a=y_loc, b=z, w=1)
@@ -168,12 +171,16 @@ pub fn pencil_forward_3d(
     }
     // perm dims: (cy, n, cx) indexed (y_loc, z, x_loc).
     let peers = row_peers(r, pc);
+    let ph = lcc_obs::span("pencil_row_exchange");
     let exchanged = pencil_exchange(world, &peers, c, &perm, cy, n, cx)?;
+    drop(ph);
     // exchanged dims: (cz = n/pc, n, cx) indexed (z_loc, y, x_loc).
     let cz = n / pc;
     let mut data = exchanged;
     // Transform y: dims (cz, n, cx), axis 1.
+    let ph = lcc_obs::span("pencil_fwd_y");
     fft_axis(planner, &mut data, (cz, n, cx), 1, FftDirection::Forward);
+    drop(ph);
 
     // Column exchange: distribute y among the column, gather full x.
     // Current (z_loc, fy, x_loc) → need (a_loc = fy-chunk…): reshape to
@@ -196,6 +203,7 @@ pub fn pencil_forward_3d(
     // fully. The exchange sends fy chunks and receives x chunks:
     // treat a = fy (ca = n/pr per peer after split), b = x.
     let peers = col_peers(c, pr, pc);
+    let ph = lcc_obs::span("pencil_col_exchange");
     let q = peers.len();
     let cyr = n / pr; // fy chunk per column peer
     let outgoing: Vec<Vec<u8>> = (0..q)
@@ -238,8 +246,11 @@ pub fn pencil_forward_3d(
             }
         }
     }
+    drop(ph);
     // Transform x: dims (cyr, cz, n), axis 2 (contiguous).
+    let ph = lcc_obs::span("pencil_fwd_x");
     fft_axis(planner, &mut out, (cyr, cz, n), 2, FftDirection::Forward);
+    drop(ph);
     Ok(out)
 }
 
@@ -258,10 +269,14 @@ pub fn pencil_inverse_3d(
     let (r, c) = grid_coords(world.rank(), pc);
     let (cx, cy) = (n / pr, n / pc);
     let (cyr, cz) = (n / pr, n / pc);
+    let _inv = lcc_obs::span("pencil_inverse_3d");
 
     // Undo phase 2: inverse x transform, then column exchange back.
     let mut data = spectrum;
+    let ph = lcc_obs::span("pencil_inv_x");
     fft_axis(planner, &mut data, (cyr, cz, n), 2, FftDirection::Inverse);
+    drop(ph);
+    let ph = lcc_obs::span("pencil_col_exchange");
     let peers = col_peers(c, pr, pc);
     let outgoing: Vec<Vec<u8>> = (0..peers.len())
         .map(|d| {
@@ -303,6 +318,7 @@ pub fn pencil_inverse_3d(
             }
         }
     }
+    drop(ph);
     // Back to (z_loc, fy, x_loc), inverse y transform.
     let mut data = vec![Complex64::ZERO; cz * n * cx];
     for z in 0..cz {
@@ -312,11 +328,15 @@ pub fn pencil_inverse_3d(
             }
         }
     }
+    let ph = lcc_obs::span("pencil_inv_y");
     fft_axis(planner, &mut data, (cz, n, cx), 1, FftDirection::Inverse);
+    drop(ph);
 
     // Undo phase 1: row exchange back (z ↔ y), to (y_loc, z full, x_loc).
     let peers = row_peers(r, pc);
+    let ph = lcc_obs::span("pencil_row_exchange");
     let back = pencil_exchange(world, &peers, c, &data, cz, n, cx)?;
+    drop(ph);
     // back dims: (cy, n, cx) indexed (y_loc, z, x_loc).
     // Restore (x_loc, y_loc, z) and inverse z transform.
     let mut out = vec![Complex64::ZERO; cx * cy * n];
@@ -327,8 +347,10 @@ pub fn pencil_inverse_3d(
             }
         }
     }
+    let ph = lcc_obs::span("pencil_inv_z");
     fft_axis(planner, &mut out, (cx, cy, n), 2, FftDirection::Inverse);
     scale_in_place(&mut out, 1.0 / (n as f64).powi(3));
+    drop(ph);
     Ok(out)
 }
 

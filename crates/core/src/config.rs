@@ -1,0 +1,257 @@
+//! Validated construction of [`LowCommConfig`]: a builder plus a typed
+//! [`ConfigError`], so bad `n`/`k` combinations surface as values instead of
+//! panics deep inside the FFT planner.
+//!
+//! ```
+//! use lcc_core::{ConfigError, LowCommConfig};
+//!
+//! let cfg = LowCommConfig::builder().n(256).k(4).far_rate(8).build().unwrap();
+//! assert_eq!(cfg.n, 256);
+//!
+//! let err = LowCommConfig::builder().n(10).k(3).build().unwrap_err();
+//! assert!(matches!(err, ConfigError::NotDivisible { n: 10, k: 3 }));
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use lcc_octree::RateSchedule;
+
+use crate::lowcomm::LowCommConfig;
+
+/// Why a [`LowCommConfig`] is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A required builder field was never set.
+    Missing(&'static str),
+    /// Grid size must be at least 1.
+    ZeroGrid,
+    /// `k` must satisfy `1 ≤ k ≤ n`.
+    KOutOfRange {
+        /// Grid size.
+        n: usize,
+        /// Offending sub-domain size.
+        k: usize,
+    },
+    /// `k` must divide `n` so the decomposition tiles the grid.
+    NotDivisible {
+        /// Grid size.
+        n: usize,
+        /// Offending sub-domain size.
+        k: usize,
+    },
+    /// The z-stage batch must be at least 1.
+    ZeroBatch,
+    /// A sampling rate must be a power of two.
+    RateNotPowerOfTwo(u32),
+    /// The sampling schedule violates its own invariants
+    /// ([`RateSchedule::validate`]).
+    Schedule(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Missing(field) => write!(f, "required field `{field}` was not set"),
+            ConfigError::ZeroGrid => write!(f, "grid size n must be at least 1"),
+            ConfigError::KOutOfRange { n, k } => {
+                write!(f, "sub-domain size k={k} must be in 1..={n}")
+            }
+            ConfigError::NotDivisible { n, k } => {
+                write!(f, "sub-domain size k={k} must divide grid size n={n}")
+            }
+            ConfigError::ZeroBatch => write!(f, "z-stage batch size must be at least 1"),
+            ConfigError::RateNotPowerOfTwo(r) => {
+                write!(f, "sampling rate {r} is not a power of two")
+            }
+            ConfigError::Schedule(msg) => write!(f, "invalid sampling schedule: {msg}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+impl LowCommConfig {
+    /// Starts a validated builder:
+    /// `LowCommConfig::builder().n(256).k(4).far_rate(8).build()?`.
+    pub fn builder() -> LowCommConfigBuilder {
+        LowCommConfigBuilder::default()
+    }
+
+    /// Checks every invariant [`crate::LowCommConvolver::try_new`] relies
+    /// on, returning the first violation as a typed error.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n == 0 {
+            return Err(ConfigError::ZeroGrid);
+        }
+        if self.k == 0 || self.k > self.n {
+            return Err(ConfigError::KOutOfRange {
+                n: self.n,
+                k: self.k,
+            });
+        }
+        if !self.n.is_multiple_of(self.k) {
+            return Err(ConfigError::NotDivisible {
+                n: self.n,
+                k: self.k,
+            });
+        }
+        if self.batch == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        self.schedule.validate().map_err(ConfigError::Schedule)
+    }
+}
+
+/// Builder for [`LowCommConfig`]. `n` and `k` are required; `batch`
+/// defaults to `min(1024, n²)` and the schedule to the paper's §5.4
+/// heuristic at the configured `far_rate` (default 8).
+#[derive(Clone, Debug)]
+pub struct LowCommConfigBuilder {
+    n: Option<usize>,
+    k: Option<usize>,
+    batch: Option<usize>,
+    far_rate: u32,
+    schedule: Option<RateSchedule>,
+}
+
+impl Default for LowCommConfigBuilder {
+    fn default() -> Self {
+        LowCommConfigBuilder {
+            n: None,
+            k: None,
+            batch: None,
+            far_rate: 8,
+            schedule: None,
+        }
+    }
+}
+
+impl LowCommConfigBuilder {
+    /// Grid size N.
+    pub fn n(mut self, n: usize) -> Self {
+        self.n = Some(n);
+        self
+    }
+
+    /// Sub-domain size k (must divide N).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// z-stage batch size B (defaults to `min(1024, n²)`).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch);
+        self
+    }
+
+    /// Far-field sampling rate of the default paper schedule. Ignored when
+    /// an explicit [`Self::schedule`] is given.
+    pub fn far_rate(mut self, far_rate: u32) -> Self {
+        self.far_rate = far_rate;
+        self
+    }
+
+    /// Replaces the default paper schedule with an explicit one.
+    pub fn schedule(mut self, schedule: RateSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    pub fn build(self) -> Result<LowCommConfig, ConfigError> {
+        let n = self.n.ok_or(ConfigError::Missing("n"))?;
+        let k = self.k.ok_or(ConfigError::Missing("k"))?;
+        let schedule = match self.schedule {
+            Some(s) => s,
+            None => {
+                if !self.far_rate.is_power_of_two() {
+                    return Err(ConfigError::RateNotPowerOfTwo(self.far_rate));
+                }
+                RateSchedule::paper_default(k, self.far_rate)
+            }
+        };
+        let cfg = LowCommConfig {
+            n,
+            k,
+            batch: self.batch.unwrap_or_else(|| 1024.min(n * n)),
+            schedule,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper_default() {
+        let built = LowCommConfig::builder()
+            .n(32)
+            .k(8)
+            .far_rate(16)
+            .build()
+            .unwrap();
+        let legacy = LowCommConfig::paper_default(32, 8, 16);
+        assert_eq!(built.n, legacy.n);
+        assert_eq!(built.k, legacy.k);
+        assert_eq!(built.batch, legacy.batch);
+        assert_eq!(built.schedule, legacy.schedule);
+    }
+
+    #[test]
+    fn builder_rejects_bad_divisibility_without_panicking() {
+        let err = LowCommConfig::builder().n(10).k(3).build().unwrap_err();
+        assert_eq!(err, ConfigError::NotDivisible { n: 10, k: 3 });
+        let err = LowCommConfig::builder().n(8).k(16).build().unwrap_err();
+        assert_eq!(err, ConfigError::KOutOfRange { n: 8, k: 16 });
+        let err = LowCommConfig::builder()
+            .n(8)
+            .k(4)
+            .batch(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroBatch);
+    }
+
+    #[test]
+    fn builder_requires_n_and_k() {
+        assert_eq!(
+            LowCommConfig::builder().k(4).build().unwrap_err(),
+            ConfigError::Missing("n")
+        );
+        assert_eq!(
+            LowCommConfig::builder().n(16).build().unwrap_err(),
+            ConfigError::Missing("k")
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_far_rate() {
+        let err = LowCommConfig::builder()
+            .n(16)
+            .k(4)
+            .far_rate(3)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::RateNotPowerOfTwo(3));
+    }
+
+    #[test]
+    fn explicit_schedule_is_validated() {
+        let mut schedule = RateSchedule::uniform(4);
+        schedule.far_rate = 3; // not a power of two
+        let err = LowCommConfig::builder()
+            .n(16)
+            .k(4)
+            .schedule(schedule)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Schedule(_)));
+        let display = err.to_string();
+        assert!(display.contains("power of two"), "got: {display}");
+    }
+}

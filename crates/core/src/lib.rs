@@ -24,28 +24,31 @@
 //! ## Quick example
 //!
 //! ```
-//! use lcc_core::{LowCommConfig, LowCommConvolver};
-//! use lcc_greens::GaussianKernel;
-//! use lcc_grid::Grid3;
+//! use lcc_core::prelude::*;
 //!
 //! let n = 16;
-//! let conv = LowCommConvolver::new(LowCommConfig::paper_default(n, 4, 8));
+//! let cfg = LowCommConfig::builder().n(n).k(4).far_rate(8).build().unwrap();
+//! let conv = LowCommConvolver::try_new(cfg).unwrap();
 //! let kernel = GaussianKernel::new(n, 1.0);
 //! let input = Grid3::from_fn((n, n, n), |x, y, z| (x + y + z) as f64);
-//! let (result, report) = conv.convolve(&input, &kernel);
+//! let (result, report) = conv.session(ConvolveMode::Normal).convolve(&input, &kernel);
 //! assert_eq!(result.shape(), (n, n, n));
 //! assert!(report.exchange_bytes > 0);
 //! ```
 
 pub mod adaptive;
+pub mod config;
 pub mod lowcomm;
 pub mod memory_model;
 pub mod pipeline;
+pub mod prelude;
 pub mod recovery;
+pub mod session;
 pub mod tensor_pipeline;
 pub mod traditional;
 
 pub use adaptive::AdaptiveConvolver;
+pub use config::{ConfigError, LowCommConfigBuilder};
 pub use lowcomm::{ConvolveReport, LowCommConfig, LowCommConvolver, RunReport};
 pub use memory_model::{
     allowable_k, domains_per_device, local_slab_bytes, table1_rows, traditional_bytes,
@@ -53,5 +56,6 @@ pub use memory_model::{
 };
 pub use pipeline::LocalConvolver;
 pub use recovery::{DomainClaim, RecoveryPlan, RecoveryPlanner, RecoveryPolicy};
+pub use session::{ConvolveMode, ConvolveSession};
 pub use tensor_pipeline::TensorKernelSpectrum;
 pub use traditional::TraditionalConvolver;

@@ -21,9 +21,12 @@ use rayon::prelude::*;
 
 use lcc_greens::KernelSpectrum;
 use lcc_grid::{decompose_uniform, BoxRegion, Grid3};
+use lcc_obs::metrics as obs;
 use lcc_octree::{CompressedField, PlanCache, RateSchedule, SamplingPlan};
 
+use crate::config::ConfigError;
 use crate::pipeline::LocalConvolver;
+use crate::session::{ConvolveMode, ConvolveSession};
 
 /// Configuration of a low-communication convolution.
 #[derive(Clone, Debug)]
@@ -99,8 +102,21 @@ pub struct LowCommConvolver {
 
 impl LowCommConvolver {
     /// Builds the convolver, planning the local pipeline once.
+    ///
+    /// Panics on an invalid configuration; use [`Self::try_new`] to get a
+    /// typed [`ConfigError`] instead.
     pub fn new(cfg: LowCommConfig) -> Self {
-        cfg.schedule.validate().expect("invalid schedule");
+        match Self::try_new(cfg) {
+            Ok(conv) => conv,
+            Err(e) => panic!("invalid LowCommConfig: {e}"),
+        }
+    }
+
+    /// Builds the convolver after validating `cfg`
+    /// ([`LowCommConfig::validate`]), so bad `n`/`k` divisibility or a
+    /// malformed schedule comes back as a value instead of a panic.
+    pub fn try_new(cfg: LowCommConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let local = LocalConvolver::new(cfg.n, cfg.k, cfg.batch);
         let plans = PlanCache::new(cfg.n, cfg.schedule.clone());
         let coarsest = {
@@ -113,12 +129,21 @@ impl LowCommConvolver {
                 .unwrap_or(1)
         };
         let degraded_plans = PlanCache::new(cfg.n, RateSchedule::uniform(coarsest));
-        LowCommConvolver {
+        Ok(LowCommConvolver {
             cfg,
             local,
             plans,
             degraded_plans,
-        }
+        })
+    }
+
+    /// Opens a [`ConvolveSession`] — the unified entry point that replaces
+    /// the deprecated `compress_domain*` / `accumulate*` method families.
+    /// The mode states once how the run treats missing domains; chain
+    /// [`ConvolveSession::with_observability`] to collect spans and
+    /// counters for the run.
+    pub fn session(&self, mode: ConvolveMode) -> ConvolveSession<'_> {
+        ConvolveSession::new(self, mode)
     }
 
     /// The configuration.
@@ -170,7 +195,21 @@ impl LowCommConvolver {
     /// Computes the compressed contributions of every (nonzero) sub-domain.
     /// Sub-domains are processed independently in parallel — this is the
     /// "local computation" phase that replaces the distributed FFT.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `session(ConvolveMode::Normal).compress_domains(...)`"
+    )]
     pub fn compress_domains(
+        &self,
+        input: &Grid3<f64>,
+        kernel: &dyn KernelSpectrum,
+    ) -> (Vec<CompressedField>, ConvolveReport) {
+        self.compress_domains_impl(input, kernel)
+    }
+
+    /// Shared implementation of the local-computation phase; exact in every
+    /// mode (degradation only concerns *missing* contributions).
+    pub(crate) fn compress_domains_impl(
         &self,
         input: &Grid3<f64>,
         kernel: &dyn KernelSpectrum,
@@ -206,12 +245,25 @@ impl LowCommConvolver {
                 None => report.domains_skipped += 1,
             }
         }
+        obs::CONVOLVE_DOMAINS_PROCESSED.add(report.domains_processed as u64);
+        obs::CONVOLVE_DOMAINS_SKIPPED.add(report.domains_skipped as u64);
+        obs::CONVOLVE_EXCHANGE_BYTES.add(report.exchange_bytes as u64);
+        obs::CONVOLVE_SAMPLES.add(report.total_samples as u64);
         (out, report)
     }
 
     /// Accumulation + interpolation: sums every domain's reconstruction
     /// into the dense approximate result (the one exchange of Fig. 1b).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `session(ConvolveMode::Normal).accumulate_fields(...)`"
+    )]
     pub fn accumulate(&self, fields: &[CompressedField]) -> Grid3<f64> {
+        self.accumulate_impl(fields)
+    }
+
+    /// Shared plain fold in slice order.
+    pub(crate) fn accumulate_impl(&self, fields: &[CompressedField]) -> Grid3<f64> {
         let n = self.cfg.n;
         let cube = BoxRegion::cube(n);
         let mut out = Grid3::zeros((n, n, n));
@@ -227,8 +279,8 @@ impl LowCommConvolver {
         input: &Grid3<f64>,
         kernel: &dyn KernelSpectrum,
     ) -> (Grid3<f64>, ConvolveReport) {
-        let (fields, report) = self.compress_domains(input, kernel);
-        (self.accumulate(&fields), report)
+        let (fields, report) = self.compress_domains_impl(input, kernel);
+        (self.accumulate_impl(&fields), report)
     }
 
     /// The coarsest sampling rate anywhere in the configured schedule —
@@ -254,23 +306,17 @@ impl LowCommConvolver {
     /// rate. Returns `None` for identically-zero domains (nothing to
     /// reconstruct). This is what a survivor runs for each domain owned by
     /// a dead rank.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `session(ConvolveMode::Degraded).compress_domain(...)`"
+    )]
     pub fn compress_domain_degraded(
         &self,
         input: &Grid3<f64>,
         domain: &BoxRegion,
         kernel: &dyn KernelSpectrum,
     ) -> Option<CompressedField> {
-        let sub = input.extract(domain);
-        if sub.as_slice().iter().all(|&v| v == 0.0) {
-            return None;
-        }
-        let plan = self
-            .degraded_plans
-            .plan_for(self.response_region(domain, kernel));
-        Some(
-            self.local
-                .convolve_compressed(&sub, domain.lo, kernel, plan),
-        )
+        self.compress_domain_impl(input, domain, kernel, true)
     }
 
     /// Recomputes one sub-domain's contribution *exactly* — the same plan
@@ -278,17 +324,39 @@ impl LowCommConvolver {
     /// would have run, so the samples are bit-identical to the fault-free
     /// run's. Returns `None` for identically-zero domains. This is what a
     /// recovery claimant executes per [`crate::recovery::DomainClaim`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `session(ConvolveMode::Normal).compress_domain(...)` \
+                (exact in Normal and Recover modes)"
+    )]
     pub fn compress_domain_exact(
         &self,
         input: &Grid3<f64>,
         domain: &BoxRegion,
         kernel: &dyn KernelSpectrum,
     ) -> Option<CompressedField> {
+        self.compress_domain_impl(input, domain, kernel, false)
+    }
+
+    /// Shared single-domain compression: `degraded` selects the coarsest
+    /// uniform plan, otherwise the memoized schedule plan.
+    pub(crate) fn compress_domain_impl(
+        &self,
+        input: &Grid3<f64>,
+        domain: &BoxRegion,
+        kernel: &dyn KernelSpectrum,
+        degraded: bool,
+    ) -> Option<CompressedField> {
         let sub = input.extract(domain);
         if sub.as_slice().iter().all(|&v| v == 0.0) {
             return None;
         }
-        let plan = self.plan_for(self.response_region(domain, kernel));
+        let region = self.response_region(domain, kernel);
+        let plan = if degraded {
+            self.degraded_plans.plan_for(region)
+        } else {
+            self.plan_for(region)
+        };
         Some(
             self.local
                 .convolve_compressed(&sub, domain.lo, kernel, plan),
@@ -305,7 +373,25 @@ impl LowCommConvolver {
     /// `recovered` lists the domain ids in `contributions` that were
     /// recomputed by claimants rather than their original owners; their
     /// modeled flop and byte cost is charged to the report.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `session(ConvolveMode::Recover(policy)).accumulate(...)`"
+    )]
     pub fn accumulate_with_recovery(
+        &self,
+        contributions: &BTreeMap<usize, CompressedField>,
+        input: &Grid3<f64>,
+        kernel: &dyn KernelSpectrum,
+        recovered: &[usize],
+        degraded: &[(usize, BoxRegion)],
+    ) -> (Grid3<f64>, ConvolveReport) {
+        self.accumulate_map_impl(contributions, input, kernel, recovered, degraded)
+    }
+
+    /// Shared ascending-domain-id fold with recovery/degradation
+    /// accounting — the implementation behind both the deprecated
+    /// `accumulate_with_recovery` and [`ConvolveSession::accumulate`].
+    pub(crate) fn accumulate_map_impl(
         &self,
         contributions: &BTreeMap<usize, CompressedField>,
         input: &Grid3<f64>,
@@ -337,7 +423,7 @@ impl LowCommConvolver {
             report.recovery_extra_bytes += f.message_bytes();
         }
         for (_, d) in degraded {
-            match self.compress_domain_degraded(input, d, kernel) {
+            match self.compress_domain_impl(input, d, kernel, true) {
                 Some(f) => {
                     f.add_region_into(&cube, &mut out, 1.0);
                     report.degraded_domains += 1;
@@ -348,6 +434,8 @@ impl LowCommConvolver {
         if report.degraded_domains > 0 {
             report.degraded_rate = Some(self.coarsest_rate());
         }
+        obs::CONVOLVE_DOMAINS_RECOVERED.add(report.recovered_domains as u64);
+        obs::CONVOLVE_DOMAINS_DEGRADED.add(report.degraded_domains as u64);
         (out, report)
     }
 
@@ -356,7 +444,24 @@ impl LowCommConvolver {
     /// ranks) by recomputing them locally at the coarsest rate. The report
     /// records how much of the field is degraded so callers can surface the
     /// accuracy loss instead of silently absorbing it.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `session(ConvolveMode::Degraded).accumulate(...)` with \
+                domain-id-keyed contributions"
+    )]
     pub fn accumulate_degraded(
+        &self,
+        fields: &[CompressedField],
+        input: &Grid3<f64>,
+        kernel: &dyn KernelSpectrum,
+        missing: &[BoxRegion],
+    ) -> (Grid3<f64>, ConvolveReport) {
+        self.accumulate_vec_impl(fields, input, kernel, missing)
+    }
+
+    /// Shared slice-order fold with degraded rebuild of `missing` domains —
+    /// kept bit-compatible with the historical `accumulate_degraded` path.
+    pub(crate) fn accumulate_vec_impl(
         &self,
         fields: &[CompressedField],
         input: &Grid3<f64>,
@@ -365,7 +470,7 @@ impl LowCommConvolver {
     ) -> (Grid3<f64>, ConvolveReport) {
         let n = self.cfg.n;
         let cube = BoxRegion::cube(n);
-        let mut out = self.accumulate(fields);
+        let mut out = self.accumulate_impl(fields);
         let mut report = ConvolveReport {
             domains_processed: fields.len(),
             dense_stage_bytes: n * n * n * 16,
@@ -376,7 +481,7 @@ impl LowCommConvolver {
             report.exchange_bytes += f.message_bytes();
         }
         for d in missing {
-            match self.compress_domain_degraded(input, d, kernel) {
+            match self.compress_domain_impl(input, d, kernel, true) {
                 Some(f) => {
                     f.add_region_into(&cube, &mut out, 1.0);
                     report.degraded_domains += 1;
@@ -387,6 +492,7 @@ impl LowCommConvolver {
         if report.degraded_domains > 0 {
             report.degraded_rate = Some(self.coarsest_rate());
         }
+        obs::CONVOLVE_DOMAINS_DEGRADED.add(report.degraded_domains as u64);
         (out, report)
     }
 }
@@ -459,7 +565,9 @@ mod tests {
         let kernel = GaussianKernel::new(n, 1.0);
         let mut input = Grid3::zeros((n, n, n));
         input[(4, 4, 4)] = 1.0;
-        let (fields, report) = conv.compress_domains(&input, &kernel);
+        let (fields, report) = conv
+            .session(ConvolveMode::Normal)
+            .compress_domains(&input, &kernel);
         assert_eq!(fields.len(), 1);
         assert!(
             report.exchange_bytes * 4 < report.dense_stage_bytes,
@@ -510,7 +618,9 @@ mod tests {
         let conv = LowCommConvolver::new(LowCommConfig::paper_default(n, k, 8));
         let kernel = GaussianKernel::new(n, 1.0);
         let input = smooth_input(n);
-        let (fields, report) = conv.compress_domains(&input, &kernel);
+        let (fields, report) = conv
+            .session(ConvolveMode::Normal)
+            .compress_domains(&input, &kernel);
         let bytes: usize = fields.iter().map(|f| f.message_bytes()).sum();
         assert_eq!(report.exchange_bytes, bytes);
         let samples: usize = fields.iter().map(|f| f.plan().total_samples()).sum();

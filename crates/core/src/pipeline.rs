@@ -194,7 +194,9 @@ impl LocalConvolver {
 
         // ---- Stage 1: 2D pruned transforms into the N×N×k slab. ----
         // Slab layout: (zloc, fx, fy), each z-slice a contiguous N² plane.
+        let s1 = lcc_obs::span("stage1_2d_fft");
         self.forward_2d_slab_into(sub, slab);
+        drop(s1);
         let slab: &[Complex64] = slab;
 
         // ---- Stage 2: batched z pencils with on-the-fly multiply and
@@ -207,6 +209,8 @@ impl LocalConvolver {
         let phz = self.phase_table(corner[2]);
 
         let total_pencils = n * n;
+        let s2 = lcc_obs::span("stage2_z_pencils");
+        lcc_obs::metrics::PIPELINE_PENCILS.add(total_pencils as u64);
         let mut q0 = 0;
         while q0 < total_pencils {
             let b = self.batch.min(total_pencils - q0);
@@ -245,8 +249,10 @@ impl LocalConvolver {
             }
             q0 += b;
         }
+        drop(s2);
 
         // ---- Stage 3: inverse 2D per retained plane + octree sampling. ----
+        let s3 = lcc_obs::span("stage3_inverse_sample");
         kept.par_chunks_mut(n * n).for_each(|plane| {
             fft_2d(&self.planner, plane, (n, n), FftDirection::Inverse);
             let s = 1.0 / (n * n) as f64;
@@ -262,6 +268,7 @@ impl LocalConvolver {
             }
             field.capture_plane(z, real_plane);
         }
+        drop(s3);
         field
     }
 

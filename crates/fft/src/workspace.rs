@@ -162,6 +162,7 @@ impl Drop for WorkspaceGuard {
 /// Borrows a workspace from the global free list (allocating a fresh one
 /// only when the list is empty — i.e. during warm-up).
 pub fn workspace() -> WorkspaceGuard {
+    lcc_obs::metrics::FFT_WORKSPACE_LEASES.incr();
     let ws = FREE_LIST.lock().pop().unwrap_or_default();
     // Tag the lease so debug/analysis builds catch an arena ever reaching
     // two borrowers at once (the detector panics on the second claim).

@@ -250,6 +250,8 @@ pub fn solve_accelerated(
     let mut residuals = Vec::new();
     let mut converged = false;
     for _ in 0..cfg.max_iters {
+        let _it = lcc_obs::span("massif_iteration");
+        lcc_obs::metrics::MASSIF_ITERATIONS.incr();
         // τ = σ − C0 : ε, pointwise.
         let mut tau = TensorField::zeros(n);
         for x in 0..n {
@@ -280,6 +282,7 @@ pub fn solve_accelerated(
         }
         let res = update_norm_sq.sqrt() / e_norm;
         residuals.push(res);
+        lcc_obs::metrics::MASSIF_RESIDUAL.set(res);
         if res < cfg.tol {
             converged = true;
             break;
@@ -349,9 +352,12 @@ pub fn solve_with_checkpoints(
     let mut converged = residuals.last().is_some_and(|r| *r < cfg.tol);
     if !converged {
         for it in residuals.len()..cfg.max_iters {
+            let _it_span = lcc_obs::span("massif_iteration");
+            lcc_obs::metrics::MASSIF_ITERATIONS.incr();
             let delta = engine.apply_gamma(&stress);
             let res = delta.norm() / e_norm;
             residuals.push(res);
+            lcc_obs::metrics::MASSIF_RESIDUAL.set(res);
             strain.axpy(-1.0, &delta);
             stress = TensorField::stress_from_strain(micro, &strain);
             if let Some(c) = ckpt {

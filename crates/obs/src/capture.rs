@@ -1,0 +1,336 @@
+//! Capture and replay of observation streams (in the spirit of
+//! timely-dataflow's `capture_into` / `replay_from`).
+//!
+//! A finished [`ObsReport`] serializes to a small versioned binary log so
+//! a cluster-sim run can be dumped on one machine and re-rendered offline
+//! (trace tree, JSON export) on another. The format is self-contained:
+//!
+//! ```text
+//! magic    8  b"LCCOBS\0\0"
+//! version  u32 (currently 1)
+//! wall_ns  u64
+//! names    u32 count, then per name: u32 len + utf8 bytes
+//! counters u32 count, then per counter: u32 name-idx + u64 value
+//! gauges   u32 count, then per gauge: u32 name-idx + f64 bits
+//! spans    u64 count, then per span:
+//!          u32 name-idx, u64 id, u64 parent, u64 start_ns, u64 dur_ns,
+//!          u32 thread, i32 rank, u64 epoch
+//! ```
+//!
+//! All integers little-endian. Span and instrument names are pooled in one
+//! table so repeated spans cost 4 bytes of name reference, not a string.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::session::ObsReport;
+use crate::span::{intern, SpanRecord};
+
+pub const MAGIC: [u8; 8] = *b"LCCOBS\0\0";
+pub const VERSION: u32 = 1;
+
+/// Typed errors of the capture/replay layer.
+#[derive(Debug)]
+pub enum ObsError {
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The file ended inside a record.
+    Truncated,
+    /// Structurally invalid content (bad UTF-8, out-of-range name index…).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ObsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsError::Io(e) => write!(f, "obs capture I/O error: {e}"),
+            ObsError::BadMagic => write!(f, "not an obs capture file (bad magic)"),
+            ObsError::UnsupportedVersion(v) => {
+                write!(f, "obs capture version {v} not supported (max {VERSION})")
+            }
+            ObsError::Truncated => write!(f, "obs capture truncated"),
+            ObsError::Malformed(m) => write!(f, "malformed obs capture: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ObsError {
+    fn from(e: std::io::Error) -> Self {
+        ObsError::Io(e)
+    }
+}
+
+/// Cursor over a capture byte stream with typed underflow errors.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ObsError> {
+        let end = self.pos.checked_add(n).ok_or(ObsError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ObsError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ObsError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i32(&mut self) -> Result<i32, ObsError> {
+        Ok(self.u32()? as i32)
+    }
+
+    fn u64(&mut self) -> Result<u64, ObsError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Index of `name` in the pool, appending it on first sight.
+fn name_idx(pool: &mut Vec<String>, name: &str) -> u32 {
+    if let Some(i) = pool.iter().position(|n| n == name) {
+        return i as u32;
+    }
+    pool.push(name.to_string());
+    (pool.len() - 1) as u32
+}
+
+impl ObsReport {
+    /// Serializes the report to the versioned binary capture format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut names: Vec<String> = Vec::new();
+        let counter_idx: Vec<u32> = self
+            .counters
+            .iter()
+            .map(|(n, _)| name_idx(&mut names, n))
+            .collect();
+        let gauge_idx: Vec<u32> = self
+            .gauges
+            .iter()
+            .map(|(n, _)| name_idx(&mut names, n))
+            .collect();
+        let span_idx: Vec<u32> = self
+            .spans
+            .iter()
+            .map(|s| name_idx(&mut names, s.name))
+            .collect();
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u64(&mut out, self.wall_ns);
+        put_u32(&mut out, names.len() as u32);
+        for n in &names {
+            put_u32(&mut out, n.len() as u32);
+            out.extend_from_slice(n.as_bytes());
+        }
+        put_u32(&mut out, self.counters.len() as u32);
+        for (i, (_, v)) in self.counters.iter().enumerate() {
+            put_u32(&mut out, counter_idx[i]);
+            put_u64(&mut out, *v);
+        }
+        put_u32(&mut out, self.gauges.len() as u32);
+        for (i, (_, v)) in self.gauges.iter().enumerate() {
+            put_u32(&mut out, gauge_idx[i]);
+            put_u64(&mut out, v.to_bits());
+        }
+        put_u64(&mut out, self.spans.len() as u64);
+        for (i, s) in self.spans.iter().enumerate() {
+            put_u32(&mut out, span_idx[i]);
+            put_u64(&mut out, s.id);
+            put_u64(&mut out, s.parent);
+            put_u64(&mut out, s.start_ns);
+            put_u64(&mut out, s.dur_ns);
+            put_u32(&mut out, s.thread);
+            put_u32(&mut out, s.rank as u32);
+            put_u64(&mut out, s.epoch);
+        }
+        out
+    }
+
+    /// Parses a capture produced by [`to_bytes`](ObsReport::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<ObsReport, ObsError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(ObsError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version == 0 || version > VERSION {
+            return Err(ObsError::UnsupportedVersion(version));
+        }
+        let wall_ns = r.u64()?;
+
+        let n_names = r.u32()? as usize;
+        let mut names: Vec<&'static str> = Vec::with_capacity(n_names);
+        for _ in 0..n_names {
+            let len = r.u32()? as usize;
+            let raw = r.take(len)?;
+            let s = std::str::from_utf8(raw)
+                .map_err(|_| ObsError::Malformed("non-UTF-8 name".to_string()))?;
+            names.push(intern(s));
+        }
+        let lookup = |idx: u32| -> Result<&'static str, ObsError> {
+            names
+                .get(idx as usize)
+                .copied()
+                .ok_or_else(|| ObsError::Malformed(format!("name index {idx} out of range")))
+        };
+
+        let n_counters = r.u32()? as usize;
+        let mut counters = Vec::with_capacity(n_counters);
+        for _ in 0..n_counters {
+            let name = lookup(r.u32()?)?;
+            counters.push((name.to_string(), r.u64()?));
+        }
+        let n_gauges = r.u32()? as usize;
+        let mut gauges = Vec::with_capacity(n_gauges);
+        for _ in 0..n_gauges {
+            let name = lookup(r.u32()?)?;
+            gauges.push((name.to_string(), f64::from_bits(r.u64()?)));
+        }
+        let n_spans = r.u64()? as usize;
+        let mut spans = Vec::with_capacity(n_spans.min(1 << 20));
+        for _ in 0..n_spans {
+            let name = lookup(r.u32()?)?;
+            spans.push(SpanRecord {
+                name,
+                id: r.u64()?,
+                parent: r.u64()?,
+                start_ns: r.u64()?,
+                dur_ns: r.u64()?,
+                thread: r.u32()?,
+                rank: r.i32()?,
+                epoch: r.u64()?,
+            });
+        }
+        Ok(ObsReport {
+            spans,
+            counters,
+            gauges,
+            wall_ns,
+        })
+    }
+
+    /// Dumps the capture to `path` (the `capture_into` half).
+    pub fn capture_into(&self, path: &Path) -> Result<(), ObsError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a capture back from `path` (the `replay_from` half).
+    pub fn replay_from(path: &Path) -> Result<ObsReport, ObsError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        ObsReport::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ObsReport {
+        ObsReport {
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: 0,
+                    name: intern("convolve"),
+                    start_ns: 10,
+                    dur_ns: 500,
+                    thread: 0,
+                    rank: -1,
+                    epoch: 0,
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: 1,
+                    name: intern("stage2_pencils"),
+                    start_ns: 20,
+                    dur_ns: 300,
+                    thread: 1,
+                    rank: 3,
+                    epoch: 2,
+                },
+            ],
+            counters: vec![
+                ("comm.bytes_logical".to_string(), 4096),
+                ("comm.bytes_physical".to_string(), 5120),
+            ],
+            gauges: vec![("massif.residual".to_string(), 1.5e-7)],
+            wall_ns: 12345,
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let report = sample_report();
+        let bytes = report.to_bytes();
+        let back = ObsReport::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let report = sample_report();
+        let path = std::env::temp_dir().join(format!("obs_capture_{}.bin", std::process::id()));
+        report.capture_into(&path).expect("write");
+        let back = ObsReport::replay_from(&path).expect("read");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert!(matches!(
+            ObsReport::from_bytes(b"NOTANOBS stream"),
+            Err(ObsError::BadMagic)
+        ));
+        let mut bytes = sample_report().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            ObsReport::from_bytes(&bytes),
+            Err(ObsError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = sample_report().to_bytes();
+        for cut in 0..bytes.len() {
+            match ObsReport::from_bytes(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("prefix of {cut} bytes parsed as a full capture"),
+            }
+        }
+    }
+}

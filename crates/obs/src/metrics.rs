@@ -1,0 +1,221 @@
+//! Typed counters and gauges, registered once as statics and sampled per
+//! session.
+//!
+//! Every instrument the pipeline emits lives here, in one place, so the
+//! exporters (and the `BENCH_obs.json` schema) have a closed, known set.
+//! Increments are gated on the session switch with a single relaxed load —
+//! with no session active a counter add is branch-not-taken and no store
+//! happens, preserving the hot path's performance envelope.
+//!
+//! The `comm.*` counters are incremented at the *same call sites* that
+//! update [`CommStats`] in `lcc_comm::cluster`, which is what makes the
+//! acceptance check "obs byte totals exactly match `CommStats`" hold by
+//! construction rather than by reconciliation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::span::enabled;
+
+/// A monotonically increasing event counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `v` when a session is collecting; no-op otherwise.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        if enabled() {
+            self.value.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 when a session is collecting.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge holding an `f64` (stored as bits).
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `v` when a session is collecting; no-op otherwise.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub(crate) fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The instrument registry. Names are `<subsystem>.<event>`; adding an
+// instrument means adding it to the matching `all_*` list below.
+// ---------------------------------------------------------------------------
+
+/// Logical payload bytes entering `CommWorld::send` (mirrors
+/// `CommStats::bytes`).
+pub static COMM_BYTES_LOGICAL: Counter = Counter::new("comm.bytes_logical");
+/// Logical messages (mirrors `CommStats::message_count`).
+pub static COMM_MESSAGES_LOGICAL: Counter = Counter::new("comm.messages_logical");
+/// Physical wire bytes including retransmits and acks (mirrors
+/// `CommStats::bytes_physical`).
+pub static COMM_BYTES_PHYSICAL: Counter = Counter::new("comm.bytes_physical");
+/// Physical transmission attempts (mirrors `CommStats::messages_physical`).
+pub static COMM_MESSAGES_PHYSICAL: Counter = Counter::new("comm.messages_physical");
+/// Acknowledgement frames sent (mirrors `CommStats::ack_count`).
+pub static COMM_ACKS: Counter = Counter::new("comm.acks");
+/// Retransmitted frames (mirrors `CommStats::retransmit_count`).
+pub static COMM_RETRANSMITS: Counter = Counter::new("comm.retransmits");
+/// Send attempts that exhausted their retry deadline (mirrors
+/// `CommStats::timeout_count`).
+pub static COMM_TIMEOUTS: Counter = Counter::new("comm.timeouts");
+/// Duplicate frames suppressed at the receiver (mirrors
+/// `CommStats::duplicates_suppressed`).
+pub static COMM_DUPLICATES: Counter = Counter::new("comm.duplicates_suppressed");
+/// Collective rounds counted once per collective (mirrors
+/// `CommStats::collective_rounds`).
+pub static COMM_COLLECTIVE_ROUNDS: Counter = Counter::new("comm.collective_rounds");
+
+/// Workspace arenas leased from the global free list.
+pub static FFT_WORKSPACE_LEASES: Counter = Counter::new("fft.workspace_leases");
+
+/// z-pencils pushed through the stage-2 batched transform.
+pub static PIPELINE_PENCILS: Counter = Counter::new("pipeline.pencils_transformed");
+
+/// Octree sampling plans built (cache misses; hits reuse a memoized plan).
+pub static OCTREE_PLANS_BUILT: Counter = Counter::new("octree.plans_built");
+/// Compressed samples captured out of retained planes.
+pub static OCTREE_SAMPLES_CAPTURED: Counter = Counter::new("octree.samples_captured");
+
+/// Sub-domains convolved at full fidelity.
+pub static CONVOLVE_DOMAINS_PROCESSED: Counter = Counter::new("convolve.domains_processed");
+/// Sub-domains skipped as identically zero.
+pub static CONVOLVE_DOMAINS_SKIPPED: Counter = Counter::new("convolve.domains_skipped");
+/// Orphaned sub-domains rebuilt at the coarsest (degraded) rate.
+pub static CONVOLVE_DOMAINS_DEGRADED: Counter = Counter::new("convolve.domains_degraded");
+/// Orphaned sub-domains recovered exactly by claimants.
+pub static CONVOLVE_DOMAINS_RECOVERED: Counter = Counter::new("convolve.domains_recovered");
+/// Bytes of the single sparse accumulation exchange (Eq. 6 numerator).
+pub static CONVOLVE_EXCHANGE_BYTES: Counter = Counter::new("convolve.exchange_bytes");
+/// Compressed samples across all processed domains.
+pub static CONVOLVE_SAMPLES: Counter = Counter::new("convolve.samples");
+
+/// MASSIF solver iterations executed.
+pub static MASSIF_ITERATIONS: Counter = Counter::new("massif.iterations");
+
+/// Last relative residual the MASSIF solver reported.
+pub static MASSIF_RESIDUAL: Gauge = Gauge::new("massif.residual");
+
+static COUNTERS: [&Counter; 20] = [
+    &COMM_BYTES_LOGICAL,
+    &COMM_MESSAGES_LOGICAL,
+    &COMM_BYTES_PHYSICAL,
+    &COMM_MESSAGES_PHYSICAL,
+    &COMM_ACKS,
+    &COMM_RETRANSMITS,
+    &COMM_TIMEOUTS,
+    &COMM_DUPLICATES,
+    &COMM_COLLECTIVE_ROUNDS,
+    &FFT_WORKSPACE_LEASES,
+    &PIPELINE_PENCILS,
+    &OCTREE_PLANS_BUILT,
+    &OCTREE_SAMPLES_CAPTURED,
+    &CONVOLVE_DOMAINS_PROCESSED,
+    &CONVOLVE_DOMAINS_SKIPPED,
+    &CONVOLVE_DOMAINS_DEGRADED,
+    &CONVOLVE_DOMAINS_RECOVERED,
+    &CONVOLVE_EXCHANGE_BYTES,
+    &CONVOLVE_SAMPLES,
+    &MASSIF_ITERATIONS,
+];
+
+static GAUGES: [&Gauge; 1] = [&MASSIF_RESIDUAL];
+
+/// Every registered counter, in stable export order.
+pub fn all_counters() -> &'static [&'static Counter] {
+    &COUNTERS
+}
+
+/// Every registered gauge, in stable export order.
+pub fn all_gauges() -> &'static [&'static Gauge] {
+    &GAUGES
+}
+
+/// Zeroes every instrument (session start).
+pub(crate) fn reset_all() {
+    for c in all_counters() {
+        c.reset();
+    }
+    for g in all_gauges() {
+        g.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_counters().iter().map(|c| c.name()).collect();
+        names.extend(all_gauges().iter().map(|g| g.name()));
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "duplicate instrument name");
+    }
+
+    #[test]
+    fn disabled_add_is_dropped() {
+        let _gate = crate::test_gate();
+        static T: Counter = Counter::new("test.disabled");
+        assert!(!enabled());
+        T.add(7);
+        assert_eq!(T.get(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Session lifecycle: one [`ObsSession`] at a time turns collection on,
+//! and finishing it yields an [`ObsReport`] snapshot.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::metrics;
+use crate::span::{self, SpanRecord, ENABLED};
+
+/// Guards against two concurrent sessions: counters are process-global, so
+/// overlapping sessions would double-book each other's events.
+static SESSION_HELD: AtomicBool = AtomicBool::new(false);
+
+/// An active observability session. While one is live, [`span`](crate::span)
+/// guards record and counters accumulate; dropping or finishing it turns
+/// collection back off.
+///
+/// ```
+/// let session = lcc_obs::ObsSession::start().expect("no other session");
+/// {
+///     let _s = lcc_obs::span("work");
+/// }
+/// let report = session.finish();
+/// assert_eq!(report.span_count("work"), 1);
+/// ```
+pub struct ObsSession {
+    t0_ns: u64,
+    finished: bool,
+}
+
+impl ObsSession {
+    /// Starts collecting: resets every counter and gauge, discards stale
+    /// span buffers and enables the global switch. Returns `None` if
+    /// another session is already live.
+    pub fn start() -> Option<ObsSession> {
+        if SESSION_HELD.swap(true, Ordering::AcqRel) {
+            return None;
+        }
+        metrics::reset_all();
+        span::clear_all();
+        ENABLED.store(true, Ordering::SeqCst);
+        Some(ObsSession {
+            t0_ns: crate::span::now_ns(),
+            finished: false,
+        })
+    }
+
+    /// Stops collecting and snapshots everything recorded since
+    /// [`start`](ObsSession::start): all spans (sorted by start time),
+    /// every counter and gauge, and the session wall time.
+    pub fn finish(mut self) -> ObsReport {
+        self.finished = true;
+        ENABLED.store(false, Ordering::SeqCst);
+        let wall_ns = crate::span::now_ns().saturating_sub(self.t0_ns);
+        let spans = span::drain_all();
+        let counters = metrics::all_counters()
+            .iter()
+            .map(|c| (c.name().to_string(), c.get()))
+            .collect();
+        let gauges = metrics::all_gauges()
+            .iter()
+            .map(|g| (g.name().to_string(), g.get()))
+            .collect();
+        SESSION_HELD.store(false, Ordering::Release);
+        ObsReport {
+            spans,
+            counters,
+            gauges,
+            wall_ns,
+        }
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Abandoned without `finish`: turn collection off and free the
+            // slot so a later session can start clean.
+            ENABLED.store(false, Ordering::SeqCst);
+            SESSION_HELD.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// Everything one session observed. Produced by [`ObsSession::finish`] or
+/// replayed from a capture file ([`ObsReport::replay_from`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsReport {
+    /// All finished spans, ascending by start time.
+    pub spans: Vec<SpanRecord>,
+    /// `(name, value)` for every registered counter, registry order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge, registry order.
+    pub gauges: Vec<(String, f64)>,
+    /// Session wall time in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl ObsReport {
+    /// The value of the named counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of the named gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Number of spans recorded under `name`.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Total nanoseconds across all spans named `name` (self time is not
+    /// subtracted — nested spans overlap their parents).
+    pub fn span_total_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// The flamegraph-style text rendering of the span tree (see
+    /// [`crate::tree`]).
+    pub fn trace_tree(&self) -> String {
+        crate::tree::render(&self.spans, self.wall_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_collects_and_resets() {
+        let _gate = crate::test_gate();
+        let s = ObsSession::start().expect("no live session");
+        metrics::PIPELINE_PENCILS.add(5);
+        {
+            let _outer = crate::span("outer");
+            let _inner = crate::span("inner");
+        }
+        let report = s.finish();
+        assert!(!crate::enabled());
+        assert_eq!(report.counter("pipeline.pencils_transformed"), Some(5));
+        assert_eq!(report.span_count("outer"), 1);
+        assert_eq!(report.span_count("inner"), 1);
+        let outer = report.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = report.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, outer.id, "inner span must nest under outer");
+        assert_eq!(outer.parent, 0);
+
+        // A second session starts from zero.
+        let s2 = ObsSession::start().expect("slot released");
+        let report2 = s2.finish();
+        assert_eq!(report2.counter("pipeline.pencils_transformed"), Some(0));
+        assert_eq!(report2.spans.len(), 0);
+    }
+
+    #[test]
+    fn only_one_session_at_a_time() {
+        let _gate = crate::test_gate();
+        let s = ObsSession::start().expect("no live session");
+        assert!(ObsSession::start().is_none());
+        drop(s); // abandoned, not finished
+        assert!(!crate::enabled());
+        let s2 = ObsSession::start().expect("drop released the slot");
+        let _ = s2.finish();
+    }
+
+    #[test]
+    fn rank_and_epoch_are_recorded() {
+        let _gate = crate::test_gate();
+        let s = ObsSession::start().expect("no live session");
+        crate::set_rank(Some(3));
+        crate::set_epoch(7);
+        {
+            let _sp = crate::span("ranked");
+        }
+        crate::set_rank(None);
+        crate::set_epoch(0);
+        let report = s.finish();
+        let sp = report.spans.iter().find(|s| s.name == "ranked").unwrap();
+        assert_eq!(sp.rank, 3);
+        assert_eq!(sp.epoch, 7);
+    }
+}

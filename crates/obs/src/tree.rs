@@ -1,0 +1,186 @@
+//! The `--trace-tree` exporter: a flamegraph-style text rendering of the
+//! span hierarchy.
+//!
+//! Spans are grouped structurally — siblings with the same name merge into
+//! one node accumulating call count and total time — so a convolve that
+//! ran 64 `stage2_pencils` spans renders as one line with `64 calls`.
+//! Percentages are of the session wall time.
+
+use std::collections::HashMap;
+
+use crate::span::SpanRecord;
+
+struct Node {
+    name: &'static str,
+    calls: usize,
+    total_ns: u64,
+    first_start: u64,
+    children: Vec<Node>,
+}
+
+/// Merges the given spans (children of one parent set) into name-grouped
+/// nodes, recursing through `by_parent`.
+fn build(ids: &[usize], spans: &[SpanRecord], by_parent: &HashMap<u64, Vec<usize>>) -> Vec<Node> {
+    let mut nodes: Vec<Node> = Vec::new();
+    for &i in ids {
+        let s = &spans[i];
+        let node = match nodes.iter_mut().find(|n| n.name == s.name) {
+            Some(n) => n,
+            None => {
+                nodes.push(Node {
+                    name: s.name,
+                    calls: 0,
+                    total_ns: 0,
+                    first_start: s.start_ns,
+                    children: Vec::new(),
+                });
+                nodes.last_mut().expect("just pushed")
+            }
+        };
+        node.calls += 1;
+        node.total_ns += s.dur_ns;
+        node.first_start = node.first_start.min(s.start_ns);
+        if let Some(kids) = by_parent.get(&s.id) {
+            let merged = build(kids, spans, by_parent);
+            merge_into(&mut node.children, merged);
+        }
+    }
+    nodes.sort_by_key(|n| n.first_start);
+    nodes
+}
+
+fn merge_into(dst: &mut Vec<Node>, src: Vec<Node>) {
+    for s in src {
+        match dst.iter_mut().find(|d| d.name == s.name) {
+            Some(d) => {
+                d.calls += s.calls;
+                d.total_ns += s.total_ns;
+                d.first_start = d.first_start.min(s.first_start);
+                merge_into(&mut d.children, s.children);
+            }
+            None => dst.push(s),
+        }
+    }
+    dst.sort_by_key(|n| n.first_start);
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn render_node(node: &Node, prefix: &str, last: bool, root: bool, wall_ns: u64, out: &mut String) {
+    let (branch, child_prefix) = if root {
+        (String::new(), String::new())
+    } else if last {
+        (format!("{prefix}└─ "), format!("{prefix}   "))
+    } else {
+        (format!("{prefix}├─ "), format!("{prefix}│  "))
+    };
+    let pct = if wall_ns > 0 {
+        100.0 * node.total_ns as f64 / wall_ns as f64
+    } else {
+        0.0
+    };
+    let label = format!("{branch}{}", node.name);
+    out.push_str(&format!(
+        "{label:<44} {:>7} {:>12} {pct:>6.1}%\n",
+        node.calls,
+        fmt_ns(node.total_ns)
+    ));
+    for (i, child) in node.children.iter().enumerate() {
+        render_node(
+            child,
+            &child_prefix,
+            i + 1 == node.children.len(),
+            false,
+            wall_ns,
+            out,
+        );
+    }
+}
+
+/// Renders the span forest as aligned text. `wall_ns` (session wall time)
+/// is the 100% reference for the percentage column.
+pub fn render(spans: &[SpanRecord], wall_ns: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44} {:>7} {:>12} {:>7}\n",
+        "span", "calls", "total", "wall%"
+    ));
+    if spans.is_empty() {
+        out.push_str("(no spans recorded)\n");
+        return out;
+    }
+    let known: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut by_parent: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        // A parent that never finished (guard alive at session end) has no
+        // record; treat its children as roots rather than dropping them.
+        if s.parent != 0 && known.contains(&s.parent) {
+            by_parent.entry(s.parent).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+    let forest = build(&roots, spans, &by_parent);
+    for (i, node) in forest.iter().enumerate() {
+        render_node(node, "", i + 1 == forest.len(), true, wall_ns, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::intern;
+
+    fn rec(id: u64, parent: u64, name: &'static str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            start_ns: start,
+            dur_ns: dur,
+            thread: 0,
+            rank: -1,
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn merges_siblings_and_nests() {
+        let spans = vec![
+            rec(1, 0, intern("convolve"), 0, 1000),
+            rec(2, 1, intern("stage"), 10, 200),
+            rec(3, 1, intern("stage"), 220, 300),
+            rec(4, 1, intern("accumulate"), 600, 100),
+        ];
+        let text = render(&spans, 1000);
+        assert!(text.contains("convolve"), "{text}");
+        // Two stage spans merged into one line with 2 calls.
+        let stage_line = text
+            .lines()
+            .find(|l| l.contains("stage"))
+            .expect("stage line");
+        assert!(stage_line.contains('2'), "{stage_line}");
+        assert!(text.contains("accumulate"));
+        // Header + 3 distinct nodes.
+        assert_eq!(text.lines().count(), 4, "{text}");
+    }
+
+    #[test]
+    fn orphaned_children_become_roots() {
+        let spans = vec![rec(5, 99, intern("lonely"), 0, 10)];
+        let text = render(&spans, 10);
+        assert!(text.contains("lonely"), "{text}");
+    }
+}

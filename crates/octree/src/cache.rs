@@ -69,6 +69,8 @@ impl PlanCache {
         // concurrently, and a racing duplicate build is harmless (last one
         // wins; both are identical by construction).
         self.misses.fetch_add(1, Ordering::Relaxed);
+        lcc_obs::metrics::OCTREE_PLANS_BUILT.incr();
+        let _sp = lcc_obs::span("octree_plan_build");
         let plan = Arc::new(SamplingPlan::build(self.n, region, &self.schedule));
         self.plans
             .lock()

@@ -65,6 +65,7 @@ impl CompressedField {
         let n = self.plan.n();
         assert_eq!(plane.len(), n * n, "plane must be N×N row-major");
         let plan = self.plan.clone();
+        let mut captured = 0u64;
         for (i, cell) in plan.cells().iter().enumerate() {
             let r = cell.rate as usize;
             let cz = cell.corner[2];
@@ -81,7 +82,9 @@ impl CompressedField {
                     self.samples[base + cell.local_sample_index(tx, ty, tz)] = plane[x * n + y];
                 }
             }
+            captured += (spa * spa) as u64;
         }
+        lcc_obs::metrics::OCTREE_SAMPLES_CAPTURED.add(captured);
     }
 
     /// The plan this field was sampled under.
@@ -173,6 +176,7 @@ impl CompressedField {
     /// without intermediate allocations.
     pub fn add_region_into(&self, region: &BoxRegion, out: &mut Grid3<f64>, scale: f64) {
         assert_eq!(out.shape(), region.size(), "output shape must match region");
+        let _sp = lcc_obs::span("octree_add_region");
         let plan = &self.plan;
         for (i, cell) in plan.cells().iter().enumerate() {
             let Some(overlap) = cell.region().intersect(region) else {

@@ -5,10 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lcc_core::{LowCommConfig, LowCommConvolver, TraditionalConvolver};
-use lcc_greens::GaussianKernel;
-use lcc_grid::{relative_l2, Grid3};
-use lcc_octree::RateSchedule;
+use lcc_grid::relative_l2;
+
+use lcc_core::prelude::*;
 
 fn main() {
     // Problem: a 64³ grid convolved with the paper's sharp Gaussian kernel,
@@ -24,17 +23,20 @@ fn main() {
 
     // The adaptive schedule: dense through a 3σ halo around each
     // sub-domain's response, r = 2 through the transition, r = 8 / 16 beyond.
-    let schedule = RateSchedule::for_kernel_spread(k, sigma, 16);
-    let conv = LowCommConvolver::new(LowCommConfig {
-        n,
-        k,
-        batch: 1024,
-        schedule,
-    });
+    // The builder validates (k | n, power-of-two rates, …) instead of
+    // panicking mid-pipeline.
+    let cfg = LowCommConfig::builder()
+        .n(n)
+        .k(k)
+        .batch(1024)
+        .schedule(RateSchedule::for_kernel_spread(k, sigma, 16))
+        .build()
+        .expect("valid configuration");
+    let conv = LowCommConvolver::try_new(cfg).expect("valid configuration");
 
     println!("low-communication convolution: N = {n}, k = {k}, sigma = {sigma}");
     let t0 = std::time::Instant::now();
-    let (approx, report) = conv.convolve(&input, &kernel);
+    let (approx, report) = conv.session(ConvolveMode::Normal).convolve(&input, &kernel);
     let t_ours = t0.elapsed();
 
     let t0 = std::time::Instant::now();

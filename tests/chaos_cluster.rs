@@ -9,10 +9,11 @@
 use lcc_comm::{
     decode_f64s, encode_f64s, run_cluster_with_faults, CommStats, FaultPlan, RetryPolicy,
 };
-use lcc_core::{LowCommConfig, LowCommConvolver, TraditionalConvolver};
+use lcc_core::{ConvolveMode, LowCommConfig, LowCommConvolver, TraditionalConvolver};
 use lcc_greens::GaussianKernel;
 use lcc_grid::{assign_round_robin, decompose_uniform, relative_l2, Grid3};
 use lcc_octree::{CompressedField, RateSchedule};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 const N: usize = 32;
@@ -77,8 +78,8 @@ fn run_workload(plan: FaultPlan) -> (Vec<Option<Grid3<f64>>>, Arc<CommStats>) {
 
             // Reconstruct every live rank's contributions; collect the
             // domains of dead ranks for degraded recomputation.
-            let mut live_fields = Vec::new();
-            let mut missing = Vec::new();
+            let mut contribs: BTreeMap<usize, CompressedField> = BTreeMap::new();
+            let mut orphans = Vec::new();
             for (rank, bytes) in all.iter().enumerate() {
                 match bytes {
                     Some(bytes) => {
@@ -91,19 +92,19 @@ fn run_workload(plan: FaultPlan) -> (Vec<Option<Grid3<f64>>>, Arc<CommStats>) {
                             let mut f = CompressedField::zeros(plan);
                             f.samples_mut().copy_from_slice(&samples[off..off + count]);
                             off += count;
-                            live_fields.push(f);
+                            contribs.insert(di, f);
                         }
                         assert_eq!(off, samples.len(), "payload fully consumed");
                     }
                     None => {
-                        missing.extend(assignment[rank].iter().map(|&di| domains[di]));
+                        orphans.extend(assignment[rank].iter().map(|&di| (di, domains[di])));
                     }
                 }
             }
-            let (result, report) =
-                conv.accumulate_degraded(&live_fields, &input, kernel.as_ref(), &missing);
-            assert_eq!(report.degraded_domains, missing.len());
-            if missing.is_empty() {
+            let session = conv.session(ConvolveMode::Degraded);
+            let (result, report) = session.accumulate(&contribs, &input, kernel.as_ref(), &orphans);
+            assert_eq!(report.degraded_domains, orphans.len());
+            if orphans.is_empty() {
                 assert_eq!(report.degraded_rate, None);
             } else {
                 assert_eq!(report.degraded_rate, Some(conv.coarsest_rate()));

@@ -1,0 +1,30 @@
+// lcc-lint: pretend-path crates/core/src/config_fixture.rs
+//
+// Fixture proving the `typed-error` rule covers the core tree too: with
+// `ConfigError` in the crate, `Result`-returning constructors and
+// builders must name it rather than fall back to `Box<dyn Error>`.
+// Never compiled — scanned by `lcc-lint --self-test`.
+
+use std::error::Error;
+
+pub fn boxed_build(n: usize) -> Result<Config, Box<dyn Error>> { //~ ERROR typed-error
+    Ok(Config { n })
+}
+
+pub fn typed_build(n: usize) -> Result<Config, ConfigError> {
+    if n == 0 {
+        return Err(ConfigError::ZeroGrid);
+    }
+    Ok(Config { n })
+}
+
+pub fn validate_multi_line( //~ ERROR typed-error
+    cfg: &Config,
+) -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let _ = cfg;
+    Ok(())
+}
+
+pub fn infallible_box_is_fine() -> Box<dyn Error> {
+    unimplemented!()
+}

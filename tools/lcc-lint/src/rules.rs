@@ -17,9 +17,10 @@
 //!   `Box::new` and `.to_vec()` are banned outside test code. Plan-time
 //!   or per-solve allocations are opted out per line with
 //!   `// lcc-lint: allow(alloc)` (same line or the line above).
-//! * `typed-error` — functions in `crates/comm/src` that return `Result`
-//!   must use the crate's typed errors; returning `Box<dyn Error>` (or
-//!   any other `Box<dyn …>`) is a violation.
+//! * `typed-error` — functions in `crates/comm/src` and `crates/core/src`
+//!   that return `Result` must use the crates' typed errors (`CommError`,
+//!   `CodecError`, `ConfigError`); returning `Box<dyn Error>` (or any
+//!   other `Box<dyn …>`) is a violation.
 
 use std::collections::BTreeMap;
 
@@ -55,10 +56,6 @@ fn in_ratcheted_tree(path: &str) -> bool {
     path.starts_with("crates/comm/src/") || path.starts_with("crates/core/src/")
 }
 
-fn is_comm_src(path: &str) -> bool {
-    path.starts_with("crates/comm/src/")
-}
-
 /// Scans one sanitized file, returning direct violations plus the lines of
 /// unratcheted unwrap sites (empty when the path is outside the ratcheted
 /// trees). The caller folds the site lists into the ratchet comparison.
@@ -78,7 +75,7 @@ pub fn check_file(path: &str, file: &SourceFile) -> (Vec<Violation>, Vec<usize>)
     if in_ratcheted_tree(path) {
         unwrap_sites = collect_unwrap_sites(file);
     }
-    if is_comm_src(path) {
+    if in_ratcheted_tree(path) {
         check_typed_errors(path, file, &mut v);
     }
     (v, unwrap_sites)
@@ -252,7 +249,7 @@ fn check_typed_errors(path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
                 line: idx + 1,
                 rule: "typed-error",
                 msg: "fn returns `Result` with a `Box<dyn …>` error; use the typed \
-                      `CommError` (or `CodecError`) instead"
+                      `CommError`, `CodecError`, or `ConfigError` instead"
                     .to_string(),
             });
         }
@@ -472,5 +469,19 @@ pub fn multi_line(
         assert!(v.iter().all(|x| x.rule == "typed-error"));
         assert_eq!(v[0].line, 1);
         assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn typed_error_rule_covers_core_tree() {
+        let src = "\
+pub fn bad(x: u8) -> Result<u8, Box<dyn std::error::Error>> { Ok(x) }
+pub fn good(x: u8) -> Result<u8, ConfigError> { Ok(x) }
+";
+        let v = check("crates/core/src/config.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "typed-error");
+        assert_eq!(v[0].line, 1);
+        // Outside both ratcheted trees the rule stays silent.
+        assert!(check("crates/octree/src/y.rs", src).is_empty());
     }
 }

@@ -11,92 +11,24 @@
 //! schedule's coarsest rate for the dead rank's domains and report the
 //! accuracy cost instead of hanging.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use lcc_bench::chaos::{self, input, K, N, SIGMA};
 use lcc_bench::json::{write_report, Json};
-use lcc_comm::{
-    decode_f64s, encode_f64s, run_cluster_with_faults, CommStats, FaultPlan, RetryConfig,
-};
-use lcc_core::{ConvolveMode, LowCommConfig, LowCommConvolver, TraditionalConvolver};
+use lcc_comm::{CommStats, FaultPlan, RetryConfig};
+use lcc_core::TraditionalConvolver;
 use lcc_greens::GaussianKernel;
-use lcc_grid::{assign_round_robin, decompose_uniform, relative_l2, Grid3};
-use lcc_octree::{CompressedField, RateSchedule};
+use lcc_grid::{relative_l2, Grid3};
 
-const N: usize = 32;
-const K: usize = 8;
 const P: usize = 4;
-const SIGMA: f64 = 1.5;
 const SEED: u64 = 0x51_EE_D5;
-
-fn input() -> Grid3<f64> {
-    Grid3::from_fn((N, N, N), |x, y, z| {
-        ((x as f64 * 0.29).sin() + (y as f64 * 0.41).cos()) * (1.0 + 0.01 * z as f64)
-    })
-}
-
-fn config() -> LowCommConfig {
-    LowCommConfig {
-        n: N,
-        k: K,
-        batch: 512,
-        schedule: RateSchedule::for_kernel_spread(K, SIGMA, 16),
-    }
-}
 
 /// The distributed low-comm convolution under `plan`: local compressed
 /// convolutions, one surviving allgather, reconstruction with degraded
-/// recomputation of any crashed rank's domains.
+/// recomputation of any crashed rank's domains. The per-rank body lives in
+/// [`lcc_bench::chaos`], shared with the chaos and conformance suites.
 fn run(plan: FaultPlan) -> (Vec<Option<Grid3<f64>>>, Arc<CommStats>) {
-    let kernel = Arc::new(GaussianKernel::new(N, SIGMA));
-    let field = Arc::new(input());
-    let cfg = Arc::new(config());
-    let domains = decompose_uniform(N, K);
-    let assignment = assign_round_robin(domains.len(), P);
-    run_cluster_with_faults(P, plan, RetryConfig::scaled_for(P), move |mut w| {
-        let conv = LowCommConvolver::new((*cfg).clone());
-        let my_fields: Vec<CompressedField> = assignment[w.rank()]
-            .iter()
-            .map(|&di| {
-                let d = domains[di];
-                let sub = field.extract(&d);
-                let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
-                conv.local()
-                    .convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
-            })
-            .collect();
-        let payload: Vec<f64> = my_fields
-            .iter()
-            .flat_map(|f| f.samples().iter().copied())
-            .collect();
-        let all = w
-            .allgather_surviving(encode_f64s(&payload))
-            .expect("surviving allgather failed");
-        let mut contribs: BTreeMap<usize, CompressedField> = BTreeMap::new();
-        let mut orphans = Vec::new();
-        for (rank, bytes) in all.iter().enumerate() {
-            match bytes {
-                Some(bytes) => {
-                    let samples = decode_f64s(bytes);
-                    let mut off = 0;
-                    for &di in &assignment[rank] {
-                        let d = domains[di];
-                        let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
-                        let count = plan.total_samples();
-                        let mut f = CompressedField::zeros(plan);
-                        f.samples_mut().copy_from_slice(&samples[off..off + count]);
-                        off += count;
-                        contribs.insert(di, f);
-                    }
-                }
-                None => orphans.extend(assignment[rank].iter().map(|&di| (di, domains[di]))),
-            }
-        }
-        // Orphans absent from the fold are rebuilt at the coarsest rate.
-        let session = conv.session(ConvolveMode::Degraded);
-        let (result, _) = session.accumulate(&contribs, &field, kernel.as_ref(), &orphans);
-        result
-    })
+    chaos::run_workload(P, plan, RetryConfig::scaled_for(P))
 }
 
 fn main() {

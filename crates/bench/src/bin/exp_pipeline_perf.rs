@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use lcc_bench::alloc_track::CountingAlloc;
-use lcc_bench::json::{write_report, Json};
+use lcc_bench::json::{speedup_vs_baseline, write_report, Json};
 use lcc_core::LocalConvolver;
 use lcc_greens::GaussianKernel;
 use lcc_grid::{BoxRegion, Grid3};
@@ -268,15 +268,22 @@ fn main() {
         }
 
         for c in &cells {
-            let speedup = base_ns as f64 / c.wall_ns as f64;
+            // `null` (printed n/a) on single-core hosts: a "speedup" with
+            // no concurrency to measure is scheduler noise ≈ 1.0, and the
+            // JSON must not present it as a measurement.
+            let speedup = speedup_vs_baseline(host_threads, base_ns, c.wall_ns);
+            let speedup_col = match speedup {
+                Json::Num(v) => format!("{v:>9.2}x"),
+                _ => format!("{:>10}", "n/a"),
+            };
             println!(
-                "{:>5} {:>4} {:>6} {:>8} {:>12.3} {:>9.2}x {:>12} {:>12}  {}",
+                "{:>5} {:>4} {:>6} {:>8} {:>12.3} {} {:>12} {:>12}  {}",
                 cfg.n,
                 cfg.k,
                 cfg.batch,
                 c.threads,
                 c.wall_ns as f64 / 1e6,
-                speedup,
+                speedup_col,
                 c.alloc_bytes,
                 c.alloc_count,
                 c.checksum
@@ -287,7 +294,7 @@ fn main() {
                 ("batch", Json::int(cfg.batch as i64)),
                 ("threads", Json::int(c.threads as i64)),
                 ("wall_ms", Json::Num(c.wall_ns as f64 / 1e6)),
-                ("speedup_vs_1", Json::Num(speedup)),
+                ("speedup_vs_1", speedup),
                 ("steady_alloc_bytes", Json::int(c.alloc_bytes as i64)),
                 ("steady_alloc_count", Json::int(c.alloc_count as i64)),
                 (

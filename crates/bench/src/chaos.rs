@@ -1,0 +1,121 @@
+//! The chaos-engineering workload shared by `exp_chaos`, the
+//! `chaos_cluster` integration tests, and the backend-parameterized
+//! transport conformance suite.
+//!
+//! One rank's slice of the Fig. 1(b) deployment: convolve the rank's
+//! round-robin share of sub-domains locally, allgather the compressed
+//! samples across the survivors, reconstruct everyone's contributions,
+//! and recompute dead ranks' domains at the degraded (coarsest) rate.
+//! The cluster size comes from the world, so the same function runs on
+//! any backend and any rank count.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use lcc_comm::{
+    decode_f64s, encode_f64s, run_cluster_with_faults, CommStats, CommWorld, FaultPlan, RetryPolicy,
+};
+use lcc_core::{ConvolveMode, LowCommConfig, LowCommConvolver};
+use lcc_greens::GaussianKernel;
+use lcc_grid::{assign_round_robin, decompose_uniform, Grid3};
+use lcc_octree::{CompressedField, RateSchedule};
+
+/// Grid size of the standard chaos deployment.
+pub const N: usize = 32;
+/// Sub-domain size.
+pub const K: usize = 8;
+/// Gaussian kernel spread.
+pub const SIGMA: f64 = 1.5;
+
+/// The convolver configuration every rank builds.
+pub fn config() -> LowCommConfig {
+    LowCommConfig {
+        n: N,
+        k: K,
+        batch: 512,
+        schedule: RateSchedule::for_kernel_spread(K, SIGMA, 16),
+    }
+}
+
+/// The smooth input field shared by all ranks.
+pub fn input() -> Grid3<f64> {
+    Grid3::from_fn((N, N, N), |x, y, z| {
+        ((x as f64 * 0.29).sin() + (y as f64 * 0.41).cos()) * (1.0 + 0.01 * z as f64)
+    })
+}
+
+/// One rank of the chaos workload, on an already-connected world of any
+/// size. Returns the accumulated (possibly degraded) convolution result.
+pub fn chaos_rank(w: &mut CommWorld) -> Grid3<f64> {
+    let p = w.size();
+    let kernel = GaussianKernel::new(N, SIGMA);
+    let input = input();
+    let domains = decompose_uniform(N, K);
+    let assignment = assign_round_robin(domains.len(), p);
+    let conv = LowCommConvolver::new(config());
+
+    // Local phase: convolve my sub-domains; NO communication.
+    let my_fields: Vec<CompressedField> = assignment[w.rank()]
+        .iter()
+        .map(|&di| {
+            let d = domains[di];
+            let sub = input.extract(&d);
+            let plan = conv.plan_for(conv.response_region(&d, &kernel));
+            conv.local().convolve_compressed(&sub, d.lo, &kernel, plan)
+        })
+        .collect();
+
+    // Single exchange across the survivors.
+    let payload: Vec<f64> = my_fields
+        .iter()
+        .flat_map(|f| f.samples().iter().copied())
+        .collect();
+    let all = w
+        .allgather_surviving(encode_f64s(&payload))
+        .expect("surviving allgather failed");
+
+    // Reconstruct every live rank's contributions; collect the domains of
+    // dead ranks for degraded recomputation.
+    let mut contribs: BTreeMap<usize, CompressedField> = BTreeMap::new();
+    let mut orphans = Vec::new();
+    for (rank, bytes) in all.iter().enumerate() {
+        match bytes {
+            Some(bytes) => {
+                let samples = decode_f64s(bytes);
+                let mut off = 0;
+                for &di in &assignment[rank] {
+                    let d = domains[di];
+                    let plan = conv.plan_for(conv.response_region(&d, &kernel));
+                    let count = plan.total_samples();
+                    let mut f = CompressedField::zeros(plan);
+                    f.samples_mut().copy_from_slice(&samples[off..off + count]);
+                    off += count;
+                    contribs.insert(di, f);
+                }
+                assert_eq!(off, samples.len(), "payload fully consumed");
+            }
+            None => {
+                orphans.extend(assignment[rank].iter().map(|&di| (di, domains[di])));
+            }
+        }
+    }
+    let session = conv.session(ConvolveMode::Degraded);
+    let (result, report) = session.accumulate(&contribs, &input, &kernel, &orphans);
+    assert_eq!(report.degraded_domains, orphans.len());
+    if orphans.is_empty() {
+        assert_eq!(report.degraded_rate, None);
+    } else {
+        assert_eq!(report.degraded_rate, Some(conv.coarsest_rate()));
+    }
+    result
+}
+
+/// Runs the chaos workload on the in-process cluster under `plan`,
+/// returning each surviving rank's result (crashed slots are `None`).
+pub fn run_workload(
+    p: usize,
+    plan: FaultPlan,
+    retry: RetryPolicy,
+) -> (Vec<Option<Grid3<f64>>>, Arc<CommStats>) {
+    run_cluster_with_faults(p, plan, retry, |mut w| chaos_rank(&mut w))
+}

@@ -105,6 +105,21 @@ impl std::fmt::Display for Json {
     }
 }
 
+/// The speedup-vs-baseline cell of a timing report: `baseline / contender`
+/// on hosts that can actually run the contenders concurrently, and `null`
+/// when they cannot (`host_parallelism < 2`). A "speedup" measured on one
+/// core is scheduler noise hovering around 1.0, and emitting it as a number
+/// lets plotting scripts chart noise as if it were a measurement; `null`
+/// keys the cell as *not measured*. A zero-duration contender (clock
+/// granularity) is likewise unmeasurable.
+pub fn speedup_vs_baseline(host_parallelism: usize, baseline_ns: u128, contender_ns: u128) -> Json {
+    if host_parallelism < 2 || contender_ns == 0 {
+        Json::Null
+    } else {
+        Json::Num(baseline_ns as f64 / contender_ns as f64)
+    }
+}
+
 /// Writes `value` to `path` with a trailing newline, reporting but not
 /// failing on I/O errors (benchmarks should still print their tables).
 pub fn write_report(path: impl AsRef<Path>, value: &Json) {
@@ -141,5 +156,36 @@ mod tests {
     fn non_finite_numbers_become_null() {
         assert_eq!(Json::Num(f64::NAN).to_string(), "null");
         assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn speedup_is_null_when_unmeasurable() {
+        // Single-core host: any "speedup" is scheduler noise, not data.
+        assert_eq!(speedup_vs_baseline(1, 100, 99).to_string(), "null");
+        assert_eq!(speedup_vs_baseline(0, 100, 50).to_string(), "null");
+        // Clock-granularity zero: division would fabricate infinity.
+        assert_eq!(speedup_vs_baseline(8, 100, 0).to_string(), "null");
+        // Real multicore measurement passes through.
+        assert_eq!(speedup_vs_baseline(4, 100, 50).to_string(), "2");
+    }
+
+    /// Schema regression for the `BENCH_pipeline.json` rows: on a
+    /// single-core host `speedup_vs_1` must serialize as JSON `null` —
+    /// never as a number ≈ 1.0 — while every other field keeps its type.
+    #[test]
+    fn pipeline_row_schema_on_single_core_hosts() {
+        let row = |host: usize| {
+            Json::obj(vec![
+                ("threads", Json::int(4)),
+                ("wall_ms", Json::Num(12.5)),
+                ("speedup_vs_1", speedup_vs_baseline(host, 1000, 250)),
+            ])
+            .to_string()
+        };
+        assert_eq!(
+            row(1),
+            r#"{"threads":4,"wall_ms":12.5,"speedup_vs_1":null}"#
+        );
+        assert_eq!(row(8), r#"{"threads":4,"wall_ms":12.5,"speedup_vs_1":4}"#);
     }
 }

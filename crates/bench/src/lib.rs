@@ -25,6 +25,7 @@
 //! Criterion benches live in `benches/`.
 
 pub mod alloc_track;
+pub mod chaos;
 pub mod json;
 pub mod recovery;
 

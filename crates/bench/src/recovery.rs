@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use lcc_comm::{run_cluster_with_faults, CommStats, FaultPlan, RetryPolicy};
+use lcc_comm::{run_cluster_with_faults, CommStats, CommWorld, FaultPlan, RetryPolicy};
 use lcc_core::{
     ConvolveMode, ConvolveReport, LowCommConfig, LowCommConvolver, RecoveryPlanner, RecoveryPolicy,
 };
@@ -150,97 +150,106 @@ fn decode_payload(bytes: &[u8]) -> Vec<(usize, Vec<f64>)> {
     out
 }
 
+/// One rank of the self-healing workload, on an already-connected world
+/// of any backend. `None` for deserting ranks (they walk away
+/// mid-exchange); the cluster size comes from the world, the deployment
+/// shape and policy from `case` (whose `p`, `plan`, and `retry` fields
+/// are the *harness's* concern and are ignored here).
+pub fn rank_workload(w: &mut CommWorld, case: &RecoveryCase) -> Option<RankOutcome> {
+    let p = w.size();
+    let rank = w.rank();
+    let policy = case.policy;
+    let field = case.input();
+    let kernel = case.kernel();
+    let domains = decompose_uniform(case.n, case.k);
+    let conv = LowCommConvolver::new(case.config());
+    let session = conv.session(ConvolveMode::Recover(policy));
+    let planner = RecoveryPlanner::new(policy);
+    let owner = |id: usize| id % p;
+
+    // Exact in Recover mode: the same memoized plan and pipeline the dead
+    // owner would have used.
+    let contribution = |id: usize| -> Option<CompressedField> {
+        session.compress_domain(&field, &domains[id], &kernel)
+    };
+    let own_payload = |claims: &[usize]| -> Vec<u8> {
+        let mut mine = BTreeMap::new();
+        for id in (0..domains.len())
+            .filter(|&id| owner(id) == rank)
+            .chain(claims.iter().copied())
+        {
+            if let Some(f) = contribution(id) {
+                mine.insert(id, f);
+            }
+        }
+        encode_payload(&mine)
+    };
+
+    if w.fault_plan().deserts(rank) {
+        // A deserter ships its epoch-0 share to lower ranks only, then
+        // walks away mid-exchange without crashing.
+        let payload = own_payload(&[]);
+        for to in 0..rank {
+            let _ = w.send_epoch(to, &payload);
+        }
+        return None;
+    }
+
+    let (slots, epoch) = w
+        .allgather_converged(|view| {
+            let dead: Vec<usize> = view.dead_ranks().collect();
+            let plan = planner.plan(&domains, owner, &view.live_ranks(), &dead);
+            let claims: Vec<usize> = plan.claims_for(rank).map(|c| c.domain_id).collect();
+            own_payload(&claims)
+        })
+        .expect("converged allgather failed despite retries");
+
+    // Reconstruct the recovery plan from the converged view — the same
+    // pure function every payload was built from.
+    let view = w.current_view().clone();
+    let dead: Vec<usize> = view.dead_ranks().collect();
+    let plan = planner.plan(&domains, owner, &view.live_ranks(), &dead);
+
+    let mut contribs: BTreeMap<usize, CompressedField> = BTreeMap::new();
+    for slot in slots.iter().flatten() {
+        for (id, samples) in decode_payload(slot) {
+            let splan = conv.plan_for(conv.response_region(&domains[id], &kernel));
+            assert_eq!(
+                samples.len(),
+                splan.total_samples(),
+                "domain {id} sample count does not match its plan"
+            );
+            let mut f = CompressedField::zeros(splan);
+            f.samples_mut().copy_from_slice(&samples);
+            contribs.insert(id, f);
+        }
+    }
+    // Claimed domains present in the fold are charged as recovered;
+    // unclaimed (or lost) orphans are rebuilt at the coarsest rate.
+    let orphans: Vec<(usize, BoxRegion)> = plan
+        .claims
+        .iter()
+        .map(|c| (c.domain_id, domains[c.domain_id]))
+        .chain(plan.degraded.iter().copied())
+        .collect();
+    let (result, report) = session.accumulate(&contribs, &field, &kernel, &orphans);
+    Some(RankOutcome {
+        result,
+        report,
+        epoch,
+    })
+}
+
 /// Runs `case` on the cluster simulator. The outer `Option` is `None` for
 /// crashed *and* deserting ranks; survivors all hold bit-identical results.
 pub fn run_recovery(case: &RecoveryCase) -> (Vec<Option<RankOutcome>>, Arc<CommStats>) {
-    let p = case.p;
-    let policy = case.policy;
-    let cfg = Arc::new(case.config());
-    let field = Arc::new(case.input());
-    let kernel = Arc::new(case.kernel());
-    let domains = Arc::new(decompose_uniform(case.n, case.k));
-
-    let (results, stats) = run_cluster_with_faults(p, case.plan.clone(), case.retry.clone(), {
-        move |mut w| {
-            let rank = w.rank();
-            let conv = LowCommConvolver::new((*cfg).clone());
-            let session = conv.session(ConvolveMode::Recover(policy));
-            let planner = RecoveryPlanner::new(policy);
-            let owner = |id: usize| id % p;
-
-            // Exact in Recover mode: the same memoized plan and pipeline
-            // the dead owner would have used.
-            let contribution = |id: usize| -> Option<CompressedField> {
-                session.compress_domain(&field, &domains[id], kernel.as_ref())
-            };
-            let own_payload = |claims: &[usize]| -> Vec<u8> {
-                let mut mine = BTreeMap::new();
-                for id in (0..domains.len())
-                    .filter(|&id| owner(id) == rank)
-                    .chain(claims.iter().copied())
-                {
-                    if let Some(f) = contribution(id) {
-                        mine.insert(id, f);
-                    }
-                }
-                encode_payload(&mine)
-            };
-
-            if w.fault_plan().deserts(rank) {
-                // A deserter ships its epoch-0 share to lower ranks only,
-                // then walks away mid-exchange without crashing.
-                let payload = own_payload(&[]);
-                for to in 0..rank {
-                    let _ = w.send_epoch(to, &payload);
-                }
-                return None;
-            }
-
-            let (slots, epoch) = w
-                .allgather_converged(|view| {
-                    let dead: Vec<usize> = view.dead_ranks().collect();
-                    let plan = planner.plan(&domains, owner, &view.live_ranks(), &dead);
-                    let claims: Vec<usize> = plan.claims_for(rank).map(|c| c.domain_id).collect();
-                    own_payload(&claims)
-                })
-                .expect("converged allgather failed despite retries");
-
-            // Reconstruct the recovery plan from the converged view — the
-            // same pure function every payload was built from.
-            let view = w.current_view().clone();
-            let dead: Vec<usize> = view.dead_ranks().collect();
-            let plan = planner.plan(&domains, owner, &view.live_ranks(), &dead);
-
-            let mut contribs: BTreeMap<usize, CompressedField> = BTreeMap::new();
-            for slot in slots.iter().flatten() {
-                for (id, samples) in decode_payload(slot) {
-                    let splan = conv.plan_for(conv.response_region(&domains[id], kernel.as_ref()));
-                    assert_eq!(
-                        samples.len(),
-                        splan.total_samples(),
-                        "domain {id} sample count does not match its plan"
-                    );
-                    let mut f = CompressedField::zeros(splan);
-                    f.samples_mut().copy_from_slice(&samples);
-                    contribs.insert(id, f);
-                }
-            }
-            // Claimed domains present in the fold are charged as recovered;
-            // unclaimed (or lost) orphans are rebuilt at the coarsest rate.
-            let orphans: Vec<(usize, BoxRegion)> = plan
-                .claims
-                .iter()
-                .map(|c| (c.domain_id, domains[c.domain_id]))
-                .chain(plan.degraded.iter().copied())
-                .collect();
-            let (result, report) = session.accumulate(&contribs, &field, kernel.as_ref(), &orphans);
-            Some(RankOutcome {
-                result,
-                report,
-                epoch,
-            })
-        }
-    });
+    let shared = Arc::new(case.clone());
+    let (results, stats) = run_cluster_with_faults(
+        case.p,
+        case.plan.clone(),
+        case.retry.clone(),
+        move |mut w| rank_workload(&mut w, &shared),
+    );
     (results.into_iter().map(|r| r.flatten()).collect(), stats)
 }
 

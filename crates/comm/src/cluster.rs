@@ -51,16 +51,17 @@
 //! the exchange until all survivors complete it under a common view.
 
 use std::collections::{BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use lcc_obs::metrics as obs;
 
 use crate::fault::{CommError, FaultPlan, RetryPolicy};
 use crate::membership::ClusterView;
+use crate::transport::fault::FaultTransport;
+use crate::transport::frame::{self, WireFrame};
+use crate::transport::{inproc, RecvOutcome, Transport};
 
 /// Shared instrumentation counters for one cluster run.
 #[derive(Debug, Default)]
@@ -157,77 +158,147 @@ impl CommStats {
         let bytes = self.physical_bytes() + ACK_WIRE_BYTES * self.ack_count();
         model.cluster_time(msgs, bytes, p)
     }
+
+    /// A plain-value copy of all nine counters, for cross-process
+    /// aggregation (socket-backend ranks each accumulate a local
+    /// `CommStats` and ship the snapshot home) and for exact equality
+    /// assertions in the conformance suite.
+    pub fn snapshot(&self) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            bytes_sent: self.bytes(),
+            messages: self.message_count(),
+            collective_rounds: self.rounds(),
+            retransmits: self.retransmit_count(),
+            duplicates_suppressed: self.duplicate_count(),
+            timeouts: self.timeout_count(),
+            bytes_physical: self.physical_bytes(),
+            messages_physical: self.physical_message_count(),
+            acks: self.ack_count(),
+        }
+    }
+
+    /// Folds a snapshot into these counters. Because every counter is an
+    /// exact function of the fault seed, summing per-process snapshots
+    /// reproduces the totals a shared-atomics run would have recorded.
+    pub fn add_snapshot(&self, s: &CommStatsSnapshot) {
+        self.bytes_sent.fetch_add(s.bytes_sent, Ordering::Relaxed);
+        self.messages.fetch_add(s.messages, Ordering::Relaxed);
+        self.collective_rounds
+            .fetch_add(s.collective_rounds, Ordering::Relaxed);
+        self.retransmits.fetch_add(s.retransmits, Ordering::Relaxed);
+        self.duplicates_suppressed
+            .fetch_add(s.duplicates_suppressed, Ordering::Relaxed);
+        self.timeouts.fetch_add(s.timeouts, Ordering::Relaxed);
+        self.bytes_physical
+            .fetch_add(s.bytes_physical, Ordering::Relaxed);
+        self.messages_physical
+            .fetch_add(s.messages_physical, Ordering::Relaxed);
+        self.acks.fetch_add(s.acks, Ordering::Relaxed);
+    }
+}
+
+/// A plain-value snapshot of [`CommStats`]; see [`CommStats::snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStatsSnapshot {
+    pub bytes_sent: u64,
+    pub messages: u64,
+    pub collective_rounds: u64,
+    pub retransmits: u64,
+    pub duplicates_suppressed: u64,
+    pub timeouts: u64,
+    pub bytes_physical: u64,
+    pub messages_physical: u64,
+    pub acks: u64,
+}
+
+impl CommStatsSnapshot {
+    /// Serialized size: nine little-endian `u64`s.
+    pub const WIRE_BYTES: usize = 72;
+
+    /// Field-wise sum, used by the socket coordinator to fold per-process
+    /// snapshots into cluster totals.
+    pub fn add_snapshot(&mut self, other: &CommStatsSnapshot) {
+        self.bytes_sent += other.bytes_sent;
+        self.messages += other.messages;
+        self.collective_rounds += other.collective_rounds;
+        self.retransmits += other.retransmits;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.timeouts += other.timeouts;
+        self.bytes_physical += other.bytes_physical;
+        self.messages_physical += other.messages_physical;
+        self.acks += other.acks;
+    }
+
+    fn fields(&self) -> [u64; 9] {
+        [
+            self.bytes_sent,
+            self.messages,
+            self.collective_rounds,
+            self.retransmits,
+            self.duplicates_suppressed,
+            self.timeouts,
+            self.bytes_physical,
+            self.messages_physical,
+            self.acks,
+        ]
+    }
+
+    /// Fixed-layout little-endian serialization (the socket backend's
+    /// RESULT frames carry this).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::WIRE_BYTES);
+        for f in self.fields() {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`CommStatsSnapshot::to_bytes`], rejecting wrong-sized
+    /// payloads with a typed error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        if bytes.len() != Self::WIRE_BYTES {
+            return Err(CodecError {
+                len: bytes.len(),
+                elem_size: Self::WIRE_BYTES,
+            });
+        }
+        let mut f = [0u64; 9];
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            f[i] = u64::from_le_bytes(b);
+        }
+        Ok(CommStatsSnapshot {
+            bytes_sent: f[0],
+            messages: f[1],
+            collective_rounds: f[2],
+            retransmits: f[3],
+            duplicates_suppressed: f[4],
+            timeouts: f[5],
+            bytes_physical: f[6],
+            messages_physical: f[7],
+            acks: f[8],
+        })
+    }
 }
 
 /// Wire size charged per ack frame in the physical α-β model: one `u64`
 /// sequence number.
 pub const ACK_WIRE_BYTES: u64 = 8;
 
-/// What actually crosses a channel: sequenced data or an acknowledgement.
-enum Frame {
-    Data { seq: u64, payload: Vec<u8> },
-    Ack { seq: u64 },
-}
-
-type Packet = (usize, Frame);
-
-/// A reusable generation barrier over the run's *live* ranks, with a
-/// timeout so a rank missing the rendezvous surfaces an error instead of
-/// hanging the cluster. (`std::sync::Barrier` has no timed wait.)
-struct SimBarrier {
-    n: usize,
-    state: Mutex<(usize, u64)>,
-    cv: Condvar,
-}
-
-impl SimBarrier {
-    fn new(n: usize) -> Self {
-        SimBarrier {
-            n,
-            state: Mutex::new((0, 0)),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Returns true if all `n` ranks arrived within `timeout`. On timeout
-    /// this rank withdraws its arrival so the barrier stays usable.
-    fn wait(&self, timeout: Duration) -> bool {
-        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        let generation = guard.1;
-        guard.0 += 1;
-        if guard.0 == self.n {
-            guard.0 = 0;
-            guard.1 += 1;
-            self.cv.notify_all();
-            return true;
-        }
-        let deadline = Instant::now() + timeout;
-        while guard.1 == generation {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                guard.0 -= 1;
-                return false;
-            }
-            guard = self
-                .cv
-                .wait_timeout(guard, remaining)
-                .unwrap_or_else(|e| e.into_inner())
-                .0;
-        }
-        true
-    }
-}
-
 /// One rank's endpoint into the cluster.
+///
+/// The protocol, membership, and accounting layers live here; the bytes
+/// themselves move through a pluggable [`Transport`] (in-process channels,
+/// real sockets, or either wrapped in a fault-injecting decorator — see
+/// [`crate::transport`]).
 pub struct CommWorld {
     rank: usize,
     size: usize,
-    senders: Vec<Sender<Packet>>,
-    receiver: Receiver<Packet>,
+    transport: Box<dyn Transport>,
     /// Per-peer reorder buffers: messages that arrived ahead of the peer we
     /// are currently waiting on.
     inbox: Vec<VecDeque<Vec<u8>>>,
-    barrier: Arc<SimBarrier>,
     stats: Arc<CommStats>,
     plan: Arc<FaultPlan>,
     retry: RetryPolicy,
@@ -238,10 +309,6 @@ pub struct CommWorld {
     /// Ack index per source for the in-flight sequence, mirroring the
     /// sender's enumeration of delivered frames.
     ack_idx: Vec<u64>,
-    /// Ranks (out of the live ones) whose closure has returned; used by the
-    /// end-of-run drain so every delivered frame is serviced exactly once.
-    done: Arc<AtomicUsize>,
-    live: usize,
     /// This rank's epoch-stamped membership belief.
     view: ClusterView,
     /// Peers implicated by typed failures since the last detection sweep.
@@ -252,6 +319,39 @@ pub struct CommWorld {
 }
 
 impl CommWorld {
+    /// Builds an endpoint over an arbitrary transport. This is how the
+    /// backend-parameterized conformance harness (and the socket backend's
+    /// child processes) assemble a rank; [`run_cluster`] /
+    /// [`run_cluster_with_faults`] do the same over an in-process fabric.
+    ///
+    /// When `plan` is active, `transport` must already be wrapped in a
+    /// [`FaultTransport`] carrying the same plan: the protocol *computes*
+    /// each frame's fate from the plan and counts accordingly, and the
+    /// decorator is what makes the wire agree with the computation.
+    pub fn over(
+        transport: Box<dyn Transport>,
+        plan: Arc<FaultPlan>,
+        retry: RetryPolicy,
+        stats: Arc<CommStats>,
+    ) -> CommWorld {
+        let rank = transport.rank();
+        let size = transport.size();
+        CommWorld {
+            rank,
+            size,
+            transport,
+            inbox: (0..size).map(|_| VecDeque::new()).collect(),
+            stats,
+            plan,
+            retry,
+            next_seq: vec![0; size],
+            next_expected: vec![0; size],
+            ack_idx: vec![0; size],
+            view: ClusterView::all_alive(size),
+            suspected: BTreeSet::new(),
+        }
+    }
+
     /// This rank's id.
     pub fn rank(&self) -> usize {
         self.rank
@@ -300,7 +400,8 @@ impl CommWorld {
         self.next_seq[to] += 1;
         if !self.plan.is_active() {
             self.count_physical(payload.len());
-            return self.push(to, Frame::Data { seq, payload });
+            let framed = frame::encode_data(seq, 0, &payload);
+            return self.transport.send_frame(to, framed);
         }
         self.send_reliable(to, seq, payload)
     }
@@ -313,15 +414,6 @@ impl CommWorld {
         self.stats.messages_physical.fetch_add(1, Ordering::Relaxed);
         obs::COMM_BYTES_PHYSICAL.add(bytes as u64);
         obs::COMM_MESSAGES_PHYSICAL.incr();
-    }
-
-    fn push(&self, to: usize, frame: Frame) -> Result<(), CommError> {
-        self.senders[to]
-            .send((self.rank, frame))
-            .map_err(|_| CommError::Disbanded {
-                rank: self.rank,
-                peer: to,
-            })
     }
 
     /// The sequenced/acked path. The fate of every transmission is a keyed
@@ -363,35 +455,28 @@ impl CommWorld {
             retransmits += 1;
         }
 
-        let delay = plan.delay_units(self.rank, to, seq);
-        if delay > 0 {
-            std::thread::sleep(plan.delay_unit * delay);
-        }
+        // Each attempt is handed to the transport exactly once, carrying
+        // its attempt index in the frame header; the fault decorator
+        // re-evaluates the same keyed rolls to drop or duplicate it (and
+        // applies the sender-side delay before attempt 0). The physical
+        // accounting here mirrors those decisions: a dropped frame still
+        // left the sender's NIC (one copy), a duplicated one cost two.
         for a in 0..attempts {
             if a > 0 {
                 std::thread::sleep(self.retry.backoff(a));
             }
-            if plan.drops_data(self.rank, to, seq, a) {
-                // Lost in flight: the receiver never sees it, but the frame
-                // left the sender's NIC, so the physical cost is paid.
-                self.count_physical(payload.len());
-                continue;
-            }
-            let copies = if plan.duplicates_data(self.rank, to, seq, a) {
+            let copies = if plan.drops_data(self.rank, to, seq, a) {
+                1 // transmitted, then lost in flight
+            } else if plan.duplicates_data(self.rank, to, seq, a) {
                 2
             } else {
                 1
             };
             for _ in 0..copies {
                 self.count_physical(payload.len());
-                self.push(
-                    to,
-                    Frame::Data {
-                        seq,
-                        payload: payload.clone(),
-                    },
-                )?;
             }
+            self.transport
+                .send_frame(to, frame::encode_data(seq, a, &payload))?;
         }
         self.stats
             .retransmits
@@ -426,16 +511,22 @@ impl CommWorld {
                     waiting_on: to,
                 });
             }
-            match self.receiver.recv_timeout(remaining) {
-                Ok((src, Frame::Ack { seq: s })) => {
-                    if src == to && s == seq {
-                        return Ok(());
+            match self.transport.recv_frame(remaining)? {
+                RecvOutcome::Frame(src, bytes) => {
+                    match frame::decode_for(self.rank, src, bytes)? {
+                        WireFrame::Ack { seq: s, .. } => {
+                            if src == to && s == seq {
+                                return Ok(());
+                            }
+                            // Stale ack from an already-completed exchange.
+                        }
+                        WireFrame::Data {
+                            seq: s, payload, ..
+                        } => self.handle_data(src, s, payload),
                     }
-                    // Stale ack from an already-completed exchange.
                 }
-                Ok((src, Frame::Data { seq: s, payload })) => self.handle_data(src, s, payload),
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => {
+                RecvOutcome::Idle => continue,
+                RecvOutcome::Closed => {
                     return Err(CommError::Disbanded {
                         rank: self.rank,
                         peer: to,
@@ -468,26 +559,25 @@ impl CommWorld {
         self.inbox[src].push_back(payload);
     }
 
-    /// Acks delivered frame number `ack_idx[src]` of `(src → self, seq)`,
-    /// unless the fault plan drops the ack — a decision the sender makes
-    /// identically, so it knows not to wait for this one.
+    /// Acks delivered frame number `ack_idx[src]` of `(src → self, seq)`.
+    /// The frame carries its ack index `k`, so the fault decorator can
+    /// evaluate the same keyed ack-drop roll the sender evaluated — the
+    /// sender already knows which ack (if any) will survive.
     fn send_ack(&mut self, src: usize, seq: u64) {
         let k = self.ack_idx[src];
         self.ack_idx[src] += 1;
-        // The ack is transmitted before the plan loses it: physical cost.
+        // The ack is transmitted before the decorator may lose it:
+        // physical cost either way.
         self.stats.acks.fetch_add(1, Ordering::Relaxed);
         obs::COMM_ACKS.incr();
-        if self.plan.drops_ack(src, self.rank, seq, k) {
-            return;
-        }
         // Best effort: the peer may already have finished its run.
-        let _ = self.senders[src].send((self.rank, Frame::Ack { seq }));
+        let _ = self.transport.send_frame(src, frame::encode_ack(seq, k));
     }
 
-    fn handle_frame(&mut self, src: usize, frame: Frame) {
+    fn handle_frame(&mut self, src: usize, frame: WireFrame) {
         match frame {
-            Frame::Data { seq, payload } => self.handle_data(src, seq, payload),
-            Frame::Ack { .. } => {} // stale: nobody is waiting on it anymore
+            WireFrame::Data { seq, payload, .. } => self.handle_data(src, seq, payload),
+            WireFrame::Ack { .. } => {} // stale: nobody is waiting on it anymore
         }
     }
 
@@ -515,10 +605,13 @@ impl CommWorld {
                     waiting_on: from,
                 });
             }
-            match self.receiver.recv_timeout(remaining) {
-                Ok((src, frame)) => self.handle_frame(src, frame),
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => {
+            match self.transport.recv_frame(remaining)? {
+                RecvOutcome::Frame(src, bytes) => {
+                    let frame = frame::decode_for(self.rank, src, bytes)?;
+                    self.handle_frame(src, frame);
+                }
+                RecvOutcome::Idle => continue,
+                RecvOutcome::Closed => {
                     return Err(CommError::Disbanded {
                         rank: self.rank,
                         peer: from,
@@ -530,8 +623,8 @@ impl CommWorld {
 
     /// Synchronizes all live ranks, failing with a typed error after
     /// [`RetryPolicy::barrier_timeout`].
-    pub fn barrier(&self) -> Result<(), CommError> {
-        if self.barrier.wait(self.retry.barrier_timeout) {
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        if self.transport.barrier(self.retry.barrier_timeout)? {
             Ok(())
         } else {
             Err(CommError::Timeout {
@@ -659,7 +752,7 @@ impl CommWorld {
     /// the epoch collectives and by chaos workloads that emit partial
     /// exchanges before deserting.
     pub fn send_epoch(&mut self, to: usize, payload: &[u8]) -> Result<(), CommError> {
-        let framed = frame_epoch(self.view.epoch(), payload);
+        let framed = frame::encode_epoch(self.view.epoch(), payload);
         self.send(to, framed)
     }
 
@@ -672,12 +765,8 @@ impl CommWorld {
         let local = self.view.epoch();
         loop {
             let frame = self.recv_from(from)?;
-            let (remote, payload) = parse_epoch(&frame).map_err(|e| CommError::Decode {
-                rank: self.rank,
-                peer: from,
-                len: e.len,
-                elem_size: e.elem_size,
-            })?;
+            let (remote, payload) =
+                frame::decode_epoch(&frame).map_err(|e| e.into_comm_error(self.rank, from))?;
             if remote < local {
                 continue; // stale: from an attempt aborted pre-detection
             }
@@ -838,31 +927,6 @@ impl CommWorld {
 /// for dead ranks) plus the membership epoch the exchange completed under.
 pub type ConvergedExchange = (Vec<Option<Vec<u8>>>, u64);
 
-/// Epoch frame header length: one little-endian `u64`.
-const EPOCH_HEADER: usize = 8;
-
-/// Prepends the membership epoch to a payload.
-fn frame_epoch(epoch: u64, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(EPOCH_HEADER + payload.len());
-    out.extend_from_slice(&epoch.to_le_bytes());
-    out.extend_from_slice(payload);
-    out
-}
-
-/// Splits an epoch-framed message into (epoch, payload).
-fn parse_epoch(frame: &[u8]) -> Result<(u64, &[u8]), CodecError> {
-    if frame.len() < EPOCH_HEADER {
-        return Err(CodecError {
-            len: frame.len(),
-            elem_size: EPOCH_HEADER,
-        });
-    }
-    let mut header = [0u8; EPOCH_HEADER];
-    header.copy_from_slice(&frame[..EPOCH_HEADER]);
-    let epoch = u64::from_le_bytes(header);
-    Ok((epoch, &frame[EPOCH_HEADER..]))
-}
-
 impl Drop for CommWorld {
     /// End-of-run drain. Retransmitted duplicates can still be in flight
     /// when a rank's closure returns; servicing them here (a) releases any
@@ -873,19 +937,25 @@ impl Drop for CommWorld {
         if !self.plan.is_active() || self.plan.is_crashed(self.rank) {
             return;
         }
-        self.done.fetch_add(1, Ordering::SeqCst);
-        let deadline = Instant::now() + self.retry.ack_timeout;
+        self.transport.announce_done();
+        let deadline = Instant::now() + self.retry.drain_timeout;
         loop {
-            let all_done = self.done.load(Ordering::SeqCst) >= self.live;
-            match self.receiver.try_recv() {
-                Ok((src, frame)) => self.handle_frame(src, frame),
-                Err(TryRecvError::Empty) => {
+            let all_done = self.transport.all_done();
+            match self.transport.try_recv_frame() {
+                Ok(RecvOutcome::Frame(src, bytes)) => {
+                    // An undecodable straggler is dropped, not serviced:
+                    // nobody is waiting on it and the run is over.
+                    if let Ok(frame) = frame::decode_owned(bytes) {
+                        self.handle_frame(src, frame);
+                    }
+                }
+                Ok(RecvOutcome::Idle) => {
                     if all_done || Instant::now() >= deadline {
                         break;
                     }
                     std::thread::sleep(Duration::from_micros(200));
                 }
-                Err(TryRecvError::Disconnected) => break,
+                Ok(RecvOutcome::Closed) | Err(_) => break,
             }
         }
     }
@@ -940,38 +1010,20 @@ where
     let _gate = CLUSTER_GATE.lock().unwrap_or_else(|e| e.into_inner());
     let plan = Arc::new(plan);
     let stats = Arc::new(CommStats::default());
-    let barrier = Arc::new(SimBarrier::new(live));
-    let done = Arc::new(AtomicUsize::new(0));
-    let mut senders = Vec::with_capacity(p);
-    let mut receivers = Vec::with_capacity(p);
-    for _ in 0..p {
-        let (s, r) = unbounded::<Packet>();
-        senders.push(s);
-        receivers.push(r);
-    }
-    let mut worlds: Vec<CommWorld> = receivers
+    let mut worlds: Vec<CommWorld> = inproc::fabric(p, live)
         .into_iter()
-        .enumerate()
-        .map(|(rank, receiver)| CommWorld {
-            rank,
-            size: p,
-            senders: senders.clone(),
-            receiver,
-            inbox: (0..p).map(|_| VecDeque::new()).collect(),
-            barrier: barrier.clone(),
-            stats: stats.clone(),
-            plan: plan.clone(),
-            retry: retry.clone(),
-            next_seq: vec![0; p],
-            next_expected: vec![0; p],
-            ack_idx: vec![0; p],
-            done: done.clone(),
-            live,
-            view: ClusterView::all_alive(p),
-            suspected: BTreeSet::new(),
+        .map(|endpoint| {
+            // Active plans go through the fault decorator so the wire
+            // agrees with the fates the protocol computes; inert plans run
+            // on the bare backend.
+            let transport: Box<dyn Transport> = if plan.is_active() {
+                Box::new(FaultTransport::new(endpoint, Arc::clone(&plan)))
+            } else {
+                Box::new(endpoint)
+            };
+            CommWorld::over(transport, Arc::clone(&plan), retry.clone(), stats.clone())
         })
         .collect();
-    drop(senders);
 
     let f = &f;
     let results: Vec<Option<R>> = std::thread::scope(|scope| {
@@ -1061,6 +1113,7 @@ pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn ring_pass() {
@@ -1208,7 +1261,7 @@ mod tests {
     fn barrier_synchronizes() {
         let counter = Arc::new(AtomicUsize::new(0));
         let c = counter.clone();
-        run_cluster(8, move |w| {
+        run_cluster(8, move |mut w| {
             c.fetch_add(1, Ordering::SeqCst);
             w.barrier().unwrap();
             // After the barrier every rank must see all increments.

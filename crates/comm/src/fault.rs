@@ -50,6 +50,16 @@ pub enum CommError {
         /// short to carry its fixed-size header).
         elem_size: usize,
     },
+    /// A transport backend failed to move bytes: a socket read/write
+    /// error, a failed connection or handshake, or a coordinator-protocol
+    /// violation. `peer` is `usize::MAX` when the failure does not
+    /// implicate a specific rank (e.g. coordinator I/O).
+    Transport {
+        rank: usize,
+        peer: usize,
+        /// Human-readable description of the underlying I/O failure.
+        detail: String,
+    },
     /// An epoch-tagged frame arrived from a *newer* membership epoch than
     /// this rank's [`crate::membership::ClusterView`]: the peer has observed
     /// a failure this rank has not yet detected. The caller should run
@@ -105,6 +115,16 @@ impl fmt::Display for CommError {
                 "rank {rank}: undecodable {len}-byte frame from rank {peer} \
                  (expected whole {elem_size}-byte elements)"
             ),
+            CommError::Transport { rank, peer, detail } => {
+                if *peer == usize::MAX {
+                    write!(f, "rank {rank}: transport failure: {detail}")
+                } else {
+                    write!(
+                        f,
+                        "rank {rank}: transport failure with rank {peer}: {detail}"
+                    )
+                }
+            }
             CommError::EpochMismatch {
                 rank,
                 peer,
@@ -129,6 +149,7 @@ impl CommError {
             CommError::Timeout { waiting_on, .. } => {
                 (*waiting_on != usize::MAX).then_some(*waiting_on)
             }
+            CommError::Transport { peer, .. } => (*peer != usize::MAX).then_some(*peer),
             CommError::PeerCrashed { peer, .. }
             | CommError::RetriesExhausted { peer, .. }
             | CommError::Disbanded { peer, .. }
@@ -347,6 +368,92 @@ impl FaultPlan {
         }
         (self.key(SALT_DELAY, src, dst, seq, 0) % (self.delay_steps as u64 + 1)) as u32
     }
+
+    /// Serializes the plan into a single environment-variable-safe string.
+    /// Probabilities are encoded as the hex of their IEEE-754 bits, so a
+    /// child process reconstructs *bit-identical* plan rolls — anything
+    /// lossier would desynchronize the keyed-hash fates across the process
+    /// boundary of the socket backend.
+    pub fn to_env_string(&self) -> String {
+        let ranks = |set: &BTreeSet<usize>| {
+            set.iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "seed={};drop={:016x};dup={:016x};ackdrop={:016x};delay_steps={};delay_unit_ns={};crashed={};desert={}",
+            self.seed,
+            self.drop_prob.to_bits(),
+            self.duplicate_prob.to_bits(),
+            self.ack_drop_prob.to_bits(),
+            self.delay_steps,
+            self.delay_unit.as_nanos(),
+            ranks(&self.crashed_ranks),
+            ranks(&self.desert_ranks),
+        )
+    }
+
+    /// Inverse of [`FaultPlan::to_env_string`].
+    pub fn from_env_string(s: &str) -> Result<FaultPlan, CommError> {
+        let mut plan = FaultPlan::none();
+        for part in s.split(';').filter(|p| !p.is_empty()) {
+            let (key, value) = part.split_once('=').ok_or_else(|| env_err("plan", part))?;
+            match key {
+                "seed" => plan.seed = parse_dec(value).ok_or_else(|| env_err("plan", part))?,
+                "drop" => {
+                    plan.drop_prob = parse_f64_bits(value).ok_or_else(|| env_err("plan", part))?
+                }
+                "dup" => {
+                    plan.duplicate_prob =
+                        parse_f64_bits(value).ok_or_else(|| env_err("plan", part))?
+                }
+                "ackdrop" => {
+                    plan.ack_drop_prob =
+                        parse_f64_bits(value).ok_or_else(|| env_err("plan", part))?
+                }
+                "delay_steps" => {
+                    plan.delay_steps =
+                        parse_dec::<u32>(value).ok_or_else(|| env_err("plan", part))?
+                }
+                "delay_unit_ns" => {
+                    let ns: u64 = parse_dec(value).ok_or_else(|| env_err("plan", part))?;
+                    plan.delay_unit = Duration::from_nanos(ns);
+                }
+                "crashed" => {
+                    plan.crashed_ranks = parse_ranks(value).ok_or_else(|| env_err("plan", part))?
+                }
+                "desert" => {
+                    plan.desert_ranks = parse_ranks(value).ok_or_else(|| env_err("plan", part))?
+                }
+                _ => return Err(env_err("plan", part)),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn env_err(what: &str, part: &str) -> CommError {
+    CommError::Transport {
+        rank: usize::MAX,
+        peer: usize::MAX,
+        detail: format!("malformed {what} env entry `{part}`"),
+    }
+}
+
+fn parse_dec<T: std::str::FromStr>(s: &str) -> Option<T> {
+    s.parse().ok()
+}
+
+fn parse_f64_bits(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn parse_ranks(s: &str) -> Option<BTreeSet<usize>> {
+    if s.is_empty() {
+        return Some(BTreeSet::new());
+    }
+    s.split(',').map(|r| r.parse().ok()).collect()
 }
 
 /// Bounds on the reliability machinery: how hard to retry and how long to
@@ -423,6 +530,47 @@ impl RetryPolicy {
             .backoff_base
             .saturating_mul(1u32 << (attempt - 1).min(16));
         scaled.min(self.backoff_cap)
+    }
+
+    /// Serializes the policy into an environment-variable-safe string, so
+    /// the socket backend's child processes run under exactly the deadlines
+    /// the parent configured.
+    pub fn to_env_string(&self) -> String {
+        format!(
+            "max_attempts={};ack_ns={};base_ns={};cap_ns={};recv_ns={};barrier_ns={};drain_ns={}",
+            self.max_attempts,
+            self.ack_timeout.as_nanos(),
+            self.backoff_base.as_nanos(),
+            self.backoff_cap.as_nanos(),
+            self.recv_timeout.as_nanos(),
+            self.barrier_timeout.as_nanos(),
+            self.drain_timeout.as_nanos(),
+        )
+    }
+
+    /// Inverse of [`RetryPolicy::to_env_string`].
+    pub fn from_env_string(s: &str) -> Result<RetryPolicy, CommError> {
+        let mut policy = RetryPolicy::default();
+        for part in s.split(';').filter(|p| !p.is_empty()) {
+            let (key, value) = part.split_once('=').ok_or_else(|| env_err("retry", part))?;
+            let ns = || -> Result<Duration, CommError> {
+                let n: u64 = value.parse().map_err(|_| env_err("retry", part))?;
+                Ok(Duration::from_nanos(n))
+            };
+            match key {
+                "max_attempts" => {
+                    policy.max_attempts = value.parse().map_err(|_| env_err("retry", part))?
+                }
+                "ack_ns" => policy.ack_timeout = ns()?,
+                "base_ns" => policy.backoff_base = ns()?,
+                "cap_ns" => policy.backoff_cap = ns()?,
+                "recv_ns" => policy.recv_timeout = ns()?,
+                "barrier_ns" => policy.barrier_timeout = ns()?,
+                "drain_ns" => policy.drain_timeout = ns()?,
+                _ => return Err(env_err("retry", part)),
+            }
+        }
+        Ok(policy)
     }
 }
 

@@ -6,11 +6,19 @@
 //!   Eq. 1 (`T_FFT = 2·N³/(P·β_link)`), Eq. 2 (`t = α + β·m`), and Eq. 6
 //!   (`T_ours = (k³ + sparse samples)/(P·β_link)`).
 //! * [`cluster`] + [`dist_fft`] — a *functional* message-passing runtime:
-//!   P worker threads, crossbeam channels, instrumented all-to-all /
-//!   allgather collectives, and the traditional slab-decomposed distributed
-//!   3D FFT and FFT convolution built on them. Measured bytes and round
-//!   counts from these runs sit next to the analytic estimates in the
-//!   experiment reports.
+//!   P ranks, instrumented all-to-all / allgather collectives, and the
+//!   traditional slab-decomposed distributed 3D FFT and FFT convolution
+//!   built on them. Measured bytes and round counts from these runs sit
+//!   next to the analytic estimates in the experiment reports.
+//! * [`transport`] — the pluggable byte-moving layer beneath
+//!   [`cluster::CommWorld`] (see DESIGN.md §6): the epoch/ack/retry
+//!   protocol and all `CommStats` accounting live above a small
+//!   [`Transport`] trait, with an in-process backend (threads + crossbeam
+//!   channels), a real-process socket backend (Unix-domain sockets; TCP
+//!   loopback behind the `tcp` feature), and fault injection as a
+//!   backend-agnostic [`FaultTransport`] decorator. The conformance suite
+//!   (`tests/transport_conformance.rs`) holds the backends to bit-identical
+//!   results and exactly equal counter totals per fault seed.
 //! * [`fault`] — deterministic, seed-driven fault injection threaded
 //!   through the cluster: dropped/duplicated frames, delayed senders and
 //!   crashed ranks, with a retrying ack protocol underneath the collectives
@@ -31,10 +39,11 @@ pub mod fault;
 pub mod membership;
 pub mod model;
 pub mod pencil_fft;
+pub mod transport;
 
 pub use cluster::{
     decode_f64s, encode_f64s, run_cluster, run_cluster_with_faults, try_decode_f64s, CodecError,
-    CommStats, CommWorld, ConvergedExchange, ACK_WIRE_BYTES,
+    CommStats, CommStatsSnapshot, CommWorld, ConvergedExchange, ACK_WIRE_BYTES,
 };
 pub use dist_fft::{
     convolve_distributed, decode_complex, encode_complex, forward_3d, gather_slabs, inverse_3d,
@@ -44,3 +53,5 @@ pub use fault::{CommError, FaultPlan, RetryConfig, RetryPolicy};
 pub use membership::ClusterView;
 pub use model::{lowcomm_volume, traditional_conv_volume, AlphaBeta, CommScenario};
 pub use pencil_fft::{grid_coords, pencil_forward_3d, pencil_inverse_3d, sub_alltoall};
+pub use transport::fault::{FaultEvent, FaultEventLog, FaultTransport};
+pub use transport::{RecvOutcome, Transport};

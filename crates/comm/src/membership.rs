@@ -11,6 +11,17 @@
 //! interleaving. That shared view is what lets the epoch-tagged collectives
 //! ([`crate::cluster::CommWorld::alltoall_epoch`]) discard stale traffic
 //! from before a failure and re-run an exchange deterministically.
+//!
+//! Membership lives entirely *above* the [`crate::transport::Transport`]
+//! seam: the errors that feed detection come from whichever backend
+//! carries the frames — simulated thread channels or real process
+//! sockets — but the view sequence is a pure function of the fault seed
+//! either way. The conformance suite (`tests/transport_conformance.rs`)
+//! pins this by requiring survivors of the same seed to report the same
+//! converged epoch on every backend. *How soon* a death is noticed (a
+//! fired receive deadline vs an absent socket connection) is the one
+//! transport-dependent quantity, which is why detection-side counters are
+//! excluded from the suite's exact-equality clause.
 
 use std::collections::BTreeSet;
 

@@ -19,6 +19,12 @@
 //! all-to-alls forward (two sub-communicator exchanges here; the canonical
 //! count of "three" includes the final redistribution to the original
 //! layout, which [`pencil_inverse_3d`] performs).
+//!
+//! Everything here is written against [`CommWorld`] collectives, i.e.
+//! *above* the [`crate::transport::Transport`] seam — the pencil pipeline
+//! runs unchanged whether the ranks are simulator threads or real
+//! processes on the socket backend, and its traffic lands in the same
+//! nine `CommStats` counters either way.
 
 use lcc_fft::{fft_axis, scale_in_place, Complex64, FftDirection, FftPlanner};
 

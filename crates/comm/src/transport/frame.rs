@@ -1,0 +1,319 @@
+//! Wire frame codec: the byte layout that crosses a [`super::Transport`].
+//!
+//! Everything below the reliability protocol is an *opaque, length-prefixed
+//! byte frame*. This module owns the three layers of framing:
+//!
+//! 1. **Protocol frames** — what [`crate::cluster::CommWorld`] hands the
+//!    transport: a `Data` frame (`kind | seq | attempt | payload`) or an
+//!    `Ack` frame (`kind | seq | k`). The `attempt` / `k` indices exist so
+//!    a [`super::fault::FaultTransport`] decorator can evaluate the
+//!    fault plan's keyed hashes *statelessly* from the frame alone — the
+//!    decision it reaches is bit-identical to the one the protocol layer
+//!    computed when it scheduled the transmission.
+//! 2. **Length prefix** — stream transports (Unix / TCP sockets) delimit
+//!    frames with a little-endian `u32` byte count; message transports
+//!    (in-process channels) are naturally delimited and skip it.
+//! 3. **Epoch header** — *inside* a data payload, the membership layer
+//!    prepends the sender's view epoch ([`encode_epoch`] /
+//!    [`decode_epoch`]). This sits above the reliability protocol and
+//!    below the application payload.
+//!
+//! Every decoder in this module returns a typed [`FrameDecodeError`]
+//! (convertible to [`CommError::Decode`]) — truncated, corrupt, or
+//! unknown-kind input must never panic. The property tests in
+//! `crates/comm/tests/transport_frame_props.rs` pin that contract.
+
+use crate::fault::CommError;
+
+/// Frame kind tag for sequenced data.
+pub const KIND_DATA: u8 = 0x01;
+/// Frame kind tag for acknowledgements.
+pub const KIND_ACK: u8 = 0x02;
+
+/// Bytes of a data frame header: kind, `u64` seq, `u32` attempt.
+pub const DATA_HEADER: usize = 1 + 8 + 4;
+/// Exact byte length of an ack frame: kind, `u64` seq, `u64` ack index.
+pub const ACK_FRAME_LEN: usize = 1 + 8 + 8;
+/// Byte length of the epoch header prepended to collective payloads.
+pub const EPOCH_HEADER: usize = 8;
+
+/// Upper bound a stream transport accepts for one length-prefixed frame.
+/// A corrupt length prefix must surface as a decode error, not an
+/// attempted multi-gigabyte allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// A decoded protocol frame with an owned payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// Sequenced application bytes. `attempt` is the retransmission index
+    /// of this physical copy (0 for the first transmission).
+    Data {
+        seq: u64,
+        attempt: u32,
+        payload: Vec<u8>,
+    },
+    /// Acknowledgement of a delivered data frame; `k` is the receiver's
+    /// delivered-frame index for the in-flight sequence (the coordinate
+    /// the fault plan keys ack drops on).
+    Ack { seq: u64, k: u64 },
+}
+
+/// A decoded protocol frame borrowing its payload — used on the send path
+/// (fault decoration) where the frame bytes stay owned by the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFrameView<'a> {
+    Data {
+        seq: u64,
+        attempt: u32,
+        payload: &'a [u8],
+    },
+    Ack {
+        seq: u64,
+        k: u64,
+    },
+}
+
+/// Typed decode failure: the frame was `len` bytes where the layout
+/// required at least (or exactly) `expected`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameDecodeError {
+    /// Length of the undecodable input in bytes.
+    pub len: usize,
+    /// The size the decoder needed to make progress (header length for
+    /// truncation, exact frame length for malformed acks, 1 for an
+    /// unknown kind byte).
+    pub expected: usize,
+}
+
+impl FrameDecodeError {
+    /// Converts into the protocol-level [`CommError::Decode`], attributing
+    /// the bad frame to `(rank, peer)`.
+    pub fn into_comm_error(self, rank: usize, peer: usize) -> CommError {
+        CommError::Decode {
+            rank,
+            peer,
+            len: self.len,
+            elem_size: self.expected,
+        }
+    }
+}
+
+impl std::fmt::Display for FrameDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "undecodable {}-byte wire frame (layout requires {})",
+            self.len, self.expected
+        )
+    }
+}
+
+impl std::error::Error for FrameDecodeError {}
+
+#[inline]
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Encodes a data frame into `buf` (cleared first). Reusing one buffer per
+/// peer keeps the steady-state send path allocation-free.
+pub fn encode_data_into(buf: &mut Vec<u8>, seq: u64, attempt: u32, payload: &[u8]) {
+    buf.clear();
+    buf.reserve(DATA_HEADER + payload.len());
+    buf.push(KIND_DATA);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&attempt.to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Encodes a data frame into a fresh buffer.
+pub fn encode_data(seq: u64, attempt: u32, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_data_into(&mut buf, seq, attempt, payload);
+    buf
+}
+
+/// Encodes an ack frame.
+pub fn encode_ack(seq: u64, k: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(ACK_FRAME_LEN);
+    buf.push(KIND_ACK);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&k.to_le_bytes());
+    buf
+}
+
+/// Decodes a frame without copying the payload.
+pub fn decode_view(frame: &[u8]) -> Result<WireFrameView<'_>, FrameDecodeError> {
+    let Some(&kind) = frame.first() else {
+        return Err(FrameDecodeError {
+            len: 0,
+            expected: 1,
+        });
+    };
+    match kind {
+        KIND_DATA => {
+            if frame.len() < DATA_HEADER {
+                return Err(FrameDecodeError {
+                    len: frame.len(),
+                    expected: DATA_HEADER,
+                });
+            }
+            Ok(WireFrameView::Data {
+                seq: read_u64(frame, 1),
+                attempt: read_u32(frame, 9),
+                payload: &frame[DATA_HEADER..],
+            })
+        }
+        KIND_ACK => {
+            if frame.len() != ACK_FRAME_LEN {
+                return Err(FrameDecodeError {
+                    len: frame.len(),
+                    expected: ACK_FRAME_LEN,
+                });
+            }
+            Ok(WireFrameView::Ack {
+                seq: read_u64(frame, 1),
+                k: read_u64(frame, 9),
+            })
+        }
+        _ => Err(FrameDecodeError {
+            len: frame.len(),
+            expected: 1,
+        }),
+    }
+}
+
+/// Decodes a frame, converting the buffer into the owned payload in place
+/// (one `memmove`, no allocation).
+pub fn decode_owned(mut frame: Vec<u8>) -> Result<WireFrame, FrameDecodeError> {
+    match decode_view(&frame)? {
+        WireFrameView::Data { seq, attempt, .. } => {
+            frame.drain(..DATA_HEADER);
+            Ok(WireFrame::Data {
+                seq,
+                attempt,
+                payload: frame,
+            })
+        }
+        WireFrameView::Ack { seq, k } => Ok(WireFrame::Ack { seq, k }),
+    }
+}
+
+/// Decodes a frame received from `peer`, mapping failures to the typed
+/// protocol error.
+pub fn decode_for(rank: usize, peer: usize, frame: Vec<u8>) -> Result<WireFrame, CommError> {
+    decode_owned(frame).map_err(|e| e.into_comm_error(rank, peer))
+}
+
+/// Prepends the membership epoch to a collective payload.
+pub fn encode_epoch(epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(EPOCH_HEADER + payload.len());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits an epoch-framed payload into `(epoch, payload)`.
+pub fn decode_epoch(frame: &[u8]) -> Result<(u64, &[u8]), FrameDecodeError> {
+    if frame.len() < EPOCH_HEADER {
+        return Err(FrameDecodeError {
+            len: frame.len(),
+            expected: EPOCH_HEADER,
+        });
+    }
+    Ok((read_u64(frame, 0), &frame[EPOCH_HEADER..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_round_trip() {
+        let payload = vec![7u8, 8, 9, 10];
+        let bytes = encode_data(42, 3, &payload);
+        assert_eq!(bytes.len(), DATA_HEADER + payload.len());
+        match decode_owned(bytes).unwrap() {
+            WireFrame::Data {
+                seq,
+                attempt,
+                payload: p,
+            } => {
+                assert_eq!((seq, attempt), (42, 3));
+                assert_eq!(p, payload);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ack_round_trip() {
+        let bytes = encode_ack(7, 2);
+        assert_eq!(bytes.len(), ACK_FRAME_LEN);
+        assert_eq!(
+            decode_owned(bytes).unwrap(),
+            WireFrame::Ack { seq: 7, k: 2 }
+        );
+    }
+
+    #[test]
+    fn truncated_and_unknown_frames_are_typed_errors() {
+        assert_eq!(
+            decode_view(&[]).unwrap_err(),
+            FrameDecodeError {
+                len: 0,
+                expected: 1
+            }
+        );
+        assert_eq!(
+            decode_view(&[KIND_DATA, 1, 2]).unwrap_err(),
+            FrameDecodeError {
+                len: 3,
+                expected: DATA_HEADER
+            }
+        );
+        // Acks are fixed-length: trailing garbage is corruption.
+        let mut ack = encode_ack(1, 0);
+        ack.push(0xFF);
+        assert_eq!(
+            decode_view(&ack).unwrap_err(),
+            FrameDecodeError {
+                len: ACK_FRAME_LEN + 1,
+                expected: ACK_FRAME_LEN
+            }
+        );
+        assert!(decode_view(&[0x77, 0, 0]).is_err(), "unknown kind byte");
+    }
+
+    #[test]
+    fn decode_errors_map_to_comm_error() {
+        let err = decode_for(1, 2, vec![KIND_DATA]).unwrap_err();
+        assert_eq!(
+            err,
+            CommError::Decode {
+                rank: 1,
+                peer: 2,
+                len: 1,
+                elem_size: DATA_HEADER
+            }
+        );
+    }
+
+    #[test]
+    fn epoch_header_round_trip() {
+        let framed = encode_epoch(9, &[1, 2, 3]);
+        let (epoch, payload) = decode_epoch(&framed).unwrap();
+        assert_eq!(epoch, 9);
+        assert_eq!(payload, &[1, 2, 3]);
+        assert!(decode_epoch(&framed[..EPOCH_HEADER - 1]).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! The in-process backend: one thread per rank, crossbeam channels.
+//!
+//! This is the original cluster simulator's plumbing, extracted beneath the
+//! [`Transport`] seam. Frames are `Vec<u8>`s moved (not copied) through
+//! unbounded channels; the run-global rendezvous state — the timed
+//! generation barrier and the done-counter the end-of-run drain polls — is
+//! shared through `Arc`s across the fabric's endpoints.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+
+use super::{RecvOutcome, Transport};
+use crate::fault::CommError;
+
+/// A `(source rank, frame bytes)` pair in flight.
+type Packet = (usize, Vec<u8>);
+
+/// A reusable generation barrier over the run's *live* ranks, with a
+/// timeout so a rank missing the rendezvous surfaces an error instead of
+/// hanging the cluster. (`std::sync::Barrier` has no timed wait.)
+struct SimBarrier {
+    n: usize,
+    state: Mutex<(usize, u64)>,
+    cv: Condvar,
+}
+
+impl SimBarrier {
+    fn new(n: usize) -> Self {
+        SimBarrier {
+            n,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Returns true if all `n` ranks arrived within `timeout`. On timeout
+    /// this rank withdraws its arrival so the barrier stays usable.
+    fn wait(&self, timeout: Duration) -> bool {
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let generation = guard.1;
+        guard.0 += 1;
+        if guard.0 == self.n {
+            guard.0 = 0;
+            guard.1 += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        while guard.1 == generation {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                guard.0 -= 1;
+                return false;
+            }
+            guard = self
+                .cv
+                .wait_timeout(guard, remaining)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        true
+    }
+}
+
+/// One rank's endpoint of an in-process fabric.
+pub struct InProcTransport {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Packet>>,
+    receiver: Receiver<Packet>,
+    barrier: Arc<SimBarrier>,
+    /// Ranks (out of the live ones) whose run closure has returned.
+    done: Arc<AtomicUsize>,
+    live: usize,
+}
+
+/// Builds a fully-connected `p`-rank in-process fabric whose barrier and
+/// done-set span `live` ranks (crashed ranks get an endpoint too — dropping
+/// it unstarted is what closes their channels).
+pub fn fabric(p: usize, live: usize) -> Vec<InProcTransport> {
+    assert!(p >= 1, "need at least one rank");
+    assert!(live >= 1 && live <= p, "live must be in 1..=p");
+    let barrier = Arc::new(SimBarrier::new(live));
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (s, r) = unbounded::<Packet>();
+        senders.push(s);
+        receivers.push(r);
+    }
+    receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| InProcTransport {
+            rank,
+            size: p,
+            senders: senders.clone(),
+            receiver,
+            barrier: barrier.clone(),
+            done: done.clone(),
+            live,
+        })
+        .collect()
+}
+
+impl Transport for InProcTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_frame(&mut self, to: usize, frame: Vec<u8>) -> Result<(), CommError> {
+        self.senders[to]
+            .send((self.rank, frame))
+            .map_err(|_| CommError::Disbanded {
+                rank: self.rank,
+                peer: to,
+            })
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<RecvOutcome, CommError> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok((src, frame)) => Ok(RecvOutcome::Frame(src, frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(RecvOutcome::Idle),
+            Err(RecvTimeoutError::Disconnected) => Ok(RecvOutcome::Closed),
+        }
+    }
+
+    fn try_recv_frame(&mut self) -> Result<RecvOutcome, CommError> {
+        match self.receiver.try_recv() {
+            Ok((src, frame)) => Ok(RecvOutcome::Frame(src, frame)),
+            Err(TryRecvError::Empty) => Ok(RecvOutcome::Idle),
+            Err(TryRecvError::Disconnected) => Ok(RecvOutcome::Closed),
+        }
+    }
+
+    fn barrier(&mut self, timeout: Duration) -> Result<bool, CommError> {
+        Ok(self.barrier.wait(timeout))
+    }
+
+    fn announce_done(&mut self) {
+        self.done.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn all_done(&self) -> bool {
+        self.done.load(Ordering::SeqCst) >= self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_flow_between_endpoints() {
+        let mut eps = fabric(2, 2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        assert_eq!((a.rank(), a.size()), (0, 2));
+        a.send_frame(1, vec![1, 2, 3]).unwrap();
+        match b.recv_frame(Duration::from_secs(1)).unwrap() {
+            RecvOutcome::Frame(src, frame) => {
+                assert_eq!(src, 0);
+                assert_eq!(frame, vec![1, 2, 3]);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(b.try_recv_frame().unwrap(), RecvOutcome::Idle);
+    }
+
+    #[test]
+    fn recv_reports_idle_then_closed() {
+        let mut eps = fabric(2, 2);
+        let mut b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert_eq!(
+            b.recv_frame(Duration::from_millis(10)).unwrap(),
+            RecvOutcome::Idle
+        );
+        drop(a);
+        // All senders to rank 1 are gone once every other endpoint drops
+        // (each endpoint holds a full sender set, including to itself).
+        drop(b.senders.drain(..).collect::<Vec<_>>());
+        assert_eq!(b.try_recv_frame().unwrap(), RecvOutcome::Closed);
+    }
+
+    #[test]
+    fn done_counter_tracks_live_ranks() {
+        let mut eps = fabric(3, 2);
+        assert!(!eps[0].all_done());
+        eps[0].announce_done();
+        assert!(!eps[0].all_done());
+        eps[1].announce_done();
+        assert!(eps[0].all_done(), "done-set spans the live count, not p");
+    }
+
+    #[test]
+    fn barrier_times_out_without_full_attendance() {
+        let mut eps = fabric(2, 2);
+        let ok = eps[0].barrier(Duration::from_millis(20)).unwrap();
+        assert!(!ok, "lone arrival must time out");
+    }
+}

@@ -1,0 +1,93 @@
+//! The pluggable transport seam beneath [`crate::cluster::CommWorld`].
+//!
+//! Everything above this seam — the epoch/ack/retry reliability protocol,
+//! membership, and `CommStats` accounting — is backend-agnostic: it speaks
+//! in opaque byte frames (see [`frame`]) and asks the [`Transport`] only to
+//! move them. Two backends ship:
+//!
+//! * [`inproc::InProcTransport`] — the original thread-per-rank simulator:
+//!   crossbeam channels, a shared generation barrier, and an atomic
+//!   done-counter for the end-of-run drain.
+//! * [`socket::SocketTransport`] — ranks as real OS processes over a full
+//!   mesh of Unix-domain (or, behind the `tcp` feature, TCP-loopback)
+//!   stream sockets, with a parent coordinator process standing in for the
+//!   shared barrier/done state.
+//!
+//! Fault injection is a *decorator* ([`fault::FaultTransport`]) rather than
+//! backend logic: the same seed-keyed [`crate::fault::FaultPlan`] drops,
+//! duplicates, and delays frames identically over either backend, which is
+//! what makes the backend-parameterized conformance suite
+//! (`tests/transport_conformance.rs`) able to demand bit-identical results
+//! and exactly equal counters from both.
+//!
+//! # What deliberately stays above the seam
+//!
+//! Collectives (alltoall / allgather and their converged variants) are
+//! *composed* from point-to-point frames by `CommWorld`, not delegated to
+//! the backend. A backend-native alltoall would bypass the per-frame fault
+//! decorator and the physical-traffic accounting, breaking the "counters
+//! are a pure function of the seed" invariant the chaos suites replay on.
+//! The trait therefore stays minimal on purpose: frames in, frames out,
+//! plus the two pieces of run-global state (barrier, done-set) that need a
+//! backend-specific rendezvous.
+
+pub mod fault;
+pub mod frame;
+pub mod inproc;
+pub mod pool;
+pub mod socket;
+
+use std::time::Duration;
+
+use crate::fault::CommError;
+
+/// What a receive attempt produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// A frame from the given source rank.
+    Frame(usize, Vec<u8>),
+    /// Nothing arrived within the wait budget; the caller's deadline
+    /// logic decides whether to keep waiting.
+    Idle,
+    /// Every peer endpoint is gone; nothing will ever arrive again.
+    Closed,
+}
+
+/// A byte-frame mover connecting one rank to its peers.
+///
+/// Implementations must preserve per-(src, dst) FIFO order for the frames
+/// they deliver — the reliability protocol's receiver-side dedup counts on
+/// it — but may drop or duplicate frames (that is exactly what
+/// [`fault::FaultTransport`] does). Frames are opaque: a transport never
+/// inspects payload bytes, only the decorator does.
+pub trait Transport: Send {
+    /// This endpoint's rank.
+    fn rank(&self) -> usize;
+
+    /// Total number of ranks in the cluster (including crashed ones).
+    fn size(&self) -> usize;
+
+    /// Queues `frame` for delivery to `to`. Must not block on the
+    /// receiver making progress (buffered channels / OS socket buffers).
+    fn send_frame(&mut self, to: usize, frame: Vec<u8>) -> Result<(), CommError>;
+
+    /// Waits up to `timeout` for the next frame from any peer.
+    fn recv_frame(&mut self, timeout: Duration) -> Result<RecvOutcome, CommError>;
+
+    /// Non-blocking receive: returns [`RecvOutcome::Idle`] immediately if
+    /// nothing is queued.
+    fn try_recv_frame(&mut self) -> Result<RecvOutcome, CommError>;
+
+    /// Rendezvous of all live ranks. Returns `Ok(false)` if the barrier
+    /// did not complete within `timeout` (this rank's arrival must then be
+    /// withdrawn so the barrier stays usable).
+    fn barrier(&mut self, timeout: Duration) -> Result<bool, CommError>;
+
+    /// Marks this rank's run closure as returned; the end-of-run drain
+    /// uses [`Transport::all_done`] to know when straggler retransmissions
+    /// can no longer appear.
+    fn announce_done(&mut self);
+
+    /// Whether every live rank has announced done.
+    fn all_done(&self) -> bool;
+}

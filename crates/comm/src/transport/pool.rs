@@ -1,0 +1,117 @@
+//! Reusable per-peer byte buffers for the stream-socket write path.
+//!
+//! Modeled on the `communication` / `bytes` split in timely-dataflow: the
+//! transport assembles each outgoing frame (length prefix + frame bytes)
+//! into a buffer checked out of a small freelist, hands it to the OS in one
+//! `write_all`, and recycles it. Steady-state sends on a warm connection
+//! therefore allocate nothing, whatever the frame rate — the same property
+//! the in-process backend gets for free from ownership transfer.
+
+/// A freelist of reusable byte buffers.
+///
+/// Buffers are recycled with their capacity intact, so the pool converges
+/// on the workload's natural frame size after a handful of sends. The pool
+/// is deliberately unbounded in buffer *size* but bounded in buffer
+/// *count*: a transient burst can grow it to [`BufferPool::max_buffers`],
+/// after which excess returns are simply dropped.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    max_buffers: usize,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new(8)
+    }
+}
+
+impl BufferPool {
+    /// A pool retaining at most `max_buffers` idle buffers.
+    pub fn new(max_buffers: usize) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            max_buffers,
+        }
+    }
+
+    /// Checks out an empty buffer with at least `capacity` bytes reserved.
+    /// Prefers the pooled buffer whose capacity fits best before growing
+    /// anything.
+    pub fn checkout(&mut self, capacity: usize) -> Vec<u8> {
+        let best = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= capacity)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        let mut buf = match best {
+            Some(i) => self.free.swap_remove(i),
+            None => self.free.pop().unwrap_or_default(),
+        };
+        buf.clear();
+        if buf.capacity() < capacity {
+            buf.reserve(capacity - buf.capacity());
+        }
+        buf
+    }
+
+    /// Returns a buffer to the freelist (contents discarded).
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() < self.max_buffers && buf.capacity() > 0 {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_recycled_capacity() {
+        let mut pool = BufferPool::default();
+        let mut a = pool.checkout(1024);
+        a.extend_from_slice(&[1; 1024]);
+        let cap = a.capacity();
+        pool.recycle(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.checkout(512);
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "the pooled buffer was reused");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn prefers_best_fitting_buffer() {
+        let mut pool = BufferPool::default();
+        let small = pool.checkout(64);
+        let big = pool.checkout(4096);
+        let (small_cap, big_cap) = (small.capacity(), big.capacity());
+        pool.recycle(big);
+        pool.recycle(small);
+        let got = pool.checkout(32);
+        assert_eq!(got.capacity(), small_cap, "smallest sufficient buffer");
+        let got = pool.checkout(2048);
+        assert_eq!(got.capacity(), big_cap);
+    }
+
+    #[test]
+    fn pool_size_is_bounded() {
+        let mut pool = BufferPool::new(2);
+        for _ in 0..5 {
+            pool.recycle(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.idle(), 2, "excess returns are dropped");
+        // Empty-capacity buffers are not worth pooling.
+        pool.recycle(Vec::new());
+        assert_eq!(pool.idle(), 2);
+    }
+}

@@ -1,0 +1,958 @@
+//! The socket backend: ranks as real OS processes over stream sockets.
+//!
+//! A run consists of one **coordinator** (the parent process, inside
+//! [`run_socket_cluster`]) and one **child process per live rank**. The
+//! coordinator re-executes the current test binary filtered down to a
+//! child-entry test, which calls [`child_serve`] with a registry of named
+//! workloads; everything a child needs — rank, cluster size, control-socket
+//! address, workload name, and bit-exact [`FaultPlan`] / [`RetryPolicy`]
+//! encodings — travels through `LCC_SOCKET_*` environment variables.
+//!
+//! Wiring:
+//!
+//! * **Data mesh** — a full mesh of Unix-domain stream sockets (TCP
+//!   loopback behind the `tcp` feature): rank `r` listens, connects to
+//!   every live rank `s < r`, and accepts from every live rank `s > r`.
+//!   Each connection opens with a handshake (`magic, version, rank`) so
+//!   the acceptor knows who it is talking to. Frames are length-prefixed
+//!   ([`frame::MAX_FRAME_LEN`] guards corrupt prefixes); a reader thread
+//!   per peer funnels them into one queue, which keeps OS socket buffers
+//!   drained independently of protocol state (no flow-control deadlock).
+//!   Outgoing frames are assembled in per-peer [`BufferPool`] buffers, so
+//!   warm connections send without allocating.
+//! * **Control channel** — each child keeps one connection to the
+//!   coordinator, which stands in for the shared state the in-process
+//!   backend gets from `Arc`s: barrier rendezvous (`BARRIER_ENTER` /
+//!   `BARRIER_RELEASE`), the end-of-run done-set (`DONE` / `ALL_DONE`),
+//!   address exchange (`HELLO` / `START`), and result delivery (`RESULT`
+//!   carries the workload's bytes plus the rank's [`CommStatsSnapshot`]).
+//!
+//! Because every `CommStats` counter is an exact function of the fault
+//! seed, summing the per-process snapshots reproduces the totals a
+//! shared-atomics in-process run records — the property the conformance
+//! suite (`tests/transport_conformance.rs`) asserts as exact equality.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use super::fault::FaultTransport;
+use super::frame::MAX_FRAME_LEN;
+use super::pool::BufferPool;
+use super::{RecvOutcome, Transport};
+use crate::cluster::{CommStats, CommStatsSnapshot, CommWorld};
+use crate::fault::{CommError, FaultPlan, RetryPolicy};
+
+/// Handshake magic opening every data-mesh connection: "LCCT".
+const HANDSHAKE_MAGIC: u32 = 0x4C43_4354;
+/// Wire-protocol version carried in the handshake.
+const WIRE_VERSION: u8 = 1;
+
+// Control-channel message kinds.
+const CTL_HELLO: u8 = 0x10;
+const CTL_START: u8 = 0x11;
+const CTL_BARRIER_ENTER: u8 = 0x12;
+const CTL_BARRIER_RELEASE: u8 = 0x13;
+const CTL_DONE: u8 = 0x14;
+const CTL_ALL_DONE: u8 = 0x15;
+const CTL_RESULT: u8 = 0x16;
+
+/// Hard ceiling on how long the coordinator waits for children to report.
+const COORDINATOR_DEADLINE: Duration = Duration::from_secs(180);
+
+/// Environment variable marking a process as a socket-cluster child.
+pub const CHILD_ENV: &str = "LCC_SOCKET_CHILD";
+
+/// Address family for the data mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketFamily {
+    /// Unix-domain stream sockets (the default).
+    Uds,
+    /// TCP over 127.0.0.1 (feature-gated: the loopback mesh is slower and
+    /// only exists to prove the framing works over a real network stack).
+    #[cfg(feature = "tcp")]
+    Tcp,
+}
+
+impl SocketFamily {
+    fn as_env(&self) -> &'static str {
+        match self {
+            SocketFamily::Uds => "uds",
+            #[cfg(feature = "tcp")]
+            SocketFamily::Tcp => "tcp",
+        }
+    }
+
+    fn from_env(s: &str) -> Result<SocketFamily, CommError> {
+        match s {
+            "uds" => Ok(SocketFamily::Uds),
+            #[cfg(feature = "tcp")]
+            "tcp" => Ok(SocketFamily::Tcp),
+            other => Err(coord_err(format!("unknown socket family `{other}`"))),
+        }
+    }
+}
+
+/// A stream connection of either family.
+enum Conn {
+    Unix(UnixStream),
+    #[cfg(feature = "tcp")]
+    Tcp(std::net::TcpStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            #[cfg(feature = "tcp")]
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            #[cfg(feature = "tcp")]
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            #[cfg(feature = "tcp")]
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            #[cfg(feature = "tcp")]
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A listener of either family.
+enum MeshListener {
+    Unix(UnixListener),
+    #[cfg(feature = "tcp")]
+    Tcp(std::net::TcpListener),
+}
+
+impl MeshListener {
+    fn bind(
+        family: SocketFamily,
+        dir: &std::path::Path,
+        rank: usize,
+    ) -> io::Result<(MeshListener, String)> {
+        match family {
+            SocketFamily::Uds => {
+                let path = dir.join(format!("data-{rank}.sock"));
+                let listener = UnixListener::bind(&path)?;
+                Ok((
+                    MeshListener::Unix(listener),
+                    path.to_string_lossy().into_owned(),
+                ))
+            }
+            #[cfg(feature = "tcp")]
+            SocketFamily::Tcp => {
+                let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+                let addr = listener.local_addr()?.to_string();
+                Ok((MeshListener::Tcp(listener), addr))
+            }
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            MeshListener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            #[cfg(feature = "tcp")]
+            MeshListener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Conn::Tcp(s)
+            }),
+        }
+    }
+}
+
+fn connect(family: SocketFamily, addr: &str) -> io::Result<Conn> {
+    match family {
+        SocketFamily::Uds => UnixStream::connect(addr).map(Conn::Unix),
+        #[cfg(feature = "tcp")]
+        SocketFamily::Tcp => std::net::TcpStream::connect(addr).map(|s| {
+            let _ = s.set_nodelay(true);
+            Conn::Tcp(s)
+        }),
+    }
+}
+
+fn io_err(rank: usize, peer: usize, what: &str, e: io::Error) -> CommError {
+    CommError::Transport {
+        rank,
+        peer,
+        detail: format!("{what}: {e}"),
+    }
+}
+
+fn coord_err(detail: String) -> CommError {
+    CommError::Transport {
+        rank: usize::MAX,
+        peer: usize::MAX,
+        detail,
+    }
+}
+
+/// Writes one `[len u32 LE][payload]` frame, assembled in `buf` so the OS
+/// sees a single contiguous write.
+fn write_frame(conn: &mut Conn, buf: &mut Vec<u8>, payload: &[u8]) -> io::Result<()> {
+    buf.clear();
+    buf.reserve(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    conn.write_all(buf)
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` is clean EOF at a frame
+/// boundary; a corrupt or oversized length prefix is an error, never an
+/// attempted giant allocation.
+fn read_frame(conn: &mut Conn) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match conn.read(&mut len[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    conn.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// One rank's endpoint over the socket mesh.
+pub struct SocketTransport {
+    rank: usize,
+    size: usize,
+    /// Outgoing data connections, indexed by peer (None for self, crashed
+    /// peers, and — on the acceptor side before the mesh is up — unmet
+    /// peers).
+    writers: Vec<Option<Conn>>,
+    /// Per-peer write-assembly buffers.
+    pools: Vec<BufferPool>,
+    /// Incoming frames from every peer's reader thread.
+    incoming: mpsc::Receiver<(usize, Vec<u8>)>,
+    /// Control connection to the coordinator (writer half).
+    ctl: Conn,
+    ctl_buf: Vec<u8>,
+    /// Barrier releases forwarded by the control reader thread.
+    barrier_rx: mpsc::Receiver<()>,
+    /// Set once the coordinator broadcasts `ALL_DONE`.
+    all_done: Arc<AtomicBool>,
+}
+
+impl SocketTransport {
+    fn ctl_send(&mut self, payload: &[u8]) -> Result<(), CommError> {
+        let mut buf = std::mem::take(&mut self.ctl_buf);
+        let res = write_frame(&mut self.ctl, &mut buf, payload);
+        self.ctl_buf = buf;
+        res.map_err(|e| io_err(self.rank, usize::MAX, "control write", e))
+    }
+}
+
+impl Transport for SocketTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_frame(&mut self, to: usize, frame: Vec<u8>) -> Result<(), CommError> {
+        let rank = self.rank;
+        let conn = match self.writers.get_mut(to) {
+            Some(Some(conn)) => conn,
+            _ => {
+                return Err(CommError::Transport {
+                    rank,
+                    peer: to,
+                    detail: "no data connection to peer".to_string(),
+                })
+            }
+        };
+        let mut buf = self.pools[to].checkout(4 + frame.len());
+        let res = write_frame(conn, &mut buf, &frame);
+        self.pools[to].recycle(buf);
+        res.map_err(|e| io_err(rank, to, "data write", e))
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<RecvOutcome, CommError> {
+        match self.incoming.recv_timeout(timeout) {
+            Ok((src, frame)) => Ok(RecvOutcome::Frame(src, frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(RecvOutcome::Idle),
+            Err(RecvTimeoutError::Disconnected) => Ok(RecvOutcome::Closed),
+        }
+    }
+
+    fn try_recv_frame(&mut self) -> Result<RecvOutcome, CommError> {
+        match self.incoming.try_recv() {
+            Ok((src, frame)) => Ok(RecvOutcome::Frame(src, frame)),
+            Err(TryRecvError::Empty) => Ok(RecvOutcome::Idle),
+            Err(TryRecvError::Disconnected) => Ok(RecvOutcome::Closed),
+        }
+    }
+
+    fn barrier(&mut self, timeout: Duration) -> Result<bool, CommError> {
+        self.ctl_send(&[CTL_BARRIER_ENTER])?;
+        match self.barrier_rx.recv_timeout(timeout) {
+            Ok(()) => Ok(true),
+            Err(RecvTimeoutError::Timeout) => Ok(false),
+            Err(RecvTimeoutError::Disconnected) => Err(coord_err(
+                "coordinator hung up during a barrier".to_string(),
+            )),
+        }
+    }
+
+    fn announce_done(&mut self) {
+        // Best effort, like the in-process done counter: if the
+        // coordinator is gone the drain falls back to its deadline.
+        let _ = self.ctl_send(&[CTL_DONE]);
+    }
+
+    fn all_done(&self) -> bool {
+        self.all_done.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Child side
+// ---------------------------------------------------------------------------
+
+/// A named workload a child process can run: consumes the rank's
+/// [`CommWorld`] (dropping it runs the end-of-run drain) and returns the
+/// bytes to ship back to the coordinator.
+pub type Workload = fn(CommWorld) -> Vec<u8>;
+
+/// Whether this process is a socket-cluster child (spawned by
+/// [`run_socket_cluster`]). The child-entry test uses this to be a no-op
+/// in normal test runs.
+pub fn is_child() -> bool {
+    std::env::var_os(CHILD_ENV).is_some()
+}
+
+fn env_var(name: &str) -> Result<String, CommError> {
+    std::env::var(name).map_err(|_| coord_err(format!("missing child env var {name}")))
+}
+
+/// Child-process entry point: wires this rank into the mesh, runs the
+/// workload named by the environment, and reports the result and counter
+/// snapshot to the coordinator. Call from a `#[test]` guarded by
+/// [`is_child`]; see `tests/transport_conformance.rs`.
+pub fn child_serve(registry: &[(&str, Workload)]) -> Result<(), CommError> {
+    let rank: usize = env_var("LCC_SOCKET_RANK")?
+        .parse()
+        .map_err(|_| coord_err("bad LCC_SOCKET_RANK".to_string()))?;
+    let size: usize = env_var("LCC_SOCKET_SIZE")?
+        .parse()
+        .map_err(|_| coord_err("bad LCC_SOCKET_SIZE".to_string()))?;
+    let ctl_path = env_var("LCC_SOCKET_CTL")?;
+    let family = SocketFamily::from_env(&env_var("LCC_SOCKET_FAMILY")?)?;
+    let plan = Arc::new(FaultPlan::from_env_string(&env_var("LCC_SOCKET_PLAN")?)?);
+    let retry = RetryPolicy::from_env_string(&env_var("LCC_SOCKET_RETRY")?)?;
+    let workload_name = env_var("LCC_SOCKET_WORKLOAD")?;
+    let workload = registry
+        .iter()
+        .find(|(name, _)| *name == workload_name)
+        .map(|(_, f)| *f)
+        .ok_or_else(|| coord_err(format!("workload `{workload_name}` not in child registry")))?;
+    let obs_session = if std::env::var_os("LCC_SOCKET_OBS").is_some() {
+        lcc_obs::ObsSession::start()
+    } else {
+        None
+    };
+
+    let dir = PathBuf::from(env_var("LCC_SOCKET_DIR")?);
+    let (listener, my_addr) = MeshListener::bind(family, &dir, rank)
+        .map_err(|e| io_err(rank, usize::MAX, "bind data listener", e))?;
+
+    // Control channel up, introduce ourselves, learn everyone's address.
+    let mut ctl = connect(SocketFamily::Uds, &ctl_path)
+        .map_err(|e| io_err(rank, usize::MAX, "connect control socket", e))?;
+    let mut hello = vec![CTL_HELLO];
+    hello.extend_from_slice(&(rank as u32).to_le_bytes());
+    hello.extend_from_slice(my_addr.as_bytes());
+    let mut scratch = Vec::new();
+    write_frame(&mut ctl, &mut scratch, &hello)
+        .map_err(|e| io_err(rank, usize::MAX, "send HELLO", e))?;
+    let start = read_frame(&mut ctl)
+        .map_err(|e| io_err(rank, usize::MAX, "read START", e))?
+        .ok_or_else(|| coord_err("coordinator closed before START".to_string()))?;
+    let addrs = decode_start(&start)?;
+    if addrs.len() != size {
+        return Err(coord_err(format!(
+            "START carried {} addresses for a {size}-rank cluster",
+            addrs.len()
+        )));
+    }
+
+    // Data mesh: connect down, accept up. Peers with no address (crashed
+    // ranks) are skipped on both sides.
+    let (frame_tx, frame_rx) = mpsc::channel::<(usize, Vec<u8>)>();
+    let mut writers: Vec<Option<Conn>> = (0..size).map(|_| None).collect();
+    for (peer, addr) in addrs.iter().enumerate().take(rank) {
+        let Some(addr) = addr else { continue };
+        let mut conn =
+            connect(family, addr).map_err(|e| io_err(rank, peer, "connect to peer", e))?;
+        let mut shake = Vec::with_capacity(9);
+        shake.extend_from_slice(&HANDSHAKE_MAGIC.to_le_bytes());
+        shake.push(WIRE_VERSION);
+        shake.extend_from_slice(&(rank as u32).to_le_bytes());
+        conn.write_all(&shake)
+            .map_err(|e| io_err(rank, peer, "send handshake", e))?;
+        spawn_reader(
+            peer,
+            conn.try_clone()
+                .map_err(|e| io_err(rank, peer, "clone peer stream", e))?,
+            frame_tx.clone(),
+        );
+        writers[peer] = Some(conn);
+    }
+    let accepts = addrs
+        .iter()
+        .enumerate()
+        .skip(rank + 1)
+        .filter(|(_, a)| a.is_some())
+        .count();
+    for _ in 0..accepts {
+        let mut conn = listener
+            .accept()
+            .map_err(|e| io_err(rank, usize::MAX, "accept peer", e))?;
+        let peer = read_handshake(rank, &mut conn)?;
+        if peer <= rank || peer >= size {
+            return Err(coord_err(format!(
+                "rank {rank} accepted a handshake claiming rank {peer}"
+            )));
+        }
+        spawn_reader(
+            peer,
+            conn.try_clone()
+                .map_err(|e| io_err(rank, peer, "clone peer stream", e))?,
+            frame_tx.clone(),
+        );
+        writers[peer] = Some(conn);
+    }
+    drop(frame_tx); // reader threads hold the remaining senders
+
+    // Control reader: forwards barrier releases, latches ALL_DONE.
+    let all_done = Arc::new(AtomicBool::new(false));
+    let (barrier_tx, barrier_rx) = mpsc::channel::<()>();
+    {
+        let mut ctl_read = ctl
+            .try_clone()
+            .map_err(|e| io_err(rank, usize::MAX, "clone control stream", e))?;
+        let all_done = Arc::clone(&all_done);
+        std::thread::spawn(move || {
+            while let Ok(Some(msg)) = read_frame(&mut ctl_read) {
+                match msg.first() {
+                    Some(&CTL_BARRIER_RELEASE) => {
+                        if barrier_tx.send(()).is_err() {
+                            break;
+                        }
+                    }
+                    Some(&CTL_ALL_DONE) => all_done.store(true, Ordering::SeqCst),
+                    _ => break,
+                }
+            }
+        });
+    }
+
+    let transport = SocketTransport {
+        rank,
+        size,
+        writers,
+        pools: (0..size).map(|_| BufferPool::default()).collect(),
+        incoming: frame_rx,
+        ctl,
+        ctl_buf: Vec::new(),
+        barrier_rx,
+        all_done,
+    };
+    let boxed: Box<dyn Transport> = if plan.is_active() {
+        Box::new(FaultTransport::new(transport, Arc::clone(&plan)))
+    } else {
+        Box::new(transport)
+    };
+
+    lcc_obs::set_rank(Some(rank as u32));
+    let stats = Arc::new(CommStats::default());
+    let world = CommWorld::over(boxed, Arc::clone(&plan), retry, Arc::clone(&stats));
+    let result = workload(world); // dropping the world runs the drain
+    lcc_obs::set_rank(None);
+    lcc_obs::set_epoch(0);
+    let snapshot = stats.snapshot();
+
+    if let Some(session) = obs_session {
+        // The obs counters are incremented at the same call sites as
+        // CommStats, and in this process the only rank is ours — the
+        // totals must agree to the byte, exactly as in the in-process
+        // obs_cluster suite.
+        let report = session.finish();
+        let counter = |name: &str| report.counter(name).unwrap_or(0);
+        let pairs = [
+            ("comm.bytes_logical", snapshot.bytes_sent),
+            ("comm.messages_logical", snapshot.messages),
+            ("comm.collective_rounds", snapshot.collective_rounds),
+            ("comm.retransmits", snapshot.retransmits),
+            ("comm.duplicates_suppressed", snapshot.duplicates_suppressed),
+            ("comm.timeouts", snapshot.timeouts),
+            ("comm.bytes_physical", snapshot.bytes_physical),
+            ("comm.messages_physical", snapshot.messages_physical),
+            ("comm.acks", snapshot.acks),
+        ];
+        for (name, want) in pairs {
+            let got = counter(name);
+            if got != want {
+                return Err(coord_err(format!(
+                    "rank {rank}: obs counter {name} = {got} but CommStats recorded {want}"
+                )));
+            }
+        }
+    }
+
+    // RESULT: rank, stats snapshot, then the workload's bytes. Re-borrow
+    // the control writer from the transport we boxed away? No — the world
+    // consumed it. A fresh control connection keeps ownership simple.
+    let mut ctl = connect(SocketFamily::Uds, &ctl_path)
+        .map_err(|e| io_err(rank, usize::MAX, "reconnect control socket", e))?;
+    let mut msg = Vec::with_capacity(1 + 4 + CommStatsSnapshot::WIRE_BYTES + result.len());
+    msg.push(CTL_RESULT);
+    msg.extend_from_slice(&(rank as u32).to_le_bytes());
+    msg.extend_from_slice(&snapshot.to_bytes());
+    msg.extend_from_slice(&result);
+    write_frame(&mut ctl, &mut scratch, &msg)
+        .map_err(|e| io_err(rank, usize::MAX, "send RESULT", e))?;
+    Ok(())
+}
+
+fn spawn_reader(peer: usize, mut conn: Conn, tx: mpsc::Sender<(usize, Vec<u8>)>) {
+    std::thread::spawn(move || {
+        // EOF or any read error ends the stream; the protocol layer above
+        // turns silence into typed timeouts.
+        while let Ok(Some(frame)) = read_frame(&mut conn) {
+            if tx.send((peer, frame)).is_err() {
+                break;
+            }
+        }
+    });
+}
+
+fn read_handshake(rank: usize, conn: &mut Conn) -> Result<usize, CommError> {
+    let mut shake = [0u8; 9];
+    conn.read_exact(&mut shake)
+        .map_err(|e| io_err(rank, usize::MAX, "read handshake", e))?;
+    let magic = u32::from_le_bytes([shake[0], shake[1], shake[2], shake[3]]);
+    if magic != HANDSHAKE_MAGIC || shake[4] != WIRE_VERSION {
+        return Err(coord_err(format!(
+            "bad handshake on rank {rank}'s listener (magic {magic:#x}, version {})",
+            shake[4]
+        )));
+    }
+    Ok(u32::from_le_bytes([shake[5], shake[6], shake[7], shake[8]]) as usize)
+}
+
+fn decode_start(msg: &[u8]) -> Result<Vec<Option<String>>, CommError> {
+    let err = || coord_err("malformed START frame".to_string());
+    if msg.first() != Some(&CTL_START) {
+        return Err(err());
+    }
+    let mut at = 1usize;
+    let take = |at: &mut usize, n: usize| -> Result<Vec<u8>, CommError> {
+        let end = at.checked_add(n).ok_or_else(err)?;
+        if end > msg.len() {
+            return Err(err());
+        }
+        let bytes = msg[*at..end].to_vec();
+        *at = end;
+        Ok(bytes)
+    };
+    let count_bytes = take(&mut at, 4)?;
+    let count = u32::from_le_bytes([
+        count_bytes[0],
+        count_bytes[1],
+        count_bytes[2],
+        count_bytes[3],
+    ]) as usize;
+    let mut addrs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len_bytes = take(&mut at, 4)?;
+        let len =
+            u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+        if len == 0 {
+            addrs.push(None);
+            continue;
+        }
+        let addr = take(&mut at, len)?;
+        addrs.push(Some(String::from_utf8(addr).map_err(|_| err())?));
+    }
+    Ok(addrs)
+}
+
+fn encode_start(addrs: &[Option<String>]) -> Vec<u8> {
+    let mut msg = vec![CTL_START];
+    msg.extend_from_slice(&(addrs.len() as u32).to_le_bytes());
+    for addr in addrs {
+        match addr {
+            Some(a) => {
+                msg.extend_from_slice(&(a.len() as u32).to_le_bytes());
+                msg.extend_from_slice(a.as_bytes());
+            }
+            None => msg.extend_from_slice(&0u32.to_le_bytes()),
+        }
+    }
+    msg
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------------
+
+/// Configuration for one socket-cluster run.
+pub struct SocketClusterConfig<'a> {
+    /// Total rank count (crashed ranks included).
+    pub p: usize,
+    /// Fault plan, replayed bit-identically inside every child.
+    pub plan: FaultPlan,
+    /// Protocol deadlines for the children.
+    pub retry: RetryPolicy,
+    /// Registry key of the workload every child runs.
+    pub workload: &'a str,
+    /// Data-mesh address family.
+    pub family: SocketFamily,
+    /// Name of the `#[test]` in the current binary that calls
+    /// [`child_serve`] (the coordinator re-executes the binary filtered to
+    /// exactly this test).
+    pub child_test: &'a str,
+    /// Start an [`lcc_obs::ObsSession`] inside each child and fail the
+    /// child if its `comm.*` counters diverge from its `CommStats`.
+    pub obs_in_children: bool,
+}
+
+/// What a socket-cluster run produced: one result slot per rank (`None`
+/// for crashed ranks) and the sum of every child's counter snapshot.
+#[derive(Debug)]
+pub struct SocketRun {
+    pub results: Vec<Option<Vec<u8>>>,
+    pub stats: CommStatsSnapshot,
+}
+
+/// Monotonic run id so concurrent/consecutive runs in one process never
+/// collide on a socket directory.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `cfg.workload` on `cfg.p` ranks, **each rank a real OS process**,
+/// communicating over a socket mesh. The calling process acts as the
+/// coordinator; children re-execute the current binary (see
+/// [`SocketClusterConfig::child_test`]).
+pub fn run_socket_cluster(cfg: &SocketClusterConfig) -> Result<SocketRun, CommError> {
+    assert!(cfg.p >= 1, "need at least one rank");
+    let live = cfg.plan.live_count(cfg.p);
+    assert!(live >= 1, "at least one rank must survive the fault plan");
+
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("lcc-sock-{}-{seq}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| coord_err(format!("create socket dir: {e}")))?;
+    let run = coordinate(cfg, live, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+fn coordinate(
+    cfg: &SocketClusterConfig,
+    live: usize,
+    dir: &std::path::Path,
+) -> Result<SocketRun, CommError> {
+    let ctl_path = dir.join("ctl.sock");
+    let ctl_listener = UnixListener::bind(&ctl_path)
+        .map_err(|e| coord_err(format!("bind control socket: {e}")))?;
+
+    let exe = std::env::current_exe().map_err(|e| coord_err(format!("current_exe: {e}")))?;
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(live);
+    for rank in 0..cfg.p {
+        if cfg.plan.is_crashed(rank) {
+            continue; // crashed ranks never start
+        }
+        let mut cmd = Command::new(&exe);
+        cmd.arg(cfg.child_test)
+            .arg("--exact")
+            .arg("--nocapture")
+            .arg("--test-threads=1")
+            .env(CHILD_ENV, "1")
+            .env("LCC_SOCKET_RANK", rank.to_string())
+            .env("LCC_SOCKET_SIZE", cfg.p.to_string())
+            .env("LCC_SOCKET_CTL", &ctl_path)
+            .env("LCC_SOCKET_DIR", dir)
+            .env("LCC_SOCKET_FAMILY", cfg.family.as_env())
+            .env("LCC_SOCKET_WORKLOAD", cfg.workload)
+            .env("LCC_SOCKET_PLAN", cfg.plan.to_env_string())
+            .env("LCC_SOCKET_RETRY", cfg.retry.to_env_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        if cfg.obs_in_children {
+            cmd.env("LCC_SOCKET_OBS", "1");
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| coord_err(format!("spawn rank {rank}: {e}")))?;
+        children.push((rank, child));
+    }
+
+    let outcome = serve_control(cfg, live, &ctl_listener);
+    // Whatever happened, never leave child processes behind.
+    for (_, child) in &mut children {
+        if outcome.is_err() {
+            let _ = child.kill();
+        }
+        let _ = child.wait();
+    }
+    outcome
+}
+
+/// The coordinator's control loop: address exchange, then barrier/done
+/// bookkeeping until every live rank has reported its RESULT.
+fn serve_control(
+    cfg: &SocketClusterConfig,
+    live: usize,
+    listener: &UnixListener,
+) -> Result<SocketRun, CommError> {
+    let deadline = Instant::now() + COORDINATOR_DEADLINE;
+    let (msg_tx, msg_rx) = mpsc::channel::<(usize, Vec<u8>)>();
+
+    // Phase 1: every live rank connects and says HELLO with its address.
+    let mut conns: BTreeMap<usize, Conn> = BTreeMap::new();
+    let mut addrs: Vec<Option<String>> = vec![None; cfg.p];
+    listener
+        .set_nonblocking(false)
+        .map_err(|e| coord_err(format!("configure control listener: {e}")))?;
+    while conns.len() < live {
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| coord_err(format!("accept control connection: {e}")))?;
+        let mut conn = Conn::Unix(stream);
+        let hello = read_frame(&mut conn)
+            .map_err(|e| coord_err(format!("read HELLO: {e}")))?
+            .ok_or_else(|| coord_err("child closed before HELLO".to_string()))?;
+        if hello.len() < 5 || hello[0] != CTL_HELLO {
+            return Err(coord_err("malformed HELLO frame".to_string()));
+        }
+        let rank = u32::from_le_bytes([hello[1], hello[2], hello[3], hello[4]]) as usize;
+        let addr = String::from_utf8(hello[5..].to_vec())
+            .map_err(|_| coord_err("non-UTF-8 mesh address in HELLO".to_string()))?;
+        if rank >= cfg.p || cfg.plan.is_crashed(rank) || conns.contains_key(&rank) {
+            return Err(coord_err(format!("unexpected HELLO from rank {rank}")));
+        }
+        addrs[rank] = Some(addr);
+        conns.insert(rank, conn);
+        if Instant::now() > deadline {
+            return Err(coord_err("timed out gathering HELLOs".to_string()));
+        }
+    }
+
+    // Phase 2: broadcast the address table; children build the mesh.
+    let start = encode_start(&addrs);
+    let mut scratch = Vec::new();
+    for (rank, conn) in conns.iter_mut() {
+        write_frame(conn, &mut scratch, &start)
+            .map_err(|e| coord_err(format!("send START to rank {rank}: {e}")))?;
+    }
+
+    // Phase 3: per-connection reader threads feed one message queue.
+    let mut writers: BTreeMap<usize, Conn> = BTreeMap::new();
+    for (rank, conn) in conns {
+        let reader = conn
+            .try_clone()
+            .map_err(|e| coord_err(format!("clone control stream: {e}")))?;
+        writers.insert(rank, conn);
+        let tx = msg_tx.clone();
+        std::thread::spawn(move || {
+            let mut reader = reader;
+            while let Ok(Some(msg)) = read_frame(&mut reader) {
+                if tx.send((rank, msg)).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+    // RESULT arrives on a fresh connection (the original's writer half is
+    // owned by the transport inside the child); accept those lazily.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| coord_err(format!("configure control listener: {e}")))?;
+
+    let mut barrier_entered = 0usize;
+    let mut done = 0usize;
+    let mut all_done_sent = false;
+    let mut results: Vec<Option<Vec<u8>>> = vec![None; cfg.p];
+    let mut stats_sum = CommStatsSnapshot::default();
+    let mut reported = 0usize;
+    while reported < live {
+        if Instant::now() > deadline {
+            return Err(coord_err(format!(
+                "timed out waiting for RESULTs ({reported}/{live} reported)"
+            )));
+        }
+        // Late connections carry RESULT frames.
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = msg_tx.clone();
+                std::thread::spawn(move || {
+                    let mut conn = Conn::Unix(stream);
+                    while let Ok(Some(msg)) = read_frame(&mut conn) {
+                        if tx.send((usize::MAX, msg)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) => return Err(coord_err(format!("accept result connection: {e}"))),
+        }
+        let (from, msg) = match msg_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(coord_err("all control readers exited".to_string()))
+            }
+        };
+        match msg.first() {
+            Some(&CTL_BARRIER_ENTER) => {
+                barrier_entered += 1;
+                if barrier_entered == live {
+                    barrier_entered = 0;
+                    for (rank, conn) in writers.iter_mut() {
+                        write_frame(conn, &mut scratch, &[CTL_BARRIER_RELEASE]).map_err(|e| {
+                            coord_err(format!("release barrier to rank {rank}: {e}"))
+                        })?;
+                    }
+                }
+            }
+            Some(&CTL_DONE) => {
+                done += 1;
+                if done >= live && !all_done_sent {
+                    all_done_sent = true;
+                    for (rank, conn) in writers.iter_mut() {
+                        write_frame(conn, &mut scratch, &[CTL_ALL_DONE]).map_err(|e| {
+                            coord_err(format!("broadcast ALL_DONE to rank {rank}: {e}"))
+                        })?;
+                    }
+                }
+            }
+            Some(&CTL_RESULT) => {
+                let min = 1 + 4 + CommStatsSnapshot::WIRE_BYTES;
+                if msg.len() < min {
+                    return Err(coord_err("short RESULT frame".to_string()));
+                }
+                let rank = u32::from_le_bytes([msg[1], msg[2], msg[3], msg[4]]) as usize;
+                if rank >= cfg.p || results[rank].is_some() {
+                    return Err(coord_err(format!("unexpected RESULT from rank {rank}")));
+                }
+                let snap = CommStatsSnapshot::from_bytes(&msg[5..min]).map_err(|e| {
+                    coord_err(format!("undecodable stats snapshot from rank {rank}: {e}"))
+                })?;
+                stats_sum.add_snapshot(&snap);
+                results[rank] = Some(msg[min..].to_vec());
+                reported += 1;
+            }
+            _ => {
+                let _ = from;
+                return Err(coord_err("unknown control message".to_string()));
+            }
+        }
+    }
+    Ok(SocketRun {
+        results,
+        stats: stats_sum,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_frame_round_trips() {
+        let addrs = vec![
+            Some("/tmp/a.sock".to_string()),
+            None,
+            Some("127.0.0.1:4000".to_string()),
+        ];
+        assert_eq!(decode_start(&encode_start(&addrs)).unwrap(), addrs);
+    }
+
+    #[test]
+    fn truncated_start_is_a_typed_error() {
+        let addrs = vec![Some("/tmp/a.sock".to_string())];
+        let mut bytes = encode_start(&addrs);
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(
+            decode_start(&bytes),
+            Err(CommError::Transport { .. })
+        ));
+        assert!(matches!(
+            decode_start(&[0x42]),
+            Err(CommError::Transport { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_io_round_trips_over_a_socketpair() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        let mut tx = Conn::Unix(a);
+        let mut rx = Conn::Unix(b);
+        let mut buf = Vec::new();
+        write_frame(&mut tx, &mut buf, &[1, 2, 3]).unwrap();
+        write_frame(&mut tx, &mut buf, &[]).unwrap();
+        assert_eq!(read_frame(&mut rx).unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(read_frame(&mut rx).unwrap(), Some(vec![]));
+        drop(tx);
+        assert_eq!(read_frame(&mut rx).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        let mut tx = Conn::Unix(a);
+        let mut rx = Conn::Unix(b);
+        tx.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        let err = read_frame(&mut rx).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -5,113 +5,22 @@
 //! survivors must degrade gracefully — recomputing the dead rank's domains
 //! at the schedule's coarsest rate — and report the accuracy loss instead
 //! of hanging. Every scenario replays exactly from its seed.
+//!
+//! The per-rank workload itself lives in [`lcc_bench::chaos`], shared with
+//! `exp_chaos` and the transport conformance suite (which runs it over the
+//! socket backend as well).
 
-use lcc_comm::{
-    decode_f64s, encode_f64s, run_cluster_with_faults, CommStats, FaultPlan, RetryPolicy,
-};
-use lcc_core::{ConvolveMode, LowCommConfig, LowCommConvolver, TraditionalConvolver};
-use lcc_greens::GaussianKernel;
-use lcc_grid::{assign_round_robin, decompose_uniform, relative_l2, Grid3};
-use lcc_octree::{CompressedField, RateSchedule};
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
-const N: usize = 32;
-const K: usize = 8;
+use lcc_bench::chaos::{self, N, SIGMA};
+use lcc_comm::{CommStats, FaultPlan, RetryPolicy};
+use lcc_core::{LowCommConvolver, TraditionalConvolver};
+use lcc_grid::{relative_l2, Grid3};
+
 const P: usize = 4;
-const SIGMA: f64 = 1.5;
 
-fn workload_config() -> LowCommConfig {
-    LowCommConfig {
-        n: N,
-        k: K,
-        batch: 512,
-        schedule: RateSchedule::for_kernel_spread(K, SIGMA, 16),
-    }
-}
-
-fn workload_input() -> Grid3<f64> {
-    Grid3::from_fn((N, N, N), |x, y, z| {
-        ((x as f64 * 0.29).sin() + (y as f64 * 0.41).cos()) * (1.0 + 0.01 * z as f64)
-    })
-}
-
-/// The `distributed_lowcomm` workload under an arbitrary fault plan: each
-/// surviving rank convolves its round-robin share of sub-domains locally,
-/// allgathers the compressed samples across the survivors, reconstructs
-/// everyone's contributions, and recomputes dead ranks' domains at the
-/// degraded (coarsest) rate.
 fn run_workload(plan: FaultPlan) -> (Vec<Option<Grid3<f64>>>, Arc<CommStats>) {
-    let kernel = Arc::new(GaussianKernel::new(N, SIGMA));
-    let input = Arc::new(workload_input());
-    let cfg = Arc::new(workload_config());
-    let domains = decompose_uniform(N, K);
-    let assignment = assign_round_robin(domains.len(), P);
-    run_cluster_with_faults(P, plan, RetryPolicy::default(), {
-        let domains = domains.clone();
-        let assignment = assignment.clone();
-        let input = input.clone();
-        let kernel = kernel.clone();
-        let cfg = cfg.clone();
-        move |mut w| {
-            let conv = LowCommConvolver::new((*cfg).clone());
-            // Local phase: convolve my sub-domains; NO communication.
-            let my_fields: Vec<CompressedField> = assignment[w.rank()]
-                .iter()
-                .map(|&di| {
-                    let d = domains[di];
-                    let sub = input.extract(&d);
-                    let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
-                    conv.local()
-                        .convolve_compressed(&sub, d.lo, kernel.as_ref(), plan)
-                })
-                .collect();
-
-            // Single exchange across the survivors.
-            let payload: Vec<f64> = my_fields
-                .iter()
-                .flat_map(|f| f.samples().iter().copied())
-                .collect();
-            let all = w
-                .allgather_surviving(encode_f64s(&payload))
-                .expect("surviving allgather failed");
-
-            // Reconstruct every live rank's contributions; collect the
-            // domains of dead ranks for degraded recomputation.
-            let mut contribs: BTreeMap<usize, CompressedField> = BTreeMap::new();
-            let mut orphans = Vec::new();
-            for (rank, bytes) in all.iter().enumerate() {
-                match bytes {
-                    Some(bytes) => {
-                        let samples = decode_f64s(bytes);
-                        let mut off = 0;
-                        for &di in &assignment[rank] {
-                            let d = domains[di];
-                            let plan = conv.plan_for(conv.response_region(&d, kernel.as_ref()));
-                            let count = plan.total_samples();
-                            let mut f = CompressedField::zeros(plan);
-                            f.samples_mut().copy_from_slice(&samples[off..off + count]);
-                            off += count;
-                            contribs.insert(di, f);
-                        }
-                        assert_eq!(off, samples.len(), "payload fully consumed");
-                    }
-                    None => {
-                        orphans.extend(assignment[rank].iter().map(|&di| (di, domains[di])));
-                    }
-                }
-            }
-            let session = conv.session(ConvolveMode::Degraded);
-            let (result, report) = session.accumulate(&contribs, &input, kernel.as_ref(), &orphans);
-            assert_eq!(report.degraded_domains, orphans.len());
-            if orphans.is_empty() {
-                assert_eq!(report.degraded_rate, None);
-            } else {
-                assert_eq!(report.degraded_rate, Some(conv.coarsest_rate()));
-            }
-            result
-        }
-    })
+    chaos::run_workload(P, plan, RetryPolicy::default())
 }
 
 #[test]
@@ -162,10 +71,10 @@ fn chaos_run_replays_exactly_from_its_seed() {
 #[test]
 fn rank_crash_degrades_accuracy_but_completes() {
     // References for the accuracy comparison.
-    let input = workload_input();
-    let kernel = GaussianKernel::new(N, SIGMA);
+    let input = chaos::input();
+    let kernel = lcc_greens::GaussianKernel::new(N, SIGMA);
     let oracle = TraditionalConvolver::new(N).convolve(&input, &kernel);
-    let (healthy, _) = LowCommConvolver::new(workload_config()).convolve(&input, &kernel);
+    let (healthy, _) = LowCommConvolver::new(chaos::config()).convolve(&input, &kernel);
     let healthy_err = relative_l2(oracle.as_slice(), healthy.as_slice());
 
     // Crash rank 3 under light drop noise as well: the run must still

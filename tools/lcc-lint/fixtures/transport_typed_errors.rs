@@ -1,0 +1,38 @@
+// lcc-lint: pretend-path crates/comm/src/transport/fixture.rs
+//
+// Proof that the path-scoped rules reach the transport/ subtree: backend
+// code (socket meshes, reader threads, fault decorators) must surface
+// failures as typed `CommError`s with a zero unwrap budget, exactly like
+// the rest of crates/comm/src. Never compiled — scanned by
+// `lcc-lint --self-test` with an empty (zero-budget) ratchet.
+
+use std::error::Error;
+
+pub fn backend_boxed_error(frame: Vec<u8>) -> Result<usize, Box<dyn Error>> { //~ ERROR typed-error
+    Ok(frame.len())
+}
+
+pub fn backend_typed_is_fine(frame: Vec<u8>) -> Result<usize, CommError> {
+    Ok(frame.len())
+}
+
+fn reader_thread_unwrap(conn: Option<u8>) -> u8 {
+    conn.unwrap() //~ ERROR unwrap-ratchet
+}
+
+fn handshake_expect(peer: Option<u8>) -> u8 {
+    peer.expect("peer sent no handshake") //~ ERROR unwrap-ratchet
+}
+
+fn justified_in_transport(v: Option<u8>) -> u8 {
+    v.unwrap() // lcc-lint: allow(unwrap) — infallible in the fixture
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwraps_stay_exempt_in_transport() {
+        Some(1u8).unwrap();
+        Some(2u8).expect("fine in tests");
+    }
+}

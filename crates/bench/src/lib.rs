@@ -28,6 +28,7 @@ pub mod alloc_track;
 pub mod chaos;
 pub mod json;
 pub mod recovery;
+pub mod survival;
 
 use std::time::Instant;
 

@@ -88,10 +88,16 @@ impl RecoveryCase {
 /// Deadlines tight enough to make deserter detection quick in tests and
 /// benches (a deserter is only noticed when receive timeouts fire; the
 /// production-scaled 30 s deadline would dominate wall time).
+///
+/// Debug builds widen (not disable) the deadlines: unoptimized payload
+/// compression on a loaded core can outlast a 400 ms receive window, and a
+/// deadline that fires while a peer is still doing honest work reads as
+/// silence — exhausting the convergence retries on a perfectly live mesh.
 pub fn fast_retry(p: usize) -> RetryPolicy {
+    let deadline_ms = if cfg!(debug_assertions) { 1600 } else { 400 };
     RetryPolicy {
-        ack_timeout: std::time::Duration::from_millis(400),
-        recv_timeout: std::time::Duration::from_millis(400),
+        ack_timeout: std::time::Duration::from_millis(deadline_ms),
+        recv_timeout: std::time::Duration::from_millis(deadline_ms),
         ..RetryPolicy::scaled_for(p)
     }
 }

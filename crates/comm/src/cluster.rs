@@ -61,7 +61,8 @@ use crate::fault::{CommError, FaultPlan, RetryPolicy};
 use crate::membership::ClusterView;
 use crate::transport::fault::FaultTransport;
 use crate::transport::frame::{self, WireFrame};
-use crate::transport::{inproc, RecvOutcome, Transport};
+use crate::transport::liveness::LivenessStats;
+use crate::transport::{inproc, PointOutcome, RecvOutcome, Transport};
 
 /// Shared instrumentation counters for one cluster run.
 #[derive(Debug, Default)]
@@ -90,6 +91,19 @@ pub struct CommStats {
     pub messages_physical: AtomicU64,
     /// Ack frames transmitted, including acks the fault plan then dropped.
     pub acks: AtomicU64,
+    /// Newly-dead ranks observed by [`CommWorld::detect_failures`] sweeps.
+    /// Lives here (not on the world) so the socket backend can ship the
+    /// count home after the workload has consumed its `CommWorld`.
+    /// Deliberately *not* part of [`CommStatsSnapshot`]: the nine-counter
+    /// wire codec and its exact-equality contracts are unchanged.
+    pub deaths_detected: AtomicU64,
+    /// Restart-from-checkpoint rejoins acknowledged at a protocol point.
+    pub rejoins: AtomicU64,
+    /// Wall-clock nanoseconds (UNIX epoch) of the first detection sweep
+    /// that demoted a rank; zero if no rank was ever demoted. First writer
+    /// wins, so on a shared in-process handle this is the cluster's
+    /// earliest detection.
+    pub first_detection_ns: AtomicU64,
 }
 
 impl CommStats {
@@ -137,6 +151,40 @@ impl CommStats {
     /// Snapshot of transmitted ack frames.
     pub fn ack_count(&self) -> u64 {
         self.acks.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of newly-dead ranks observed across detection sweeps.
+    pub fn deaths_detected_count(&self) -> u64 {
+        self.deaths_detected.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of checkpoint-restart rejoins.
+    pub fn rejoin_count(&self) -> u64 {
+        self.rejoins.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock UNIX nanoseconds of the earliest failure detection, if
+    /// any rank was ever demoted.
+    pub fn first_detection_ns(&self) -> Option<u64> {
+        match self.first_detection_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(ns),
+        }
+    }
+
+    /// Records the wall-clock instant of a detection sweep that demoted a
+    /// rank; only the first report sticks.
+    pub fn note_first_detection(&self) {
+        let ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1);
+        let _ = self.first_detection_ns.compare_exchange(
+            0,
+            ns.max(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
     }
 
     /// α-β modeled wall time of the recorded *logical* traffic on `p`
@@ -316,6 +364,10 @@ pub struct CommWorld {
     /// sweep confirms against the plan probe, so a transient loss cannot
     /// evict a healthy rank.
     suspected: BTreeSet<usize>,
+    /// Set when this rank's own death was simulated at a protocol point.
+    /// A killed rank must act dead: no done announcement, no end-of-run
+    /// drain, no straggler acks.
+    killed: bool,
 }
 
 impl CommWorld {
@@ -349,6 +401,7 @@ impl CommWorld {
             ack_idx: vec![0; size],
             view: ClusterView::all_alive(size),
             suspected: BTreeSet::new(),
+            killed: false,
         }
     }
 
@@ -523,6 +576,12 @@ impl CommWorld {
                         WireFrame::Data {
                             seq: s, payload, ..
                         } => self.handle_data(src, s, payload),
+                        // Heartbeats are consumed inside socket reader
+                        // threads; one reaching the protocol layer (the
+                        // in-process backend has no such filter) is simply
+                        // fresh evidence of life, which membership already
+                        // gets from the frame itself.
+                        WireFrame::Heartbeat { .. } => {}
                     }
                 }
                 RecvOutcome::Idle => continue,
@@ -578,6 +637,7 @@ impl CommWorld {
         match frame {
             WireFrame::Data { seq, payload, .. } => self.handle_data(src, seq, payload),
             WireFrame::Ack { .. } => {} // stale: nobody is waiting on it anymore
+            WireFrame::Heartbeat { .. } => {} // liveness noise, not protocol
         }
     }
 
@@ -640,7 +700,9 @@ impl CommWorld {
     /// mid-run, so they cannot be the counting rank).
     fn count_round(&self) {
         let lowest_live = (0..self.size)
-            .find(|&r| !self.plan.is_crashed(r) && !self.plan.deserts(r))
+            .find(|&r| {
+                !self.plan.is_crashed(r) && !self.plan.deserts(r) && !self.plan.killed_for_good(r)
+            })
             .unwrap_or(0);
         if self.rank == lowest_live {
             self.stats.collective_rounds.fetch_add(1, Ordering::Relaxed);
@@ -727,25 +789,82 @@ impl CommWorld {
         self.suspected.iter().copied()
     }
 
-    /// Detection sweep: confirms the dead set against the fault plan — the
-    /// simulator's stand-in for an out-of-band health probe — and bumps the
-    /// view epoch iff membership changed. Returns whether it did.
+    /// Detection sweep: unions the fault plan's ground truth (the
+    /// simulator's stand-in for an out-of-band health probe) with the
+    /// transport's *observed* evidence — hard socket failures and overdue
+    /// heartbeats from the [`crate::transport::liveness::LivenessBoard`] —
+    /// and bumps the view epoch iff membership changed. Returns whether it
+    /// did.
     ///
-    /// Because the probe depends only on the plan (not on which
-    /// [`CommError`]s this particular rank happened to observe), every
-    /// survivor of a given seed converges on the same sequence of views and
-    /// epochs regardless of thread interleaving. Suspicions are cleared:
-    /// each was either confirmed by the probe or exonerated as transient
-    /// loss.
+    /// Planned deaths appear in both sources, so every survivor of a given
+    /// seed converges on the same sequence of views and epochs on every
+    /// backend regardless of thread interleaving; *unplanned* deaths (a
+    /// child that aborts with no plan entry) are covered by the evidence
+    /// term alone. The union is re-anchored on the current view's dead set
+    /// so a rescinded pure-silence suspicion can never resurrect a rank.
+    /// Suspicions are cleared: each was either confirmed or exonerated as
+    /// transient loss.
     pub fn detect_failures(&mut self) -> bool {
-        let dead = self.plan.doomed_ranks(self.size);
+        let mut dead = self.plan.doomed_ranks(self.size);
+        dead.extend(
+            self.transport
+                .confirmed_dead()
+                .into_iter()
+                .filter(|&r| r < self.size && r != self.rank),
+        );
+        dead.extend(self.view.dead_ranks());
         self.suspected.clear();
+        let before = self.size - self.view.live_count();
         let changed = self.view.observe_dead(dead);
         if changed {
+            let newly_dead = (self.size - self.view.live_count() - before) as u64;
+            self.stats
+                .deaths_detected
+                .fetch_add(newly_dead, Ordering::Relaxed);
+            self.stats.note_first_detection();
+            obs::LIVENESS_DEATHS_DETECTED.add(newly_dead);
             // Spans this rank records from here on carry the new epoch.
             lcc_obs::set_epoch(self.view.epoch());
         }
         changed
+    }
+
+    /// Crosses seeded protocol point `idx` — the coordinates at which the
+    /// kill-chaos machinery strikes. Workloads place these between
+    /// checkpointed phases; on a backend with real kills the call is a
+    /// coordinator rendezvous that may never return (SIGKILL), while the
+    /// in-process injector replays the same death as
+    /// [`CommError::Killed`]. A workload receiving `Killed` must stop
+    /// participating, exactly like a deserter (return no result; peers
+    /// detect and recover).
+    pub fn protocol_point(&mut self, idx: u64) -> Result<(), CommError> {
+        match self.transport.protocol_point(idx) {
+            Ok(PointOutcome::Proceed) => Ok(()),
+            Ok(PointOutcome::Rejoined) => {
+                self.stats.rejoins.fetch_add(1, Ordering::Relaxed);
+                obs::LIVENESS_REJOINS.incr();
+                Ok(())
+            }
+            Err(e) => {
+                if matches!(e, CommError::Killed { .. }) {
+                    self.killed = true;
+                    self.transport.depart();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// This rank's liveness counters: the protocol-level pair accounted on
+    /// the shared [`CommStats`] handle (`deaths_detected`, `rejoins` —
+    /// cluster totals on an in-process run, per-process on the socket
+    /// backend) merged with the transport detector's own (heartbeats,
+    /// evidence, suspicions).
+    pub fn liveness_stats(&self) -> LivenessStats {
+        let mut out = self.transport.liveness_stats();
+        out.deaths_detected += self.stats.deaths_detected_count();
+        out.rejoins += self.stats.rejoin_count();
+        out
     }
 
     /// Sends `payload` framed with this rank's current view epoch. Used by
@@ -901,7 +1020,27 @@ impl CommWorld {
                     continue 'epoch;
                 }
                 match failure {
-                    None => return Ok((slots, epoch)),
+                    None => {
+                        // All receives landed, but a peer can be live yet
+                        // unsent: its send failed transiently and nothing
+                        // since forced a retry. Returning now would starve
+                        // that peer (it still waits on our frame), so the
+                        // exchange only converges once every live slot was
+                        // both sent and received.
+                        match (0..self.size).find(|&t| !sent[t] && self.view.is_alive(t)) {
+                            None => return Ok((slots, epoch)),
+                            Some(starved) => {
+                                fruitless += 1;
+                                if fruitless >= self.size {
+                                    return Err(CommError::Timeout {
+                                        op: "converged_send",
+                                        rank: self.rank,
+                                        waiting_on: starved,
+                                    });
+                                }
+                            }
+                        }
+                    }
                     Some(e) => {
                         fruitless += 1;
                         if fruitless >= self.size {
@@ -933,8 +1072,17 @@ impl Drop for CommWorld {
     /// peer still blocked on an ack and (b) makes `duplicates_suppressed`
     /// count *every* delivered redundant frame, keeping the counter an
     /// exact function of the fault seed rather than of thread timing.
+    ///
+    /// The drain runs even with an inactive fault plan: on the socket
+    /// backend, dropping the world closes real sockets, and an early EOF
+    /// is indistinguishable from death to a peer still mid-exchange —
+    /// every rank must hold its mesh open until `ALL_DONE` so normal
+    /// completion never masquerades as failure.
     fn drop(&mut self) {
-        if !self.plan.is_active() || self.plan.is_crashed(self.rank) {
+        if self.plan.is_crashed(self.rank) || self.killed {
+            // A killed rank already departed the rendezvous and must act
+            // dead: announcing done or acking stragglers here would be
+            // traffic from beyond the grave.
             return;
         }
         self.transport.announce_done();

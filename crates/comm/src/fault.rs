@@ -13,7 +13,7 @@
 //! attempts, backoff pacing, and the timeouts that turn would-be deadlocks
 //! into typed [`CommError`]s).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Duration;
 
@@ -59,6 +59,30 @@ pub enum CommError {
         peer: usize,
         /// Human-readable description of the underlying I/O failure.
         detail: String,
+    },
+    /// This rank was killed by the fault plan at a protocol point (the
+    /// in-process replay of a real SIGKILL on the socket backend). The
+    /// workload should stop participating exactly as a deserter would;
+    /// on the socket backend the process is dead before this value could
+    /// ever be observed.
+    Killed {
+        /// The rank that died.
+        rank: usize,
+        /// The protocol point (see
+        /// [`crate::cluster::CommWorld::protocol_point`]) at which it died.
+        point: u64,
+    },
+    /// A spawned rank process died before reporting a result (socket
+    /// backend): the coordinator reaped it without ever seeing its RESULT
+    /// frame. Exactly one of `code` / `signal` is populated — a clean
+    /// `exit(0)` without a result still lands here as `code: Some(0)`.
+    ChildExited {
+        /// The dead child's rank.
+        rank: usize,
+        /// Exit code, when the child exited on its own.
+        code: Option<i32>,
+        /// Signal number, when the child was killed by a signal.
+        signal: Option<i32>,
     },
     /// An epoch-tagged frame arrived from a *newer* membership epoch than
     /// this rank's [`crate::membership::ClusterView`]: the peer has observed
@@ -125,6 +149,24 @@ impl fmt::Display for CommError {
                     )
                 }
             }
+            CommError::Killed { rank, point } => {
+                write!(f, "rank {rank}: killed at protocol point {point}")
+            }
+            CommError::ChildExited { rank, code, signal } => match (code, signal) {
+                (_, Some(sig)) => {
+                    write!(
+                        f,
+                        "rank {rank}: child killed by signal {sig} before reporting"
+                    )
+                }
+                (Some(c), None) => {
+                    write!(
+                        f,
+                        "rank {rank}: child exited with code {c} before reporting"
+                    )
+                }
+                (None, None) => write!(f, "rank {rank}: child died before reporting"),
+            },
             CommError::EpochMismatch {
                 rank,
                 peer,
@@ -150,6 +192,10 @@ impl CommError {
                 (*waiting_on != usize::MAX).then_some(*waiting_on)
             }
             CommError::Transport { peer, .. } => (*peer != usize::MAX).then_some(*peer),
+            // A rank's own death implicates nobody else.
+            CommError::Killed { .. } => None,
+            // The dead child *is* the implicated party.
+            CommError::ChildExited { rank, .. } => Some(*rank),
             CommError::PeerCrashed { peer, .. }
             | CommError::RetriesExhausted { peer, .. }
             | CommError::Disbanded { peer, .. }
@@ -208,6 +254,19 @@ pub struct FaultPlan {
     /// *detect* the death and re-converge
     /// (see [`crate::cluster::CommWorld::detect_failures`]).
     pub desert_ranks: BTreeSet<usize>,
+    /// Ranks killed *mid-run* at a numbered protocol point (rank →
+    /// point). On the socket backend the coordinator SIGKILLs the victim's
+    /// real process exactly when it reaches
+    /// [`crate::cluster::CommWorld::protocol_point`] with that index; the
+    /// in-process backend replays the same death deterministically through
+    /// the kill injector in [`crate::transport::fault::FaultTransport`].
+    pub kill_points: BTreeMap<usize, u64>,
+    /// When `true`, killed ranks come back: the socket coordinator
+    /// respawns the victim from its latest `lcc_massif` checkpoint under a
+    /// REJOIN handshake, and the in-process injector replays the restart as
+    /// a no-op death (the thread's state *is* the checkpoint). When
+    /// `false`, victims stay dead and survivors must detect and recover.
+    pub kill_restart: bool,
 }
 
 impl Default for FaultPlan {
@@ -228,6 +287,8 @@ impl FaultPlan {
             delay_unit: Duration::from_micros(100),
             crashed_ranks: BTreeSet::new(),
             desert_ranks: BTreeSet::new(),
+            kill_points: BTreeMap::new(),
+            kill_restart: false,
         }
     }
 
@@ -277,6 +338,20 @@ impl FaultPlan {
         self
     }
 
+    /// Kills `rank` when it reaches protocol point `point`. Pair with
+    /// [`FaultPlan::with_restart`] to have the supervisor respawn it.
+    pub fn with_kill(mut self, rank: usize, point: u64) -> Self {
+        self.kill_points.insert(rank, point);
+        self
+    }
+
+    /// Makes killed ranks restart from their latest checkpoint instead of
+    /// staying dead.
+    pub fn with_restart(mut self) -> Self {
+        self.kill_restart = true;
+        self
+    }
+
     /// Whether any perturbation is configured. Inert plans skip the
     /// reliability protocol entirely.
     pub fn is_active(&self) -> bool {
@@ -286,6 +361,20 @@ impl FaultPlan {
             || self.delay_steps > 0
             || !self.crashed_ranks.is_empty()
             || !self.desert_ranks.is_empty()
+            || !self.kill_points.is_empty()
+    }
+
+    /// The protocol point at which `rank` is killed, if any.
+    pub fn kill_point(&self, rank: usize) -> Option<u64> {
+        self.kill_points.get(&rank).copied()
+    }
+
+    /// Whether `rank` is killed mid-run *and never comes back* — the kills
+    /// that a health probe must eventually report as dead. Restarted
+    /// victims rejoin before any exchange completes, so they are not
+    /// doomed.
+    pub fn killed_for_good(&self, rank: usize) -> bool {
+        !self.kill_restart && self.kill_points.contains_key(&rank)
     }
 
     /// Whether `rank` is crashed in this plan.
@@ -308,6 +397,11 @@ impl FaultPlan {
         self.crashed_ranks
             .iter()
             .chain(self.desert_ranks.iter())
+            .chain(
+                self.kill_points
+                    .keys()
+                    .filter(|&&r| self.killed_for_good(r)),
+            )
             .copied()
             .filter(|&r| r < p)
             .collect()
@@ -381,8 +475,14 @@ impl FaultPlan {
                 .collect::<Vec<_>>()
                 .join(",")
         };
+        let kills = self
+            .kill_points
+            .iter()
+            .map(|(r, pt)| format!("{r}:{pt}"))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "seed={};drop={:016x};dup={:016x};ackdrop={:016x};delay_steps={};delay_unit_ns={};crashed={};desert={}",
+            "seed={};drop={:016x};dup={:016x};ackdrop={:016x};delay_steps={};delay_unit_ns={};crashed={};desert={};kills={};kill_restart={}",
             self.seed,
             self.drop_prob.to_bits(),
             self.duplicate_prob.to_bits(),
@@ -391,6 +491,8 @@ impl FaultPlan {
             self.delay_unit.as_nanos(),
             ranks(&self.crashed_ranks),
             ranks(&self.desert_ranks),
+            kills,
+            self.kill_restart as u8,
         )
     }
 
@@ -426,6 +528,17 @@ impl FaultPlan {
                 "desert" => {
                     plan.desert_ranks = parse_ranks(value).ok_or_else(|| env_err("plan", part))?
                 }
+                "kills" => {
+                    plan.kill_points =
+                        parse_kill_points(value).ok_or_else(|| env_err("plan", part))?
+                }
+                "kill_restart" => {
+                    plan.kill_restart = match value {
+                        "0" => false,
+                        "1" => true,
+                        _ => return Err(env_err("plan", part)),
+                    }
+                }
                 _ => return Err(env_err("plan", part)),
             }
         }
@@ -454,6 +567,18 @@ fn parse_ranks(s: &str) -> Option<BTreeSet<usize>> {
         return Some(BTreeSet::new());
     }
     s.split(',').map(|r| r.parse().ok()).collect()
+}
+
+fn parse_kill_points(s: &str) -> Option<BTreeMap<usize, u64>> {
+    if s.is_empty() {
+        return Some(BTreeMap::new());
+    }
+    s.split(',')
+        .map(|entry| {
+            let (rank, point) = entry.split_once(':')?;
+            Some((rank.parse().ok()?, point.parse().ok()?))
+        })
+        .collect()
 }
 
 /// Bounds on the reliability machinery: how hard to retry and how long to
@@ -521,6 +646,31 @@ impl RetryPolicy {
             ..d
         }
     }
+    /// The socket coordinator's patience for one control-protocol phase
+    /// (HELLO gather, barrier round, result gather): every child-side
+    /// blocking wait is bounded by `recv/barrier/drain` timeouts, so a
+    /// phase that outlives three times their sum means a child is dead or
+    /// wedged, not slow. Replaces the old hard-coded 180 s constant;
+    /// equals 210 s at the default policy and scales with
+    /// [`RetryPolicy::scaled_for`].
+    pub fn coordinator_deadline(&self) -> Duration {
+        (self.recv_timeout + self.barrier_timeout + self.drain_timeout) * 3
+    }
+
+    /// How long a peer may stay silent (no data, ack, *or* heartbeat)
+    /// before the liveness layer suspects it: comfortably above the
+    /// heartbeat period but below `recv_timeout`, so a genuinely dead peer
+    /// is demoted before any protocol wait fires.
+    pub fn suspicion_timeout(&self) -> Duration {
+        self.recv_timeout / 2
+    }
+
+    /// Heartbeat transmit period for backends with real silence (an eighth
+    /// of the suspicion window, so ~8 beats must vanish before suspicion).
+    pub fn heartbeat_period(&self) -> Duration {
+        self.suspicion_timeout() / 8
+    }
+
     /// Backoff pause before transmission `attempt` (attempt 0 pays none).
     pub fn backoff(&self, attempt: u32) -> Duration {
         if attempt == 0 {
@@ -644,6 +794,46 @@ mod tests {
         assert_eq!(doomed, vec![1, 3]);
         // Out-of-range ranks are excluded from the probe.
         assert_eq!(plan.doomed_ranks(1).len(), 0);
+    }
+
+    #[test]
+    fn kill_plan_bookkeeping_and_codec() {
+        let plan = FaultPlan::new(9).with_kill(2, 3).with_kill(0, 1);
+        assert!(plan.is_active());
+        assert_eq!(plan.kill_point(2), Some(3));
+        assert_eq!(plan.kill_point(1), None);
+        assert!(plan.killed_for_good(2));
+        // Without restart, kill victims are doomed; deserters still are.
+        let doomed: Vec<usize> = plan.doomed_ranks(4).into_iter().collect();
+        assert_eq!(doomed, vec![0, 2]);
+        // With restart, victims rejoin before the exchange: not doomed.
+        let plan = plan.with_restart();
+        assert!(!plan.killed_for_good(2));
+        assert!(plan.doomed_ranks(4).is_empty());
+        // The env codec must round-trip the kill schedule bit-exactly.
+        let back = FaultPlan::from_env_string(&plan.to_env_string()).unwrap();
+        assert_eq!(back, plan);
+        let inert = FaultPlan::from_env_string(&FaultPlan::none().to_env_string()).unwrap();
+        assert_eq!(inert, FaultPlan::none());
+        assert!(FaultPlan::from_env_string("kills=1:").is_err());
+        assert!(FaultPlan::from_env_string("kill_restart=2").is_err());
+    }
+
+    #[test]
+    fn coordinator_deadline_and_liveness_windows() {
+        let d = RetryPolicy::default();
+        // No lower than the 180 s constant it replaces.
+        assert!(d.coordinator_deadline() >= Duration::from_secs(180));
+        assert!(d.suspicion_timeout() < d.recv_timeout);
+        assert!(d.heartbeat_period() * 4 < d.suspicion_timeout());
+        // Windows scale with the cluster like every other deadline.
+        assert!(
+            RetryPolicy::scaled_for(64).suspicion_timeout()
+                > RetryPolicy::scaled_for(2).suspicion_timeout()
+        );
+        let e = CommError::Killed { rank: 3, point: 2 };
+        assert_eq!(e.implicated_peer(), None);
+        assert!(e.to_string().contains("point 2"));
     }
 
     #[test]

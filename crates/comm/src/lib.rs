@@ -54,4 +54,5 @@ pub use membership::ClusterView;
 pub use model::{lowcomm_volume, traditional_conv_volume, AlphaBeta, CommScenario};
 pub use pencil_fft::{grid_coords, pencil_forward_3d, pencil_inverse_3d, sub_alltoall};
 pub use transport::fault::{FaultEvent, FaultEventLog, FaultTransport};
-pub use transport::{RecvOutcome, Transport};
+pub use transport::liveness::{LivenessBoard, LivenessStats};
+pub use transport::{PointOutcome, RecvOutcome, Transport};

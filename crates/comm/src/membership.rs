@@ -125,4 +125,82 @@ mod tests {
         assert_eq!(v.epoch(), 2);
         assert_eq!(v.live_count(), 2);
     }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Folds raw (possibly duplicate, possibly out-of-range) failure
+        /// reports into the cumulative dead sets a detection sweep would
+        /// feed the view.
+        fn cumulative(size: usize, reports: &[Vec<usize>]) -> Vec<BTreeSet<usize>> {
+            let mut cum = BTreeSet::new();
+            reports
+                .iter()
+                .map(|r| {
+                    cum.extend(r.iter().copied().filter(|&x| x < size));
+                    cum.clone()
+                })
+                .collect()
+        }
+
+        proptest! {
+            /// The epoch counts exactly the strict growths of the dead
+            /// set — duplicate reports never bump it — and the view's
+            /// partition invariants hold after every transition.
+            #[test]
+            fn epoch_counts_exactly_the_strict_growths(
+                size in 1usize..9,
+                reports in proptest::collection::vec(
+                    proptest::collection::vec(0usize..8, 0..4),
+                    0..12,
+                ),
+            ) {
+                let mut v = ClusterView::all_alive(size);
+                let mut growths = 0u64;
+                let mut prev = 0usize;
+                for dead in cumulative(size, &reports) {
+                    let grew = dead.len() > prev;
+                    prev = dead.len();
+                    prop_assert_eq!(v.observe_dead(dead.clone()), grew);
+                    if grew {
+                        growths += 1;
+                    }
+                    prop_assert_eq!(v.epoch(), growths);
+                    prop_assert_eq!(v.live_count(), size - dead.len());
+                    prop_assert!(dead.iter().all(|&r| !v.is_alive(r)));
+                    prop_assert!(v.live_ranks().iter().all(|&r| v.is_alive(r)));
+                    prop_assert_eq!(v.dead_ranks().collect::<BTreeSet<_>>(), dead);
+                }
+                // Each growth buries at least one rank, so the epoch is
+                // bounded by the rank count no matter how noisy the
+                // report stream was.
+                prop_assert!(v.epoch() <= size as u64);
+            }
+
+            /// Re-delivering every cumulative report an arbitrary number
+            /// of extra times — the concurrent-detection interleaving,
+            /// where several sweeps observe the same ground truth — lands
+            /// on a view identical to the duplicate-free run.
+            #[test]
+            fn duplicated_report_streams_converge_to_the_same_view(
+                size in 1usize..9,
+                reports in proptest::collection::vec(
+                    proptest::collection::vec(0usize..8, 0..4),
+                    0..8,
+                ),
+                dups in proptest::collection::vec(1usize..4, 8usize),
+            ) {
+                let mut once = ClusterView::all_alive(size);
+                let mut noisy = ClusterView::all_alive(size);
+                for (i, dead) in cumulative(size, &reports).into_iter().enumerate() {
+                    once.observe_dead(dead.clone());
+                    for _ in 0..dups[i % dups.len()] {
+                        noisy.observe_dead(dead.clone());
+                    }
+                }
+                prop_assert_eq!(once, noisy);
+            }
+        }
+    }
 }

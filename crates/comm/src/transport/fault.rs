@@ -21,8 +21,11 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use std::collections::BTreeSet;
+
 use super::frame::{decode_view, WireFrameView};
-use super::{RecvOutcome, Transport};
+use super::liveness::LivenessStats;
+use super::{PointOutcome, RecvOutcome, Transport};
 use crate::fault::{CommError, FaultPlan};
 
 /// One injected fault, identified by its wire coordinates.
@@ -203,6 +206,9 @@ impl<T: Transport> Transport for FaultTransport<T> {
                 }
                 self.inner.send_frame(to, frame)
             }
+            // Heartbeats sit below the reliability protocol; perturbing
+            // them would inject *detector* noise, not protocol faults.
+            Ok(WireFrameView::Heartbeat { .. }) => self.inner.send_frame(to, frame),
             // Not a protocol frame this decorator understands: pass it
             // through untouched rather than guess at fault coordinates.
             Err(_) => self.inner.send_frame(to, frame),
@@ -227,6 +233,46 @@ impl<T: Transport> Transport for FaultTransport<T> {
 
     fn all_done(&self) -> bool {
         self.inner.all_done()
+    }
+
+    /// The kill injector. When the backend carries out plan deaths itself
+    /// (socket: the coordinator SIGKILLs at the gate), the decorator stays
+    /// out of the way; otherwise it replays the identical schedule
+    /// in-process — a restarting victim crosses the point as
+    /// [`PointOutcome::Rejoined`] (its thread state *is* the checkpoint it
+    /// would reload), a permanent victim dies here with
+    /// [`CommError::Killed`].
+    fn protocol_point(&mut self, idx: u64) -> Result<PointOutcome, CommError> {
+        if self.inner.kills_are_real() {
+            return self.inner.protocol_point(idx);
+        }
+        let rank = self.inner.rank();
+        match self.plan.kill_point(rank) {
+            Some(point) if point == idx => {
+                if self.plan.kill_restart {
+                    Ok(PointOutcome::Rejoined)
+                } else {
+                    Err(CommError::Killed { rank, point })
+                }
+            }
+            _ => self.inner.protocol_point(idx),
+        }
+    }
+
+    fn kills_are_real(&self) -> bool {
+        self.inner.kills_are_real()
+    }
+
+    fn confirmed_dead(&self) -> BTreeSet<usize> {
+        self.inner.confirmed_dead()
+    }
+
+    fn depart(&mut self) {
+        self.inner.depart()
+    }
+
+    fn liveness_stats(&self) -> LivenessStats {
+        self.inner.liveness_stats()
     }
 }
 
@@ -305,6 +351,31 @@ mod tests {
                 k: 0
             }]
         );
+    }
+
+    #[test]
+    fn kill_injector_replays_the_schedule() {
+        let plan = FaultPlan::new(5).with_kill(0, 2);
+        let (mut tx, _rx) = pair(plan.clone(), FaultEventLog::new());
+        assert_eq!(tx.protocol_point(0).unwrap(), PointOutcome::Proceed);
+        assert_eq!(tx.protocol_point(1).unwrap(), PointOutcome::Proceed);
+        assert_eq!(
+            tx.protocol_point(2).unwrap_err(),
+            CommError::Killed { rank: 0, point: 2 }
+        );
+        // With restart, the same point is a rejoin instead of a death.
+        let (mut tx, _rx) = pair(plan.with_restart(), FaultEventLog::new());
+        assert_eq!(tx.protocol_point(2).unwrap(), PointOutcome::Rejoined);
+        // Heartbeats pass through undecorated even under certain drop.
+        let log = FaultEventLog::new();
+        let (mut tx, mut rx) = pair(FaultPlan::new(1).with_drop(1.0), log.clone());
+        tx.send_frame(1, super::super::frame::encode_heartbeat(4))
+            .unwrap();
+        assert!(matches!(
+            rx.recv_frame(Duration::from_secs(1)).unwrap(),
+            RecvOutcome::Frame(0, _)
+        ));
+        assert!(log.is_empty());
     }
 
     #[test]

@@ -29,11 +29,19 @@ use crate::fault::CommError;
 pub const KIND_DATA: u8 = 0x01;
 /// Frame kind tag for acknowledgements.
 pub const KIND_ACK: u8 = 0x02;
+/// Frame kind tag for liveness heartbeats. Heartbeats live *below* the
+/// reliability protocol: backends with real silence (sockets) emit them on
+/// a timer and consume them in their reader threads — they are never
+/// sequenced, acked, fault-decorated, or surfaced to [`super::Transport`]
+/// consumers.
+pub const KIND_HEARTBEAT: u8 = 0x03;
 
 /// Bytes of a data frame header: kind, `u64` seq, `u32` attempt.
 pub const DATA_HEADER: usize = 1 + 8 + 4;
 /// Exact byte length of an ack frame: kind, `u64` seq, `u64` ack index.
 pub const ACK_FRAME_LEN: usize = 1 + 8 + 8;
+/// Exact byte length of a heartbeat frame: kind, `u64` beat counter.
+pub const HEARTBEAT_FRAME_LEN: usize = 1 + 8;
 /// Byte length of the epoch header prepended to collective payloads.
 pub const EPOCH_HEADER: usize = 8;
 
@@ -56,6 +64,8 @@ pub enum WireFrame {
     /// delivered-frame index for the in-flight sequence (the coordinate
     /// the fault plan keys ack drops on).
     Ack { seq: u64, k: u64 },
+    /// A liveness beat; `beat` is the sender's monotone beat counter.
+    Heartbeat { beat: u64 },
 }
 
 /// A decoded protocol frame borrowing its payload — used on the send path
@@ -70,6 +80,9 @@ pub enum WireFrameView<'a> {
     Ack {
         seq: u64,
         k: u64,
+    },
+    Heartbeat {
+        beat: u64,
     },
 }
 
@@ -151,6 +164,14 @@ pub fn encode_ack(seq: u64, k: u64) -> Vec<u8> {
     buf
 }
 
+/// Encodes a heartbeat frame.
+pub fn encode_heartbeat(beat: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEARTBEAT_FRAME_LEN);
+    buf.push(KIND_HEARTBEAT);
+    buf.extend_from_slice(&beat.to_le_bytes());
+    buf
+}
+
 /// Decodes a frame without copying the payload.
 pub fn decode_view(frame: &[u8]) -> Result<WireFrameView<'_>, FrameDecodeError> {
     let Some(&kind) = frame.first() else {
@@ -185,6 +206,17 @@ pub fn decode_view(frame: &[u8]) -> Result<WireFrameView<'_>, FrameDecodeError> 
                 k: read_u64(frame, 9),
             })
         }
+        KIND_HEARTBEAT => {
+            if frame.len() != HEARTBEAT_FRAME_LEN {
+                return Err(FrameDecodeError {
+                    len: frame.len(),
+                    expected: HEARTBEAT_FRAME_LEN,
+                });
+            }
+            Ok(WireFrameView::Heartbeat {
+                beat: read_u64(frame, 1),
+            })
+        }
         _ => Err(FrameDecodeError {
             len: frame.len(),
             expected: 1,
@@ -205,6 +237,7 @@ pub fn decode_owned(mut frame: Vec<u8>) -> Result<WireFrame, FrameDecodeError> {
             })
         }
         WireFrameView::Ack { seq, k } => Ok(WireFrame::Ack { seq, k }),
+        WireFrameView::Heartbeat { beat } => Ok(WireFrame::Heartbeat { beat }),
     }
 }
 
@@ -262,6 +295,26 @@ mod tests {
         assert_eq!(
             decode_owned(bytes).unwrap(),
             WireFrame::Ack { seq: 7, k: 2 }
+        );
+    }
+
+    #[test]
+    fn heartbeat_round_trip() {
+        let bytes = encode_heartbeat(11);
+        assert_eq!(bytes.len(), HEARTBEAT_FRAME_LEN);
+        assert_eq!(
+            decode_owned(bytes).unwrap(),
+            WireFrame::Heartbeat { beat: 11 }
+        );
+        // Heartbeats are fixed-length: trailing garbage is corruption.
+        let mut beat = encode_heartbeat(0);
+        beat.push(0);
+        assert_eq!(
+            decode_view(&beat).unwrap_err(),
+            FrameDecodeError {
+                len: HEARTBEAT_FRAME_LEN + 1,
+                expected: HEARTBEAT_FRAME_LEN
+            }
         );
     }
 

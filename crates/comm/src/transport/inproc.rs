@@ -22,27 +22,40 @@ type Packet = (usize, Vec<u8>);
 /// timeout so a rank missing the rendezvous surfaces an error instead of
 /// hanging the cluster. (`std::sync::Barrier` has no timed wait.)
 struct SimBarrier {
-    n: usize,
-    state: Mutex<(usize, u64)>,
+    /// `(arrived, generation, attendance)` — attendance shrinks when a
+    /// mid-run kill removes a rank from the rendezvous for good.
+    state: Mutex<(usize, u64, usize)>,
     cv: Condvar,
 }
 
 impl SimBarrier {
     fn new(n: usize) -> Self {
         SimBarrier {
-            n,
-            state: Mutex::new((0, 0)),
+            state: Mutex::new((0, 0, n)),
             cv: Condvar::new(),
         }
     }
 
-    /// Returns true if all `n` ranks arrived within `timeout`. On timeout
-    /// this rank withdraws its arrival so the barrier stays usable.
+    /// Permanently removes one rank from the expected attendance. If the
+    /// departure completes a generation already in progress, waiters are
+    /// released.
+    fn leave(&self) {
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        guard.2 = guard.2.saturating_sub(1);
+        if guard.2 > 0 && guard.0 >= guard.2 {
+            guard.0 = 0;
+            guard.1 += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Returns true if the full attendance arrived within `timeout`. On
+    /// timeout this rank withdraws its arrival so the barrier stays usable.
     fn wait(&self, timeout: Duration) -> bool {
         let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let generation = guard.1;
         guard.0 += 1;
-        if guard.0 == self.n {
+        if guard.0 == guard.2 {
             guard.0 = 0;
             guard.1 += 1;
             self.cv.notify_all();
@@ -74,7 +87,10 @@ pub struct InProcTransport {
     barrier: Arc<SimBarrier>,
     /// Ranks (out of the live ones) whose run closure has returned.
     done: Arc<AtomicUsize>,
-    live: usize,
+    /// How many done announcements complete the run. Starts at the live
+    /// count and shrinks when a rank departs (a mid-run kill): a dead rank
+    /// will never announce, and survivors' drains must not wait for it.
+    done_target: Arc<AtomicUsize>,
 }
 
 /// Builds a fully-connected `p`-rank in-process fabric whose barrier and
@@ -85,6 +101,7 @@ pub fn fabric(p: usize, live: usize) -> Vec<InProcTransport> {
     assert!(live >= 1 && live <= p, "live must be in 1..=p");
     let barrier = Arc::new(SimBarrier::new(live));
     let done = Arc::new(AtomicUsize::new(0));
+    let done_target = Arc::new(AtomicUsize::new(live));
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
     for _ in 0..p {
@@ -102,7 +119,7 @@ pub fn fabric(p: usize, live: usize) -> Vec<InProcTransport> {
             receiver,
             barrier: barrier.clone(),
             done: done.clone(),
-            live,
+            done_target: done_target.clone(),
         })
         .collect()
 }
@@ -150,7 +167,12 @@ impl Transport for InProcTransport {
     }
 
     fn all_done(&self) -> bool {
-        self.done.load(Ordering::SeqCst) >= self.live
+        self.done.load(Ordering::SeqCst) >= self.done_target.load(Ordering::SeqCst)
+    }
+
+    fn depart(&mut self) {
+        self.done_target.fetch_sub(1, Ordering::SeqCst);
+        self.barrier.leave();
     }
 }
 
@@ -206,5 +228,37 @@ mod tests {
         let mut eps = fabric(2, 2);
         let ok = eps[0].barrier(Duration::from_millis(20)).unwrap();
         assert!(!ok, "lone arrival must time out");
+    }
+
+    #[test]
+    fn departed_ranks_leave_the_rendezvous() {
+        let mut eps = fabric(3, 3);
+        let mut dead = eps.pop().unwrap();
+        dead.depart();
+        // Done-target shrank: the two survivors complete the drain alone.
+        eps[0].announce_done();
+        eps[1].announce_done();
+        assert!(eps[0].all_done());
+        // Barrier attendance shrank: survivors rendezvous without the
+        // departed rank.
+        let other = std::thread::spawn({
+            let mut t = eps.pop().unwrap();
+            move || t.barrier(Duration::from_secs(5)).unwrap()
+        });
+        assert!(eps[0].barrier(Duration::from_secs(5)).unwrap());
+        assert!(other.join().unwrap());
+    }
+
+    #[test]
+    fn departure_mid_generation_releases_waiters() {
+        let eps = fabric(2, 2);
+        let mut it = eps.into_iter();
+        let mut a = it.next().unwrap();
+        let mut b = it.next().unwrap();
+        let waiter = std::thread::spawn(move || a.barrier(Duration::from_secs(5)).unwrap());
+        // Give the waiter time to arrive, then depart: it must be released.
+        std::thread::sleep(Duration::from_millis(50));
+        b.depart();
+        assert!(waiter.join().unwrap());
     }
 }

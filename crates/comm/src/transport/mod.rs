@@ -34,12 +34,15 @@
 pub mod fault;
 pub mod frame;
 pub mod inproc;
+pub mod liveness;
 pub mod pool;
 pub mod socket;
 
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 use crate::fault::CommError;
+use liveness::LivenessStats;
 
 /// What a receive attempt produced.
 #[derive(Debug, PartialEq, Eq)]
@@ -51,6 +54,17 @@ pub enum RecvOutcome {
     Idle,
     /// Every peer endpoint is gone; nothing will ever arrive again.
     Closed,
+}
+
+/// What crossing a [`Transport::protocol_point`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointOutcome {
+    /// Carry on; nothing noteworthy happened at this point.
+    Proceed,
+    /// This rank is a kill victim that just restarted from its checkpoint
+    /// (the socket rejoiner's first gate; the in-process injector's
+    /// simulated restart, whose thread state *is* the checkpoint).
+    Rejoined,
 }
 
 /// A byte-frame mover connecting one rank to its peers.
@@ -90,4 +104,44 @@ pub trait Transport: Send {
 
     /// Whether every live rank has announced done.
     fn all_done(&self) -> bool;
+
+    /// Crosses numbered protocol point `idx` — the seeded coordinates at
+    /// which the kill-chaos machinery strikes. On the socket backend this
+    /// is a real rendezvous with the coordinator (which may SIGKILL this
+    /// very process instead of releasing it); on the in-process backend
+    /// the [`fault::FaultTransport`] decorator replays the same death as
+    /// [`CommError::Killed`]. The default is a free pass for backends (and
+    /// workloads) that don't play kill chaos.
+    fn protocol_point(&mut self, _idx: u64) -> Result<PointOutcome, CommError> {
+        Ok(PointOutcome::Proceed)
+    }
+
+    /// Whether deaths scheduled by a fault plan are carried out by the
+    /// backend itself (real SIGKILL of a real process) rather than
+    /// simulated by the fault decorator.
+    fn kills_are_real(&self) -> bool {
+        false
+    }
+
+    /// Peers this backend has *observed* to be dead — hard socket evidence
+    /// (EPIPE / ECONNRESET / reader EOF) or an overdue heartbeat, per the
+    /// [`liveness::LivenessBoard`]. Monotone. The membership sweep
+    /// ([`crate::cluster::CommWorld::detect_failures`]) unions this with
+    /// the fault plan's ground truth, so unplanned deaths are detected
+    /// from evidence alone.
+    fn confirmed_dead(&self) -> BTreeSet<usize> {
+        BTreeSet::new()
+    }
+
+    /// Withdraws this rank from the run's rendezvous state (barrier
+    /// attendance, done-target) because it died mid-run. Called once, by
+    /// the protocol layer, when this rank's own death is simulated; real
+    /// processes need no bookkeeping — their exit is the withdrawal.
+    fn depart(&mut self) {}
+
+    /// This backend's liveness-detector counters (all zero for backends
+    /// without real silence).
+    fn liveness_stats(&self) -> LivenessStats {
+        LivenessStats::default()
+    }
 }

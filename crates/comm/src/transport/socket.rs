@@ -32,20 +32,21 @@
 //! shared-atomics in-process run records — the property the conformance
 //! suite (`tests/transport_conformance.rs`) asserts as exact equality.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use super::fault::FaultTransport;
-use super::frame::MAX_FRAME_LEN;
+use super::frame::{self, MAX_FRAME_LEN};
+use super::liveness::{LivenessBoard, LivenessStats, LIVENESS_STATS_LEN};
 use super::pool::BufferPool;
-use super::{RecvOutcome, Transport};
+use super::{PointOutcome, RecvOutcome, Transport};
 use crate::cluster::{CommStats, CommStatsSnapshot, CommWorld};
 use crate::fault::{CommError, FaultPlan, RetryPolicy};
 
@@ -62,12 +63,17 @@ const CTL_BARRIER_RELEASE: u8 = 0x13;
 const CTL_DONE: u8 = 0x14;
 const CTL_ALL_DONE: u8 = 0x15;
 const CTL_RESULT: u8 = 0x16;
-
-/// Hard ceiling on how long the coordinator waits for children to report.
-const COORDINATOR_DEADLINE: Duration = Duration::from_secs(180);
+/// Child → coordinator: "I reached protocol point `idx`" (gate entry).
+const CTL_POINT: u8 = 0x17;
+/// Coordinator → child: released from the gate it is parked at.
+const CTL_PROCEED: u8 = 0x18;
+/// Coordinator → survivors: "rank `r` restarted at `addr`; reconnect".
+const CTL_REJOIN: u8 = 0x19;
 
 /// Environment variable marking a process as a socket-cluster child.
 pub const CHILD_ENV: &str = "LCC_SOCKET_CHILD";
+/// Environment variable marking a child as a checkpoint-restarted rank.
+pub const REJOIN_ENV: &str = "LCC_SOCKET_REJOIN";
 
 /// Address family for the data mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +118,14 @@ impl Conn {
             Conn::Unix(s) => s.try_clone().map(Conn::Unix),
             #[cfg(feature = "tcp")]
             Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(t),
+            #[cfg(feature = "tcp")]
+            Conn::Tcp(s) => s.set_read_timeout(t),
         }
     }
 }
@@ -160,6 +174,9 @@ impl MeshListener {
         match family {
             SocketFamily::Uds => {
                 let path = dir.join(format!("data-{rank}.sock"));
+                // A checkpoint-restarted rank rebinds the same path its dead
+                // predecessor left behind; unlinking is a no-op otherwise.
+                let _ = std::fs::remove_file(&path);
                 let listener = UnixListener::bind(&path)?;
                 Ok((
                     MeshListener::Unix(listener),
@@ -258,25 +275,54 @@ fn read_frame(conn: &mut Conn) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// A gate event forwarded to a rank parked at a protocol point.
+enum PointMsg {
+    /// Released from the gate.
+    Proceed,
+    /// A restarted rank is rejoining; reconnect before proceeding.
+    Rejoin { rank: usize, addr: String },
+}
+
 /// One rank's endpoint over the socket mesh.
 pub struct SocketTransport {
     rank: usize,
     size: usize,
     /// Outgoing data connections, indexed by peer (None for self, crashed
     /// peers, and — on the acceptor side before the mesh is up — unmet
-    /// peers).
-    writers: Vec<Option<Conn>>,
+    /// peers). Shared with the heartbeat thread, which is why the vector
+    /// sits behind a mutex: a heartbeat must never interleave with a data
+    /// frame's bytes.
+    writers: Arc<Mutex<Vec<Option<Conn>>>>,
     /// Per-peer write-assembly buffers.
     pools: Vec<BufferPool>,
     /// Incoming frames from every peer's reader thread.
     incoming: mpsc::Receiver<(usize, Vec<u8>)>,
+    /// Our own sender half, kept so rejoin-time reader threads can be
+    /// spawned after the mesh is up.
+    frame_tx: mpsc::Sender<(usize, Vec<u8>)>,
+    /// The data listener, kept alive so a lower-ranked survivor can accept
+    /// a restarted peer's fresh connection mid-run.
+    listener: MeshListener,
+    family: SocketFamily,
     /// Control connection to the coordinator (writer half).
     ctl: Conn,
     ctl_buf: Vec<u8>,
     /// Barrier releases forwarded by the control reader thread.
     barrier_rx: mpsc::Receiver<()>,
+    /// Gate releases and rejoin notices forwarded by the control reader.
+    point_rx: mpsc::Receiver<PointMsg>,
+    /// How long to park at a gate before declaring the coordinator lost.
+    point_timeout: Duration,
     /// Set once the coordinator broadcasts `ALL_DONE`.
     all_done: Arc<AtomicBool>,
+    /// Failure-detector state shared with reader/heartbeat threads.
+    board: Arc<LivenessBoard>,
+    /// Tells the heartbeat thread to stand down at drop.
+    hb_stop: Arc<AtomicBool>,
+    /// True when this process is a checkpoint-restarted rank.
+    rejoiner: bool,
+    /// Latched after the first gate reports [`PointOutcome::Rejoined`].
+    rejoin_announced: bool,
 }
 
 impl SocketTransport {
@@ -285,6 +331,66 @@ impl SocketTransport {
         let res = write_frame(&mut self.ctl, &mut buf, payload);
         self.ctl_buf = buf;
         res.map_err(|e| io_err(self.rank, usize::MAX, "control write", e))
+    }
+
+    /// Reconnects with a restarted peer while parked at a gate. Direction
+    /// mirrors the initial mesh build: the rejoiner dials every lower rank
+    /// (our listener's backlog holds its connection until we accept here)
+    /// and listens for every higher rank.
+    fn admit_rejoiner(&mut self, peer: usize, addr: &str) -> Result<(), CommError> {
+        let rank = self.rank;
+        if peer == rank || peer >= self.size {
+            return Ok(());
+        }
+        let conn = if rank < peer {
+            let mut conn = self
+                .listener
+                .accept()
+                .map_err(|e| io_err(rank, peer, "accept rejoining peer", e))?;
+            let got = read_handshake(rank, &mut conn)?;
+            if got != peer {
+                return Err(coord_err(format!(
+                    "expected rejoin handshake from rank {peer}, got rank {got}"
+                )));
+            }
+            conn
+        } else {
+            let mut conn = connect(self.family, addr)
+                .map_err(|e| io_err(rank, peer, "dial rejoining peer", e))?;
+            let mut shake = Vec::with_capacity(9);
+            shake.extend_from_slice(&HANDSHAKE_MAGIC.to_le_bytes());
+            shake.push(WIRE_VERSION);
+            shake.extend_from_slice(&(rank as u32).to_le_bytes());
+            conn.write_all(&shake)
+                .map_err(|e| io_err(rank, peer, "handshake rejoining peer", e))?;
+            conn
+        };
+        let reader = conn
+            .try_clone()
+            .map_err(|e| io_err(rank, peer, "clone rejoined stream", e))?;
+        // Install the new conn and clear the dead predecessor's hard
+        // evidence under ONE writers lock: the heartbeat thread also marks
+        // hard evidence under that lock, so a broken-pipe verdict against
+        // the predecessor cannot land after the successor is admitted.
+        {
+            let mut writers = lock_writers(&self.writers);
+            self.board.mark_rejoined(peer);
+            writers[peer] = Some(conn);
+        }
+        // Spawned after `mark_rejoined` so its evidence carries the
+        // successor's incarnation.
+        spawn_reader(peer, reader, self.frame_tx.clone(), Arc::clone(&self.board));
+        Ok(())
+    }
+}
+
+fn lock_writers(w: &Arc<Mutex<Vec<Option<Conn>>>>) -> std::sync::MutexGuard<'_, Vec<Option<Conn>>> {
+    w.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.hb_stop.store(true, Ordering::SeqCst);
     }
 }
 
@@ -299,20 +405,28 @@ impl Transport for SocketTransport {
 
     fn send_frame(&mut self, to: usize, frame: Vec<u8>) -> Result<(), CommError> {
         let rank = self.rank;
-        let conn = match self.writers.get_mut(to) {
-            Some(Some(conn)) => conn,
-            _ => {
-                return Err(CommError::Transport {
-                    rank,
-                    peer: to,
-                    detail: "no data connection to peer".to_string(),
-                })
+        let mut buf = self.pools[to].checkout(4 + frame.len());
+        let res = {
+            let mut writers = lock_writers(&self.writers);
+            match writers.get_mut(to) {
+                Some(Some(conn)) => write_frame(conn, &mut buf, &frame),
+                _ => {
+                    self.pools[to].recycle(buf);
+                    return Err(CommError::Transport {
+                        rank,
+                        peer: to,
+                        detail: "no data connection to peer".to_string(),
+                    });
+                }
             }
         };
-        let mut buf = self.pools[to].checkout(4 + frame.len());
-        let res = write_frame(conn, &mut buf, &frame);
         self.pools[to].recycle(buf);
-        res.map_err(|e| io_err(rank, to, "data write", e))
+        res.map_err(|e| {
+            // EPIPE / ECONNRESET on a data write is hard evidence the peer
+            // is gone; feed the detector before surfacing the typed error.
+            self.board.mark_hard_dead(to);
+            io_err(rank, to, "data write", e)
+        })
     }
 
     fn recv_frame(&mut self, timeout: Duration) -> Result<RecvOutcome, CommError> {
@@ -351,6 +465,48 @@ impl Transport for SocketTransport {
     fn all_done(&self) -> bool {
         self.all_done.load(Ordering::SeqCst)
     }
+
+    fn protocol_point(&mut self, idx: u64) -> Result<PointOutcome, CommError> {
+        let mut msg = Vec::with_capacity(9);
+        msg.push(CTL_POINT);
+        msg.extend_from_slice(&idx.to_le_bytes());
+        self.ctl_send(&msg)?;
+        loop {
+            match self.point_rx.recv_timeout(self.point_timeout) {
+                Ok(PointMsg::Proceed) => break,
+                Ok(PointMsg::Rejoin { rank, addr }) => self.admit_rejoiner(rank, &addr)?,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        op: "protocol_point",
+                        rank: self.rank,
+                        waiting_on: usize::MAX,
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(coord_err(
+                        "coordinator hung up at a protocol point".to_string(),
+                    ))
+                }
+            }
+        }
+        if self.rejoiner && !self.rejoin_announced {
+            self.rejoin_announced = true;
+            return Ok(PointOutcome::Rejoined);
+        }
+        Ok(PointOutcome::Proceed)
+    }
+
+    fn kills_are_real(&self) -> bool {
+        true
+    }
+
+    fn confirmed_dead(&self) -> BTreeSet<usize> {
+        self.board.confirmed_dead()
+    }
+
+    fn liveness_stats(&self) -> LivenessStats {
+        self.board.stats()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -388,6 +544,7 @@ pub fn child_serve(registry: &[(&str, Workload)]) -> Result<(), CommError> {
     let family = SocketFamily::from_env(&env_var("LCC_SOCKET_FAMILY")?)?;
     let plan = Arc::new(FaultPlan::from_env_string(&env_var("LCC_SOCKET_PLAN")?)?);
     let retry = RetryPolicy::from_env_string(&env_var("LCC_SOCKET_RETRY")?)?;
+    let rejoiner = std::env::var_os(REJOIN_ENV).is_some();
     let workload_name = env_var("LCC_SOCKET_WORKLOAD")?;
     let workload = registry
         .iter()
@@ -425,7 +582,9 @@ pub fn child_serve(registry: &[(&str, Workload)]) -> Result<(), CommError> {
     }
 
     // Data mesh: connect down, accept up. Peers with no address (crashed
-    // ranks) are skipped on both sides.
+    // ranks) are skipped on both sides. Every reader thread shares the
+    // liveness board: it reports arrivals and turns EOF into hard evidence.
+    let board = LivenessBoard::new(rank, size, &retry);
     let (frame_tx, frame_rx) = mpsc::channel::<(usize, Vec<u8>)>();
     let mut writers: Vec<Option<Conn>> = (0..size).map(|_| None).collect();
     for (peer, addr) in addrs.iter().enumerate().take(rank) {
@@ -443,6 +602,7 @@ pub fn child_serve(registry: &[(&str, Workload)]) -> Result<(), CommError> {
             conn.try_clone()
                 .map_err(|e| io_err(rank, peer, "clone peer stream", e))?,
             frame_tx.clone(),
+            Arc::clone(&board),
         );
         writers[peer] = Some(conn);
     }
@@ -467,14 +627,20 @@ pub fn child_serve(registry: &[(&str, Workload)]) -> Result<(), CommError> {
             conn.try_clone()
                 .map_err(|e| io_err(rank, peer, "clone peer stream", e))?,
             frame_tx.clone(),
+            Arc::clone(&board),
         );
         writers[peer] = Some(conn);
     }
-    drop(frame_tx); // reader threads hold the remaining senders
+    // The transport keeps a sender half so rejoin-time readers can be
+    // spawned later; `recv_frame` therefore never reports `Closed`, which
+    // is fine — the protocol layer is timeout-driven.
+    let writers = Arc::new(Mutex::new(writers));
 
-    // Control reader: forwards barrier releases, latches ALL_DONE.
+    // Control reader: forwards barrier releases and gate events, latches
+    // ALL_DONE.
     let all_done = Arc::new(AtomicBool::new(false));
     let (barrier_tx, barrier_rx) = mpsc::channel::<()>();
+    let (point_tx, point_rx) = mpsc::channel::<PointMsg>();
     {
         let mut ctl_read = ctl
             .try_clone()
@@ -489,7 +655,63 @@ pub fn child_serve(registry: &[(&str, Workload)]) -> Result<(), CommError> {
                         }
                     }
                     Some(&CTL_ALL_DONE) => all_done.store(true, Ordering::SeqCst),
+                    Some(&CTL_PROCEED) => {
+                        if point_tx.send(PointMsg::Proceed).is_err() {
+                            break;
+                        }
+                    }
+                    Some(&CTL_REJOIN) => match decode_rejoin(&msg) {
+                        Some((peer, addr)) => {
+                            if point_tx
+                                .send(PointMsg::Rejoin { rank: peer, addr })
+                                .is_err()
+                            {
+                                break;
+                            }
+                        }
+                        None => break,
+                    },
                     _ => break,
+                }
+            }
+        });
+    }
+
+    // Heartbeat thread: a periodic beat to every connected peer, so a
+    // silent-but-alive rank (deep in a compute phase) is never suspected.
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    {
+        let writers = Arc::clone(&writers);
+        let board = Arc::clone(&board);
+        let stop = Arc::clone(&hb_stop);
+        let period = retry.heartbeat_period();
+        std::thread::spawn(move || {
+            let mut beat = 0u64;
+            let mut buf = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(period);
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                beat += 1;
+                let hb = frame::encode_heartbeat(beat);
+                let mut sent = 0u64;
+                let mut guard = lock_writers(&writers);
+                for (peer, slot) in guard.iter_mut().enumerate() {
+                    if let Some(conn) = slot {
+                        if write_frame(conn, &mut buf, &hb).is_ok() {
+                            sent += 1;
+                        } else {
+                            // A broken pipe mid-beat is the same hard
+                            // evidence a data write would have produced.
+                            *slot = None;
+                            board.mark_hard_dead(peer);
+                        }
+                    }
+                }
+                drop(guard);
+                if sent > 0 {
+                    board.note_beats_sent(sent);
                 }
             }
         });
@@ -501,10 +723,19 @@ pub fn child_serve(registry: &[(&str, Workload)]) -> Result<(), CommError> {
         writers,
         pools: (0..size).map(|_| BufferPool::default()).collect(),
         incoming: frame_rx,
+        frame_tx,
+        listener,
+        family,
         ctl,
         ctl_buf: Vec::new(),
         barrier_rx,
+        point_rx,
+        point_timeout: retry.coordinator_deadline(),
         all_done,
+        board: Arc::clone(&board),
+        hb_stop,
+        rejoiner,
+        rejoin_announced: false,
     };
     let boxed: Box<dyn Transport> = if plan.is_active() {
         Box::new(FaultTransport::new(transport, Arc::clone(&plan)))
@@ -548,31 +779,91 @@ pub fn child_serve(registry: &[(&str, Workload)]) -> Result<(), CommError> {
         }
     }
 
-    // RESULT: rank, stats snapshot, then the workload's bytes. Re-borrow
-    // the control writer from the transport we boxed away? No — the world
-    // consumed it. A fresh control connection keeps ownership simple.
+    // RESULT: rank, stats snapshot, liveness counters, first-detection
+    // timestamp, then the workload's bytes. Re-borrow the control writer
+    // from the transport we boxed away? No — the world consumed it. A
+    // fresh control connection keeps ownership simple.
+    let mut liveness = board.stats();
+    liveness.deaths_detected = stats.deaths_detected_count();
+    liveness.rejoins = stats.rejoin_count();
+    let first_detection = stats.first_detection_ns().unwrap_or(0);
     let mut ctl = connect(SocketFamily::Uds, &ctl_path)
         .map_err(|e| io_err(rank, usize::MAX, "reconnect control socket", e))?;
-    let mut msg = Vec::with_capacity(1 + 4 + CommStatsSnapshot::WIRE_BYTES + result.len());
+    let mut msg = Vec::with_capacity(RESULT_HEADER_LEN + result.len());
     msg.push(CTL_RESULT);
     msg.extend_from_slice(&(rank as u32).to_le_bytes());
     msg.extend_from_slice(&snapshot.to_bytes());
+    msg.extend_from_slice(&liveness.to_bytes());
+    msg.extend_from_slice(&first_detection.to_le_bytes());
     msg.extend_from_slice(&result);
     write_frame(&mut ctl, &mut scratch, &msg)
         .map_err(|e| io_err(rank, usize::MAX, "send RESULT", e))?;
     Ok(())
 }
 
-fn spawn_reader(peer: usize, mut conn: Conn, tx: mpsc::Sender<(usize, Vec<u8>)>) {
-    std::thread::spawn(move || {
-        // EOF or any read error ends the stream; the protocol layer above
-        // turns silence into typed timeouts.
-        while let Ok(Some(frame)) = read_frame(&mut conn) {
-            if tx.send((peer, frame)).is_err() {
+/// Byte length of a RESULT frame before its payload: kind, rank, stats
+/// snapshot, liveness counters, first-detection timestamp.
+const RESULT_HEADER_LEN: usize = 1 + 4 + CommStatsSnapshot::WIRE_BYTES + LIVENESS_STATS_LEN + 8;
+
+fn spawn_reader(
+    peer: usize,
+    mut conn: Conn,
+    tx: mpsc::Sender<(usize, Vec<u8>)>,
+    board: Arc<LivenessBoard>,
+) {
+    // Evidence from this connection is versioned against the peer's
+    // incarnation at spawn time: if the peer dies and a restarted successor
+    // is admitted before this thread notices the EOF, the stale verdict is
+    // dropped instead of condemning the successor.
+    let incarnation = board.incarnation(peer);
+    std::thread::spawn(move || loop {
+        match read_frame(&mut conn) {
+            Ok(Some(fr)) => {
+                // Heartbeats live below the reliability protocol: they feed
+                // the detector and are never forwarded upward.
+                if fr.first() == Some(&frame::KIND_HEARTBEAT)
+                    && fr.len() == frame::HEARTBEAT_FRAME_LEN
+                {
+                    board.note_beat(peer);
+                    continue;
+                }
+                board.note_traffic(peer);
+                if tx.send((peer, fr)).is_err() {
+                    break;
+                }
+            }
+            // EOF or a socket error is hard evidence: decisive mid-run,
+            // harmless after a clean end-of-run (nothing sweeps it).
+            Ok(None) | Err(_) => {
+                board.mark_hard_dead_as_of(peer, incarnation);
                 break;
             }
         }
     });
+}
+
+fn encode_rejoin(rank: usize, addr: &str) -> Vec<u8> {
+    let mut msg = Vec::with_capacity(5 + addr.len());
+    msg.push(CTL_REJOIN);
+    msg.extend_from_slice(&(rank as u32).to_le_bytes());
+    msg.extend_from_slice(addr.as_bytes());
+    msg
+}
+
+fn decode_rejoin(msg: &[u8]) -> Option<(usize, String)> {
+    if msg.len() < 5 || msg[0] != CTL_REJOIN {
+        return None;
+    }
+    let rank = u32::from_le_bytes([msg[1], msg[2], msg[3], msg[4]]) as usize;
+    let addr = String::from_utf8(msg[5..].to_vec()).ok()?;
+    Some((rank, addr))
+}
+
+fn now_unix_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
 }
 
 fn read_handshake(rank: usize, conn: &mut Conn) -> Result<usize, CommError> {
@@ -645,14 +936,107 @@ fn encode_start(addrs: &[Option<String>]) -> Vec<u8> {
 // Coordinator side
 // ---------------------------------------------------------------------------
 
+/// What the supervisor does when a seeded kill strikes a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Victims stay dead; survivors detect and recover.
+    Never,
+    /// Respawn a killed rank's process (at most `max_restarts` times per
+    /// rank); its workload resumes from its latest checkpoint and rejoins
+    /// the mesh at the kill gate under a REJOIN handshake.
+    FromCheckpoint { max_restarts: u32 },
+}
+
+impl RestartPolicy {
+    /// The policy a [`FaultPlan`] implies: `kill_restart` plans get one
+    /// restart per victim, everything else none.
+    pub fn for_plan(plan: &FaultPlan) -> RestartPolicy {
+        if plan.kill_restart {
+            RestartPolicy::FromCheckpoint { max_restarts: 1 }
+        } else {
+            RestartPolicy::Never
+        }
+    }
+
+    fn allows(&self, restarts_so_far: u32) -> bool {
+        match self {
+            RestartPolicy::Never => false,
+            RestartPolicy::FromCheckpoint { max_restarts } => restarts_so_far < *max_restarts,
+        }
+    }
+
+    fn respawns(&self) -> bool {
+        !matches!(self, RestartPolicy::Never)
+    }
+}
+
+/// How a child process left the world, per `waitpid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildExit {
+    /// Exit code 0.
+    Clean,
+    /// A nonzero exit code (a failed child-entry test, a panic).
+    Code(i32),
+    /// Terminated by a signal (SIGKILL for supervised kills).
+    Signal(i32),
+}
+
+impl ChildExit {
+    fn classify(status: std::process::ExitStatus) -> ChildExit {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = status.signal() {
+            return ChildExit::Signal(sig);
+        }
+        match status.code() {
+            Some(0) => ChildExit::Clean,
+            Some(c) => ChildExit::Code(c),
+            None => ChildExit::Signal(0),
+        }
+    }
+
+    /// The typed error for a child that died before reporting a result.
+    pub fn to_error(self, rank: usize) -> CommError {
+        let (code, signal) = match self {
+            ChildExit::Clean => (Some(0), None),
+            ChildExit::Code(c) => (Some(c), None),
+            ChildExit::Signal(s) => (None, Some(s)),
+        };
+        CommError::ChildExited { rank, code, signal }
+    }
+}
+
+/// One rank death observed (or inflicted) by the coordinator.
+#[derive(Debug, Clone)]
+pub struct KillRecord {
+    pub rank: usize,
+    /// The protocol point the victim was struck at (`u64::MAX` for
+    /// unplanned deaths — a child that aborted on its own).
+    pub point: u64,
+    /// True for seeded kills the supervisor inflicted itself.
+    pub planned: bool,
+    /// Wall-clock UNIX nanoseconds at the kill (or at the reap, for
+    /// unplanned deaths).
+    pub killed_at_ns: u64,
+    /// Wall-clock UNIX nanoseconds when the victim's replacement process
+    /// was spawned; `None` when it stayed dead.
+    pub respawned_at_ns: Option<u64>,
+    /// The reaped exit status, when the supervisor saw one.
+    pub exit: Option<ChildExit>,
+}
+
 /// Configuration for one socket-cluster run.
 pub struct SocketClusterConfig<'a> {
     /// Total rank count (crashed ranks included).
     pub p: usize,
     /// Fault plan, replayed bit-identically inside every child.
     pub plan: FaultPlan,
-    /// Protocol deadlines for the children.
+    /// Protocol deadlines for the children (and, via
+    /// [`RetryPolicy::coordinator_deadline`], for the coordinator itself).
     pub retry: RetryPolicy,
+    /// What to do when a seeded kill strikes: must agree with the plan's
+    /// `kill_restart` flag, which is what the children's determinism
+    /// probes are computed from.
+    pub restart: RestartPolicy,
     /// Registry key of the workload every child runs.
     pub workload: &'a str,
     /// Data-mesh address family.
@@ -667,11 +1051,16 @@ pub struct SocketClusterConfig<'a> {
 }
 
 /// What a socket-cluster run produced: one result slot per rank (`None`
-/// for crashed ranks) and the sum of every child's counter snapshot.
+/// for crashed and permanently-killed ranks), the sum of every child's
+/// counter snapshot, the summed liveness counters, the kill log, and the
+/// earliest wall-clock failure detection any rank reported.
 #[derive(Debug)]
 pub struct SocketRun {
     pub results: Vec<Option<Vec<u8>>>,
     pub stats: CommStatsSnapshot,
+    pub liveness: LivenessStats,
+    pub kills: Vec<KillRecord>,
+    pub first_detection_ns: Option<u64>,
 }
 
 /// Monotonic run id so concurrent/consecutive runs in one process never
@@ -686,6 +1075,12 @@ pub fn run_socket_cluster(cfg: &SocketClusterConfig) -> Result<SocketRun, CommEr
     assert!(cfg.p >= 1, "need at least one rank");
     let live = cfg.plan.live_count(cfg.p);
     assert!(live >= 1, "at least one rank must survive the fault plan");
+    assert_eq!(
+        cfg.restart.respawns(),
+        cfg.plan.kill_restart,
+        "RestartPolicy must agree with FaultPlan::kill_restart: the children \
+         derive who stays dead from the plan alone"
+    );
 
     let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
     let dir = std::env::temp_dir().join(format!("lcc-sock-{}-{seq}", std::process::id()));
@@ -693,6 +1088,118 @@ pub fn run_socket_cluster(cfg: &SocketClusterConfig) -> Result<SocketRun, CommEr
     let run = coordinate(cfg, live, &dir);
     let _ = std::fs::remove_dir_all(&dir);
     run
+}
+
+/// Owns every child process of one run. All spawning and reaping funnels
+/// through here so that the `Drop` impl can guarantee the acceptance
+/// property "no child outlives the coordinator" on *every* exit path —
+/// early `?` returns during spawning included.
+struct ChildSupervisor<'a> {
+    cfg: &'a SocketClusterConfig<'a>,
+    dir: PathBuf,
+    exe: PathBuf,
+    ctl_path: PathBuf,
+    children: BTreeMap<usize, Child>,
+    restarts: BTreeMap<usize, u32>,
+}
+
+impl<'a> ChildSupervisor<'a> {
+    fn new(
+        cfg: &'a SocketClusterConfig<'a>,
+        dir: &std::path::Path,
+        ctl_path: PathBuf,
+    ) -> Result<ChildSupervisor<'a>, CommError> {
+        let exe = std::env::current_exe().map_err(|e| coord_err(format!("current_exe: {e}")))?;
+        Ok(ChildSupervisor {
+            cfg,
+            dir: dir.to_path_buf(),
+            exe,
+            ctl_path,
+            children: BTreeMap::new(),
+            restarts: BTreeMap::new(),
+        })
+    }
+
+    /// Spawns (or, with `rejoin`, respawns) the process for `rank`.
+    fn spawn(&mut self, rank: usize, rejoin: bool) -> Result<(), CommError> {
+        let cfg = self.cfg;
+        let mut cmd = Command::new(&self.exe);
+        cmd.arg(cfg.child_test)
+            .arg("--exact")
+            .arg("--nocapture")
+            .arg("--test-threads=1")
+            .env(CHILD_ENV, "1")
+            .env("LCC_SOCKET_RANK", rank.to_string())
+            .env("LCC_SOCKET_SIZE", cfg.p.to_string())
+            .env("LCC_SOCKET_CTL", &self.ctl_path)
+            .env("LCC_SOCKET_DIR", &self.dir)
+            .env("LCC_SOCKET_FAMILY", cfg.family.as_env())
+            .env("LCC_SOCKET_WORKLOAD", cfg.workload)
+            .env("LCC_SOCKET_PLAN", cfg.plan.to_env_string())
+            .env("LCC_SOCKET_RETRY", cfg.retry.to_env_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        if rejoin {
+            cmd.env(REJOIN_ENV, "1");
+            *self.restarts.entry(rank).or_insert(0) += 1;
+        }
+        if cfg.obs_in_children {
+            cmd.env("LCC_SOCKET_OBS", "1");
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| coord_err(format!("spawn rank {rank}: {e}")))?;
+        self.children.insert(rank, child);
+        Ok(())
+    }
+
+    fn restart_count(&self, rank: usize) -> u32 {
+        self.restarts.get(&rank).copied().unwrap_or(0)
+    }
+
+    /// SIGKILLs `rank` and reaps it. `None` if no live child holds the
+    /// rank (it already died and was reaped).
+    fn kill_rank(&mut self, rank: usize) -> Option<ChildExit> {
+        let mut child = self.children.remove(&rank)?;
+        let _ = child.kill();
+        child.wait().ok().map(ChildExit::classify)
+    }
+
+    /// Non-blocking sweep: reaps every child that has exited on its own.
+    fn reap(&mut self) -> Vec<(usize, ChildExit)> {
+        let mut reaped = Vec::new();
+        let ranks: Vec<usize> = self.children.keys().copied().collect();
+        for rank in ranks {
+            let done = match self.children.get_mut(&rank) {
+                Some(child) => child.try_wait().ok().flatten(),
+                None => None,
+            };
+            if let Some(status) = done {
+                self.children.remove(&rank);
+                reaped.push((rank, ChildExit::classify(status)));
+            }
+        }
+        reaped
+    }
+
+    /// Blocks until every remaining child exits (the clean-success path:
+    /// children exit on their own shortly after sending RESULT).
+    fn wait_all(&mut self) {
+        for (_, mut child) in std::mem::take(&mut self.children) {
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for ChildSupervisor<'_> {
+    fn drop(&mut self) {
+        // Any children still here are survivors of an error path: kill and
+        // reap them so no process (or zombie) outlives the run.
+        for (_, child) in self.children.iter_mut() {
+            let _ = child.kill();
+        }
+        self.wait_all();
+    }
 }
 
 fn coordinate(
@@ -704,85 +1211,240 @@ fn coordinate(
     let ctl_listener = UnixListener::bind(&ctl_path)
         .map_err(|e| coord_err(format!("bind control socket: {e}")))?;
 
-    let exe = std::env::current_exe().map_err(|e| coord_err(format!("current_exe: {e}")))?;
-    let mut children: Vec<(usize, Child)> = Vec::with_capacity(live);
+    let mut sup = ChildSupervisor::new(cfg, dir, ctl_path)?;
     for rank in 0..cfg.p {
-        if cfg.plan.is_crashed(rank) {
-            continue; // crashed ranks never start
+        if !cfg.plan.is_crashed(rank) {
+            sup.spawn(rank, false)?; // crashed ranks never start
         }
-        let mut cmd = Command::new(&exe);
-        cmd.arg(cfg.child_test)
-            .arg("--exact")
-            .arg("--nocapture")
-            .arg("--test-threads=1")
-            .env(CHILD_ENV, "1")
-            .env("LCC_SOCKET_RANK", rank.to_string())
-            .env("LCC_SOCKET_SIZE", cfg.p.to_string())
-            .env("LCC_SOCKET_CTL", &ctl_path)
-            .env("LCC_SOCKET_DIR", dir)
-            .env("LCC_SOCKET_FAMILY", cfg.family.as_env())
-            .env("LCC_SOCKET_WORKLOAD", cfg.workload)
-            .env("LCC_SOCKET_PLAN", cfg.plan.to_env_string())
-            .env("LCC_SOCKET_RETRY", cfg.retry.to_env_string())
-            .stdout(Stdio::null())
-            .stderr(Stdio::inherit());
-        if cfg.obs_in_children {
-            cmd.env("LCC_SOCKET_OBS", "1");
-        }
-        let child = cmd
-            .spawn()
-            .map_err(|e| coord_err(format!("spawn rank {rank}: {e}")))?;
-        children.push((rank, child));
     }
 
-    let outcome = serve_control(cfg, live, &ctl_listener);
-    // Whatever happened, never leave child processes behind.
-    for (_, child) in &mut children {
-        if outcome.is_err() {
-            let _ = child.kill();
-        }
-        let _ = child.wait();
+    let outcome = serve_control(cfg, live, &ctl_listener, &mut sup);
+    if outcome.is_ok() {
+        sup.wait_all();
     }
+    // The supervisor's Drop kills and reaps whatever is left on the error
+    // path — children never outlive the coordinator.
     outcome
 }
 
-/// The coordinator's control loop: address exchange, then barrier/done
-/// bookkeeping until every live rank has reported its RESULT.
+/// Mutable control-plane state shared by the coordinator's event handlers.
+///
+/// The barrier and done conditions are *identity sets over the current live
+/// set* rather than counters, so a rank dying mid-protocol shrinks the
+/// requirement instead of deadlocking the release.
+struct Control {
+    live: BTreeSet<usize>,
+    writers: BTreeMap<usize, Conn>,
+    scratch: Vec<u8>,
+    /// rank → protocol-point index it is parked at, waiting for PROCEED.
+    parked: BTreeMap<usize, u64>,
+    in_barrier: BTreeSet<usize>,
+    done: BTreeSet<usize>,
+    all_done_sent: bool,
+    kills: Vec<KillRecord>,
+    /// A planned victim reaped and awaiting respawn at this gate.
+    pending_respawn: Option<(usize, u64)>,
+    /// Gates already fired, so a restarted rank replaying its kill gate is
+    /// not killed a second time.
+    killed_points: BTreeSet<(usize, u64)>,
+}
+
+impl Control {
+    /// Writes a control frame to `rank`; a failed write is hard evidence
+    /// the child is gone, so the rank is demoted instead of failing the
+    /// whole run — unless it already announced DONE. A finished rank tears
+    /// its control socket down on its own schedule (its drain can time out
+    /// before ALL_DONE reaches it), so a dead write there is normal
+    /// teardown, not death; real post-DONE deaths still surface through
+    /// the reap sweep as non-clean exits.
+    fn write_to(&mut self, rank: usize, msg: &[u8]) -> bool {
+        let ok = match self.writers.get_mut(&rank) {
+            Some(conn) => write_frame(conn, &mut self.scratch, msg).is_ok(),
+            None => false,
+        };
+        if !ok {
+            if self.done.contains(&rank) {
+                self.writers.remove(&rank);
+            } else {
+                self.declare_unplanned_dead(rank, None);
+            }
+        }
+        ok
+    }
+
+    /// Removes `rank` from every wait set and records an unplanned death.
+    fn declare_unplanned_dead(&mut self, rank: usize, exit: Option<ChildExit>) {
+        if !self.live.remove(&rank) {
+            return;
+        }
+        self.writers.remove(&rank);
+        self.parked.remove(&rank);
+        self.in_barrier.remove(&rank);
+        self.done.remove(&rank);
+        if self.pending_respawn.map(|(r, _)| r) == Some(rank) {
+            self.pending_respawn = None;
+        }
+        self.kills.push(KillRecord {
+            rank,
+            point: u64::MAX,
+            planned: false,
+            killed_at_ns: now_unix_ns(),
+            respawned_at_ns: None,
+            exit,
+        });
+    }
+
+    /// Re-evaluates every release condition to fixpoint. Each condition is
+    /// over the *current* live set, so this must re-run after any event
+    /// that parks a rank, advances a wait set, or shrinks the live set
+    /// (including demotions performed by `write_to` itself).
+    fn settle(&mut self) {
+        loop {
+            let mut acted = false;
+
+            // Gate release: only when EVERY live rank is parked do we
+            // release the ones at the minimum gate. A restarted rank
+            // replaying earlier gates is therefore released alone, step by
+            // step, until it catches up with the survivors; and while a
+            // victim is dead-awaiting-respawn it is live-but-not-parked,
+            // which holds the survivors at their gates through the rejoin.
+            if !self.live.is_empty()
+                && self.live.iter().all(|r| self.parked.contains_key(r))
+                && !self.parked.is_empty()
+            {
+                // lcc-lint: allow(unwrap) — guarded by !parked.is_empty() above.
+                let min_gate = *self.parked.values().min().expect("non-empty");
+                let ready: Vec<usize> = self
+                    .parked
+                    .iter()
+                    .filter(|(_, g)| **g == min_gate)
+                    .map(|(r, _)| *r)
+                    .collect();
+                for rank in ready {
+                    self.parked.remove(&rank);
+                    self.write_to(rank, &[CTL_PROCEED]);
+                }
+                acted = true;
+            }
+
+            // Barrier release: every live rank has entered.
+            if !self.live.is_empty()
+                && !self.in_barrier.is_empty()
+                && self.live.iter().all(|r| self.in_barrier.contains(r))
+            {
+                self.in_barrier.clear();
+                let ranks: Vec<usize> = self.live.iter().copied().collect();
+                for rank in ranks {
+                    self.write_to(rank, &[CTL_BARRIER_RELEASE]);
+                }
+                acted = true;
+            }
+
+            // Done: every live rank has sent DONE (latched once).
+            if !self.all_done_sent
+                && !self.live.is_empty()
+                && self.live.iter().all(|r| self.done.contains(r))
+            {
+                self.all_done_sent = true;
+                let ranks: Vec<usize> = self.live.iter().copied().collect();
+                for rank in ranks {
+                    self.write_to(rank, &[CTL_ALL_DONE]);
+                }
+                acted = true;
+            }
+
+            if !acted {
+                return;
+            }
+        }
+    }
+}
+
+/// Accumulates per-rank RESULT frames into run-level totals.
+struct ResultSink {
+    results: Vec<Option<Vec<u8>>>,
+    stats: CommStatsSnapshot,
+    liveness: LivenessStats,
+    detect_min: Option<u64>,
+}
+
+fn absorb_result(sink: &mut ResultSink, msg: &[u8], p: usize) -> Result<(), CommError> {
+    if msg.len() < RESULT_HEADER_LEN {
+        return Err(coord_err("short RESULT frame".to_string()));
+    }
+    let rank = u32::from_le_bytes([msg[1], msg[2], msg[3], msg[4]]) as usize;
+    if rank >= p || sink.results[rank].is_some() {
+        return Err(coord_err(format!("unexpected RESULT from rank {rank}")));
+    }
+    let snap_end = 5 + CommStatsSnapshot::WIRE_BYTES;
+    let snap = CommStatsSnapshot::from_bytes(&msg[5..snap_end])
+        .map_err(|e| coord_err(format!("undecodable stats snapshot from rank {rank}: {e}")))?;
+    let liv_end = snap_end + LIVENESS_STATS_LEN;
+    let liv = LivenessStats::from_bytes(&msg[snap_end..liv_end])
+        .ok_or_else(|| coord_err(format!("undecodable liveness stats from rank {rank}")))?;
+    // lcc-lint: allow(unwrap) — fixed-width slice of a length-checked frame.
+    let detect = u64::from_le_bytes(msg[liv_end..liv_end + 8].try_into().expect("8 bytes"));
+    sink.stats.add_snapshot(&snap);
+    sink.liveness.add(&liv);
+    if detect != 0 {
+        sink.detect_min = Some(sink.detect_min.map_or(detect, |d| d.min(detect)));
+    }
+    sink.results[rank] = Some(msg[RESULT_HEADER_LEN..].to_vec());
+    Ok(())
+}
+
+/// The coordinator's control loop: address exchange, then gate / barrier /
+/// done bookkeeping over a *dynamic* live set until every live rank has
+/// reported its RESULT. Planned kills fire when the victim parks at its
+/// scheduled protocol point; under a respawning [`RestartPolicy`] the
+/// victim's process is relaunched (with [`REJOIN_ENV`] set) once every
+/// survivor is parked, and re-admitted through a fresh HELLO.
 fn serve_control(
     cfg: &SocketClusterConfig,
     live: usize,
     listener: &UnixListener,
+    sup: &mut ChildSupervisor,
 ) -> Result<SocketRun, CommError> {
-    let deadline = Instant::now() + COORDINATOR_DEADLINE;
+    let patience = cfg.retry.coordinator_deadline();
+    let mut deadline = Instant::now() + patience;
     let (msg_tx, msg_rx) = mpsc::channel::<(usize, Vec<u8>)>();
 
     // Phase 1: every live rank connects and says HELLO with its address.
+    // The listener is non-blocking so the gather can interleave reaping:
+    // a child that dies before HELLO would otherwise hang the accept.
     let mut conns: BTreeMap<usize, Conn> = BTreeMap::new();
     let mut addrs: Vec<Option<String>> = vec![None; cfg.p];
     listener
-        .set_nonblocking(false)
+        .set_nonblocking(true)
         .map_err(|e| coord_err(format!("configure control listener: {e}")))?;
     while conns.len() < live {
-        let (stream, _) = listener
-            .accept()
-            .map_err(|e| coord_err(format!("accept control connection: {e}")))?;
-        let mut conn = Conn::Unix(stream);
-        let hello = read_frame(&mut conn)
-            .map_err(|e| coord_err(format!("read HELLO: {e}")))?
-            .ok_or_else(|| coord_err("child closed before HELLO".to_string()))?;
-        if hello.len() < 5 || hello[0] != CTL_HELLO {
-            return Err(coord_err("malformed HELLO frame".to_string()));
+        if let Some((rank, exit)) = sup.reap().into_iter().next() {
+            return Err(exit.to_error(rank));
         }
-        let rank = u32::from_le_bytes([hello[1], hello[2], hello[3], hello[4]]) as usize;
-        let addr = String::from_utf8(hello[5..].to_vec())
-            .map_err(|_| coord_err("non-UTF-8 mesh address in HELLO".to_string()))?;
-        if rank >= cfg.p || cfg.plan.is_crashed(rank) || conns.contains_key(&rank) {
-            return Err(coord_err(format!("unexpected HELLO from rank {rank}")));
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut conn = Conn::Unix(stream);
+                let hello = read_frame(&mut conn)
+                    .map_err(|e| coord_err(format!("read HELLO: {e}")))?
+                    .ok_or_else(|| coord_err("child closed before HELLO".to_string()))?;
+                let (rank, addr) = decode_hello(&hello)?;
+                if rank >= cfg.p || cfg.plan.is_crashed(rank) || conns.contains_key(&rank) {
+                    return Err(coord_err(format!("unexpected HELLO from rank {rank}")));
+                }
+                addrs[rank] = Some(addr);
+                conns.insert(rank, conn);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(coord_err(format!("accept control connection: {e}"))),
         }
-        addrs[rank] = Some(addr);
-        conns.insert(rank, conn);
         if Instant::now() > deadline {
-            return Err(coord_err("timed out gathering HELLOs".to_string()));
+            return Err(CommError::Timeout {
+                op: "coordinator_hello",
+                rank: usize::MAX,
+                waiting_on: usize::MAX,
+            });
         }
     }
 
@@ -801,50 +1463,142 @@ fn serve_control(
             .try_clone()
             .map_err(|e| coord_err(format!("clone control stream: {e}")))?;
         writers.insert(rank, conn);
-        let tx = msg_tx.clone();
-        std::thread::spawn(move || {
-            let mut reader = reader;
-            while let Ok(Some(msg)) = read_frame(&mut reader) {
-                if tx.send((rank, msg)).is_err() {
-                    break;
-                }
-            }
-        });
+        spawn_control_reader(rank, reader, msg_tx.clone());
     }
-    // RESULT arrives on a fresh connection (the original's writer half is
-    // owned by the transport inside the child); accept those lazily.
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| coord_err(format!("configure control listener: {e}")))?;
 
-    let mut barrier_entered = 0usize;
-    let mut done = 0usize;
-    let mut all_done_sent = false;
-    let mut results: Vec<Option<Vec<u8>>> = vec![None; cfg.p];
-    let mut stats_sum = CommStatsSnapshot::default();
-    let mut reported = 0usize;
-    while reported < live {
+    let mut ctl = Control {
+        live: (0..cfg.p).filter(|r| !cfg.plan.is_crashed(*r)).collect(),
+        writers,
+        scratch,
+        parked: BTreeMap::new(),
+        in_barrier: BTreeSet::new(),
+        done: BTreeSet::new(),
+        all_done_sent: false,
+        kills: Vec::new(),
+        pending_respawn: None,
+        killed_points: BTreeSet::new(),
+    };
+    let mut sink = ResultSink {
+        results: vec![None; cfg.p],
+        stats: CommStatsSnapshot::default(),
+        liveness: LivenessStats::default(),
+        detect_min: None,
+    };
+
+    // Completion is *identity*-based, not count-based: every rank still in
+    // the live set must have its own RESULT slot filled. Counting reports
+    // against `live.len()` is wrong once the live set shrinks mid-loop — a
+    // rank that reported and then got demoted (teardown race on its control
+    // socket) would satisfy the count on behalf of a survivor whose RESULT
+    // connection was never accepted, stranding that child in a blocking
+    // send and the coordinator in `wait_all`.
+    while ctl.live.iter().any(|r| sink.results[*r].is_none()) {
         if Instant::now() > deadline {
-            return Err(coord_err(format!(
-                "timed out waiting for RESULTs ({reported}/{live} reported)"
-            )));
+            return Err(CommError::Timeout {
+                op: "coordinator_result",
+                rank: usize::MAX,
+                waiting_on: usize::MAX,
+            });
         }
-        // Late connections carry RESULT frames.
+
+        // Reap children that exited on their own. A clean exit without a
+        // RESULT is NOT a death — the RESULT may still be in flight on a
+        // late connection (the run deadline catches genuine hangs). A
+        // non-clean exit (panic or signal) with no RESULT is an unplanned
+        // death: demote the rank and let the survivors finish without it.
+        for (rank, exit) in sup.reap() {
+            if matches!(exit, ChildExit::Clean) || sink.results[rank].is_some() {
+                continue;
+            }
+            if !ctl.live.contains(&rank) {
+                // Already demoted (e.g. by a failed write); backfill how
+                // it actually died.
+                if let Some(k) = ctl
+                    .kills
+                    .iter_mut()
+                    .rev()
+                    .find(|k| k.rank == rank && k.exit.is_none())
+                {
+                    k.exit = Some(exit);
+                }
+                continue;
+            }
+            ctl.declare_unplanned_dead(rank, Some(exit));
+            ctl.settle();
+            deadline = Instant::now() + patience;
+        }
+
+        // Respawn a planned victim once every survivor is parked at a
+        // gate: the rejoiner's mesh rebuild rendezvouses with survivors
+        // inside their parked `protocol_point` loops, so parking first
+        // removes every race from the re-admission handshake.
+        if let Some((victim, _gate)) = ctl.pending_respawn {
+            let survivors_parked = ctl
+                .live
+                .iter()
+                .filter(|r| **r != victim)
+                .all(|r| ctl.parked.contains_key(r));
+            if survivors_parked {
+                ctl.pending_respawn = None;
+                sup.spawn(victim, true)?;
+                if let Some(k) = ctl
+                    .kills
+                    .iter_mut()
+                    .rev()
+                    .find(|k| k.rank == victim && k.respawned_at_ns.is_none())
+                {
+                    k.respawned_at_ns = Some(now_unix_ns());
+                }
+                deadline = Instant::now() + patience;
+            }
+        }
+
+        // Late connections carry either a RESULT (fresh socket per child)
+        // or the HELLO of a respawned rank rejoining the cluster. The
+        // first frame decides, inline, with a bounded read.
         match listener.accept() {
             Ok((stream, _)) => {
-                let tx = msg_tx.clone();
-                std::thread::spawn(move || {
-                    let mut conn = Conn::Unix(stream);
-                    while let Ok(Some(msg)) = read_frame(&mut conn) {
-                        if tx.send((usize::MAX, msg)).is_err() {
-                            break;
-                        }
+                let mut conn = Conn::Unix(stream);
+                let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+                match read_frame(&mut conn) {
+                    Ok(Some(msg)) if msg.first() == Some(&CTL_RESULT) => {
+                        absorb_result(&mut sink, &msg, cfg.p)?;
+                        deadline = Instant::now() + patience;
                     }
-                });
+                    Ok(Some(msg)) if msg.first() == Some(&CTL_HELLO) => {
+                        let (rank, addr) = decode_hello(&msg)?;
+                        if rank >= cfg.p || !ctl.live.contains(&rank) {
+                            return Err(coord_err(format!(
+                                "unexpected rejoin HELLO from rank {rank}"
+                            )));
+                        }
+                        addrs[rank] = Some(addr.clone());
+                        let _ = conn.set_read_timeout(None);
+                        write_frame(&mut conn, &mut ctl.scratch, &encode_start(&addrs)).map_err(
+                            |e| coord_err(format!("send START to rejoined rank {rank}: {e}")),
+                        )?;
+                        let reader = conn
+                            .try_clone()
+                            .map_err(|e| coord_err(format!("clone control stream: {e}")))?;
+                        ctl.writers.insert(rank, conn);
+                        spawn_control_reader(rank, reader, msg_tx.clone());
+                        // Tell every parked survivor to re-admit the rank.
+                        let note = encode_rejoin(rank, &addr);
+                        let others: Vec<usize> =
+                            ctl.live.iter().copied().filter(|r| *r != rank).collect();
+                        for peer in others {
+                            ctl.write_to(peer, &note);
+                        }
+                        ctl.settle();
+                        deadline = Instant::now() + patience;
+                    }
+                    _ => {} // dead-on-arrival connection: drop it
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
             Err(e) => return Err(coord_err(format!("accept result connection: {e}"))),
         }
+
         let (from, msg) = match msg_rx.recv_timeout(Duration::from_millis(20)) {
             Ok(m) => m,
             Err(RecvTimeoutError::Timeout) => continue,
@@ -853,54 +1607,87 @@ fn serve_control(
             }
         };
         match msg.first() {
-            Some(&CTL_BARRIER_ENTER) => {
-                barrier_entered += 1;
-                if barrier_entered == live {
-                    barrier_entered = 0;
-                    for (rank, conn) in writers.iter_mut() {
-                        write_frame(conn, &mut scratch, &[CTL_BARRIER_RELEASE]).map_err(|e| {
-                            coord_err(format!("release barrier to rank {rank}: {e}"))
-                        })?;
+            Some(&CTL_POINT) if msg.len() == 9 => {
+                // lcc-lint: allow(unwrap) — msg.len() == 9 checked by the arm guard.
+                let gate = u64::from_le_bytes(msg[1..9].try_into().expect("8 bytes"));
+                let planned_kill = cfg.plan.kill_point(from) == Some(gate)
+                    && !ctl.killed_points.contains(&(from, gate));
+                if planned_kill {
+                    ctl.killed_points.insert((from, gate));
+                    let exit = sup.kill_rank(from);
+                    ctl.writers.remove(&from);
+                    ctl.parked.remove(&from);
+                    ctl.kills.push(KillRecord {
+                        rank: from,
+                        point: gate,
+                        planned: true,
+                        killed_at_ns: now_unix_ns(),
+                        respawned_at_ns: None,
+                        exit,
+                    });
+                    if cfg.plan.kill_restart && cfg.restart.allows(sup.restart_count(from)) {
+                        // Stays in `live`: it will rejoin. Survivors hold
+                        // at their gates until it parks again.
+                        ctl.pending_respawn = Some((from, gate));
+                    } else {
+                        ctl.live.remove(&from);
+                        ctl.in_barrier.remove(&from);
+                        ctl.done.remove(&from);
                     }
+                } else {
+                    ctl.parked.insert(from, gate);
                 }
+                ctl.settle();
+                deadline = Instant::now() + patience;
+            }
+            Some(&CTL_BARRIER_ENTER) => {
+                ctl.in_barrier.insert(from);
+                ctl.settle();
+                deadline = Instant::now() + patience;
             }
             Some(&CTL_DONE) => {
-                done += 1;
-                if done >= live && !all_done_sent {
-                    all_done_sent = true;
-                    for (rank, conn) in writers.iter_mut() {
-                        write_frame(conn, &mut scratch, &[CTL_ALL_DONE]).map_err(|e| {
-                            coord_err(format!("broadcast ALL_DONE to rank {rank}: {e}"))
-                        })?;
-                    }
-                }
+                ctl.done.insert(from);
+                ctl.settle();
+                deadline = Instant::now() + patience;
             }
             Some(&CTL_RESULT) => {
-                let min = 1 + 4 + CommStatsSnapshot::WIRE_BYTES;
-                if msg.len() < min {
-                    return Err(coord_err("short RESULT frame".to_string()));
-                }
-                let rank = u32::from_le_bytes([msg[1], msg[2], msg[3], msg[4]]) as usize;
-                if rank >= cfg.p || results[rank].is_some() {
-                    return Err(coord_err(format!("unexpected RESULT from rank {rank}")));
-                }
-                let snap = CommStatsSnapshot::from_bytes(&msg[5..min]).map_err(|e| {
-                    coord_err(format!("undecodable stats snapshot from rank {rank}: {e}"))
-                })?;
-                stats_sum.add_snapshot(&snap);
-                results[rank] = Some(msg[min..].to_vec());
-                reported += 1;
+                absorb_result(&mut sink, &msg, cfg.p)?;
+                deadline = Instant::now() + patience;
             }
-            _ => {
-                let _ = from;
-                return Err(coord_err("unknown control message".to_string()));
-            }
+            _ => return Err(coord_err("unknown control message".to_string())),
         }
     }
+
+    if ctl.live.is_empty() {
+        return Err(coord_err("every rank died before reporting".to_string()));
+    }
     Ok(SocketRun {
-        results,
-        stats: stats_sum,
+        results: sink.results,
+        stats: sink.stats,
+        liveness: sink.liveness,
+        kills: ctl.kills,
+        first_detection_ns: sink.detect_min,
     })
+}
+
+fn decode_hello(msg: &[u8]) -> Result<(usize, String), CommError> {
+    if msg.len() < 5 || msg[0] != CTL_HELLO {
+        return Err(coord_err("malformed HELLO frame".to_string()));
+    }
+    let rank = u32::from_le_bytes([msg[1], msg[2], msg[3], msg[4]]) as usize;
+    let addr = String::from_utf8(msg[5..].to_vec())
+        .map_err(|_| coord_err("non-UTF-8 mesh address in HELLO".to_string()))?;
+    Ok((rank, addr))
+}
+
+fn spawn_control_reader(rank: usize, mut reader: Conn, tx: mpsc::Sender<(usize, Vec<u8>)>) {
+    std::thread::spawn(move || {
+        while let Ok(Some(msg)) = read_frame(&mut reader) {
+            if tx.send((rank, msg)).is_err() {
+                break;
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -944,6 +1731,39 @@ mod tests {
         assert_eq!(read_frame(&mut rx).unwrap(), Some(vec![]));
         drop(tx);
         assert_eq!(read_frame(&mut rx).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn rejoin_frame_round_trips() {
+        let msg = encode_rejoin(7, "/tmp/r7.sock");
+        assert_eq!(msg[0], CTL_REJOIN);
+        assert_eq!(decode_rejoin(&msg), Some((7, "/tmp/r7.sock".to_string())));
+        assert_eq!(decode_rejoin(&msg[..3]), None, "truncated frame");
+    }
+
+    #[test]
+    fn restart_policy_follows_the_fault_plan() {
+        let mut plan = crate::fault::FaultPlan::none();
+        assert!(matches!(
+            RestartPolicy::for_plan(&plan),
+            RestartPolicy::Never
+        ));
+        assert!(!RestartPolicy::Never.respawns());
+        plan.kill_points.insert(1, 0);
+        plan.kill_restart = true;
+        let policy = RestartPolicy::for_plan(&plan);
+        assert!(policy.respawns());
+        assert!(policy.allows(0), "first restart is within budget");
+        assert!(!policy.allows(1), "budget is one restart per rank");
+    }
+
+    #[test]
+    fn child_exit_classification() {
+        use std::process::Command;
+        let ok = Command::new("true").status().unwrap();
+        assert_eq!(ChildExit::classify(ok), ChildExit::Clean);
+        let fail = Command::new("false").status().unwrap();
+        assert_eq!(ChildExit::classify(fail), ChildExit::Code(1));
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Property tests for epoch-stamped membership driven through the full
+//! cluster stack: every survivor of a given fault seed must converge on
+//! the *same* epoch-stamped view — same members, same epoch — regardless
+//! of thread interleaving, and restart-from-checkpoint kills must leave
+//! membership untouched (the victim rejoins; nobody is buried).
+//!
+//! The in-module proptests on [`lcc_comm::ClusterView`] pin the pure
+//! transition function (epoch = number of strict growths, duplicates
+//! free); these pin the wiring: `FaultPlan` ground truth → transport
+//! evidence → `detect_failures` sweeps → converged views.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lcc_comm::{run_cluster_with_faults, CommError, CommWorld, FaultPlan, RetryPolicy};
+use proptest::prelude::*;
+
+/// What one surviving rank reports after the probe: its converged
+/// (epoch, dead set). `None` = this rank was killed by the injector.
+type Probe = Option<(u64, Vec<usize>)>;
+
+/// Crosses gates `0..gates`, sweeping for failures after each, and
+/// reports the final view. Victims of the kill injector report `None`.
+fn probe(w: &mut CommWorld, gates: u64) -> Probe {
+    let mut last_epoch = 0;
+    for gate in 0..gates {
+        match w.protocol_point(gate) {
+            Ok(()) => {}
+            Err(CommError::Killed { .. }) => return None,
+            Err(e) => panic!("gate {gate} failed: {e}"),
+        }
+        w.detect_failures();
+        let epoch = w.current_view().epoch();
+        assert!(epoch >= last_epoch, "epochs never regress");
+        last_epoch = epoch;
+    }
+    let view = w.current_view();
+    Some((view.epoch(), view.dead_ranks().collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any mix of start-time crashes and a mid-run kill: every survivor
+    /// converges on the identical view, whose dead set is exactly the
+    /// plan's doomed set and whose epoch counts the sweeps that found
+    /// something new (here 0 or 1 — the ground-truth probe and the
+    /// transport evidence agree from the first sweep after the death).
+    #[test]
+    fn survivors_converge_on_the_same_view(
+        seed in 1u64..0x7FFF_FFFF_FFFF_FFFF,
+        p in 2usize..5,
+        crashed_raw in proptest::collection::vec(0usize..4, 0..3),
+        kill_sel in 0usize..5, // 4 = no kill
+        kill_gate in 0u64..3,
+    ) {
+        let crashed: BTreeSet<usize> =
+            crashed_raw.into_iter().filter(|&r| r < p).collect();
+        let mut plan = FaultPlan::new(seed);
+        for &r in &crashed {
+            plan = plan.with_crashed(r);
+        }
+        let kill = (kill_sel < p && !crashed.contains(&kill_sel))
+            .then_some((kill_sel, kill_gate));
+        if let Some((victim, gate)) = kill {
+            plan = plan.with_kill(victim, gate);
+        }
+        let doomed = plan.doomed_ranks(p);
+        if doomed.len() >= p {
+            return Ok(()); // nobody left to report: vacuous deployment
+        }
+
+        let (results, stats) =
+            run_cluster_with_faults(p, plan.clone(), RetryPolicy::scaled_for(p), {
+                move |mut w| probe(&mut w, 3)
+            });
+
+        let expect_epoch = u64::from(!doomed.is_empty());
+        let expect_dead: Vec<usize> = doomed.iter().copied().collect();
+        let mut survivors = 0u64;
+        for (rank, slot) in results.iter().enumerate() {
+            if plan.is_crashed(rank) {
+                prop_assert!(slot.is_none(), "crashed rank {} never ran", rank);
+            } else if plan.killed_for_good(rank) {
+                prop_assert_eq!(slot, &Some(None), "victim {} reports nothing", rank);
+            } else {
+                let (epoch, dead) = slot
+                    .as_ref()
+                    .and_then(|s| s.as_ref())
+                    .expect("survivor reports its view");
+                prop_assert_eq!(*epoch, expect_epoch, "rank {} epoch", rank);
+                prop_assert_eq!(dead, &expect_dead, "rank {} dead set", rank);
+                survivors += 1;
+            }
+        }
+        // Every rank that ran at least one sweep buried each doomed rank
+        // exactly once: the survivors, plus a kill victim that crossed
+        // gate 0 before dying (a victim struck at gate 0 never sweeps).
+        let sweepers = survivors + u64::from(kill.is_some_and(|(_, g)| g >= 1));
+        prop_assert_eq!(
+            stats.deaths_detected_count(),
+            sweepers * doomed.len() as u64
+        );
+    }
+
+    /// Kills under a restart policy never touch membership: the victims
+    /// rejoin at their gates, every rank reports the optimistic epoch-0
+    /// all-alive view, and the rejoins are counted exactly once each.
+    #[test]
+    fn restarted_kills_leave_membership_untouched(
+        seed in 1u64..0x7FFF_FFFF_FFFF_FFFF,
+        victims_raw in proptest::collection::vec((0usize..4, 0u64..3), 1..3),
+    ) {
+        let p = 4;
+        let victims: BTreeMap<usize, u64> = victims_raw.into_iter().collect();
+        let mut plan = FaultPlan::new(seed).with_restart();
+        for (&rank, &gate) in &victims {
+            plan = plan.with_kill(rank, gate);
+        }
+        prop_assert!(plan.doomed_ranks(p).is_empty());
+
+        let (results, stats) =
+            run_cluster_with_faults(p, plan, RetryPolicy::scaled_for(p), {
+                move |mut w| probe(&mut w, 3)
+            });
+
+        for (rank, slot) in results.iter().enumerate() {
+            let (epoch, dead) = slot
+                .as_ref()
+                .and_then(|s| s.as_ref())
+                .expect("every rank survives a restarted kill");
+            prop_assert_eq!(*epoch, 0, "rank {}: no membership change", rank);
+            prop_assert!(dead.is_empty(), "rank {}: nobody stays buried", rank);
+        }
+        prop_assert_eq!(stats.deaths_detected_count(), 0);
+        prop_assert_eq!(stats.rejoin_count(), victims.len() as u64);
+    }
+}
+
+/// The monotone-growth anchor outside proptest: two staged deaths across
+/// a run are observed by every survivor as the same non-regressing epoch
+/// sequence ending at the full doomed set.
+#[test]
+fn staged_deaths_converge_for_all_survivors() {
+    let plan = FaultPlan::new(0xEB0C).with_kill(1, 0).with_kill(3, 2);
+    let doomed: BTreeSet<usize> = plan.doomed_ranks(4);
+    assert_eq!(doomed, BTreeSet::from([1, 3]));
+    let (results, _) = run_cluster_with_faults(4, plan, RetryPolicy::scaled_for(4), |mut w| {
+        probe(&mut w, 4)
+    });
+    for rank in [0usize, 2] {
+        let (epoch, dead) = results[rank]
+            .as_ref()
+            .and_then(|s| s.as_ref())
+            .expect("survivor reports");
+        assert_eq!(*epoch, 1, "ground truth surfaces in one sweep");
+        assert_eq!(dead, &vec![1, 3]);
+    }
+    for rank in [1usize, 3] {
+        assert_eq!(results[rank], Some(None), "victims report nothing");
+    }
+}

@@ -19,8 +19,8 @@ use proptest::prelude::*;
 
 use lcc_comm::transport::frame::{
     decode_epoch, decode_for, decode_owned, decode_view, encode_ack, encode_data, encode_epoch,
-    FrameDecodeError, WireFrame, WireFrameView, ACK_FRAME_LEN, DATA_HEADER, EPOCH_HEADER, KIND_ACK,
-    KIND_DATA,
+    encode_heartbeat, FrameDecodeError, WireFrame, WireFrameView, ACK_FRAME_LEN, DATA_HEADER,
+    EPOCH_HEADER, KIND_ACK, KIND_DATA, KIND_HEARTBEAT,
 };
 use lcc_comm::{CommError, FaultPlan, RetryPolicy};
 
@@ -141,6 +141,10 @@ proptest! {
             Ok(WireFrameView::Ack { seq, k }) => {
                 prop_assert_eq!(bytes[0], KIND_ACK);
                 prop_assert_eq!(encode_ack(seq, k), bytes.clone());
+            }
+            Ok(WireFrameView::Heartbeat { beat }) => {
+                prop_assert_eq!(bytes[0], KIND_HEARTBEAT);
+                prop_assert_eq!(encode_heartbeat(beat).to_vec(), bytes.clone());
             }
             Err(e) => prop_assert_eq!(e.len, bytes.len()),
         }

@@ -148,10 +148,25 @@ pub static CONVOLVE_SAMPLES: Counter = Counter::new("convolve.samples");
 /// MASSIF solver iterations executed.
 pub static MASSIF_ITERATIONS: Counter = Counter::new("massif.iterations");
 
+/// Heartbeat frames transmitted by the liveness layer.
+pub static LIVENESS_HEARTBEATS_SENT: Counter = Counter::new("liveness.heartbeats_sent");
+/// Heartbeat frames received by the liveness layer.
+pub static LIVENESS_HEARTBEATS_RECEIVED: Counter = Counter::new("liveness.heartbeats_received");
+/// Peers demoted on hard socket evidence (EPIPE/ECONNRESET/reader EOF).
+pub static LIVENESS_HARD_EVIDENCE: Counter = Counter::new("liveness.hard_evidence");
+/// Peers that crossed the adaptive silence threshold.
+pub static LIVENESS_SUSPICIONS: Counter = Counter::new("liveness.suspicions");
+/// Newly-dead ranks observed across membership sweeps (mirrors
+/// `LivenessStats::deaths_detected`).
+pub static LIVENESS_DEATHS_DETECTED: Counter = Counter::new("liveness.deaths_detected");
+/// Restart-from-checkpoint rejoins performed (mirrors
+/// `LivenessStats::rejoins`).
+pub static LIVENESS_REJOINS: Counter = Counter::new("liveness.rejoins");
+
 /// Last relative residual the MASSIF solver reported.
 pub static MASSIF_RESIDUAL: Gauge = Gauge::new("massif.residual");
 
-static COUNTERS: [&Counter; 20] = [
+static COUNTERS: [&Counter; 26] = [
     &COMM_BYTES_LOGICAL,
     &COMM_MESSAGES_LOGICAL,
     &COMM_BYTES_PHYSICAL,
@@ -172,6 +187,12 @@ static COUNTERS: [&Counter; 20] = [
     &CONVOLVE_EXCHANGE_BYTES,
     &CONVOLVE_SAMPLES,
     &MASSIF_ITERATIONS,
+    &LIVENESS_HEARTBEATS_SENT,
+    &LIVENESS_HEARTBEATS_RECEIVED,
+    &LIVENESS_HARD_EVIDENCE,
+    &LIVENESS_SUSPICIONS,
+    &LIVENESS_DEATHS_DETECTED,
+    &LIVENESS_REJOINS,
 ];
 
 static GAUGES: [&Gauge; 1] = [&MASSIF_RESIDUAL];

@@ -30,8 +30,9 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use lcc_bench::chaos;
 use lcc_bench::recovery::{self, RecoveryCase};
+use lcc_bench::survival::{self, SurvivalCase};
 use lcc_comm::transport::socket::{
-    self, run_socket_cluster, SocketClusterConfig, SocketFamily, Workload,
+    self, run_socket_cluster, RestartPolicy, SocketClusterConfig, SocketFamily, Workload,
 };
 use lcc_comm::{
     encode_f64s, run_cluster_with_faults, CommStatsSnapshot, CommWorld, FaultPlan, RetryPolicy,
@@ -99,12 +100,35 @@ mod workloads {
             }
         }
     }
+
+    /// The kill-chaos survival workload: a checkpointed MASSIF solve with
+    /// a liveness gate per chunk (where seeded SIGKILLs strike), then the
+    /// recovery exchange.
+    pub fn survival_field(mut w: CommWorld) -> Vec<u8> {
+        survival::rank_workload(&mut w, &SurvivalCase::standard())
+    }
+
+    /// An *unplanned* death: rank 2 aborts the moment it starts, with no
+    /// fault-plan entry announcing it, so survivors must demote it from
+    /// socket evidence alone. The abort only fires inside a spawned child
+    /// process — in-process this rank just returns a dead marker.
+    pub fn abort2_recovery(w: CommWorld) -> Vec<u8> {
+        if w.rank() == 2 {
+            if socket::is_child() {
+                std::process::abort();
+            }
+            return vec![0];
+        }
+        recovery_redistribute(w)
+    }
 }
 
 const REGISTRY: &[(&str, Workload)] = &[
     ("gather64", workloads::gather64),
     ("chaos", workloads::chaos_field),
     ("recovery_redistribute", workloads::recovery_redistribute),
+    ("survival", workloads::survival_field),
+    ("abort2", workloads::abort2_recovery),
 ];
 
 /// Entry point for spawned rank processes. A no-op in a normal test run;
@@ -306,6 +330,7 @@ fn execute_socket(s: &Scenario, family: SocketFamily) -> BackendRun {
         family,
         child_test: CHILD_TEST,
         obs_in_children: s.obs,
+        restart: RestartPolicy::for_plan(&s.plan),
     })
     .unwrap_or_else(|e| panic!("{}: socket cluster run failed: {e}", s.name));
     BackendRun {
@@ -417,6 +442,149 @@ for_each_backend!(chaos_rank_crash);
 for_each_backend!(recovery_crash_redistribute);
 for_each_backend!(recovery_deserter);
 for_each_backend!(obs_chaos_drop);
+
+// ---------------------------------------------------------------------------
+// Survival: mid-run SIGKILL of a live child process — the acceptance
+// scenario for the liveness layer. These bypass the Scenario machinery
+// because the agreement rules differ: a SIGKILLed process has no result
+// slot at all (it no longer exists), while its in-process twin returns the
+// empty payload; and the liveness pair (deaths detected, rejoins) must
+// replay identically even though detection *latency* is wall-clock.
+// ---------------------------------------------------------------------------
+
+/// A rank SIGKILLed mid-exchange with no restart policy: survivors detect
+/// the death without deadlock, redistribute, and produce payloads
+/// bit-identical to the in-process kill-injector replay.
+#[test]
+fn survival_kill_redistribute_agrees() {
+    let _serialize = cache();
+    let retry = recovery::fast_retry(4);
+    let plan = FaultPlan::new(0x5EED).with_kill(2, 1);
+    let (inproc, stats) = survival::run_survival_inproc(&plan, &retry);
+    let run = survival::run_survival_socket(&plan, &retry, CHILD_TEST, "survival")
+        .expect("survivors complete despite the mid-run SIGKILL");
+    for (rank, inproc_payload) in inproc.iter().enumerate() {
+        if plan.killed_for_good(rank) {
+            assert!(
+                inproc_payload.as_ref().is_some_and(|p| p.is_empty()),
+                "in-process victim returns the empty payload"
+            );
+            assert!(
+                run.results[rank].is_none(),
+                "a SIGKILLed process reports nothing"
+            );
+        } else {
+            assert_eq!(
+                *inproc_payload, run.results[rank],
+                "rank {rank}: survivor payload must be bit-identical across backends"
+            );
+        }
+    }
+    assert_eq!(
+        (stats.deaths_detected_count(), stats.rejoin_count()),
+        (run.liveness.deaths_detected, run.liveness.rejoins),
+        "the (deaths, rejoins) liveness pair must replay identically"
+    );
+    assert_eq!(run.kills.len(), 1, "exactly the seeded kill happened");
+    let kill = &run.kills[0];
+    assert!(kill.planned, "the kill was the seeded one");
+    assert_eq!((kill.rank, kill.point), (2, 1));
+    assert!(
+        kill.respawned_at_ns.is_none(),
+        "no restart policy, no respawn"
+    );
+    let detected = run
+        .first_detection_ns
+        .expect("survivors observed the death");
+    assert!(detected >= kill.killed_at_ns, "detection follows the kill");
+    assert!(
+        run.liveness.hard_evidence >= 1,
+        "the socket evidence reached the liveness boards"
+    );
+}
+
+/// The same SIGKILL under `RestartPolicy::FromCheckpoint`: the supervisor
+/// respawns the victim from its latest checkpoint, it rejoins the mesh,
+/// and the finished run is bit-identical to a fault-free one.
+#[test]
+fn survival_kill_restart_agrees() {
+    let _serialize = cache();
+    let retry = recovery::fast_retry(4);
+    let (clean, _) = survival::run_survival_inproc(&FaultPlan::none(), &retry);
+    let plan = FaultPlan::new(0x5EED).with_kill(1, 2).with_restart();
+    let (inproc, stats) = survival::run_survival_inproc(&plan, &retry);
+    assert_eq!(clean, inproc, "in-process restart replay is fault-free");
+    let run = survival::run_survival_socket(&plan, &retry, CHILD_TEST, "survival")
+        .expect("the respawned rank finishes the run");
+    for (rank, clean_payload) in clean.iter().enumerate() {
+        assert_eq!(
+            run.results[rank].as_ref(),
+            clean_payload.as_ref(),
+            "rank {rank}: restarted run must match fault-free bit-for-bit"
+        );
+    }
+    assert_eq!(
+        (stats.deaths_detected_count(), stats.rejoin_count()),
+        (run.liveness.deaths_detected, run.liveness.rejoins),
+        "the (deaths, rejoins) liveness pair must replay identically"
+    );
+    assert_eq!(run.liveness.rejoins, 1, "the victim rejoined exactly once");
+    assert_eq!(run.kills.len(), 1);
+    let kill = &run.kills[0];
+    assert!(kill.planned);
+    assert_eq!((kill.rank, kill.point), (1, 2));
+    let respawned = kill.respawned_at_ns.expect("the victim was respawned");
+    assert!(respawned >= kill.killed_at_ns, "respawn follows the kill");
+}
+
+/// An *unplanned* child death (a spontaneous `abort()` the fault plan never
+/// announced): the coordinator reaps the corpse, survivors demote the rank
+/// from socket evidence alone, and the run still completes.
+#[test]
+fn survival_unplanned_abort_is_survived() {
+    let _serialize = cache();
+    let run = run_socket_cluster(&SocketClusterConfig {
+        p: 4,
+        plan: FaultPlan::none(),
+        retry: recovery::fast_retry(4),
+        workload: "abort2",
+        family: SocketFamily::Uds,
+        child_test: CHILD_TEST,
+        obs_in_children: false,
+        restart: RestartPolicy::Never,
+    })
+    .expect("survivors finish without the aborted rank");
+    assert!(run.results[2].is_none(), "the aborted rank reports nothing");
+    let survivors: Vec<&Vec<u8>> = [0usize, 1, 3]
+        .iter()
+        .map(|&r| run.results[r].as_ref().expect("survivor reports"))
+        .collect();
+    assert!(
+        survivors.iter().all(|p| *p == survivors[0] && p[0] == 1),
+        "survivors agree on the recovered result"
+    );
+    assert_eq!(
+        run.liveness.deaths_detected, 3,
+        "each survivor detected the abort exactly once"
+    );
+    assert!(
+        run.liveness.hard_evidence >= 1,
+        "detection came from socket evidence — the plan announced nothing"
+    );
+    assert!(run.first_detection_ns.is_some());
+    let kill = run
+        .kills
+        .iter()
+        .find(|k| k.rank == 2)
+        .expect("the abort was logged");
+    assert!(!kill.planned, "the supervisor did not inflict this death");
+    assert_eq!(kill.point, u64::MAX, "no protocol point for an abort");
+    assert!(
+        matches!(kill.exit, Some(socket::ChildExit::Signal(_))),
+        "abort() dies by signal, got {:?}",
+        kill.exit
+    );
+}
 
 /// TCP-loopback leg (feature-gated): the framing and handshake survive a
 /// real network stack, with the same bit-identical results and counters.

@@ -1,0 +1,73 @@
+// lcc-lint: pretend-path crates/comm/src/transport/coord_err_fixture.rs
+//
+// Fixture for the coord-err leg of the `typed-error` rule (scoped to the
+// comm transport tree via the pretend path): the stringly `coord_err(…)`
+// constructor may not wrap timeout or child-exit conditions. Never
+// compiled — scanned by `lcc-lint --self-test`.
+
+fn deadline_wrapped_in_a_string(deadline: Instant) -> Result<(), CommError> {
+    if Instant::now() >= deadline {
+        return Err(coord_err("coordinator timed out".to_string())); //~ ERROR typed-error
+    }
+    Ok(())
+}
+
+fn exit_wrapped_in_a_string(sup: &mut ChildSupervisor) -> Result<(), CommError> {
+    if let Some((rank, exit)) = sup.reap().into_iter().next() {
+        return Err(coord_err(format!("rank {rank} died: {exit:?}"))); //~ ERROR typed-error
+    }
+    Ok(())
+}
+
+fn multi_line_call_sees_the_guard(elapsed: Duration, budget: Duration) -> Result<(), CommError> {
+    if elapsed > budget {
+        return Err(coord_err( //~ ERROR typed-error
+            "patience exhausted".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn typed_timeout_is_the_fix(rank: usize, deadline: Instant) -> Result<(), CommError> {
+    if Instant::now() >= deadline {
+        return Err(CommError::Timeout {
+            op: "coordinator_result",
+            rank,
+            waiting_on: usize::MAX,
+        });
+    }
+    Ok(())
+}
+
+fn typed_exit_is_the_fix(sup: &mut ChildSupervisor) -> Result<(), CommError> {
+    if let Some((rank, exit)) = sup.reap().into_iter().next() {
+        return Err(exit.to_error(rank));
+    }
+    Ok(())
+}
+
+fn protocol_violations_stay_stringly(msg: &[u8]) -> Result<(), CommError> {
+    if msg.first() != Some(&0x10) {
+        return Err(coord_err("malformed HELLO frame".to_string()));
+    }
+    Ok(())
+}
+
+fn sibling_timeout_arm_does_not_contaminate(rx: &Receiver<Vec<u8>>) -> Result<(), CommError> {
+    match rx.recv_timeout(PATIENCE) {
+        Ok(_) => Ok(()),
+        Err(RecvTimeoutError::Timeout) => Ok(()),
+        Err(RecvTimeoutError::Disconnected) => Err(coord_err(
+            "all control readers gone".to_string(),
+        )),
+    }
+}
+
+fn justified_site(deadline: Instant) -> Result<(), CommError> {
+    if Instant::now() >= deadline {
+        // lcc-lint: allow(coord-err) — fixture: aggregate condition with no
+        // single implicated rank.
+        return Err(coord_err("startup window closed".to_string()));
+    }
+    Ok(())
+}

@@ -20,7 +20,14 @@
 //! * `typed-error` — functions in `crates/comm/src` and `crates/core/src`
 //!   that return `Result` must use the crates' typed errors (`CommError`,
 //!   `CodecError`, `ConfigError`); returning `Box<dyn Error>` (or any
-//!   other `Box<dyn …>`) is a violation.
+//!   other `Box<dyn …>`) is a violation. Additionally, in
+//!   `crates/comm/src/transport/` the stringly `coord_err(…)` constructor
+//!   may not wrap a timeout or child-exit condition: a `coord_err` call
+//!   whose statement (or the block head right above it) references
+//!   deadline/exit machinery (`deadline`, `elapsed`, `exit`, `try_wait`,
+//!   `ChildExit`, …) must use `CommError::Timeout` /
+//!   `CommError::ChildExited` instead, or carry a
+//!   `// lcc-lint: allow(coord-err)` justification.
 
 use std::collections::BTreeMap;
 
@@ -77,6 +84,9 @@ pub fn check_file(path: &str, file: &SourceFile) -> (Vec<Violation>, Vec<usize>)
     }
     if in_ratcheted_tree(path) {
         check_typed_errors(path, file, &mut v);
+    }
+    if path.starts_with("crates/comm/src/transport/") {
+        check_coord_err(path, file, &mut v);
     }
     (v, unwrap_sites)
 }
@@ -254,6 +264,84 @@ fn check_typed_errors(path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
             });
         }
         idx = j.max(idx) + 1;
+    }
+}
+
+/// Code identifiers that mark a `coord_err` call as wrapping a timeout or
+/// child-exit condition. String contents are blanked by the lexer, so the
+/// rule keys off the *code* of the surrounding statement, not the message
+/// text — these are the identifiers deadline checks and reap paths cannot
+/// avoid naming.
+const COORD_ERR_CONTEXT_TOKENS: [&str; 7] = [
+    "deadline",
+    "elapsed",
+    "exit",
+    "exited",
+    "try_wait",
+    "wait_timeout",
+    "ChildExit",
+];
+
+/// `typed-error` (coord-err leg): in the transport tree, a stringly
+/// `coord_err(…)` may not stand in for a typed timeout/exit error. The
+/// scanned window is the statement containing the call — walking up
+/// through continuation lines and including the block head right above it
+/// (`if now >= deadline {`), walking down to the statement terminator —
+/// so the deadline comparison or the reaped exit binding is in view even
+/// when the `return Err(coord_err(…))` sits on its own line.
+fn check_coord_err(path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || find_word(&line.code, "coord_err", 0).is_none() {
+            continue;
+        }
+        if allow_escape(file, idx, "lcc-lint: allow(coord-err)") {
+            continue;
+        }
+        // Statement start: walk up through comment-only lines and
+        // continuation heads. A trailing `,` terminates too, so one match
+        // arm never bleeds into the arm above it.
+        let mut lo = idx;
+        while lo > 0 {
+            let prev = &file.lines[lo - 1];
+            let code = prev.code.trim_end();
+            let comment_only = code.trim().is_empty() && !prev.comment.is_empty();
+            let continuation = !code.trim().is_empty()
+                && !matches!(code.chars().last(), Some(';' | '{' | '}' | ','));
+            if comment_only || continuation {
+                lo -= 1;
+            } else {
+                break;
+            }
+        }
+        // The enclosing block head (the guard that decided to error).
+        let head = (lo > 0 && file.lines[lo - 1].code.trim_end().ends_with('{')).then(|| lo - 1);
+        // Statement end: the first terminated line at or below the call.
+        let mut hi = idx;
+        while hi + 1 < file.lines.len()
+            && !matches!(
+                file.lines[hi].code.trim_end().chars().last(),
+                Some(';' | '{' | '}')
+            )
+        {
+            hi += 1;
+        }
+        let token = head.into_iter().chain(lo..=hi).find_map(|j| {
+            COORD_ERR_CONTEXT_TOKENS
+                .iter()
+                .find(|tok| find_word(&file.lines[j].code, tok, 0).is_some())
+        });
+        if let Some(tok) = token {
+            out.push(Violation {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "typed-error",
+                msg: format!(
+                    "`coord_err` string-wraps a timeout/exit condition (`{tok}` in the \
+                     statement); use `CommError::Timeout` / `CommError::ChildExited`, \
+                     or justify with `// lcc-lint: allow(coord-err)`"
+                ),
+            });
+        }
     }
 }
 
@@ -469,6 +557,75 @@ pub fn multi_line(
         assert!(v.iter().all(|x| x.rule == "typed-error"));
         assert_eq!(v[0].line, 1);
         assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn coord_err_wrapping_a_deadline_is_flagged() {
+        let src = "\
+fn serve() -> Result<(), CommError> {
+    if Instant::now() >= deadline {
+        return Err(coord_err(\"timed out\".to_string()));
+    }
+    Ok(())
+}
+";
+        let v = check("crates/comm/src/transport/socket.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "typed-error");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].msg.contains("deadline"), "{v:?}");
+        // Outside the transport tree the coord-err leg stays silent.
+        assert!(check("crates/comm/src/cluster.rs", src).is_empty());
+    }
+
+    #[test]
+    fn coord_err_wrapping_a_child_exit_is_flagged() {
+        let src = "\
+fn gather(sup: &mut Sup) -> Result<(), CommError> {
+    if let Some((rank, exit)) = sup.reap().into_iter().next() {
+        return Err(coord_err(format!(
+            \"rank died\"
+        )));
+    }
+    Ok(())
+}
+";
+        let v = check("crates/comm/src/transport/socket.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "typed-error");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn coord_err_for_protocol_violations_is_fine() {
+        // Framing/protocol errors are what coord_err is *for* — and a
+        // sibling match arm naming RecvTimeoutError::Timeout must not
+        // contaminate the arm below it (`,` terminates the walk).
+        let src = "\
+fn pump() -> Result<(), CommError> {
+    match rx.recv() {
+        Err(RecvTimeoutError::Timeout) => Ok(()),
+        Err(RecvTimeoutError::Disconnected) => Err(coord_err(
+            \"all control readers gone\".to_string(),
+        )),
+    }
+}
+";
+        assert!(check("crates/comm/src/transport/socket.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_coord_err_escape_is_honoured() {
+        let src = "\
+fn serve() -> Result<(), CommError> {
+    if Instant::now() >= deadline {
+        // lcc-lint: allow(coord-err) — aggregate condition, no single peer
+        return Err(coord_err(\"startup deadline\".to_string()));
+    }
+    Ok(())
+}
+";
+        assert!(check("crates/comm/src/transport/socket.rs", src).is_empty());
     }
 
     #[test]

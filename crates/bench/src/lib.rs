@@ -17,7 +17,7 @@
 //! | `exp_fftx_plan` | §6 / Fig. 5 — FFTX plan composition |
 //! | `exp_chaos` | fault-injection sweep — retry protocol vs message loss |
 //! | `exp_recovery` | self-healing sweep — crash × crash-time × recovery policy |
-//! | `exp_pipeline_perf` | threads × (n, k, B) pipeline sweep — wall-clock, speedup vs 1 thread, steady-state allocations |
+//! | `exp_pipeline_perf` | threads × (n, k, B) × kernel-variant sweep — wall-clock, speedup vs 1 thread, steady-state allocations, single-core GFLOP/s + roofline fraction |
 //!
 //! `exp_chaos` and `exp_recovery` also emit machine-readable
 //! `BENCH_chaos.json` / `BENCH_recovery.json` (see [`json`]); the
@@ -28,6 +28,7 @@ pub mod alloc_track;
 pub mod chaos;
 pub mod json;
 pub mod recovery;
+pub mod roofline;
 pub mod survival;
 
 use std::time::Instant;

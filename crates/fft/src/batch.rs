@@ -168,6 +168,16 @@ pub fn fft_axis(
     process_pencils(data, &set, stride, &plan);
 }
 
+/// Cache-block budget for a gather/scatter tile: tile footprint
+/// `width · len · 16 bytes` stays within half a typical 256 KiB L2 so the
+/// tile, its split-layout scratch and the twiddle tables coexist.
+const TILE_BYTES: usize = 128 * 1024;
+
+/// Pencils per tile for transform length `len`, at most `max_width`.
+fn tile_width(len: usize, max_width: usize) -> usize {
+    (TILE_BYTES / (std::mem::size_of::<Complex64>() * len.max(1))).clamp(1, max_width.max(1))
+}
+
 /// Transforms the given disjoint pencils (defined by base offsets from
 /// `set`, common `stride`, and the plan's length) in parallel.
 fn process_pencils(data: &mut [Complex64], set: &PencilSet, stride: usize, plan: &FftPlan) {
@@ -204,28 +214,90 @@ fn process_pencils(data: &mut [Complex64], set: &PencilSet, stride: usize, plan:
             let pencil = unsafe { std::slice::from_raw_parts_mut(p.0.add(off), len) };
             plan.process(pencil);
         });
-    } else {
-        (0..count)
-            .into_par_iter()
-            .for_each_init(workspace, |ws, i| {
-                let p = ptr;
-                let off = set.offset(i);
-                let _claim =
-                    crate::detector::register(p.0 as usize, off, stride, len, "strided pencil");
-                let [scratch] = ws.complex_bufs([len]);
-                for (t, s) in scratch.iter_mut().enumerate() {
-                    // SAFETY: disjoint strided index sets per task, in bounds
-                    // by the assert above. The scratch is fully overwritten
-                    // here before the transform reads it.
-                    *s = unsafe { *p.0.add(off + t * stride) };
-                }
-                plan.process(scratch);
-                for (t, s) in scratch.iter().enumerate() {
-                    // SAFETY: as above.
-                    unsafe { *p.0.add(off + t * stride) = *s };
-                }
-            });
+        return;
     }
+    // Cache-blocked path for grids of *adjacent* strided pencils
+    // (`inner_step == 1`, the axis-0/axis-1 geometry): gather a tile of
+    // `w ≤ inner` neighboring pencils per task so every memory pass reads
+    // `w` contiguous elements instead of one element per cache line, then
+    // transform the tile's rows from L2. `inner ≤ stride` guarantees the
+    // tile's index map `(t, u) → off + t·stride + u` is injective and tiles
+    // of distinct rows stay disjoint.
+    if let PencilSet::Grid {
+        outer,
+        outer_step,
+        inner,
+        inner_step: 1,
+    } = *set
+    {
+        if inner > 1 && inner <= stride {
+            let tw = tile_width(len, inner);
+            let tiles_per_row = inner.div_ceil(tw);
+            (0..outer * tiles_per_row)
+                .into_par_iter()
+                .for_each_init(workspace, |ws, ti| {
+                    let p = ptr;
+                    let i0 = (ti % tiles_per_row) * tw;
+                    let w = tw.min(inner - i0);
+                    let off = (ti / tiles_per_row) * outer_step + i0;
+                    let _claim = crate::detector::register_wide(
+                        p.0 as usize,
+                        off,
+                        stride,
+                        len,
+                        w,
+                        "pencil tile",
+                    );
+                    let [tile] = ws.complex_bufs([w * len]);
+                    // Gather: pencil `u` of the tile becomes the contiguous
+                    // row tile[u·len..], reading `w` adjacent elements per
+                    // strided step.
+                    for t in 0..len {
+                        let src = off + t * stride;
+                        for u in 0..w {
+                            // SAFETY: tiles of the same row cover disjoint
+                            // base intervals, tiles of different rows are
+                            // `outer_step` apart; all indices are below
+                            // `max_needed`, checked above. The tile scratch
+                            // is fully overwritten before the transform
+                            // reads it.
+                            tile[u * len + t] = unsafe { *p.0.add(src + u) };
+                        }
+                    }
+                    for row in tile.chunks_exact_mut(len) {
+                        plan.process(row);
+                    }
+                    for t in 0..len {
+                        let dst = off + t * stride;
+                        for u in 0..w {
+                            // SAFETY: as above.
+                            unsafe { *p.0.add(dst + u) = tile[u * len + t] };
+                        }
+                    }
+                });
+            return;
+        }
+    }
+    (0..count)
+        .into_par_iter()
+        .for_each_init(workspace, |ws, i| {
+            let p = ptr;
+            let off = set.offset(i);
+            let _claim =
+                crate::detector::register(p.0 as usize, off, stride, len, "strided pencil");
+            let [scratch] = ws.complex_bufs([len]);
+            for (t, s) in scratch.iter_mut().enumerate() {
+                // SAFETY: disjoint strided index sets per task, in bounds
+                // by the assert above. The scratch is fully overwritten
+                // here before the transform reads it.
+                *s = unsafe { *p.0.add(off + t * stride) };
+            }
+            plan.process(scratch);
+            for (t, s) in scratch.iter().enumerate() {
+                // SAFETY: as above.
+                unsafe { *p.0.add(off + t * stride) = *s };
+            }
+        });
 }
 
 /// Transforms a subset of axis-2 pencils given by `(i0, i1)` pairs.
@@ -487,6 +559,32 @@ mod tests {
         let _claims: Vec<_> = (0..set.count())
             .map(|i| crate::detector::register(buf, set.offset(i), 4, 2, "test pencil"))
             .collect();
+    }
+
+    #[test]
+    fn tile_width_respects_budget_and_bounds() {
+        // 128 KiB / (16 B · 512) = 16 pencils per tile.
+        assert_eq!(tile_width(512, 27), 16);
+        // Never wider than the row…
+        assert_eq!(tile_width(16, 3), 3);
+        // …and never zero, even for absurd lengths.
+        assert_eq!(tile_width(1 << 24, 8), 1);
+        assert_eq!(tile_width(0, 0), 1);
+    }
+
+    #[test]
+    fn tiled_path_with_partial_tail_tile_matches_reference() {
+        // Axis 0 of (512, 3, 9): len 512, inner = stride = 27, so the
+        // cache-blocked path runs with tile width 16 → tiles of 16 and 11
+        // pencils (a partial tail tile) in each row.
+        let planner = FftPlanner::new();
+        let dims = (512, 3, 9);
+        let mut data = fill(dims);
+        let expect = reference_axis(&data, dims, 0, FftDirection::Forward);
+        fft_axis(&planner, &mut data, dims, 0, FftDirection::Forward);
+        for (a, b) in data.iter().zip(&expect) {
+            assert!((*a - *b).norm() < 1e-6);
+        }
     }
 
     #[test]

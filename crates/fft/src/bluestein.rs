@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use crate::complex::Complex64;
 use crate::radix2::Radix2Fft;
+use crate::simd::Variant;
 use crate::workspace::workspace;
 use crate::{Fft, FftDirection};
 
@@ -31,8 +32,25 @@ pub struct BluesteinFft {
 }
 
 impl BluesteinFft {
-    /// Plans a transform of any length `n ≥ 1`.
+    /// Plans a transform of any length `n ≥ 1`; the inner power-of-two
+    /// convolution follows the process-wide SIMD variant detection.
     pub fn new(n: usize, direction: FftDirection) -> Self {
+        Self::build(n, direction, Radix2Fft::new)
+    }
+
+    /// Plans with an explicitly forced kernel [`Variant`] for the inner
+    /// power-of-two transforms (test/benchmark hook).
+    pub fn with_variant(n: usize, direction: FftDirection, variant: Variant) -> Self {
+        Self::build(n, direction, move |m, d| {
+            Radix2Fft::with_variant(m, d, variant)
+        })
+    }
+
+    fn build(
+        n: usize,
+        direction: FftDirection,
+        inner: impl Fn(usize, FftDirection) -> Radix2Fft,
+    ) -> Self {
         assert!(n >= 1, "BluesteinFft requires n >= 1");
         let m = (2 * n - 1).next_power_of_two();
         let sign = direction.angle_sign();
@@ -61,8 +79,8 @@ impl BluesteinFft {
             }
         }
 
-        let inner_fwd = Arc::new(Radix2Fft::new(m, FftDirection::Forward));
-        let inner_inv = Arc::new(Radix2Fft::new(m, FftDirection::Inverse));
+        let inner_fwd = Arc::new(inner(m, FftDirection::Forward));
+        let inner_inv = Arc::new(inner(m, FftDirection::Inverse));
         inner_fwd.process(&mut kernel);
 
         BluesteinFft {
@@ -88,6 +106,10 @@ impl Fft for BluesteinFft {
 
     fn direction(&self) -> FftDirection {
         self.direction
+    }
+
+    fn kernel_kind(&self) -> &'static str {
+        "bluestein"
     }
 
     fn process(&self, buf: &mut [Complex64]) {

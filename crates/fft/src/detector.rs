@@ -34,13 +34,17 @@ mod imp {
 
     use parking_lot::Mutex;
 
-    /// One live claimed region: a strided index set of a tagged buffer.
+    /// One live claimed region: the index set
+    /// `{base + t·stride + u : t < len, u < width}` of a tagged buffer.
+    /// `width == 1` is the classic single-pencil case; the cache-blocked
+    /// batch path claims a whole tile of `width` adjacent pencils at once.
     struct Region {
         id: u64,
         buf: usize,
         base: usize,
         stride: usize,
         len: usize,
+        width: usize,
         epoch: u64,
         thread: ThreadId,
         label: &'static str,
@@ -60,22 +64,33 @@ mod imp {
         a
     }
 
+    /// Whether the half-open circular residue intervals `[ra, ra+wa)` and
+    /// `[rb, rb+wb)` (mod `m`) intersect. Widths ≥ `m` cover every residue.
+    fn residue_intervals_meet(m: usize, ra: usize, wa: usize, rb: usize, wb: usize) -> bool {
+        if wa >= m || wb >= m {
+            return true;
+        }
+        (rb + m - ra) % m < wa || (ra + m - rb) % m < wb
+    }
+
     /// Whether two regions' index sets can intersect. Exact for equal
-    /// strides; conservative (may report a near-miss) otherwise.
+    /// strides; conservative (may report a near-miss) otherwise. A width-`w`
+    /// region occupies the residue interval `[base % s, base % s + w)`
+    /// (circularly) mod the stride, so the classic congruence test becomes
+    /// an interval intersection; `width == 1` on both sides reduces to it.
     fn overlaps(a: &Region, b: &Region) -> bool {
         if a.buf != b.buf || a.len == 0 || b.len == 0 {
             return false;
         }
         let (sa, sb) = (a.stride.max(1), b.stride.max(1));
-        if a.base > b.base + (b.len - 1) * sb || b.base > a.base + (a.len - 1) * sa {
+        let (wa, wb) = (a.width.max(1), b.width.max(1));
+        if a.base > b.base + (b.len - 1) * sb + (wb - 1)
+            || b.base > a.base + (a.len - 1) * sa + (wa - 1)
+        {
             return false;
         }
-        if sa == sb {
-            a.base % sa == b.base % sa
-        } else {
-            let g = gcd(sa, sb);
-            a.base % g == b.base % g
-        }
+        let m = if sa == sb { sa } else { gcd(sa, sb) };
+        residue_intervals_meet(m, a.base % m, wa, b.base % m, wb)
     }
 
     /// RAII release of a registered region.
@@ -110,12 +125,28 @@ mod imp {
         len: usize,
         label: &'static str,
     ) -> RegionGuard {
+        register_wide(buf, base, stride, len, 1, label)
+    }
+
+    /// Claims the two-dimensional region
+    /// `{base + t·stride + u : t < len, u < width}` — a *tile* of `width`
+    /// adjacent pencils, as dispatched by the cache-blocked batch path.
+    #[track_caller]
+    pub fn register_wide(
+        buf: usize,
+        base: usize,
+        stride: usize,
+        len: usize,
+        width: usize,
+        label: &'static str,
+    ) -> RegionGuard {
         let region = Region {
             id: NEXT_REGION.fetch_add(1, Ordering::Relaxed),
             buf,
             base,
             stride,
             len,
+            width,
             epoch: EPOCH.load(Ordering::Relaxed),
             thread: std::thread::current().id(),
             label,
@@ -125,14 +156,15 @@ mod imp {
         if let Some(prior) = reg.iter().find(|r| overlaps(r, &region)) {
             let msg = format!(
                 "overlapping pencils: {} at {} (buf {:#x}, base {}, stride {}, len {}, \
-                 {:?}, epoch {}) overlaps live {} at {} (base {}, stride {}, len {}, \
-                 {:?}, epoch {})",
+                 width {}, {:?}, epoch {}) overlaps live {} at {} (base {}, stride {}, \
+                 len {}, width {}, {:?}, epoch {})",
                 region.label,
                 region.site,
                 region.buf,
                 region.base,
                 region.stride,
                 region.len,
+                region.width,
                 region.thread,
                 region.epoch,
                 prior.label,
@@ -140,6 +172,7 @@ mod imp {
                 prior.base,
                 prior.stride,
                 prior.len,
+                prior.width,
                 prior.thread,
                 prior.epoch,
             );
@@ -158,7 +191,7 @@ mod imp {
 }
 
 #[cfg(any(debug_assertions, feature = "analysis"))]
-pub use imp::{begin_epoch, live_regions, register, RegionGuard};
+pub use imp::{begin_epoch, live_regions, register, register_wide, RegionGuard};
 
 #[cfg(not(any(debug_assertions, feature = "analysis")))]
 mod noop {
@@ -182,13 +215,25 @@ mod noop {
     }
 
     #[inline(always)]
+    pub fn register_wide(
+        _buf: usize,
+        _base: usize,
+        _stride: usize,
+        _len: usize,
+        _width: usize,
+        _label: &'static str,
+    ) -> RegionGuard {
+        RegionGuard
+    }
+
+    #[inline(always)]
     pub fn live_regions() -> usize {
         0
     }
 }
 
 #[cfg(not(any(debug_assertions, feature = "analysis")))]
-pub use noop::{begin_epoch, live_regions, register, RegionGuard};
+pub use noop::{begin_epoch, live_regions, register, register_wide, RegionGuard};
 
 #[cfg(all(test, any(debug_assertions, feature = "analysis")))]
 mod tests {
@@ -231,6 +276,44 @@ mod tests {
         let buf = 0xC0DE000;
         let _a = register(buf, 0, 2, 10, "even indices");
         let _b = register(buf, 6, 4, 3, "every fourth from 6");
+    }
+
+    #[test]
+    fn disjoint_tiles_coexist() {
+        let buf = 0x711E000;
+        // Stride 16, width 4: tiles at residues 0..4, 4..8, 8..12 never meet.
+        let _a = register_wide(buf, 0, 16, 8, 4, "tile a");
+        let _b = register_wide(buf, 4, 16, 8, 4, "tile b");
+        let _c = register_wide(buf, 8, 16, 8, 4, "tile c");
+        // Same residue interval, but past the other tiles' end.
+        let _d = register_wide(buf, 8 * 16, 16, 8, 4, "tile d");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping pencils")]
+    fn overlapping_tile_residues_panic() {
+        let buf = 0x711E100;
+        let _a = register_wide(buf, 0, 16, 8, 4, "tile a");
+        // Residues 3..7 intersect 0..4 at {3}.
+        let _b = register_wide(buf, 3, 16, 8, 4, "tile b");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping pencils")]
+    fn tile_overlapping_plain_pencil_panics() {
+        let buf = 0x711E200;
+        let _a = register_wide(buf, 0, 16, 8, 4, "tile");
+        // A width-1 pencil inside the tile's residue interval.
+        let _b = register(buf, 2, 16, 8, "pencil");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping pencils")]
+    fn wraparound_residue_interval_panics() {
+        let buf = 0x711E300;
+        // Residue interval 14..18 mod 16 wraps to {14, 15, 0, 1}.
+        let _a = register_wide(buf, 14, 16, 8, 4, "wrapping tile");
+        let _b = register(buf, 16, 16, 8, "pencil at residue 0");
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! Provided transforms:
 //!
 //! * [`radix2::Radix2Fft`] — iterative power-of-two Cooley-Tukey kernel.
+//! * [`radix4::Radix4Fft`] / [`radix8::Radix8Fft`] — higher-radix variants
+//!   with fewer memory passes; the planner's power-of-two workhorses.
+//! * [`simd`] — runtime-dispatched split-layout vector butterfly kernels
+//!   (AVX2+FMA / NEON) shared by all power-of-two plans.
 //! * [`bluestein::BluesteinFft`] — arbitrary lengths via the chirp-z
 //!   reformulation.
 //! * [`planner::FftPlanner`] — thread-safe plan cache, FFTW-style.
@@ -35,7 +39,9 @@ pub mod planner;
 pub mod pruned;
 pub mod radix2;
 pub mod radix4;
+pub mod radix8;
 pub mod real;
+pub mod simd;
 pub mod workspace;
 
 pub use batch::{fft_axis, fft_axis2_batch, scale_in_place, Dims3};
@@ -45,6 +51,7 @@ pub use nd_real::{fft_3d_r2c, ifft_3d_c2r, r2c_memory_factor};
 pub use planner::{fft_in_place, ifft_normalized, FftPlan, FftPlanner};
 pub use pruned::{DecimatedOutputFft, PrunedInputFft, PrunedPlanner};
 pub use real::{RealFft, RealIfft};
+pub use simd::{ulp_at, ulp_diff_floored, variant_name, Variant};
 pub use workspace::{workspace, Workspace, WorkspaceGuard};
 
 /// Transform direction. Forward uses the `e^{-2πi jn/N}` kernel; Inverse uses
@@ -89,6 +96,12 @@ pub trait Fft {
     fn direction(&self) -> FftDirection;
     /// Transforms `buf` in place. Panics if `buf.len() != self.len()`.
     fn process(&self, buf: &mut [Complex64]);
+    /// Short static tag naming the kernel family executing this plan
+    /// (e.g. `"radix8"`, `"bluestein"`). Introspection/benchmark hook;
+    /// never used for dispatch.
+    fn kernel_kind(&self) -> &'static str {
+        "unknown"
+    }
 }
 
 #[cfg(test)]

@@ -29,11 +29,18 @@ use crate::bluestein::BluesteinFft;
 use crate::complex::Complex64;
 use crate::dft::dft_into;
 use crate::radix4::Radix4Fft;
+use crate::radix8::Radix8Fft;
+use crate::simd::Variant;
 use crate::workspace::workspace;
 use crate::{Fft, FftDirection};
 
 /// Threshold below which non-power-of-two sizes use the naive DFT.
 const SMALL_DFT_LIMIT: usize = 16;
+
+/// Power-of-two sizes at or above this use the radix-8 kernel (fewer memory
+/// passes); below it the leading-stage bookkeeping isn't worth it and the
+/// radix-4/2 kernel wins.
+const RADIX8_MIN: usize = 64;
 
 /// Number of independent cache shards. Sixteen is plenty: the pipeline
 /// plans a handful of distinct sizes, and the point is only that a warm
@@ -52,6 +59,9 @@ impl Fft for SmallDft {
     }
     fn direction(&self) -> FftDirection {
         self.direction
+    }
+    fn kernel_kind(&self) -> &'static str {
+        "small-dft"
     }
     fn process(&self, buf: &mut [Complex64]) {
         assert_eq!(buf.len(), self.len);
@@ -76,6 +86,9 @@ type Slot = Arc<OnceLock<FftPlan>>;
 pub struct FftPlanner {
     shards: [RwLock<HashMap<Key, Slot>>; PLANNER_SHARDS],
     builds: std::sync::atomic::AtomicUsize,
+    /// Forced kernel variant for every plan this planner builds; `None`
+    /// follows the process-wide [`crate::simd::variant`] detection.
+    simd_variant: Option<Variant>,
 }
 
 /// Shard index for a key: multiplicative mix so the power-of-two-heavy
@@ -89,6 +102,23 @@ impl FftPlanner {
     /// Creates an empty planner.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty planner whose plans all use the given kernel
+    /// [`Variant`] instead of the process-wide detection. The seam used by
+    /// the SIMD identity suite and the benchmark's per-variant children;
+    /// forcing a variant the host lacks silently degrades to `Scalar`
+    /// (the scalar path is always safe to run).
+    pub fn with_simd_variant(variant: Variant) -> Self {
+        FftPlanner {
+            simd_variant: Some(variant),
+            ..Self::default()
+        }
+    }
+
+    /// The forced kernel variant, if any (`None` = process-wide detection).
+    pub fn simd_variant(&self) -> Option<Variant> {
+        self.simd_variant
     }
 
     /// Returns a plan for length `n` in `direction`, creating it on first use.
@@ -106,12 +136,16 @@ impl FftPlanner {
             // its inner power-of-two transform.
             self.builds
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            if n.is_power_of_two() {
-                Arc::new(Radix4Fft::new(n, direction)) as FftPlan
-            } else if n < SMALL_DFT_LIMIT {
-                Arc::new(SmallDft { len: n, direction })
-            } else {
-                Arc::new(BluesteinFft::new(n, direction))
+            match (n.is_power_of_two(), self.simd_variant) {
+                (true, v) if n >= RADIX8_MIN => match v {
+                    Some(v) => Arc::new(Radix8Fft::with_variant(n, direction, v)) as FftPlan,
+                    None => Arc::new(Radix8Fft::new(n, direction)),
+                },
+                (true, Some(v)) => Arc::new(Radix4Fft::with_variant(n, direction, v)),
+                (true, None) => Arc::new(Radix4Fft::new(n, direction)),
+                (false, _) if n < SMALL_DFT_LIMIT => Arc::new(SmallDft { len: n, direction }),
+                (false, Some(v)) => Arc::new(BluesteinFft::with_variant(n, direction, v)),
+                (false, None) => Arc::new(BluesteinFft::new(n, direction)),
             }
         })
         .clone()
@@ -273,5 +307,32 @@ mod tests {
     #[should_panic(expected = "zero-length")]
     fn zero_length_panics() {
         FftPlanner::new().plan_forward(0);
+    }
+
+    #[test]
+    fn kernel_kind_dispatch() {
+        let planner = FftPlanner::new();
+        assert_eq!(planner.plan_forward(32).kernel_kind(), "radix4");
+        assert_eq!(planner.plan_forward(64).kernel_kind(), "radix8");
+        assert_eq!(planner.plan_forward(1024).kernel_kind(), "radix8");
+        assert_eq!(planner.plan_forward(7).kernel_kind(), "small-dft");
+        assert_eq!(planner.plan_forward(100).kernel_kind(), "bluestein");
+    }
+
+    #[test]
+    fn forced_scalar_planner_matches_default() {
+        let auto = FftPlanner::new();
+        let scalar = FftPlanner::with_simd_variant(crate::simd::Variant::Scalar);
+        assert_eq!(scalar.simd_variant(), Some(crate::simd::Variant::Scalar));
+        for n in [32usize, 64, 100, 256] {
+            let x = signal(n);
+            let mut a = x.clone();
+            let mut b = x;
+            auto.plan_forward(n).process(&mut a);
+            scalar.plan_forward(n).process(&mut b);
+            for (p, q) in a.iter().zip(&b) {
+                assert!((*p - *q).norm() < 1e-6 * n as f64, "n={n}");
+            }
+        }
     }
 }

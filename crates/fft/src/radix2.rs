@@ -8,6 +8,7 @@
 // lcc-lint: hot-path — butterfly kernel; only plan-time may allocate.
 
 use crate::complex::Complex64;
+use crate::simd::{self, SimdPlan};
 use crate::{Fft, FftDirection};
 
 /// A planned radix-2 FFT of fixed power-of-two length and direction.
@@ -18,11 +19,28 @@ pub struct Radix2Fft {
     twiddles: Vec<Complex64>,
     /// Precomputed bit-reversal permutation (target index for each source).
     bitrev: Vec<u32>,
+    /// Split-layout SIMD executor, when a vector variant is active.
+    simd: Option<SimdPlan>,
 }
 
 impl Radix2Fft {
-    /// Plans a transform of length `n` (must be a power of two, n ≥ 1).
+    /// Plans a transform of length `n` (must be a power of two, n ≥ 1),
+    /// dispatching to the process-wide SIMD variant when one is active.
     pub fn new(n: usize, direction: FftDirection) -> Self {
+        Self::build(n, direction, SimdPlan::auto)
+    }
+
+    /// Plans with an explicitly forced kernel [`simd::Variant`]
+    /// (test/benchmark hook; `Scalar` forces the interleaved fallback).
+    pub fn with_variant(n: usize, direction: FftDirection, variant: simd::Variant) -> Self {
+        Self::build(n, direction, |n, d| SimdPlan::forced(n, d, variant))
+    }
+
+    fn build(
+        n: usize,
+        direction: FftDirection,
+        simd_plan: impl Fn(usize, FftDirection) -> Option<SimdPlan>,
+    ) -> Self {
         assert!(
             n.is_power_of_two(),
             "Radix2Fft requires power-of-two length, got {n}"
@@ -48,11 +66,14 @@ impl Radix2Fft {
             })
             .collect();
 
+        let simd = simd_plan(n, direction);
+
         Radix2Fft {
             len: n,
             direction,
             twiddles,
             bitrev,
+            simd,
         }
     }
 
@@ -76,10 +97,18 @@ impl Fft for Radix2Fft {
         self.direction
     }
 
+    fn kernel_kind(&self) -> &'static str {
+        "radix2"
+    }
+
     fn process(&self, buf: &mut [Complex64]) {
         let n = self.len;
         assert_eq!(buf.len(), n, "buffer length must equal plan length");
         if n <= 1 {
+            return;
+        }
+        if let Some(sp) = &self.simd {
+            sp.process(buf);
             return;
         }
         self.permute(buf);

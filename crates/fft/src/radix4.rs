@@ -10,6 +10,7 @@
 // lcc-lint: hot-path — butterfly kernel; only plan-time may allocate.
 
 use crate::complex::Complex64;
+use crate::simd::{self, SimdPlan};
 use crate::{Fft, FftDirection};
 
 /// A planned mixed radix-4/2 FFT of power-of-two length.
@@ -24,11 +25,28 @@ pub struct Radix4Fft {
     swaps: Vec<(u32, u32)>,
     /// True if one radix-2 stage is needed (n = 2 · 4^m).
     leading_radix2: bool,
+    /// Split-layout SIMD executor, when a vector variant is active.
+    simd: Option<SimdPlan>,
 }
 
 impl Radix4Fft {
-    /// Plans a transform of power-of-two length `n ≥ 1`.
+    /// Plans a transform of power-of-two length `n ≥ 1`, dispatching to the
+    /// process-wide SIMD variant when one is active.
     pub fn new(n: usize, direction: FftDirection) -> Self {
+        Self::build(n, direction, SimdPlan::auto)
+    }
+
+    /// Plans with an explicitly forced kernel [`simd::Variant`]
+    /// (test/benchmark hook; `Scalar` forces the interleaved fallback).
+    pub fn with_variant(n: usize, direction: FftDirection, variant: simd::Variant) -> Self {
+        Self::build(n, direction, |n, d| SimdPlan::forced(n, d, variant))
+    }
+
+    fn build(
+        n: usize,
+        direction: FftDirection,
+        simd_plan: impl Fn(usize, FftDirection) -> Option<SimdPlan>,
+    ) -> Self {
         assert!(
             n.is_power_of_two(),
             "Radix4Fft requires power-of-two length"
@@ -58,12 +76,14 @@ impl Radix4Fft {
                 swaps.push((i as u32, k as u32));
             }
         }
+        let simd = simd_plan(n, direction);
         Radix4Fft {
             len: n,
             direction,
             twiddles,
             swaps,
             leading_radix2,
+            simd,
         }
     }
 
@@ -112,10 +132,18 @@ impl Fft for Radix4Fft {
         self.direction
     }
 
+    fn kernel_kind(&self) -> &'static str {
+        "radix4"
+    }
+
     fn process(&self, buf: &mut [Complex64]) {
         let n = self.len;
         assert_eq!(buf.len(), n, "buffer length must equal plan length");
         if n <= 1 {
+            return;
+        }
+        if let Some(sp) = &self.simd {
+            sp.process(buf);
             return;
         }
         // Permute to digit-reversed order in place via the precomputed

@@ -1,0 +1,347 @@
+//! Mixed radix-8/4/2 decimation-in-time FFT.
+//!
+//! Radix-8 butterflies halve the number of memory passes relative to
+//! radix-2 (log₈ vs log₂ stages) and beat radix-4 by another third — the
+//! dominant cost of a large in-cache transform *is* the passes over the
+//! buffer. The 8-point butterfly decomposes into two 4-point DFTs
+//! (even/odd inputs) combined through the eighth roots of unity, whose odd
+//! powers reduce to a rotation, an add and a `1/√2` scale, so the extra
+//! radix costs almost no extra multiplies.
+//!
+//! `log₂(n) mod 3` leftover factors are handled by one leading radix-2 or
+//! radix-4 stage, mirroring [`crate::radix4::Radix4Fft`]'s leading-stage
+//! trick. The planner dispatches power-of-two sizes ≥ 64 here; smaller
+//! ones stay on the radix-4 kernel where the leading-stage bookkeeping
+//! would dominate.
+
+// lcc-lint: hot-path — butterfly kernel; only plan-time may allocate.
+
+use std::f64::consts::FRAC_1_SQRT_2;
+
+use crate::complex::Complex64;
+use crate::simd::{self, SimdPlan};
+use crate::{Fft, FftDirection};
+
+/// A planned mixed radix-8/4/2 FFT of power-of-two length.
+pub struct Radix8Fft {
+    len: usize,
+    direction: FftDirection,
+    /// `w^j = e^{sign·2πi·j/n}` for `j in 0..7n/8` (the radix-8 butterfly
+    /// reads `w^{qj}` for `q ≤ 7`; all live in one table).
+    twiddles: Vec<Complex64>,
+    /// Swap schedule realizing the digit-reversed permutation in place.
+    swaps: Vec<(u32, u32)>,
+    /// Stage radices in execution order (leading 2 or 4, then 8s).
+    radices: Vec<usize>,
+    /// Split-layout SIMD executor, when a vector variant is active.
+    simd: Option<SimdPlan>,
+}
+
+impl Radix8Fft {
+    /// Plans a transform of power-of-two length `n ≥ 1`, dispatching to the
+    /// process-wide SIMD variant when one is active.
+    pub fn new(n: usize, direction: FftDirection) -> Self {
+        Self::build(n, direction, SimdPlan::auto)
+    }
+
+    /// Plans with an explicitly forced kernel [`simd::Variant`]
+    /// (test/benchmark hook; `Scalar` forces the interleaved fallback).
+    pub fn with_variant(n: usize, direction: FftDirection, variant: simd::Variant) -> Self {
+        Self::build(n, direction, |n, d| SimdPlan::forced(n, d, variant))
+    }
+
+    fn build(
+        n: usize,
+        direction: FftDirection,
+        simd_plan: impl Fn(usize, FftDirection) -> Option<SimdPlan>,
+    ) -> Self {
+        assert!(
+            n.is_power_of_two(),
+            "Radix8Fft requires power-of-two length"
+        );
+        let sign = direction.angle_sign();
+        let step = sign * 2.0 * std::f64::consts::PI / n as f64;
+        let twiddles = (0..(7 * n / 8).max(1))
+            .map(|j| Complex64::cis(step * j as f64))
+            .collect();
+        let radices = Self::stage_radices(n);
+        let perm = simd::digit_reversal(n, &radices);
+        // In-place swap schedule for `out[i] = in[perm[i]]` (cycle-chase,
+        // as in `Radix4Fft::new`), so `process` permutes with zero scratch.
+        // lcc-lint: allow(alloc) — plan-time swap schedule, built once.
+        let mut swaps = Vec::new();
+        for i in 0..n {
+            let mut k = perm[i] as usize;
+            while k < i {
+                k = perm[k] as usize;
+            }
+            if k != i {
+                swaps.push((i as u32, k as u32));
+            }
+        }
+        let simd = simd_plan(n, direction);
+        Radix8Fft {
+            len: n,
+            direction,
+            twiddles,
+            swaps,
+            radices,
+            simd,
+        }
+    }
+
+    /// Stage radices for length `n`: the `log₂(n) mod 3` leftover runs
+    /// first as one radix-2 or radix-4 stage, then radix-8 stages.
+    fn stage_radices(n: usize) -> Vec<usize> {
+        // lcc-lint: allow(alloc) — plan-time stage list.
+        let mut radices = Vec::new();
+        let log = n.trailing_zeros() as usize;
+        match log % 3 {
+            1 => radices.push(2),
+            2 => radices.push(4),
+            _ => {}
+        }
+        radices.extend(std::iter::repeat_n(8, log / 3));
+        radices
+    }
+
+    #[inline(always)]
+    fn rot(&self, v: Complex64) -> Complex64 {
+        // Multiply by sign·i: forward (−i), inverse (+i).
+        match self.direction {
+            FftDirection::Forward => v.mul_neg_i(),
+            FftDirection::Inverse => v.mul_i(),
+        }
+    }
+
+    /// `w8^{±1}·z = (z + rot(z))/√2` — same formula both directions, the
+    /// rotation carries the sign.
+    #[inline(always)]
+    fn mul_w8(&self, z: Complex64) -> Complex64 {
+        (z + self.rot(z)).scale(FRAC_1_SQRT_2)
+    }
+
+    /// `w8^{±3}·z = (rot(z) − z)/√2`.
+    #[inline(always)]
+    fn mul_w8_cubed(&self, z: Complex64) -> Complex64 {
+        (self.rot(z) - z).scale(FRAC_1_SQRT_2)
+    }
+}
+
+impl Fft for Radix8Fft {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn direction(&self) -> FftDirection {
+        self.direction
+    }
+
+    fn kernel_kind(&self) -> &'static str {
+        "radix8"
+    }
+
+    fn process(&self, buf: &mut [Complex64]) {
+        let n = self.len;
+        assert_eq!(buf.len(), n, "buffer length must equal plan length");
+        if n <= 1 {
+            return;
+        }
+        if let Some(sp) = &self.simd {
+            sp.process(buf);
+            return;
+        }
+        for &(a, b) in &self.swaps {
+            buf.swap(a as usize, b as usize);
+        }
+
+        let mut m = 1usize;
+        for &radix in &self.radices {
+            let span = m * radix;
+            let stride = n / span;
+            match radix {
+                2 => {
+                    // Leading radix-2 stage over pairs (m == 1, twiddle 1).
+                    let mut i = 0;
+                    while i < n {
+                        let a = buf[i];
+                        let b = buf[i + 1];
+                        buf[i] = a + b;
+                        buf[i + 1] = a - b;
+                        i += 2;
+                    }
+                }
+                4 => {
+                    // Leading radix-4 stage (m == 1, twiddles 1).
+                    let mut base = 0;
+                    while base < n {
+                        let a = buf[base];
+                        let b = buf[base + 1];
+                        let c = buf[base + 2];
+                        let d = buf[base + 3];
+                        let t0 = a + c;
+                        let t1 = a - c;
+                        let t2 = b + d;
+                        let t3 = self.rot(b - d);
+                        buf[base] = t0 + t2;
+                        buf[base + 1] = t1 + t3;
+                        buf[base + 2] = t0 - t2;
+                        buf[base + 3] = t1 - t3;
+                        base += 4;
+                    }
+                }
+                _ => {
+                    let mut base = 0;
+                    while base < n {
+                        for j in 0..m {
+                            let js = j * stride;
+                            let i0 = base + j;
+                            let a = buf[i0];
+                            let b = buf[i0 + m] * self.twiddles[js];
+                            let c = buf[i0 + 2 * m] * self.twiddles[2 * js];
+                            let d = buf[i0 + 3 * m] * self.twiddles[3 * js];
+                            let e = buf[i0 + 4 * m] * self.twiddles[4 * js];
+                            let f = buf[i0 + 5 * m] * self.twiddles[5 * js];
+                            let g = buf[i0 + 6 * m] * self.twiddles[6 * js];
+                            let h = buf[i0 + 7 * m] * self.twiddles[7 * js];
+
+                            // Even 4-point DFT over (a, c, e, g).
+                            let t0 = a + e;
+                            let t1 = a - e;
+                            let t2 = c + g;
+                            let t3 = self.rot(c - g);
+                            let e0 = t0 + t2;
+                            let e1 = t1 + t3;
+                            let e2 = t0 - t2;
+                            let e3 = t1 - t3;
+
+                            // Odd 4-point DFT over (b, d, f, h).
+                            let u0 = b + f;
+                            let u1 = b - f;
+                            let u2 = d + h;
+                            let u3 = self.rot(d - h);
+                            let o0 = u0 + u2;
+                            let o1 = self.mul_w8(u1 + u3);
+                            let o2 = self.rot(u0 - u2);
+                            let o3 = self.mul_w8_cubed(u1 - u3);
+
+                            buf[i0] = e0 + o0;
+                            buf[i0 + m] = e1 + o1;
+                            buf[i0 + 2 * m] = e2 + o2;
+                            buf[i0 + 3 * m] = e3 + o3;
+                            buf[i0 + 4 * m] = e0 - o0;
+                            buf[i0 + 5 * m] = e1 - o1;
+                            buf[i0 + 6 * m] = e2 - o2;
+                            buf[i0 + 7 * m] = e3 - o3;
+                        }
+                        base += span;
+                    }
+                }
+            }
+            m = span;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::dft::dft;
+    use crate::radix4::Radix4Fft;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| c64((i as f64 * 0.9).sin(), (i as f64 * 0.4).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn stage_radices_cover_all_leftovers() {
+        assert_eq!(Radix8Fft::stage_radices(8), vec![8]);
+        assert_eq!(Radix8Fft::stage_radices(16), vec![2, 8]);
+        assert_eq!(Radix8Fft::stage_radices(32), vec![4, 8]);
+        assert_eq!(Radix8Fft::stage_radices(64), vec![8, 8]);
+        assert_eq!(Radix8Fft::stage_radices(512), vec![8, 8, 8]);
+        assert_eq!(Radix8Fft::stage_radices(1024), vec![2, 8, 8, 8]);
+        assert_eq!(Radix8Fft::stage_radices(2), vec![2]);
+        assert_eq!(Radix8Fft::stage_radices(4), vec![4]);
+        assert!(Radix8Fft::stage_radices(1).is_empty());
+    }
+
+    #[test]
+    fn matches_dft_all_pow2() {
+        for log in 0..=12 {
+            let n = 1usize << log;
+            let x = signal(n);
+            let expect = dft(&x, FftDirection::Forward);
+            let plan = Radix8Fft::new(n, FftDirection::Forward);
+            let mut buf = x.clone();
+            plan.process(&mut buf);
+            for (a, b) in buf.iter().zip(&expect) {
+                assert!((*a - *b).norm() < 1e-6 * (n as f64).max(1.0), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_fallback_matches_dft_all_pow2() {
+        // Pin the interleaved fallback specifically, independent of the
+        // process-wide variant.
+        for log in 0..=12 {
+            let n = 1usize << log;
+            let x = signal(n);
+            let expect = dft(&x, FftDirection::Forward);
+            let plan = Radix8Fft::with_variant(n, FftDirection::Forward, simd::Variant::Scalar);
+            let mut buf = x.clone();
+            plan.process(&mut buf);
+            for (a, b) in buf.iter().zip(&expect) {
+                assert!((*a - *b).norm() < 1e-6 * (n as f64).max(1.0), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix4() {
+        for n in [64usize, 128, 256, 2048] {
+            let x = signal(n);
+            let r4 = Radix4Fft::new(n, FftDirection::Inverse);
+            let r8 = Radix8Fft::new(n, FftDirection::Inverse);
+            let mut a = x.clone();
+            let mut b = x;
+            r4.process(&mut a);
+            r8.process(&mut b);
+            for (p, q) in a.iter().zip(&b) {
+                assert!((*p - *q).norm() < 1e-7 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_exercising_both_leading_stages() {
+        for n in [128usize, 256] {
+            // 128 = 2·8², 256 = 4·8²: leading radix-2 and radix-4 stages.
+            let x = signal(n);
+            let fwd = Radix8Fft::new(n, FftDirection::Forward);
+            let inv = Radix8Fft::new(n, FftDirection::Inverse);
+            let mut buf = x.clone();
+            fwd.process(&mut buf);
+            inv.process(&mut buf);
+            for (a, b) in x.iter().zip(&buf) {
+                assert!((*a * n as f64 - *b).norm() < 1e-6, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_kind_reports_radix8() {
+        let plan = Radix8Fft::new(64, FftDirection::Forward);
+        assert_eq!(plan.kernel_kind(), "radix8");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_pow2() {
+        Radix8Fft::new(12, FftDirection::Forward);
+    }
+}

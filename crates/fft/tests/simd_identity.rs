@@ -1,0 +1,254 @@
+//! SIMD-vs-scalar numerical identity contract.
+//!
+//! The vector kernels contract complex multiplies with FMA, so they are not
+//! bit-identical to the scalar kernels — the contract (DESIGN.md §5g) is
+//! elementwise agreement within [`MAX_ULP`] ulps measured at the spectrum's
+//! norm scale (`ulp_diff_floored` with `floor = ‖X‖∞`). These proptests pin
+//! that bound across every planner-dispatched kernel class: radix-4 and
+//! radix-8 power-of-two plans, Bluestein (radix-2 inner transforms), real
+//! r2c/c2r, pruned-input, decimated-output, and the batched axis paths
+//! (contiguous, tiled, and per-pencil gather).
+//!
+//! On hosts or builds without a vector variant the "auto" planner also runs
+//! scalar kernels and the comparison is trivially exact — the suite is
+//! meaningful under `--features simd` on AVX2+FMA (or NEON) hardware, and
+//! harmless elsewhere. CI runs it under both `LCC_THREADS=1` and `=4`; the
+//! thread count must not change either side (pencil dispatch is
+//! order-independent per pencil).
+
+use std::sync::Arc;
+
+use lcc_fft::complex::c64;
+use lcc_fft::{
+    fft_axis, ulp_diff_floored, Complex64, DecimatedOutputFft, FftDirection, FftPlanner,
+    PrunedInputFft, RealFft, RealIfft, Variant,
+};
+use proptest::prelude::*;
+
+/// Maximum allowed elementwise divergence, in ulps at the output-norm scale.
+const MAX_ULP: f64 = 2.0;
+
+fn planners() -> (FftPlanner, FftPlanner) {
+    (
+        FftPlanner::new(),
+        FftPlanner::with_simd_variant(Variant::Scalar),
+    )
+}
+
+fn signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let s = seed as f64 * 0.61803398875;
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            c64(
+                (x * 0.7371 + s).sin() + 0.25 * (x * 0.0913 + 2.0 * s).cos(),
+                (x * 0.4114 - s).cos() - 0.5 * (x * 0.1733 + s).sin(),
+            )
+        })
+        .collect()
+}
+
+fn inf_norm(v: &[Complex64]) -> f64 {
+    v.iter()
+        .flat_map(|z| [z.re.abs(), z.im.abs()])
+        .fold(0.0, f64::max)
+}
+
+fn max_ulp_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let floor = inf_norm(b);
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| {
+            [
+                ulp_diff_floored(x.re, y.re, floor),
+                ulp_diff_floored(x.im, y.im, floor),
+            ]
+        })
+        .fold(0.0, f64::max)
+}
+
+fn max_ulp_diff_real(a: &[f64], b: &[f64]) -> f64 {
+    let floor = b.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| ulp_diff_floored(*x, *y, floor))
+        .fold(0.0, f64::max)
+}
+
+fn dir_of(fwd: bool) -> FftDirection {
+    if fwd {
+        FftDirection::Forward
+    } else {
+        FftDirection::Inverse
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Direct planner-dispatched 1D kernels: radix-4 (pow2 < 64), radix-8
+    /// (pow2 ≥ 64, all three leading-stage residues) and small-DFT. One
+    /// transform pass → the kernel bound applies directly.
+    #[test]
+    fn planned_1d_kernels_agree(
+        n in prop_oneof![
+            Just(16usize), Just(32),                    // radix-4
+            Just(64usize), Just(128), Just(256),        // radix-8, leftovers 0/1/2
+            Just(512), Just(1024), Just(4096),
+            Just(7usize), Just(13),                     // small-DFT
+        ],
+        fwd in prop_oneof![Just(true), Just(false)],
+        seed in 0u64..1024,
+    ) {
+        let (auto_p, scalar_p) = planners();
+        let x = signal(n, seed);
+        let mut a = x.clone();
+        let mut b = x;
+        auto_p.plan(n, dir_of(fwd)).process(&mut a);
+        scalar_p.plan(n, dir_of(fwd)).process(&mut b);
+        let d = max_ulp_diff(&a, &b);
+        prop_assert!(d <= MAX_ULP, "n={n} fwd={fwd}: {d} ulp");
+    }
+
+    /// Bluestein is a *composite*: two inner power-of-two FFTs around a
+    /// pointwise kernel multiply, so the per-pass kernel bound compounds
+    /// once (same headroom rule as the c2r round trip below).
+    #[test]
+    fn planned_bluestein_agrees(
+        n in prop_oneof![Just(96usize), Just(100), Just(243)],
+        fwd in prop_oneof![Just(true), Just(false)],
+        seed in 0u64..1024,
+    ) {
+        let (auto_p, scalar_p) = planners();
+        let x = signal(n, seed);
+        let mut a = x.clone();
+        let mut b = x;
+        auto_p.plan(n, dir_of(fwd)).process(&mut a);
+        scalar_p.plan(n, dir_of(fwd)).process(&mut b);
+        let d = max_ulp_diff(&a, &b);
+        prop_assert!(d <= 2.0 * MAX_ULP, "n={n} fwd={fwd}: {d} ulp");
+    }
+
+    /// Real r2c then c2r through both planners.
+    #[test]
+    fn real_transforms_agree(
+        n in prop_oneof![Just(64usize), Just(256), Just(1024)],
+        seed in 0u64..1024,
+    ) {
+        let (auto_p, scalar_p) = planners();
+        let input: Vec<f64> = signal(n, seed).iter().map(|z| z.re).collect();
+        let fa = RealFft::new(&auto_p, n);
+        let fb = RealFft::new(&scalar_p, n);
+        let sa = fa.transform(&input);
+        let sb = fb.transform(&input);
+        let d = max_ulp_diff(&sa, &sb);
+        prop_assert!(d <= MAX_ULP, "r2c n={n}: {d} ulp");
+
+        let ia = RealIfft::new(&auto_p, n);
+        let ib = RealIfft::new(&scalar_p, n);
+        let ra = ia.transform(&sa);
+        let rb = ib.transform(&sb);
+        let d = max_ulp_diff_real(&ra, &rb);
+        // The inverse consumes slightly-diverged spectra, so allow the
+        // round trip one extra ulp of headroom on top of the kernel bound.
+        prop_assert!(d <= 2.0 * MAX_ULP, "c2r n={n}: {d} ulp");
+    }
+
+    /// Pruned-input forward transform (the paper's implicit zero padding).
+    /// A composite — sub-FFTs combined through pointwise phase multiplies —
+    /// so it gets the same one-compounding headroom as Bluestein.
+    #[test]
+    fn pruned_input_agrees(
+        nk in prop_oneof![
+            Just((256usize, 64usize)),
+            Just((1024, 128)),
+            Just((4096, 256)),
+        ],
+        fwd in prop_oneof![Just(true), Just(false)],
+        seed in 0u64..1024,
+    ) {
+        let (n, k) = nk;
+        let (auto_p, scalar_p) = planners();
+        let head = signal(k, seed);
+        let pa = PrunedInputFft::new(&auto_p, n, k, dir_of(fwd));
+        let pb = PrunedInputFft::new(&scalar_p, n, k, dir_of(fwd));
+        let a = pa.transform(&head);
+        let b = pb.transform(&head);
+        let d = max_ulp_diff(&a, &b);
+        prop_assert!(d <= 2.0 * MAX_ULP, "pruned n={n} k={k}: {d} ulp");
+    }
+
+    /// Decimated-output transform (the paper's sampled inverse stage) —
+    /// composite for the same reason as the pruned-input case.
+    #[test]
+    fn decimated_output_agrees(
+        nro in prop_oneof![
+            Just((256usize, 4usize, 0usize)),
+            Just((1024, 8, 3)),
+            Just((4096, 16, 5)),
+        ],
+        seed in 0u64..1024,
+    ) {
+        let (n, r, o) = nro;
+        let (auto_p, scalar_p) = planners();
+        let x = signal(n, seed);
+        let pa = DecimatedOutputFft::new(&auto_p, n, r, o, FftDirection::Inverse);
+        let pb = DecimatedOutputFft::new(&scalar_p, n, r, o, FftDirection::Inverse);
+        let a = pa.transform(&x);
+        let b = pb.transform(&x);
+        let d = max_ulp_diff(&a, &b);
+        prop_assert!(d <= 2.0 * MAX_ULP, "decimated n={n} r={r} o={o}: {d} ulp");
+    }
+
+    /// Batched pencils along every axis of a 3D buffer — exercises the
+    /// contiguous (axis 2), cache-blocked tiled (axes 0/1) and per-pencil
+    /// dispatch paths with both kernel variants.
+    #[test]
+    fn batched_axes_agree(
+        dims in prop_oneof![
+            Just((8usize, 64usize, 64usize)),
+            Just((64, 8, 64)),
+            Just((64, 64, 8)),
+            Just((512, 3, 9)),
+        ],
+        axis in 0usize..3,
+        seed in 0u64..1024,
+    ) {
+        let (auto_p, scalar_p) = planners();
+        let (n0, n1, n2) = dims;
+        let x = signal(n0 * n1 * n2, seed);
+        let mut a = x.clone();
+        let mut b = x;
+        fft_axis(&auto_p, &mut a, dims, axis, FftDirection::Forward);
+        fft_axis(&scalar_p, &mut b, dims, axis, FftDirection::Forward);
+        let d = max_ulp_diff(&a, &b);
+        prop_assert!(d <= MAX_ULP, "dims={dims:?} axis={axis}: {d} ulp");
+    }
+}
+
+/// The whole suite above compares against a *forced-scalar* planner; this
+/// pins the other half of the dispatch contract — `LCC_SIMD`-less builds
+/// without the feature, and forced-scalar planners everywhere, produce
+/// bit-identical output regardless of thread count (pure scalar arithmetic
+/// in a fixed order).
+#[test]
+fn forced_scalar_is_bit_stable_across_runs() {
+    let p = Arc::new(FftPlanner::with_simd_variant(Variant::Scalar));
+    let dims = (16, 32, 8);
+    let x = signal(16 * 32 * 8, 7);
+    let mut first = x.clone();
+    for axis in 0..3 {
+        fft_axis(&p, &mut first, dims, axis, FftDirection::Forward);
+    }
+    for _ in 0..3 {
+        let mut again = x.clone();
+        for axis in 0..3 {
+            fft_axis(&p, &mut again, dims, axis, FftDirection::Forward);
+        }
+        for (u, v) in first.iter().zip(&again) {
+            assert_eq!(u.re.to_bits(), v.re.to_bits());
+            assert_eq!(u.im.to_bits(), v.im.to_bits());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+// lcc-lint: pretend-path crates/fft/src/simd/kernels_fixture.rs
+//
+// Fixture pinning the lint rules to the SIMD kernel tree: the split-layout
+// butterfly kernels are hot-path modules full of `unsafe` intrinsics, so
+// both the `hot-path-alloc` ban and the `safety-comment` rule must keep
+// covering files under `crates/fft/src/simd/`. Never compiled — scanned
+// by `lcc-lint --self-test`.
+
+// lcc-lint: hot-path — butterfly kernel fixture; allocation-free by construction.
+
+/// A stage kernel must not lease per-call buffers from the allocator.
+fn stage_with_alloc(re: &mut [f64]) {
+    let _scratch = vec![0.0f64; re.len()]; //~ ERROR hot-path-alloc
+    let _packed = Vec::with_capacity(re.len()); //~ ERROR hot-path-alloc
+}
+
+fn plan_time_twiddles_are_fine(m: usize) {
+    // lcc-lint: allow(alloc) — plan-time packed twiddles, built once.
+    let _twre = Vec::with_capacity(7 * m);
+}
+
+/// An intrinsics call site needs its justification attached.
+fn dispatch_without_justification(re: &mut [f64], im: &mut [f64]) {
+    unsafe { stage_r2_unsound(re, im) } //~ ERROR safety-comment
+}
+
+fn dispatch_with_justification(re: &mut [f64], im: &mut [f64]) {
+    // SAFETY: variant detection confirmed the target features and the
+    // slice geometry satisfies the kernel's length contract.
+    unsafe { stage_r2_unsound(re, im) }
+}
+
+/// Kernel declared unsafe with the contract documented the rustdoc way.
+///
+/// # Safety
+/// Caller must have confirmed the target features at runtime.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn documented_kernel(_re: &mut [f64]) {}
+
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn undocumented_kernel(_re: &mut [f64]) {} //~ ERROR safety-comment

@@ -1,0 +1,173 @@
+//! Model-checker throughput and coverage report (`BENCH_check.json`).
+//!
+//! Sweeps `lcc-check` over the protocol configurations the CI smoke job
+//! and the overnight matrix care about, and records per configuration:
+//! distinct states explored, dedup and sleep-set hit rates, deepest
+//! frontier, terminal count, wall time, and the states/second rate. A
+//! final mutation row re-introduces the PR-7 drain-skip bug and records
+//! the conviction (invariant + counterexample length) — the report
+//! documents not just that the checker is fast, but that it still bites.
+//!
+//! ```text
+//! cargo run --release -p lcc-bench --bin exp_check            # full sweep
+//! cargo run --release -p lcc-bench --bin exp_check -- --smoke # CI budget
+//! ```
+
+use std::time::Instant;
+
+use lcc_bench::json::{write_report, Json};
+use lcc_check::{bfs, dfs, Config, Limits, Model};
+
+/// One swept configuration plus the state budget it runs under.
+struct Row {
+    cfg: Config,
+    limits: Limits,
+}
+
+fn sweep(smoke: bool) -> Vec<Row> {
+    let bounded = |max_states: u64| Limits {
+        max_states,
+        max_depth: 4_000,
+    };
+    let mut rows = vec![
+        Row {
+            cfg: Config::ranks(2),
+            limits: bounded(100_000),
+        },
+        Row {
+            cfg: Config::ranks(3),
+            limits: bounded(100_000),
+        },
+        Row {
+            cfg: Config::ranks(2).with_drops(1).with_dups(1).with_crashes(1),
+            limits: bounded(500_000),
+        },
+        Row {
+            cfg: Config::ranks(2)
+                .with_drops(1)
+                .with_crashes(1)
+                .with_restarts(1),
+            limits: bounded(500_000),
+        },
+        Row {
+            cfg: Config::ranks(3).with_drops(1).with_crashes(1),
+            limits: bounded(if smoke { 200_000 } else { 5_000_000 }),
+        },
+    ];
+    if !smoke {
+        // The deep spaces: minutes each, overnight-matrix territory.
+        rows.push(Row {
+            cfg: Config::ranks(3)
+                .with_drops(1)
+                .with_crashes(1)
+                .with_restarts(1),
+            limits: bounded(20_000_000),
+        });
+        rows.push(Row {
+            cfg: Config::ranks(4).with_drops(1),
+            limits: bounded(5_000_000),
+        });
+    }
+    rows
+}
+
+fn ratio(hits: u64, states: u64) -> Json {
+    let total = hits + states;
+    if total == 0 {
+        Json::Null
+    } else {
+        Json::Num(hits as f64 / total as f64)
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut rows = Vec::new();
+    println!(
+        "{:<34} {:>10} {:>8} {:>8} {:>6} {:>9} {:>10}",
+        "config", "states", "dedup%", "sleep%", "depth", "wall(s)", "states/s"
+    );
+    for Row { cfg, limits } in sweep(smoke) {
+        let model = Model::new(cfg);
+        let start = Instant::now();
+        let report = dfs(&model, limits);
+        let wall = start.elapsed();
+        assert!(
+            report.clean(),
+            "[{}] protocol violation during a benchmark sweep: {:?}",
+            cfg.label(),
+            report.counterexample.map(|c| c.violation)
+        );
+        let dedup_rate = ratio(report.dedup_hits, report.states);
+        let sleep_rate = ratio(report.sleep_pruned, report.states);
+        let rate = report.states as f64 / wall.as_secs_f64().max(1e-9);
+        println!(
+            "{:<34} {:>10} {:>8} {:>8} {:>6} {:>9.2} {:>10.0}{}",
+            cfg.label(),
+            report.states,
+            fmt_pct(&dedup_rate),
+            fmt_pct(&sleep_rate),
+            report.max_depth,
+            wall.as_secs_f64(),
+            rate,
+            if report.truncated {
+                "  (truncated)"
+            } else {
+                ""
+            },
+        );
+        rows.push(Json::obj(vec![
+            ("config", Json::str(cfg.label())),
+            ("states", Json::int(report.states as i64)),
+            ("dedup_hits", Json::int(report.dedup_hits as i64)),
+            ("dedup_hit_rate", dedup_rate),
+            ("sleep_pruned", Json::int(report.sleep_pruned as i64)),
+            ("sleep_prune_rate", sleep_rate),
+            ("max_frontier_depth", Json::int(report.max_depth as i64)),
+            ("terminals", Json::int(report.terminals as i64)),
+            ("truncated", Json::Bool(report.truncated)),
+            ("wall_ms", Json::Num(wall.as_secs_f64() * 1e3)),
+            ("states_per_sec", Json::Num(rate)),
+        ]));
+    }
+
+    // The mutation row: the checker must convict the re-introduced PR-7
+    // drain-skip bug with a short counterexample, or it has lost the bug.
+    let cfg = Config::ranks(2).with_drops(1).with_skip_done_drain();
+    let model = Model::new(cfg);
+    let start = Instant::now();
+    let report = bfs(&model, Limits::default());
+    let wall = start.elapsed();
+    let cex = report
+        .counterexample
+        .expect("the drain-skip mutation must be convicted");
+    println!(
+        "mutation [{}]: convicted {} in {} events ({:.2}s)",
+        cfg.label(),
+        cex.violation.invariant,
+        cex.trace.len(),
+        wall.as_secs_f64()
+    );
+    let mutation = Json::obj(vec![
+        ("config", Json::str(cfg.label())),
+        ("invariant", Json::str(cex.violation.invariant)),
+        ("trace_len", Json::int(cex.trace.len() as i64)),
+        ("fault_events", Json::int(cex.fault_events.len() as i64)),
+        ("wall_ms", Json::Num(wall.as_secs_f64() * 1e3)),
+    ]);
+
+    let out = Json::obj(vec![
+        ("experiment", Json::str("protocol model check")),
+        ("smoke", Json::Bool(smoke)),
+        ("rows", Json::Arr(rows)),
+        ("mutation", mutation),
+    ]);
+    write_report("BENCH_check.json", &out);
+}
+
+fn fmt_pct(j: &Json) -> String {
+    match j {
+        Json::Num(v) => format!("{:.1}%", v * 100.0),
+        _ => "-".to_string(),
+    }
+}

@@ -1,0 +1,35 @@
+//! # lcc-check — explicit-state model checker for the comm protocol
+//!
+//! Exhaustively explores the interleavings of 2–4 [`ProtocolActor`]s
+//! (the *same* decision kernels `lcc_comm::CommWorld` runs in
+//! production — see `crates/comm/src/actor.rs` and DESIGN.md §6b) under
+//! budgeted adversarial faults: frame drops, duplications, delays, rank
+//! crashes, and checkpoint restarts.
+//!
+//! Checked invariants (catalogue in DESIGN.md §6b):
+//!
+//! * **I1 exactly-once** — each `(src, dst, epoch)` slot is accumulated
+//!   at most once.
+//! * **I2 monotonicity** — per observer, epochs never regress and dead
+//!   sets never shrink.
+//! * **I3 ack-unsent** — no rank receives an ack for a sequence it never
+//!   allocated.
+//! * **I4 false-demotion** — only genuinely crashed/killed ranks get
+//!   buried; a finished rank whose socket closed early must not be.
+//! * **I5 conservation** — deliveries never exceed logical sends, and
+//!   mutually-converged pairs exchanged exactly one payload each way.
+//! * **L1 deadlock-freedom** — every terminal state has all ranks
+//!   converged, degraded (the planned give-up), or genuinely departed.
+//!
+//! Counterexamples are minimal event traces (BFS mode) whose wire-fault
+//! steps project onto replayable [`lcc_comm::FaultEvent`] logs.
+//!
+//! [`ProtocolActor`]: lcc_comm::ProtocolActor
+
+pub mod model;
+pub mod search;
+pub mod trace;
+
+pub use model::{Config, Model, ModelEvent, ModelState, Violation};
+pub use search::{bfs, dfs, replay, Counterexample, Limits, Report};
+pub use trace::{describe, describe_fault, render};

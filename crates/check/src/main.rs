@@ -1,0 +1,143 @@
+//! `lcc-check` — CLI front end for the protocol model checker.
+//!
+//! Single-configuration runs for CI smoke budgets:
+//!
+//! ```text
+//! lcc-check --ranks 3 --drops 1 --crashes 1 --restarts 1
+//! ```
+//!
+//! or `--sweep` for the overnight matrix. Exits nonzero iff a violation
+//! was found (truncation is reported but is not a failure).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lcc_check::{bfs, dfs, render, Config, Limits, Model};
+
+struct Cli {
+    cfg: Config,
+    limits: Limits,
+    use_bfs: bool,
+    sweep: bool,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        cfg: Config::ranks(2),
+        limits: Limits::default(),
+        use_bfs: false,
+        sweep: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--ranks" => cli.cfg.ranks = num("--ranks")? as usize,
+            "--drops" => cli.cfg.drops = num("--drops")? as u32,
+            "--dups" => cli.cfg.dups = num("--dups")? as u32,
+            "--delays" => cli.cfg.delays = num("--delays")? as u32,
+            "--crashes" => cli.cfg.crashes = num("--crashes")? as u32,
+            "--restarts" => cli.cfg.restarts = num("--restarts")? as u32,
+            "--max-states" => cli.limits.max_states = num("--max-states")?,
+            "--max-depth" => cli.limits.max_depth = num("--max-depth")? as usize,
+            "--skip-done-drain" => cli.cfg.skip_done_drain = true,
+            "--bfs" => cli.use_bfs = true,
+            "--sweep" => cli.sweep = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: lcc-check [--ranks N] [--drops N] [--dups N] [--delays N] \
+                            [--crashes N] [--restarts N] [--skip-done-drain] \
+                            [--max-states N] [--max-depth N] [--bfs] [--sweep]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn run_one(cfg: Config, limits: Limits, use_bfs: bool) -> bool {
+    let model = Model::new(cfg);
+    let start = Instant::now();
+    let report = if use_bfs {
+        bfs(&model, limits)
+    } else {
+        dfs(&model, limits)
+    };
+    let wall = start.elapsed();
+    let coverage = if report.truncated {
+        "TRUNCATED"
+    } else {
+        "exhaustive"
+    };
+    println!(
+        "[{}] {} states={} dedup={} sleep-pruned={} terminals={} depth={} wall={:.2?}",
+        cfg.label(),
+        coverage,
+        report.states,
+        report.dedup_hits,
+        report.sleep_pruned,
+        report.terminals,
+        report.max_depth,
+        wall
+    );
+    match &report.counterexample {
+        None => true,
+        Some(cex) => {
+            println!("{}", render(cex));
+            false
+        }
+    }
+}
+
+/// The overnight matrix: every fault alphabet the ISSUE's acceptance
+/// criteria name, at 2 and 3 ranks, plus a 4-rank fault-free pass.
+fn sweep_matrix() -> Vec<Config> {
+    vec![
+        Config::ranks(2),
+        Config::ranks(3),
+        Config::ranks(4),
+        Config::ranks(2).with_drops(1).with_dups(1).with_crashes(1),
+        Config::ranks(2).with_drops(2).with_dups(1),
+        Config::ranks(2)
+            .with_drops(1)
+            .with_crashes(1)
+            .with_restarts(1),
+        Config::ranks(3).with_drops(1).with_crashes(1),
+        Config::ranks(3)
+            .with_drops(1)
+            .with_crashes(1)
+            .with_restarts(1),
+        Config::ranks(3).with_dups(1).with_delays(1),
+    ]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut clean = true;
+    if cli.sweep {
+        for cfg in sweep_matrix() {
+            clean &= run_one(cfg, cli.limits, cli.use_bfs);
+        }
+    } else {
+        clean = run_one(cli.cfg, cli.limits, cli.use_bfs);
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,1075 @@
+//! The checker's cluster model: N [`ProtocolActor`]s, per-pair FIFO
+//! channels, and budgeted fault transitions.
+//!
+//! Every protocol *decision* in this model is made by the same
+//! [`lcc_comm::actor`] kernels the production [`lcc_comm::CommWorld`]
+//! runs; this module owns only the wire: which frame is in flight where,
+//! which fault budgets remain, and the invariant bookkeeping (delivery
+//! counts, burial legitimacy). The scheduler nondeterminism the real
+//! runtime samples — frame orderings, fault placements, crash timing —
+//! becomes an explicit [`ModelEvent`] alphabet the search layer
+//! enumerates exhaustively (DESIGN.md §6b).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+use lcc_comm::actor::{Action, Convergence, Event, Phase, ProtocolActor};
+use lcc_comm::FaultEvent;
+
+/// One model-checking configuration: rank count, fault budgets, and the
+/// mutation knobs. Budgets bound the state space: each fault transition
+/// consumes one unit, so the reachable graph is finite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// Modeled rank count (2–4 is the useful range).
+    pub ranks: usize,
+    /// Data/ack frames the adversary may drop (each drop triggers the
+    /// protocol's retransmission, so delivery is still eventual).
+    pub drops: u32,
+    /// Frames the adversary may duplicate.
+    pub dups: u32,
+    /// Head-of-queue frames the adversary may delay behind the tail.
+    pub delays: u32,
+    /// Ranks the adversary may crash at a protocol point.
+    pub crashes: u32,
+    /// Crashed ranks the adversary may restart from checkpoint (the
+    /// kill-gate rejoin: only before any survivor buries them).
+    pub restarts: u32,
+    /// Mutation knob: finished ranks slam their sockets shut instead of
+    /// draining ALL_DONE — the PR-7 teardown race the checker must catch.
+    pub skip_done_drain: bool,
+}
+
+impl Config {
+    /// A fault-free configuration for `ranks` ranks.
+    pub fn ranks(ranks: usize) -> Config {
+        Config {
+            ranks,
+            drops: 0,
+            dups: 0,
+            delays: 0,
+            crashes: 0,
+            restarts: 0,
+            skip_done_drain: false,
+        }
+    }
+
+    /// Sets the drop budget.
+    pub fn with_drops(mut self, n: u32) -> Config {
+        self.drops = n;
+        self
+    }
+
+    /// Sets the duplication budget.
+    pub fn with_dups(mut self, n: u32) -> Config {
+        self.dups = n;
+        self
+    }
+
+    /// Sets the delay budget.
+    pub fn with_delays(mut self, n: u32) -> Config {
+        self.delays = n;
+        self
+    }
+
+    /// Sets the crash budget.
+    pub fn with_crashes(mut self, n: u32) -> Config {
+        self.crashes = n;
+        self
+    }
+
+    /// Sets the restart budget.
+    pub fn with_restarts(mut self, n: u32) -> Config {
+        self.restarts = n;
+        self
+    }
+
+    /// Enables the ALL_DONE-drain-skip mutation.
+    pub fn with_skip_done_drain(mut self) -> Config {
+        self.skip_done_drain = true;
+        self
+    }
+
+    /// A compact label for reports: `r3 drop1 crash1 restart1`.
+    pub fn label(&self) -> String {
+        let mut s = format!("r{}", self.ranks);
+        for (name, n) in [
+            ("drop", self.drops),
+            ("dup", self.dups),
+            ("delay", self.delays),
+            ("crash", self.crashes),
+            ("restart", self.restarts),
+        ] {
+            if n > 0 {
+                s.push_str(&format!(" {name}{n}"));
+            }
+        }
+        if self.skip_done_drain {
+            s.push_str(" skip-drain");
+        }
+        s
+    }
+}
+
+/// One frame in flight on a directed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Frame {
+    /// An epoch-stamped data frame (attempt counts retransmissions).
+    Data { seq: u64, epoch: u64, attempt: u32 },
+    /// An ack for `seq`, `k`-th delivered copy.
+    Ack { seq: u64, k: u64 },
+}
+
+/// One scheduler choice: the alphabet the search enumerates. Channel
+/// coordinates are `(src, dst)` of the directed queue the event acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelEvent {
+    /// Rank begins its converged exchange.
+    Start { rank: usize },
+    /// The head frame of channel `(src → dst)` arrives at `dst`.
+    Deliver { src: usize, dst: usize },
+    /// The adversary drops the head frame of `(src → dst)`; the owning
+    /// sender retransmits (budgeted).
+    Drop { src: usize, dst: usize },
+    /// The adversary duplicates the head frame of `(src → dst)` (budgeted).
+    Duplicate { src: usize, dst: usize },
+    /// The adversary delays the head frame behind the tail (budgeted).
+    Delay { src: usize, dst: usize },
+    /// The reliable layer gives up on `rank`'s in-flight send to a dead
+    /// or closed `dst`.
+    SendFailed { rank: usize, dst: usize },
+    /// `rank`'s receive deadline for silent peer `from` fires.
+    RecvTimeout { rank: usize, from: usize },
+    /// Hard evidence of `peer`'s death (EOF/EPIPE) reaches `rank`.
+    Evidence { rank: usize, peer: usize },
+    /// `rank` runs a detection sweep.
+    Sweep { rank: usize },
+    /// The adversary crashes `rank` at a protocol point (budgeted).
+    Crash { rank: usize },
+    /// `rank` restarts from its crash-time checkpoint and rejoins at the
+    /// kill gate (budgeted; only while no survivor has buried it).
+    Restart { rank: usize },
+}
+
+/// A bitset of the model resources one event touches: actor slots
+/// (including their crash/close/checkpoint flags), directed channels
+/// (including the retransmit buffer riding on each), and the per-kind
+/// fault budgets. Bits: actor `r` → `r` (0..4); channel `(s, d)` →
+/// `4 + 4s + d` (4 is the max rank count, so the layout is
+/// config-independent); budgets → 20..25.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Access {
+    /// Resources the event may mutate (or whose mutation its violation
+    /// checks must observe in order).
+    pub writes: u64,
+    /// Resources the event's transition or enabledness reads.
+    pub reads: u64,
+}
+
+pub(crate) const WORLD: u64 = u64::MAX;
+
+fn abit(r: usize) -> u64 {
+    1 << r
+}
+
+fn cbit(src: usize, dst: usize) -> u64 {
+    1 << (4 + src * 4 + dst)
+}
+
+fn chans_from(src: usize, n: usize) -> u64 {
+    (0..n).fold(0, |acc, d| acc | cbit(src, d))
+}
+
+const B_DROPS: u64 = 1 << 20;
+const B_DUPS: u64 = 1 << 21;
+const B_DELAYS: u64 = 1 << 22;
+const B_CRASHES: u64 = 1 << 23;
+
+/// A safety- or liveness-invariant violation, named for the catalogue in
+/// DESIGN.md §6b.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Catalogue id (`I1-exactly-once`, …, `L1-deadlock`).
+    pub invariant: &'static str,
+    /// Human-readable account of what broke.
+    pub message: String,
+}
+
+impl Violation {
+    fn new(invariant: &'static str, message: String) -> Violation {
+        Violation { invariant, message }
+    }
+}
+
+/// Remaining fault budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Budgets {
+    drops: u32,
+    dups: u32,
+    delays: u32,
+    crashes: u32,
+    restarts: u32,
+}
+
+/// The full explicit state of one modeled cluster. Everything that can
+/// influence future behavior is hashed into the fingerprint; the
+/// `sent`/`delivered` ledgers are *excluded* — they are monotone history
+/// whose live portion is a function of the actors' received flags, so
+/// hashing them would only split behaviorally-identical states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelState {
+    actors: Vec<ProtocolActor>,
+    /// Directed FIFO channels, indexed `src * ranks + dst`.
+    channels: Vec<VecDeque<Frame>>,
+    /// The most recent data frame sent on each channel — the sender's
+    /// retransmit buffer, consulted when an ack drop or a restart forces
+    /// a re-send.
+    last_data: Vec<Option<Frame>>,
+    /// Crash-time snapshot per rank: the actor plus the incarnation
+    /// vector it last knew, for the rejoin handshake.
+    checkpoints: Vec<Option<(ProtocolActor, Vec<u32>)>>,
+    crashed: Vec<bool>,
+    /// Mutation effect: the rank finished and slammed its socket shut
+    /// without draining ALL_DONE.
+    closed: Vec<bool>,
+    incarnations: Vec<u32>,
+    budgets: Budgets,
+    /// Logical sends per `(src, dst, epoch)` (retransmits excluded).
+    sent: BTreeMap<(usize, usize, u64), u32>,
+    /// Accumulated deliveries per `(src, dst, epoch)`.
+    delivered: BTreeMap<(usize, usize, u64), u32>,
+}
+
+impl Hash for ModelState {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        self.actors.hash(h);
+        self.channels.hash(h);
+        self.last_data.hash(h);
+        self.checkpoints.hash(h);
+        self.crashed.hash(h);
+        self.closed.hash(h);
+        self.incarnations.hash(h);
+        self.budgets.hash(h);
+        // sent/delivered deliberately omitted (see the struct docs).
+    }
+}
+
+impl ModelState {
+    fn chan(&self, src: usize, dst: usize) -> usize {
+        src * self.actors.len() + dst
+    }
+
+    /// A 64-bit fingerprint of the behavioral state (deterministic across
+    /// runs: `DefaultHasher::new` is fixed-key).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// Canonicalizes bookkeeping that can no longer influence behavior,
+    /// so dedup merges states that differ only in dead history:
+    /// retransmit buffers for sends nobody awaits, and checkpoint /
+    /// incarnation records once restarts are impossible.
+    fn normalize(&mut self) {
+        let n = self.actors.len();
+        for r in 0..n {
+            // A checkpoint is only ever read while its rank is down.
+            if !self.crashed[r] || self.budgets.restarts == 0 {
+                self.checkpoints[r] = None;
+            }
+            // A rank that can no longer sweep (converged, degraded, or
+            // departed) will never read its evidence, suspicion, failed-
+            // receive flag, or attempted set again: dead state.
+            let a = &mut self.actors[r];
+            if !matches!(a.phase, Phase::Idle | Phase::Exchanging) {
+                a.evidence.clear();
+                a.recv_failed = false;
+                a.attempted.clear();
+                a.state.clear_suspicions();
+            }
+            // A departed actor's guts are frozen and unread — a restart
+            // restores the *checkpoint*, not this slot, and the
+            // invariants only consult its phase and killed flag. Collapse
+            // every crash point to one canonical corpse.
+            if matches!(a.phase, Phase::Dead) {
+                let mut canon = ProtocolActor::new(r, n);
+                canon.step(Event::Kill);
+                *a = canon;
+            }
+        }
+        if self.budgets.restarts == 0 {
+            self.incarnations.iter_mut().for_each(|i| *i = 0);
+        }
+        for src in 0..n {
+            for dst in 0..n {
+                let ch = src * n + dst;
+                if let Some(Frame::Data { seq, .. }) = self.last_data[ch] {
+                    // The retransmit buffer is read while the sender (or,
+                    // across a crash, its restartable checkpoint — the
+                    // live slot is a canonicalized corpse by now) still
+                    // awaits this ack; otherwise it is dead history.
+                    let live_await = self.actors[src].awaiting == Some((dst, seq));
+                    let ckpt_await = self.checkpoints[src]
+                        .as_ref()
+                        .is_some_and(|(snap, _)| snap.awaiting == Some((dst, seq)));
+                    if !live_await && !ckpt_await {
+                        self.last_data[ch] = None;
+                    }
+                }
+                // Frames toward a crashed or closed rank can only ever be
+                // swallowed (and a restart clears its queues first), so
+                // they are wire noise: keeping them would enumerate
+                // delivery orderings of no-ops.
+                if self.crashed[dst] || self.closed[dst] {
+                    self.channels[ch].clear();
+                }
+            }
+        }
+    }
+
+    /// The modeled actors (for assertions in tests).
+    pub fn actors(&self) -> &[ProtocolActor] {
+        &self.actors
+    }
+
+    /// Whether `rank` is currently crashed.
+    pub fn is_crashed(&self, rank: usize) -> bool {
+        self.crashed[rank]
+    }
+
+    /// Deliveries recorded for `(src, dst, epoch)`.
+    pub fn delivered(&self, src: usize, dst: usize, epoch: u64) -> u32 {
+        *self.delivered.get(&(src, dst, epoch)).unwrap_or(&0)
+    }
+
+    /// Total frames currently in flight.
+    pub fn frames_in_flight(&self) -> usize {
+        self.channels.iter().map(|c| c.len()).sum()
+    }
+}
+
+/// The transition system: immutable configuration plus the [`ModelState`]
+/// constructors and transformers the search layer drives.
+#[derive(Debug, Clone, Copy)]
+pub struct Model {
+    cfg: Config,
+}
+
+impl Model {
+    /// A model over `cfg`.
+    pub fn new(cfg: Config) -> Model {
+        assert!(
+            (2..=4).contains(&cfg.ranks),
+            "the checker models 2–4 ranks (got {})",
+            cfg.ranks
+        );
+        Model { cfg }
+    }
+
+    /// This model's configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The initial state: idle actors, empty wire, full budgets.
+    pub fn initial(&self) -> ModelState {
+        let n = self.cfg.ranks;
+        ModelState {
+            actors: (0..n).map(|r| ProtocolActor::new(r, n)).collect(),
+            channels: vec![VecDeque::new(); n * n],
+            last_data: vec![None; n * n],
+            checkpoints: vec![None; n],
+            crashed: vec![false; n],
+            closed: vec![false; n],
+            incarnations: vec![0; n],
+            budgets: Budgets {
+                drops: self.cfg.drops,
+                dups: self.cfg.dups,
+                delays: self.cfg.delays,
+                crashes: self.cfg.crashes,
+                restarts: self.cfg.restarts,
+            },
+            sent: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+        }
+    }
+
+    /// Every scheduler choice enabled in `s`, in a deterministic order.
+    pub fn enabled(&self, s: &ModelState) -> Vec<ModelEvent> {
+        let n = self.cfg.ranks;
+        let mut out = Vec::new();
+        for r in 0..n {
+            let a = &s.actors[r];
+            if a.is_live() && !s.crashed[r] && matches!(a.phase, Phase::Idle) {
+                out.push(ModelEvent::Start { rank: r });
+            }
+        }
+        for src in 0..n {
+            for dst in 0..n {
+                let q = &s.channels[s.chan(src, dst)];
+                if q.is_empty() {
+                    continue;
+                }
+                // An idle receiver has not posted a receive yet: frames
+                // wait in its socket buffer (delivering early would ack
+                // and discard a payload the exchange never saw). Dead and
+                // closed receivers still "deliver" — into the void.
+                let receivable =
+                    s.crashed[dst] || s.closed[dst] || !matches!(s.actors[dst].phase, Phase::Idle);
+                if receivable {
+                    out.push(ModelEvent::Deliver { src, dst });
+                }
+                if s.budgets.drops > 0 {
+                    out.push(ModelEvent::Drop { src, dst });
+                }
+                if s.budgets.dups > 0 {
+                    out.push(ModelEvent::Duplicate { src, dst });
+                }
+                if s.budgets.delays > 0 && q.len() >= 2 {
+                    out.push(ModelEvent::Delay { src, dst });
+                }
+            }
+        }
+        for r in 0..n {
+            let a = &s.actors[r];
+            if !a.is_live() || s.crashed[r] {
+                continue;
+            }
+            if let Some((dst, _)) = a.awaiting {
+                if s.crashed[dst] || s.closed[dst] {
+                    out.push(ModelEvent::SendFailed { rank: r, dst });
+                }
+            }
+            for p in 0..n {
+                if p == r {
+                    continue;
+                }
+                // Hard evidence (EOF/EPIPE) exists only for dead or
+                // slammed-shut peers, and only lands once per sighting.
+                // A rank done sweeping (converged/degraded) never reads
+                // it, so the event is a no-op there and is not emitted.
+                if (s.crashed[p] || s.closed[p])
+                    && !a.evidence.contains(&p)
+                    && matches!(a.phase, Phase::Idle | Phase::Exchanging)
+                {
+                    out.push(ModelEvent::Evidence { rank: r, peer: p });
+                }
+                // A receive deadline fires only once the peer provably
+                // cannot produce the missing frame: it is dead, closed,
+                // gave up, or buried us — and nothing is in flight.
+                if matches!(a.phase, Phase::Exchanging)
+                    && a.exchange.as_ref().is_some_and(|ex| !ex.received[p])
+                    && a.state.view().is_alive(p)
+                    && self.peer_cannot_send(s, p, r)
+                    && !s.channels[s.chan(p, r)]
+                        .iter()
+                        .any(|f| matches!(f, Frame::Data { .. }))
+                {
+                    out.push(ModelEvent::RecvTimeout { rank: r, from: p });
+                }
+            }
+            // A sweep is scheduled only when it can change something:
+            // evidence against a not-yet-buried peer, suspicion to clear,
+            // a failed receive to fold into the fruitless count, or a
+            // round that ended with a live peer still unsent (the real
+            // round loop always sweeps-and-retries at end of round, even
+            // when the earlier failure's suspicion was already consumed).
+            // Sweeping on nothing is a stutter step — legal in the real
+            // runtime, invisible to the state graph.
+            let round_blocked = a.awaiting.is_none()
+                && a.exchange.as_ref().is_some_and(|ex| {
+                    matches!(ex.convergence(a.state.view()), Convergence::Starved(_))
+                });
+            if matches!(a.phase, Phase::Exchanging)
+                && (a.evidence.iter().any(|&p| a.state.view().is_alive(p))
+                    || a.state.suspected_ranks().next().is_some()
+                    || a.recv_failed
+                    || round_blocked)
+            {
+                out.push(ModelEvent::Sweep { rank: r });
+            }
+            if s.budgets.crashes > 0 && matches!(a.phase, Phase::Idle | Phase::Exchanging) {
+                out.push(ModelEvent::Crash { rank: r });
+            }
+        }
+        for r in 0..n {
+            // Restart is a kill-gate rejoin: allowed only while *no*
+            // actor's belief (live or checkpointed) has buried the rank.
+            if s.crashed[r]
+                && s.budgets.restarts > 0
+                && s.checkpoints[r].is_some()
+                && s.actors.iter().all(|a| a.state.view().is_alive(r))
+            {
+                out.push(ModelEvent::Restart { rank: r });
+            }
+        }
+        out
+    }
+
+    /// Whether `p` can still send `r`'s missing exchange frame. A `Done`
+    /// peer counts as unable: its exchange is over, so a rank stranded in
+    /// a newer epoch (it learned of a death the peer never saw) would
+    /// otherwise wait forever for a frame that cannot come.
+    fn peer_cannot_send(&self, s: &ModelState, p: usize, r: usize) -> bool {
+        s.crashed[p]
+            || s.closed[p]
+            || matches!(
+                s.actors[p].phase,
+                Phase::Done | Phase::Degraded | Phase::Dead
+            )
+            || !s.actors[p].state.view().is_alive(r)
+    }
+
+    /// Applies `event` to `s`, checking the safety invariants on the way.
+    /// Wire-level faults taken by the adversary are appended to `faults`
+    /// (the replayable [`FaultEvent`] projection of a trace).
+    pub fn apply(
+        &self,
+        s: &mut ModelState,
+        event: &ModelEvent,
+        faults: &mut Vec<FaultEvent>,
+    ) -> Result<(), Violation> {
+        let result = self.apply_inner(s, event, faults);
+        if result.is_ok() {
+            s.normalize();
+        }
+        result
+    }
+
+    fn apply_inner(
+        &self,
+        s: &mut ModelState,
+        event: &ModelEvent,
+        faults: &mut Vec<FaultEvent>,
+    ) -> Result<(), Violation> {
+        match *event {
+            ModelEvent::Start { rank } => {
+                let actions = s.actors[rank].step(Event::Start);
+                self.process(s, rank, actions)
+            }
+            ModelEvent::Deliver { src, dst } => {
+                let ch = s.chan(src, dst);
+                let frame = s.channels[ch].pop_front().expect("enabled ⇒ nonempty");
+                if s.crashed[dst] || s.closed[dst] {
+                    // A closed socket swallows the frame silently.
+                    return Ok(());
+                }
+                match frame {
+                    Frame::Data { seq, epoch, .. } => {
+                        let actions = s.actors[dst].step(Event::Data { src, seq, epoch });
+                        self.process(s, dst, actions)
+                    }
+                    Frame::Ack { seq, .. } => {
+                        // I3: an ack must name a sequence its receiver
+                        // actually allocated toward the acking peer.
+                        if seq >= s.actors[dst].state.next_seq(src) {
+                            return Err(Violation::new(
+                                "I3-ack-unsent",
+                                format!(
+                                    "rank {dst} received ack for seq {seq} from {src}, \
+                                     but has only allocated {} seqs toward it",
+                                    s.actors[dst].state.next_seq(src)
+                                ),
+                            ));
+                        }
+                        let actions = s.actors[dst].step(Event::Ack { src, seq });
+                        self.process(s, dst, actions)
+                    }
+                }
+            }
+            ModelEvent::Drop { src, dst } => {
+                s.budgets.drops -= 1;
+                let ch = s.chan(src, dst);
+                let frame = s.channels[ch].pop_front().expect("enabled ⇒ nonempty");
+                match frame {
+                    Frame::Data {
+                        seq,
+                        epoch,
+                        attempt,
+                    } => {
+                        faults.push(FaultEvent::DropData {
+                            src,
+                            dst,
+                            seq,
+                            attempt,
+                        });
+                        // The sender retransmits for as long as it still
+                        // awaits this ack.
+                        if s.actors[src].awaiting == Some((dst, seq)) && !s.crashed[src] {
+                            let retry = Frame::Data {
+                                seq,
+                                epoch,
+                                attempt: attempt + 1,
+                            };
+                            s.last_data[ch] = Some(retry);
+                            s.channels[ch].push_back(retry);
+                        }
+                    }
+                    Frame::Ack { seq, k } => {
+                        // `src` here is the *acking* side; the data flowed
+                        // dst → src, which is how FaultEvent names it.
+                        faults.push(FaultEvent::DropAck {
+                            src: dst,
+                            dst: src,
+                            seq,
+                            k,
+                        });
+                        // The data sender times out and retransmits.
+                        if s.actors[dst].awaiting == Some((src, seq)) && !s.crashed[dst] {
+                            let back = s.chan(dst, src);
+                            if let Some(Frame::Data {
+                                seq: ls,
+                                epoch,
+                                attempt,
+                            }) = s.last_data[back]
+                            {
+                                debug_assert_eq!(ls, seq, "retransmit buffer tracks awaiting");
+                                let retry = Frame::Data {
+                                    seq,
+                                    epoch,
+                                    attempt: attempt + 1,
+                                };
+                                s.last_data[back] = Some(retry);
+                                s.channels[back].push_back(retry);
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            ModelEvent::Duplicate { src, dst } => {
+                s.budgets.dups -= 1;
+                let ch = s.chan(src, dst);
+                let frame = *s.channels[ch].front().expect("enabled ⇒ nonempty");
+                if let Frame::Data { seq, attempt, .. } = frame {
+                    faults.push(FaultEvent::DuplicateData {
+                        src,
+                        dst,
+                        seq,
+                        attempt,
+                    });
+                }
+                s.channels[ch].push_back(frame);
+                Ok(())
+            }
+            ModelEvent::Delay { src, dst } => {
+                s.budgets.delays -= 1;
+                let ch = s.chan(src, dst);
+                let frame = s.channels[ch].pop_front().expect("enabled ⇒ nonempty");
+                if let Frame::Data { seq, .. } = frame {
+                    faults.push(FaultEvent::Delay {
+                        src,
+                        dst,
+                        seq,
+                        units: 1,
+                    });
+                }
+                s.channels[ch].push_back(frame);
+                Ok(())
+            }
+            ModelEvent::SendFailed { rank, dst } => {
+                let actions = s.actors[rank].step(Event::SendFailed { dst });
+                self.process(s, rank, actions)
+            }
+            ModelEvent::RecvTimeout { rank, from } => {
+                let actions = s.actors[rank].step(Event::RecvTimeout { from });
+                self.process(s, rank, actions)
+            }
+            ModelEvent::Evidence { rank, peer } => {
+                let actions = s.actors[rank].step(Event::Evidence { peer });
+                self.process(s, rank, actions)
+            }
+            ModelEvent::Sweep { rank } => {
+                let before = s.actors[rank].state.view().clone();
+                let actions = s.actors[rank].step(Event::Sweep);
+                // I2: epochs and dead sets are monotone per observer.
+                let after = s.actors[rank].state.view();
+                if after.epoch() < before.epoch() || before.dead_ranks().any(|d| after.is_alive(d))
+                {
+                    return Err(Violation::new(
+                        "I2-monotonicity",
+                        format!(
+                            "rank {rank} view went backwards: epoch {} → {}, \
+                             or a dead rank came back",
+                            before.epoch(),
+                            after.epoch()
+                        ),
+                    ));
+                }
+                // I4: only genuinely dead ranks may be buried. A finished
+                // rank whose socket merely closed early (the drain-skip
+                // mutation) is alive — demoting it is the PR-7 bug.
+                let newly: Vec<usize> =
+                    after.dead_ranks().filter(|&d| before.is_alive(d)).collect();
+                for d in newly {
+                    let legit = s.crashed[d] || s.actors[d].state.is_killed();
+                    if !legit {
+                        return Err(Violation::new(
+                            "I4-false-demotion",
+                            format!(
+                                "rank {rank} buried rank {d} (epoch {}), but rank {d} \
+                                 never crashed — its socket just closed early",
+                                s.actors[rank].state.view().epoch()
+                            ),
+                        ));
+                    }
+                }
+                self.process(s, rank, actions)
+            }
+            ModelEvent::Crash { rank } => {
+                s.budgets.crashes -= 1;
+                s.checkpoints[rank] = Some((s.actors[rank].clone(), s.incarnations.clone()));
+                let actions = s.actors[rank].step(Event::Kill);
+                s.crashed[rank] = true;
+                self.process(s, rank, actions)
+            }
+            ModelEvent::Restart { rank } => {
+                s.budgets.restarts -= 1;
+                let (snap, snap_inc) = s.checkpoints[rank].clone().expect("enabled ⇒ checkpoint");
+                s.actors[rank] = snap;
+                s.crashed[rank] = false;
+                s.incarnations[rank] += 1;
+                let n = self.cfg.ranks;
+                // The dead incarnation's sockets are gone: so is every
+                // frame that was in flight to or from it.
+                for p in 0..n {
+                    let to = s.chan(p, rank);
+                    let from = s.chan(rank, p);
+                    s.channels[to].clear();
+                    s.channels[from].clear();
+                }
+                // Retransmit buffers refill the cleared wire for every
+                // send still awaiting an ack across the lost link.
+                for p in 0..n {
+                    if p == rank {
+                        continue;
+                    }
+                    for (sender, receiver) in [(rank, p), (p, rank)] {
+                        if s.crashed[sender] {
+                            continue;
+                        }
+                        if let Some((d, seq)) = s.actors[sender].awaiting {
+                            let ch = s.chan(sender, d);
+                            if d == receiver {
+                                if let Some(Frame::Data {
+                                    seq: ls,
+                                    epoch,
+                                    attempt,
+                                }) = s.last_data[ch]
+                                {
+                                    debug_assert_eq!(ls, seq);
+                                    let retry = Frame::Data {
+                                        seq,
+                                        epoch,
+                                        attempt: attempt + 1,
+                                    };
+                                    s.last_data[ch] = Some(retry);
+                                    s.channels[ch].push_back(retry);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Kill-gate rendezvous: every survivor clears its evidence
+                // against the dead incarnation before any sweep runs…
+                for p in 0..n {
+                    if p != rank && !s.crashed[p] && s.actors[p].is_live() {
+                        let actions = s.actors[p].step(Event::PeerRejoined { peer: rank });
+                        self.process(s, p, actions)?;
+                    }
+                }
+                // …and the rejoiner syncs incarnations: any peer that died
+                // and rejoined while this rank was down is a *new* process,
+                // so checkpointed evidence against it is stale.
+                for (p, &snap) in snap_inc.iter().enumerate() {
+                    if p != rank && s.incarnations[p] != snap {
+                        let actions = s.actors[rank].step(Event::PeerRejoined { peer: p });
+                        self.process(s, rank, actions)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Folds a step's output actions back into the wire, maintaining the
+    /// delivery ledgers the invariants read.
+    fn process(
+        &self,
+        s: &mut ModelState,
+        rank: usize,
+        actions: Vec<Action>,
+    ) -> Result<(), Violation> {
+        for action in actions {
+            match action {
+                Action::Send { dst, seq, epoch } => {
+                    let frame = Frame::Data {
+                        seq,
+                        epoch,
+                        attempt: 0,
+                    };
+                    let ch = s.chan(rank, dst);
+                    s.last_data[ch] = Some(frame);
+                    s.channels[ch].push_back(frame);
+                    *s.sent.entry((rank, dst, epoch)).or_insert(0) += 1;
+                }
+                Action::SendAck { dst, seq, k } => {
+                    let ch = s.chan(rank, dst);
+                    s.channels[ch].push_back(Frame::Ack { seq, k });
+                }
+                Action::Deliver { src, epoch } => {
+                    let count = s.delivered.entry((src, rank, epoch)).or_insert(0);
+                    *count += 1;
+                    // I1: at most one accumulate per slot per epoch.
+                    if *count > 1 {
+                        return Err(Violation::new(
+                            "I1-exactly-once",
+                            format!(
+                                "rank {rank} accumulated rank {src}'s epoch-{epoch} \
+                                 slot {count} times"
+                            ),
+                        ));
+                    }
+                    // I5: nothing is delivered that was never sent.
+                    let sent = *s.sent.get(&(src, rank, epoch)).unwrap_or(&0);
+                    if *count > sent {
+                        return Err(Violation::new(
+                            "I5-conservation",
+                            format!(
+                                "rank {rank} delivered {count} epoch-{epoch} frames from \
+                                 {src} against {sent} logical sends"
+                            ),
+                        ));
+                    }
+                }
+                Action::Converged { .. } | Action::Degraded { .. } => {}
+                Action::AnnounceDone => {
+                    if self.cfg.skip_done_drain {
+                        // Mutation: the socket slams shut the instant the
+                        // exchange converges — no ALL_DONE drain, so late
+                        // retransmits bounce off a corpse that isn't one.
+                        s.closed[rank] = true;
+                    }
+                }
+                Action::Depart => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Liveness and terminal-conservation checks for a state with no
+    /// enabled events. Deadlock freedom demands every rank reached a
+    /// planned terminal: converged, degraded, or genuinely departed.
+    pub fn check_terminal(&self, s: &ModelState) -> Result<(), Violation> {
+        for (r, a) in s.actors.iter().enumerate() {
+            let ok = s.crashed[r] || matches!(a.phase, Phase::Done | Phase::Degraded | Phase::Dead);
+            if !ok {
+                return Err(Violation::new(
+                    "L1-deadlock",
+                    format!(
+                        "terminal state with rank {r} stuck in {:?} \
+                         (no event can ever fire again)",
+                        a.phase
+                    ),
+                ));
+            }
+        }
+        // I5 (equality leg): two mutually-live converged ranks under the
+        // same epoch exchanged exactly one logical payload each way.
+        for s_rank in 0..self.cfg.ranks {
+            for d_rank in 0..self.cfg.ranks {
+                if s_rank == d_rank {
+                    continue;
+                }
+                let (sa, da) = (&s.actors[s_rank], &s.actors[d_rank]);
+                if !matches!(sa.phase, Phase::Done) || !matches!(da.phase, Phase::Done) {
+                    continue;
+                }
+                let (Some(se), Some(de)) = (sa.exchange.as_ref(), da.exchange.as_ref()) else {
+                    continue;
+                };
+                if se.epoch != de.epoch
+                    || !sa.state.view().is_alive(d_rank)
+                    || !da.state.view().is_alive(s_rank)
+                {
+                    continue;
+                }
+                let got = s.delivered(s_rank, d_rank, se.epoch);
+                if got != 1 {
+                    return Err(Violation::new(
+                        "I5-conservation",
+                        format!(
+                            "ranks {s_rank}→{d_rank} both converged at epoch {} \
+                             but {got} payloads were accumulated",
+                            se.epoch
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The [`Access`] sets of `event` when taken from `s` (conditional,
+    /// à la Godefroid: computed in the state where the commutation is
+    /// claimed, so queue heads and crash flags can tighten it).
+    pub(crate) fn access(&self, s: &ModelState, event: &ModelEvent) -> Access {
+        let n = self.cfg.ranks;
+        // A budget only couples two same-kind faults when it is scarce:
+        // with ≥ 2 left the decrements commute and neither disables the
+        // other, so the bit is omitted and the pair can stay independent.
+        let scarce = |left: u32, bit: u64| if left == 1 { bit } else { 0 };
+        let (writes, reads) = match *event {
+            // Start flips the actor Exchanging and pumps its first send
+            // to a peer the view picks — conservatively any outgoing
+            // channel.
+            ModelEvent::Start { rank } => (abit(rank) | chans_from(rank, n), 0),
+            ModelEvent::Deliver { src, dst } => {
+                let ch = cbit(src, dst);
+                if s.crashed[dst] || s.closed[dst] {
+                    // Swallowed by a closed socket.
+                    (ch, abit(dst))
+                } else {
+                    match s.channels[s.chan(src, dst)].front() {
+                        // Data: step the receiver, ack back on (dst→src);
+                        // a completing receive can also announce Done,
+                        // which stays within the receiving actor.
+                        Some(Frame::Data { .. }) => (ch | abit(dst) | cbit(dst, src), 0),
+                        // Ack: clears awaiting and may pump the next send
+                        // to any peer.
+                        _ => (ch | abit(dst) | chans_from(dst, n), 0),
+                    }
+                }
+            }
+            ModelEvent::Drop { src, dst } => {
+                let ch = cbit(src, dst);
+                match s.channels[s.chan(src, dst)].front() {
+                    // Data drop: re-enqueue while the sender awaits.
+                    Some(Frame::Data { .. }) => (ch | scarce(s.budgets.drops, B_DROPS), abit(src)),
+                    // Ack drop: the data sender retransmits on (dst→src).
+                    _ => (
+                        ch | cbit(dst, src) | scarce(s.budgets.drops, B_DROPS),
+                        abit(dst),
+                    ),
+                }
+            }
+            ModelEvent::Duplicate { src, dst } => {
+                (cbit(src, dst) | scarce(s.budgets.dups, B_DUPS), 0)
+            }
+            ModelEvent::Delay { src, dst } => {
+                (cbit(src, dst) | scarce(s.budgets.delays, B_DELAYS), 0)
+            }
+            // Gives up on `dst` and pumps the next send — to anyone.
+            ModelEvent::SendFailed { rank, dst } => (abit(rank) | chans_from(rank, n), abit(dst)),
+            // Enabledness watches the peer's state and its inbound
+            // channel (a frame in flight disarms the deadline).
+            ModelEvent::RecvTimeout { rank, from } => (abit(rank), abit(from) | cbit(from, rank)),
+            ModelEvent::Evidence { rank, peer } => (abit(rank), abit(peer)),
+            // A sweep can bury peers and restart the exchange (sends to
+            // anyone). The I2/I4 checks must observe crash/kill flips of
+            // every peer it might bury in order, so those are reads.
+            ModelEvent::Sweep { rank } => {
+                let a = &s.actors[rank];
+                let burials = a
+                    .evidence
+                    .iter()
+                    .copied()
+                    .chain(a.state.suspected_ranks())
+                    .fold(0, |acc, p| acc | abit(p));
+                (abit(rank) | chans_from(rank, n), burials)
+            }
+            // The incarnation vector it snapshots is only ever written by
+            // Restart, which is world-dependent anyway.
+            ModelEvent::Crash { rank } => (abit(rank) | scarce(s.budgets.crashes, B_CRASHES), 0),
+            // Clears channels both ways and broadcasts PeerRejoined.
+            ModelEvent::Restart { .. } => (WORLD, WORLD),
+        };
+        Access { writes, reads }
+    }
+
+    /// DPOR independence: two events commute (and neither enables or
+    /// disables the other) when neither's writes intersect the other's
+    /// reads-or-writes. Budget bits make scarce fault events of the same
+    /// kind mutually dependent: with one drop left, taking either
+    /// disables the other.
+    pub fn independent(&self, s: &ModelState, a: &ModelEvent, b: &ModelEvent) -> bool {
+        let aa = self.access(s, a);
+        let ab = self.access(s, b);
+        aa.writes & (ab.writes | ab.reads) == 0 && ab.writes & aa.reads == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_two_rank_model_starts_with_two_events() {
+        let m = Model::new(Config::ranks(2));
+        let s = m.initial();
+        assert_eq!(
+            m.enabled(&s),
+            vec![ModelEvent::Start { rank: 0 }, ModelEvent::Start { rank: 1 }]
+        );
+    }
+
+    #[test]
+    fn a_start_puts_a_data_frame_on_the_wire() {
+        let m = Model::new(Config::ranks(2));
+        let mut s = m.initial();
+        let mut faults = Vec::new();
+        m.apply(&mut s, &ModelEvent::Start { rank: 0 }, &mut faults)
+            .unwrap();
+        assert_eq!(s.frames_in_flight(), 1);
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn drops_consume_budget_and_requeue_a_retransmission() {
+        let m = Model::new(Config::ranks(2).with_drops(1));
+        let mut s = m.initial();
+        let mut faults = Vec::new();
+        m.apply(&mut s, &ModelEvent::Start { rank: 0 }, &mut faults)
+            .unwrap();
+        m.apply(&mut s, &ModelEvent::Drop { src: 0, dst: 1 }, &mut faults)
+            .unwrap();
+        assert_eq!(
+            faults,
+            vec![FaultEvent::DropData {
+                src: 0,
+                dst: 1,
+                seq: 0,
+                attempt: 0
+            }]
+        );
+        // The retransmission is back on the wire, attempt 1.
+        assert_eq!(s.frames_in_flight(), 1);
+        assert!(!m.enabled(&s).contains(&ModelEvent::Drop { src: 0, dst: 1 }));
+    }
+
+    #[test]
+    fn disjoint_channel_events_are_independent() {
+        let m = Model::new(Config::ranks(4).with_drops(2));
+        let mut s = m.initial();
+        let mut faults = Vec::new();
+        m.apply(&mut s, &ModelEvent::Start { rank: 0 }, &mut faults)
+            .unwrap();
+        m.apply(&mut s, &ModelEvent::Start { rank: 2 }, &mut faults)
+            .unwrap();
+        let a = ModelEvent::Drop { src: 0, dst: 1 };
+        let b = ModelEvent::Drop { src: 2, dst: 3 };
+        // Plenty of drop budget: disjoint channels and senders commute.
+        assert!(m.independent(&s, &a, &b));
+        // Same sender: `a` reads actor 0 (awaiting) and a delivery to 0
+        // writes it.
+        assert!(!m.independent(&s, &a, &ModelEvent::Deliver { src: 1, dst: 0 }));
+        // Scarce budget couples same-kind faults: taking one disables
+        // the other.
+        s.budgets.drops = 1;
+        assert!(!m.independent(&s, &a, &b));
+        // A restart is dependent on everything.
+        assert!(!m.independent(&s, &a, &ModelEvent::Restart { rank: 3 }));
+    }
+}

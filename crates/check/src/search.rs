@@ -1,0 +1,346 @@
+//! Exhaustive state-space search over a [`Model`]: bounded DFS with
+//! hash-based state dedup and DPOR-style sleep sets, plus a BFS mode
+//! that returns *shortest* counterexample traces.
+//!
+//! Soundness note on dedup × sleep sets: a state first reached with
+//! sleep set `T` and later with `T' ⊉ T` must be re-explored, or the
+//! pruned branches are lost. The visited table therefore records the
+//! sleep sets each fingerprint was explored under, and skips only when
+//! some recorded set is a subset of the current one.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::model::{Model, ModelEvent, ModelState, Violation};
+use lcc_comm::FaultEvent;
+
+/// Search bounds. Exceeding either flags the report as truncated rather
+/// than erroring: an overnight sweep wants partial coverage numbers, not
+/// a crash.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum distinct states to expand.
+    pub max_states: u64,
+    /// Maximum trace depth.
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_states: 2_000_000,
+            max_depth: 4_000,
+        }
+    }
+}
+
+/// A counterexample: the violated invariant plus the minimal (BFS) or
+/// first-found (DFS) event trace reaching it from the initial state.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// What broke.
+    pub violation: Violation,
+    /// The scheduler choices reproducing it, in order.
+    pub trace: Vec<ModelEvent>,
+    /// The wire-fault projection of the trace: the [`FaultEvent`] log a
+    /// real `FaultTransport` run would record while replaying it.
+    pub fault_events: Vec<FaultEvent>,
+}
+
+/// What one search run found.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Distinct states expanded.
+    pub states: u64,
+    /// Transitions that landed on an already-explored state.
+    pub dedup_hits: u64,
+    /// Transitions pruned by the sleep-set relation.
+    pub sleep_pruned: u64,
+    /// Deepest trace reached.
+    pub max_depth: usize,
+    /// Terminal (no-event-enabled) states checked.
+    pub terminals: u64,
+    /// Whether a limit cut the exploration short.
+    pub truncated: bool,
+    /// The first violation found, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl Report {
+    /// Whether the explored space (complete or not) held every invariant.
+    pub fn clean(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+struct DfsFrame {
+    state: ModelState,
+    enabled: Vec<ModelEvent>,
+    next: usize,
+    sleep: Vec<ModelEvent>,
+    /// Events already fully explored from this frame (feed successor
+    /// sleep sets).
+    explored: Vec<ModelEvent>,
+    /// The event that produced this frame (trace reconstruction).
+    via: Option<ModelEvent>,
+}
+
+/// Visited table mapping state fingerprints to the sleep sets they were
+/// explored under.
+#[derive(Default)]
+struct Visited {
+    seen: HashMap<u64, Vec<Vec<ModelEvent>>>,
+}
+
+impl Visited {
+    /// Returns `true` when `fp` was already explored under a sleep set
+    /// no larger than `sleep` (so the current visit adds nothing);
+    /// records `sleep` otherwise.
+    fn check_and_insert(&mut self, fp: u64, sleep: &[ModelEvent]) -> bool {
+        match self.seen.entry(fp) {
+            Entry::Occupied(mut e) => {
+                if e.get()
+                    .iter()
+                    .any(|prev| prev.iter().all(|ev| sleep.contains(ev)))
+                {
+                    return true;
+                }
+                e.get_mut().push(sleep.to_vec());
+                false
+            }
+            Entry::Vacant(e) => {
+                e.insert(vec![sleep.to_vec()]);
+                false
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+/// Replays `trace` from the initial state, collecting the wire-fault
+/// projection. Panics if the trace does not apply cleanly *except* for a
+/// final violating step, whose violation is returned.
+pub fn replay(model: &Model, trace: &[ModelEvent]) -> (Vec<FaultEvent>, Option<Violation>) {
+    let mut state = model.initial();
+    let mut faults = Vec::new();
+    for (i, ev) in trace.iter().enumerate() {
+        match model.apply(&mut state, ev, &mut faults) {
+            Ok(()) => {}
+            Err(v) => {
+                assert_eq!(i + 1, trace.len(), "violation mid-trace at step {i}: {v:?}");
+                return (faults, Some(v));
+            }
+        }
+    }
+    // A trace may also end on a terminal-check violation.
+    let term = if model.enabled(&state).is_empty() {
+        model.check_terminal(&state).err()
+    } else {
+        None
+    };
+    (faults, term)
+}
+
+/// Bounded-exhaustive DFS with state dedup and sleep sets. Stops at the
+/// first violation.
+pub fn dfs(model: &Model, limits: Limits) -> Report {
+    let mut report = Report {
+        states: 0,
+        dedup_hits: 0,
+        sleep_pruned: 0,
+        max_depth: 0,
+        terminals: 0,
+        truncated: false,
+        counterexample: None,
+    };
+    let mut visited = Visited::default();
+    let initial = model.initial();
+    visited.check_and_insert(initial.fingerprint(), &[]);
+    let enabled = model.enabled(&initial);
+    let mut stack = vec![DfsFrame {
+        state: initial,
+        enabled,
+        next: 0,
+        sleep: Vec::new(),
+        explored: Vec::new(),
+        via: None,
+    }];
+    report.states = 1;
+
+    while let Some(top) = stack.last_mut() {
+        if top.enabled.is_empty() && top.next == 0 {
+            // Terminal state: the liveness and conservation gate.
+            top.next = 1;
+            report.terminals += 1;
+            if let Err(violation) = model.check_terminal(&top.state) {
+                report.counterexample = Some(make_cex(model, &stack, None, violation));
+                return report;
+            }
+            continue;
+        }
+        if top.next >= top.enabled.len() {
+            stack.pop();
+            continue;
+        }
+        let ev = top.enabled[top.next];
+        top.next += 1;
+        if top.sleep.contains(&ev) {
+            report.sleep_pruned += 1;
+            continue;
+        }
+        let mut child = top.state.clone();
+        let mut faults = Vec::new();
+        if let Err(violation) = model.apply(&mut child, &ev, &mut faults) {
+            report.counterexample = Some(make_cex(model, &stack, Some(ev), violation));
+            return report;
+        }
+        // Successor sleep set: surviving entries are the already-explored
+        // alternatives that commute with `ev` (their interleavings are
+        // covered by the branch that ran them first).
+        let child_sleep: Vec<ModelEvent> = top
+            .sleep
+            .iter()
+            .chain(top.explored.iter())
+            .filter(|other| model.independent(&top.state, other, &ev))
+            .copied()
+            .collect();
+        top.explored.push(ev);
+        let depth = stack.len();
+        report.max_depth = report.max_depth.max(depth);
+        if depth >= limits.max_depth || report.states >= limits.max_states {
+            report.truncated = true;
+            continue;
+        }
+        let fp = child.fingerprint();
+        if visited.check_and_insert(fp, &child_sleep) {
+            report.dedup_hits += 1;
+            continue;
+        }
+        report.states = visited.len() as u64;
+        let enabled = model.enabled(&child);
+        stack.push(DfsFrame {
+            state: child,
+            enabled,
+            next: 0,
+            sleep: child_sleep,
+            explored: Vec::new(),
+            via: Some(ev),
+        });
+    }
+    report
+}
+
+fn make_cex(
+    model: &Model,
+    stack: &[DfsFrame],
+    last: Option<ModelEvent>,
+    violation: Violation,
+) -> Counterexample {
+    let mut trace: Vec<ModelEvent> = stack.iter().filter_map(|f| f.via).collect();
+    trace.extend(last);
+    let (fault_events, _) = replay(model, &trace);
+    Counterexample {
+        violation,
+        trace,
+        fault_events,
+    }
+}
+
+/// Breadth-first search: explores the same space level by level so the
+/// first counterexample found is a *shortest* one. No sleep sets — BFS
+/// wants every shortest path candidate intact.
+pub fn bfs(model: &Model, limits: Limits) -> Report {
+    let mut report = Report {
+        states: 0,
+        dedup_hits: 0,
+        sleep_pruned: 0,
+        max_depth: 0,
+        terminals: 0,
+        truncated: false,
+        counterexample: None,
+    };
+    let mut visited: HashSet<u64> = HashSet::new();
+    let initial = model.initial();
+    visited.insert(initial.fingerprint());
+    let mut queue: VecDeque<(ModelState, Vec<ModelEvent>)> = VecDeque::new();
+    queue.push_back((initial, Vec::new()));
+    while let Some((state, trace)) = queue.pop_front() {
+        report.states = visited.len() as u64;
+        report.max_depth = report.max_depth.max(trace.len());
+        let enabled = model.enabled(&state);
+        if enabled.is_empty() {
+            report.terminals += 1;
+            if let Err(violation) = model.check_terminal(&state) {
+                let (fault_events, _) = replay(model, &trace);
+                report.counterexample = Some(Counterexample {
+                    violation,
+                    trace,
+                    fault_events,
+                });
+                return report;
+            }
+            continue;
+        }
+        if trace.len() >= limits.max_depth || visited.len() as u64 >= limits.max_states {
+            report.truncated = true;
+            continue;
+        }
+        for ev in enabled {
+            let mut child = state.clone();
+            let mut faults = Vec::new();
+            let mut child_trace = trace.clone();
+            child_trace.push(ev);
+            if let Err(violation) = model.apply(&mut child, &ev, &mut faults) {
+                let (fault_events, _) = replay(model, &child_trace);
+                report.counterexample = Some(Counterexample {
+                    violation,
+                    trace: child_trace,
+                    fault_events,
+                });
+                return report;
+            }
+            if visited.insert(child.fingerprint()) {
+                queue.push_back((child, child_trace));
+            } else {
+                report.dedup_hits += 1;
+            }
+        }
+    }
+    report.states = visited.len() as u64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Config;
+
+    #[test]
+    fn fault_free_two_ranks_explore_clean_and_complete() {
+        let model = Model::new(Config::ranks(2));
+        let report = dfs(&model, Limits::default());
+        assert!(report.clean(), "{:?}", report.counterexample);
+        assert!(!report.truncated);
+        assert!(report.terminals >= 1);
+        assert!(report.states >= 4);
+    }
+
+    #[test]
+    fn bfs_and_dfs_agree_on_the_fault_free_space() {
+        let model = Model::new(Config::ranks(2));
+        let d = dfs(&model, Limits::default());
+        let b = bfs(&model, Limits::default());
+        assert!(d.clean() && b.clean());
+        assert!(!d.truncated && !b.truncated);
+    }
+
+    #[test]
+    fn replay_reproduces_the_fault_projection() {
+        let model = Model::new(Config::ranks(2).with_drops(1));
+        let report = dfs(&model, Limits::default());
+        assert!(report.clean(), "{:?}", report.counterexample);
+    }
+}

@@ -1,0 +1,120 @@
+//! Counterexample rendering: turn an event trace into something a human
+//! can read and a regression harness can replay.
+//!
+//! The wire-fault half of a trace projects onto [`FaultEvent`]s — the
+//! exact records a real [`lcc_comm::FaultTransport`] run emits into its
+//! [`lcc_comm::FaultEventLog`] — so a checker counterexample doubles as
+//! the expected event log of a targeted fault-injection regression test.
+
+use crate::model::ModelEvent;
+use crate::search::Counterexample;
+use lcc_comm::FaultEvent;
+
+/// One line per scheduler choice.
+pub fn describe(event: &ModelEvent) -> String {
+    match *event {
+        ModelEvent::Start { rank } => format!("rank {rank}: start converged exchange"),
+        ModelEvent::Deliver { src, dst } => format!("wire: deliver head frame {src} → {dst}"),
+        ModelEvent::Drop { src, dst } => format!("fault: drop head frame {src} → {dst}"),
+        ModelEvent::Duplicate { src, dst } => {
+            format!("fault: duplicate head frame {src} → {dst}")
+        }
+        ModelEvent::Delay { src, dst } => format!("fault: delay head frame {src} → {dst}"),
+        ModelEvent::SendFailed { rank, dst } => {
+            format!("rank {rank}: reliable send to {dst} gives up")
+        }
+        ModelEvent::RecvTimeout { rank, from } => {
+            format!("rank {rank}: receive deadline for {from} fires")
+        }
+        ModelEvent::Evidence { rank, peer } => {
+            format!("rank {rank}: hard evidence that {peer} is gone (EOF)")
+        }
+        ModelEvent::Sweep { rank } => format!("rank {rank}: detection sweep"),
+        ModelEvent::Crash { rank } => format!("fault: crash rank {rank} at a protocol point"),
+        ModelEvent::Restart { rank } => {
+            format!("recovery: rank {rank} restarts from checkpoint and rejoins")
+        }
+    }
+}
+
+/// Renders a fault event the way the transport's log names it.
+pub fn describe_fault(event: &FaultEvent) -> String {
+    match *event {
+        FaultEvent::DropData {
+            src,
+            dst,
+            seq,
+            attempt,
+        } => format!("DropData {src}→{dst} seq {seq} attempt {attempt}"),
+        FaultEvent::DuplicateData {
+            src,
+            dst,
+            seq,
+            attempt,
+        } => format!("DuplicateData {src}→{dst} seq {seq} attempt {attempt}"),
+        FaultEvent::DropAck { src, dst, seq, k } => {
+            format!("DropAck data {src}→{dst} seq {seq} k {k}")
+        }
+        FaultEvent::Delay {
+            src,
+            dst,
+            seq,
+            units,
+        } => format!("Delay {src}→{dst} seq {seq} by {units}"),
+    }
+}
+
+/// The full human-readable counterexample report.
+pub fn render(cex: &Counterexample) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "violated {}: {}\n",
+        cex.violation.invariant, cex.violation.message
+    ));
+    out.push_str(&format!("trace ({} events):\n", cex.trace.len()));
+    for (i, ev) in cex.trace.iter().enumerate() {
+        out.push_str(&format!("  {i:3}. {}\n", describe(ev)));
+    }
+    if cex.fault_events.is_empty() {
+        out.push_str("no wire faults taken (scheduling-only counterexample)\n");
+    } else {
+        out.push_str(&format!(
+            "replayable FaultTransport event log ({} faults):\n",
+            cex.fault_events.len()
+        ));
+        for f in &cex.fault_events {
+            out.push_str(&format!("  - {}\n", describe_fault(f)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Violation;
+
+    #[test]
+    fn render_lists_every_trace_step_and_fault() {
+        let cex = Counterexample {
+            violation: Violation {
+                invariant: "I4-false-demotion",
+                message: "rank 1 buried rank 0".into(),
+            },
+            trace: vec![
+                ModelEvent::Start { rank: 0 },
+                ModelEvent::Drop { src: 0, dst: 1 },
+            ],
+            fault_events: vec![FaultEvent::DropData {
+                src: 0,
+                dst: 1,
+                seq: 0,
+                attempt: 0,
+            }],
+        };
+        let text = render(&cex);
+        assert!(text.contains("I4-false-demotion"));
+        assert!(text.contains("trace (2 events)"));
+        assert!(text.contains("DropData 0→1 seq 0 attempt 0"));
+    }
+}

@@ -50,13 +50,16 @@
 //! epoch, discard stale frames from aborted pre-failure attempts, and re-run
 //! the exchange until all survivors complete it under a common view.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lcc_obs::metrics as obs;
 
+use crate::actor::{
+    self, ActorState, ConvergedState, Convergence, DataDisposition, EpochDisposition,
+};
 use crate::fault::{CommError, FaultPlan, RetryPolicy};
 use crate::membership::ClusterView;
 use crate::transport::fault::FaultTransport;
@@ -350,24 +353,11 @@ pub struct CommWorld {
     stats: Arc<CommStats>,
     plan: Arc<FaultPlan>,
     retry: RetryPolicy,
-    /// Next sequence number per destination.
-    next_seq: Vec<u64>,
-    /// Next expected sequence number per source (receiver-side dedup).
-    next_expected: Vec<u64>,
-    /// Ack index per source for the in-flight sequence, mirroring the
-    /// sender's enumeration of delivered frames.
-    ack_idx: Vec<u64>,
-    /// This rank's epoch-stamped membership belief.
-    view: ClusterView,
-    /// Peers implicated by typed failures since the last detection sweep.
-    /// Suspicion accelerates detection but is never trusted directly: the
-    /// sweep confirms against the plan probe, so a transient loss cannot
-    /// evict a healthy rank.
-    suspected: BTreeSet<usize>,
-    /// Set when this rank's own death was simulated at a protocol point.
-    /// A killed rank must act dead: no done announcement, no end-of-run
-    /// drain, no straggler acks.
-    killed: bool,
+    /// The pure protocol kernel: sequence spaces, receiver-side dedup,
+    /// the epoch-stamped membership view, suspicion, and the killed flag
+    /// all live in [`crate::actor`], shared verbatim with the `lcc-check`
+    /// model checker. `CommWorld` owns only the wire work around it.
+    actor: ActorState,
 }
 
 impl CommWorld {
@@ -396,12 +386,7 @@ impl CommWorld {
             stats,
             plan,
             retry,
-            next_seq: vec![0; size],
-            next_expected: vec![0; size],
-            ack_idx: vec![0; size],
-            view: ClusterView::all_alive(size),
-            suspected: BTreeSet::new(),
-            killed: false,
+            actor: ActorState::new(rank, size),
         }
     }
 
@@ -449,8 +434,7 @@ impl CommWorld {
         // session's totals match the stats accounting exactly.
         obs::COMM_BYTES_LOGICAL.add(payload.len() as u64);
         obs::COMM_MESSAGES_LOGICAL.incr();
-        let seq = self.next_seq[to];
-        self.next_seq[to] += 1;
+        let seq = self.actor.alloc_seq(to);
         if !self.plan.is_active() {
             self.count_physical(payload.len());
             let framed = frame::encode_data(seq, 0, &payload);
@@ -476,37 +460,7 @@ impl CommWorld {
     /// ack that is guaranteed to arrive.
     fn send_reliable(&mut self, to: usize, seq: u64, payload: Vec<u8>) -> Result<(), CommError> {
         let plan = Arc::clone(&self.plan);
-        let mut k = 0u64; // delivered-frame index, shared with the receiver
-        let mut acked = false;
-        let mut attempts = 0u32;
-        let (mut retransmits, mut timeouts) = (0u64, 0u64);
-        while attempts < self.retry.max_attempts {
-            let a = attempts;
-            attempts += 1;
-            let delivered = !plan.drops_data(self.rank, to, seq, a);
-            let mut ack_survives = false;
-            if delivered {
-                let copies = if plan.duplicates_data(self.rank, to, seq, a) {
-                    2
-                } else {
-                    1
-                };
-                for _ in 0..copies {
-                    ack_survives |= !plan.drops_ack(self.rank, to, seq, k);
-                    k += 1;
-                }
-            }
-            if ack_survives {
-                acked = true;
-                break;
-            }
-            if delivered {
-                // Data arrived but no ack will: this attempt ends in a real
-                // protocol timeout before the retry.
-                timeouts += 1;
-            }
-            retransmits += 1;
-        }
+        let sp = actor::plan_send(&plan, &self.retry, self.rank, to, seq);
 
         // Each attempt is handed to the transport exactly once, carrying
         // its attempt index in the frame header; the fault decorator
@@ -514,17 +468,11 @@ impl CommWorld {
         // applies the sender-side delay before attempt 0). The physical
         // accounting here mirrors those decisions: a dropped frame still
         // left the sender's NIC (one copy), a duplicated one cost two.
-        for a in 0..attempts {
+        for a in 0..sp.attempts {
             if a > 0 {
                 std::thread::sleep(self.retry.backoff(a));
             }
-            let copies = if plan.drops_data(self.rank, to, seq, a) {
-                1 // transmitted, then lost in flight
-            } else if plan.duplicates_data(self.rank, to, seq, a) {
-                2
-            } else {
-                1
-            };
+            let copies = actor::attempt_copies(&plan, self.rank, to, seq, a);
             for _ in 0..copies {
                 self.count_physical(payload.len());
             }
@@ -533,16 +481,18 @@ impl CommWorld {
         }
         self.stats
             .retransmits
-            .fetch_add(retransmits, Ordering::Relaxed);
-        self.stats.timeouts.fetch_add(timeouts, Ordering::Relaxed);
-        obs::COMM_RETRANSMITS.add(retransmits);
-        obs::COMM_TIMEOUTS.add(timeouts);
-        if !acked {
+            .fetch_add(sp.retransmits, Ordering::Relaxed);
+        self.stats
+            .timeouts
+            .fetch_add(sp.timeouts, Ordering::Relaxed);
+        obs::COMM_RETRANSMITS.add(sp.retransmits);
+        obs::COMM_TIMEOUTS.add(sp.timeouts);
+        if !sp.acked {
             return Err(CommError::RetriesExhausted {
                 rank: self.rank,
                 peer: to,
                 seq,
-                attempts,
+                attempts: sp.attempts,
             });
         }
         self.wait_for_ack(to, seq)
@@ -602,29 +552,28 @@ impl CommWorld {
             self.inbox[src].push_back(payload);
             return;
         }
-        if seq < self.next_expected[src] {
-            // A retransmission of something already delivered.
-            self.stats
-                .duplicates_suppressed
-                .fetch_add(1, Ordering::Relaxed);
-            obs::COMM_DUPLICATES.incr();
-            self.send_ack(src, seq);
-            return;
+        match self.actor.on_data(src, seq) {
+            DataDisposition::Duplicate { ack_k } => {
+                // A retransmission of something already delivered.
+                self.stats
+                    .duplicates_suppressed
+                    .fetch_add(1, Ordering::Relaxed);
+                obs::COMM_DUPLICATES.incr();
+                self.send_ack(src, seq, ack_k);
+            }
+            DataDisposition::Deliver { ack_k } => {
+                self.send_ack(src, seq, ack_k);
+                self.inbox[src].push_back(payload);
+            }
         }
-        // New message (sequence gaps only arise from aborted sends).
-        self.next_expected[src] = seq + 1;
-        self.ack_idx[src] = 0;
-        self.send_ack(src, seq);
-        self.inbox[src].push_back(payload);
     }
 
-    /// Acks delivered frame number `ack_idx[src]` of `(src → self, seq)`.
-    /// The frame carries its ack index `k`, so the fault decorator can
-    /// evaluate the same keyed ack-drop roll the sender evaluated — the
-    /// sender already knows which ack (if any) will survive.
-    fn send_ack(&mut self, src: usize, seq: u64) {
-        let k = self.ack_idx[src];
-        self.ack_idx[src] += 1;
+    /// Acks delivered frame number `k` of `(src → self, seq)`, as decided
+    /// by [`ActorState::on_data`]. The frame carries its ack index, so the
+    /// fault decorator can evaluate the same keyed ack-drop roll the
+    /// sender evaluated — the sender already knows which ack (if any)
+    /// will survive.
+    fn send_ack(&mut self, src: usize, seq: u64, k: u64) {
         // The ack is transmitted before the decorator may lose it:
         // physical cost either way.
         self.stats.acks.fetch_add(1, Ordering::Relaxed);
@@ -770,7 +719,7 @@ impl CommWorld {
 
     /// This rank's current membership belief.
     pub fn current_view(&self) -> &ClusterView {
-        &self.view
+        self.actor.view()
     }
 
     /// Feeds a typed failure into the suspicion set. Suspicion only
@@ -778,15 +727,13 @@ impl CommWorld {
     /// view by itself, so a transient drop cannot evict a healthy peer.
     pub fn record_failure(&mut self, err: &CommError) {
         if let Some(peer) = err.implicated_peer() {
-            if peer < self.size && peer != self.rank {
-                self.suspected.insert(peer);
-            }
+            self.actor.record_suspect(peer);
         }
     }
 
     /// Peers currently under suspicion (ascending), for diagnostics.
     pub fn suspected_ranks(&self) -> impl Iterator<Item = usize> + '_ {
-        self.suspected.iter().copied()
+        self.actor.suspected_ranks()
     }
 
     /// Detection sweep: unions the fault plan's ground truth (the
@@ -805,28 +752,19 @@ impl CommWorld {
     /// Suspicions are cleared: each was either confirmed or exonerated as
     /// transient loss.
     pub fn detect_failures(&mut self) -> bool {
-        let mut dead = self.plan.doomed_ranks(self.size);
-        dead.extend(
-            self.transport
-                .confirmed_dead()
-                .into_iter()
-                .filter(|&r| r < self.size && r != self.rank),
-        );
-        dead.extend(self.view.dead_ranks());
-        self.suspected.clear();
-        let before = self.size - self.view.live_count();
-        let changed = self.view.observe_dead(dead);
-        if changed {
-            let newly_dead = (self.size - self.view.live_count() - before) as u64;
+        let planned = self.plan.doomed_ranks(self.size);
+        let observed = self.transport.confirmed_dead();
+        let out = self.actor.sweep(planned, observed);
+        if out.changed {
             self.stats
                 .deaths_detected
-                .fetch_add(newly_dead, Ordering::Relaxed);
+                .fetch_add(out.newly_dead, Ordering::Relaxed);
             self.stats.note_first_detection();
-            obs::LIVENESS_DEATHS_DETECTED.add(newly_dead);
+            obs::LIVENESS_DEATHS_DETECTED.add(out.newly_dead);
             // Spans this rank records from here on carry the new epoch.
-            lcc_obs::set_epoch(self.view.epoch());
+            lcc_obs::set_epoch(out.epoch);
         }
-        changed
+        out.changed
     }
 
     /// Crosses seeded protocol point `idx` — the coordinates at which the
@@ -847,7 +785,7 @@ impl CommWorld {
             }
             Err(e) => {
                 if matches!(e, CommError::Killed { .. }) {
-                    self.killed = true;
+                    self.actor.on_killed();
                     self.transport.depart();
                 }
                 Err(e)
@@ -871,7 +809,7 @@ impl CommWorld {
     /// the epoch collectives and by chaos workloads that emit partial
     /// exchanges before deserting.
     pub fn send_epoch(&mut self, to: usize, payload: &[u8]) -> Result<(), CommError> {
-        let framed = frame::encode_epoch(self.view.epoch(), payload);
+        let framed = frame::encode_epoch(self.actor.view().epoch(), payload);
         self.send(to, framed)
     }
 
@@ -881,27 +819,28 @@ impl CommWorld {
     /// protocol error ([`CommError::EpochMismatch`]): this rank missed a
     /// detection sweep.
     fn recv_epoch_from(&mut self, from: usize) -> Result<Vec<u8>, CommError> {
-        let local = self.view.epoch();
         loop {
             let frame = self.recv_from(from)?;
             let (remote, payload) =
                 frame::decode_epoch(&frame).map_err(|e| e.into_comm_error(self.rank, from))?;
-            if remote < local {
-                continue; // stale: from an attempt aborted pre-detection
+            match self.actor.classify_epoch(remote) {
+                // Stale: from an attempt aborted pre-detection.
+                EpochDisposition::Stale => continue,
+                EpochDisposition::Ahead => {
+                    let err = CommError::EpochMismatch {
+                        rank: self.rank,
+                        peer: from,
+                        local_epoch: self.actor.view().epoch(),
+                        remote_epoch: remote,
+                    };
+                    // Not ours to consume yet: once this rank's own
+                    // detection sweep catches up, the retried exchange
+                    // will claim it.
+                    self.inbox[from].push_front(frame);
+                    return Err(err);
+                }
+                EpochDisposition::Current => return Ok(payload.to_vec()),
             }
-            if remote > local {
-                let err = CommError::EpochMismatch {
-                    rank: self.rank,
-                    peer: from,
-                    local_epoch: local,
-                    remote_epoch: remote,
-                };
-                // Not ours to consume yet: once this rank's own detection
-                // sweep catches up, the retried exchange will claim it.
-                self.inbox[from].push_front(frame);
-                return Err(err);
-            }
-            return Ok(payload.to_vec());
         }
     }
 
@@ -919,7 +858,7 @@ impl CommWorld {
         assert_eq!(outgoing.len(), self.size, "need one payload per rank");
         self.count_round();
         for (to, payload) in outgoing.into_iter().enumerate() {
-            if !self.view.is_alive(to) {
+            if !self.actor.view().is_alive(to) {
                 continue;
             }
             if let Err(e) = self.send_epoch(to, &payload) {
@@ -928,7 +867,7 @@ impl CommWorld {
         }
         let mut incoming = Vec::with_capacity(self.size);
         for from in 0..self.size {
-            if !self.view.is_alive(from) {
+            if !self.actor.view().is_alive(from) {
                 incoming.push(None);
                 continue;
             }
@@ -971,18 +910,17 @@ impl CommWorld {
         &mut self,
         mut make_outgoing: impl FnMut(&ClusterView) -> Vec<Vec<u8>>,
     ) -> Result<ConvergedExchange, CommError> {
-        let mut fruitless = 0usize;
         'epoch: loop {
-            let outgoing = make_outgoing(&self.view);
+            let outgoing = make_outgoing(self.actor.view());
             assert_eq!(outgoing.len(), self.size, "need one payload per rank");
-            let epoch = self.view.epoch();
-            let mut sent = vec![false; self.size];
+            // A view change starts a fresh state (resetting the fruitless
+            // counter with it); within the epoch the exchange is resumable.
+            let mut ex = ConvergedState::begin(self.actor.view());
             let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.size];
-            let mut received = vec![false; self.size];
             loop {
                 self.count_round();
                 for (to, payload) in outgoing.iter().enumerate() {
-                    if sent[to] || !self.view.is_alive(to) {
+                    if ex.sent[to] || !self.actor.view().is_alive(to) {
                         continue;
                     }
                     // Best-effort: an acked send is delivered exactly once
@@ -990,19 +928,19 @@ impl CommWorld {
                     // failed send marks the peer suspect and is retried
                     // only if the view holds steady.
                     match self.send_epoch(to, payload) {
-                        Ok(()) => sent[to] = true,
+                        Ok(()) => ex.mark_sent(to),
                         Err(e) => self.record_failure(&e),
                     }
                 }
                 let mut failure = None;
-                for from in 0..self.size {
-                    if received[from] || !self.view.is_alive(from) {
+                for (from, slot) in slots.iter_mut().enumerate() {
+                    if ex.received[from] || !self.actor.view().is_alive(from) {
                         continue;
                     }
                     match self.recv_epoch_from(from) {
                         Ok(p) => {
-                            slots[from] = Some(p);
-                            received[from] = true;
+                            *slot = Some(p);
+                            ex.mark_received(from);
                         }
                         Err(e) => {
                             self.record_failure(&e);
@@ -1016,7 +954,6 @@ impl CommWorld {
                     // not) ran under stale membership. Redo it from scratch
                     // at the new epoch so all survivors complete under a
                     // common view; peers discard the stale frames.
-                    fruitless = 0;
                     continue 'epoch;
                 }
                 match failure {
@@ -1027,11 +964,10 @@ impl CommWorld {
                         // that peer (it still waits on our frame), so the
                         // exchange only converges once every live slot was
                         // both sent and received.
-                        match (0..self.size).find(|&t| !sent[t] && self.view.is_alive(t)) {
-                            None => return Ok((slots, epoch)),
-                            Some(starved) => {
-                                fruitless += 1;
-                                if fruitless >= self.size {
+                        match ex.convergence(self.actor.view()) {
+                            Convergence::Converged => return Ok((slots, ex.epoch)),
+                            Convergence::Starved(starved) => {
+                                if ex.note_fruitless() >= self.size {
                                     return Err(CommError::Timeout {
                                         op: "converged_send",
                                         rank: self.rank,
@@ -1042,8 +978,7 @@ impl CommWorld {
                         }
                     }
                     Some(e) => {
-                        fruitless += 1;
-                        if fruitless >= self.size {
+                        if ex.note_fruitless() >= self.size {
                             return Err(e);
                         }
                     }
@@ -1079,10 +1014,10 @@ impl Drop for CommWorld {
     /// every rank must hold its mesh open until `ALL_DONE` so normal
     /// completion never masquerades as failure.
     fn drop(&mut self) {
-        if self.plan.is_crashed(self.rank) || self.killed {
-            // A killed rank already departed the rendezvous and must act
-            // dead: announcing done or acking stragglers here would be
-            // traffic from beyond the grave.
+        if !self.actor.drain_gate(self.plan.is_crashed(self.rank)) {
+            // A crashed or killed rank already departed the rendezvous and
+            // must act dead: announcing done or acking stragglers here
+            // would be traffic from beyond the grave.
             return;
         }
         self.transport.announce_done();
@@ -1186,7 +1121,7 @@ where
                         // Tag this worker's spans with its simulated rank
                         // (and untag before the thread returns to any pool).
                         lcc_obs::set_rank(Some(world.rank as u32));
-                        lcc_obs::set_epoch(world.view.epoch());
+                        lcc_obs::set_epoch(world.actor.view().epoch());
                         let r = f(world);
                         lcc_obs::set_rank(None);
                         lcc_obs::set_epoch(0);

@@ -27,12 +27,19 @@
 //!   decision is a keyed hash of the plan seed, so chaos runs replay
 //!   bit-for-bit.
 
+//! * [`actor`] — the pure protocol kernel (`ProtocolActor`): every
+//!   decision the epoch/ack/retry/membership protocol makes, as
+//!   clock-free transition functions. [`cluster::CommWorld`] calls these
+//!   kernels on the real wire; the `lcc-check` model checker drives the
+//!   same kernels through every interleaving (see DESIGN.md §6b), so
+//!   there is no forked protocol logic to drift.
 //! * [`membership`] — epoch-stamped [`ClusterView`]s: each endpoint's
 //!   belief about who is alive, advanced by `CommWorld::detect_failures`
 //!   sweeps so that all survivors of a fault seed converge on the same
 //!   view sequence, enabling the self-healing epoch-tagged collectives
 //!   (`alltoall_converged` / `allgather_converged`).
 
+pub mod actor;
 pub mod cluster;
 pub mod dist_fft;
 pub mod fault;
@@ -41,6 +48,10 @@ pub mod model;
 pub mod pencil_fft;
 pub mod transport;
 
+pub use actor::{
+    ActorState, ConvergedState, Convergence, DataDisposition, EpochDisposition, Phase,
+    ProtocolActor, SendPlan, SweepOutcome,
+};
 pub use cluster::{
     decode_f64s, encode_f64s, run_cluster, run_cluster_with_faults, try_decode_f64s, CodecError,
     CommStats, CommStatsSnapshot, CommWorld, ConvergedExchange, ACK_WIRE_BYTES,
@@ -54,5 +65,8 @@ pub use membership::ClusterView;
 pub use model::{lowcomm_volume, traditional_conv_volume, AlphaBeta, CommScenario};
 pub use pencil_fft::{grid_coords, pencil_forward_3d, pencil_inverse_3d, sub_alltoall};
 pub use transport::fault::{FaultEvent, FaultEventLog, FaultTransport};
-pub use transport::liveness::{LivenessBoard, LivenessStats};
+pub use transport::liveness::{
+    adaptive_threshold, ewma_observe, LivenessBoard, LivenessStats, EWMA_ALPHA, FLOOR_PERIODS,
+    MIN_SAMPLES, PHI_SIGMAS,
+};
 pub use transport::{PointOutcome, RecvOutcome, Transport};

@@ -26,7 +26,7 @@
 use std::collections::BTreeSet;
 
 /// One rank's epoch-stamped belief about cluster membership.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ClusterView {
     size: usize,
     epoch: u64,

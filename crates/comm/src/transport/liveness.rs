@@ -44,14 +44,51 @@ use lcc_obs::metrics as obs;
 use crate::fault::RetryPolicy;
 
 /// Number of EWMA standard deviations of silence that arouse suspicion.
-const PHI_SIGMAS: f64 = 4.0;
+pub const PHI_SIGMAS: f64 = 4.0;
 /// EWMA smoothing factor for the inter-arrival estimate.
-const EWMA_ALPHA: f64 = 0.2;
+pub const EWMA_ALPHA: f64 = 0.2;
 /// Beats required before the adaptive threshold is trusted at all.
-const MIN_SAMPLES: u64 = 4;
+pub const MIN_SAMPLES: u64 = 4;
 /// The adaptive floor, in heartbeat periods: even a metronome-steady peer
 /// gets this many missed beats of grace.
-const FLOOR_PERIODS: u32 = 4;
+pub const FLOOR_PERIODS: u32 = 4;
+
+/// Pure EWMA update of one peer's rhythm estimate for an observed
+/// inter-arrival `gap_s` (seconds): returns the new
+/// `(mean_s, var_s2, samples)` triple. The first observation seeds the
+/// mean directly; later ones blend with [`EWMA_ALPHA`]. Exposed at
+/// function level so the suspicion math is property-testable without a
+/// clock or a board.
+pub fn ewma_observe(mean_s: f64, var_s2: f64, samples: u64, gap_s: f64) -> (f64, f64, u64) {
+    if samples > 0 {
+        let dev = gap_s - mean_s;
+        (
+            mean_s + EWMA_ALPHA * dev,
+            var_s2 + EWMA_ALPHA * (dev * dev - var_s2),
+            samples + 1,
+        )
+    } else {
+        (gap_s, var_s2, 1)
+    }
+}
+
+/// Pure adaptive silence threshold for a rhythm estimate: the
+/// [`PHI_SIGMAS`]-sigma phi-accrual bound `mean + 4σ`, clamped to
+/// `[floor, cap]`; until [`MIN_SAMPLES`] beats have been observed only
+/// the cap applies (startup jitter must never demote a live rank).
+pub fn adaptive_threshold(
+    mean_s: f64,
+    var_s2: f64,
+    samples: u64,
+    floor: Duration,
+    cap: Duration,
+) -> Duration {
+    if samples < MIN_SAMPLES {
+        return cap;
+    }
+    let adaptive = Duration::from_secs_f64(mean_s + PHI_SIGMAS * var_s2.sqrt());
+    adaptive.clamp(floor, cap)
+}
 
 /// Liveness-layer counters, reported per rank and summed cluster-wide.
 ///
@@ -220,14 +257,7 @@ impl LivenessBoard {
             return;
         };
         let gap = now.saturating_duration_since(h.last_seen).as_secs_f64();
-        if h.samples > 0 {
-            let dev = gap - h.mean_s;
-            h.mean_s += EWMA_ALPHA * dev;
-            h.var_s2 += EWMA_ALPHA * (dev * dev - h.var_s2);
-        } else {
-            h.mean_s = gap;
-        }
-        h.samples += 1;
+        (h.mean_s, h.var_s2, h.samples) = ewma_observe(h.mean_s, h.var_s2, h.samples, gap);
         h.last_seen = now;
         h.suspected = false;
     }
@@ -310,11 +340,7 @@ impl LivenessBoard {
 
     /// This peer's current adaptive silence threshold.
     fn threshold(&self, h: &PeerHealth) -> Duration {
-        if h.samples < MIN_SAMPLES {
-            return self.cap;
-        }
-        let adaptive = Duration::from_secs_f64(h.mean_s + PHI_SIGMAS * h.var_s2.sqrt());
-        adaptive.clamp(self.floor, self.cap)
+        adaptive_threshold(h.mean_s, h.var_s2, h.samples, self.floor, self.cap)
     }
 
     /// Sweep at time `now`: peers with hard evidence, plus peers whose

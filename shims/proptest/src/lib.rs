@@ -82,6 +82,30 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`, mirroring proptest's
+        /// combinator of the same name.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
     }
 
     /// Always yields a clone of the wrapped value.

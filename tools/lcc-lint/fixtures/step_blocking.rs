@@ -1,0 +1,34 @@
+// lcc-lint: pretend-path crates/comm/src/actor.rs
+//! Seeded violations for the `no-blocking-in-step` rule: the protocol
+//! actor seam must stay a pure transition function, so clocks, sleeps,
+//! locks, I/O and console printing are all convictions here.
+
+use std::sync::Mutex; //~ ERROR no-blocking-in-step
+use std::time::Instant;
+
+pub fn step(state: &ActorState) -> Vec<Action> {
+    let started = Instant::now(); //~ ERROR no-blocking-in-step
+    std::thread::sleep(Duration::from_millis(5)); //~ ERROR no-blocking-in-step
+    let guard = SHARED.lock(); //~ ERROR no-blocking-in-step
+    println!("stepping {started:?} {guard:?}"); //~ ERROR no-blocking-in-step
+    Vec::new()
+}
+
+pub fn checkpoint(state: &ActorState) {
+    // Writing state to disk belongs in the harness, not the step.
+    std::fs::write("/tmp/actor.ckpt", encode(state)).ok(); //~ ERROR no-blocking-in-step
+}
+
+pub fn dump(state: &ActorState) {
+    // lcc-lint: allow(blocking) — debug helper compiled out of release
+    // builds; justified exceptions are not convictions.
+    eprintln!("{state:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may block freely.
+    fn slow_test() {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

@@ -153,6 +153,7 @@ fn run_self_test() -> ExitCode {
 
     let mut failures = 0usize;
     let mut checked = 0usize;
+    let mut tallies: Vec<(String, usize)> = Vec::new();
     for path in &files {
         let name = path
             .file_name()
@@ -199,6 +200,17 @@ fn run_self_test() -> ExitCode {
         }
         expected.sort();
         expected.dedup();
+        // A fixture that drifted to zero markers proves nothing — the
+        // rule it was written for could regress silently. Fail loudly so
+        // the marker rot is fixed rather than masked.
+        if expected.is_empty() {
+            println!(
+                "SELF-TEST FAIL {name}: fixture has no `//~ ERROR` markers \
+                 (every fixture must seed at least one violation)"
+            );
+            failures += 1;
+            continue;
+        }
         let mut got: Vec<(usize, String)> =
             found.iter().map(|v| (v.line, v.rule.to_string())).collect();
         got.sort();
@@ -223,8 +235,16 @@ fn run_self_test() -> ExitCode {
             }
         }
         checked += expected.len();
+        tallies.push((name, expected.len()));
     }
     if failures == 0 {
+        // The expectation counts are derived from the fixtures' own
+        // markers, so print the per-fixture tally: a fixture silently
+        // losing markers shows up as a shrinking number here (and zero
+        // markers fails outright above).
+        for (name, n) in &tallies {
+            println!("lcc-lint self-test: {name}: {n} seeded violation(s) detected");
+        }
         println!(
             "lcc-lint self-test: all {checked} seeded violations detected across {} fixtures",
             files.len()

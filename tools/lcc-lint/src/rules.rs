@@ -17,6 +17,14 @@
 //!   `Box::new` and `.to_vec()` are banned outside test code. Plan-time
 //!   or per-solve allocations are opted out per line with
 //!   `// lcc-lint: allow(alloc)` (same line or the line above).
+//! * `no-blocking-in-step` — the protocol-actor seam
+//!   (`crates/comm/src/actor.rs`, `crates/check/src/model.rs`, plus any
+//!   module annotated `// lcc-lint: no-blocking`) must stay a pure
+//!   transition function: the model checker explores it in-process, so
+//!   clocks (`Instant::now`, `SystemTime`), sleeping, locking (`Mutex`,
+//!   `RwLock`, `.lock()`), I/O (`std::fs`, `std::net`, `std::io`,
+//!   `std::process`) and console printing are banned outside test code.
+//!   Deliberate exceptions carry `// lcc-lint: allow(blocking)`.
 //! * `typed-error` — functions in `crates/comm/src` and `crates/core/src`
 //!   that return `Result` must use the crates' typed errors (`CommError`,
 //!   `CodecError`, `ConfigError`); returning `Box<dyn Error>` (or any
@@ -77,6 +85,17 @@ pub fn check_file(path: &str, file: &SourceFile) -> (Vec<Violation>, Vec<usize>)
         .any(|l| l.comment.trim_start().starts_with("lcc-lint: hot-path"))
     {
         check_hot_path_allocs(path, file, &mut v);
+    }
+    // The actor seam is pure by construction; the annotation extends the
+    // guarantee to any other module that opts in (same opening-comment
+    // requirement as hot-path, so prose mentions don't activate it).
+    if ACTOR_SEAM_PATHS.contains(&path)
+        || file
+            .lines
+            .iter()
+            .any(|l| l.comment.trim_start().starts_with("lcc-lint: no-blocking"))
+    {
+        check_no_blocking(path, file, &mut v);
     }
     let mut unwrap_sites = Vec::new();
     if in_ratcheted_tree(path) {
@@ -139,6 +158,55 @@ fn check_safety_comments(path: &str, file: &SourceFile, out: &mut Vec<Violation>
 
 fn comment_satisfies_safety(comment: &str) -> bool {
     comment.contains("SAFETY") || comment.contains("# Safety")
+}
+
+/// The files that *are* the protocol-actor seam: the transition kernels
+/// the model checker drives in-process. They must never gain a clock,
+/// lock, sleep, or I/O — that would desynchronize the checked model from
+/// the production behavior (and hang the checker).
+const ACTOR_SEAM_PATHS: [&str; 2] = ["crates/comm/src/actor.rs", "crates/check/src/model.rs"];
+
+/// Tokens that block, tell time, or touch the outside world. String and
+/// comment contents are blanked by the lexer, so these match code only.
+const BLOCKING_TOKENS: [&str; 12] = [
+    "thread::sleep",
+    "sleep(",
+    "Mutex",
+    "RwLock",
+    ".lock()",
+    "Instant::now",
+    "SystemTime",
+    "std::fs",
+    "std::net",
+    "std::io",
+    "println!",
+    "eprintln!",
+];
+
+/// `no-blocking-in-step`: flags blocking/impure tokens in actor-seam
+/// modules outside test code, unless escaped with
+/// `// lcc-lint: allow(blocking)`.
+fn check_no_blocking(path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || allow_escape(file, idx, "lcc-lint: allow(blocking)") {
+            continue;
+        }
+        for tok in BLOCKING_TOKENS {
+            if find_word(&line.code, tok, 0).is_some() {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: idx + 1,
+                    rule: "no-blocking-in-step",
+                    msg: format!(
+                        "`{tok}` in a pure actor-step module; the protocol seam must \
+                         stay clock-, lock-, and I/O-free so the model checker can \
+                         drive it, or justify with `// lcc-lint: allow(blocking)`"
+                    ),
+                });
+                break; // one violation per line is enough
+            }
+        }
+    }
 }
 
 /// The allocating tokens banned in hot-path modules.
@@ -626,6 +694,77 @@ fn serve() -> Result<(), CommError> {
 }
 ";
         assert!(check("crates/comm/src/transport/socket.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_tokens_in_the_actor_seam_are_flagged() {
+        let src = "\
+fn step() {
+    std::thread::sleep(d);
+    let now = Instant::now();
+    let g = state.lock();
+}
+#[cfg(test)]
+mod tests {
+    fn t() { std::thread::sleep(d); }
+}
+";
+        let v = check("crates/comm/src/actor.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "no-blocking-in-step"));
+        assert_eq!(
+            v.iter().map(|x| x.line).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "test code is exempt"
+        );
+        // The same source outside the seam (and without the directive) is
+        // not subject to the rule.
+        assert!(check("crates/comm/src/cluster.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_blocking_directive_activates_the_rule_anywhere() {
+        let src = "\
+// lcc-lint: no-blocking
+fn pure() { let m = Mutex::new(0); }
+";
+        let v = check("crates/octree/src/y.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-blocking-in-step");
+        assert_eq!(v[0].line, 2);
+        // Prose that merely mentions the directive does not activate it.
+        let prose = "// the lcc-lint: no-blocking rule is documented elsewhere\n\
+                     fn pure() { let m = Mutex::new(0); }\n";
+        assert!(check("crates/octree/src/y.rs", prose).is_empty());
+    }
+
+    #[test]
+    fn allow_blocking_escape_is_honoured() {
+        let src = "\
+// lcc-lint: no-blocking
+// lcc-lint: allow(blocking) — diagnostics helper, never on the step path
+fn dump() { println!(\"{state:?}\"); }
+";
+        assert!(check("crates/octree/src/y.rs", src).is_empty());
+    }
+
+    #[test]
+    fn the_committed_actor_seam_is_clean() {
+        // The rule hardwires the real seam files; prove they pass so the
+        // workspace scan stays green.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_path_buf();
+        for rel in ACTOR_SEAM_PATHS {
+            let text = std::fs::read_to_string(root.join(rel)).expect(rel);
+            let v = check(rel, &text);
+            assert!(
+                v.iter().all(|x| x.rule != "no-blocking-in-step"),
+                "{rel}: {v:?}"
+            );
+        }
     }
 
     #[test]

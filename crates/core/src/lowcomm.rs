@@ -12,7 +12,9 @@
 //! When ranks die mid-deployment the pipeline degrades instead of failing:
 //! survivors recompute the missing domains' contributions at the schedule's
 //! *coarsest* rate (cheap, low-resolution) so availability is preserved and
-//! only accuracy suffers — see [`LowCommConvolver::accumulate_degraded`].
+//! only accuracy suffers — open a [`ConvolveSession`] in
+//! [`ConvolveMode::Degraded`] and let [`ConvolveSession::accumulate`]
+//! rebuild the orphans.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -137,8 +139,9 @@ impl LowCommConvolver {
         })
     }
 
-    /// Opens a [`ConvolveSession`] — the unified entry point that replaces
-    /// the deprecated `compress_domain*` / `accumulate*` method families.
+    /// Opens a [`ConvolveSession`] — the unified entry point that replaced
+    /// the legacy `compress_domain*` / `accumulate*` method families
+    /// (deleted once every caller had migrated).
     /// The mode states once how the run treats missing domains; chain
     /// [`ConvolveSession::with_observability`] to collect spans and
     /// counters for the run.
@@ -192,23 +195,10 @@ impl LowCommConvolver {
         &self.plans
     }
 
-    /// Computes the compressed contributions of every (nonzero) sub-domain.
-    /// Sub-domains are processed independently in parallel — this is the
-    /// "local computation" phase that replaces the distributed FFT.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `session(ConvolveMode::Normal).compress_domains(...)`"
-    )]
-    pub fn compress_domains(
-        &self,
-        input: &Grid3<f64>,
-        kernel: &dyn KernelSpectrum,
-    ) -> (Vec<CompressedField>, ConvolveReport) {
-        self.compress_domains_impl(input, kernel)
-    }
-
-    /// Shared implementation of the local-computation phase; exact in every
-    /// mode (degradation only concerns *missing* contributions).
+    /// Shared implementation of the local-computation phase behind
+    /// [`ConvolveSession::compress_domains`] — every (nonzero) sub-domain
+    /// compressed independently in parallel, exact in every mode
+    /// (degradation only concerns *missing* contributions).
     pub(crate) fn compress_domains_impl(
         &self,
         input: &Grid3<f64>,
@@ -252,17 +242,10 @@ impl LowCommConvolver {
         (out, report)
     }
 
-    /// Accumulation + interpolation: sums every domain's reconstruction
-    /// into the dense approximate result (the one exchange of Fig. 1b).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `session(ConvolveMode::Normal).accumulate_fields(...)`"
-    )]
-    pub fn accumulate(&self, fields: &[CompressedField]) -> Grid3<f64> {
-        self.accumulate_impl(fields)
-    }
-
-    /// Shared plain fold in slice order.
+    /// Shared plain fold in slice order behind
+    /// [`ConvolveSession::accumulate_fields`]: sums every domain's
+    /// reconstruction into the dense approximate result (the one exchange
+    /// of Fig. 1b).
     pub(crate) fn accumulate_impl(&self, fields: &[CompressedField]) -> Grid3<f64> {
         let n = self.cfg.n;
         let cube = BoxRegion::cube(n);
@@ -302,44 +285,12 @@ impl LowCommConvolver {
         RateSchedule::uniform(self.coarsest_rate())
     }
 
-    /// Recomputes one sub-domain's contribution at the coarsest uniform
-    /// rate. Returns `None` for identically-zero domains (nothing to
-    /// reconstruct). This is what a survivor runs for each domain owned by
-    /// a dead rank.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `session(ConvolveMode::Degraded).compress_domain(...)`"
-    )]
-    pub fn compress_domain_degraded(
-        &self,
-        input: &Grid3<f64>,
-        domain: &BoxRegion,
-        kernel: &dyn KernelSpectrum,
-    ) -> Option<CompressedField> {
-        self.compress_domain_impl(input, domain, kernel, true)
-    }
-
-    /// Recomputes one sub-domain's contribution *exactly* — the same plan
-    /// (via the memo) and the same pruned-FFT pipeline the dead owner
-    /// would have run, so the samples are bit-identical to the fault-free
-    /// run's. Returns `None` for identically-zero domains. This is what a
-    /// recovery claimant executes per [`crate::recovery::DomainClaim`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `session(ConvolveMode::Normal).compress_domain(...)` \
-                (exact in Normal and Recover modes)"
-    )]
-    pub fn compress_domain_exact(
-        &self,
-        input: &Grid3<f64>,
-        domain: &BoxRegion,
-        kernel: &dyn KernelSpectrum,
-    ) -> Option<CompressedField> {
-        self.compress_domain_impl(input, domain, kernel, false)
-    }
-
-    /// Shared single-domain compression: `degraded` selects the coarsest
-    /// uniform plan, otherwise the memoized schedule plan.
+    /// Shared single-domain compression behind
+    /// [`ConvolveSession::compress_domain`]: `degraded` selects the
+    /// coarsest uniform plan (a survivor's emergency rebuild), otherwise
+    /// the memoized schedule plan — the same plan and pruned-FFT pipeline
+    /// the original owner would run, so exact recomputes are bit-identical
+    /// to the fault-free run's.
     pub(crate) fn compress_domain_impl(
         &self,
         input: &Grid3<f64>,
@@ -363,34 +314,15 @@ impl LowCommConvolver {
         )
     }
 
-    /// Accumulation with recovery accounting: folds per-domain
-    /// contributions **in ascending domain-id order** — the one fold order
-    /// every rank can reproduce regardless of who computed what, which is
-    /// what makes a redistributed run bit-identical to a fault-free run of
-    /// the same fold — then rebuilds `degraded` orphans locally at the
-    /// coarsest rate.
-    ///
-    /// `recovered` lists the domain ids in `contributions` that were
-    /// recomputed by claimants rather than their original owners; their
-    /// modeled flop and byte cost is charged to the report.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `session(ConvolveMode::Recover(policy)).accumulate(...)`"
-    )]
-    pub fn accumulate_with_recovery(
-        &self,
-        contributions: &BTreeMap<usize, CompressedField>,
-        input: &Grid3<f64>,
-        kernel: &dyn KernelSpectrum,
-        recovered: &[usize],
-        degraded: &[(usize, BoxRegion)],
-    ) -> (Grid3<f64>, ConvolveReport) {
-        self.accumulate_map_impl(contributions, input, kernel, recovered, degraded)
-    }
-
     /// Shared ascending-domain-id fold with recovery/degradation
-    /// accounting — the implementation behind both the deprecated
-    /// `accumulate_with_recovery` and [`ConvolveSession::accumulate`].
+    /// accounting — the implementation behind
+    /// [`ConvolveSession::accumulate`]. The ascending order is the one
+    /// fold order every rank can reproduce regardless of who computed
+    /// what, which is what makes a redistributed run bit-identical to a
+    /// fault-free run of the same fold. `recovered` lists the domain ids
+    /// in `contributions` that claimants recomputed (their modeled flop
+    /// and byte cost is charged to the report); `degraded` orphans are
+    /// rebuilt locally at the coarsest rate.
     pub(crate) fn accumulate_map_impl(
         &self,
         contributions: &BTreeMap<usize, CompressedField>,
@@ -435,63 +367,6 @@ impl LowCommConvolver {
             report.degraded_rate = Some(self.coarsest_rate());
         }
         obs::CONVOLVE_DOMAINS_RECOVERED.add(report.recovered_domains as u64);
-        obs::CONVOLVE_DOMAINS_DEGRADED.add(report.degraded_domains as u64);
-        (out, report)
-    }
-
-    /// Graceful degradation: accumulates the surviving ranks' compressed
-    /// contributions, then fills in `missing` domains (those owned by dead
-    /// ranks) by recomputing them locally at the coarsest rate. The report
-    /// records how much of the field is degraded so callers can surface the
-    /// accuracy loss instead of silently absorbing it.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `session(ConvolveMode::Degraded).accumulate(...)` with \
-                domain-id-keyed contributions"
-    )]
-    pub fn accumulate_degraded(
-        &self,
-        fields: &[CompressedField],
-        input: &Grid3<f64>,
-        kernel: &dyn KernelSpectrum,
-        missing: &[BoxRegion],
-    ) -> (Grid3<f64>, ConvolveReport) {
-        self.accumulate_vec_impl(fields, input, kernel, missing)
-    }
-
-    /// Shared slice-order fold with degraded rebuild of `missing` domains —
-    /// kept bit-compatible with the historical `accumulate_degraded` path.
-    pub(crate) fn accumulate_vec_impl(
-        &self,
-        fields: &[CompressedField],
-        input: &Grid3<f64>,
-        kernel: &dyn KernelSpectrum,
-        missing: &[BoxRegion],
-    ) -> (Grid3<f64>, ConvolveReport) {
-        let n = self.cfg.n;
-        let cube = BoxRegion::cube(n);
-        let mut out = self.accumulate_impl(fields);
-        let mut report = ConvolveReport {
-            domains_processed: fields.len(),
-            dense_stage_bytes: n * n * n * 16,
-            ..Default::default()
-        };
-        for f in fields {
-            report.total_samples += f.plan().total_samples();
-            report.exchange_bytes += f.message_bytes();
-        }
-        for d in missing {
-            match self.compress_domain_impl(input, d, kernel, true) {
-                Some(f) => {
-                    f.add_region_into(&cube, &mut out, 1.0);
-                    report.degraded_domains += 1;
-                }
-                None => report.domains_skipped += 1,
-            }
-        }
-        if report.degraded_domains > 0 {
-            report.degraded_rate = Some(self.coarsest_rate());
-        }
         obs::CONVOLVE_DOMAINS_DEGRADED.add(report.degraded_domains as u64);
         (out, report)
     }

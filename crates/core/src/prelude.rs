@@ -13,14 +13,14 @@
 //! ```
 
 pub use crate::config::{ConfigError, LowCommConfigBuilder};
-pub use crate::lowcomm::{ConvolveReport, LowCommConfig, LowCommConvolver};
+pub use crate::lowcomm::{ConvolveReport, LowCommConfig, LowCommConvolver, RunReport};
 pub use crate::pipeline::LocalConvolver;
 pub use crate::recovery::{RecoveryPlanner, RecoveryPolicy};
 pub use crate::session::{ConvolveMode, ConvolveSession};
 pub use crate::traditional::TraditionalConvolver;
 
 pub use lcc_greens::{GaussianKernel, KernelSpectrum};
-pub use lcc_grid::{decompose_uniform, BoxRegion, Grid3};
-pub use lcc_octree::{CompressedField, RateSchedule, SamplingPlan};
+pub use lcc_grid::{decompose_uniform, relative_l2, BoxRegion, Grid3};
+pub use lcc_octree::{CompressedField, PlanCache, RateSchedule, SamplingPlan};
 
 pub use lcc_obs::{ObsReport, ObsSession};

@@ -163,10 +163,38 @@ pub static LIVENESS_DEATHS_DETECTED: Counter = Counter::new("liveness.deaths_det
 /// `LivenessStats::rejoins`).
 pub static LIVENESS_REJOINS: Counter = Counter::new("liveness.rejoins");
 
+/// Requests offered to the service's admission controller.
+pub static SERVICE_OFFERED: Counter = Counter::new("service.offered");
+/// Requests admitted at full fidelity.
+pub static SERVICE_ADMITTED: Counter = Counter::new("service.admitted");
+/// Requests admitted degraded under load shedding.
+pub static SERVICE_SHED: Counter = Counter::new("service.shed");
+/// Requests rejected: tenant queue at capacity.
+pub static SERVICE_REJECTED_QUEUE_FULL: Counter = Counter::new("service.rejected_queue_full");
+/// Requests rejected: tenant quota exhausted.
+pub static SERVICE_REJECTED_QUOTA: Counter = Counter::new("service.rejected_quota");
+/// Requests rejected: exact service demanded while shedding.
+pub static SERVICE_REJECTED_SHEDDING: Counter = Counter::new("service.rejected_shedding");
+/// Coalesced batches dispatched onto the worker pool.
+pub static SERVICE_BATCHES: Counter = Counter::new("service.batches");
+/// Requests served (responses produced).
+pub static SERVICE_REQUESTS_COMPLETED: Counter = Counter::new("service.requests_completed");
+/// Plan-registry hits (a tenant reused a cached convolver).
+pub static SERVICE_PLAN_HITS: Counter = Counter::new("service.plan_hits");
+/// Plan-registry misses (a convolver was built).
+pub static SERVICE_PLAN_MISSES: Counter = Counter::new("service.plan_misses");
+/// Shed-mode entries (backlog crossed the high watermark).
+pub static SERVICE_SHED_ENTRIES: Counter = Counter::new("service.shed_entries");
+/// Shed-mode exits (backlog drained past the hysteresis floor).
+pub static SERVICE_SHED_EXITS: Counter = Counter::new("service.shed_exits");
+
 /// Last relative residual the MASSIF solver reported.
 pub static MASSIF_RESIDUAL: Gauge = Gauge::new("massif.residual");
 
-static COUNTERS: [&Counter; 26] = [
+/// Current total queued depth across all tenants of the service.
+pub static SERVICE_QUEUE_DEPTH: Gauge = Gauge::new("service.queue_depth");
+
+static COUNTERS: [&Counter; 38] = [
     &COMM_BYTES_LOGICAL,
     &COMM_MESSAGES_LOGICAL,
     &COMM_BYTES_PHYSICAL,
@@ -193,9 +221,21 @@ static COUNTERS: [&Counter; 26] = [
     &LIVENESS_SUSPICIONS,
     &LIVENESS_DEATHS_DETECTED,
     &LIVENESS_REJOINS,
+    &SERVICE_OFFERED,
+    &SERVICE_ADMITTED,
+    &SERVICE_SHED,
+    &SERVICE_REJECTED_QUEUE_FULL,
+    &SERVICE_REJECTED_QUOTA,
+    &SERVICE_REJECTED_SHEDDING,
+    &SERVICE_BATCHES,
+    &SERVICE_REQUESTS_COMPLETED,
+    &SERVICE_PLAN_HITS,
+    &SERVICE_PLAN_MISSES,
+    &SERVICE_SHED_ENTRIES,
+    &SERVICE_SHED_EXITS,
 ];
 
-static GAUGES: [&Gauge; 1] = [&MASSIF_RESIDUAL];
+static GAUGES: [&Gauge; 2] = [&MASSIF_RESIDUAL, &SERVICE_QUEUE_DEPTH];
 
 /// Every registered counter, in stable export order.
 pub fn all_counters() -> &'static [&'static Counter] {

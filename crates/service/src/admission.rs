@@ -1,0 +1,356 @@
+//! Admission control and backpressure.
+//!
+//! Three mechanisms keep an overloaded server bounded instead of slow:
+//!
+//! 1. **Bounded per-tenant queues** — a tenant with
+//!    [`AdmissionConfig::queue_capacity`] requests already waiting gets a
+//!    typed [`ServiceError::QueueFull`] instead of unbounded buffering.
+//! 2. **Per-tenant quotas** — queued + executing requests per tenant are
+//!    capped at [`AdmissionConfig::tenant_quota`], so one aggressive
+//!    tenant cannot monopolize the worker pool.
+//! 3. **Load shedding with hysteresis** — when the *total* queued depth
+//!    reaches [`AdmissionConfig::shed_on`] the server enters shed mode:
+//!    new requests are served in `ConvolveMode::Degraded` (the PR 1-2
+//!    graceful-degradation machinery repurposed as an overload valve —
+//!    coarsest-rate plans cost a fraction of the exact ones), and requests
+//!    that `require_exact` get a typed [`ServiceError::Shedding`]. Shed
+//!    mode exits only once the backlog drains to
+//!    [`AdmissionConfig::shed_off`] — the gap is the hysteresis band that
+//!    prevents flapping at the threshold.
+//!
+//! Accounting is exact by construction: every offered request increments
+//! exactly one of `admitted`, `shed`, or a rejection counter, and
+//! [`AdmissionStats::balanced`] pins `admitted + shed + rejected ==
+//! offered` (asserted in tests and by `exp_service`).
+
+use std::collections::HashMap;
+
+use lcc_obs::metrics as obs;
+use parking_lot::Mutex;
+
+use crate::error::ServiceError;
+use crate::wire::{ServedMode, TenantId};
+
+/// Admission-control thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Max requests one tenant may have *queued* (admitted, not yet
+    /// dispatched).
+    pub queue_capacity: usize,
+    /// Max requests one tenant may have admitted-but-unfinished
+    /// (queued + executing).
+    pub tenant_quota: usize,
+    /// Total queued depth at which shed mode engages.
+    pub shed_on: usize,
+    /// Total queued depth at which shed mode disengages (must be below
+    /// `shed_on`; the gap is the hysteresis band).
+    pub shed_off: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: 64,
+            tenant_quota: 96,
+            shed_on: 48,
+            shed_off: 16,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Panics on a config whose hysteresis band is inverted — that would
+    /// make shed entry/exit oscillate on every transition.
+    pub fn validate(&self) {
+        assert!(
+            self.shed_off < self.shed_on,
+            "shed_off ({}) must be below shed_on ({})",
+            self.shed_off,
+            self.shed_on
+        );
+        assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(self.tenant_quota > 0, "tenant_quota must be positive");
+    }
+}
+
+/// Proof of admission: the tenant and the fidelity the request will be
+/// served at. Mode is decided at admission (the instant load was
+/// assessed), not at dispatch — so a burst admitted under shed stays
+/// degraded even if the queue drains before it runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionTicket {
+    /// The admitted tenant.
+    pub tenant: TenantId,
+    /// Fidelity granted at admission time.
+    pub mode: ServedMode,
+}
+
+#[derive(Default)]
+struct TenantState {
+    queued: usize,
+    in_flight: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    tenants: HashMap<u32, TenantState>,
+    total_queued: usize,
+    shedding: bool,
+    max_total_queued: usize,
+    offered: u64,
+    admitted: u64,
+    shed: u64,
+    rejected_queue_full: u64,
+    rejected_quota: u64,
+    rejected_shedding: u64,
+    shed_entries: u64,
+    shed_exits: u64,
+    // Thresholds are copied in so `update_shed` needs no access to the
+    // outer config through the lock.
+    shed_on_threshold: usize,
+    shed_off_threshold: usize,
+}
+
+impl Inner {
+    /// Applies the hysteresis rule after any depth change.
+    fn update_shed(&mut self) {
+        if !self.shedding && self.total_queued >= self.shed_on_threshold {
+            self.shedding = true;
+            self.shed_entries += 1;
+            obs::SERVICE_SHED_ENTRIES.incr();
+        } else if self.shedding && self.total_queued <= self.shed_off_threshold {
+            self.shedding = false;
+            self.shed_exits += 1;
+            obs::SERVICE_SHED_EXITS.incr();
+        }
+        obs::SERVICE_QUEUE_DEPTH.set(self.total_queued as f64);
+    }
+}
+
+/// Counter snapshot; see module docs for the exact-accounting invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests offered (every `offer` call).
+    pub offered: u64,
+    /// Admitted at full fidelity.
+    pub admitted: u64,
+    /// Admitted degraded under shed mode.
+    pub shed: u64,
+    /// Rejected: tenant queue at capacity.
+    pub rejected_queue_full: u64,
+    /// Rejected: tenant quota exhausted.
+    pub rejected_quota: u64,
+    /// Rejected: exact service demanded while shedding.
+    pub rejected_shedding: u64,
+    /// Shed-mode entries.
+    pub shed_entries: u64,
+    /// Shed-mode exits.
+    pub shed_exits: u64,
+    /// High-water mark of the total queued depth.
+    pub max_total_queued: u64,
+}
+
+impl AdmissionStats {
+    /// All rejections.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_quota + self.rejected_shedding
+    }
+
+    /// The exact-accounting invariant:
+    /// `admitted + shed + rejected == offered`.
+    pub fn balanced(&self) -> bool {
+        self.admitted + self.shed + self.rejected() == self.offered
+    }
+}
+
+/// The admission controller. All transitions run under one mutex — the
+/// decisions are a few integer comparisons, and a single serialization
+/// point is what makes shed entry/exit and the accounting deterministic
+/// under concurrent tenants.
+pub struct Admission {
+    cfg: AdmissionConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Admission {
+    /// A controller with the given thresholds (validated).
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        cfg.validate();
+        Admission {
+            inner: Mutex::new(Inner {
+                shed_on_threshold: cfg.shed_on,
+                shed_off_threshold: cfg.shed_off,
+                ..Inner::default()
+            }),
+            cfg,
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Offers one request. `Ok` admits it into the tenant's queue and
+    /// fixes its served fidelity; `Err` is a typed rejection. Exactly one
+    /// stats bucket is incremented either way.
+    pub fn offer(
+        &self,
+        tenant: TenantId,
+        require_exact: bool,
+    ) -> Result<AdmissionTicket, ServiceError> {
+        let _sp = lcc_obs::span("service_admit");
+        let mut inner = self.inner.lock();
+        inner.offered += 1;
+        obs::SERVICE_OFFERED.incr();
+        let state = inner.tenants.entry(tenant.0).or_default();
+        let (queued, in_flight) = (state.queued, state.in_flight);
+        if queued >= self.cfg.queue_capacity {
+            inner.rejected_queue_full += 1;
+            obs::SERVICE_REJECTED_QUEUE_FULL.incr();
+            return Err(ServiceError::QueueFull {
+                tenant,
+                depth: queued,
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        if queued + in_flight >= self.cfg.tenant_quota {
+            inner.rejected_quota += 1;
+            obs::SERVICE_REJECTED_QUOTA.incr();
+            return Err(ServiceError::QuotaExceeded {
+                tenant,
+                in_flight: queued + in_flight,
+                quota: self.cfg.tenant_quota,
+            });
+        }
+        if inner.shedding && require_exact {
+            inner.rejected_shedding += 1;
+            obs::SERVICE_REJECTED_SHEDDING.incr();
+            return Err(ServiceError::Shedding {
+                tenant,
+                queued: inner.total_queued,
+            });
+        }
+        // The request's fidelity is the shed state *before* it joined the
+        // queue; its own arrival may then push the depth across shed_on
+        // for the requests after it.
+        let mode = if inner.shedding {
+            ServedMode::Degraded
+        } else {
+            ServedMode::Normal
+        };
+        match mode {
+            ServedMode::Normal => {
+                inner.admitted += 1;
+                obs::SERVICE_ADMITTED.incr();
+            }
+            ServedMode::Degraded => {
+                inner.shed += 1;
+                obs::SERVICE_SHED.incr();
+            }
+        }
+        if let Some(state) = inner.tenants.get_mut(&tenant.0) {
+            state.queued += 1;
+        }
+        inner.total_queued += 1;
+        inner.max_total_queued = inner.max_total_queued.max(inner.total_queued);
+        inner.update_shed();
+        Ok(AdmissionTicket { tenant, mode })
+    }
+
+    /// Marks one queued request of `tenant` as dispatched into a batch
+    /// (queued → executing).
+    pub fn on_dispatch(&self, tenant: TenantId) {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.tenants.get_mut(&tenant.0) {
+            debug_assert!(state.queued > 0, "dispatch without a queued request");
+            state.queued = state.queued.saturating_sub(1);
+            state.in_flight += 1;
+        }
+        inner.total_queued = inner.total_queued.saturating_sub(1);
+        inner.update_shed();
+    }
+
+    /// Marks one executing request of `tenant` as finished (frees quota).
+    pub fn on_complete(&self, tenant: TenantId) {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.tenants.get_mut(&tenant.0) {
+            debug_assert!(state.in_flight > 0, "completion without a dispatch");
+            state.in_flight = state.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Whether shed mode is currently engaged.
+    pub fn shedding(&self) -> bool {
+        self.inner.lock().shedding
+    }
+
+    /// Current total queued depth.
+    pub fn total_queued(&self) -> usize {
+        self.inner.lock().total_queued
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AdmissionStats {
+        let inner = self.inner.lock();
+        AdmissionStats {
+            offered: inner.offered,
+            admitted: inner.admitted,
+            shed: inner.shed,
+            rejected_queue_full: inner.rejected_queue_full,
+            rejected_quota: inner.rejected_quota,
+            rejected_shedding: inner.rejected_shedding,
+            shed_entries: inner.shed_entries,
+            shed_exits: inner.shed_exits,
+            max_total_queued: inner.max_total_queued as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity: 4,
+            tenant_quota: 6,
+            shed_on: 6,
+            shed_off: 2,
+        }
+    }
+
+    #[test]
+    fn mode_is_fixed_at_admission_time() {
+        let adm = Admission::new(cfg());
+        let a = TenantId(1);
+        let b = TenantId(2);
+        // 4 from tenant a + 2 from tenant b reach shed_on = 6; the request
+        // that crosses the threshold is itself still Normal.
+        for _ in 0..4 {
+            assert_eq!(adm.offer(a, false).map(|t| t.mode), Ok(ServedMode::Normal));
+        }
+        for _ in 0..2 {
+            assert_eq!(adm.offer(b, false).map(|t| t.mode), Ok(ServedMode::Normal));
+        }
+        assert!(adm.shedding());
+        // The next arrival is shed to degraded fidelity.
+        assert_eq!(
+            adm.offer(b, false).map(|t| t.mode),
+            Ok(ServedMode::Degraded)
+        );
+        let stats = adm.stats();
+        assert_eq!((stats.admitted, stats.shed), (6, 1));
+        assert!(stats.balanced());
+    }
+
+    #[test]
+    #[should_panic(expected = "shed_off")]
+    fn inverted_hysteresis_band_is_rejected() {
+        Admission::new(AdmissionConfig {
+            shed_on: 4,
+            shed_off: 4,
+            ..cfg()
+        });
+    }
+}

@@ -1,0 +1,44 @@
+//! `lcc_service` — convolve-as-a-service: a long-running multi-tenant
+//! server fronting the [`lcc_core`] `ConvolveSession` API.
+//!
+//! The paper's pipeline makes each sub-domain's contribution an
+//! independent task; a service front exploits that twice over. Requests
+//! from *different tenants* coalesce into one batched pencil dispatch on
+//! the shared worker pool ([`batch`]), and tenants asking for the same
+//! configuration share every expensive plan artifact — FFT planner caches,
+//! memoized octree sampling plans, per-corner phase tables — through one
+//! [`registry::PlanRegistry`] keyed by `(n, k, far_rate, sigma)`.
+//!
+//! The control plane keeps overload bounded instead of slow
+//! ([`admission`]): bounded per-tenant queues and quotas reject with typed
+//! [`ServiceError`]s, and sustained backlog trips load shedding — new
+//! requests are served `Degraded` (the schedule's coarsest uniform rate,
+//! the same emergency fidelity the fault-tolerance path uses) until the
+//! backlog drains past the hysteresis floor. `admitted + shed + rejected
+//! == offered` holds exactly, and `service.*` counters in [`lcc_obs`]
+//! mirror every transition.
+//!
+//! On the wire ([`wire`]) the service speaks versioned binary messages in
+//! the style of `lcc_comm::transport::frame`: typed requests, responses,
+//! and reject notices, with total decoders returning typed
+//! [`CodecError`]s. [`server`] layers the deterministic service core and a
+//! threaded client/server front over it; `exp_service` in `lcc_bench`
+//! drives that front closed-loop and writes `BENCH_service.json`.
+
+pub mod admission;
+pub mod batch;
+pub mod error;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionStats, AdmissionTicket};
+pub use batch::{dispatch_batch, serve_solo};
+pub use error::ServiceError;
+pub use registry::{PlanEntry, PlanKey, PlanRegistry};
+pub use server::{ConvolveService, ServiceClient, ServiceConfig, ServiceReport, ServiceServer};
+pub use wire::{
+    decode_message, decode_request, encode_reject, encode_request, encode_response, CodecError,
+    ConvolveRequest, ConvolveResponse, RejectNotice, RequestInput, ServedMode, TenantId,
+    WireMessage,
+};

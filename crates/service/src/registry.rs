@@ -1,0 +1,189 @@
+//! Shared plan caches across tenants.
+//!
+//! Amortizing plan/decomposition setup across many transforms is where
+//! real FFT deployments win (P3DFFT and OpenFFT both tune exactly this);
+//! for this pipeline the expensive per-configuration state is the
+//! [`LowCommConvolver`]: its sharded `FftPlanner`/`PrunedPlanner` caches,
+//! the memoized octree sampling plans, and the per-corner phase tables.
+//! The registry keys one convolver per plan key `(n, k, far_rate, sigma)`
+//! — two tenants asking for the same configuration share every cache, and
+//! a cache-warm tenant never observes a plan rebuild (the `exp_service`
+//! bench asserts `builds()` stays flat across its measured phases).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lcc_obs::metrics as obs;
+use parking_lot::Mutex;
+
+use lcc_core::prelude::*;
+
+use crate::error::ServiceError;
+use crate::wire::ConvolveRequest;
+
+/// The cache key: every field that feeds plan construction.
+pub type PlanKey = (u32, u32, u32, u64);
+
+/// One shared service entry: the convolver (plan caches, phase tables) and
+/// the kernel spectrum for a plan key.
+pub struct PlanEntry {
+    convolver: LowCommConvolver,
+    kernel: GaussianKernel,
+    n: usize,
+}
+
+impl PlanEntry {
+    /// The shared convolver.
+    pub fn convolver(&self) -> &LowCommConvolver {
+        &self.convolver
+    }
+
+    /// The shared kernel spectrum.
+    pub fn kernel(&self) -> &GaussianKernel {
+        &self.kernel
+    }
+
+    /// Grid size of this configuration.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+const SHARDS: usize = 8;
+
+/// The tenant-shared plan registry. Sharded so concurrent tenants with
+/// different keys never contend on one lock; per-key construction happens
+/// at most once (the shard lock is held across the build, so two tenants
+/// racing on a cold key observe exactly one build).
+pub struct PlanRegistry {
+    shards: [Mutex<HashMap<PlanKey, Arc<PlanEntry>>>; SHARDS],
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl Default for PlanRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PlanRegistry {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &PlanKey) -> &Mutex<HashMap<PlanKey, Arc<PlanEntry>>> {
+        // FNV-1a over the key fields; the shard count is a power of two.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in [key.0 as u64, key.1 as u64, key.2 as u64, key.3] {
+            for byte in part.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        &self.shards[(h as usize) & (SHARDS - 1)]
+    }
+
+    /// The shared entry for `req`'s plan key, building it on first use.
+    /// Invalid parameters surface as [`ServiceError::Config`].
+    pub fn entry_for(&self, req: &ConvolveRequest) -> Result<Arc<PlanEntry>, ServiceError> {
+        let key = req.plan_key();
+        let mut shard = self.shard(&key).lock();
+        if let Some(entry) = shard.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::SERVICE_PLAN_HITS.incr();
+            return Ok(Arc::clone(entry));
+        }
+        let _sp = lcc_obs::span("service_plan_build");
+        let cfg = LowCommConfig::builder()
+            .n(req.n as usize)
+            .k(req.k as usize)
+            .far_rate(req.far_rate)
+            .build()?;
+        let convolver = LowCommConvolver::try_new(cfg)?;
+        let kernel = GaussianKernel::new(req.n as usize, req.sigma);
+        let entry = Arc::new(PlanEntry {
+            convolver,
+            kernel,
+            n: req.n as usize,
+        });
+        shard.insert(key, Arc::clone(&entry));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        obs::SERVICE_PLAN_MISSES.incr();
+        Ok(entry)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Entries built so far (cache misses). A warm steady state keeps this
+    /// flat — the property the bench asserts per tenant.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct configurations currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{RequestInput, TenantId};
+
+    fn req(n: u32, k: u32, sigma: f64) -> ConvolveRequest {
+        ConvolveRequest {
+            tenant: TenantId(0),
+            request_id: 0,
+            n,
+            k,
+            far_rate: 8,
+            sigma,
+            require_exact: false,
+            checksum_only: true,
+            input: RequestInput::Deltas(vec![(0, 0, 0, 1.0)]),
+        }
+    }
+
+    #[test]
+    fn same_key_shares_one_entry() {
+        let reg = PlanRegistry::new();
+        let a = reg.entry_for(&req(16, 4, 1.0)).unwrap();
+        let b = reg.entry_for(&req(16, 4, 1.0)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same key must share the entry");
+        assert_eq!(reg.builds(), 1);
+        assert_eq!(reg.hits(), 1);
+        // A different sigma is a different kernel: separate entry.
+        let c = reg.entry_for(&req(16, 4, 2.0)).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(reg.builds(), 2);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn invalid_parameters_are_typed_config_errors() {
+        let reg = PlanRegistry::new();
+        // k does not divide n.
+        let err = match reg.entry_for(&req(16, 5, 1.0)) {
+            Err(e) => e,
+            Ok(_) => panic!("k=5 must not divide n=16"),
+        };
+        assert!(matches!(err, ServiceError::Config(_)), "{err:?}");
+        assert_eq!(reg.builds(), 0, "failed builds are not cached");
+    }
+}

@@ -1,0 +1,713 @@
+//! Typed request/response wire types and their versioned binary codec.
+//!
+//! The service speaks length-delimited binary messages in the style of
+//! `lcc_comm::transport::frame`: a fixed magic + version + kind header
+//! followed by a kind-specific body, every field little-endian, and every
+//! decoder total — truncated, corrupt, or inconsistent input comes back as
+//! a typed [`CodecError`], never a panic and never an attempted
+//! multi-gigabyte allocation. Anything that decodes re-encodes to the
+//! exact original bytes (the layout is canonical), which the property
+//! suite in `crates/service/tests/wire_props.rs` pins alongside the
+//! round-trip and corruption contracts.
+//!
+//! Three message kinds cross the wire:
+//!
+//! * [`ConvolveRequest`] — one tenant's convolution: the plan key
+//!   (`n`, `k`, `far_rate`, Gaussian `sigma`) plus the input field, either
+//!   dense or as sparse delta points ([`RequestInput`]).
+//! * [`ConvolveResponse`] — the served result: the mode it was actually
+//!   computed in (shed requests come back [`ServedMode::Degraded`]), an
+//!   FNV-1a checksum of the result bits, and — unless the request asked
+//!   for checksum-only — the dense result field.
+//! * [`RejectNotice`] — a typed admission rejection carrying the
+//!   [`crate::ServiceError`] code and its detail values.
+
+/// First magic byte of every service message (`'L'`).
+pub const MAGIC0: u8 = 0x4C;
+/// Second magic byte (`'S'`).
+pub const MAGIC1: u8 = 0x53;
+/// Wire format version; bumped on any layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Message kind tag for requests.
+pub const KIND_REQUEST: u8 = 0x01;
+/// Message kind tag for responses.
+pub const KIND_RESPONSE: u8 = 0x02;
+/// Message kind tag for admission rejections.
+pub const KIND_REJECT: u8 = 0x03;
+
+/// Bytes of the common header: magic (2), version, kind.
+pub const MESSAGE_HEADER: usize = 4;
+/// Bytes of a request body up to (excluding) the variable input data:
+/// tenant, request id, n, k, far_rate, sigma bits, flags, input kind,
+/// element count.
+pub const REQUEST_FIXED: usize = 4 + 8 + 4 + 4 + 4 + 8 + 1 + 1 + 4;
+/// Bytes of a response body up to (excluding) the result samples.
+pub const RESPONSE_FIXED: usize = 4 + 8 + 1 + 8 + 4;
+/// Exact body length of a reject notice: tenant, request id, error code,
+/// two detail values.
+pub const REJECT_BODY: usize = 4 + 8 + 1 + 8 + 8;
+
+/// Upper bound on the cells of one request/response field (256³). A corrupt
+/// count must surface as a typed error, not an attempted huge allocation.
+pub const MAX_FIELD_CELLS: u64 = 1 << 24;
+
+/// Request flag: the tenant requires exact (full-fidelity) service; under
+/// shed mode such a request is rejected rather than served degraded.
+pub const FLAG_REQUIRE_EXACT: u8 = 0b0000_0001;
+/// Request flag: reply with the checksum only, omitting the dense result
+/// samples (what a closed-loop load generator wants).
+pub const FLAG_CHECKSUM_ONLY: u8 = 0b0000_0010;
+const FLAG_MASK: u8 = FLAG_REQUIRE_EXACT | FLAG_CHECKSUM_ONLY;
+
+/// Input encoding tag: dense row-major `n³` samples.
+pub const INPUT_DENSE: u8 = 0x00;
+/// Input encoding tag: sparse `(x, y, z, value)` delta points.
+pub const INPUT_DELTAS: u8 = 0x01;
+
+/// A tenant's stable identity. Admission control keys queues and quotas on
+/// it; the service never trusts it for anything beyond fair-share
+/// bookkeeping (this is admission control, not authentication).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// The input field of one request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestInput {
+    /// Dense row-major `n³` samples.
+    Dense(Vec<f64>),
+    /// Sparse delta points `(x, y, z, value)`; unnamed cells are zero.
+    Deltas(Vec<(u32, u32, u32, f64)>),
+}
+
+/// One tenant's convolution request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvolveRequest {
+    /// Who is asking (admission-control key).
+    pub tenant: TenantId,
+    /// Tenant-chosen correlation id echoed on the response.
+    pub request_id: u64,
+    /// Grid size N (power of two).
+    pub n: u32,
+    /// Sub-domain size k (divides N).
+    pub k: u32,
+    /// Far-field sampling rate of the paper-default schedule.
+    pub far_rate: u32,
+    /// Gaussian kernel width. Part of the plan-cache key, so it is carried
+    /// as exact bits, not a rounded decimal.
+    pub sigma: f64,
+    /// The request must not be served degraded (see
+    /// [`FLAG_REQUIRE_EXACT`]).
+    pub require_exact: bool,
+    /// Reply with the checksum only (see [`FLAG_CHECKSUM_ONLY`]).
+    pub checksum_only: bool,
+    /// The input field.
+    pub input: RequestInput,
+}
+
+impl ConvolveRequest {
+    /// The plan-cache key fields as one tuple: two requests with equal keys
+    /// share a convolver, its planner caches, and its per-corner phase
+    /// tables.
+    pub fn plan_key(&self) -> (u32, u32, u32, u64) {
+        (self.n, self.k, self.far_rate, self.sigma.to_bits())
+    }
+}
+
+/// The fidelity a request was actually served at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServedMode {
+    /// Full-fidelity normal service.
+    Normal,
+    /// Served under load shedding: compressed at the schedule's coarsest
+    /// uniform rate (`ConvolveMode::Degraded` applied to a fault-free run —
+    /// availability over accuracy).
+    Degraded,
+}
+
+impl ServedMode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ServedMode::Normal => 0,
+            ServedMode::Degraded => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, CodecError> {
+        match v {
+            0 => Ok(ServedMode::Normal),
+            1 => Ok(ServedMode::Degraded),
+            got => Err(CodecError::BadEnum {
+                field: "served_mode",
+                got: got as u64,
+            }),
+        }
+    }
+}
+
+/// The served result of one request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvolveResponse {
+    /// Echoed from the request.
+    pub tenant: TenantId,
+    /// Echoed from the request.
+    pub request_id: u64,
+    /// The fidelity actually served.
+    pub mode: ServedMode,
+    /// FNV-1a checksum over the result's f64 bit patterns (also present
+    /// when the samples are, so clients can verify transfer integrity).
+    pub checksum: u64,
+    /// The dense result samples; empty for checksum-only requests.
+    pub result: Vec<f64>,
+}
+
+/// A typed admission rejection: the [`crate::ServiceError`] code plus its
+/// two detail values (meaning depends on the code — see
+/// [`crate::ServiceError::wire_parts`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RejectNotice {
+    /// Echoed from the request.
+    pub tenant: TenantId,
+    /// Echoed from the request.
+    pub request_id: u64,
+    /// The [`crate::ServiceError`] wire code.
+    pub code: u8,
+    /// First detail value (e.g. the observed depth).
+    pub a: u64,
+    /// Second detail value (e.g. the configured bound).
+    pub b: u64,
+}
+
+/// Any decoded service message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireMessage {
+    /// A [`ConvolveRequest`].
+    Request(ConvolveRequest),
+    /// A [`ConvolveResponse`].
+    Response(ConvolveResponse),
+    /// A [`RejectNotice`].
+    Reject(RejectNotice),
+}
+
+/// Typed decode failure. Every malformed input maps to exactly one
+/// variant; none of them panic or allocate proportionally to corrupt
+/// length fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input was `len` bytes where the layout required `expected`
+    /// (minimum for truncation, exact for fixed-length messages).
+    Truncated { len: usize, expected: usize },
+    /// The first two bytes were not [`MAGIC0`], [`MAGIC1`].
+    BadMagic { got: [u8; 2] },
+    /// Unknown wire version.
+    BadVersion { got: u8 },
+    /// Unknown message kind byte.
+    BadKind { got: u8 },
+    /// An enum-like field held an unknown discriminant.
+    BadEnum { field: &'static str, got: u64 },
+    /// Two fields contradict each other (e.g. a dense sample count that is
+    /// not `n³`, or a delta coordinate outside the grid).
+    Inconsistent {
+        field: &'static str,
+        got: u64,
+        want: u64,
+    },
+    /// A count field implies a field larger than [`MAX_FIELD_CELLS`].
+    Oversize { cells: u64, max: u64 },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { len, expected } => {
+                write!(
+                    f,
+                    "undecodable {len}-byte message (layout requires {expected})"
+                )
+            }
+            CodecError::BadMagic { got } => {
+                write!(f, "bad magic {:#04x}{:02x}", got[0], got[1])
+            }
+            CodecError::BadVersion { got } => {
+                write!(f, "unknown wire version {got} (speaking {WIRE_VERSION})")
+            }
+            CodecError::BadKind { got } => write!(f, "unknown message kind {got:#04x}"),
+            CodecError::BadEnum { field, got } => {
+                write!(f, "unknown {field} discriminant {got}")
+            }
+            CodecError::Inconsistent { field, got, want } => {
+                write!(f, "inconsistent {field}: got {got}, layout requires {want}")
+            }
+            CodecError::Oversize { cells, max } => {
+                write!(
+                    f,
+                    "field of {cells} cells exceeds the {max}-cell wire bound"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[inline]
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+#[inline]
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn header_into(buf: &mut Vec<u8>, kind: u8) {
+    buf.push(MAGIC0);
+    buf.push(MAGIC1);
+    buf.push(WIRE_VERSION);
+    buf.push(kind);
+}
+
+/// FNV-1a over a slice of f64 bit patterns — the response checksum.
+pub fn fnv1a_f64(values: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Encodes a request into `buf` (cleared first). Reusing one buffer per
+/// connection keeps the steady-state submit path allocation-free.
+pub fn encode_request_into(buf: &mut Vec<u8>, req: &ConvolveRequest) {
+    buf.clear();
+    header_into(buf, KIND_REQUEST);
+    buf.extend_from_slice(&req.tenant.0.to_le_bytes());
+    buf.extend_from_slice(&req.request_id.to_le_bytes());
+    buf.extend_from_slice(&req.n.to_le_bytes());
+    buf.extend_from_slice(&req.k.to_le_bytes());
+    buf.extend_from_slice(&req.far_rate.to_le_bytes());
+    buf.extend_from_slice(&req.sigma.to_bits().to_le_bytes());
+    let mut flags = 0u8;
+    if req.require_exact {
+        flags |= FLAG_REQUIRE_EXACT;
+    }
+    if req.checksum_only {
+        flags |= FLAG_CHECKSUM_ONLY;
+    }
+    buf.push(flags);
+    match &req.input {
+        RequestInput::Dense(samples) => {
+            buf.push(INPUT_DENSE);
+            buf.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+            for v in samples {
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        RequestInput::Deltas(points) => {
+            buf.push(INPUT_DELTAS);
+            buf.extend_from_slice(&(points.len() as u32).to_le_bytes());
+            for (x, y, z, v) in points {
+                buf.extend_from_slice(&x.to_le_bytes());
+                buf.extend_from_slice(&y.to_le_bytes());
+                buf.extend_from_slice(&z.to_le_bytes());
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Encodes a request into a fresh buffer.
+pub fn encode_request(req: &ConvolveRequest) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_request_into(&mut buf, req);
+    buf
+}
+
+/// Encodes a response into `buf` (cleared first).
+pub fn encode_response_into(buf: &mut Vec<u8>, resp: &ConvolveResponse) {
+    buf.clear();
+    header_into(buf, KIND_RESPONSE);
+    buf.extend_from_slice(&resp.tenant.0.to_le_bytes());
+    buf.extend_from_slice(&resp.request_id.to_le_bytes());
+    buf.push(resp.mode.to_u8());
+    buf.extend_from_slice(&resp.checksum.to_le_bytes());
+    buf.extend_from_slice(&(resp.result.len() as u32).to_le_bytes());
+    for v in &resp.result {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Encodes a response into a fresh buffer.
+pub fn encode_response(resp: &ConvolveResponse) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_response_into(&mut buf, resp);
+    buf
+}
+
+/// Encodes a reject notice.
+pub fn encode_reject(reject: &RejectNotice) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(MESSAGE_HEADER + REJECT_BODY);
+    header_into(&mut buf, KIND_REJECT);
+    buf.extend_from_slice(&reject.tenant.0.to_le_bytes());
+    buf.extend_from_slice(&reject.request_id.to_le_bytes());
+    buf.push(reject.code);
+    buf.extend_from_slice(&reject.a.to_le_bytes());
+    buf.extend_from_slice(&reject.b.to_le_bytes());
+    buf
+}
+
+/// Validates the common header and returns `(kind, body)`.
+fn split_header(bytes: &[u8]) -> Result<(u8, &[u8]), CodecError> {
+    if bytes.len() < MESSAGE_HEADER {
+        return Err(CodecError::Truncated {
+            len: bytes.len(),
+            expected: MESSAGE_HEADER,
+        });
+    }
+    if bytes[0] != MAGIC0 || bytes[1] != MAGIC1 {
+        return Err(CodecError::BadMagic {
+            got: [bytes[0], bytes[1]],
+        });
+    }
+    if bytes[2] != WIRE_VERSION {
+        return Err(CodecError::BadVersion { got: bytes[2] });
+    }
+    match bytes[3] {
+        KIND_REQUEST | KIND_RESPONSE | KIND_REJECT => Ok((bytes[3], &bytes[MESSAGE_HEADER..])),
+        got => Err(CodecError::BadKind { got }),
+    }
+}
+
+fn decode_request_body(body: &[u8]) -> Result<ConvolveRequest, CodecError> {
+    if body.len() < REQUEST_FIXED {
+        return Err(CodecError::Truncated {
+            len: MESSAGE_HEADER + body.len(),
+            expected: MESSAGE_HEADER + REQUEST_FIXED,
+        });
+    }
+    let tenant = TenantId(read_u32(body, 0));
+    let request_id = read_u64(body, 4);
+    let n = read_u32(body, 12);
+    let k = read_u32(body, 16);
+    let far_rate = read_u32(body, 20);
+    let sigma = f64::from_bits(read_u64(body, 24));
+    let flags = body[32];
+    if flags & !FLAG_MASK != 0 {
+        return Err(CodecError::BadEnum {
+            field: "flags",
+            got: flags as u64,
+        });
+    }
+    let input_kind = body[33];
+    let count = read_u32(body, 34) as u64;
+    let data = &body[REQUEST_FIXED..];
+    let input = match input_kind {
+        INPUT_DENSE => {
+            let cells = (n as u64).pow(3);
+            if cells > MAX_FIELD_CELLS {
+                return Err(CodecError::Oversize {
+                    cells,
+                    max: MAX_FIELD_CELLS,
+                });
+            }
+            if count != cells {
+                return Err(CodecError::Inconsistent {
+                    field: "dense_count",
+                    got: count,
+                    want: cells,
+                });
+            }
+            let want = (count as usize) * 8;
+            if data.len() != want {
+                return Err(CodecError::Truncated {
+                    len: MESSAGE_HEADER + body.len(),
+                    expected: MESSAGE_HEADER + REQUEST_FIXED + want,
+                });
+            }
+            let mut samples = Vec::with_capacity(count as usize);
+            for i in 0..count as usize {
+                samples.push(f64::from_bits(read_u64(data, i * 8)));
+            }
+            RequestInput::Dense(samples)
+        }
+        INPUT_DELTAS => {
+            if count > MAX_FIELD_CELLS {
+                return Err(CodecError::Oversize {
+                    cells: count,
+                    max: MAX_FIELD_CELLS,
+                });
+            }
+            let want = (count as usize) * 20;
+            if data.len() != want {
+                return Err(CodecError::Truncated {
+                    len: MESSAGE_HEADER + body.len(),
+                    expected: MESSAGE_HEADER + REQUEST_FIXED + want,
+                });
+            }
+            let mut points = Vec::with_capacity(count as usize);
+            for i in 0..count as usize {
+                let at = i * 20;
+                let (x, y, z) = (
+                    read_u32(data, at),
+                    read_u32(data, at + 4),
+                    read_u32(data, at + 8),
+                );
+                for c in [x, y, z] {
+                    if c >= n {
+                        return Err(CodecError::Inconsistent {
+                            field: "delta_coord",
+                            got: c as u64,
+                            want: n as u64,
+                        });
+                    }
+                }
+                points.push((x, y, z, f64::from_bits(read_u64(data, at + 12))));
+            }
+            RequestInput::Deltas(points)
+        }
+        got => {
+            return Err(CodecError::BadEnum {
+                field: "input_kind",
+                got: got as u64,
+            })
+        }
+    };
+    Ok(ConvolveRequest {
+        tenant,
+        request_id,
+        n,
+        k,
+        far_rate,
+        sigma,
+        require_exact: flags & FLAG_REQUIRE_EXACT != 0,
+        checksum_only: flags & FLAG_CHECKSUM_ONLY != 0,
+        input,
+    })
+}
+
+fn decode_response_body(body: &[u8]) -> Result<ConvolveResponse, CodecError> {
+    if body.len() < RESPONSE_FIXED {
+        return Err(CodecError::Truncated {
+            len: MESSAGE_HEADER + body.len(),
+            expected: MESSAGE_HEADER + RESPONSE_FIXED,
+        });
+    }
+    let tenant = TenantId(read_u32(body, 0));
+    let request_id = read_u64(body, 4);
+    let mode = ServedMode::from_u8(body[12])?;
+    let checksum = read_u64(body, 13);
+    let count = read_u32(body, 21) as u64;
+    if count > MAX_FIELD_CELLS {
+        return Err(CodecError::Oversize {
+            cells: count,
+            max: MAX_FIELD_CELLS,
+        });
+    }
+    let data = &body[RESPONSE_FIXED..];
+    let want = (count as usize) * 8;
+    if data.len() != want {
+        return Err(CodecError::Truncated {
+            len: MESSAGE_HEADER + body.len(),
+            expected: MESSAGE_HEADER + RESPONSE_FIXED + want,
+        });
+    }
+    let mut result = Vec::with_capacity(count as usize);
+    for i in 0..count as usize {
+        result.push(f64::from_bits(read_u64(data, i * 8)));
+    }
+    Ok(ConvolveResponse {
+        tenant,
+        request_id,
+        mode,
+        checksum,
+        result,
+    })
+}
+
+fn decode_reject_body(body: &[u8]) -> Result<RejectNotice, CodecError> {
+    if body.len() != REJECT_BODY {
+        return Err(CodecError::Truncated {
+            len: MESSAGE_HEADER + body.len(),
+            expected: MESSAGE_HEADER + REJECT_BODY,
+        });
+    }
+    Ok(RejectNotice {
+        tenant: TenantId(read_u32(body, 0)),
+        request_id: read_u64(body, 4),
+        code: body[12],
+        a: read_u64(body, 13),
+        b: read_u64(body, 21),
+    })
+}
+
+/// Decodes any service message.
+pub fn decode_message(bytes: &[u8]) -> Result<WireMessage, CodecError> {
+    let (kind, body) = split_header(bytes)?;
+    match kind {
+        KIND_REQUEST => decode_request_body(body).map(WireMessage::Request),
+        KIND_RESPONSE => decode_response_body(body).map(WireMessage::Response),
+        KIND_REJECT => decode_reject_body(body).map(WireMessage::Reject),
+        // split_header only returns the three known kinds.
+        got => Err(CodecError::BadKind { got }),
+    }
+}
+
+/// Decodes a message that must be a request (the server's inbound path).
+pub fn decode_request(bytes: &[u8]) -> Result<ConvolveRequest, CodecError> {
+    match decode_message(bytes)? {
+        WireMessage::Request(req) => Ok(req),
+        WireMessage::Response(_) => Err(CodecError::BadKind { got: KIND_RESPONSE }),
+        WireMessage::Reject(_) => Err(CodecError::BadKind { got: KIND_REJECT }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> ConvolveRequest {
+        ConvolveRequest {
+            tenant: TenantId(7),
+            request_id: 99,
+            n: 16,
+            k: 4,
+            far_rate: 8,
+            sigma: 1.25,
+            require_exact: false,
+            checksum_only: true,
+            input: RequestInput::Deltas(vec![(1, 2, 3, 1.0), (5, 5, 5, -2.5)]),
+        }
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = request();
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+        assert_eq!(decode_message(&bytes).unwrap(), WireMessage::Request(req));
+    }
+
+    #[test]
+    fn dense_request_round_trips() {
+        let n = 4u32;
+        let req = ConvolveRequest {
+            n,
+            k: 2,
+            input: RequestInput::Dense((0..n.pow(3)).map(|i| i as f64 * 0.5).collect()),
+            ..request()
+        };
+        let bytes = encode_request(&req);
+        assert_eq!(decode_request(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn response_and_reject_round_trip() {
+        let resp = ConvolveResponse {
+            tenant: TenantId(3),
+            request_id: 12,
+            mode: ServedMode::Degraded,
+            checksum: 0xDEAD_BEEF,
+            result: vec![1.0, -0.5, f64::MIN_POSITIVE],
+        };
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_message(&bytes).unwrap(), WireMessage::Response(resp));
+        let reject = RejectNotice {
+            tenant: TenantId(3),
+            request_id: 12,
+            code: 1,
+            a: 64,
+            b: 64,
+        };
+        let bytes = encode_reject(&reject);
+        assert_eq!(bytes.len(), MESSAGE_HEADER + REJECT_BODY);
+        assert_eq!(decode_message(&bytes).unwrap(), WireMessage::Reject(reject));
+    }
+
+    #[test]
+    fn header_errors_are_typed() {
+        assert_eq!(
+            decode_message(&[]).unwrap_err(),
+            CodecError::Truncated {
+                len: 0,
+                expected: MESSAGE_HEADER
+            }
+        );
+        assert_eq!(
+            decode_message(&[0, 0, WIRE_VERSION, KIND_REQUEST]).unwrap_err(),
+            CodecError::BadMagic { got: [0, 0] }
+        );
+        assert_eq!(
+            decode_message(&[MAGIC0, MAGIC1, 99, KIND_REQUEST]).unwrap_err(),
+            CodecError::BadVersion { got: 99 }
+        );
+        assert_eq!(
+            decode_message(&[MAGIC0, MAGIC1, WIRE_VERSION, 0x55]).unwrap_err(),
+            CodecError::BadKind { got: 0x55 }
+        );
+    }
+
+    #[test]
+    fn inconsistent_dense_count_is_rejected() {
+        let mut req = request();
+        req.input = RequestInput::Dense(vec![0.0; 8]); // n = 16 wants 4096
+        let bytes = encode_request(&req);
+        assert_eq!(
+            decode_request(&bytes).unwrap_err(),
+            CodecError::Inconsistent {
+                field: "dense_count",
+                got: 8,
+                want: 4096
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_grid_delta_is_rejected() {
+        let mut req = request();
+        req.input = RequestInput::Deltas(vec![(16, 0, 0, 1.0)]);
+        let bytes = encode_request(&req);
+        assert_eq!(
+            decode_request(&bytes).unwrap_err(),
+            CodecError::Inconsistent {
+                field: "delta_coord",
+                got: 16,
+                want: 16
+            }
+        );
+    }
+
+    #[test]
+    fn oversize_count_never_allocates() {
+        // A corrupt count field claiming u32::MAX deltas must come back as
+        // Oversize before any allocation proportional to it.
+        let mut bytes = encode_request(&request());
+        let at = MESSAGE_HEADER + REQUEST_FIXED - 4;
+        bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_request(&bytes).unwrap_err(),
+            CodecError::Oversize {
+                cells: u32::MAX as u64,
+                max: MAX_FIELD_CELLS
+            }
+        );
+    }
+
+    #[test]
+    fn fnv_checksum_is_order_sensitive() {
+        assert_ne!(fnv1a_f64(&[1.0, 2.0]), fnv1a_f64(&[2.0, 1.0]));
+        assert_eq!(fnv1a_f64(&[]), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic admission-control tests, driven through the synchronous
+//! [`ConvolveService`] core and the [`Admission`] controller directly — no
+//! threads, no timing, every transition explicit:
+//!
+//! * bounded queues reject with a typed `QueueFull` carrying the observed
+//!   depth and the configured capacity;
+//! * per-tenant quotas reject with `QuotaExceeded` counting queued +
+//!   executing work;
+//! * shed mode engages at `shed_on`, serves subsequent admissions
+//!   `Degraded`, rejects `require_exact` requests, and exits only below
+//!   `shed_off` (hysteresis);
+//! * the accounting is exact: `admitted + shed + rejected == offered`,
+//!   and the `service.*` obs counters reproduce the same ledger.
+
+use lcc_service::wire::{ConvolveRequest, RequestInput, ServedMode, TenantId};
+use lcc_service::{Admission, AdmissionConfig, ConvolveService, ServiceConfig, ServiceError};
+
+fn request(tenant: u32, id: u64, require_exact: bool) -> ConvolveRequest {
+    ConvolveRequest {
+        tenant: TenantId(tenant),
+        request_id: id,
+        n: 16,
+        k: 4,
+        far_rate: 8,
+        sigma: 1.0,
+        require_exact,
+        checksum_only: true,
+        input: RequestInput::Deltas(vec![(1, 2, 3, 1.0)]),
+    }
+}
+
+fn service(admission: AdmissionConfig) -> ConvolveService {
+    ConvolveService::new(ServiceConfig {
+        admission,
+        max_batch: 8,
+    })
+}
+
+#[test]
+fn queue_full_rejection_is_typed_and_accounted() {
+    let svc = service(AdmissionConfig {
+        queue_capacity: 3,
+        tenant_quota: 100,
+        shed_on: 50,
+        shed_off: 10,
+    });
+    for id in 0..3 {
+        svc.submit(request(7, id, false)).unwrap();
+    }
+    // The fourth request finds the tenant's queue at capacity.
+    match svc.submit(request(7, 3, false)) {
+        Err(ServiceError::QueueFull {
+            tenant,
+            depth,
+            capacity,
+        }) => {
+            assert_eq!(tenant, TenantId(7));
+            assert_eq!((depth, capacity), (3, 3));
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    // Another tenant's queue is untouched by tenant 7's backlog.
+    svc.submit(request(8, 0, false)).unwrap();
+    let stats = svc.admission().stats();
+    assert_eq!(stats.offered, 5);
+    assert_eq!(stats.admitted, 4);
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert!(stats.balanced());
+    // Draining frees the queue: the tenant is admissible again.
+    assert_eq!(svc.drain().len(), 4);
+    svc.submit(request(7, 4, false)).unwrap();
+}
+
+#[test]
+fn quota_counts_queued_plus_executing() {
+    let adm = Admission::new(AdmissionConfig {
+        queue_capacity: 10,
+        tenant_quota: 4,
+        shed_on: 50,
+        shed_off: 10,
+    });
+    let t = TenantId(1);
+    // Two executing (dispatched) + two queued = the full quota of 4.
+    for _ in 0..4 {
+        adm.offer(t, false).unwrap();
+    }
+    adm.on_dispatch(t);
+    adm.on_dispatch(t);
+    match adm.offer(t, false) {
+        Err(ServiceError::QuotaExceeded {
+            tenant,
+            in_flight,
+            quota,
+        }) => {
+            assert_eq!(tenant, t);
+            assert_eq!((in_flight, quota), (4, 4));
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    // Completions free quota; queue depth alone (2 < 10) never blocked it.
+    adm.on_complete(t);
+    adm.offer(t, false).unwrap();
+    let stats = adm.stats();
+    assert_eq!(stats.offered, 6);
+    assert_eq!(stats.admitted, 5);
+    assert_eq!(stats.rejected_quota, 1);
+    assert!(stats.balanced());
+}
+
+#[test]
+fn shed_mode_has_hysteresis() {
+    let adm = Admission::new(AdmissionConfig {
+        queue_capacity: 100,
+        tenant_quota: 100,
+        shed_on: 6,
+        shed_off: 2,
+    });
+    let t = TenantId(1);
+    // Depth reaches shed_on = 6: shed engages for subsequent arrivals.
+    for _ in 0..6 {
+        assert_eq!(adm.offer(t, false).unwrap().mode, ServedMode::Normal);
+    }
+    assert!(adm.shedding());
+    assert_eq!(adm.offer(t, false).unwrap().mode, ServedMode::Degraded);
+    // Exact-service requests are refused rather than silently degraded.
+    match adm.offer(t, true) {
+        Err(ServiceError::Shedding { queued, .. }) => assert_eq!(queued, 7),
+        other => panic!("expected Shedding, got {other:?}"),
+    }
+    // Draining to 3 — inside the hysteresis band (shed_off = 2) — must
+    // NOT exit shed mode: arrivals there are still degraded.
+    for _ in 0..4 {
+        adm.on_dispatch(t);
+    }
+    assert_eq!(adm.total_queued(), 3);
+    assert!(adm.shedding(), "inside the band, shed must persist");
+    assert_eq!(adm.offer(t, false).unwrap().mode, ServedMode::Degraded);
+    // Crossing shed_off exits; fidelity returns to Normal.
+    adm.on_dispatch(t);
+    adm.on_dispatch(t);
+    assert_eq!(adm.total_queued(), 2);
+    assert!(!adm.shedding());
+    assert_eq!(adm.offer(t, false).unwrap().mode, ServedMode::Normal);
+    let stats = adm.stats();
+    assert_eq!(stats.shed_entries, 1);
+    assert_eq!(stats.shed_exits, 1);
+    assert_eq!(stats.shed, 2);
+    assert_eq!(stats.rejected_shedding, 1);
+    assert!(stats.balanced());
+}
+
+#[test]
+fn shed_requests_are_served_degraded_end_to_end() {
+    let svc = service(AdmissionConfig {
+        queue_capacity: 100,
+        tenant_quota: 100,
+        shed_on: 4,
+        shed_off: 1,
+    });
+    for id in 0..6 {
+        svc.submit(request(1, id, false)).unwrap();
+    }
+    assert!(svc.admission().shedding());
+    let responses = svc.drain();
+    assert_eq!(responses.len(), 6);
+    // The four pre-shed admissions are Normal; the two shed ones carry
+    // Degraded fidelity through to their responses.
+    let degraded: Vec<u64> = responses
+        .iter()
+        .filter(|r| r.mode == ServedMode::Degraded)
+        .map(|r| r.request_id)
+        .collect();
+    assert_eq!(degraded, [4, 5]);
+    let report = svc.report();
+    assert_eq!(report.admission.admitted, 4);
+    assert_eq!(report.admission.shed, 2);
+    assert!(report.admission.balanced());
+}
+
+// The obs-counter accounting test lives in its own integration binary
+// (`tests/obs_accounting.rs`): the `service.*` counters are process-global
+// and the tests in this binary run concurrently.

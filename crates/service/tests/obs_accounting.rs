@@ -1,0 +1,81 @@
+//! The `service.*` obs counters must reproduce the admission controller's
+//! ledger exactly — `offered == admitted + shed + rejected`, stream by
+//! stream. This test owns its integration binary: the counters are
+//! process-global, so it must not share a process with other service
+//! tests.
+
+use lcc_obs::metrics as obs;
+use lcc_service::wire::{ConvolveRequest, RequestInput, TenantId};
+use lcc_service::{AdmissionConfig, ConvolveService, ServiceConfig};
+
+fn request(tenant: u32, id: u64, require_exact: bool) -> ConvolveRequest {
+    ConvolveRequest {
+        tenant: TenantId(tenant),
+        request_id: id,
+        n: 16,
+        k: 4,
+        far_rate: 8,
+        sigma: 1.0,
+        require_exact,
+        checksum_only: true,
+        input: RequestInput::Deltas(vec![(1, 2, 3, 1.0)]),
+    }
+}
+
+#[test]
+fn obs_counters_reproduce_the_admission_ledger() {
+    let session = match lcc_obs::ObsSession::start() {
+        Some(s) => s,
+        None => panic!("collector unexpectedly held in a single-test binary"),
+    };
+    let svc = ConvolveService::new(ServiceConfig {
+        admission: AdmissionConfig {
+            queue_capacity: 4,
+            tenant_quota: 100,
+            shed_on: 3,
+            shed_off: 1,
+        },
+        max_batch: 8,
+    });
+    // A mix of shedable and exact-service requests from one tenant, enough
+    // to exercise admit, shed, and queue-full paths in one burst.
+    for id in 0..8 {
+        let _ = svc.submit(request(1, id, id % 2 == 0));
+    }
+    let stats = svc.admission().stats();
+    assert_eq!(stats.offered, 8);
+    assert!(stats.shed > 0, "burst must trip shedding");
+    assert!(stats.rejected() > 0, "burst must trip queue-full");
+    assert!(stats.balanced());
+    // Stream-by-stream agreement between the controller and the obs ledger.
+    assert_eq!(obs::SERVICE_OFFERED.get(), stats.offered);
+    assert_eq!(obs::SERVICE_ADMITTED.get(), stats.admitted);
+    assert_eq!(obs::SERVICE_SHED.get(), stats.shed);
+    assert_eq!(
+        obs::SERVICE_REJECTED_QUEUE_FULL.get(),
+        stats.rejected_queue_full
+    );
+    assert_eq!(obs::SERVICE_REJECTED_QUOTA.get(), stats.rejected_quota);
+    assert_eq!(
+        obs::SERVICE_REJECTED_SHEDDING.get(),
+        stats.rejected_shedding
+    );
+    // The acceptance identity, on the obs side alone.
+    assert_eq!(
+        obs::SERVICE_OFFERED.get(),
+        obs::SERVICE_ADMITTED.get()
+            + obs::SERVICE_SHED.get()
+            + obs::SERVICE_REJECTED_QUEUE_FULL.get()
+            + obs::SERVICE_REJECTED_QUOTA.get()
+            + obs::SERVICE_REJECTED_SHEDDING.get(),
+        "obs accounting must balance exactly"
+    );
+    assert_eq!(obs::SERVICE_SHED_ENTRIES.get(), stats.shed_entries);
+    // Serving the admitted work shows up on the completion counters, and
+    // the session report exposes every service.* instrument by name.
+    let served = svc.drain().len() as u64;
+    assert_eq!(obs::SERVICE_REQUESTS_COMPLETED.get(), served);
+    let report = session.finish();
+    assert_eq!(report.counter("service.offered"), Some(8));
+    assert_eq!(report.counter("service.requests_completed"), Some(served));
+}

@@ -1,0 +1,270 @@
+//! Property tests for the service wire codec (`lcc_service::wire`),
+//! mirroring the contracts `transport_frame_props.rs` pins for the
+//! comm-layer frames:
+//!
+//! 1. Every encoder/decoder pair round-trips every input — requests with
+//!    either input encoding (including NaN/∞ bit patterns, compared
+//!    bit-exactly via canonical re-encoding), responses with and without
+//!    samples, rejects.
+//! 2. Truncated or corrupt input is a *typed* [`CodecError`] — never a
+//!    panic, and never an allocation proportional to a corrupt count.
+//! 3. The decoders are total: arbitrary byte soup decodes or errors, and
+//!    anything that decodes re-encodes to the exact original bytes (the
+//!    wire layout is canonical).
+
+use proptest::prelude::*;
+
+use lcc_service::wire::{
+    decode_message, decode_request, encode_reject, encode_request, encode_response, CodecError,
+    ConvolveRequest, ConvolveResponse, RejectNotice, RequestInput, ServedMode, TenantId,
+    WireMessage, MAX_FIELD_CELLS, MESSAGE_HEADER, REJECT_BODY, REQUEST_FIXED,
+};
+
+fn delta_request(
+    tenant: u32,
+    request_id: u64,
+    n_log2: u32,
+    sigma_bits: u64,
+    flags: (bool, bool),
+    points: Vec<((u32, u32, u32), u64)>,
+) -> ConvolveRequest {
+    let n = 1u32 << n_log2;
+    ConvolveRequest {
+        tenant: TenantId(tenant),
+        request_id,
+        n,
+        k: n / 2,
+        far_rate: 8,
+        sigma: f64::from_bits(sigma_bits),
+        require_exact: flags.0,
+        checksum_only: flags.1,
+        input: RequestInput::Deltas(
+            points
+                .into_iter()
+                .map(|((x, y, z), v)| (x % n, y % n, z % n, f64::from_bits(v)))
+                .collect(),
+        ),
+    }
+}
+
+/// Re-encodes whatever `bytes` decodes to; the canonical-layout property
+/// makes byte equality the bit-exact (NaN-safe) round-trip check.
+fn reencode(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
+    Ok(match decode_message(bytes)? {
+        WireMessage::Request(r) => encode_request(&r),
+        WireMessage::Response(r) => encode_response(&r),
+        WireMessage::Reject(r) => encode_reject(&r),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Delta-input requests round-trip bit-exactly for arbitrary ids, plan
+    /// keys (including non-finite sigma bit patterns), flags, and point
+    /// sets; scalar fields survive decode unchanged.
+    #[test]
+    fn delta_request_round_trips(
+        tenant in 0u32..u32::MAX,
+        request_id in 0u64..u64::MAX,
+        n_log2 in 1u32..8,
+        sigma_bits in 0u64..u64::MAX,
+        flag_bits in 0u8..4,
+        points in proptest::collection::vec(
+            ((0u32..256, 0u32..256, 0u32..256), 0u64..u64::MAX), 0..=16),
+    ) {
+        let req = delta_request(
+            tenant, request_id, n_log2, sigma_bits,
+            (flag_bits & 1 != 0, flag_bits & 2 != 0), points,
+        );
+        let bytes = encode_request(&req);
+        let decoded = match decode_request(&bytes) {
+            Ok(d) => d,
+            Err(e) => return Err(TestCaseError::fail(format!("own encoding failed: {e}"))),
+        };
+        prop_assert_eq!(decoded.tenant, req.tenant);
+        prop_assert_eq!(decoded.request_id, req.request_id);
+        prop_assert_eq!(decoded.plan_key(), req.plan_key());
+        prop_assert_eq!(decoded.require_exact, req.require_exact);
+        prop_assert_eq!(decoded.checksum_only, req.checksum_only);
+        prop_assert_eq!(reencode(&bytes), Ok(bytes.clone()));
+    }
+
+    /// Dense-input requests round-trip; the sample count is pinned to n³
+    /// by the layout, so only the values (any bit pattern) vary.
+    #[test]
+    fn dense_request_round_trips(
+        tenant in 0u32..u32::MAX,
+        request_id in 0u64..u64::MAX,
+        n_log2 in 1u32..4,
+        seed_bits in 0u64..u64::MAX,
+    ) {
+        let n = 1u32 << n_log2;
+        let samples: Vec<f64> = (0..n.pow(3) as u64)
+            .map(|i| f64::from_bits(seed_bits.wrapping_mul(i.wrapping_add(1))))
+            .collect();
+        let req = ConvolveRequest {
+            tenant: TenantId(tenant),
+            request_id,
+            n,
+            k: n / 2,
+            far_rate: 8,
+            sigma: 1.0,
+            require_exact: false,
+            checksum_only: false,
+            input: RequestInput::Dense(samples),
+        };
+        let bytes = encode_request(&req);
+        let decoded = match decode_request(&bytes) {
+            Ok(d) => d,
+            Err(e) => return Err(TestCaseError::fail(format!("own encoding failed: {e}"))),
+        };
+        match &decoded.input {
+            RequestInput::Dense(got) => prop_assert_eq!(got.len() as u64, (n as u64).pow(3)),
+            other => return Err(TestCaseError::fail(format!("wrong input kind: {other:?}"))),
+        }
+        prop_assert_eq!(reencode(&bytes), Ok(bytes));
+    }
+
+    /// Responses round-trip with and without result samples.
+    #[test]
+    fn response_round_trips(
+        tenant in 0u32..u32::MAX,
+        request_id in 0u64..u64::MAX,
+        degraded in 0u8..2,
+        checksum in 0u64..u64::MAX,
+        result_bits in proptest::collection::vec(0u64..u64::MAX, 0..=64),
+    ) {
+        let resp = ConvolveResponse {
+            tenant: TenantId(tenant),
+            request_id,
+            mode: if degraded == 1 { ServedMode::Degraded } else { ServedMode::Normal },
+            checksum,
+            result: result_bits.into_iter().map(f64::from_bits).collect(),
+        };
+        let bytes = encode_response(&resp);
+        match decode_message(&bytes) {
+            Ok(WireMessage::Response(got)) => {
+                prop_assert_eq!(got.tenant, resp.tenant);
+                prop_assert_eq!(got.request_id, resp.request_id);
+                prop_assert_eq!(got.mode, resp.mode);
+                prop_assert_eq!(got.checksum, resp.checksum);
+                prop_assert_eq!(got.result.len(), resp.result.len());
+            }
+            other => return Err(TestCaseError::fail(format!("decoded {other:?}"))),
+        }
+        prop_assert_eq!(reencode(&bytes), Ok(bytes));
+    }
+
+    /// Reject notices round-trip and are exactly the documented length.
+    #[test]
+    fn reject_round_trips(
+        tenant in 0u32..u32::MAX,
+        request_id in 0u64..u64::MAX,
+        code in 0u8..=255,
+        detail in (0u64..u64::MAX, 0u64..u64::MAX),
+    ) {
+        let (a, b) = detail;
+        let reject = RejectNotice { tenant: TenantId(tenant), request_id, code, a, b };
+        let bytes = encode_reject(&reject);
+        prop_assert_eq!(bytes.len(), MESSAGE_HEADER + REJECT_BODY);
+        prop_assert_eq!(decode_message(&bytes), Ok(WireMessage::Reject(reject)));
+    }
+
+    /// Every strict prefix of a valid request is a typed error — a
+    /// truncation report or (inside the header) a header error. Never a
+    /// panic.
+    #[test]
+    fn truncated_request_is_typed(
+        keep_frac in 0.0f64..1.0,
+        points in proptest::collection::vec(
+            ((0u32..16, 0u32..16, 0u32..16), 0u64..u64::MAX), 1..=8),
+    ) {
+        let req = delta_request(1, 2, 4, 0x3FF0_0000_0000_0000, (false, true), points);
+        let bytes = encode_request(&req);
+        let keep = ((bytes.len() - 1) as f64 * keep_frac) as usize;
+        let err = match decode_message(&bytes[..keep]) {
+            Err(e) => e,
+            Ok(m) => return Err(TestCaseError::fail(format!("prefix decoded as {m:?}"))),
+        };
+        prop_assert!(
+            matches!(err, CodecError::Truncated { .. }) || keep < MESSAGE_HEADER,
+            "unexpected error for {}-byte prefix: {:?}", keep, err
+        );
+    }
+
+    /// A corrupt count field claiming up to u32::MAX elements comes back
+    /// as a typed Oversize — the decoder must not allocate proportionally
+    /// to the claim.
+    #[test]
+    fn corrupt_count_never_allocates(
+        claim in (MAX_FIELD_CELLS + 1) as u32..u32::MAX,
+    ) {
+        let req = delta_request(1, 2, 4, 0, (false, true), vec![((1, 2, 3), 0)]);
+        let mut bytes = encode_request(&req);
+        let at = MESSAGE_HEADER + REQUEST_FIXED - 4;
+        bytes[at..at + 4].copy_from_slice(&claim.to_le_bytes());
+        prop_assert_eq!(
+            decode_message(&bytes),
+            Err(CodecError::Oversize { cells: claim as u64, max: MAX_FIELD_CELLS })
+        );
+    }
+
+    /// Single-byte corruption anywhere in a valid message either still
+    /// decodes (the byte sat inside a value field) or is a typed error —
+    /// and whatever decodes re-encodes canonically.
+    #[test]
+    fn corrupted_byte_is_total(
+        at_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+        points in proptest::collection::vec(
+            ((0u32..16, 0u32..16, 0u32..16), 0u64..u64::MAX), 0..=8),
+    ) {
+        let req = delta_request(3, 4, 4, 0x4000_0000_0000_0000, (true, false), points);
+        let mut bytes = encode_request(&req);
+        let at = ((bytes.len() - 1) as f64 * at_frac) as usize;
+        bytes[at] ^= flip;
+        if decode_message(&bytes).is_ok() {
+            prop_assert_eq!(reencode(&bytes), Ok(bytes), "decode must be canonical");
+        }
+    }
+
+    /// Decoding is total over arbitrary byte soup, and every successful
+    /// decode re-encodes to the exact input bytes.
+    #[test]
+    fn arbitrary_bytes_never_panic_and_decodes_are_canonical(
+        bytes in proptest::collection::vec(0u8..=255, 0..=128),
+    ) {
+        if decode_message(&bytes).is_ok() {
+            prop_assert_eq!(reencode(&bytes), Ok(bytes));
+        }
+    }
+}
+
+/// The inbound-path guard: a valid non-request message on the request path
+/// is a typed kind error, not a panic or a silent accept.
+#[test]
+fn non_request_kinds_are_rejected_on_the_request_path() {
+    let resp = ConvolveResponse {
+        tenant: TenantId(1),
+        request_id: 2,
+        mode: ServedMode::Normal,
+        checksum: 3,
+        result: Vec::new(),
+    };
+    assert!(matches!(
+        decode_request(&encode_response(&resp)),
+        Err(CodecError::BadKind { .. })
+    ));
+    let reject = RejectNotice {
+        tenant: TenantId(1),
+        request_id: 2,
+        code: 1,
+        a: 0,
+        b: 0,
+    };
+    assert!(matches!(
+        decode_request(&encode_reject(&reject)),
+        Err(CodecError::BadKind { .. })
+    ));
+}

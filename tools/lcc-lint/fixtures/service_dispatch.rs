@@ -1,0 +1,52 @@
+// lcc-lint: pretend-path crates/service/src/batch_fixture.rs
+// lcc-lint: hot-path — the dispatch path coalesces every tenant's
+// requests; a stray per-request allocation here multiplies by the
+// offered load.
+//
+// Fixture proving the service crate sits inside the ratcheted trees:
+// the dispatch hot path is subject to `hot-path-alloc`, `Result`
+// signatures must name `ServiceError` (or another typed error) rather
+// than `Box<dyn Error>`, and non-test unwraps fall under the zero-budget
+// ratchet. Never compiled — scanned by `lcc-lint --self-test`.
+
+use std::error::Error;
+
+pub fn dispatch_copies(items: &[Request]) -> Vec<Request> {
+    items.to_vec() //~ ERROR hot-path-alloc
+}
+
+pub fn group_scratch(n: usize) -> Vec<u64> {
+    let scratch = Vec::with_capacity(n); //~ ERROR hot-path-alloc
+    scratch
+}
+
+// Per-response output buffers are a legitimate per-solve allocation; the
+// escape hatch documents that and silences the rule.
+pub fn response_buffer(n: usize) -> Vec<f64> {
+    // lcc-lint: allow(alloc) — one output buffer per served response
+    let out = Vec::with_capacity(n);
+    out
+}
+
+pub fn submit_boxed(req: Request) -> Result<(), Box<dyn Error>> { //~ ERROR typed-error
+    let _ = req;
+    Ok(())
+}
+
+pub fn submit_typed(req: Request) -> Result<(), ServiceError> {
+    let _ = req;
+    Ok(())
+}
+
+pub fn pump_once(queue: &Queue) -> Response {
+    queue.pop().unwrap() //~ ERROR unwrap-ratchet
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from all three rules.
+    fn scratch() -> Vec<u8> {
+        let v = vec![0u8; 16];
+        v.to_vec()
+    }
+}

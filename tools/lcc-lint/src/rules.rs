@@ -9,9 +9,10 @@
 //!   section also satisfies the rule). A trailing same-line `// SAFETY:`
 //!   comment is accepted for one-liner impls.
 //! * `unwrap-ratchet` — `.unwrap()` / `.expect(` in non-test code of
-//!   `crates/comm/src` and `crates/core/src` is budgeted by the ratchet
-//!   file (`tools/lcc-lint/unwrap-ratchet.txt`); counts can only shrink.
-//!   Individually justified sites carry `// lcc-lint: allow(unwrap)`.
+//!   `crates/comm/src`, `crates/core/src`, and `crates/service/src` is
+//!   budgeted by the ratchet file (`tools/lcc-lint/unwrap-ratchet.txt`);
+//!   counts can only shrink. Individually justified sites carry
+//!   `// lcc-lint: allow(unwrap)`.
 //! * `hot-path-alloc` — inside modules annotated `// lcc-lint: hot-path`,
 //!   the allocating tokens `vec!`, `Vec::new`, `Vec::with_capacity`,
 //!   `Box::new` and `.to_vec()` are banned outside test code. Plan-time
@@ -25,10 +26,11 @@
 //!   `RwLock`, `.lock()`), I/O (`std::fs`, `std::net`, `std::io`,
 //!   `std::process`) and console printing are banned outside test code.
 //!   Deliberate exceptions carry `// lcc-lint: allow(blocking)`.
-//! * `typed-error` — functions in `crates/comm/src` and `crates/core/src`
-//!   that return `Result` must use the crates' typed errors (`CommError`,
-//!   `CodecError`, `ConfigError`); returning `Box<dyn Error>` (or any
-//!   other `Box<dyn …>`) is a violation. Additionally, in
+//! * `typed-error` — functions in `crates/comm/src`, `crates/core/src`,
+//!   and `crates/service/src` that return `Result` must use the crates'
+//!   typed errors (`CommError`, `CodecError`, `ConfigError`,
+//!   `ServiceError`); returning `Box<dyn Error>` (or any other
+//!   `Box<dyn …>`) is a violation. Additionally, in
 //!   `crates/comm/src/transport/` the stringly `coord_err(…)` constructor
 //!   may not wrap a timeout or child-exit condition: a `coord_err` call
 //!   whose statement (or the block head right above it) references
@@ -68,7 +70,9 @@ pub type Ratchet = BTreeMap<String, usize>;
 /// Whether `path` (repo-relative, `/`-separated) is subject to the unwrap
 /// ratchet and the typed-error rule.
 fn in_ratcheted_tree(path: &str) -> bool {
-    path.starts_with("crates/comm/src/") || path.starts_with("crates/core/src/")
+    path.starts_with("crates/comm/src/")
+        || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/service/src/")
 }
 
 /// Scans one sanitized file, returning direct violations plus the lines of
@@ -327,7 +331,8 @@ fn check_typed_errors(path: &str, file: &SourceFile, out: &mut Vec<Violation>) {
                 line: idx + 1,
                 rule: "typed-error",
                 msg: "fn returns `Result` with a `Box<dyn …>` error; use the typed \
-                      `CommError`, `CodecError`, or `ConfigError` instead"
+                      `CommError`, `CodecError`, `ConfigError`, or `ServiceError` \
+                      instead"
                     .to_string(),
             });
         }
@@ -438,8 +443,9 @@ pub fn apply_ratchet(
                         path: path.clone(),
                         line,
                         rule: "unwrap-ratchet",
-                        msg: "`.unwrap()`/`.expect(` in non-test comm/core code; return a \
-                              typed error, or justify with `// lcc-lint: allow(unwrap)`"
+                        msg: "`.unwrap()`/`.expect(` in non-test comm/core/service code; \
+                              return a typed error, or justify with \
+                              `// lcc-lint: allow(unwrap)`"
                             .to_string(),
                     });
                 }
@@ -765,6 +771,22 @@ fn dump() { println!(\"{state:?}\"); }
                 "{rel}: {v:?}"
             );
         }
+    }
+
+    #[test]
+    fn service_tree_is_ratcheted() {
+        // PR 10 added crates/service to the ratcheted trees: zero-budget
+        // unwraps and the typed-error rule both apply there.
+        let unwraps = "fn f() { a.unwrap(); }\n";
+        let v = check("crates/service/src/server.rs", unwraps);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unwrap-ratchet");
+        let boxed = "pub fn bad(x: u8) -> Result<u8, Box<dyn std::error::Error>> { Ok(x) }\n";
+        let v = check("crates/service/src/wire.rs", boxed);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "typed-error");
+        // Test trees of the service crate are not ratcheted.
+        assert!(check("crates/service/tests/admission.rs", unwraps).is_empty());
     }
 
     #[test]

@@ -183,6 +183,8 @@ pub static SERVICE_REQUESTS_COMPLETED: Counter = Counter::new("service.requests_
 pub static SERVICE_PLAN_HITS: Counter = Counter::new("service.plan_hits");
 /// Plan-registry misses (a convolver was built).
 pub static SERVICE_PLAN_MISSES: Counter = Counter::new("service.plan_misses");
+/// Plan-registry evictions (an entry aged out of the bounded cache).
+pub static SERVICE_PLAN_EVICTIONS: Counter = Counter::new("service.plan_evictions");
 /// Shed-mode entries (backlog crossed the high watermark).
 pub static SERVICE_SHED_ENTRIES: Counter = Counter::new("service.shed_entries");
 /// Shed-mode exits (backlog drained past the hysteresis floor).
@@ -194,7 +196,7 @@ pub static MASSIF_RESIDUAL: Gauge = Gauge::new("massif.residual");
 /// Current total queued depth across all tenants of the service.
 pub static SERVICE_QUEUE_DEPTH: Gauge = Gauge::new("service.queue_depth");
 
-static COUNTERS: [&Counter; 38] = [
+static COUNTERS: [&Counter; 39] = [
     &COMM_BYTES_LOGICAL,
     &COMM_MESSAGES_LOGICAL,
     &COMM_BYTES_PHYSICAL,
@@ -231,6 +233,7 @@ static COUNTERS: [&Counter; 38] = [
     &SERVICE_REQUESTS_COMPLETED,
     &SERVICE_PLAN_HITS,
     &SERVICE_PLAN_MISSES,
+    &SERVICE_PLAN_EVICTIONS,
     &SERVICE_SHED_ENTRIES,
     &SERVICE_SHED_EXITS,
 ];

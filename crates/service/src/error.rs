@@ -2,7 +2,8 @@
 //!
 //! Everything the server can refuse is a [`ServiceError`] value — admission
 //! rejections ([`ServiceError::QueueFull`], [`ServiceError::QuotaExceeded`],
-//! [`ServiceError::Shedding`]), malformed wire input
+//! [`ServiceError::Shedding`]), reply-correlation conflicts
+//! ([`ServiceError::DuplicateRequest`]), malformed wire input
 //! ([`ServiceError::Codec`]), and semantically invalid plan parameters
 //! ([`ServiceError::Config`]). No stringly errors, no `Box<dyn Error>`:
 //! the lcc-lint `typed-error` rule scans this crate.
@@ -32,6 +33,12 @@ pub enum ServiceError {
     /// The server is load-shedding and the request demanded exact service
     /// (`require_exact`); degraded service was the only thing on offer.
     Shedding { tenant: TenantId, queued: usize },
+    /// The tenant reused a `request_id` it already has in flight. The
+    /// server front correlates replies to waiting callers by
+    /// `(tenant, request_id)`, so an id may not be reused until its
+    /// predecessor's reply has been delivered — otherwise two callers
+    /// could have their replies swapped.
+    DuplicateRequest { tenant: TenantId, request_id: u64 },
     /// The request bytes did not decode.
     Codec(CodecError),
     /// The plan parameters were structurally valid on the wire but
@@ -52,6 +59,8 @@ pub const REJECT_SHEDDING: u8 = 3;
 pub const REJECT_CONFIG: u8 = 4;
 /// Wire code: [`ServiceError::Stopped`].
 pub const REJECT_STOPPED: u8 = 5;
+/// Wire code: [`ServiceError::DuplicateRequest`].
+pub const REJECT_DUPLICATE: u8 = 6;
 
 impl ServiceError {
     /// `(code, a, b)` — the typed rejection flattened for the wire.
@@ -64,6 +73,9 @@ impl ServiceError {
                 in_flight, quota, ..
             } => (REJECT_QUOTA, *in_flight as u64, *quota as u64),
             ServiceError::Shedding { queued, .. } => (REJECT_SHEDDING, *queued as u64, 0),
+            ServiceError::DuplicateRequest { request_id, .. } => {
+                (REJECT_DUPLICATE, *request_id, 0)
+            }
             ServiceError::Config(_) => (REJECT_CONFIG, 0, 0),
             // A codec failure cannot echo ids it failed to decode; it is
             // reported per-connection, not per-request.
@@ -117,6 +129,10 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Shedding { tenant, queued } => write!(
                 f,
                 "shedding load ({queued} queued): {tenant} required exact service"
+            ),
+            ServiceError::DuplicateRequest { tenant, request_id } => write!(
+                f,
+                "{tenant} request id {request_id} is already in flight"
             ),
             ServiceError::Codec(e) => write!(f, "undecodable request: {e}"),
             ServiceError::Config(e) => write!(f, "invalid plan parameters: {e}"),

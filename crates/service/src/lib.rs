@@ -35,8 +35,10 @@ pub mod wire;
 pub use admission::{Admission, AdmissionConfig, AdmissionStats, AdmissionTicket};
 pub use batch::{dispatch_batch, serve_solo};
 pub use error::ServiceError;
-pub use registry::{PlanEntry, PlanKey, PlanRegistry};
-pub use server::{ConvolveService, ServiceClient, ServiceConfig, ServiceReport, ServiceServer};
+pub use registry::{PlanEntry, PlanKey, PlanRegistry, DEFAULT_PLAN_CAPACITY};
+pub use server::{
+    ConvolveService, Dispatched, ServiceClient, ServiceConfig, ServiceReport, ServiceServer,
+};
 pub use wire::{
     decode_message, decode_request, encode_reject, encode_request, encode_response, CodecError,
     ConvolveRequest, ConvolveResponse, RejectNotice, RequestInput, ServedMode, TenantId,

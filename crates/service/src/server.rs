@@ -30,7 +30,7 @@ use crate::error::ServiceError;
 use crate::registry::{PlanKey, PlanRegistry};
 use crate::wire::{
     decode_request, encode_reject, encode_response_into, ConvolveRequest, ConvolveResponse,
-    ServedMode,
+    RejectNotice, ServedMode, TenantId,
 };
 
 /// Server configuration.
@@ -60,8 +60,28 @@ pub struct ServiceReport {
     pub plan_hits: u64,
     /// Plans built (cache misses). Flat in a warm steady state.
     pub plan_builds: u64,
+    /// Plans evicted from the bounded registry.
+    pub plan_evictions: u64,
     /// Requests served (responses produced).
     pub served: u64,
+}
+
+/// One pump round's output: responses for served requests plus reject
+/// notices for any requests dropped at dispatch time (each already
+/// completion-accounted against its tenant's quota).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Dispatched {
+    /// Served responses, in dispatch order.
+    pub responses: Vec<ConvolveResponse>,
+    /// Rejects for requests whose plan entry could not be produced.
+    pub rejects: Vec<RejectNotice>,
+}
+
+impl Dispatched {
+    /// Whether the round produced nothing (the queue was empty).
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty() && self.rejects.is_empty()
+    }
 }
 
 /// The deterministic service core.
@@ -98,18 +118,28 @@ impl ConvolveService {
         &self.registry
     }
 
-    /// Offers one typed request: plan parameters are validated (building
-    /// and caching the plan on first sight of the key), admission decides,
-    /// and an admitted request joins the dispatch queue at its ticketed
-    /// fidelity.
+    /// Offers one typed request: plan parameters are cheaply validated,
+    /// admission decides, and only then is the shared plan entry built
+    /// (warmed) for the admitted request, which joins the dispatch queue
+    /// at its ticketed fidelity.
     pub fn submit(&self, req: ConvolveRequest) -> Result<(), ServiceError> {
         if self.stopped.load(Ordering::Acquire) {
             return Err(ServiceError::Stopped);
         }
-        // Validate the plan key before admission so a malformed request
-        // costs a typed error, not a queue slot.
-        self.registry.entry_for(&req)?;
+        // Cheap validation before admission: a malformed request costs a
+        // typed error — never a queue slot, and never a plan build an
+        // unadmitted tenant could use to bloat the shared registry.
+        PlanRegistry::validate(&req)?;
         let ticket = self.admission.offer(req.tenant, req.require_exact)?;
+        // Only admitted work may build (and cache) a plan entry.
+        if let Err(e) = self.registry.entry_for(&req) {
+            // Validation passed, so in practice this cannot fail; if it
+            // ever does, walk the admission back out (queued → dispatched
+            // → complete) so the tenant's quota is not leaked.
+            self.admission.on_dispatch(req.tenant);
+            self.admission.on_complete(req.tenant);
+            return Err(e);
+        }
         self.queue.lock().push_back((req, ticket.mode));
         Ok(())
     }
@@ -123,15 +153,15 @@ impl ConvolveService {
     /// Drains up to `max_batch` queued requests, coalesces them by plan
     /// key, and dispatches each group as one batched fan-out. Responses
     /// come back in dequeue order within each group; groups in first-seen
-    /// key order. Returns an empty vector when the queue is empty.
-    pub fn pump(&self) -> Vec<ConvolveResponse> {
+    /// key order. Returns an empty round when the queue is empty.
+    pub fn pump(&self) -> Dispatched {
         let drained: Vec<(ConvolveRequest, ServedMode)> = {
             let mut q = self.queue.lock();
             let take = self.cfg.max_batch.min(q.len());
             q.drain(..take).collect()
         };
         if drained.is_empty() {
-            return Vec::default();
+            return Dispatched::default();
         }
         // Group by plan key, preserving first-seen order for determinism.
         let mut groups: Vec<(PlanKey, Vec<(ConvolveRequest, ServedMode)>)> = Vec::default();
@@ -143,33 +173,42 @@ impl ConvolveService {
                 None => groups.push((key, Vec::from([(req, mode)]))),
             }
         }
-        let mut out = Vec::default();
+        let mut out = Dispatched::default();
         for (_, items) in groups {
-            // The key was validated at submit; a registry miss here can
-            // only be the same typed error again, so skip-and-account.
-            let entry = match self.registry.entry_for(&items[0].0) {
-                Ok(entry) => entry,
-                Err(_) => continue,
-            };
-            let responses = dispatch_batch(&entry, &items);
-            for (req, _) in &items {
-                self.admission.on_complete(req.tenant);
+            // The entry was built at submit; a miss here (evicted since)
+            // just rebuilds it, so an error means the build itself broke.
+            // Either way every dispatched request is completion-accounted
+            // and its waiter gets a reply — a dropped group must not leak
+            // the tenants' in-flight quota or leave callers blocked.
+            match self.registry.entry_for(&items[0].0) {
+                Ok(entry) => {
+                    out.responses.extend(dispatch_batch(&entry, &items));
+                    for (req, _) in &items {
+                        self.admission.on_complete(req.tenant);
+                    }
+                }
+                Err(e) => {
+                    for (req, _) in &items {
+                        self.admission.on_complete(req.tenant);
+                        out.rejects.push(e.to_reject(req.tenant, req.request_id));
+                    }
+                }
             }
-            out.extend(responses);
         }
-        *self.served.lock() += out.len() as u64;
+        *self.served.lock() += out.responses.len() as u64;
         out
     }
 
     /// Drains the queue completely (repeated [`Self::pump`] rounds).
-    pub fn drain(&self) -> Vec<ConvolveResponse> {
-        let mut out = Vec::default();
+    pub fn drain(&self) -> Dispatched {
+        let mut out = Dispatched::default();
         loop {
-            let batch = self.pump();
-            if batch.is_empty() {
+            let round = self.pump();
+            if round.is_empty() {
                 return out;
             }
-            out.extend(batch);
+            out.responses.extend(round.responses);
+            out.rejects.extend(round.rejects);
         }
     }
 
@@ -184,6 +223,7 @@ impl ConvolveService {
             admission: self.admission.stats(),
             plan_hits: self.registry.hits(),
             plan_builds: self.registry.builds(),
+            plan_evictions: self.registry.evictions(),
             served: *self.served.lock(),
         }
     }
@@ -268,10 +308,51 @@ impl Drop for ServiceServer {
     }
 }
 
+/// A caller waiting for its reply, keyed by `(tenant, request id)`.
+type Waiter = (u32, u64, mpsc::Sender<Vec<u8>>);
+
+/// Decodes and submits one inbound call, parking the reply sender as a
+/// waiter on success and answering rejections immediately. Replies are
+/// correlated to waiters by `(tenant, request_id)`, so a tenant reusing an
+/// id while its predecessor is still in flight is refused with a typed
+/// [`ServiceError::DuplicateRequest`] — otherwise two concurrent callers
+/// could have their replies swapped.
+fn handle_call(
+    service: &ConvolveService,
+    pending: &mut Vec<Waiter>,
+    bytes: &[u8],
+    reply: mpsc::Sender<Vec<u8>>,
+) {
+    match decode_request(bytes) {
+        Ok(req) => {
+            let (tenant, id) = (req.tenant, req.request_id);
+            if pending.iter().any(|(t, i, _)| (*t, *i) == (tenant.0, id)) {
+                let e = ServiceError::DuplicateRequest {
+                    tenant,
+                    request_id: id,
+                };
+                let _ = reply.send(encode_reject(&e.to_reject(tenant, id)));
+                return;
+            }
+            match service.submit(req) {
+                Ok(()) => pending.push((tenant.0, id, reply)),
+                Err(e) => {
+                    let _ = reply.send(encode_reject(&e.to_reject(tenant, id)));
+                }
+            }
+        }
+        Err(e) => {
+            // Undecodable bytes carry no ids to echo.
+            let err = ServiceError::Codec(e);
+            let _ = reply.send(encode_reject(&err.to_reject(TenantId(u32::MAX), u64::MAX)));
+        }
+    }
+}
+
 fn serve_loop(cfg: ServiceConfig, rx: mpsc::Receiver<ServerMsg>) -> ServiceReport {
     let service = Arc::new(ConvolveService::new(cfg));
     // Pending replies keyed by (tenant, request id), in admission order.
-    let mut pending: Vec<(u32, u64, mpsc::Sender<Vec<u8>>)> = Vec::default();
+    let mut pending: Vec<Waiter> = Vec::default();
     let mut buf = Vec::default();
     loop {
         // Block for one message, then drain the burst that accumulated
@@ -289,31 +370,24 @@ fn serve_loop(cfg: ServiceConfig, rx: mpsc::Receiver<ServerMsg>) -> ServiceRepor
         for msg in inbox {
             match msg {
                 ServerMsg::Shutdown => shutdown = true,
-                ServerMsg::Call { bytes, reply } => match decode_request(&bytes) {
-                    Ok(req) => {
-                        let (tenant, id) = (req.tenant, req.request_id);
-                        match service.submit(req) {
-                            Ok(()) => pending.push((tenant.0, id, reply)),
-                            Err(e) => {
-                                let _ = reply.send(encode_reject(&e.to_reject(tenant, id)));
-                            }
-                        }
-                    }
-                    Err(e) => {
-                        // Undecodable bytes carry no ids to echo.
-                        let err = ServiceError::Codec(e);
-                        let _ = reply.send(encode_reject(
-                            &err.to_reject(crate::wire::TenantId(u32::MAX), u64::MAX),
-                        ));
-                    }
-                },
+                ServerMsg::Call { bytes, reply } => {
+                    handle_call(&service, &mut pending, &bytes, reply);
+                }
             }
         }
-        for resp in service.drain() {
+        let round = service.drain();
+        for reject in &round.rejects {
+            let key = (reject.tenant.0, reject.request_id);
+            if let Some(at) = pending.iter().position(|(t, id, _)| (*t, *id) == key) {
+                let (_, _, reply) = pending.swap_remove(at);
+                let _ = reply.send(encode_reject(reject));
+            }
+        }
+        for resp in &round.responses {
             let key = (resp.tenant.0, resp.request_id);
             if let Some(at) = pending.iter().position(|(t, id, _)| (*t, *id) == key) {
                 let (_, _, reply) = pending.swap_remove(at);
-                encode_response_into(&mut buf, &resp);
+                encode_response_into(&mut buf, resp);
                 let _ = reply.send(buf.clone());
             }
         }
@@ -351,7 +425,7 @@ mod tests {
         for id in 0..5 {
             service.submit(request(id as u32 % 2, id)).unwrap();
         }
-        let responses = service.drain();
+        let responses = service.drain().responses;
         assert_eq!(responses.len(), 5);
         let report = service.report();
         assert_eq!(report.admission.offered, 5);
@@ -386,5 +460,82 @@ mod tests {
         let service = ConvolveService::new(ServiceConfig::default());
         service.stop();
         assert_eq!(service.submit(request(0, 0)), Err(ServiceError::Stopped));
+    }
+
+    #[test]
+    fn rejected_requests_build_no_plans() {
+        let service = ConvolveService::new(ServiceConfig {
+            admission: crate::AdmissionConfig {
+                queue_capacity: 1,
+                tenant_quota: 1,
+                shed_on: 8,
+                shed_off: 2,
+            },
+            max_batch: 4,
+        });
+        service.submit(request(0, 0)).unwrap();
+        // The tenant's queue is full; a fresh plan key on the rejected
+        // request must not reach the registry — admission decides first.
+        let mut over = request(0, 1);
+        over.sigma = 9.0;
+        assert!(matches!(
+            service.submit(over),
+            Err(ServiceError::QueueFull { .. })
+        ));
+        assert_eq!(service.registry().len(), 1);
+        assert_eq!(service.report().plan_builds, 1);
+    }
+
+    #[test]
+    fn invalid_requests_cost_no_queue_slot_and_no_plan() {
+        let service = ConvolveService::new(ServiceConfig::default());
+        let mut bad = request(0, 0);
+        bad.k = 5; // does not divide n = 16
+        assert!(matches!(
+            service.submit(bad),
+            Err(ServiceError::Config(_))
+        ));
+        // A typed request claiming a huge grid is stopped by the same n³
+        // ceiling the wire codec enforces — before any plan/grid work.
+        let mut huge = request(0, 1);
+        huge.n = 1 << 20;
+        huge.k = 1 << 20;
+        assert!(matches!(
+            service.submit(huge),
+            Err(ServiceError::Codec(crate::wire::CodecError::Oversize { .. }))
+        ));
+        let report = service.report();
+        assert_eq!(report.admission.offered, 0);
+        assert_eq!(report.plan_builds, 0);
+        assert!(service.registry().is_empty());
+    }
+
+    #[test]
+    fn duplicate_in_flight_request_id_is_refused() {
+        let service = ConvolveService::new(ServiceConfig::default());
+        let mut pending: Vec<Waiter> = Vec::default();
+        let bytes = encode_request(&request(3, 7));
+        let (tx_a, rx_a) = mpsc::channel();
+        let (tx_b, rx_b) = mpsc::channel();
+        handle_call(&service, &mut pending, &bytes, tx_a);
+        handle_call(&service, &mut pending, &bytes, tx_b);
+        assert_eq!(pending.len(), 1, "only the first call may wait");
+        // The duplicate is answered immediately with a typed reject.
+        let reply = rx_b.try_recv().expect("duplicate must be answered");
+        match decode_message(&reply).unwrap() {
+            WireMessage::Reject(r) => {
+                assert_eq!(r.code, crate::error::REJECT_DUPLICATE);
+                assert_eq!((r.tenant, r.request_id), (TenantId(3), 7));
+            }
+            other => panic!("expected a reject, got {other:?}"),
+        }
+        // The original submission is unaffected and still gets served.
+        assert_eq!(service.drain().responses.len(), 1);
+        // Once the predecessor's reply is delivered the id is free again.
+        pending.clear();
+        let (tx_c, _rx_c) = mpsc::channel();
+        handle_call(&service, &mut pending, &bytes, tx_c);
+        assert_eq!(pending.len(), 1, "a completed id must be reusable");
+        drop(rx_a);
     }
 }

@@ -414,15 +414,21 @@ fn decode_request_body(body: &[u8]) -> Result<ConvolveRequest, CodecError> {
     let input_kind = body[33];
     let count = read_u32(body, 34) as u64;
     let data = &body[REQUEST_FIXED..];
+    // The grid bound applies to every input encoding: a sparse deltas
+    // request names cells of the same n³ grid a dense one carries, and
+    // serving it materializes that grid. u128 keeps n³ exact for any
+    // u32 `n` (n³ overflows u64 from n = 2²², which would otherwise wrap
+    // a huge grid back under the bound).
+    let cells = (n as u128).pow(3);
+    if cells > MAX_FIELD_CELLS as u128 {
+        return Err(CodecError::Oversize {
+            cells: u64::try_from(cells).unwrap_or(u64::MAX),
+            max: MAX_FIELD_CELLS,
+        });
+    }
+    let cells = cells as u64;
     let input = match input_kind {
         INPUT_DENSE => {
-            let cells = (n as u64).pow(3);
-            if cells > MAX_FIELD_CELLS {
-                return Err(CodecError::Oversize {
-                    cells,
-                    max: MAX_FIELD_CELLS,
-                });
-            }
             if count != cells {
                 return Err(CodecError::Inconsistent {
                     field: "dense_count",
@@ -703,6 +709,49 @@ mod tests {
                 max: MAX_FIELD_CELLS
             }
         );
+    }
+
+    #[test]
+    fn oversize_grid_is_rejected_for_every_input_kind() {
+        // A few-byte deltas request claiming a huge grid must be stopped
+        // by the n³ bound at decode — never passed through to an
+        // n³-proportional allocation downstream.
+        let req = ConvolveRequest {
+            n: 1 << 20,
+            k: 1 << 18,
+            ..request()
+        };
+        assert_eq!(
+            decode_request(&encode_request(&req)).unwrap_err(),
+            CodecError::Oversize {
+                cells: 1u64 << 60,
+                max: MAX_FIELD_CELLS
+            }
+        );
+        // n³ overflowing u64 must still report Oversize, not wrap back
+        // under the bound.
+        let req = ConvolveRequest {
+            n: u32::MAX,
+            input: RequestInput::Deltas(Vec::new()),
+            ..request()
+        };
+        assert_eq!(
+            decode_request(&encode_request(&req)).unwrap_err(),
+            CodecError::Oversize {
+                cells: u64::MAX,
+                max: MAX_FIELD_CELLS
+            }
+        );
+        // The same ceiling still guards the dense encoding.
+        let req = ConvolveRequest {
+            n: 1 << 11,
+            input: RequestInput::Dense(Vec::new()),
+            ..request()
+        };
+        assert!(matches!(
+            decode_request(&encode_request(&req)).unwrap_err(),
+            CodecError::Oversize { .. }
+        ));
     }
 
     #[test]

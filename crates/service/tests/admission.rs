@@ -67,7 +67,7 @@ fn queue_full_rejection_is_typed_and_accounted() {
     assert_eq!(stats.rejected_queue_full, 1);
     assert!(stats.balanced());
     // Draining frees the queue: the tenant is admissible again.
-    assert_eq!(svc.drain().len(), 4);
+    assert_eq!(svc.drain().responses.len(), 4);
     svc.submit(request(7, 4, false)).unwrap();
 }
 
@@ -161,7 +161,7 @@ fn shed_requests_are_served_degraded_end_to_end() {
         svc.submit(request(1, id, false)).unwrap();
     }
     assert!(svc.admission().shedding());
-    let responses = svc.drain();
+    let responses = svc.drain().responses;
     assert_eq!(responses.len(), 6);
     // The four pre-shed admissions are Normal; the two shed ones carry
     // Degraded fidelity through to their responses.

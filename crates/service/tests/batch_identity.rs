@@ -76,7 +76,7 @@ fn coalesced_batch_is_bit_identical_to_solo() {
     for (req, _) in &reqs {
         svc.submit(req.clone()).unwrap();
     }
-    let batched = svc.drain();
+    let batched = svc.drain().responses;
     assert_eq!(batched.len(), reqs.len());
     for s in &solo {
         let b = batched
@@ -119,7 +119,7 @@ fn shed_batch_is_bit_identical_to_solo_degraded() {
     for req in &reqs {
         svc.submit(req.clone()).unwrap();
     }
-    let batched = svc.drain();
+    let batched = svc.drain().responses;
     // shed_on = 1: the first admission is Normal, the rest are Degraded.
     assert_eq!(
         batched

@@ -73,7 +73,7 @@ fn obs_counters_reproduce_the_admission_ledger() {
     assert_eq!(obs::SERVICE_SHED_ENTRIES.get(), stats.shed_entries);
     // Serving the admitted work shows up on the completion counters, and
     // the session report exposes every service.* instrument by name.
-    let served = svc.drain().len() as u64;
+    let served = svc.drain().responses.len() as u64;
     assert_eq!(obs::SERVICE_REQUESTS_COMPLETED.get(), served);
     let report = session.finish();
     assert_eq!(report.counter("service.offered"), Some(8));
